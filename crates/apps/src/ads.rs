@@ -1,0 +1,357 @@
+//! Advertising over the web of concepts (paper §5.5): matching and
+//! marketplace.
+//!
+//! * **Matching** — ads target the concepts a user/pageview is about, "a
+//!   user involved in booking a vacation to Europe may be offered
+//!   appropriate hotels".
+//! * **Marketplace** — beyond keywords, "advertisers … might place a bid on
+//!   any query that hits on a restaurant in zipcode 95054": bids can target
+//!   a concept plus attribute constraints. Eligible ads compete in a
+//!   generalized second-price auction.
+
+use woc_core::WebOfConcepts;
+use woc_lrec::LrecId;
+use woc_textkit::tokenize::{normalize, tokenize_words};
+
+/// What a bid targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// Classic keyword targeting: all words must appear in the query.
+    Keywords(Vec<String>),
+    /// Concept targeting: the pageview/query must resolve to a record of
+    /// the named concept satisfying every `(attr, value)` constraint.
+    Concept {
+        /// Concept name (e.g. `restaurant`).
+        concept: String,
+        /// Attribute constraints (e.g. `zip = 95054`).
+        constraints: Vec<(String, String)>,
+    },
+}
+
+/// An ad with a bid.
+#[derive(Debug, Clone)]
+pub struct Ad {
+    /// Stable ad id.
+    pub id: u32,
+    /// Advertiser name.
+    pub advertiser: String,
+    /// Creative text.
+    pub creative: String,
+    /// Bid in cents.
+    pub bid_cents: i64,
+    /// Targeting.
+    pub target: Target,
+}
+
+/// The context an auction runs in: the raw query plus any records the
+/// concept layer resolved it to.
+#[derive(Debug, Clone, Default)]
+pub struct AdContext {
+    /// The user query (empty for pure content pageviews).
+    pub query: String,
+    /// Records the pageview/query is about.
+    pub records: Vec<LrecId>,
+}
+
+/// Is an ad eligible in this context?
+pub fn eligible(woc: &WebOfConcepts, ad: &Ad, ctx: &AdContext) -> bool {
+    match &ad.target {
+        Target::Keywords(words) => {
+            let q: std::collections::HashSet<String> =
+                tokenize_words(&ctx.query).into_iter().collect();
+            !words.is_empty() && words.iter().all(|w| q.contains(&w.to_lowercase()))
+        }
+        Target::Concept {
+            concept,
+            constraints,
+        } => {
+            let Some(cid) = woc.registry.id_of(concept) else {
+                return false;
+            };
+            ctx.records.iter().any(|&rid| {
+                let Some(rec) = woc.store.latest(rid) else {
+                    return false;
+                };
+                rec.concept() == cid
+                    && constraints.iter().all(|(attr, value)| {
+                        rec.get(attr)
+                            .iter()
+                            .any(|e| normalize(&e.value.display_string()) == normalize(value))
+                    })
+            })
+        }
+    }
+}
+
+/// An auction outcome: the winning ad and the (second-price) cost.
+#[derive(Debug, Clone)]
+pub struct AuctionResult {
+    /// Winning ad id.
+    pub ad_id: u32,
+    /// Advertiser.
+    pub advertiser: String,
+    /// Price paid, in cents: the runner-up's bid plus one (classic GSP), or
+    /// the reserve when unopposed.
+    pub price_cents: i64,
+}
+
+/// Reserve price for unopposed ads, in cents.
+pub const RESERVE_CENTS: i64 = 5;
+
+/// A running marketplace: ads plus per-advertiser budgets. Charges deplete
+/// budgets; ads whose advertiser is exhausted stop competing — the
+/// marketplace dynamics §5.5 gestures at.
+#[derive(Debug, Clone, Default)]
+pub struct Marketplace {
+    ads: Vec<Ad>,
+    budgets_cents: std::collections::HashMap<String, i64>,
+    /// Total spend per advertiser, for reporting.
+    spend_cents: std::collections::HashMap<String, i64>,
+}
+
+impl Marketplace {
+    /// Empty marketplace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an ad and (idempotently) its advertiser's budget.
+    pub fn register(&mut self, ad: Ad, budget_cents: i64) {
+        self.budgets_cents
+            .entry(ad.advertiser.clone())
+            .or_insert(budget_cents);
+        self.ads.push(ad);
+    }
+
+    /// Remaining budget of an advertiser.
+    pub fn budget(&self, advertiser: &str) -> i64 {
+        self.budgets_cents.get(advertiser).copied().unwrap_or(0)
+    }
+
+    /// Total spend of an advertiser.
+    pub fn spend(&self, advertiser: &str) -> i64 {
+        self.spend_cents.get(advertiser).copied().unwrap_or(0)
+    }
+
+    /// Run one auction, charging the winner. Exhausted advertisers are
+    /// excluded before the auction.
+    pub fn serve(&mut self, woc: &WebOfConcepts, ctx: &AdContext) -> Option<AuctionResult> {
+        let live: Vec<Ad> = self
+            .ads
+            .iter()
+            .filter(|a| self.budget(&a.advertiser) >= RESERVE_CENTS)
+            .cloned()
+            .collect();
+        let result = run_auction(woc, &live, ctx)?;
+        let price = result
+            .price_cents
+            .min(self.budget(&result.advertiser));
+        *self
+            .budgets_cents
+            .get_mut(&result.advertiser)
+            .expect("winner has a budget entry") -= price;
+        *self.spend_cents.entry(result.advertiser.clone()).or_insert(0) += price;
+        Some(AuctionResult {
+            price_cents: price,
+            ..result
+        })
+    }
+}
+
+/// Run a second-price auction among eligible ads.
+pub fn run_auction(woc: &WebOfConcepts, ads: &[Ad], ctx: &AdContext) -> Option<AuctionResult> {
+    let mut eligible_ads: Vec<&Ad> = ads.iter().filter(|a| eligible(woc, a, ctx)).collect();
+    eligible_ads.sort_by(|a, b| b.bid_cents.cmp(&a.bid_cents).then(a.id.cmp(&b.id)));
+    let winner = eligible_ads.first()?;
+    let price = eligible_ads
+        .get(1)
+        .map(|runner| runner.bid_cents + 1)
+        .unwrap_or(RESERVE_CENTS)
+        .min(winner.bid_cents);
+    Some(AuctionResult {
+        ad_id: winner.id,
+        advertiser: winner.advertiser.clone(),
+        price_cents: price,
+    })
+}
+
+/// Match ads to a user's interest profile (concept-level matching): returns
+/// ads whose concept target matches any record the user engaged with.
+pub fn ads_for_user(
+    woc: &WebOfConcepts,
+    ads: &[Ad],
+    engaged_records: &[LrecId],
+    k: usize,
+) -> Vec<u32> {
+    let ctx = AdContext {
+        query: String::new(),
+        records: engaged_records.to_vec(),
+    };
+    let mut hits: Vec<&Ad> = ads
+        .iter()
+        .filter(|a| matches!(a.target, Target::Concept { .. }) && eligible(woc, a, &ctx))
+        .collect();
+    hits.sort_by(|a, b| b.bid_cents.cmp(&a.bid_cents).then(a.id.cmp(&b.id)));
+    hits.into_iter().take(k).map(|a| a.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    fn woc() -> WebOfConcepts {
+        let world = World::generate(WorldConfig::tiny(306));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(26));
+        build(&corpus, &PipelineConfig::default())
+    }
+
+    fn restaurant_ctx(woc: &WebOfConcepts) -> (AdContext, String) {
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        let rec = restaurants
+            .iter()
+            .find(|r| r.best_string("zip").is_some())
+            .expect("restaurant with zip");
+        let zip = rec.best_string("zip").unwrap();
+        (
+            AdContext {
+                query: "dinner tonight".into(),
+                records: vec![rec.id()],
+            },
+            zip,
+        )
+    }
+
+    #[test]
+    fn keyword_targeting() {
+        let woc = woc();
+        let ad = Ad {
+            id: 1,
+            advertiser: "Pizza Co".into(),
+            creative: "Hot pizza".into(),
+            bid_cents: 50,
+            target: Target::Keywords(vec!["pizza".into(), "jose".into()]),
+        };
+        let hit = AdContext { query: "pizza in San Jose".into(), records: vec![] };
+        let miss = AdContext { query: "pizza".into(), records: vec![] };
+        assert!(eligible(&woc, &ad, &hit));
+        assert!(!eligible(&woc, &ad, &miss), "all keywords required");
+    }
+
+    #[test]
+    fn concept_targeting_with_zip_constraint() {
+        // The paper's example: "place a bid on any query that hits on a
+        // restaurant in zipcode 95054".
+        let woc = woc();
+        let (ctx, zip) = restaurant_ctx(&woc);
+        let ad = Ad {
+            id: 2,
+            advertiser: "Birks Steakhouse".into(),
+            creative: "Steak nearby".into(),
+            bid_cents: 120,
+            target: Target::Concept {
+                concept: "restaurant".into(),
+                constraints: vec![("zip".into(), zip)],
+            },
+        };
+        assert!(eligible(&woc, &ad, &ctx));
+        let wrong = Ad {
+            target: Target::Concept {
+                concept: "restaurant".into(),
+                constraints: vec![("zip".into(), "00000".into())],
+            },
+            ..ad.clone()
+        };
+        assert!(!eligible(&woc, &wrong, &ctx));
+    }
+
+    #[test]
+    fn second_price_auction() {
+        let woc = woc();
+        let (ctx, zip) = restaurant_ctx(&woc);
+        let mk = |id, bid| Ad {
+            id,
+            advertiser: format!("adv{id}"),
+            creative: String::new(),
+            bid_cents: bid,
+            target: Target::Concept {
+                concept: "restaurant".into(),
+                constraints: vec![("zip".into(), zip.clone())],
+            },
+        };
+        let ads = vec![mk(1, 100), mk(2, 70), mk(3, 40)];
+        let result = run_auction(&woc, &ads, &ctx).unwrap();
+        assert_eq!(result.ad_id, 1);
+        assert_eq!(result.price_cents, 71, "second price + 1");
+        // Unopposed: reserve.
+        let result = run_auction(&woc, &ads[..1], &ctx).unwrap();
+        assert_eq!(result.price_cents, RESERVE_CENTS);
+        // No eligible ads: no auction.
+        let empty_ctx = AdContext::default();
+        assert!(run_auction(&woc, &ads, &empty_ctx).is_none());
+    }
+
+    #[test]
+    fn marketplace_budgets_deplete_and_exclude() {
+        let woc = woc();
+        let (ctx, zip) = restaurant_ctx(&woc);
+        let mk = |id, advertiser: &str, bid| Ad {
+            id,
+            advertiser: advertiser.into(),
+            creative: String::new(),
+            bid_cents: bid,
+            target: Target::Concept {
+                concept: "restaurant".into(),
+                constraints: vec![("zip".into(), zip.clone())],
+            },
+        };
+        let mut market = Marketplace::new();
+        market.register(mk(1, "big-spender", 100), 160);
+        market.register(mk(2, "runner-up", 70), 10_000);
+        // First two auctions: big-spender wins at second price 71.
+        for _ in 0..2 {
+            let r = market.serve(&woc, &ctx).unwrap();
+            assert_eq!(r.advertiser, "big-spender");
+            assert_eq!(r.price_cents, 71);
+        }
+        assert_eq!(market.budget("big-spender"), 160 - 142);
+        assert_eq!(market.spend("big-spender"), 142);
+        // Budget (18) is above reserve but the charge caps at the remainder.
+        let r = market.serve(&woc, &ctx).unwrap();
+        assert_eq!(r.advertiser, "big-spender");
+        assert_eq!(r.price_cents, 18);
+        assert_eq!(market.budget("big-spender"), 0);
+        // Exhausted: the runner-up now wins at reserve.
+        let r = market.serve(&woc, &ctx).unwrap();
+        assert_eq!(r.advertiser, "runner-up");
+        assert_eq!(r.price_cents, RESERVE_CENTS);
+    }
+
+    #[test]
+    fn user_interest_matching() {
+        let woc = woc();
+        let (ctx, zip) = restaurant_ctx(&woc);
+        let ads = vec![
+            Ad {
+                id: 10,
+                advertiser: "Local Eats".into(),
+                creative: String::new(),
+                bid_cents: 10,
+                target: Target::Concept {
+                    concept: "restaurant".into(),
+                    constraints: vec![("zip".into(), zip)],
+                },
+            },
+            Ad {
+                id: 11,
+                advertiser: "Keyword Spam".into(),
+                creative: String::new(),
+                bid_cents: 999,
+                target: Target::Keywords(vec!["anything".into()]),
+            },
+        ];
+        let hits = ads_for_user(&woc, &ads, &ctx.records, 5);
+        assert_eq!(hits, vec![10], "only concept-targeted ads match user profiles");
+    }
+}

@@ -1,0 +1,362 @@
+//! Augmented web search (paper §5.1, Figure 1).
+//!
+//! Two augmentations: (1) a **concept box** triggered when the query matches
+//! a record ("if the query asks for a restaurant, e.g. gochi cupertino, then
+//! there will be a box containing a map showing the location of Gochi along
+//! with directions, reviews, and a pointer to the official homepage"), and
+//! (2) **record-aware document ranking** ("this URL should be given
+//! preferential treatment by the ranker, as the official homepage of the
+//! requested entity") via features computed from the record↔document
+//! associations precomputed in the concept web.
+
+use woc_core::{AssocKind, WebOfConcepts};
+use woc_index::FieldQuery;
+use woc_lrec::LrecId;
+use woc_textkit::tokenize::{normalize, tokenize_words};
+
+/// A record-level feature attached to a ranked document (paper §5.1:
+/// "features indicating that the document mentions the entity, is a homepage
+/// of the entity, includes a review of the entity, and so forth").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DocFeature {
+    /// Official homepage of the matched record.
+    IsHomepage,
+    /// The record was extracted from this document (profile page).
+    IsProfilePage,
+    /// The document reviews the record.
+    IsReview,
+    /// The document mentions the record.
+    MentionsEntity,
+}
+
+impl DocFeature {
+    fn boost(self) -> f64 {
+        match self {
+            DocFeature::IsHomepage => 8.0,
+            DocFeature::IsProfilePage => 4.0,
+            DocFeature::IsReview => 2.0,
+            DocFeature::MentionsEntity => 1.0,
+        }
+    }
+}
+
+/// A ranked document with its record-level features.
+#[derive(Debug, Clone)]
+pub struct RankedDoc {
+    /// Document URL.
+    pub url: String,
+    /// Document title.
+    pub title: String,
+    /// Final score (BM25 + feature boosts).
+    pub score: f64,
+    /// Record-aware features that fired.
+    pub features: Vec<DocFeature>,
+    /// Names of records the document is associated with — entity-annotated
+    /// results in the spirit of the Correlator work the paper cites (§5.2).
+    pub entities: Vec<String>,
+}
+
+/// The concept box rendered above the results (Figure 1).
+#[derive(Debug, Clone)]
+pub struct ConceptBox {
+    /// The matched record.
+    pub record: LrecId,
+    /// Concept name (e.g. `restaurant`).
+    pub concept: String,
+    /// Display name.
+    pub name: String,
+    /// `(label, value)` summary lines (address, phone, hours, rating, …).
+    pub lines: Vec<(String, String)>,
+    /// Link to the official homepage, if known.
+    pub homepage: Option<String>,
+    /// Review-page links.
+    pub reviews: Vec<String>,
+    /// Confidence the trigger was right.
+    pub confidence: f64,
+}
+
+impl ConceptBox {
+    /// Render as the text block of Figure 1.
+    pub fn render(&self) -> String {
+        let mut out = format!("┌─ {} ({})\n", self.name, self.concept);
+        for (label, value) in &self.lines {
+            out.push_str(&format!("│ {label}: {value}\n"));
+        }
+        if let Some(h) = &self.homepage {
+            out.push_str(&format!("│ Official homepage: {h}\n"));
+        }
+        if !self.reviews.is_empty() {
+            out.push_str(&format!("│ Reviews: {} source(s)\n", self.reviews.len()));
+        }
+        out.push('└');
+        out
+    }
+}
+
+/// An augmented result page.
+#[derive(Debug, Clone)]
+pub struct AugmentedResults {
+    /// The concept box, when a record was confidently matched.
+    pub concept_box: Option<ConceptBox>,
+    /// Ranked documents.
+    pub results: Vec<RankedDoc>,
+}
+
+/// The trigger: does the query confidently match one record?
+///
+/// A "data-hungry machine-learned recognizer" in the paper; here a
+/// transparent scorer: the top record hit must cover most of the query's
+/// non-location tokens with its name, or match name+city exactly.
+pub fn trigger_concept_box(woc: &WebOfConcepts, query: &str) -> Option<(LrecId, f64)> {
+    let q_toks: Vec<String> = tokenize_words(query)
+        .into_iter()
+        .filter(|t| !woc_textkit::tokenize::is_stopword(t))
+        .collect();
+    if q_toks.is_empty() {
+        return None;
+    }
+    let hits = woc
+        .record_index
+        .search(&FieldQuery::parse(query), 5, |n| woc.registry.id_of(n));
+    for hit in &hits {
+        let Some(rec) = woc.store.latest(hit.id) else {
+            continue;
+        };
+        let Some(name) = rec.best_string("name").or_else(|| rec.best_string("title")) else {
+            continue;
+        };
+        let city = rec.best_string("city").unwrap_or_default();
+        let name_toks: std::collections::HashSet<String> =
+            tokenize_words(&name).into_iter().collect();
+        let city_toks: std::collections::HashSet<String> =
+            tokenize_words(&city).into_iter().collect();
+        let covered = q_toks
+            .iter()
+            .filter(|t| name_toks.contains(*t) || city_toks.contains(*t))
+            .count();
+        let coverage = covered as f64 / q_toks.len() as f64;
+        let name_hit = q_toks.iter().any(|t| name_toks.contains(t));
+        if coverage >= 0.6 && name_hit {
+            return Some((hit.id, coverage));
+        }
+    }
+    None
+}
+
+/// Build the concept box for a matched record.
+pub fn build_concept_box(woc: &WebOfConcepts, id: LrecId, confidence: f64) -> Option<ConceptBox> {
+    let rec = woc.store.latest(id)?;
+    let concept = woc
+        .registry
+        .schema(rec.concept())
+        .map(|s| s.name().to_string())
+        .unwrap_or_else(|| "concept".to_string());
+    let name = rec
+        .best_string("name")
+        .or_else(|| rec.best_string("title"))?;
+    let mut lines = Vec::new();
+    let mut address = String::new();
+    if let Some(street) = rec.best_string("street") {
+        address.push_str(&street);
+    }
+    if let Some(city) = rec.best_string("city") {
+        if !address.is_empty() {
+            address.push_str(", ");
+        }
+        address.push_str(&city);
+    }
+    if let Some(zip) = rec.best_string("zip") {
+        address.push(' ');
+        address.push_str(&zip);
+    }
+    if !address.is_empty() {
+        lines.push(("Map & directions".to_string(), address));
+    }
+    for (key, label) in [
+        ("phone", "Phone"),
+        ("hours", "Hours"),
+        ("cuisine", "Cuisine"),
+        ("rating", "Rating"),
+        ("date", "When"),
+        ("venue", "Where"),
+        ("price", "Price"),
+        ("brand", "Brand"),
+    ] {
+        if let Some(v) = rec.best_string(key) {
+            lines.push((label.to_string(), v));
+        }
+    }
+    let homepage = woc
+        .web
+        .docs_of_kind(id, AssocKind::Homepage)
+        .first()
+        .map(|s| s.to_string())
+        .or_else(|| rec.best_string("homepage"));
+    let reviews = woc
+        .web
+        .docs_of_kind(id, AssocKind::ReviewOf)
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    Some(ConceptBox {
+        record: id,
+        concept,
+        name,
+        lines,
+        homepage,
+        reviews,
+        confidence,
+    })
+}
+
+/// Run an augmented search: trigger + record-aware document ranking.
+pub fn augmented_search(woc: &WebOfConcepts, query: &str, k: usize) -> AugmentedResults {
+    let trigger = trigger_concept_box(woc, query);
+    let concept_box = trigger.and_then(|(id, conf)| build_concept_box(woc, id, conf));
+
+    // Base retrieval, over-fetched so boosts can reorder.
+    let hits = woc.doc_index.search(query, k * 4 + 8);
+    let matched = trigger.map(|(id, _)| id);
+    let homepage_url = concept_box.as_ref().and_then(|b| b.homepage.clone());
+
+    let mut results: Vec<RankedDoc> = hits
+        .into_iter()
+        .map(|h| {
+            let url = woc.doc_url(h.doc).to_string();
+            let title = woc.doc_titles[h.doc.0 as usize].clone();
+            let mut entities: Vec<String> = woc
+                .web
+                .records_of(&url)
+                .iter()
+                .filter_map(|(r, _)| woc.store.resolve(*r))
+                .filter_map(|r| {
+                    woc.store
+                        .latest(r)
+                        .and_then(|rec| rec.best_string("name").or_else(|| rec.best_string("title")))
+                })
+                .collect();
+            entities.sort();
+            entities.dedup();
+            entities.truncate(6);
+            let mut features = Vec::new();
+            if let Some(rid) = matched {
+                if homepage_url.as_deref() == Some(url.as_str())
+                    || normalize(&url) == normalize(homepage_url.as_deref().unwrap_or(""))
+                {
+                    features.push(DocFeature::IsHomepage);
+                }
+                for (r, kind) in woc.web.records_of(&url) {
+                    if woc.store.resolve(*r) == Some(rid) {
+                        match kind {
+                            AssocKind::ExtractedFrom => features.push(DocFeature::IsProfilePage),
+                            AssocKind::ReviewOf => features.push(DocFeature::IsReview),
+                            AssocKind::Mentions => features.push(DocFeature::MentionsEntity),
+                            AssocKind::Homepage => features.push(DocFeature::IsHomepage),
+                        }
+                    }
+                }
+                features.sort_by_key(|f| std::cmp::Reverse((f.boost() * 10.0) as i64));
+                features.dedup();
+            }
+            let score = h.score + features.iter().map(|f| f.boost()).sum::<f64>();
+            RankedDoc {
+                url,
+                title,
+                score,
+                features,
+                entities,
+            }
+        })
+        .collect();
+    results.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.url.cmp(&b.url))
+    });
+    results.truncate(k);
+    AugmentedResults {
+        concept_box,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    fn woc() -> WebOfConcepts {
+        let world = World::generate(WorldConfig::tiny(301));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(21));
+        build(&corpus, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn gochi_cupertino_triggers_box() {
+        let woc = woc();
+        let res = augmented_search(&woc, "gochi cupertino", 10);
+        let boxed = res.concept_box.expect("Figure 1 query must trigger");
+        assert!(boxed.name.to_lowercase().contains("gochi"));
+        assert_eq!(boxed.concept, "restaurant");
+        assert!(
+            boxed.lines.iter().any(|(l, _)| l.contains("Map")),
+            "box has map/address line"
+        );
+        let rendered = boxed.render();
+        assert!(rendered.contains("Gochi") || rendered.contains("GOCHI"));
+    }
+
+    #[test]
+    fn generic_query_does_not_trigger() {
+        let woc = woc();
+        let res = augmented_search(&woc, "best food in town reviews", 10);
+        assert!(res.concept_box.is_none(), "no single record covers this");
+        assert!(!res.results.is_empty(), "documents still returned");
+    }
+
+    #[test]
+    fn homepage_ranked_first_for_entity_query() {
+        let woc = woc();
+        let res = augmented_search(&woc, "gochi cupertino", 10);
+        assert!(!res.results.is_empty());
+        let top = &res.results[0];
+        assert!(
+            top.features.contains(&DocFeature::IsHomepage)
+                || top.features.contains(&DocFeature::IsProfilePage),
+            "top doc should be homepage or profile, got {:?} ({})",
+            top.features,
+            top.url
+        );
+    }
+
+    #[test]
+    fn results_are_entity_annotated() {
+        let woc = woc();
+        let res = augmented_search(&woc, "gochi cupertino", 5);
+        let annotated = res.results.iter().filter(|r| !r.entities.is_empty()).count();
+        assert!(annotated > 0, "profile/homepage results carry entity annotations");
+        let top = &res.results[0];
+        assert!(
+            top.entities.iter().any(|e| e.to_lowercase().contains("gochi")),
+            "top result annotated with the entity: {:?}",
+            top.entities
+        );
+    }
+
+    #[test]
+    fn features_monotone_boost() {
+        // Homepage boost dominates mention boost.
+        assert!(DocFeature::IsHomepage.boost() > DocFeature::MentionsEntity.boost());
+        assert!(DocFeature::IsProfilePage.boost() > DocFeature::IsReview.boost());
+    }
+
+    #[test]
+    fn empty_query_safe() {
+        let woc = woc();
+        let res = augmented_search(&woc, "", 5);
+        assert!(res.concept_box.is_none());
+        assert!(res.results.is_empty());
+    }
+}

@@ -1,0 +1,298 @@
+//! Concept pages — the second of §5.4's three page types ("Concept pages,
+//! showing information about some instance of a concept. E.g., page about
+//! Ian McShane; page about Deadwood").
+//!
+//! A [`ConceptPage`] aggregates everything the web of concepts knows about
+//! one record: reconciled attributes with confidence, linked records
+//! (reviews, menu items), source documents and the homepage, mentioning
+//! articles, and recommendations — the "semantically rich aggregate view of
+//! all the information available on the web for each concept instance" of
+//! the abstract.
+
+use woc_core::{record_links, reverse_links, AssocKind, WebOfConcepts};
+use woc_lrec::LrecId;
+
+use crate::recommend::{alternatives, Recommendation};
+use crate::semantic::articles_for;
+
+/// One attribute line of a concept page.
+#[derive(Debug, Clone)]
+pub struct AttributeLine {
+    /// Attribute key.
+    pub key: String,
+    /// Display values (post-reconciliation, best first).
+    pub values: Vec<String>,
+    /// Confidence of the best value.
+    pub confidence: f64,
+}
+
+/// A linked record shown on the page (a review, a menu item, a component).
+#[derive(Debug, Clone)]
+pub struct LinkedRecord {
+    /// The link's attribute (e.g. `about`, `restaurant`, `part_of`).
+    pub relation: String,
+    /// The linked record.
+    pub id: LrecId,
+    /// Display text.
+    pub display: String,
+}
+
+/// The assembled concept page.
+#[derive(Debug, Clone)]
+pub struct ConceptPage {
+    /// The record.
+    pub id: LrecId,
+    /// Concept name.
+    pub concept: String,
+    /// Page title (record name/title).
+    pub title: String,
+    /// Attribute lines in key order.
+    pub attributes: Vec<AttributeLine>,
+    /// Outgoing links (this record → others).
+    pub outgoing: Vec<LinkedRecord>,
+    /// Incoming links (others → this record), e.g. its reviews.
+    pub incoming: Vec<LinkedRecord>,
+    /// Official homepage, if known.
+    pub homepage: Option<String>,
+    /// Source documents the record was extracted from.
+    pub sources: Vec<String>,
+    /// Articles mentioning the record (semantic links).
+    pub mentions: Vec<String>,
+    /// Alternative records (same-kind recommendations).
+    pub alternatives: Vec<Recommendation>,
+}
+
+/// Assemble the concept page for a record. Returns `None` for unknown ids.
+pub fn concept_page(woc: &WebOfConcepts, id: LrecId, k: usize) -> Option<ConceptPage> {
+    let id = woc.store.resolve(id)?;
+    let rec = woc.store.latest(id)?;
+    let concept = woc
+        .registry
+        .schema(rec.concept())
+        .map(|s| s.name().to_string())
+        .unwrap_or_default();
+    let title = rec
+        .best_string("name")
+        .or_else(|| rec.best_string("title"))
+        .unwrap_or_else(|| id.to_string());
+
+    let mut attributes = Vec::new();
+    for (key, entries) in rec.iter() {
+        if entries.iter().all(|e| e.value.as_ref_id().is_some()) {
+            continue; // reference attrs render as links below
+        }
+        let mut sorted: Vec<_> = entries
+            .iter()
+            .filter(|e| e.value.as_ref_id().is_none())
+            .collect();
+        sorted.sort_by(|a, b| {
+            b.provenance
+                .confidence
+                .partial_cmp(&a.provenance.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        attributes.push(AttributeLine {
+            key: key.to_string(),
+            values: sorted.iter().map(|e| e.value.display_string()).collect(),
+            confidence: sorted
+                .first()
+                .map(|e| e.provenance.confidence)
+                .unwrap_or(0.0),
+        });
+    }
+
+    let display_of = |rid: LrecId| -> String {
+        woc.store
+            .latest(rid)
+            .and_then(|r| {
+                r.best_string("name")
+                    .or_else(|| r.best_string("title"))
+                    .or_else(|| r.best_string("text").map(|t| truncate(&t, 60)))
+            })
+            .unwrap_or_else(|| rid.to_string())
+    };
+
+    let outgoing: Vec<LinkedRecord> = record_links(rec)
+        .into_iter()
+        .filter_map(|(relation, rid)| {
+            let rid = woc.store.resolve(rid)?;
+            Some(LinkedRecord {
+                relation,
+                id: rid,
+                display: display_of(rid),
+            })
+        })
+        .take(k * 2)
+        .collect();
+
+    // Incoming links: scan live records once (fine at this corpus scale; a
+    // production store would maintain the reverse index incrementally).
+    let live: Vec<&woc_lrec::Lrec> = woc
+        .store
+        .live_ids()
+        .into_iter()
+        .filter_map(|i| woc.store.latest(i))
+        .collect();
+    let reverse = reverse_links(live.iter().copied());
+    let incoming: Vec<LinkedRecord> = reverse
+        .get(&id)
+        .map(|v| {
+            v.iter()
+                .take(k * 2)
+                .map(|(relation, rid)| LinkedRecord {
+                    relation: relation.clone(),
+                    id: *rid,
+                    display: display_of(*rid),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    Some(ConceptPage {
+        id,
+        concept,
+        title,
+        attributes,
+        outgoing,
+        incoming,
+        homepage: woc
+            .web
+            .docs_of_kind(id, AssocKind::Homepage)
+            .first()
+            .map(|s| s.to_string()),
+        sources: woc
+            .web
+            .docs_of_kind(id, AssocKind::ExtractedFrom)
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        mentions: articles_for(woc, id).into_iter().take(k).collect(),
+        alternatives: alternatives(woc, id, k),
+    })
+}
+
+impl ConceptPage {
+    /// Render as plain text (the demo surface; a web frontend would consume
+    /// the structure directly).
+    pub fn render(&self) -> String {
+        let mut out = format!("━━ {} — {} ━━\n", self.title, self.concept);
+        for a in &self.attributes {
+            out.push_str(&format!(
+                "  {:<12} {}  (conf {:.2})\n",
+                a.key,
+                a.values.join(" | "),
+                a.confidence
+            ));
+        }
+        if let Some(h) = &self.homepage {
+            out.push_str(&format!("  homepage     {h}\n"));
+        }
+        if !self.incoming.is_empty() {
+            out.push_str("  linked records:\n");
+            for l in self.incoming.iter().take(5) {
+                out.push_str(&format!("    ← {} ({})\n", l.display, l.relation));
+            }
+        }
+        if !self.outgoing.is_empty() {
+            for l in self.outgoing.iter().take(5) {
+                out.push_str(&format!("    → {} ({})\n", l.display, l.relation));
+            }
+        }
+        if !self.mentions.is_empty() {
+            out.push_str(&format!("  mentioned in {} article(s)\n", self.mentions.len()));
+        }
+        out.push_str(&format!("  {} source document(s)\n", self.sources.len()));
+        out
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    fn woc() -> WebOfConcepts {
+        let world = World::generate(WorldConfig::tiny(311));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(61));
+        build(&corpus, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn page_for_gochi_aggregates_everything() {
+        let woc = woc();
+        let hit = woc.record_index.query("gochi cupertino", 1, |n| woc.registry.id_of(n));
+        let page = concept_page(&woc, hit[0].id, 5).unwrap();
+        assert_eq!(page.concept, "restaurant");
+        assert!(page.title.to_lowercase().contains("gochi"));
+        assert!(!page.attributes.is_empty());
+        assert!(!page.sources.is_empty(), "sources listed");
+        let keys: Vec<&str> = page.attributes.iter().map(|a| a.key.as_str()).collect();
+        assert!(keys.contains(&"city"));
+        let rendered = page.render();
+        assert!(rendered.contains("restaurant"));
+        assert!(rendered.contains("source document"));
+    }
+
+    #[test]
+    fn reviews_appear_as_incoming_links() {
+        let woc = woc();
+        // Find a restaurant with a linked review.
+        let review_cid = woc.registry.id_of("review").unwrap();
+        let target = woc
+            .records_of(review_cid)
+            .into_iter()
+            .find_map(|r| r.best("about").and_then(|e| e.value.as_ref_id()));
+        let Some(target) = target else {
+            panic!("no linked reviews in corpus");
+        };
+        let page = concept_page(&woc, target, 5).unwrap();
+        assert!(
+            page.incoming.iter().any(|l| l.relation == "about"),
+            "reviews must show as incoming links"
+        );
+    }
+
+    #[test]
+    fn unknown_record_yields_none() {
+        let woc = woc();
+        assert!(concept_page(&woc, LrecId(9_999_999), 5).is_none());
+    }
+
+    #[test]
+    fn merged_id_resolves_to_survivor_page() {
+        let woc = woc();
+        // Any tombstoned id should produce the survivor's page.
+        for raw in 0..woc.store.total_created() as u64 {
+            let id = LrecId(raw);
+            if woc.store.resolve(id) != Some(id) {
+                if let Some(surv) = woc.store.resolve(id) {
+                    let page = concept_page(&woc, id, 3).unwrap();
+                    assert_eq!(page.id, surv);
+                    return;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncate_respects_char_boundaries() {
+        let s = "éééééééééé"; // 2 bytes per char
+        let t = truncate(s, 5);
+        assert!(t.ends_with('…'));
+        assert!(t.chars().count() <= 4);
+        assert_eq!(truncate("short", 10), "short");
+    }
+}

@@ -1,0 +1,223 @@
+//! Concept search (paper §5.2): retrieval where "the core results are of a
+//! concept other than document".
+//!
+//! Users "search a highly heterogeneous collection of records through a
+//! uniform interface", with the vertical-style refinements the paper lists:
+//! specialized feature filters (`cuisine:Chinese`), geographic parsing
+//! (city names detected in free text), and custom processing that combines
+//! locational and topical proximity (`pizza in San Jose`). Also implements
+//! **search within a concept** (Table 1, Concept→Result): document search
+//! restricted to pages associated with one record.
+
+use woc_core::WebOfConcepts;
+use woc_index::{FieldQuery, RecordHit};
+use woc_lrec::LrecId;
+use woc_textkit::gazetteer;
+
+/// A concept-search result: typed records with display summaries.
+#[derive(Debug, Clone)]
+pub struct ConceptResult {
+    /// The record.
+    pub id: LrecId,
+    /// Concept name.
+    pub concept: String,
+    /// Display name.
+    pub name: String,
+    /// Retrieval score.
+    pub score: f64,
+    /// A short summary line.
+    pub summary: String,
+}
+
+/// Parse the query with geo/cuisine awareness: free-text city and cuisine
+/// mentions become scoped constraints — the "special query parsing (e.g.,
+/// geographic locations)" of §5.2.
+pub fn interpret_query(query: &str) -> FieldQuery {
+    let mut q = FieldQuery::parse(query);
+    // Promote gazetteer hits from free text into scoped constraints.
+    let cities = gazetteer::find_cities(query);
+    let cuisines = gazetteer::find_cuisines(query);
+    for city in &cities {
+        for w in woc_textkit::tokenize::tokenize_words(city) {
+            q.scoped.push(("city".to_string(), w.clone()));
+            q.terms.retain(|t| *t != w);
+        }
+    }
+    for cuisine in &cuisines {
+        let w = cuisine.to_lowercase();
+        q.scoped.push(("cuisine".to_string(), w.clone()));
+        q.terms.retain(|t| *t != w);
+    }
+    // Connective noise.
+    q.terms
+        .retain(|t| !matches!(t.as_str(), "in" | "near" | "restaurants" | "restaurant" | "best"));
+    q
+}
+
+/// Run a concept search and hydrate display summaries.
+pub fn concept_search(woc: &WebOfConcepts, query: &str, k: usize) -> Vec<ConceptResult> {
+    let fq = interpret_query(query);
+    let hits: Vec<RecordHit> = woc.record_index.search(&fq, k, |n| woc.registry.id_of(n));
+    hits.into_iter()
+        .filter_map(|h| {
+            let rec = woc.store.latest(h.id)?;
+            let concept = woc
+                .registry
+                .schema(h.concept)
+                .map(|s| s.name().to_string())
+                .unwrap_or_default();
+            let name = rec
+                .best_string("name")
+                .or_else(|| rec.best_string("title"))
+                .unwrap_or_else(|| h.id.to_string());
+            let summary = ["city", "cuisine", "venue", "date", "price", "rating", "year"]
+                .iter()
+                .filter_map(|key| rec.best_string(key).map(|v| format!("{key}: {v}")))
+                .collect::<Vec<_>>()
+                .join(" · ");
+            Some(ConceptResult {
+                id: h.id,
+                concept,
+                name,
+                score: h.score,
+                summary,
+            })
+        })
+        .collect()
+}
+
+/// Refine previous results with an additional attribute constraint —
+/// "refinement using specialized features (e.g., show only Chinese
+/// restaurants)".
+pub fn refine(
+    woc: &WebOfConcepts,
+    results: &[ConceptResult],
+    attr: &str,
+    value: &str,
+) -> Vec<ConceptResult> {
+    let norm = woc_textkit::tokenize::normalize(value);
+    results
+        .iter()
+        .filter(|r| {
+            woc.store.latest(r.id).is_some_and(|rec| {
+                rec.get(attr)
+                    .iter()
+                    .any(|e| woc_textkit::tokenize::normalize(&e.value.display_string()) == norm)
+            })
+        })
+        .cloned()
+        .collect()
+}
+
+/// Search **within** a concept (Table 1, Concept→Result): rank only the
+/// documents associated with `record` (its profile pages, reviews, mentions,
+/// homepage) against the query.
+pub fn search_within_concept(
+    woc: &WebOfConcepts,
+    record: LrecId,
+    query: &str,
+    k: usize,
+) -> Vec<(String, f64)> {
+    let docs: std::collections::HashSet<&str> = woc
+        .web
+        .docs_of(record)
+        .iter()
+        .map(|(u, _)| u.as_str())
+        .collect();
+    if docs.is_empty() {
+        return Vec::new();
+    }
+    woc.doc_index
+        .search(query, usize::MAX)
+        .into_iter()
+        .filter_map(|h| {
+            let url = woc.doc_url(h.doc);
+            docs.contains(url).then(|| (url.to_string(), h.score))
+        })
+        .take(k)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    fn woc() -> WebOfConcepts {
+        let world = World::generate(WorldConfig {
+            restaurants: 25,
+            cities: 3,
+            cuisines: 3,
+            ..WorldConfig::tiny(302)
+        });
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(22));
+        build(&corpus, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn geo_and_cuisine_promoted_to_constraints() {
+        let q = interpret_query("Italian restaurants in San Jose");
+        assert!(q.scoped.contains(&("cuisine".into(), "italian".into())));
+        assert!(q.scoped.contains(&("city".into(), "san".into())));
+        assert!(q.scoped.contains(&("city".into(), "jose".into())));
+        assert!(!q.terms.contains(&"restaurants".to_string()));
+    }
+
+    #[test]
+    fn concept_search_returns_typed_records() {
+        let woc = woc();
+        let results = concept_search(&woc, "is:restaurant Italian San Jose", 10);
+        for r in &results {
+            assert_eq!(r.concept, "restaurant");
+            assert!(!r.name.is_empty());
+        }
+    }
+
+    #[test]
+    fn heterogeneous_results_without_concept_filter() {
+        let woc = woc();
+        let results = concept_search(&woc, "Gochi Cupertino tapas PODS", 20);
+        let concepts: std::collections::HashSet<&str> =
+            results.iter().map(|r| r.concept.as_str()).collect();
+        assert!(!results.is_empty());
+        // Free-text search over the heterogeneous record collection may pull
+        // several concepts; at minimum it returns results and they carry
+        // concept labels.
+        assert!(concepts.iter().all(|c| !c.is_empty()));
+    }
+
+    #[test]
+    fn refine_filters_in_place() {
+        let woc = woc();
+        let all = concept_search(&woc, "is:restaurant san jose", 50);
+        if all.is_empty() {
+            return; // coverage may miss; other tests assert non-emptiness
+        }
+        let refined = refine(&woc, &all, "cuisine", "Italian");
+        for r in &refined {
+            let rec = woc.store.latest(r.id).unwrap();
+            assert_eq!(rec.best_string("cuisine").as_deref(), Some("Italian"));
+        }
+        assert!(refined.len() <= all.len());
+    }
+
+    #[test]
+    fn search_within_concept_restricts_to_associated_docs() {
+        let woc = woc();
+        let hits = woc.record_index.query("gochi", 1, |n| woc.registry.id_of(n));
+        let gochi = hits[0].id;
+        let within = search_within_concept(&woc, gochi, "menu", 10);
+        let all_docs: std::collections::HashSet<&str> = woc
+            .web
+            .docs_of(gochi)
+            .iter()
+            .map(|(u, _)| u.as_str())
+            .collect();
+        for (url, _) in &within {
+            assert!(all_docs.contains(url.as_str()), "{url} not associated");
+        }
+        // Unknown record yields nothing.
+        assert!(search_within_concept(&woc, woc_lrec::LrecId(99999), "menu", 10).is_empty());
+    }
+}

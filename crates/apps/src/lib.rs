@@ -1,0 +1,46 @@
+//! # woc-apps — applications over the web of concepts (paper §5)
+//!
+//! Every application family the paper describes:
+//!
+//! * [`augment`] — augmented web search (§5.1): the Figure 1 concept box
+//!   trigger + record-aware document-ranking features;
+//! * [`mod@concept_page`] — concept pages (§5.4's second page type): the full
+//!   aggregate view of one record — attributes with confidence, linked
+//!   records, sources, mentions, recommendations;
+//! * [`mod@concept_search`] — concept search (§5.2): typed record retrieval with
+//!   geographic/cuisine query parsing, refinements, and search-within-concept;
+//! * [`recommend`] — concept recommendation (§5.4): Alternatives (with
+//!   suppression of less-preferable options) vs Augmentations (complementary
+//!   items), plus session-derived co-engagement collaborative filtering;
+//! * [`metrics`] — holistic concept-aware result-set metrics (§7.4);
+//! * [`semantic`] — semantic linking pivots over the record↔article
+//!   bipartite graph and TF-IDF+mention related-pages (§5.4);
+//! * [`session`] — session optimization (§5.3): historical + session user
+//!   models and personalized content matching (the Birks disambiguation);
+//! * [`ads`] — advertising (§5.5): concept-targeted matching and a
+//!   second-price marketplace with attribute-constrained concept bids;
+//! * [`transitions`] — the Table 1 engine wiring all nine page-type
+//!   transition technologies together.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ads;
+pub mod augment;
+pub mod concept_page;
+pub mod concept_search;
+pub mod metrics;
+pub mod recommend;
+pub mod semantic;
+pub mod session;
+pub mod transitions;
+
+pub use ads::{ads_for_user, eligible, run_auction, Ad, AdContext, AuctionResult, Marketplace, Target};
+pub use augment::{augmented_search, build_concept_box, trigger_concept_box, AugmentedResults, ConceptBox, DocFeature, RankedDoc};
+pub use concept_page::{concept_page, AttributeLine, ConceptPage, LinkedRecord};
+pub use concept_search::{concept_search, interpret_query, refine, search_within_concept, ConceptResult};
+pub use metrics::{holistic_score, result_set_stats, ResultSetStats};
+pub use recommend::{alternatives, augmentations, CoEngagement, Recommendation};
+pub use semantic::{articles_for, pivot_chain, records_in, RelatedPages};
+pub use session::{personalized_search, rank_content, Interaction, UserModel};
+pub use transitions::{PageType, TransitionEngine, TransitionLink};

@@ -1,0 +1,164 @@
+//! Concept-aware result-set metrics (paper §7.4).
+//!
+//! "The traditional relevance notions developed in information retrieval may
+//! not be appropriate for concept search. The challenge is to take a holistic
+//! view of the result set, with concepts in mind." These metrics look at a
+//! result *set*, not at items in isolation: instance redundancy (two results
+//! that are really the same entity), concept diversity, and attribute
+//! coverage (does the set span cities/cuisines or collapse onto one?).
+
+use std::collections::HashSet;
+
+use woc_core::WebOfConcepts;
+use woc_lrec::LrecId;
+use woc_textkit::metrics::name_similarity;
+
+/// Holistic statistics of one result set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSetStats {
+    /// Results examined.
+    pub len: usize,
+    /// Distinct records after merge resolution.
+    pub distinct_records: usize,
+    /// Distinct concepts represented.
+    pub distinct_concepts: usize,
+    /// Result pairs that look like the same instance (near-identical names)
+    /// even though their ids differ — residual duplicates the user sees.
+    pub near_duplicate_pairs: usize,
+    /// Distinct values of `diversity_attr` present.
+    pub attribute_diversity: usize,
+}
+
+impl ResultSetStats {
+    /// Redundancy in `\[0, 1\]`: fraction of results that add no new instance.
+    pub fn redundancy(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        1.0 - self.distinct_records as f64 / self.len as f64
+    }
+}
+
+/// Compute holistic stats for a result list. `diversity_attr` names the
+/// attribute whose spread measures usefulness for set-seeking intents
+/// (e.g. `city` for "best bakeries near me", `cuisine` for dining sets).
+pub fn result_set_stats(
+    woc: &WebOfConcepts,
+    results: &[LrecId],
+    diversity_attr: &str,
+) -> ResultSetStats {
+    let resolved: Vec<LrecId> = results
+        .iter()
+        .filter_map(|&id| woc.store.resolve(id))
+        .collect();
+    let distinct_records: HashSet<LrecId> = resolved.iter().copied().collect();
+    let distinct_concepts: HashSet<_> = resolved
+        .iter()
+        .filter_map(|&id| woc.store.latest(id).map(|r| r.concept()))
+        .collect();
+    let names: Vec<String> = resolved
+        .iter()
+        .filter_map(|&id| woc.store.latest(id))
+        .filter_map(|r| r.best_string("name").or_else(|| r.best_string("title")))
+        .collect();
+    let mut near_duplicate_pairs = 0usize;
+    for i in 0..names.len() {
+        for j in (i + 1)..names.len() {
+            if resolved.get(i) != resolved.get(j) && name_similarity(&names[i], &names[j]) > 0.9 {
+                near_duplicate_pairs += 1;
+            }
+        }
+    }
+    let attribute_diversity: HashSet<String> = resolved
+        .iter()
+        .filter_map(|&id| woc.store.latest(id))
+        .filter_map(|r| r.best_string(diversity_attr))
+        .collect();
+    ResultSetStats {
+        len: results.len(),
+        distinct_records: distinct_records.len(),
+        distinct_concepts: distinct_concepts.len(),
+        near_duplicate_pairs,
+        attribute_diversity: attribute_diversity.len(),
+    }
+}
+
+/// A single holistic score combining instance novelty and attribute spread —
+/// one concrete proposal for the §7.4 "aggregate notion of user satisfaction
+/// with respect to the concepts". In `\[0, 1\]`.
+pub fn holistic_score(stats: &ResultSetStats) -> f64 {
+    if stats.len == 0 {
+        return 0.0;
+    }
+    let novelty = stats.distinct_records as f64 / stats.len as f64;
+    let spread = stats.attribute_diversity as f64 / stats.distinct_records.max(1) as f64;
+    let dup_penalty = 1.0 / (1.0 + stats.near_duplicate_pairs as f64);
+    (novelty * (0.5 + 0.5 * spread) * dup_penalty).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    fn woc() -> WebOfConcepts {
+        let world = World::generate(WorldConfig {
+            restaurants: 20,
+            cities: 3,
+            cuisines: 3,
+            ..WorldConfig::tiny(321)
+        });
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(62));
+        build(&corpus, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn duplicates_raise_redundancy() {
+        let woc = woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        let a = restaurants[0].id();
+        let b = restaurants[1].id();
+        let clean = result_set_stats(&woc, &[a, b], "city");
+        let dup = result_set_stats(&woc, &[a, a, a, b], "city");
+        assert_eq!(clean.redundancy(), 0.0);
+        assert!(dup.redundancy() > 0.4);
+        assert!(holistic_score(&clean) > holistic_score(&dup));
+    }
+
+    #[test]
+    fn diversity_counted_on_requested_attribute() {
+        let woc = woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        // Same-city set vs mixed-city set.
+        let city0 = restaurants[0].best_string("city").unwrap();
+        let same: Vec<LrecId> = restaurants
+            .iter()
+            .filter(|r| r.best_string("city").as_deref() == Some(&city0))
+            .take(3)
+            .map(|r| r.id())
+            .collect();
+        let mixed: Vec<LrecId> = restaurants.iter().take(6).map(|r| r.id()).collect();
+        let s_same = result_set_stats(&woc, &same, "city");
+        let s_mixed = result_set_stats(&woc, &mixed, "city");
+        assert_eq!(s_same.attribute_diversity, 1);
+        assert!(s_mixed.attribute_diversity >= s_same.attribute_diversity);
+    }
+
+    #[test]
+    fn cross_concept_sets_counted() {
+        let woc = woc();
+        let r = woc.records_of(woc.concepts.restaurant)[0].id();
+        let p = woc.records_of(woc.concepts.product)[0].id();
+        let stats = result_set_stats(&woc, &[r, p], "city");
+        assert_eq!(stats.distinct_concepts, 2);
+    }
+
+    #[test]
+    fn empty_set() {
+        let woc = woc();
+        let stats = result_set_stats(&woc, &[], "city");
+        assert_eq!(stats.redundancy(), 0.0);
+        assert_eq!(holistic_score(&stats), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Semantic linking and related pages (paper §5.4, Table 1).
+//!
+//! "One should imagine that this capability produces a bipartite graph
+//! linking concept records to articles, and allowing users to pivot back and
+//! forth between the two." The bipartite graph itself is built by the
+//! pipeline (mention detection); this module provides the pivot operations
+//! and the Article→Article "related pages" ranking, "typically based on
+//! document similarity functions, perhaps employing concept references as
+//! part of the feature vector".
+
+use woc_core::{AssocKind, WebOfConcepts};
+use woc_lrec::LrecId;
+use woc_textkit::tokenize::tokenize_words;
+use woc_textkit::{CorpusStats, SparseVector, TfIdf};
+
+/// Articles (documents) that mention a record — Concept→Article pivot.
+pub fn articles_for(woc: &WebOfConcepts, record: LrecId) -> Vec<String> {
+    woc.web
+        .docs_of_kind(record, AssocKind::Mentions)
+        .into_iter()
+        .map(str::to_string)
+        .collect()
+}
+
+/// Records mentioned in a document — Article→Concept pivot.
+pub fn records_in(woc: &WebOfConcepts, url: &str) -> Vec<LrecId> {
+    woc.web
+        .records_of(url)
+        .iter()
+        .filter(|(_, k)| *k == AssocKind::Mentions)
+        .map(|(r, _)| *r)
+        .collect()
+}
+
+/// One pivot chain: from a record, through an article mentioning it, to the
+/// other records that article mentions (the Deadwood → article → Timothy
+/// Olyphant walk of §5.3).
+pub fn pivot_chain(woc: &WebOfConcepts, start: LrecId) -> Vec<(String, Vec<LrecId>)> {
+    articles_for(woc, start)
+        .into_iter()
+        .map(|url| {
+            let others: Vec<LrecId> = records_in(woc, &url)
+                .into_iter()
+                .filter(|&r| r != start)
+                .collect();
+            (url, others)
+        })
+        .collect()
+}
+
+/// Related-pages engine: TF-IDF document similarity plus a shared-mention
+/// boost (concept references as ranking features).
+#[derive(Debug)]
+pub struct RelatedPages {
+    urls: Vec<String>,
+    vectors: Vec<SparseVector>,
+    stats: CorpusStats,
+    mentions: Vec<Vec<LrecId>>,
+    /// Weight of one shared concept mention relative to cosine similarity.
+    pub mention_weight: f64,
+}
+
+impl RelatedPages {
+    /// Build over a set of documents (url, text) with their mention lists.
+    pub fn build(woc: &WebOfConcepts, urls: &[String], texts: &[String]) -> RelatedPages {
+        assert_eq!(urls.len(), texts.len());
+        let mut stats = CorpusStats::new();
+        let token_lists: Vec<Vec<String>> = texts.iter().map(|t| tokenize_words(t)).collect();
+        for toks in &token_lists {
+            stats.add_document(toks);
+        }
+        let vectors = {
+            let v = TfIdf::new(&stats);
+            token_lists.iter().map(|t| v.vectorize(t)).collect()
+        };
+        let mentions = urls.iter().map(|u| records_in(woc, u)).collect();
+        RelatedPages {
+            urls: urls.to_vec(),
+            vectors,
+            stats,
+            mentions,
+            mention_weight: 0.3,
+        }
+    }
+
+    /// Top-k pages related to the page at `index`.
+    pub fn related(&self, index: usize, k: usize) -> Vec<(String, f64)> {
+        let _ = &self.stats;
+        let q = &self.vectors[index];
+        let q_mentions: std::collections::HashSet<LrecId> =
+            self.mentions[index].iter().copied().collect();
+        let mut scored: Vec<(usize, f64)> = (0..self.urls.len())
+            .filter(|&i| i != index)
+            .map(|i| {
+                let cosine = q.cosine(&self.vectors[i]);
+                let shared = self.mentions[i]
+                    .iter()
+                    .filter(|m| q_mentions.contains(m))
+                    .count();
+                (i, cosine + self.mention_weight * shared as f64)
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (self.urls[i].clone(), s))
+            .collect()
+    }
+
+    /// Index of a URL in this engine.
+    pub fn index_of(&self, url: &str) -> Option<usize> {
+        self.urls.iter().position(|u| u == url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, PageKind, World, WorldConfig};
+
+    fn setup() -> (woc_webgen::WebCorpus, WebOfConcepts) {
+        let world = World::generate(WorldConfig::tiny(304));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(24));
+        let woc = build(&corpus, &PipelineConfig::default());
+        (corpus, woc)
+    }
+
+    #[test]
+    fn bipartite_pivots_are_consistent() {
+        let (corpus, woc) = setup();
+        let mut found = 0;
+        for page in corpus.pages().iter().filter(|p| p.truth.kind == PageKind::Article) {
+            for rec in records_in(&woc, &page.url) {
+                assert!(
+                    articles_for(&woc, rec).contains(&page.url),
+                    "pivot must be symmetric"
+                );
+                found += 1;
+            }
+        }
+        assert!(found > 0, "some article mentions expected");
+    }
+
+    #[test]
+    fn pivot_chain_walks_both_directions() {
+        let (corpus, woc) = setup();
+        // Find a record mentioned anywhere.
+        let rec = corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::Article)
+            .find_map(|p| records_in(&woc, &p.url).first().copied());
+        let Some(rec) = rec else { return };
+        let chain = pivot_chain(&woc, rec);
+        assert!(!chain.is_empty());
+    }
+
+    #[test]
+    fn related_pages_rank_shared_topics() {
+        let (corpus, woc) = setup();
+        let articles: Vec<&woc_webgen::Page> = corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::Article)
+            .collect();
+        let urls: Vec<String> = articles.iter().map(|p| p.url.clone()).collect();
+        let texts: Vec<String> = articles.iter().map(|p| p.text()).collect();
+        let engine = RelatedPages::build(&woc, &urls, &texts);
+        let related = engine.related(0, 3);
+        assert!(related.len() <= 3);
+        for (url, score) in &related {
+            assert_ne!(url, &urls[0]);
+            assert!(*score >= 0.0);
+        }
+    }
+}

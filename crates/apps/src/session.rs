@@ -1,0 +1,398 @@
+//! Session optimization: user modeling and content matching (paper §5.3).
+//!
+//! "Two key areas of focus are *historical modeling*, which captures the
+//! long-standing predilections of the user … and *session modeling*, which
+//! models the current (short-term) interest of the user." Both feed on "the
+//! user's past interactions with records from a web of concepts".
+//!
+//! The showcase behaviour is the paper's Birks example: a user who has been
+//! "searching recently for restaurants in zipcode 95054" should see Birk's
+//! Steakhouse for the ambiguous query `birks`, while a cold user sees the
+//! jeweler — disambiguation by session context.
+
+use std::collections::HashMap;
+
+use woc_core::WebOfConcepts;
+use woc_lrec::{ConceptId, LrecId};
+use woc_textkit::tokenize::normalize;
+
+/// One interaction event.
+#[derive(Debug, Clone)]
+pub enum Interaction {
+    /// The user viewed a record (concept page, concept box).
+    ViewedRecord(LrecId),
+    /// The user issued a search query.
+    Queried(String),
+}
+
+/// A user model with decayed long-term interests and a short-term session.
+#[derive(Debug, Clone, Default)]
+pub struct UserModel {
+    /// Long-term interest mass per concept.
+    historical_concepts: HashMap<ConceptId, f64>,
+    /// Long-term interest mass per attribute value (city, cuisine, …).
+    historical_values: HashMap<String, f64>,
+    /// Recent interactions (most recent last).
+    session: Vec<Interaction>,
+    /// Event counter (logical time for inter-arrival statistics).
+    clock: u64,
+    /// Per-concept observation times, for inter-arrival estimation
+    /// (§5.3: "this user consumes information referencing the concept jai
+    /// alai with an average weekly inter-arrival time").
+    concept_arrivals: HashMap<ConceptId, Vec<u64>>,
+    /// Per-event decay applied to historical masses.
+    pub decay: f64,
+    /// Session window length.
+    pub session_window: usize,
+}
+
+impl UserModel {
+    /// Fresh user.
+    pub fn new() -> Self {
+        Self {
+            decay: 0.98,
+            session_window: 10,
+            ..Self::default()
+        }
+    }
+
+    /// Observe an interaction, updating both models.
+    pub fn observe(&mut self, woc: &WebOfConcepts, event: Interaction) {
+        for v in self.historical_concepts.values_mut() {
+            *v *= self.decay;
+        }
+        for v in self.historical_values.values_mut() {
+            *v *= self.decay;
+        }
+        self.clock += 1;
+        if let Interaction::ViewedRecord(id) = &event {
+            if let Some(rec) = woc.store.latest(*id) {
+                self.concept_arrivals
+                    .entry(rec.concept())
+                    .or_default()
+                    .push(self.clock);
+                *self.historical_concepts.entry(rec.concept()).or_insert(0.0) += 1.0;
+                for key in ["city", "cuisine", "category", "zip", "venue", "brand"] {
+                    if let Some(v) = rec.best_string(key) {
+                        *self
+                            .historical_values
+                            .entry(format!("{key}:{}", normalize(&v)))
+                            .or_insert(0.0) += 1.0;
+                    }
+                }
+            }
+        }
+        self.session.push(event);
+        if self.session.len() > self.session_window {
+            self.session.remove(0);
+        }
+    }
+
+    /// Start a new task: clear the session, keep history.
+    pub fn end_session(&mut self) {
+        self.session.clear();
+    }
+
+    /// Long-term interest in a concept.
+    pub fn concept_interest(&self, concept: ConceptId) -> f64 {
+        self.historical_concepts.get(&concept).copied().unwrap_or(0.0)
+    }
+
+    /// Mean inter-arrival gap (in interaction counts) between consumptions
+    /// of a concept; `None` with fewer than two observations. Lower = more
+    /// habitual — the historical-modeling signal of §5.3.
+    pub fn concept_inter_arrival(&self, concept: ConceptId) -> Option<f64> {
+        let times = self.concept_arrivals.get(&concept)?;
+        if times.len() < 2 {
+            return None;
+        }
+        let gaps: f64 = times.windows(2).map(|w| (w[1] - w[0]) as f64).sum();
+        Some(gaps / (times.len() - 1) as f64)
+    }
+
+    /// How strongly the *session* supports a record: shared attribute values
+    /// with recently viewed records plus query-term overlap.
+    pub fn session_affinity(&self, woc: &WebOfConcepts, candidate: LrecId) -> f64 {
+        let Some(cand) = woc.store.latest(candidate) else {
+            return 0.0;
+        };
+        let mut affinity = 0.0;
+        for (age, event) in self.session.iter().rev().enumerate() {
+            let recency = 1.0 / (1.0 + age as f64);
+            match event {
+                Interaction::ViewedRecord(id) => {
+                    if let Some(seen) = woc.store.latest(*id) {
+                        if seen.concept() == cand.concept() {
+                            affinity += 0.5 * recency;
+                        }
+                        for key in ["city", "cuisine", "category", "zip"] {
+                            if let (Some(a), Some(b)) =
+                                (seen.best_string(key), cand.best_string(key))
+                            {
+                                if normalize(&a) == normalize(&b) {
+                                    affinity += recency;
+                                }
+                            }
+                        }
+                    }
+                }
+                Interaction::Queried(q) => {
+                    let qn = normalize(q);
+                    for key in ["city", "cuisine", "category"] {
+                        if let Some(v) = cand.best_string(key) {
+                            if !v.is_empty() && qn.contains(&normalize(&v)) {
+                                affinity += 0.5 * recency;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        affinity
+    }
+
+    /// Score a record for this user: historical concept interest + session
+    /// affinity — the "matching content to a particular user in a particular
+    /// context" of §5.3.
+    pub fn score_record(&self, woc: &WebOfConcepts, candidate: LrecId) -> f64 {
+        let concept = woc
+            .store
+            .latest(candidate)
+            .map(|r| r.concept())
+            .unwrap_or_default();
+        0.3 * self.concept_interest(concept).ln_1p() + self.session_affinity(woc, candidate)
+    }
+}
+
+/// Rank content (articles/pages) for a user by the records it mentions —
+/// §5.3 "Understanding Content": "An article about penetration of jai alai
+/// into the western US where the user is employed might be highly relevant
+/// to this user, but deeply uninteresting to other users." Returns
+/// `(url, score)` sorted best-first; pages mentioning nothing the user cares
+/// about score zero.
+pub fn rank_content(
+    woc: &WebOfConcepts,
+    user: &UserModel,
+    urls: &[String],
+) -> Vec<(String, f64)> {
+    let mut scored: Vec<(String, f64)> = urls
+        .iter()
+        .map(|url| {
+            let score: f64 = crate::semantic::records_in(woc, url)
+                .into_iter()
+                .map(|rec| user.score_record(woc, rec))
+                .sum();
+            (url.clone(), score)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored
+}
+
+/// Personalized record retrieval: fold the user model into retrieval scores.
+pub fn personalized_search(
+    woc: &WebOfConcepts,
+    user: &UserModel,
+    query: &str,
+    k: usize,
+) -> Vec<(LrecId, f64)> {
+    let hits = woc.record_index.query(query, k * 4 + 8, |n| woc.registry.id_of(n));
+    let mut scored: Vec<(LrecId, f64)> = hits
+        .into_iter()
+        .map(|h| {
+            let personal = user.score_record(woc, h.id);
+            (h.id, h.score + 2.0 * personal)
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.truncate(k);
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    fn woc() -> WebOfConcepts {
+        let world = World::generate(WorldConfig {
+            restaurants: 25,
+            cities: 3,
+            cuisines: 3,
+            ..WorldConfig::tiny(305)
+        });
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(25));
+        build(&corpus, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn historical_interest_accumulates_and_decays() {
+        let woc = woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        let mut user = UserModel::new();
+        user.observe(&woc, Interaction::ViewedRecord(restaurants[0].id()));
+        let after_one = user.concept_interest(woc.concepts.restaurant);
+        assert!(after_one > 0.0);
+        for _ in 0..20 {
+            user.observe(&woc, Interaction::Queried("unrelated".into()));
+        }
+        assert!(
+            user.concept_interest(woc.concepts.restaurant) < after_one,
+            "interest decays without reinforcement"
+        );
+    }
+
+    #[test]
+    fn session_context_disambiguates() {
+        // The paper's Birks scenario, transposed: after viewing restaurants
+        // in one city, same-city restaurants outscore others.
+        let woc = woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        let anchor = restaurants
+            .iter()
+            .find(|r| r.best_string("city").is_some())
+            .expect("a restaurant with a city");
+        let city = anchor.best_string("city").unwrap();
+        let same_city = restaurants
+            .iter()
+            .find(|r| r.id() != anchor.id() && r.best_string("city").as_deref() == Some(&city));
+        let other_city = restaurants
+            .iter()
+            .find(|r| r.best_string("city").is_some_and(|c| c != city));
+        let (Some(same), Some(other)) = (same_city, other_city) else {
+            return;
+        };
+        let mut user = UserModel::new();
+        user.observe(&woc, Interaction::ViewedRecord(anchor.id()));
+        let s_same = user.score_record(&woc, same.id());
+        let s_other = user.score_record(&woc, other.id());
+        assert!(
+            s_same > s_other,
+            "session context must prefer same-city: {s_same} vs {s_other}"
+        );
+    }
+
+    #[test]
+    fn cold_user_scores_zero() {
+        let woc = woc();
+        let user = UserModel::new();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        assert_eq!(user.score_record(&woc, restaurants[0].id()), 0.0);
+    }
+
+    #[test]
+    fn end_session_clears_short_term_only() {
+        let woc = woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        let mut user = UserModel::new();
+        user.observe(&woc, Interaction::ViewedRecord(restaurants[0].id()));
+        user.end_session();
+        assert_eq!(user.session_affinity(&woc, restaurants[1].id()), 0.0);
+        assert!(user.concept_interest(woc.concepts.restaurant) > 0.0);
+    }
+
+    #[test]
+    fn personalized_search_reorders() {
+        let woc = woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        let anchor = restaurants
+            .iter()
+            .find(|r| r.best_string("cuisine").is_some())
+            .unwrap();
+        let cuisine = anchor.best_string("cuisine").unwrap();
+        let mut user = UserModel::new();
+        for _ in 0..3 {
+            user.observe(&woc, Interaction::ViewedRecord(anchor.id()));
+        }
+        let results = personalized_search(&woc, &user, "is:restaurant house", 10);
+        // Scores must be finite and sorted.
+        for w in results.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        let _ = cuisine;
+    }
+
+    #[test]
+    fn inter_arrival_tracks_habit() {
+        let woc = woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        let mut user = UserModel::new();
+        assert!(user.concept_inter_arrival(woc.concepts.restaurant).is_none());
+        // A habitual restaurant consumer: every other event.
+        for i in 0..10 {
+            if i % 2 == 0 {
+                user.observe(&woc, Interaction::ViewedRecord(restaurants[i % restaurants.len()].id()));
+            } else {
+                user.observe(&woc, Interaction::Queried("noise".into()));
+            }
+        }
+        let gap = user.concept_inter_arrival(woc.concepts.restaurant).unwrap();
+        assert!((gap - 2.0).abs() < 1e-9, "every-other-event habit, got {gap}");
+        assert!(user.concept_inter_arrival(woc.concepts.product).is_none());
+    }
+
+    #[test]
+    fn content_ranking_follows_user_interest() {
+        // The §5.3 front-page scenario: a user who has engaged with a
+        // restaurant should see articles mentioning it ranked above articles
+        // about unrelated entities.
+        let world = World::generate(WorldConfig::tiny(331));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(63));
+        let woc = build(&corpus, &PipelineConfig::default());
+        // Find an article with mentions and the record it mentions.
+        let mentioned = corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == woc_webgen::PageKind::Article)
+            .find_map(|p| {
+                crate::semantic::records_in(&woc, &p.url)
+                    .first()
+                    .copied()
+                    .map(|r| (r, p.url.clone()))
+            });
+        let Some((rec, url)) = mentioned else {
+            panic!("corpus has article mentions");
+        };
+        let urls: Vec<String> = corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == woc_webgen::PageKind::Article)
+            .map(|p| p.url.clone())
+            .collect();
+        let mut user = UserModel::new();
+        for _ in 0..3 {
+            user.observe(&woc, Interaction::ViewedRecord(rec));
+        }
+        let ranked = rank_content(&woc, &user, &urls);
+        let pos = ranked.iter().position(|(u, _)| *u == url).unwrap();
+        assert!(
+            pos < urls.len() / 2,
+            "article mentioning the engaged record ranks in the top half (pos {pos} of {})",
+            urls.len()
+        );
+        assert!(ranked[pos].1 > 0.0);
+        // A cold user scores everything flat (ties by URL).
+        let cold = UserModel::new();
+        let flat = rank_content(&woc, &cold, &urls);
+        assert!(flat.iter().all(|(_, s)| *s == 0.0));
+    }
+
+    #[test]
+    fn session_window_bounded() {
+        let woc = woc();
+        let mut user = UserModel::new();
+        for i in 0..50 {
+            user.observe(&woc, Interaction::Queried(format!("q{i}")));
+        }
+        assert!(user.session.len() <= user.session_window);
+    }
+}

@@ -1,0 +1,280 @@
+//! The Table 1 transition engine: "Technologies for Interconnecting
+//! Different Page Types" (paper §5.4).
+//!
+//! | p ⇓ q ⇒  | Result              | Concept                | Article          |
+//! |----------|---------------------|------------------------|------------------|
+//! | Result   | Assistance          | Concept search         | Vanilla search   |
+//! | Concept  | Search w/in concept | Concept recommendation | Semantic linking |
+//! | Article  | –                   | Semantic linking       | Related pages    |
+//!
+//! Each cell is one method on [`TransitionEngine`], all implemented on top
+//! of the web of concepts, so the full matrix is exercised by experiment T1.
+
+use woc_core::WebOfConcepts;
+use woc_lrec::LrecId;
+
+use crate::concept_search::{concept_search, search_within_concept, ConceptResult};
+use crate::recommend::{alternatives, augmentations, CoEngagement, Recommendation};
+use crate::semantic::{articles_for, records_in, RelatedPages};
+
+/// The three page types of §5.4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageType {
+    /// A results listing.
+    Result,
+    /// A concept page (one record).
+    Concept,
+    /// An authored article.
+    Article,
+}
+
+/// A link produced by a transition.
+#[derive(Debug, Clone)]
+pub struct TransitionLink {
+    /// Destination page type.
+    pub to: PageType,
+    /// Display text.
+    pub text: String,
+    /// Destination: a URL, a record id rendered as text, or a query.
+    pub destination: String,
+}
+
+/// The engine wrapping a web of concepts plus optional engagement data.
+pub struct TransitionEngine<'a> {
+    woc: &'a WebOfConcepts,
+    co: Option<&'a CoEngagement>,
+}
+
+impl<'a> TransitionEngine<'a> {
+    /// Create an engine.
+    pub fn new(woc: &'a WebOfConcepts, co: Option<&'a CoEngagement>) -> Self {
+        Self { woc, co }
+    }
+
+    /// Result→Result: **Assistance** — query suggestions that reshape the
+    /// result set, derived from attribute values of the top matching records.
+    pub fn assistance(&self, query: &str, k: usize) -> Vec<TransitionLink> {
+        let results = concept_search(self.woc, query, 10);
+        // Broad queries ("restaurants") interpret to no constraints at all;
+        // fall back to sampling records so assistance still has material.
+        let ids: Vec<woc_lrec::LrecId> = if results.is_empty() {
+            self.woc.store.live_ids().into_iter().take(20).collect()
+        } else {
+            results.iter().map(|r| r.id).collect()
+        };
+        let mut suggestions: Vec<String> = Vec::new();
+        for id in &ids {
+            let Some(rec) = self.woc.store.latest(*id) else {
+                continue;
+            };
+            for key in ["cuisine", "city", "category", "venue"] {
+                if let Some(v) = rec.best_string(key) {
+                    let s = format!("{query} {v}");
+                    if !suggestions.contains(&s)
+                        && !query.to_lowercase().contains(&v.to_lowercase())
+                    {
+                        suggestions.push(s);
+                    }
+                }
+            }
+        }
+        suggestions
+            .into_iter()
+            .take(k)
+            .map(|q| TransitionLink {
+                to: PageType::Result,
+                text: format!("try: {q}"),
+                destination: q,
+            })
+            .collect()
+    }
+
+    /// Result→Concept: **Concept search** — record links for a query.
+    pub fn concept_links(&self, query: &str, k: usize) -> Vec<ConceptResult> {
+        concept_search(self.woc, query, k)
+    }
+
+    /// Result→Article: **Vanilla search** — classic ranked document links.
+    pub fn vanilla_search(&self, query: &str, k: usize) -> Vec<TransitionLink> {
+        self.woc
+            .doc_index
+            .search(query, k)
+            .into_iter()
+            .map(|h| TransitionLink {
+                to: PageType::Article,
+                text: self.woc.doc_titles[h.doc.0 as usize].clone(),
+                destination: self.woc.doc_url(h.doc).to_string(),
+            })
+            .collect()
+    }
+
+    /// Concept→Result: **Search within the concept** — documents about this
+    /// record matching the query.
+    pub fn search_within(&self, record: LrecId, query: &str, k: usize) -> Vec<TransitionLink> {
+        search_within_concept(self.woc, record, query, k)
+            .into_iter()
+            .map(|(url, _)| TransitionLink {
+                to: PageType::Result,
+                text: format!("within-concept hit: {url}"),
+                destination: url,
+            })
+            .collect()
+    }
+
+    /// Concept→Concept: **Concept recommendation** — alternatives and
+    /// augmentations, both flavors (§5.4 insists they differ).
+    pub fn recommendations(&self, record: LrecId, k: usize) -> (Vec<Recommendation>, Vec<Recommendation>) {
+        (
+            alternatives(self.woc, record, k),
+            augmentations(self.woc, record, self.co, k),
+        )
+    }
+
+    /// Concept→Article: **Semantic linking** — articles mentioning the record.
+    pub fn semantic_links_from_concept(&self, record: LrecId, k: usize) -> Vec<TransitionLink> {
+        articles_for(self.woc, record)
+            .into_iter()
+            .take(k)
+            .map(|url| TransitionLink {
+                to: PageType::Article,
+                text: format!("mentioned in {url}"),
+                destination: url,
+            })
+            .collect()
+    }
+
+    /// Article→Concept: **Semantic linking** (reverse pivot) — records
+    /// mentioned by the article.
+    pub fn semantic_links_from_article(&self, url: &str, k: usize) -> Vec<TransitionLink> {
+        records_in(self.woc, url)
+            .into_iter()
+            .take(k)
+            .map(|id| {
+                let name = self
+                    .woc
+                    .store
+                    .latest(id)
+                    .and_then(|r| r.best_string("name"))
+                    .unwrap_or_else(|| id.to_string());
+                TransitionLink {
+                    to: PageType::Concept,
+                    text: name,
+                    destination: id.to_string(),
+                }
+            })
+            .collect()
+    }
+
+    /// Article→Article: **Related pages** via a prebuilt engine.
+    pub fn related_pages(
+        &self,
+        engine: &RelatedPages,
+        url: &str,
+        k: usize,
+    ) -> Vec<TransitionLink> {
+        let Some(idx) = engine.index_of(url) else {
+            return Vec::new();
+        };
+        engine
+            .related(idx, k)
+            .into_iter()
+            .map(|(u, _)| TransitionLink {
+                to: PageType::Article,
+                text: format!("related: {u}"),
+                destination: u,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, PageKind, World, WorldConfig};
+
+    fn setup() -> (woc_webgen::WebCorpus, WebOfConcepts) {
+        let world = World::generate(WorldConfig {
+            restaurants: 20,
+            cities: 3,
+            cuisines: 3,
+            ..WorldConfig::tiny(307)
+        });
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(27));
+        let woc = build(&corpus, &PipelineConfig::default());
+        (corpus, woc)
+    }
+
+    #[test]
+    fn all_nine_cells_produce_output() {
+        let (corpus, woc) = setup();
+        let engine = TransitionEngine::new(&woc, None);
+
+        // Row 1: Result → {Result, Concept, Article}.
+        assert!(!engine.assistance("restaurants", 5).is_empty(), "assistance");
+        assert!(!engine.concept_links("gochi", 5).is_empty(), "concept search");
+        assert!(!engine.vanilla_search("menu", 5).is_empty(), "vanilla search");
+
+        // Row 2: Concept → {Result, Concept, Article}.
+        let gochi = engine.concept_links("gochi cupertino", 1)[0].id;
+        assert!(
+            !engine.search_within(gochi, "reviews menu", 5).is_empty(),
+            "search within concept"
+        );
+        let (alts, _augs) = engine.recommendations(gochi, 5);
+        assert!(!alts.is_empty(), "alternatives");
+        // Semantic links from a mentioned record.
+        let mentioned = corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::Article)
+            .find_map(|p| {
+                crate::semantic::records_in(&woc, &p.url)
+                    .first()
+                    .copied()
+                    .map(|r| (r, p.url.clone()))
+            });
+        let Some((rec, article_url)) = mentioned else {
+            panic!("no mentions in corpus");
+        };
+        assert!(
+            !engine.semantic_links_from_concept(rec, 5).is_empty(),
+            "concept→article"
+        );
+
+        // Row 3: Article → {Concept, Article}.
+        assert!(
+            !engine.semantic_links_from_article(&article_url, 5).is_empty(),
+            "article→concept"
+        );
+        let articles: Vec<&woc_webgen::Page> = corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::Article)
+            .collect();
+        let urls: Vec<String> = articles.iter().map(|p| p.url.clone()).collect();
+        let texts: Vec<String> = articles.iter().map(|p| p.text()).collect();
+        let rp = RelatedPages::build(&woc, &urls, &texts);
+        assert!(
+            !engine.related_pages(&rp, &urls[0], 3).is_empty(),
+            "related pages"
+        );
+    }
+
+    #[test]
+    fn assistance_suggestions_extend_query() {
+        let (_, woc) = setup();
+        let engine = TransitionEngine::new(&woc, None);
+        for link in engine.assistance("restaurants", 5) {
+            assert!(link.destination.starts_with("restaurants "));
+            assert_eq!(link.to, PageType::Result);
+        }
+    }
+
+    #[test]
+    fn unknown_article_yields_no_links() {
+        let (_, woc) = setup();
+        let engine = TransitionEngine::new(&woc, None);
+        assert!(engine.semantic_links_from_article("http://nope/", 5).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! Microbenches: application-layer query latencies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use woc_apps::{augmented_search, concept_search, TransitionEngine};
+use woc_core::{build, PipelineConfig};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+fn bench_apps(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::tiny(80));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(80));
+    let woc = build(&corpus, &PipelineConfig::default());
+
+    c.bench_function("apps/augmented_search_entity", |b| {
+        b.iter(|| augmented_search(&woc, black_box("gochi cupertino"), 10))
+    });
+    c.bench_function("apps/augmented_search_generic", |b| {
+        b.iter(|| augmented_search(&woc, black_box("best dinner reviews"), 10))
+    });
+    c.bench_function("apps/concept_search_scoped", |b| {
+        b.iter(|| concept_search(&woc, black_box("is:restaurant italian san jose"), 10))
+    });
+    let engine = TransitionEngine::new(&woc, None);
+    let gochi = concept_search(&woc, "gochi", 1)[0].id;
+    c.bench_function("apps/alternatives", |b| {
+        b.iter(|| engine.recommendations(black_box(gochi), 5))
+    });
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

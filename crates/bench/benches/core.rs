@@ -1,0 +1,39 @@
+//! Macrobenches: end-to-end web-of-concepts construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use woc_core::{build, PipelineConfig};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+fn bench_core(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::tiny(79));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(79));
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+    group.bench_function("build_tiny_sequential", |b| {
+        b.iter(|| {
+            build(
+                black_box(&corpus),
+                &PipelineConfig {
+                    parallel: false,
+                    ..PipelineConfig::default()
+                },
+            )
+        })
+    });
+    group.bench_function("build_tiny_parallel", |b| {
+        b.iter(|| build(black_box(&corpus), &PipelineConfig::default()))
+    });
+    group.finish();
+
+    c.bench_function("webgen/generate_tiny_corpus", |b| {
+        b.iter(|| generate_corpus(black_box(&world), &CorpusConfig::tiny(79)))
+    });
+    c.bench_function("webgen/generate_tiny_world", |b| {
+        b.iter(|| World::generate(WorldConfig::tiny(79)))
+    });
+}
+
+criterion_group!(benches, bench_core);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Microbenches: inverted-index build and query throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+fn bench_index(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::tiny(77));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(77));
+    let texts: Vec<String> = corpus.pages().iter().map(|p| p.text()).collect();
+
+    c.bench_function("index/build_corpus", |b| {
+        b.iter(|| {
+            let mut ix = woc_index::InvertedIndex::new();
+            for t in &texts {
+                ix.add_text(black_box(t));
+            }
+            ix
+        })
+    });
+
+    let mut ix = woc_index::InvertedIndex::new();
+    for t in &texts {
+        ix.add_text(t);
+    }
+    c.bench_function("index/search_top10", |b| {
+        b.iter(|| ix.search(black_box("gochi cupertino menu reviews"), 10))
+    });
+    c.bench_function("index/boolean_and", |b| {
+        b.iter(|| ix.search_and(black_box("menu specials")))
+    });
+
+    // Postings encode/decode round-trip.
+    let mut pl = woc_index::PostingList::new();
+    for i in 0..10_000u32 {
+        pl.add_tf(woc_index::DocId(i * 3), 1 + i % 5);
+    }
+    c.bench_function("postings/encode_10k", |b| b.iter(|| pl.encode()));
+    let bytes = pl.encode();
+    c.bench_function("postings/decode_10k", |b| {
+        b.iter(|| woc_index::PostingList::decode(black_box(bytes.clone())).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

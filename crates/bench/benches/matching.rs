@@ -1,0 +1,45 @@
+//! Microbenches: similarity scoring, blocking, resolution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use woc_lrec::{AttrValue, ConceptId, Lrec, LrecId, Provenance, Tick};
+use woc_matching::{candidate_pairs, FellegiSunter};
+
+fn records(n: u64) -> Vec<Lrec> {
+    (0..n)
+        .map(|i| {
+            let mut r = Lrec::new(LrecId(i), ConceptId(0));
+            let p = Provenance::ground_truth(Tick(0));
+            r.add("name", AttrValue::Text(format!("Restaurant Number {}", i / 2)), p.clone());
+            r.add("zip", AttrValue::Zip(format!("95{:03}", i % 100)), p.clone());
+            r.add("phone", AttrValue::Phone(format!("408555{:04}", i / 2)), p.clone());
+            r.add("city", AttrValue::Text("San Jose".into()), p);
+            r
+        })
+        .collect()
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let recs = records(200);
+    let refs: Vec<&Lrec> = recs.iter().collect();
+    let fs = FellegiSunter::restaurant_default();
+
+    c.bench_function("matching/fs_score_pair", |b| {
+        b.iter(|| fs.score(black_box(&recs[0]), black_box(&recs[1])))
+    });
+    c.bench_function("matching/blocking_200_records", |b| {
+        b.iter(|| candidate_pairs(black_box(&refs), 200))
+    });
+    let pairs = candidate_pairs(&refs, 200);
+    c.bench_function("matching/score_all_candidates", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(i, j)| fs.score(&recs[i], &recs[j]))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Microbenches: tokenization, string metrics, recognizers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const PAGE_TEXT: &str = "Gochi Fusion Tapas, 19980 Homestead Rd, Cupertino, CA 95014. \
+    Call (408) 555-0134 or 408-555-0199. Open 11:30am - 9pm daily. Lunch special $12.95. \
+    The best Japanese tapas in Cupertino since January 15, 2006. Visit http://gochi.example.com/menu \
+    or email info@gochi.example.com for reservations and weekly specials.";
+
+fn bench_textkit(c: &mut Criterion) {
+    c.bench_function("tokenize/page_text", |b| {
+        b.iter(|| woc_textkit::tokenize(black_box(PAGE_TEXT)))
+    });
+    c.bench_function("normalize/page_text", |b| {
+        b.iter(|| woc_textkit::normalize(black_box(PAGE_TEXT)))
+    });
+    c.bench_function("metrics/levenshtein_20", |b| {
+        b.iter(|| {
+            woc_textkit::levenshtein(black_box("Gochi Fusion Tapas"), black_box("Gochi Fusion Tapas SJ"))
+        })
+    });
+    c.bench_function("metrics/jaro_winkler_20", |b| {
+        b.iter(|| {
+            woc_textkit::jaro_winkler(black_box("gochi fusion tapas"), black_box("gochi fusion tapas cupertino"))
+        })
+    });
+    c.bench_function("metrics/name_similarity", |b| {
+        b.iter(|| {
+            woc_textkit::metrics::name_similarity(
+                black_box("Gochi Fusion Tapas"),
+                black_box("GOCHI FUSION TAPAS - Cupertino"),
+            )
+        })
+    });
+    c.bench_function("recognize/recognize_all", |b| {
+        b.iter(|| woc_textkit::recognize_all(black_box(PAGE_TEXT)))
+    });
+}
+
+criterion_group!(benches, bench_textkit);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Microbenches: log simulation and analysis throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use woc_usage::{analyze, simulate, UsageConfig, AGGREGATOR_HOST};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+fn bench_usage(c: &mut Criterion) {
+    let world = World::generate(WorldConfig::tiny(81));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(81));
+    let config = UsageConfig::small(81);
+    let log = simulate(&world, &corpus, &config);
+
+    let mut group = c.benchmark_group("usage");
+    group.sample_size(20);
+    group.bench_function("simulate_2400_events", |b| {
+        b.iter(|| simulate(black_box(&world), &corpus, &config))
+    });
+    group.bench_function("analyze_click_categories", |b| {
+        b.iter(|| analyze::click_categories(black_box(&log), AGGREGATOR_HOST))
+    });
+    group.bench_function("analyze_co_clicks", |b| {
+        b.iter(|| analyze::co_clicks(black_box(&log), AGGREGATOR_HOST))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_usage);
+criterion_main!(benches);

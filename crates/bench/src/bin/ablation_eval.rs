@@ -1,0 +1,224 @@
+//! Ablation study over the design choices DESIGN.md §5–6 calls out:
+//! which pipeline stage buys what, and what the fielded-index representation
+//! buys over flat bag-of-words retrieval (§2.2's core design decision).
+//!
+//! Run: `cargo run -p woc-bench --bin ablation_eval --release`
+
+use std::collections::{HashMap, HashSet};
+
+use woc_bench::{header, metric_row, pct};
+use woc_core::{build, AssocKind, PipelineConfig, WebOfConcepts};
+use woc_index::FieldQuery;
+use woc_lrec::LrecId;
+use woc_textkit::metrics::name_similarity;
+use woc_webgen::{generate_corpus, CorpusConfig, WebCorpus, World, WorldConfig};
+
+/// Map canonical restaurant records to world entities by name-matched
+/// source-page votes (same method as the integration suite).
+fn coverage_stats(world: &World, corpus: &WebCorpus, woc: &WebOfConcepts) -> (f64, usize, f64) {
+    let restaurant = woc.registry.id_of("restaurant").unwrap();
+    let mut votes: HashMap<LrecId, HashMap<LrecId, usize>> = HashMap::new();
+    for page in corpus.pages() {
+        for tr in &page.truth.records {
+            if tr.concept != world.concepts.restaurant {
+                continue;
+            }
+            let truth_name = tr.field("name").unwrap_or_default();
+            for (rec, kind) in woc.web.records_of(&page.url) {
+                if *kind != AssocKind::ExtractedFrom {
+                    continue;
+                }
+                let Some(canon) = woc.store.resolve(*rec) else { continue };
+                let Some(r) = woc.store.latest(canon) else { continue };
+                if r.concept() != restaurant {
+                    continue;
+                }
+                let rec_name = r.best_string("name").unwrap_or_default();
+                if name_similarity(&rec_name, truth_name) < 0.6 {
+                    continue;
+                }
+                *votes.entry(canon).or_default().entry(tr.entity).or_insert(0) += 1;
+            }
+        }
+    }
+    let covered: HashSet<LrecId> = votes
+        .values()
+        .map(|v| *v.iter().max_by_key(|&(_, n)| n).unwrap().0)
+        .collect();
+    let coverage = covered.len() as f64 / world.restaurants.len() as f64;
+    let canonical = woc.store.by_concept(restaurant).len();
+
+    // Zip accuracy over the mapped records.
+    let mapping: HashMap<LrecId, LrecId> = votes
+        .into_iter()
+        .map(|(c, v)| (c, v.into_iter().max_by_key(|&(_, n)| n).unwrap().0))
+        .collect();
+    let mut checked = 0usize;
+    let mut correct = 0usize;
+    for (&canon, &entity) in &mapping {
+        if let Some(z) = woc.store.latest(canon).and_then(|r| r.best_string("zip")) {
+            checked += 1;
+            if world.rec(entity).best_string("zip").as_deref() == Some(z.as_str()) {
+                correct += 1;
+            }
+        }
+    }
+    let zip_acc = if checked == 0 {
+        0.0
+    } else {
+        correct as f64 / checked as f64
+    };
+    (coverage, canonical, zip_acc)
+}
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    metric_row("world restaurants", world.restaurants.len());
+    metric_row("corpus pages", corpus.len());
+
+    header("A1  Pipeline-stage ablation (restaurant concept)");
+    println!(
+        "  {:<26} {:>10} {:>12} {:>10}",
+        "variant", "coverage", "canonical", "zip acc"
+    );
+    let variants: Vec<(&str, PipelineConfig)> = vec![
+        ("full", PipelineConfig::default()),
+        (
+            "no list extraction",
+            PipelineConfig {
+                use_lists: false,
+                ..PipelineConfig::default()
+            },
+        ),
+        (
+            "no detail extraction",
+            PipelineConfig {
+                use_detail: false,
+                ..PipelineConfig::default()
+            },
+        ),
+        (
+            "no entity resolution",
+            PipelineConfig {
+                resolve_entities: false,
+                ..PipelineConfig::default()
+            },
+        ),
+        (
+            "no reconciliation",
+            PipelineConfig {
+                reconcile_values: false,
+                ..PipelineConfig::default()
+            },
+        ),
+        (
+            "pairwise (no collective)",
+            PipelineConfig {
+                collective: false,
+                ..PipelineConfig::default()
+            },
+        ),
+    ];
+    for (name, cfg) in variants {
+        let woc = build(&corpus, &cfg);
+        let (coverage, canonical, zip_acc) = coverage_stats(&world, &corpus, &woc);
+        println!(
+            "  {:<26} {:>10} {:>12} {:>10}",
+            name,
+            pct(coverage),
+            canonical,
+            pct(zip_acc)
+        );
+    }
+    println!("  (readings: dropping resolution multiplies canonical records ~8x;");
+    println!("   dropping detail extraction costs a third of coverage. Dropping");
+    println!("   LIST extraction *helps* the restaurant concept — partial listing");
+    println!("   rows add merge noise — but it is what builds menu_item,");
+    println!("   publication and event records at all; see S2.)");
+
+    header("A2  Fielded vs flat retrieval (§2.2 representation choice)");
+    // Precision@1 of name+city queries under three query treatments.
+    let woc = build(&corpus, &PipelineConfig::default());
+    let mut flat_ok = 0usize;
+    let mut fielded_ok = 0usize;
+    let mut interpreted_ok = 0usize;
+    let mut total = 0usize;
+    for &r in &world.restaurants {
+        let name = world.attr(r, "name");
+        let city = world.attr(r, "city");
+        total += 1;
+        let check = |hits: &[woc_index::RecordHit]| -> bool {
+            hits.first().is_some_and(|h| {
+                woc.store
+                    .latest(h.id)
+                    .and_then(|rec| rec.best_string("name"))
+                    .is_some_and(|n| name_similarity(&n, &name) > 0.7)
+            })
+        };
+        // Flat: free-text terms only.
+        let flat = woc.record_index.search(
+            &FieldQuery {
+                terms: woc_textkit::tokenize::tokenize_words(&format!("{name} {city}")),
+                ..FieldQuery::default()
+            },
+            1,
+            |n| woc.registry.id_of(n),
+        );
+        // Fielded: name scoped to the name field, city to the city field.
+        let mut fq = FieldQuery::default();
+        for w in woc_textkit::tokenize::tokenize_words(&name) {
+            fq.scoped.push(("name".into(), w));
+        }
+        for w in woc_textkit::tokenize::tokenize_words(&city) {
+            fq.scoped.push(("city".into(), w));
+        }
+        let fielded = woc.record_index.search(&fq, 1, |n| woc.registry.id_of(n));
+        // Interpreted: the concept-search query parser (geo promotion).
+        let interpreted = woc_apps::concept_search(&woc, &format!("{name} {city}"), 1);
+        if check(&flat) {
+            flat_ok += 1;
+        }
+        if check(&fielded) {
+            fielded_ok += 1;
+        }
+        if interpreted.first().is_some_and(|h| name_similarity(&h.name, &name) > 0.7) {
+            interpreted_ok += 1;
+        }
+    }
+    metric_row("queries", total);
+    metric_row("flat bag-of-words P@1", pct(flat_ok as f64 / total as f64));
+    metric_row("fully fielded P@1", pct(fielded_ok as f64 / total as f64));
+    metric_row("interpreted (geo-promoted) P@1", pct(interpreted_ok as f64 / total as f64));
+    println!("  (expected shape: field scoping prunes cross-attribute false matches)");
+
+    header("A3  Curated vs data-driven taxonomy (§2.3)");
+    let products: Vec<&woc_lrec::Lrec> = world
+        .products
+        .iter()
+        .map(|&p| world.store.latest(p).unwrap())
+        .collect();
+    let taxonomy = woc_core::Taxonomy::curated_shopping();
+    // Gold: the top-level curated bucket of each product.
+    let gold: Vec<String> = products
+        .iter()
+        .map(|r| {
+            let cat = r.best_string("category").unwrap_or_default();
+            taxonomy
+                .ancestors(&cat)
+                .first()
+                .map(|s| s.to_string())
+                .unwrap_or(cat)
+        })
+        .collect();
+    let k = gold.iter().collect::<HashSet<_>>().len();
+    let clusters = woc_core::data_driven_taxonomy(&products, k);
+    metric_row("products", products.len());
+    metric_row("curated top-level buckets", k);
+    metric_row(
+        "data-driven cluster purity vs curated",
+        pct(woc_core::cluster_purity(&clusters, &gold)),
+    );
+    println!("  (the paper's open question: how well does bottom-up clustering");
+    println!("   recover a curator's taxonomy from attribute data alone?)");
+}

@@ -1,0 +1,241 @@
+//! Experiments S1–S4: the extraction-stack evaluation grid.
+//!
+//! * S1 — wrapper induction: F1 vs #labeled pages; brittle vs robust rules
+//!   under template drift;
+//! * S2 — domain-centric list extraction: unsupervised P/R on unseen sites;
+//! * S3 — relational classification: global classifier vs graph-refined;
+//! * S4 — bootstrapping: records recovered vs rounds, seed-size sweep.
+//!
+//! Run: `cargo run -p woc-bench --bin extraction_eval --release`
+
+use woc_bench::{header, metric_row, pct};
+use woc_extract::bootstrap::{bootstrap, seeds_from_names, BootstrapConfig};
+use woc_extract::eval::{score_field, Prf};
+use woc_extract::lists::{extract_lists, ConceptProfile};
+use woc_extract::relational::{accuracy, refine_site, NaiveBayes};
+use woc_extract::SiteWrapper;
+use woc_webgen::sites::city::city_guide_pages;
+use woc_webgen::{
+    drift_site, generate_corpus, CorpusConfig, DriftConfig, Page, PageKind, World, WorldConfig,
+};
+
+fn truth_label(page: &Page, attr: &str) -> Option<String> {
+    page.truth.records.first()?.field(attr).map(str::to_string)
+}
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    metric_row("world restaurants", world.restaurants.len());
+    metric_row("corpus pages", corpus.len());
+
+    // ================= S1: wrapper induction ==========================
+    header("S1  Wrapper induction — F1 vs labeled examples (biz pages)");
+    let biz: Vec<&Page> = corpus
+        .pages()
+        .iter()
+        .filter(|p| {
+            p.truth.kind == PageKind::AggregatorBiz && p.site == "localreviews.example.com"
+        })
+        .collect();
+    let attrs = ["hours", "cuisine"];
+    println!("  {:<10} {:>12} {:>12}", "k labeled", "brittle F1", "robust F1");
+    for k in [1usize, 2, 3, 5, 8] {
+        // Sample labeled pages spread across the site (annotators label a
+        // representative handful, not the first k URLs).
+        let train: Vec<&Page> = (0..k).map(|i| biz[i * biz.len() / k]).collect();
+        let w = SiteWrapper::learn(&train, &attrs, truth_label);
+        let mut brittle = Prf::default();
+        let mut robust = Prf::default();
+        for p in biz.iter().skip(k) {
+            let truth: Vec<_> = p.truth.records.iter().take(1).cloned().collect();
+            for attr in attrs {
+                brittle.merge(score_field(&[w.extract_brittle(p)], &truth, attr));
+                robust.merge(score_field(&[w.extract_robust(p)], &truth, attr));
+            }
+        }
+        println!("  {:<10} {:>12.3} {:>12.3}", k, brittle.f1(), robust.f1());
+    }
+
+    header("S1b Robustness under template drift (trained with k=3)");
+    let train: Vec<&Page> = (0..3).map(|i| biz[i * biz.len() / 3]).collect();
+    let w = SiteWrapper::learn(&train, &attrs, truth_label);
+    let owned: Vec<Page> = biz.iter().map(|&p| p.clone()).collect();
+    println!(
+        "  {:<12} {:>12} {:>12}",
+        "drift", "brittle F1", "robust F1"
+    );
+    for (label, cfg) in [
+        ("none", None),
+        ("mild", Some(DriftConfig::mild())),
+        ("heavy", Some(DriftConfig::heavy())),
+    ] {
+        let pages: Vec<Page> = match cfg {
+            None => owned.clone(),
+            Some(c) => drift_site(&owned, &c, 17).0,
+        };
+        let mut brittle = Prf::default();
+        let mut robust = Prf::default();
+        for p in pages.iter().skip(3) {
+            let truth: Vec<_> = p.truth.records.iter().take(1).cloned().collect();
+            for attr in attrs {
+                brittle.merge(score_field(&[w.extract_brittle(p)], &truth, attr));
+                robust.merge(score_field(&[w.extract_robust(p)], &truth, attr));
+            }
+        }
+        println!("  {:<12} {:>12.3} {:>12.3}", label, brittle.f1(), robust.f1());
+    }
+    println!("  (expected shape: brittle collapses under drift, robust survives)");
+
+    // ================= S2: list extraction ==============================
+    header("S2  Domain-centric list extraction — unsupervised, site-independent");
+    let profiles = ConceptProfile::standard();
+    for (label, kind, concept, field) in [
+        ("menu items on homepages", PageKind::RestaurantMenu, "menu_item", "name"),
+        ("restaurants on category pages", PageKind::AggregatorCategory, "restaurant", "name"),
+        ("publications on venue pages", PageKind::VenuePage, "publication", "venue"),
+        ("events on listing pages", PageKind::EventList, "event", "name"),
+    ] {
+        let mut prf = Prf::default();
+        let mut pages_n = 0;
+        for p in corpus.pages().iter().filter(|p| p.truth.kind == kind) {
+            pages_n += 1;
+            let recs: Vec<_> = extract_lists(p, &profiles)
+                .into_iter()
+                .filter(|r| r.concept.as_deref() == Some(concept))
+                .collect();
+            prf.merge(score_field(&recs, &p.truth.records, field));
+        }
+        println!(
+            "  {:<36} pages {:>4}  P {:>5.3}  R {:>5.3}  F1 {:>5.3}",
+            label,
+            pages_n,
+            prf.precision(),
+            prf.recall(),
+            prf.f1()
+        );
+    }
+
+    // ================= S2b: sequence labeling + transfer ==================
+    header("S2b Sequence labeling — in-format, cross-format, and transfer (§7.2)");
+    use woc_extract::seqlabel::{example_from_segments, Labeler};
+    use woc_webgen::sites::academic::render_citation;
+    let cite = |fmt: usize| -> Vec<woc_extract::seqlabel::Example> {
+        world
+            .publications
+            .iter()
+            .map(|&p| {
+                let c = render_citation(&world, p, fmt);
+                example_from_segments(&c.text, &c.segments)
+            })
+            .collect()
+    };
+    let src = cite(0);
+    let tgt = cite(2);
+    let model = Labeler::train(&src[..30], 8);
+    metric_row("in-format token accuracy", pct(model.token_accuracy(&src[30..])));
+    metric_row("cross-format (no adaptation)", pct(model.token_accuracy(&tgt[30..])));
+    println!("  adaptation curve (k target-format examples):");
+    println!("  {:>4} {:>14} {:>14}", "k", "adapted", "cold start");
+    for k in [1usize, 2, 4, 8] {
+        let adapted = model.adapt(&tgt[..k], 4);
+        let cold = Labeler::train(&tgt[..k], 4);
+        println!(
+            "  {:>4} {:>14} {:>14}",
+            k,
+            pct(adapted.token_accuracy(&tgt[30..])),
+            pct(cold.token_accuracy(&tgt[30..]))
+        );
+    }
+    println!("  (expected shape: cross-format accuracy drops — the sensitivity the");
+    println!("   paper warns about — and warm-started adaptation recovers it with");
+    println!("   fewer target labels than cold start)");
+
+    // ================= S3: relational classification ====================
+    header("S3  Relational classification — events pages on city sites");
+    let mut rng = rand::SeedableRng::seed_from_u64(99);
+    let city_pages = city_guide_pages(&world, &mut rng);
+    let mut sites: Vec<&str> = city_pages.iter().map(|p| p.site.as_str()).collect();
+    sites.sort();
+    sites.dedup();
+    // A *small* labeled training set (two sites) — the realistic regime in
+    // which the global classifier is noisy and relational refinement pays.
+    let (train_sites, test_sites) = sites.split_at(2.min(sites.len() / 2));
+    metric_row(
+        "train sites / test sites",
+        format!("{} / {}", train_sites.len(), test_sites.len()),
+    );
+    // The paper's premise is an *inaccurate* global classifier ("it tends to
+    // be noisy given the vastly different content in the large collection of
+    // sites"); sweep annotation-noise levels to show where relational
+    // refinement pays and where it degrades gracefully.
+    println!("  {:>12} {:>10} {:>10}", "label noise", "global", "refined");
+    for noise in [0.0, 0.1, 0.2, 0.25, 0.3] {
+        let mut nb = NaiveBayes::new();
+        let mut noise_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7);
+        for p in city_pages.iter().filter(|p| train_sites.contains(&p.site.as_str())) {
+            let mut label = p.truth.kind == PageKind::CityEvents;
+            if noise > 0.0 && rand::Rng::random_bool(&mut noise_rng, noise) {
+                label = !label;
+            }
+            nb.observe(&p.text(), label);
+        }
+        let mut global_pred = Vec::new();
+        let mut refined_pred = Vec::new();
+        let mut gold = Vec::new();
+        for site in test_sites {
+            let pages: Vec<&Page> = city_pages.iter().filter(|p| p.site == *site).collect();
+            if pages.is_empty() {
+                continue;
+            }
+            let labels = refine_site(&pages, &nb, 0.35, 10);
+            for (i, p) in pages.iter().enumerate() {
+                global_pred.push(nb.predict(&p.text()));
+                refined_pred.push(labels.label(i));
+                gold.push(p.truth.kind == PageKind::CityEvents);
+            }
+        }
+        println!(
+            "  {:>12} {:>10} {:>10}",
+            format!("{:.0}%", noise * 100.0),
+            pct(accuracy(&global_pred, &gold)),
+            pct(accuracy(&refined_pred, &gold))
+        );
+    }
+    println!("  (expected shape: refinement recovers a noisy global classifier;");
+    println!("   at extreme noise the graph can no longer rescue it)");
+
+    // ================= S4: bootstrapping =================================
+    header("S4  Aggregator mining — bootstrap growth from seed menu items");
+    let menu_pages: Vec<&Page> = corpus
+        .pages()
+        .iter()
+        .filter(|p| p.truth.kind == PageKind::RestaurantMenu)
+        .collect();
+    let total_truth: usize = menu_pages.iter().map(|p| p.truth.records.len()).sum();
+    metric_row("menu pages", menu_pages.len());
+    metric_row("true menu items", total_truth);
+    println!("  {:<10} {:>10} {:>10} {:>12}", "seeds", "rounds", "harvested", "growth curve");
+    for n_seeds in [1usize, 3, 5, 10] {
+        let seed_names: Vec<String> = menu_pages[0]
+            .truth
+            .records
+            .iter()
+            .chain(menu_pages[1].truth.records.iter())
+            .take(n_seeds)
+            .filter_map(|t| t.field("name").map(str::to_string))
+            .collect();
+        let refs: Vec<&str> = seed_names.iter().map(String::as_str).collect();
+        let seeds = seeds_from_names("menu_item", &refs);
+        let result = bootstrap(&menu_pages, "menu_item", &seeds, &BootstrapConfig::default());
+        println!(
+            "  {:<10} {:>10} {:>10} {:>12?}",
+            n_seeds,
+            result.rounds,
+            result.harvested().len(),
+            result.growth_curve()
+        );
+    }
+    println!("  (expected shape: growth saturates within a few rounds; more seeds");
+    println!("   reach the fixpoint faster, not further)");
+}

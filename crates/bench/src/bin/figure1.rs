@@ -1,0 +1,58 @@
+//! Experiment F1: regenerate Figure 1 — the augmented search-results page
+//! for the query `gochi cupertino`, with the concept box (map/address,
+//! hours, reviews, homepage pointer) and record-aware document ranking.
+//! Run: `cargo run -p woc-bench --bin figure1 --release`
+
+use woc_apps::augmented_search;
+use woc_bench::{header, metric_row, standard_fixture};
+
+fn main() {
+    let f = standard_fixture();
+    metric_row("pages crawled", f.corpus.len());
+    metric_row("canonical records", f.woc.store.live_count());
+
+    header("Figure 1 — search results for `gochi cupertino`");
+    let results = augmented_search(&f.woc, "gochi cupertino", 8);
+    match &results.concept_box {
+        Some(b) => {
+            println!("{}", b.render());
+            println!("  trigger confidence: {:.2}", b.confidence);
+        }
+        None => println!("  !! concept box did not trigger"),
+    }
+    println!();
+    println!("  Ranked results:");
+    for (i, r) in results.results.iter().enumerate() {
+        println!(
+            "  {:>2}. [{:>5.2}] {}  {:?}",
+            i + 1,
+            r.score,
+            r.url,
+            r.features
+        );
+    }
+
+    header("Control — generic query `best food in town` (must not trigger)");
+    let control = augmented_search(&f.woc, "best food in town", 3);
+    metric_row(
+        "concept box",
+        if control.concept_box.is_some() { "TRIGGERED (unexpected)" } else { "not triggered (correct)" },
+    );
+
+    header("Second entity query — another restaurant");
+    let restaurants = f.woc.records_of(f.woc.concepts.restaurant);
+    if let Some(other) = restaurants
+        .iter()
+        .find(|r| r.best_string("name").is_some_and(|n| !n.to_lowercase().contains("gochi")))
+    {
+        let name = other.best_string("name").unwrap();
+        let city = other.best_string("city").unwrap_or_default();
+        let q = format!("{} {}", name.to_lowercase(), city.to_lowercase());
+        let res = augmented_search(&f.woc, &q, 3);
+        metric_row("query", &q);
+        match &res.concept_box {
+            Some(b) => println!("{}", b.render()),
+            None => println!("  (no box)"),
+        }
+    }
+}

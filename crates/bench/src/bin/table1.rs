@@ -1,0 +1,131 @@
+//! Experiment T1: exercise every cell of Table 1 ("Technologies for
+//! Interconnecting Different Page Types") end to end and print one section
+//! per cell with live outputs.
+//! Run: `cargo run -p woc-bench --bin table1 --release`
+
+use woc_apps::{RelatedPages, TransitionEngine};
+use woc_bench::{header, metric_row, standard_fixture};
+use woc_webgen::PageKind;
+
+fn main() {
+    let f = standard_fixture();
+
+    // Co-engagement harvested from simulated user logs through the
+    // logs→concepts bridge (§5.3), plus a few synthetic shopping sessions.
+    let log = woc_usage::simulate(&f.world, &f.corpus, &woc_usage::UsageConfig::small(7));
+    let mut co = woc_usage::co_engagement_from_logs(&f.woc, &log);
+    let products = f.woc.records_of(f.woc.concepts.product);
+    for pair in products.windows(2) {
+        co.observe_session(&[pair[0].id(), pair[1].id()]);
+    }
+    metric_row("co-engaged record pairs from logs", co.len());
+    let engine = TransitionEngine::new(&f.woc, Some(&co));
+
+    println!("Table 1: p ⇓ q ⇒   Result | Concept | Article");
+
+    // ---------------- Row 1: Result → … ----------------
+    header("Result → Result : Assistance");
+    for link in engine.assistance("italian restaurants", 4) {
+        metric_row("suggestion", &link.destination);
+    }
+
+    header("Result → Concept : Concept search");
+    for r in engine.concept_links("italian san jose", 4) {
+        metric_row(&format!("{} ({})", r.name, r.concept), &r.summary);
+    }
+
+    header("Result → Article : Vanilla search");
+    for link in engine.vanilla_search("best salsa reviews", 4) {
+        metric_row("document", &link.destination);
+    }
+
+    // ---------------- Row 2: Concept → … ----------------
+    let gochi = engine.concept_links("gochi cupertino", 1)[0].id;
+    header("Concept → Result : Search within the concept");
+    for link in engine.search_within(gochi, "menu reviews", 4) {
+        metric_row("associated doc", &link.destination);
+    }
+
+    header("Concept → Concept : Recommendation (Alternatives)");
+    let (alts, _) = engine.recommendations(gochi, 4);
+    for a in &alts {
+        let name = f
+            .woc
+            .store
+            .latest(a.id)
+            .and_then(|r| r.best_string("name"))
+            .unwrap_or_default();
+        metric_row(&name, &a.reason);
+    }
+
+    header("Concept → Concept : Recommendation (Augmentations, shopping)");
+    // A camera with augments links, per §2.3's Canon G10 / NB-7L example.
+    let camera = products.iter().find(|p| !p.get("augments").is_empty());
+    if let Some(cam) = camera {
+        let (_, augs) = engine.recommendations(cam.id(), 4);
+        metric_row(
+            "anchor product",
+            cam.best_string("name").unwrap_or_default(),
+        );
+        for a in &augs {
+            let name = f
+                .woc
+                .store
+                .latest(a.id)
+                .and_then(|r| r.best_string("name"))
+                .unwrap_or_default();
+            metric_row(&format!("  + {name}"), &a.reason);
+        }
+    } else {
+        println!("  (no product with augmentation links in this corpus)");
+    }
+
+    header("Concept → Article : Semantic linking");
+    // Find a record actually mentioned in an article.
+    let mentioned = f
+        .corpus
+        .pages()
+        .iter()
+        .filter(|p| p.truth.kind == PageKind::Article)
+        .find_map(|p| {
+            woc_apps::records_in(&f.woc, &p.url)
+                .first()
+                .copied()
+                .map(|r| (r, p.url.clone()))
+        });
+    let (rec, article_url) = mentioned.expect("corpus has article mentions");
+    let rec_name = f
+        .woc
+        .store
+        .latest(rec)
+        .and_then(|r| r.best_string("name"))
+        .unwrap_or_default();
+    metric_row("record", &rec_name);
+    for link in engine.semantic_links_from_concept(rec, 4) {
+        metric_row("article", &link.destination);
+    }
+
+    // ---------------- Row 3: Article → … ----------------
+    header("Article → Concept : Semantic linking (reverse pivot)");
+    metric_row("article", &article_url);
+    for link in engine.semantic_links_from_article(&article_url, 4) {
+        metric_row("record", &link.text);
+    }
+
+    header("Article → Article : Related pages");
+    let articles: Vec<&woc_webgen::Page> = f
+        .corpus
+        .pages()
+        .iter()
+        .filter(|p| p.truth.kind == PageKind::Article)
+        .collect();
+    let urls: Vec<String> = articles.iter().map(|p| p.url.clone()).collect();
+    let texts: Vec<String> = articles.iter().map(|p| p.text()).collect();
+    let rp = RelatedPages::build(&f.woc, &urls, &texts);
+    for link in engine.related_pages(&rp, &article_url, 4) {
+        metric_row("related", &link.destination);
+    }
+
+    println!();
+    println!("All nine Table 1 cells exercised on one web of concepts.");
+}

@@ -1,0 +1,80 @@
+//! Experiments E1–E4: reproduce every statistic of the paper's §3 usage
+//! studies over simulated logs. Run: `cargo run -p woc-bench --bin usage_studies --release`
+
+use woc_bench::{compare_row, header, metric_row};
+use woc_usage::{analyze, simulate, UsageConfig, AGGREGATOR_HOST};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    let config = UsageConfig {
+        aggregator_queries: 20_000,
+        homepage_queries: 20_000,
+        trails: 20_000,
+        ..UsageConfig::default()
+    };
+    let log = simulate(&world, &corpus, &config);
+    metric_row("pages in corpus", corpus.len());
+    metric_row("search events simulated", log.num_searches());
+    metric_row("toolbar trails simulated", log.num_trails());
+
+    // --- E1 -------------------------------------------------------------
+    header("E1  Concepts vs. Search — clicked aggregator URL categories");
+    let e1 = analyze::click_categories(&log, AGGREGATOR_HOST);
+    metric_row("aggregator clicks analyzed", e1.total);
+    compare_row("biz URLs (individual business)", 0.59, e1.biz);
+    compare_row("search URLs (result pages)", 0.19, e1.search);
+    compare_row("c URLs (pre-defined categories)", 0.11, e1.category);
+
+    // --- E2 -------------------------------------------------------------
+    header("E2  Searching for Attributes of a Concept");
+    let (homepages, host_map) = analyze::homepage_inventory(&world);
+    let names = analyze::name_location_tokens(&world);
+    let tally = analyze::attribute_queries(&log, &homepages, &names);
+    let rate = |tok: &str| {
+        tally
+            .iter()
+            .find(|(t, _)| t == tok)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
+    };
+    compare_row("menu", 0.030, rate("menu"));
+    compare_row("coupons", 0.018, rate("coupons"));
+    compare_row("locations", 0.015, rate("locations"));
+    compare_row("online", 0.015, rate("online"));
+    compare_row("specials (weekly specials)", 0.015, rate("specials"));
+    println!("  (long tail, paper: nutrition / to go / delivery / careers)");
+    for (tok, r) in tally.iter().take(12) {
+        metric_row(&format!("  token {tok:?}"), format!("{:.2}%", 100.0 * r));
+    }
+
+    // --- E3 -------------------------------------------------------------
+    header("E3  Value in Aggregation — same-query co-clicks");
+    let e3 = analyze::co_clicks(&log, AGGREGATOR_HOST);
+    metric_row("biz-click queries analyzed", e3.total);
+    compare_row("clicked ≥1 other URL", 0.59, e3.at_least_one_other);
+    compare_row("clicked ≥2 other URLs", 0.35, e3.at_least_two_others);
+
+    // --- E4 -------------------------------------------------------------
+    header("E4  Concepts vs. Browsing — toolbar trails");
+    let host_of = move |url: &str| -> Option<String> {
+        let host = woc_webgen::page::url_host(url).to_string();
+        host_map.contains_key(&host).then_some(host)
+    };
+    let cls = analyze::TrailClassifier {
+        homepages: &homepages,
+        host_of: &host_of,
+    };
+    let e4 = analyze::trails(&log, &cls);
+    metric_row("homepage visits analyzed", e4.homepage_visits);
+    compare_row("visit preceded by search query", 0.42, e4.search_preceded);
+    compare_row("next page = location/address", 0.115, e4.next_location);
+    compare_row("next page = menu", 0.09, e4.next_menu);
+    compare_row("next page = coupons", 0.01, e4.next_coupons);
+    compare_row("trails with >1 restaurant instance", 0.105, e4.multi_instance_trails);
+
+    println!();
+    println!("All four §3 analyses re-run over raw simulated logs (analyzers see");
+    println!("only queries, clicks, trails and public URL inventories).");
+}

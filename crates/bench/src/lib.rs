@@ -1,0 +1,72 @@
+//! # woc-bench — the benchmark/experiment harness
+//!
+//! Shared fixtures and table-printing helpers for the experiment binaries
+//! (`src/bin/*.rs`, one per experiment id of DESIGN.md §4) and the criterion
+//! microbenches (`benches/*.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use woc_core::{PipelineConfig, WebOfConcepts};
+use woc_webgen::{generate_corpus, CorpusConfig, WebCorpus, World, WorldConfig};
+
+/// The standard experiment fixture: a medium world, its corpus, and the
+/// constructed web of concepts.
+pub struct Fixture {
+    /// Ground truth.
+    pub world: World,
+    /// The synthetic web.
+    pub corpus: WebCorpus,
+    /// The constructed web of concepts.
+    pub woc: WebOfConcepts,
+}
+
+/// Build the standard experiment fixture (deterministic).
+pub fn standard_fixture() -> Fixture {
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    let woc = woc_core::build(&corpus, &PipelineConfig::default());
+    Fixture { world, corpus, woc }
+}
+
+/// A small fixture for fast microbenches.
+pub fn small_fixture(seed: u64) -> Fixture {
+    let world = World::generate(WorldConfig::tiny(seed));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(seed));
+    let woc = woc_core::build(&corpus, &PipelineConfig::default());
+    Fixture { world, corpus, woc }
+}
+
+/// Print a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("═══ {title} ═══");
+}
+
+/// Print a paper-vs-measured comparison row.
+pub fn compare_row(metric: &str, paper: f64, measured: f64) {
+    let delta = measured - paper;
+    println!("  {metric:<42} paper {paper:>7.3}   measured {measured:>7.3}   Δ {delta:>+7.3}");
+}
+
+/// Print a plain metric row.
+pub fn metric_row(metric: &str, value: impl std::fmt::Display) {
+    println!("  {metric:<42} {value}");
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fixture_builds() {
+        let f = small_fixture(9);
+        assert!(f.corpus.len() > 20);
+        assert!(f.woc.store.live_count() > 0);
+    }
+}

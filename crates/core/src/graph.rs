@@ -1,0 +1,174 @@
+//! The concept-web graph: record↔document associations.
+//!
+//! Paper §5.1: "it is efficient to pre-compute associations between
+//! documents and record identifiers, then store these associations with the
+//! document in the web search index" — and §5.4's semantic linking "produces
+//! a bipartite graph linking concept records to articles, and allowing users
+//! to pivot back and forth between the two". This module is that bipartite
+//! graph; record↔record links live inside the records themselves as typed
+//! `Ref` values.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use woc_lrec::{Lrec, LrecId, Store};
+
+/// How a document relates to a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AssocKind {
+    /// The record was extracted from this document.
+    ExtractedFrom,
+    /// The document is the record's official homepage.
+    Homepage,
+    /// The document mentions the record (semantic linking).
+    Mentions,
+    /// The document is a review of the record.
+    ReviewOf,
+}
+
+/// The record↔document bipartite graph.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ConceptWeb {
+    by_record: HashMap<LrecId, Vec<(String, AssocKind)>>,
+    by_doc: HashMap<String, Vec<(LrecId, AssocKind)>>,
+}
+
+impl ConceptWeb {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Associate a record with a document (idempotent).
+    pub fn associate(&mut self, record: LrecId, url: &str, kind: AssocKind) {
+        let recs = self.by_doc.entry(url.to_string()).or_default();
+        if recs.contains(&(record, kind)) {
+            return;
+        }
+        recs.push((record, kind));
+        self.by_record
+            .entry(record)
+            .or_default()
+            .push((url.to_string(), kind));
+    }
+
+    /// Documents associated with a record.
+    pub fn docs_of(&self, record: LrecId) -> &[(String, AssocKind)] {
+        self.by_record
+            .get(&record)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Records associated with a document.
+    pub fn records_of(&self, url: &str) -> &[(LrecId, AssocKind)] {
+        self.by_doc.get(url).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Documents of a record with a specific association kind.
+    pub fn docs_of_kind(&self, record: LrecId, kind: AssocKind) -> Vec<&str> {
+        self.docs_of(record)
+            .iter()
+            .filter(|(_, k)| *k == kind)
+            .map(|(u, _)| u.as_str())
+            .collect()
+    }
+
+    /// Rewrite associations after entity merges: every association of a
+    /// merged-away record moves to its surviving record.
+    pub fn resolve_merges(&mut self, store: &Store) {
+        let old = std::mem::take(&mut self.by_record);
+        self.by_doc.clear();
+        for (rec, assocs) in old {
+            let target = store.resolve(rec).unwrap_or(rec);
+            for (url, kind) in assocs {
+                self.associate(target, &url, kind);
+            }
+        }
+    }
+
+    /// Number of associations.
+    pub fn len(&self) -> usize {
+        self.by_doc.values().map(Vec::len).sum()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_doc.is_empty()
+    }
+
+    /// All documents with at least one association.
+    pub fn documents(&self) -> impl Iterator<Item = &str> {
+        self.by_doc.keys().map(String::as_str)
+    }
+}
+
+/// Typed record→record links read off a record's `Ref` values.
+pub fn record_links(rec: &Lrec) -> Vec<(String, LrecId)> {
+    rec.refs()
+        .into_iter()
+        .map(|(k, id)| (k.to_string(), id))
+        .collect()
+}
+
+/// Reverse link index over a set of records: target id → (attr, source id).
+pub fn reverse_links<'a>(
+    records: impl IntoIterator<Item = &'a Lrec>,
+) -> HashMap<LrecId, Vec<(String, LrecId)>> {
+    let mut out: HashMap<LrecId, Vec<(String, LrecId)>> = HashMap::new();
+    for rec in records {
+        for (attr, target) in record_links(rec) {
+            out.entry(target).or_default().push((attr, rec.id()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_lrec::{AttrValue, ConceptId, Provenance, Store, Tick};
+
+    #[test]
+    fn associate_and_query() {
+        let mut g = ConceptWeb::new();
+        let r = LrecId(1);
+        g.associate(r, "http://a/biz", AssocKind::ExtractedFrom);
+        g.associate(r, "http://a/biz", AssocKind::ExtractedFrom); // idempotent
+        g.associate(r, "http://r.example.com/", AssocKind::Homepage);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.docs_of(r).len(), 2);
+        assert_eq!(g.records_of("http://a/biz"), &[(r, AssocKind::ExtractedFrom)]);
+        assert_eq!(g.docs_of_kind(r, AssocKind::Homepage), vec!["http://r.example.com/"]);
+        assert!(g.records_of("http://unknown").is_empty());
+    }
+
+    #[test]
+    fn merge_resolution_moves_associations() {
+        let mut store = Store::new();
+        let a = store.create(ConceptId(0), Tick(0));
+        let b = store.create(ConceptId(0), Tick(0));
+        store.merge(a, b, Tick(1)).unwrap();
+        let mut g = ConceptWeb::new();
+        g.associate(b, "http://x/", AssocKind::ExtractedFrom);
+        g.resolve_merges(&store);
+        assert!(g.docs_of(b).is_empty());
+        assert_eq!(g.docs_of(a).len(), 1);
+        assert_eq!(g.records_of("http://x/")[0].0, a);
+    }
+
+    #[test]
+    fn reverse_link_index() {
+        let p = Provenance::ground_truth(Tick(0));
+        let mut review = Lrec::new(LrecId(10), ConceptId(1));
+        review.add("about", AttrValue::Ref(LrecId(1)), p.clone());
+        let mut menu = Lrec::new(LrecId(11), ConceptId(2));
+        menu.add("restaurant", AttrValue::Ref(LrecId(1)), p);
+        let idx = reverse_links([&review, &menu]);
+        let incoming = &idx[&LrecId(1)];
+        assert_eq!(incoming.len(), 2);
+        assert!(incoming.contains(&("about".to_string(), LrecId(10))));
+        assert!(incoming.contains(&("restaurant".to_string(), LrecId(11))));
+    }
+}

@@ -1,0 +1,362 @@
+//! Lineage: the operator provenance DAG (paper §7.3).
+//!
+//! "Managing lineage, i.e., keeping track of the documents and the sequence
+//! of operators that result in a given extracted record, is an important
+//! problem … Lineage is important for two reasons": error attribution
+//! ([`Lineage::attribute_error`]) and explanations
+//! ([`Lineage::explain`] / [`Lineage::source_documents`]).
+//!
+//! The DAG is append-only and acyclic by construction: a node's inputs must
+//! already exist when the node is added.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use woc_lrec::LrecId;
+
+/// Identifier of a lineage node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+/// What a lineage node represents.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// A crawled document (by URL).
+    Document(String),
+    /// An operator application (classifier, extractor, linker, merger).
+    Operator {
+        /// Operator name, e.g. `list-extractor`.
+        name: String,
+    },
+    /// A record (creation or new version).
+    Record(LrecId),
+    /// A specific attribute value of a record.
+    Value {
+        /// Owning record.
+        record: LrecId,
+        /// Attribute key.
+        attr: String,
+    },
+}
+
+/// One node of the DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineageNode {
+    /// The node id.
+    pub id: NodeId,
+    /// What it represents.
+    pub kind: NodeKind,
+    /// Upstream nodes this one was derived from.
+    pub inputs: Vec<NodeId>,
+}
+
+/// The lineage DAG.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lineage {
+    nodes: Vec<LineageNode>,
+    by_record: HashMap<LrecId, Vec<NodeId>>,
+    by_document: HashMap<String, NodeId>,
+    downstream: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl Lineage {
+    /// Empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn add(&mut self, kind: NodeKind, inputs: Vec<NodeId>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        for &i in &inputs {
+            assert!(
+                (i.0 as usize) < self.nodes.len(),
+                "lineage input {i:?} must exist before {id:?} (acyclicity by construction)"
+            );
+            self.downstream.entry(i).or_default().push(id);
+        }
+        match &kind {
+            NodeKind::Record(r) | NodeKind::Value { record: r, .. } => {
+                self.by_record.entry(*r).or_default().push(id);
+            }
+            NodeKind::Document(url) => {
+                self.by_document.insert(url.clone(), id);
+            }
+            NodeKind::Operator { .. } => {}
+        }
+        self.nodes.push(LineageNode { id, kind, inputs });
+        id
+    }
+
+    /// Register a document node (idempotent per URL).
+    pub fn document(&mut self, url: &str) -> NodeId {
+        if let Some(&id) = self.by_document.get(url) {
+            return id;
+        }
+        self.add(NodeKind::Document(url.to_string()), Vec::new())
+    }
+
+    /// Register an operator application over inputs.
+    pub fn operator(&mut self, name: &str, inputs: Vec<NodeId>) -> NodeId {
+        self.add(
+            NodeKind::Operator {
+                name: name.to_string(),
+            },
+            inputs,
+        )
+    }
+
+    /// Register a record produced by `producer`.
+    pub fn record(&mut self, id: LrecId, producer: NodeId) -> NodeId {
+        self.add(NodeKind::Record(id), vec![producer])
+    }
+
+    /// Register a value produced by `producer`.
+    pub fn value(&mut self, record: LrecId, attr: &str, producer: NodeId) -> NodeId {
+        self.add(
+            NodeKind::Value {
+                record,
+                attr: attr.to_string(),
+            },
+            vec![producer],
+        )
+    }
+
+    /// Node lookup.
+    pub fn node(&self, id: NodeId) -> Option<&LineageNode> {
+        self.nodes.get(id.0 as usize)
+    }
+
+    /// All nodes belonging to a record.
+    pub fn nodes_of_record(&self, id: LrecId) -> &[NodeId] {
+        self.by_record.get(&id).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All ancestors of a node (transitive inputs), breadth-first.
+    pub fn ancestors(&self, id: NodeId) -> Vec<NodeId> {
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<NodeId> = self
+            .node(id)
+            .map(|n| n.inputs.iter().copied().collect())
+            .unwrap_or_default();
+        let mut out = Vec::new();
+        while let Some(x) = queue.pop_front() {
+            if !seen.insert(x) {
+                continue;
+            }
+            out.push(x);
+            if let Some(n) = self.node(x) {
+                queue.extend(n.inputs.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// All descendants of a node (what was derived from it).
+    pub fn descendants(&self, id: NodeId) -> Vec<NodeId> {
+        let mut seen = HashSet::new();
+        let mut queue: VecDeque<NodeId> = self
+            .downstream
+            .get(&id)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let mut out = Vec::new();
+        while let Some(x) = queue.pop_front() {
+            if !seen.insert(x) {
+                continue;
+            }
+            out.push(x);
+            if let Some(ds) = self.downstream.get(&x) {
+                queue.extend(ds.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Explain a record: the chain of operators and documents upstream of
+    /// it, as display strings ("the user might want to look at the documents
+    /// … used to construct the information").
+    pub fn explain(&self, id: LrecId) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::new();
+        for &n in self.nodes_of_record(id) {
+            for a in self.ancestors(n) {
+                if !seen.insert(a) {
+                    continue;
+                }
+                match &self.node(a).unwrap().kind {
+                    NodeKind::Document(url) => out.push(format!("document {url}")),
+                    NodeKind::Operator { name } => out.push(format!("operator {name}")),
+                    NodeKind::Record(r) => out.push(format!("record {r}")),
+                    NodeKind::Value { record, attr } => {
+                        out.push(format!("value {record}.{attr}"))
+                    }
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The source documents a record was derived from.
+    pub fn source_documents(&self, id: LrecId) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .explain(id)
+            .into_iter()
+            .filter_map(|s| s.strip_prefix("document ").map(str::to_string))
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// Records downstream of a document — exactly what incremental
+    /// maintenance must reprocess when the document changes (paper §7.3).
+    pub fn records_from_document(&self, url: &str) -> Vec<LrecId> {
+        let Some(&doc) = self.by_document.get(url) else {
+            return Vec::new();
+        };
+        let mut out: Vec<LrecId> = self
+            .descendants(doc)
+            .into_iter()
+            .filter_map(|n| match &self.node(n).unwrap().kind {
+                NodeKind::Record(r) => Some(*r),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Error attribution: given records flagged as bad, count how often each
+    /// operator appears upstream of them — the suspect ranking of §7.3
+    /// ("keeping track of lineage helps us pinpoint the locations of
+    /// errors").
+    pub fn attribute_error(&self, bad_records: &[LrecId]) -> Vec<(String, usize)> {
+        let mut counts: HashMap<String, usize> = HashMap::new();
+        for &r in bad_records {
+            let mut ops = HashSet::new();
+            for &n in self.nodes_of_record(r) {
+                for a in self.ancestors(n) {
+                    if let NodeKind::Operator { name } = &self.node(a).unwrap().kind {
+                        ops.insert(name.clone());
+                    }
+                }
+            }
+            for op in ops {
+                *counts.entry(op).or_insert(0) += 1;
+            }
+        }
+        let mut out: Vec<(String, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Lineage, LrecId, LrecId) {
+        let mut l = Lineage::new();
+        let d1 = l.document("http://a.example.com/biz/gochi");
+        let d2 = l.document("http://b.example.com/biz/gochi");
+        let ex1 = l.operator("list-extractor", vec![d1]);
+        let ex2 = l.operator("detail-extractor", vec![d2]);
+        let r1 = LrecId(1);
+        let r2 = LrecId(2);
+        let n1 = l.record(r1, ex1);
+        let n2 = l.record(r2, ex2);
+        let merge = l.operator("entity-matcher", vec![n1, n2]);
+        l.record(r1, merge); // r1 survives the merge
+        (l, r1, r2)
+    }
+
+    #[test]
+    fn document_idempotent() {
+        let mut l = Lineage::new();
+        let a = l.document("u");
+        let b = l.document("u");
+        assert_eq!(a, b);
+        assert_eq!(l.len(), 1);
+    }
+
+    #[test]
+    fn explain_includes_all_upstream() {
+        let (l, r1, _) = sample();
+        let explanation = l.explain(r1);
+        assert!(explanation.iter().any(|s| s.contains("list-extractor")));
+        assert!(explanation.iter().any(|s| s.contains("entity-matcher")));
+        assert!(explanation.iter().any(|s| s.contains("a.example.com")));
+        // Through the merge, r1 is also derived from b.example.com.
+        assert!(explanation.iter().any(|s| s.contains("b.example.com")));
+    }
+
+    #[test]
+    fn source_documents_of_merged_record() {
+        let (l, r1, _) = sample();
+        let docs = l.source_documents(r1);
+        assert_eq!(docs.len(), 2);
+    }
+
+    #[test]
+    fn records_from_document_for_maintenance() {
+        let (l, r1, r2) = sample();
+        let recs = l.records_from_document("http://b.example.com/biz/gochi");
+        assert!(recs.contains(&r2));
+        assert!(recs.contains(&r1), "merge makes r1 downstream of doc 2 as well");
+        assert!(l.records_from_document("http://unknown/").is_empty());
+    }
+
+    #[test]
+    fn error_attribution_ranks_shared_operator() {
+        let mut l = Lineage::new();
+        let d = l.document("u");
+        let bad_op = l.operator("buggy-extractor", vec![d]);
+        let ok_op = l.operator("good-extractor", vec![d]);
+        let r1 = LrecId(1);
+        let r2 = LrecId(2);
+        let r3 = LrecId(3);
+        l.record(r1, bad_op);
+        l.record(r2, bad_op);
+        l.record(r3, ok_op);
+        let ranked = l.attribute_error(&[r1, r2]);
+        assert_eq!(ranked[0].0, "buggy-extractor");
+        assert_eq!(ranked[0].1, 2);
+        assert!(!ranked.iter().any(|(op, _)| op == "good-extractor"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must exist")]
+    fn forward_reference_rejected() {
+        let mut l = Lineage::new();
+        l.operator("op", vec![NodeId(99)]);
+    }
+
+    #[test]
+    fn descendants_and_ancestors_consistent() {
+        let (l, _, _) = sample();
+        // For every edge, ancestor/descendant views agree.
+        for n in 0..l.len() as u32 {
+            let id = NodeId(n);
+            for a in l.ancestors(id) {
+                assert!(
+                    l.descendants(a).contains(&id),
+                    "{a:?} is ancestor of {id:?} but not vice versa"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,996 @@
+//! The construction pipeline: from a crawled corpus to a web of concepts.
+//!
+//! Paper §4: "We can view today's web as a simplified web of concepts, where
+//! each record is of type Document. We want to start from here and extract
+//! records of richer types" via the three operation families the paper
+//! lists — *information extraction* (lists + detail pages), *linking*
+//! (entity resolution, review→record matching, semantic linking) and
+//! *analysis* (reconciliation, quality scoring). Every operator application
+//! is recorded in [`crate::lineage::Lineage`] and every value carries a
+//! confidence, so §7.3's uncertainty/lineage requirements hold end to end.
+
+use std::collections::HashMap;
+
+use woc_extract::lists::{extract_lists, ConceptProfile};
+use woc_extract::ExtractedRecord;
+use woc_index::{InvertedIndex, LrecIndex};
+use woc_lrec::domains::{standard_registry, StandardConcepts};
+use woc_lrec::value::Date;
+use woc_lrec::{
+    AttrValue, ConceptRegistry, Lrec, LrecId, Provenance, Store, Tick,
+};
+use woc_matching::{candidate_pairs, CollectiveConfig, FellegiSunter, GenerativeMatcher};
+use woc_textkit::gazetteer;
+use woc_textkit::recognize::{self, FieldKind};
+use woc_textkit::tokenize::normalize;
+use woc_webgen::{Page, WebCorpus};
+
+use crate::graph::{AssocKind, ConceptWeb};
+use crate::lineage::Lineage;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Logical time of this construction run.
+    pub tick: Tick,
+    /// Run page extraction on worker threads.
+    pub parallel: bool,
+    /// Use collective (relational) resolution instead of purely pairwise.
+    pub collective: bool,
+    /// Minimum generative-matcher margin to accept a review→record link.
+    pub review_margin: f64,
+    /// Run domain-centric list extraction (ablation flag).
+    pub use_lists: bool,
+    /// Run detail-page extraction (ablation flag).
+    pub use_detail: bool,
+    /// Run entity resolution (ablation flag).
+    pub resolve_entities: bool,
+    /// Run value reconciliation (ablation flag).
+    pub reconcile_values: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            tick: Tick(1),
+            parallel: true,
+            collective: true,
+            review_margin: 0.5,
+            use_lists: true,
+            use_detail: true,
+            resolve_entities: true,
+            reconcile_values: true,
+        }
+    }
+}
+
+/// The constructed web of concepts.
+#[derive(Debug)]
+pub struct WebOfConcepts {
+    /// Concept registry.
+    pub registry: ConceptRegistry,
+    /// Standard concept ids.
+    pub concepts: StandardConcepts,
+    /// Canonical records.
+    pub store: Store,
+    /// Operator provenance DAG.
+    pub lineage: Lineage,
+    /// Record↔document associations.
+    pub web: ConceptWeb,
+    /// Fielded index over canonical records (concept search).
+    pub record_index: LrecIndex,
+    /// Inverted index over document text (vanilla search).
+    pub doc_index: InvertedIndex,
+    /// Document URLs by doc-index id.
+    pub doc_urls: Vec<String>,
+    /// Page titles by doc-index id.
+    pub doc_titles: Vec<String>,
+}
+
+impl WebOfConcepts {
+    /// Canonical (post-merge) id for any record id.
+    pub fn canonical(&self, id: LrecId) -> Option<LrecId> {
+        self.store.resolve(id)
+    }
+
+    /// Live records of a concept.
+    pub fn records_of(&self, concept: woc_lrec::ConceptId) -> Vec<&Lrec> {
+        self.store
+            .by_concept(concept)
+            .into_iter()
+            .filter_map(|id| self.store.latest(id))
+            .collect()
+    }
+
+    /// The URL of a doc-index hit.
+    pub fn doc_url(&self, doc: woc_index::DocId) -> &str {
+        &self.doc_urls[doc.0 as usize]
+    }
+}
+
+/// Field name → typed value, using the recognizer/kind conventions shared
+/// with `woc-extract`.
+pub fn type_value(field: &str, raw: &str) -> AttrValue {
+    match field {
+        "phone" => AttrValue::parse_phone(raw).unwrap_or_else(|| AttrValue::Text(raw.to_string())),
+        "zip" => {
+            let digits: String = raw.chars().take_while(|c| c.is_ascii_digit()).collect();
+            if digits.len() == 5 {
+                AttrValue::Zip(digits)
+            } else {
+                AttrValue::Text(raw.to_string())
+            }
+        }
+        "price" => {
+            AttrValue::parse_price(raw).unwrap_or_else(|| AttrValue::Text(raw.to_string()))
+        }
+        "date" => parse_date(raw).map(AttrValue::Date).unwrap_or_else(|| {
+            AttrValue::Text(raw.to_string())
+        }),
+        "rating" | "year" => raw
+            .parse::<i64>()
+            .map(AttrValue::Int)
+            .unwrap_or_else(|_| AttrValue::Text(raw.to_string())),
+        "homepage" | "url" => AttrValue::Url(raw.to_string()),
+        _ => AttrValue::Text(raw.to_string()),
+    }
+}
+
+/// Parse the date formats the recognizers accept into a typed [`Date`].
+pub fn parse_date(raw: &str) -> Option<Date> {
+    let toks = woc_textkit::tokenize::tokenize(raw);
+    // Month D, YYYY
+    if toks.len() >= 3 {
+        if let Some(month) = gazetteer::MONTHS
+            .iter()
+            .position(|m| m.eq_ignore_ascii_case(&toks[0].text))
+        {
+            let day: u8 = toks[1].text.parse().ok()?;
+            let year: u16 = toks.last()?.text.parse().ok()?;
+            if (1..=31).contains(&day) && year >= 1000 {
+                return Some(Date {
+                    year,
+                    month: month as u8 + 1,
+                    day,
+                });
+            }
+        }
+    }
+    // YYYY-MM-DD
+    let iso: Vec<&str> = raw.split('-').map(str::trim).collect();
+    if iso.len() == 3 && iso[0].len() == 4 {
+        if let (Ok(year), Ok(month), Ok(day)) =
+            (iso[0].parse::<u16>(), iso[1].parse::<u8>(), iso[2].parse::<u8>())
+        {
+            if (1..=12).contains(&month) && (1..=31).contains(&day) {
+                return Some(Date { year, month, day });
+            }
+        }
+    }
+    // M/D/YYYY
+    let nums: Vec<&str> = raw.split('/').collect();
+    if nums.len() == 3 {
+        let month: u8 = nums[0].trim().parse().ok()?;
+        let day: u8 = nums[1].trim().parse().ok()?;
+        let year: u16 = nums[2].trim().parse().ok()?;
+        if (1..=12).contains(&month) && (1..=31).contains(&day) {
+            return Some(Date { year, month, day });
+        }
+    }
+    None
+}
+
+/// Detail-page extraction: one record from a page that is *about* a single
+/// entity (biz pages, homepages, product pages, event pages). Unsupervised:
+/// headline = name, recognizers supply typed fields, simple cues pick the
+/// concept.
+pub fn detail_extract(page: &Page, exclude_concepts: &[&str]) -> Option<ExtractedRecord> {
+    let dom = &page.dom;
+    let h1 = dom.find_tag("h1").first().map(|n| n.text_content())?;
+    if h1.is_empty() || h1.len() > 90 {
+        return None;
+    }
+    // Boilerplate headlines ("Search results for …", "Find …") are not
+    // entity names; drop the name but keep extracting typed fields.
+    let h1_lower = h1.to_lowercase();
+    let boilerplate = ["search results", "find ", "welcome", "join our", "upcoming events"]
+        .iter()
+        .any(|b| h1_lower.starts_with(b));
+    let h1 = if boilerplate { String::new() } else { h1 };
+    let text = page.text();
+    let spans = recognize::recognize_all(&text);
+    let mut fields: Vec<(String, String)> = Vec::new();
+    if !h1.is_empty() {
+        fields.push(("name".to_string(), h1));
+    }
+    let mut counts: HashMap<&'static str, usize> = HashMap::new();
+    for s in &spans {
+        let (field, limit) = match s.kind {
+            FieldKind::Phone => ("phone", 2),
+            FieldKind::Zip => ("zip", 1),
+            FieldKind::StreetAddress => ("street", 1),
+            FieldKind::City => ("city", 1),
+            FieldKind::Cuisine => ("cuisine", 1),
+            FieldKind::Time => ("hours", 2),
+            FieldKind::Date => ("date", 1),
+            FieldKind::Price => ("price", 1),
+            FieldKind::Email => ("email", 1),
+            FieldKind::Url => continue,
+        };
+        let c = counts.entry(field).or_insert(0);
+        if *c < limit {
+            fields.push((field.to_string(), s.text.clone()));
+            *c += 1;
+        }
+    }
+    // Label mining: sites that label their fields ("Brand: Nikon") expose
+    // (label, value) pairs no recognizer is needed for — unsupervised
+    // key-value extraction off the markup, §4.2's "exploit markup and other
+    // contextual cues".
+    for (label, value) in labeled_fields(dom) {
+        let field = match label.as_str() {
+            "brand" => "brand",
+            "model" => "model",
+            "category" => "category",
+            "cuisine" => "cuisine",
+            "venue" | "where" => "venue",
+            _ => continue,
+        };
+        if !fields.iter().any(|(k, _)| k == field) && !value.is_empty() && value.len() < 60 {
+            fields.push((field.to_string(), value));
+        }
+    }
+
+    // Homepage link: an anchor whose text mentions "homepage".
+    for (_, n) in dom.walk() {
+        if n.tag() == Some("a")
+            && n.text_content().to_lowercase().contains("homepage")
+        {
+            if let Some(href) = n.get_attr("href") {
+                fields.push(("homepage".to_string(), href.to_string()));
+                break;
+            }
+        }
+    }
+    // Hours range "9am - 9pm": merge the first two time spans into one
+    // opening-hours value.
+    let times: Vec<&str> = fields
+        .iter()
+        .filter(|(k, _)| k == "hours")
+        .map(|(_, v)| v.as_str())
+        .collect();
+    let hours_merged = match times.as_slice() {
+        [open] => Some((*open).to_string()),
+        [open, close, ..] => Some(format!("{open} - {close}")),
+        [] => None,
+    };
+
+    // Concept guess from the field mix.
+    let has = |f: &str| fields.iter().any(|(k, _)| k == f);
+    let brandish = fields
+        .iter()
+        .any(|(k, v)| k == "name" && gazetteer::BRANDS.iter().any(|b| v.starts_with(b)));
+    let concept = if has("street") || has("zip") || (has("phone") && has("city")) {
+        "restaurant"
+    } else if brandish {
+        "product"
+    } else if has("date") && has("name") {
+        "event"
+    } else {
+        return None;
+    };
+    // Lists on this page already claimed the concept: the page is a listing,
+    // not a detail page about one entity.
+    if exclude_concepts.contains(&concept) {
+        return None;
+    }
+    // A record with nothing but a city is noise.
+    if fields.len() < 2 {
+        return None;
+    }
+    if let Some(h) = hours_merged {
+        fields.retain(|(k, _)| k != "hours");
+        if concept == "restaurant" {
+            fields.push(("hours".to_string(), h));
+        }
+    }
+    if concept != "restaurant" {
+        fields.retain(|(k, _)| !matches!(k.as_str(), "street" | "zip" | "hours"));
+    }
+    if concept != "event" {
+        fields.retain(|(k, _)| k != "date");
+    }
+    Some(ExtractedRecord {
+        concept: Some(concept.to_string()),
+        fields,
+        confidence: 0.75,
+        source_url: page.url.clone(),
+    })
+}
+
+/// Mine `(label, value)` pairs from labeled-field markup: an element whose
+/// first child's text ends with `:` labels the text of its remaining
+/// children. Site-independent — only the labeling *convention* is assumed.
+pub fn labeled_fields(dom: &woc_webgen::Node) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (_, node) in dom.walk() {
+        let kids = node.child_nodes();
+        if kids.len() < 2 {
+            continue;
+        }
+        let label_text = kids[0].text_content();
+        let Some(label) = label_text.strip_suffix(':') else {
+            continue;
+        };
+        if label.is_empty() || label.len() > 20 || label.contains(' ') && label.len() > 16 {
+            continue;
+        }
+        let value = kids[1..]
+            .iter()
+            .map(|k| k.text_content())
+            .collect::<Vec<_>>()
+            .join(" ")
+            .trim()
+            .to_string();
+        if !value.is_empty() {
+            out.push((label.trim().to_lowercase(), value));
+        }
+    }
+    out
+}
+
+/// Extract all records from one page honoring ablation flags.
+pub fn extract_page_with(
+    page: &Page,
+    profiles: &[ConceptProfile],
+    use_lists: bool,
+    use_detail: bool,
+) -> Vec<ExtractedRecord> {
+    let mut out = if use_lists {
+        extract_lists(page, profiles)
+    } else {
+        Vec::new()
+    };
+    if use_detail {
+        let claimed = woc_extract::lists::claimed_concepts(page, profiles, 2);
+        let claimed_refs: Vec<&str> = claimed.iter().map(String::as_str).collect();
+        if let Some(rec) = detail_extract(page, &claimed_refs) {
+            out.push(rec);
+        }
+    }
+    out
+}
+
+/// Extract all records from one page (lists + detail).
+pub fn extract_page(page: &Page, profiles: &[ConceptProfile]) -> Vec<ExtractedRecord> {
+    let mut out = extract_lists(page, profiles);
+    // Suppression uses a lower row minimum than extraction: even a two-row
+    // listing marks the page as a listing, not a detail page.
+    let claimed = woc_extract::lists::claimed_concepts(page, profiles, 2);
+    let claimed_refs: Vec<&str> = claimed.iter().map(String::as_str).collect();
+    // Detail extraction complements lists: the page-level record — unless a
+    // list already claimed the same concept (listing pages are not about one
+    // entity).
+    if let Some(rec) = detail_extract(page, &claimed_refs) {
+        out.push(rec);
+    }
+    out
+}
+
+/// Build the web of concepts from a corpus.
+pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
+    let (registry, concepts) = standard_registry();
+    let mut store = Store::new();
+    let mut lineage = Lineage::new();
+    let mut web = ConceptWeb::new();
+    let tick = config.tick;
+    let profiles = ConceptProfile::standard();
+
+    // --- Stage A: page extraction (parallel over pages) -----------------
+    let pages: Vec<&Page> = corpus.pages().iter().collect();
+    let (use_lists, use_detail) = (config.use_lists, config.use_detail);
+    let extracted: Vec<Vec<ExtractedRecord>> = if config.parallel && pages.len() > 64 {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(8);
+        let chunk = pages.len().div_ceil(workers);
+        let mut results: Vec<Vec<Vec<ExtractedRecord>>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = pages
+                .chunks(chunk)
+                .map(|ps| {
+                    let profiles = &profiles;
+                    scope.spawn(move |_| {
+                        ps.iter()
+                            .map(|p| extract_page_with(p, profiles, use_lists, use_detail))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.push(h.join().expect("extraction worker panicked"));
+            }
+        })
+        .expect("extraction scope");
+        results.into_iter().flatten().collect()
+    } else {
+        pages
+            .iter()
+            .map(|p| extract_page_with(p, &profiles, use_lists, use_detail))
+            .collect()
+    };
+
+    // --- Stage B: typed record creation with lineage --------------------
+    let concept_id = |name: &str| registry.id_of(name).expect("standard concept");
+    let mut created: Vec<LrecId> = Vec::new();
+    for (page, recs) in pages.iter().zip(&extracted) {
+        if recs.is_empty() {
+            continue;
+        }
+        let doc_node = lineage.document(&page.url);
+        for rec in recs {
+            let Some(concept_name) = rec.concept.as_deref() else {
+                continue;
+            };
+            let cid = concept_id(concept_name);
+            let op = if rec.fields.len() > 1 && rec.confidence >= 0.75 {
+                "detail-extractor"
+            } else {
+                "list-extractor"
+            };
+            let op_node = lineage.operator(op, vec![doc_node]);
+            // Publication rows carry the raw citation text; refine it into
+            // title/authors with the unsupervised citation parser.
+            let mut fields: Vec<(String, String)> = rec.fields.clone();
+            if concept_name == "publication" {
+                if let Some(text) = fields
+                    .iter()
+                    .find(|(k, _)| k == "text")
+                    .map(|(_, v)| v.clone())
+                {
+                    let parsed = woc_extract::citations::parse_citation(&text);
+                    fields.retain(|(k, _)| k != "text" && k != "name");
+                    if let Some(t) = parsed.title {
+                        fields.push(("title".to_string(), t));
+                    }
+                    if let Some(a) = parsed.authors {
+                        fields.push(("author_names".to_string(), a));
+                    }
+                }
+            }
+            let id = store.insert(cid, tick, |r| {
+                for (field, raw) in &fields {
+                    r.add(
+                        field,
+                        type_value(field, raw),
+                        Provenance::extracted(&page.url, op, rec.confidence, tick),
+                    );
+                }
+            });
+            lineage.record(id, op_node);
+            web.associate(id, &page.url, AssocKind::ExtractedFrom);
+            created.push(id);
+        }
+    }
+
+    // --- Stage C: entity resolution per concept --------------------------
+    // Every mutating store operation gets its own strictly-increasing tick.
+    let mut clock = tick;
+    let mut next_tick = move || {
+        clock = clock.next();
+        clock
+    };
+    for cname in ["restaurant", "menu_item", "publication", "event", "product"] {
+        if !config.resolve_entities {
+            break;
+        }
+        let cid = concept_id(cname);
+        let ids: Vec<LrecId> = store.by_concept(cid);
+        if ids.len() < 2 {
+            continue;
+        }
+        let recs: Vec<Lrec> = ids.iter().map(|&i| store.latest(i).unwrap().clone()).collect();
+        let refs: Vec<&Lrec> = recs.iter().collect();
+        let pairs = candidate_pairs(&refs, 200);
+        let fs = scorer_for(cname);
+        let scored: Vec<(usize, usize, f64)> = pairs
+            .iter()
+            .map(|&(i, j)| (i, j, fs.score(&recs[i], &recs[j])))
+            .collect();
+        let mut uf = if config.collective {
+            // Relational evidence: records extracted from pages that mention
+            // each other… for the corpus here, shared source hosts carry no
+            // evidence, so neighbors are records sharing a source document.
+            let mut doc_members: HashMap<&str, Vec<usize>> = HashMap::new();
+            for (i, id) in ids.iter().enumerate() {
+                for (url, _) in web.docs_of(*id) {
+                    doc_members.entry(url.as_str()).or_default().push(i);
+                }
+            }
+            let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); ids.len()];
+            for members in doc_members.values() {
+                for &i in members {
+                    for &j in members {
+                        if i != j {
+                            neighbors[i].push(j);
+                        }
+                    }
+                }
+            }
+            let (uf, _) = woc_matching::resolve_collective(
+                ids.len(),
+                &scored,
+                &neighbors,
+                &CollectiveConfig {
+                    accept: fs.upper,
+                    relational_weight: 0.8,
+                    max_iters: 5,
+                },
+            );
+            uf
+        } else {
+            woc_matching::resolve_pairwise(ids.len(), &scored, fs.upper)
+        };
+        // Merge clusters: the member with the most values wins.
+        for cluster in uf.clusters() {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let winner_idx = *cluster
+                .iter()
+                .max_by_key(|&&i| recs[i].num_values())
+                .unwrap();
+            let winner = ids[winner_idx];
+            let mut inputs = vec![];
+            for &i in &cluster {
+                if let Some(&n) = lineage.nodes_of_record(ids[i]).first() {
+                    inputs.push(n);
+                }
+            }
+            let op = lineage.operator("entity-matcher", inputs);
+            lineage.record(winner, op);
+            for &i in &cluster {
+                if ids[i] != winner {
+                    store
+                        .merge(winner, ids[i], next_tick())
+                        .expect("merge of live records");
+                }
+            }
+        }
+    }
+    web.resolve_merges(&store);
+
+    // --- Stage C2: reconciliation ----------------------------------------
+    for id in store.live_ids() {
+        if !config.reconcile_values {
+            break;
+        }
+        let rec = store.latest(id).unwrap().clone();
+        let Some(schema) = registry.schema(rec.concept()) else {
+            continue;
+        };
+        let recon = crate::uncertainty::reconcile(&rec, schema);
+        if !recon.conflicts.is_empty() || rec.num_values() > rec.num_attrs() {
+            store
+                .update(id, next_tick(), |r| {
+                    crate::uncertainty::apply_reconciliation(r, &recon, "reconciler");
+                })
+                .expect("reconcile update");
+        }
+    }
+
+    // --- Stage D: review → record linking --------------------------------
+    let restaurant_recs: Vec<Lrec> = store
+        .by_concept(concepts.restaurant)
+        .into_iter()
+        .map(|id| store.latest(id).unwrap().clone())
+        .collect();
+    if !restaurant_recs.is_empty() {
+        let matcher = GenerativeMatcher::build(restaurant_recs.iter(), &[], 0.6);
+        for rid in store.by_concept(concepts.review) {
+            let Some(text) = store.latest(rid).and_then(|r| r.best_text("text").map(str::to_string))
+            else {
+                continue;
+            };
+            if let Some((target, margin)) = matcher.match_text(&text) {
+                if margin >= config.review_margin {
+                    let conf = 1.0 - (-margin).exp();
+                    let t = next_tick();
+                    store
+                        .update(rid, t, |r| {
+                            r.set(
+                                "about",
+                                AttrValue::Ref(target),
+                                Provenance::derived("review-linker", conf, t),
+                            );
+                        })
+                        .expect("review link update");
+                    let rec_node = lineage
+                        .nodes_of_record(rid)
+                        .first()
+                        .copied()
+                        .unwrap_or_else(|| lineage.operator("review-linker", vec![]));
+                    let op = lineage.operator("review-linker", vec![rec_node]);
+                    lineage.record(rid, op);
+                    for (url, kind) in web.docs_of(rid).to_vec() {
+                        if kind == AssocKind::ExtractedFrom {
+                            web.associate(target, &url, AssocKind::ReviewOf);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Stage E: semantic linking (record mentions in documents) --------
+    let mention_targets: Vec<(LrecId, String)> = store
+        .live_ids()
+        .into_iter()
+        .filter_map(|id| {
+            let rec = store.latest(id)?;
+            let name = rec.best_string("name").or_else(|| rec.best_string("title"))?;
+            let norm = normalize(&name);
+            // Short/generic names create false mentions; require 2+ tokens.
+            (norm.split(' ').count() >= 2).then_some((id, norm))
+        })
+        .collect();
+    for page in &pages {
+        let text = normalize(&page.text());
+        for (id, name) in &mention_targets {
+            if text.contains(name.as_str())
+                && !web
+                    .records_of(&page.url)
+                    .iter()
+                    .any(|(r, _)| r == id)
+            {
+                web.associate(*id, &page.url, AssocKind::Mentions);
+            }
+        }
+    }
+
+    // --- Stage E2: augmentation links ("Customers also bought") ----------
+    // Product pages advertise complements; resolve anchor names to product
+    // records and store typed `augments` refs (the §5.4 Augmentations data).
+    let product_by_name: HashMap<String, LrecId> = store
+        .by_concept(concepts.product)
+        .into_iter()
+        .filter_map(|id| {
+            store
+                .latest(id)
+                .and_then(|r| r.best_string("name"))
+                .map(|n| (normalize(&n), id))
+        })
+        .collect();
+    for page in &pages {
+        let mut also: Vec<LrecId> = Vec::new();
+        let mut in_also = false;
+        for (_, n) in page.dom.walk() {
+            if n.tag() == Some("h2") {
+                in_also = n.text_content().to_lowercase().contains("also bought");
+                continue;
+            }
+            if in_also && n.tag() == Some("a") {
+                if let Some(&id) = product_by_name.get(&normalize(&n.text_content())) {
+                    also.push(id);
+                }
+            }
+        }
+        if also.is_empty() {
+            continue;
+        }
+        let owner = web
+            .records_of(&page.url)
+            .iter()
+            .filter(|(_, k)| *k == AssocKind::ExtractedFrom)
+            .filter_map(|(r, _)| store.resolve(*r))
+            .find(|&r| store.latest(r).is_some_and(|x| x.concept() == concepts.product));
+        if let Some(owner) = owner {
+            let t = next_tick();
+            let existing: Vec<LrecId> = store
+                .latest(owner)
+                .map(|r| r.get("augments").iter().filter_map(|e| e.value.as_ref_id()).collect())
+                .unwrap_or_default();
+            let fresh: Vec<LrecId> = also
+                .into_iter()
+                .filter(|a| *a != owner && !existing.contains(a))
+                .collect();
+            if !fresh.is_empty() {
+                store
+                    .update(owner, t, |r| {
+                        for a in &fresh {
+                            r.add(
+                                "augments",
+                                AttrValue::Ref(*a),
+                                Provenance::derived("augment-linker", 0.8, t),
+                            );
+                        }
+                    })
+                    .expect("augment update");
+            }
+        }
+    }
+
+    // --- Stage F: homepage associations -----------------------------------
+    for id in store.live_ids() {
+        if let Some(url) = store.latest(id).and_then(|r| r.best_string("homepage")) {
+            if corpus.get(&url).is_some() {
+                web.associate(id, &url, AssocKind::Homepage);
+            }
+        }
+    }
+
+    // --- Stage G: indexes ---------------------------------------------------
+    let mut record_index = LrecIndex::new();
+    for id in store.live_ids() {
+        record_index.add(store.latest(id).unwrap());
+    }
+    let mut doc_index = InvertedIndex::new();
+    let mut doc_urls = Vec::with_capacity(pages.len());
+    let mut doc_titles = Vec::with_capacity(pages.len());
+    for page in &pages {
+        doc_index.add_text(&format!("{} {}", page.title, page.text()));
+        doc_urls.push(page.url.clone());
+        doc_titles.push(page.title.clone());
+    }
+
+    WebOfConcepts {
+        registry,
+        concepts,
+        store,
+        lineage,
+        web,
+        record_index,
+        doc_index,
+        doc_urls,
+        doc_titles,
+    }
+}
+
+/// The Fellegi–Sunter scorer for each concept.
+pub(crate) fn scorer_for(concept: &str) -> FellegiSunter {
+    use woc_matching::AttrParams;
+    match concept {
+        "restaurant" => FellegiSunter::restaurant_default(),
+        "publication" => FellegiSunter {
+            attrs: vec![
+                AttrParams { key: "name".into(), m: 0.9, u: 0.02, agree_threshold: 0.8 },
+                AttrParams { key: "venue".into(), m: 0.95, u: 0.15, agree_threshold: 0.95 },
+                AttrParams { key: "year".into(), m: 0.95, u: 0.1, agree_threshold: 0.99 },
+            ],
+            upper: 3.0,
+            lower: 0.0,
+        },
+        "menu_item" => FellegiSunter {
+            attrs: vec![
+                AttrParams { key: "name".into(), m: 0.95, u: 0.01, agree_threshold: 0.9 },
+                AttrParams { key: "price".into(), m: 0.8, u: 0.05, agree_threshold: 0.95 },
+            ],
+            // Menu items on different restaurants share names (same dish
+            // pool); require both name AND price to agree.
+            upper: 5.0,
+            lower: 0.0,
+        },
+        "event" => FellegiSunter {
+            attrs: vec![
+                AttrParams { key: "name".into(), m: 0.95, u: 0.02, agree_threshold: 0.85 },
+                AttrParams { key: "date".into(), m: 0.95, u: 0.02, agree_threshold: 0.99 },
+            ],
+            upper: 3.5,
+            lower: 0.0,
+        },
+        _ => FellegiSunter {
+            attrs: vec![AttrParams {
+                key: "name".into(),
+                m: 0.9,
+                u: 0.01,
+                agree_threshold: 0.9,
+            }],
+            upper: 3.0,
+            lower: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_webgen::{generate_corpus, CorpusConfig, PageKind, World, WorldConfig};
+
+
+    fn small_woc() -> (World, WebCorpus, WebOfConcepts) {
+        let world = World::generate(WorldConfig::tiny(201));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(11));
+        let woc = build(&corpus, &PipelineConfig::default());
+        (world, corpus, woc)
+    }
+
+    #[test]
+    fn parse_date_formats() {
+        assert_eq!(
+            parse_date("January 20, 2010"),
+            Some(Date { year: 2010, month: 1, day: 20 })
+        );
+        assert_eq!(
+            parse_date("1/20/2010"),
+            Some(Date { year: 2010, month: 1, day: 20 })
+        );
+        assert_eq!(parse_date("not a date"), None);
+        assert_eq!(parse_date("13/45/2010"), None);
+    }
+
+    #[test]
+    fn type_value_conversions() {
+        assert_eq!(
+            type_value("phone", "(408) 555-0134"),
+            AttrValue::Phone("4085550134".into())
+        );
+        assert_eq!(type_value("zip", "95014"), AttrValue::Zip("95014".into()));
+        assert_eq!(type_value("price", "$9.95"), AttrValue::PriceCents(995));
+        assert_eq!(type_value("rating", "4"), AttrValue::Int(4));
+        assert_eq!(type_value("name", "Gochi"), AttrValue::Text("Gochi".into()));
+        // Unparseable falls back to text, never lost.
+        assert_eq!(type_value("phone", "call us"), AttrValue::Text("call us".into()));
+    }
+
+    #[test]
+    fn labeled_fields_mined_from_markup() {
+        let dom = woc_webgen::parse_html(
+            r#"<html><body>
+                <div><span>Brand:</span><span>Nikon</span></div>
+                <div><span>Model:</span><span>D40</span></div>
+                <div><span>Notes</span><span>no colon, not a label</span></div>
+                <div><span>Way Too Long A Label For Mining:</span><span>x</span></div>
+            </body></html>"#,
+        );
+        let fields = labeled_fields(&dom);
+        assert!(fields.contains(&("brand".to_string(), "Nikon".to_string())));
+        assert!(fields.contains(&("model".to_string(), "D40".to_string())));
+        assert!(!fields.iter().any(|(k, _)| k.contains("notes")));
+        assert!(!fields.iter().any(|(k, _)| k.contains("too long")));
+    }
+
+    #[test]
+    fn detail_extract_products_carry_brand_and_category() {
+        // Label mining only works on sites that label their fields; at least
+        // one seller site does, and its product records must carry
+        // brand/category mined off the markup.
+        let world = World::generate(WorldConfig {
+            sellers: 6,
+            ..WorldConfig::tiny(205)
+        });
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(45));
+        let mut mined = 0usize;
+        let mut product_pages = 0usize;
+        for page in corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == woc_webgen::PageKind::ProductPage)
+        {
+            product_pages += 1;
+            let Some(rec) = detail_extract(page, &[]) else { continue };
+            assert_eq!(rec.concept.as_deref(), Some("product"));
+            let has = |k: &str| rec.fields.iter().any(|(key, _)| key == k);
+            assert!(has("name"));
+            if has("brand") && has("category") {
+                mined += 1;
+            }
+        }
+        assert!(product_pages > 0);
+        assert!(
+            mined > 0,
+            "some labeled seller site must yield mined brand/category"
+        );
+    }
+
+    #[test]
+    fn pipeline_builds_restaurants() {
+        let (world, _corpus, woc) = small_woc();
+        let restaurants = woc.records_of(woc.concepts.restaurant);
+        assert!(
+            !restaurants.is_empty(),
+            "pipeline must produce restaurant records"
+        );
+        // Merging should bring the count near the true number (each
+        // restaurant appears on up to 2 aggregators + its homepage).
+        assert!(
+            restaurants.len() <= world.restaurants.len() * 2,
+            "too many canonical restaurants: {} vs {} true",
+            restaurants.len(),
+            world.restaurants.len()
+        );
+    }
+
+    #[test]
+    fn canonical_records_have_sources_and_lineage() {
+        let (_, _, woc) = small_woc();
+        for rec in woc.records_of(woc.concepts.restaurant) {
+            let docs = woc.web.docs_of_kind(rec.id(), AssocKind::ExtractedFrom);
+            assert!(!docs.is_empty(), "record {} has no source docs", rec.id());
+            let explanation = woc.lineage.explain(rec.id());
+            assert!(
+                explanation.iter().any(|s| s.starts_with("operator")),
+                "record {} lineage lacks operators",
+                rec.id()
+            );
+        }
+    }
+
+    #[test]
+    fn gochi_is_findable() {
+        let (_, _, woc) = small_woc();
+        let hits = woc
+            .record_index
+            .query("gochi cupertino", 5, |n| woc.registry.id_of(n));
+        assert!(!hits.is_empty(), "gochi must be in the web of concepts");
+        let top = woc.store.latest(hits[0].id).unwrap();
+        let name = top.best_string("name").unwrap_or_default();
+        assert!(name.to_lowercase().contains("gochi"), "got {name}");
+    }
+
+    #[test]
+    fn reviews_linked_to_restaurants() {
+        let (_, _, woc) = small_woc();
+        let reviews = woc.records_of(woc.concepts.review);
+        assert!(!reviews.is_empty(), "reviews extracted");
+        let linked = reviews
+            .iter()
+            .filter(|r| r.best("about").is_some_and(|e| e.value.as_ref_id().is_some()))
+            .count();
+        assert!(
+            linked * 2 > reviews.len(),
+            "most reviews should link: {linked}/{}",
+            reviews.len()
+        );
+    }
+
+    #[test]
+    fn mentions_found_in_articles() {
+        let (_, corpus, woc) = small_woc();
+        let article_urls: Vec<&str> = corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::Article)
+            .map(|p| p.url.as_str())
+            .collect();
+        let mentioned = article_urls
+            .iter()
+            .filter(|u| {
+                woc.web
+                    .records_of(u)
+                    .iter()
+                    .any(|(_, k)| *k == AssocKind::Mentions)
+            })
+            .count();
+        assert!(
+            mentioned > 0,
+            "semantic linking should annotate some of {} articles",
+            article_urls.len()
+        );
+    }
+
+    #[test]
+    fn doc_index_covers_corpus() {
+        let (_, corpus, woc) = small_woc();
+        assert_eq!(woc.doc_index.num_docs(), corpus.len());
+        let hits = woc.doc_index.search("gochi", 5);
+        assert!(!hits.is_empty());
+        assert!(woc.doc_url(hits[0].doc).contains("gochi"));
+    }
+
+    #[test]
+    fn sequential_equals_parallel() {
+        let world = World::generate(WorldConfig::tiny(202));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(12));
+        let seq = build(
+            &corpus,
+            &PipelineConfig {
+                parallel: false,
+                ..PipelineConfig::default()
+            },
+        );
+        let par = build(&corpus, &PipelineConfig::default());
+        assert_eq!(seq.store.live_count(), par.store.live_count());
+        assert_eq!(seq.store.total_created(), par.store.total_created());
+    }
+}

@@ -1,0 +1,150 @@
+//! Corpus quality assessment (paper §7.3).
+//!
+//! "For quality assessment, we need to track the uncertainty in the
+//! extracted records as data flows through various operators." This module
+//! rolls per-record reconciliation quality, schema conformance and sourcing
+//! up into a corpus-level [`QualityReport`] — the dashboard an operator of a
+//! web of concepts would watch across recrawls.
+
+use std::collections::BTreeMap;
+
+use crate::pipeline::WebOfConcepts;
+use crate::uncertainty::{quality_score, reconcile};
+
+/// Quality roll-up for one concept.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConceptQuality {
+    /// Live records of the concept.
+    pub records: usize,
+    /// Mean record quality score (confidence × conflict damping).
+    pub mean_quality: f64,
+    /// Records with at least one schema violation.
+    pub records_with_violations: usize,
+    /// Records with at least one unresolved value conflict.
+    pub records_with_conflicts: usize,
+    /// Records corroborated by ≥2 distinct source documents.
+    pub multi_source_records: usize,
+}
+
+/// Corpus-wide quality report.
+#[derive(Debug, Clone, Default)]
+pub struct QualityReport {
+    /// Per-concept roll-ups, keyed by concept name.
+    pub concepts: BTreeMap<String, ConceptQuality>,
+}
+
+impl QualityReport {
+    /// Total live records covered.
+    pub fn total_records(&self) -> usize {
+        self.concepts.values().map(|c| c.records).sum()
+    }
+
+    /// Corpus-wide mean quality (record-weighted).
+    pub fn overall_quality(&self) -> f64 {
+        let total = self.total_records();
+        if total == 0 {
+            return 0.0;
+        }
+        self.concepts
+            .values()
+            .map(|c| c.mean_quality * c.records as f64)
+            .sum::<f64>()
+            / total as f64
+    }
+
+    /// Render as a fixed-width table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<14} {:>8} {:>9} {:>11} {:>10} {:>12}\n",
+            "concept", "records", "quality", "violations", "conflicts", "multi-source"
+        );
+        for (name, q) in &self.concepts {
+            out.push_str(&format!(
+                "{:<14} {:>8} {:>9.3} {:>11} {:>10} {:>12}\n",
+                name,
+                q.records,
+                q.mean_quality,
+                q.records_with_violations,
+                q.records_with_conflicts,
+                q.multi_source_records
+            ));
+        }
+        out
+    }
+}
+
+/// Assess the whole corpus.
+pub fn assess(woc: &WebOfConcepts) -> QualityReport {
+    let mut report = QualityReport::default();
+    for id in woc.store.live_ids() {
+        let Some(rec) = woc.store.latest(id) else {
+            continue;
+        };
+        let Some(schema) = woc.registry.schema(rec.concept()) else {
+            continue;
+        };
+        let entry = report
+            .concepts
+            .entry(schema.name().to_string())
+            .or_default();
+        entry.records += 1;
+        let recon = reconcile(rec, schema);
+        entry.mean_quality += quality_score(&recon);
+        if !schema.check(rec).is_empty() {
+            entry.records_with_violations += 1;
+        }
+        if !recon.conflicts.is_empty() {
+            entry.records_with_conflicts += 1;
+        }
+        if woc.lineage.source_documents(id).len() >= 2 {
+            entry.multi_source_records += 1;
+        }
+    }
+    for q in report.concepts.values_mut() {
+        if q.records > 0 {
+            q.mean_quality /= q.records as f64;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    #[test]
+    fn report_covers_all_concepts_with_sane_numbers() {
+        let world = World::generate(WorldConfig::tiny(901));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(81));
+        let woc = build(&corpus, &PipelineConfig::default());
+        let report = assess(&woc);
+        assert_eq!(report.total_records(), woc.store.live_count());
+        assert!(report.concepts.contains_key("restaurant"));
+        for (name, q) in &report.concepts {
+            assert!(q.records > 0, "{name} empty");
+            assert!(
+                (0.0..=1.0).contains(&q.mean_quality),
+                "{name} quality {}",
+                q.mean_quality
+            );
+            assert!(q.records_with_violations <= q.records);
+            assert!(q.multi_source_records <= q.records);
+        }
+        // Restaurants appear on several sources, so corroboration shows up.
+        let r = &report.concepts["restaurant"];
+        assert!(r.multi_source_records > 0, "merged restaurants are multi-source");
+        let rendered = report.render();
+        assert!(rendered.contains("restaurant"));
+        assert!(report.overall_quality() > 0.3);
+    }
+
+    #[test]
+    fn empty_web_empty_report() {
+        let woc = build(&woc_webgen::WebCorpus::new(), &PipelineConfig::default());
+        let report = assess(&woc);
+        assert_eq!(report.total_records(), 0);
+        assert_eq!(report.overall_quality(), 0.0);
+    }
+}

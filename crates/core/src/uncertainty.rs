@@ -1,0 +1,265 @@
+//! Uncertainty propagation and value reconciliation (paper §7.3).
+//!
+//! "Building a web of concepts will be an inherently noisy process since
+//! several operators … produce probabilistic/uncertain output. … the
+//! extracted information will often be inconsistent and will need to be
+//! reconciled to meet integrity constraints."
+//!
+//! Values asserted by several independent sources are grouped by denotation
+//! and their confidences combined by noisy-or (corroboration raises
+//! confidence); the per-attribute cardinality from the concept schema then
+//! selects the top value groups, and losers are reported as
+//! [`Conflict`]s so applications can explain disagreements.
+
+use woc_lrec::provenance::noisy_or;
+use woc_lrec::{Cardinality, ConceptSchema, Lrec, ValueEntry};
+
+/// A reconciled attribute value with its combined confidence and supports.
+#[derive(Debug, Clone)]
+pub struct ReconciledValue {
+    /// The representative entry (highest-confidence member of the group).
+    pub entry: ValueEntry,
+    /// Combined (noisy-or) confidence over all corroborating sources.
+    pub combined_confidence: f64,
+    /// Number of corroborating assertions.
+    pub support: usize,
+}
+
+/// A conflict: a value group that lost reconciliation under the cardinality
+/// constraint.
+#[derive(Debug, Clone)]
+pub struct Conflict {
+    /// The attribute.
+    pub attr: String,
+    /// Display of the losing value.
+    pub losing_value: String,
+    /// Its combined confidence.
+    pub confidence: f64,
+    /// Display of the winning value it conflicts with.
+    pub winning_value: String,
+}
+
+/// Result of reconciling one record.
+#[derive(Debug, Clone, Default)]
+pub struct Reconciliation {
+    /// Kept values per attribute (attribute, reconciled values).
+    pub kept: Vec<(String, Vec<ReconciledValue>)>,
+    /// Dropped conflicting values.
+    pub conflicts: Vec<Conflict>,
+}
+
+/// Group an attribute's entries by denotation and combine confidences.
+pub fn group_by_denotation(entries: &[ValueEntry]) -> Vec<ReconciledValue> {
+    let mut groups: Vec<Vec<&ValueEntry>> = Vec::new();
+    for e in entries {
+        match groups
+            .iter_mut()
+            .find(|g| g[0].value.same_denotation(&e.value))
+        {
+            Some(g) => g.push(e),
+            None => groups.push(vec![e]),
+        }
+    }
+    let mut out: Vec<ReconciledValue> = groups
+        .into_iter()
+        .map(|g| {
+            let combined = noisy_or(g.iter().map(|e| e.provenance.confidence));
+            let best = g
+                .iter()
+                .max_by(|a, b| {
+                    a.provenance
+                        .confidence
+                        .partial_cmp(&b.provenance.confidence)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap();
+            ReconciledValue {
+                entry: (*best).clone(),
+                combined_confidence: combined,
+                support: g.len(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.combined_confidence
+            .partial_cmp(&a.combined_confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// Reconcile a record against its schema: per attribute, keep the top
+/// groups allowed by the cardinality and report the rest as conflicts.
+/// Attributes not in the schema are treated as `Many` (loose model).
+pub fn reconcile(rec: &Lrec, schema: &ConceptSchema) -> Reconciliation {
+    let mut result = Reconciliation::default();
+    for (attr, entries) in rec.iter() {
+        let groups = group_by_denotation(entries);
+        let cardinality = schema
+            .attr(attr)
+            .map(|s| s.cardinality)
+            .unwrap_or(Cardinality::Many);
+        let limit = match cardinality {
+            Cardinality::One => 1,
+            Cardinality::AtMost(k) => k as usize,
+            Cardinality::Many => usize::MAX,
+        };
+        let (kept, dropped) = if groups.len() > limit {
+            let (a, b) = groups.split_at(limit);
+            (a.to_vec(), b.to_vec())
+        } else {
+            (groups, Vec::new())
+        };
+        let winner = kept
+            .first()
+            .map(|v| v.entry.value.display_string())
+            .unwrap_or_default();
+        for d in dropped {
+            result.conflicts.push(Conflict {
+                attr: attr.to_string(),
+                losing_value: d.entry.value.display_string(),
+                confidence: d.combined_confidence,
+                winning_value: winner.clone(),
+            });
+        }
+        result.kept.push((attr.to_string(), kept));
+    }
+    result
+}
+
+/// Apply a reconciliation back onto a record: replace each attribute's
+/// entries with the kept representatives, stamping the combined confidence.
+pub fn apply_reconciliation(rec: &mut Lrec, recon: &Reconciliation, operator: &str) {
+    for (attr, values) in &recon.kept {
+        rec.remove(attr);
+        for v in values {
+            let mut prov = v.entry.provenance.clone();
+            prov.confidence = v.combined_confidence;
+            prov.operator = operator.to_string();
+            rec.add(attr, v.entry.value.clone(), prov);
+        }
+    }
+}
+
+/// Overall record quality: mean combined confidence of kept values, damped
+/// by the fraction of conflicting attributes.
+pub fn quality_score(recon: &Reconciliation) -> f64 {
+    let values: Vec<f64> = recon
+        .kept
+        .iter()
+        .flat_map(|(_, vs)| vs.iter().map(|v| v.combined_confidence))
+        .collect();
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let conflict_attrs: std::collections::HashSet<&str> =
+        recon.conflicts.iter().map(|c| c.attr.as_str()).collect();
+    let damp = 1.0 - 0.5 * (conflict_attrs.len() as f64 / recon.kept.len().max(1) as f64);
+    mean * damp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_lrec::{AttrKind, AttrSpec, AttrValue, ConceptId, LrecId, Provenance, Tick};
+
+    fn schema() -> ConceptSchema {
+        ConceptSchema::new(
+            ConceptId(0),
+            "restaurant",
+            vec![
+                AttrSpec::new("zip", AttrKind::Zip, Cardinality::One),
+                AttrSpec::new("phone", AttrKind::Phone, Cardinality::AtMost(2)),
+                AttrSpec::new("name", AttrKind::Text, Cardinality::One),
+            ],
+        )
+    }
+
+    fn entry(v: AttrValue, c: f64) -> ValueEntry {
+        ValueEntry {
+            value: v,
+            provenance: Provenance::derived("test", c, Tick(0)),
+        }
+    }
+
+    #[test]
+    fn corroboration_raises_confidence() {
+        let groups = group_by_denotation(&[
+            entry(AttrValue::Zip("95014".into()), 0.6),
+            entry(AttrValue::Zip("95014".into()), 0.6),
+            entry(AttrValue::Zip("99999".into()), 0.7),
+        ]);
+        assert_eq!(groups.len(), 2);
+        // Two 0.6 assertions beat one 0.7 assertion: 1-(0.4)² = 0.84.
+        assert!((groups[0].combined_confidence - 0.84).abs() < 1e-9);
+        assert_eq!(groups[0].support, 2);
+        assert_eq!(groups[0].entry.value, AttrValue::Zip("95014".into()));
+    }
+
+    #[test]
+    fn denotation_groups_cross_formats() {
+        let groups = group_by_denotation(&[
+            entry(AttrValue::Phone("4085550134".into()), 0.5),
+            entry(AttrValue::Text("(408) 555-0134".into()), 0.5),
+        ]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].support, 2);
+    }
+
+    #[test]
+    fn reconcile_enforces_cardinality_and_reports_conflicts() {
+        let mut r = Lrec::new(LrecId(1), ConceptId(0));
+        r.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("a", 0.9, Tick(0)));
+        r.add("zip", AttrValue::Zip("60601".into()), Provenance::derived("b", 0.4, Tick(0)));
+        let recon = reconcile(&r, &schema());
+        let zips = &recon.kept.iter().find(|(k, _)| k == "zip").unwrap().1;
+        assert_eq!(zips.len(), 1);
+        assert_eq!(zips[0].entry.value, AttrValue::Zip("95014".into()));
+        assert_eq!(recon.conflicts.len(), 1);
+        assert_eq!(recon.conflicts[0].losing_value, "60601");
+        assert_eq!(recon.conflicts[0].winning_value, "95014");
+    }
+
+    #[test]
+    fn unknown_attrs_kept_loosely() {
+        let mut r = Lrec::new(LrecId(1), ConceptId(0));
+        r.add("parking", AttrValue::Text("street".into()), Provenance::derived("a", 0.5, Tick(0)));
+        r.add("parking", AttrValue::Text("valet".into()), Provenance::derived("b", 0.5, Tick(0)));
+        let recon = reconcile(&r, &schema());
+        let parking = &recon.kept.iter().find(|(k, _)| k == "parking").unwrap().1;
+        assert_eq!(parking.len(), 2, "Many cardinality keeps all groups");
+        assert!(recon.conflicts.is_empty());
+    }
+
+    #[test]
+    fn apply_reconciliation_rewrites_record() {
+        let mut r = Lrec::new(LrecId(1), ConceptId(0));
+        r.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("a", 0.6, Tick(0)));
+        r.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("b", 0.6, Tick(0)));
+        r.add("zip", AttrValue::Zip("60601".into()), Provenance::derived("c", 0.3, Tick(0)));
+        let recon = reconcile(&r, &schema());
+        apply_reconciliation(&mut r, &recon, "reconciler");
+        assert_eq!(r.get("zip").len(), 1);
+        let e = &r.get("zip")[0];
+        assert!((e.provenance.confidence - 0.84).abs() < 1e-9);
+        assert_eq!(e.provenance.operator, "reconciler");
+    }
+
+    #[test]
+    fn quality_reflects_conflicts() {
+        let mut clean = Lrec::new(LrecId(1), ConceptId(0));
+        clean.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("a", 0.9, Tick(0)));
+        let mut dirty = clean.clone();
+        dirty.add("zip", AttrValue::Zip("60601".into()), Provenance::derived("b", 0.8, Tick(0)));
+        let q_clean = quality_score(&reconcile(&clean, &schema()));
+        let q_dirty = quality_score(&reconcile(&dirty, &schema()));
+        assert!(q_clean > q_dirty, "{q_clean} vs {q_dirty}");
+    }
+
+    #[test]
+    fn empty_record_zero_quality() {
+        let r = Lrec::new(LrecId(1), ConceptId(0));
+        assert_eq!(quality_score(&reconcile(&r, &schema())), 0.0);
+    }
+}

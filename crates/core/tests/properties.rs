@@ -1,0 +1,108 @@
+//! Property tests for core invariants: lineage DAG laws, uncertainty
+//! algebra, taxonomy laws.
+
+use proptest::prelude::*;
+use woc_core::lineage::{Lineage, NodeId};
+use woc_core::{cluster_purity, group_by_denotation, Taxonomy};
+use woc_lrec::{AttrValue, LrecId, Provenance, Tick, ValueEntry};
+
+proptest! {
+    /// Lineage stays acyclic and ancestor/descendant views agree, for any
+    /// random construction sequence (inputs always drawn from existing
+    /// nodes, as the API enforces).
+    #[test]
+    fn lineage_dag_laws(ops in prop::collection::vec((0u8..3, prop::collection::vec(0usize..64, 0..3)), 1..40)) {
+        let mut l = Lineage::new();
+        l.document("seed");
+        for (kind, inputs) in ops {
+            let n = l.len();
+            let inputs: Vec<NodeId> = inputs
+                .into_iter()
+                .map(|i| NodeId((i % n) as u32))
+                .collect();
+            match kind {
+                0 => {
+                    l.operator("op", inputs);
+                }
+                1 => {
+                    let producer = inputs.first().copied().unwrap_or(NodeId(0));
+                    l.record(LrecId(n as u64), producer);
+                }
+                _ => {
+                    l.document(&format!("doc-{n}"));
+                }
+            }
+        }
+        for i in 0..l.len() as u32 {
+            let id = NodeId(i);
+            let ancestors = l.ancestors(id);
+            // Acyclic: a node is never its own ancestor.
+            prop_assert!(!ancestors.contains(&id));
+            // Ancestors have smaller ids (append-only construction).
+            for a in &ancestors {
+                prop_assert!(a.0 < id.0);
+                prop_assert!(l.descendants(*a).contains(&id));
+            }
+        }
+    }
+
+    /// Noisy-or grouping: combined confidence ≥ max member confidence,
+    /// groups are ordered by combined confidence, and support sums to the
+    /// number of entries.
+    #[test]
+    fn denotation_grouping_laws(confs in prop::collection::vec(0.01f64..0.99, 1..12),
+                                vals in prop::collection::vec(0u8..4, 1..12)) {
+        let n = confs.len().min(vals.len());
+        let entries: Vec<ValueEntry> = (0..n)
+            .map(|i| ValueEntry {
+                value: AttrValue::Text(format!("v{}", vals[i])),
+                provenance: Provenance::derived("p", confs[i], Tick(0)),
+            })
+            .collect();
+        let groups = group_by_denotation(&entries);
+        let support: usize = groups.iter().map(|g| g.support).sum();
+        prop_assert_eq!(support, n);
+        for g in &groups {
+            prop_assert!(g.combined_confidence <= 1.0 + 1e-9);
+            prop_assert!(g.combined_confidence + 1e-9 >= g.entry.provenance.confidence);
+        }
+        for w in groups.windows(2) {
+            prop_assert!(w[0].combined_confidence >= w[1].combined_confidence - 1e-9);
+        }
+    }
+
+    /// Taxonomy: is_a is reflexive and transitive along declared chains.
+    #[test]
+    fn taxonomy_laws(chain in prop::collection::vec("[a-h]", 2..8)) {
+        let mut t = Taxonomy::new();
+        // Build a chain with unique names to avoid accidental cycles.
+        let names: Vec<String> = chain.iter().enumerate().map(|(i, c)| format!("{c}{i}")).collect();
+        for w in names.windows(2) {
+            t.declare(&w[0], &w[1]);
+        }
+        for (i, n) in names.iter().enumerate() {
+            prop_assert!(t.is_a(n, n));
+            for ancestor in &names[i + 1..] {
+                prop_assert!(t.is_a(n, ancestor), "{n} is_a {ancestor}");
+                prop_assert!(!t.is_a(ancestor, n), "no inverse subsumption");
+            }
+        }
+        prop_assert_eq!(t.ancestors(&names[0]).len(), names.len() - 1);
+    }
+
+    /// Purity is 1.0 exactly when every cluster is label-pure.
+    #[test]
+    fn purity_laws(labels in prop::collection::vec(0u8..3, 1..12)) {
+        // Singleton clustering is always pure.
+        let singletons: Vec<Vec<usize>> = (0..labels.len()).map(|i| vec![i]).collect();
+        prop_assert!((cluster_purity(&singletons, &labels) - 1.0).abs() < 1e-12);
+        // One big cluster: purity = majority fraction.
+        let big = vec![(0..labels.len()).collect::<Vec<_>>()];
+        let mut counts = [0usize; 3];
+        for &l in &labels {
+            counts[l as usize] += 1;
+        }
+        let expected = *counts.iter().max().unwrap() as f64 / labels.len() as f64;
+        prop_assert!((cluster_purity(&big, &labels) - expected).abs() < 1e-12);
+    }
+}

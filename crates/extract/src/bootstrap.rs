@@ -1,0 +1,249 @@
+//! Aggregator mining by bootstrapping (paper §4.2).
+//!
+//! "The main idea is to use already extracted records to automatically
+//! generate labeled data and use it to extract more records. … if we can map
+//! a few of the menu items to our database, then we can infer that the list
+//! represents an Italian restaurant menu and can extract additional menu
+//! items from the list to add to the database. Thus, we can start from a
+//! small set of seed records and bootstrap to extract more records from
+//! sources that overlap with the current set."
+//!
+//! The loop: for every repeating region on every page, count rows whose name
+//! matches a known record of some concept; if at least `min_overlap` rows
+//! match, the whole list is claimed for that concept and the non-matching
+//! rows become *new* records for the next round. Iterate to fixpoint.
+
+use std::collections::HashSet;
+
+use woc_textkit::tokenize::normalize;
+use woc_webgen::Page;
+
+use crate::lists::{repeating_regions, type_row};
+use crate::wrapper::ExtractedRecord;
+
+/// Configuration of the bootstrapping loop.
+#[derive(Debug, Clone)]
+pub struct BootstrapConfig {
+    /// Minimum number of rows of a list that must match known records for
+    /// the list to be claimed.
+    pub min_overlap: usize,
+    /// Maximum rounds (a fixpoint usually arrives much earlier).
+    pub max_rounds: usize,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self {
+            min_overlap: 2,
+            max_rounds: 10,
+        }
+    }
+}
+
+/// Outcome of a bootstrapping run.
+#[derive(Debug, Clone)]
+pub struct BootstrapResult {
+    /// All known records at the end (seeds + harvested), with the round they
+    /// were acquired in (round 0 = seeds).
+    pub records: Vec<(ExtractedRecord, usize)>,
+    /// Number of rounds actually executed.
+    pub rounds: usize,
+}
+
+impl BootstrapResult {
+    /// Records harvested (excluding seeds).
+    pub fn harvested(&self) -> Vec<&ExtractedRecord> {
+        self.records
+            .iter()
+            .filter(|(_, round)| *round > 0)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// Records known per round (cumulative counts) — the growth curve of
+    /// experiment S4.
+    pub fn growth_curve(&self) -> Vec<usize> {
+        let max_round = self.records.iter().map(|(_, r)| *r).max().unwrap_or(0);
+        (0..=max_round)
+            .map(|r| self.records.iter().filter(|(_, rr)| *rr <= r).count())
+            .collect()
+    }
+}
+
+fn name_key(fields: &[(String, String)]) -> Option<String> {
+    fields
+        .iter()
+        .find(|(k, _)| k == "name")
+        .map(|(_, v)| normalize(v))
+        .filter(|v| !v.is_empty())
+}
+
+/// Run the bootstrapping loop over `pages`, starting from `seeds` — records
+/// of one concept (e.g. menu items) whose `name` fields are the keys used to
+/// recognize overlapping lists.
+pub fn bootstrap(
+    pages: &[&Page],
+    concept: &str,
+    seeds: &[ExtractedRecord],
+    config: &BootstrapConfig,
+) -> BootstrapResult {
+    let mut known: HashSet<String> = seeds.iter().filter_map(|r| name_key(&r.fields)).collect();
+    let mut records: Vec<(ExtractedRecord, usize)> =
+        seeds.iter().map(|r| (r.clone(), 0usize)).collect();
+
+    // Pre-compute typed rows per region per page once.
+    let typed_pages: Vec<Vec<Vec<crate::lists::RowFields>>> = pages
+        .iter()
+        .map(|p| {
+            repeating_regions(&p.dom, 3)
+                .into_iter()
+                .map(|reg| reg.rows.iter().map(|r| type_row(r)).collect())
+                .collect()
+        })
+        .collect();
+
+    let mut rounds = 0;
+    for round in 1..=config.max_rounds {
+        let mut grew = false;
+        for (pi, regions) in typed_pages.iter().enumerate() {
+            for rows in regions {
+                let keys: Vec<Option<String>> =
+                    rows.iter().map(|r| name_key(&r.fields)).collect();
+                let overlap = keys
+                    .iter()
+                    .filter(|k| k.as_ref().is_some_and(|k| known.contains(k)))
+                    .count();
+                if overlap < config.min_overlap {
+                    continue;
+                }
+                // Claim the list: every named row becomes a record.
+                for (row, key) in rows.iter().zip(&keys) {
+                    let Some(key) = key else { continue };
+                    if known.contains(key) {
+                        continue;
+                    }
+                    known.insert(key.clone());
+                    grew = true;
+                    records.push((
+                        ExtractedRecord {
+                            concept: Some(concept.to_string()),
+                            fields: row.fields.clone(),
+                            confidence: 0.6 + 0.1 * (overlap.min(4) as f64),
+                            source_url: pages[pi].url.clone(),
+                        },
+                        round,
+                    ));
+                }
+            }
+        }
+        rounds = round;
+        if !grew {
+            break;
+        }
+    }
+
+    BootstrapResult { records, rounds }
+}
+
+/// Build seed records from `(name)` strings.
+pub fn seeds_from_names(concept: &str, names: &[&str]) -> Vec<ExtractedRecord> {
+    names
+        .iter()
+        .map(|n| ExtractedRecord {
+            concept: Some(concept.to_string()),
+            fields: vec![("name".to_string(), (*n).to_string())],
+            confidence: 1.0,
+            source_url: "seed".to_string(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_webgen::sites::{generate_corpus, CorpusConfig};
+    use woc_webgen::{PageKind, World, WorldConfig};
+
+    #[test]
+    fn bootstrap_recovers_menu_items_from_seeds() {
+        let w = World::generate(WorldConfig {
+            restaurants: 25,
+            max_menu_items: 12,
+            ..WorldConfig::tiny(131)
+        });
+        let c = generate_corpus(&w, &CorpusConfig::tiny(7));
+        let menu_pages: Vec<&Page> = c
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::RestaurantMenu)
+            .collect();
+        // Seeds: dishes of the first restaurant only.
+        let seed_names: Vec<String> = menu_pages[0]
+            .truth
+            .records
+            .iter()
+            .take(3)
+            .map(|t| t.field("name").unwrap().to_string())
+            .collect();
+        let seed_refs: Vec<&str> = seed_names.iter().map(String::as_str).collect();
+        let seeds = seeds_from_names("menu_item", &seed_refs);
+        let result = bootstrap(&menu_pages, "menu_item", &seeds, &BootstrapConfig::default());
+
+        // The world draws dishes from a shared pool, so menus overlap and
+        // bootstrapping should spread well beyond the seed page.
+        let harvested = result.harvested().len();
+        assert!(harvested > 10, "harvested too few: {harvested}");
+        let curve = result.growth_curve();
+        assert!(curve.len() >= 2);
+        assert!(curve.windows(2).all(|w| w[0] <= w[1]), "growth is monotone");
+
+        // Precision: every harvested name is a real dish somewhere.
+        let all_truth: HashSet<String> = menu_pages
+            .iter()
+            .flat_map(|p| p.truth.records.iter())
+            .filter_map(|t| t.field("name").map(normalize))
+            .collect();
+        let mut correct = 0usize;
+        for r in result.harvested() {
+            if name_key(&r.fields).is_some_and(|k| all_truth.contains(&k)) {
+                correct += 1;
+            }
+        }
+        let precision = correct as f64 / harvested.max(1) as f64;
+        assert!(precision > 0.9, "bootstrap precision too low: {precision}");
+    }
+
+    #[test]
+    fn no_seeds_no_growth() {
+        let w = World::generate(WorldConfig::tiny(132));
+        let c = generate_corpus(&w, &CorpusConfig::tiny(8));
+        let pages: Vec<&Page> = c.pages().iter().collect();
+        let result = bootstrap(&pages, "menu_item", &[], &BootstrapConfig::default());
+        assert!(result.harvested().is_empty());
+    }
+
+    #[test]
+    fn overlap_threshold_blocks_spurious_lists() {
+        let w = World::generate(WorldConfig::tiny(133));
+        let c = generate_corpus(&w, &CorpusConfig::tiny(9));
+        let pages: Vec<&Page> = c.pages().iter().collect();
+        // A single junk seed that matches nothing.
+        let seeds = seeds_from_names("menu_item", &["Zorblax Prime Dish"]);
+        let strict = BootstrapConfig {
+            min_overlap: 2,
+            max_rounds: 5,
+        };
+        let result = bootstrap(&pages, "menu_item", &seeds, &strict);
+        assert!(
+            result.harvested().is_empty(),
+            "nothing should be claimed from a non-matching seed"
+        );
+    }
+
+    #[test]
+    fn seed_helper() {
+        let s = seeds_from_names("menu_item", &["Pad Thai", "Pho"]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].fields[0].1, "Pad Thai");
+    }
+}

@@ -1,0 +1,35 @@
+//! # woc-extract — the domain-centric extraction stack (paper §4)
+//!
+//! Implements every extraction technique the paper describes:
+//!
+//! * [`wrapper`] — site-centric wrapper induction (§4.1) with both classic
+//!   (brittle, absolute-path) and robust (tree-edit tolerant) rules;
+//! * [`lists`] — **domain-centric list extraction** (§4.2): unsupervised,
+//!   site-independent extraction of record lists by combining repeating-
+//!   structure detection with domain knowledge (field recognizers and the
+//!   schema's statistical cardinality constraints);
+//! * [`seqlabel`] — a linear-chain sequence labeler (structured perceptron +
+//!   Viterbi), the stand-in for the CRFs used to "parse postal addresses and
+//!   lists of publications" (§4.1);
+//! * [`relational`] — relational classification (§4.2): a noisy global page
+//!   classifier refined per site by label propagation over the site's link
+//!   and directory structure;
+//! * [`bootstrap`] — aggregator mining (§4.2): bootstrapping from seed
+//!   records to label overlapping lists and harvest new records;
+//! * [`citations`] — unsupervised citation-field refinement (title/authors
+//!   via punctuation structure + name gazetteers);
+//! * [`eval`] — precision/recall scoring of extractions against page truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod citations;
+pub mod eval;
+pub mod lists;
+pub mod relational;
+pub mod seqlabel;
+pub mod wrapper;
+
+pub use eval::Prf;
+pub use wrapper::{BrittleRule, ExtractedRecord, LabeledPage, RobustRule, SiteWrapper};

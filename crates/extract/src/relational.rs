@@ -1,0 +1,286 @@
+//! Relational classification (paper §4.2).
+//!
+//! "Developing a global events classifier is easier, but it tends to be
+//! noisy given the vastly different content in the large collection of
+//! sites. Fortunately, the link and directory relationships in a site
+//! contain valuable signals … After bootstrapping the pages of a site with
+//! the classification labels given by an inaccurate classifier, the
+//! relational structure present in that site can be used to revise them and
+//! get highly accurate classification." (The graph-based method of \[60\].)
+//!
+//! * [`NaiveBayes`] — the noisy global text classifier, trained once across
+//!   sites;
+//! * [`refine_site`] — per-site label propagation over the page graph whose
+//!   edges are same-directory membership and hyperlinks.
+
+use std::collections::HashMap;
+
+use woc_textkit::tokenize::tokenize_words;
+use woc_webgen::Page;
+
+/// A binary naive-Bayes text classifier with Laplace smoothing.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    pos_counts: HashMap<String, u64>,
+    neg_counts: HashMap<String, u64>,
+    pos_total: u64,
+    neg_total: u64,
+    pos_docs: u64,
+    neg_docs: u64,
+}
+
+impl NaiveBayes {
+    /// Empty classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Observe a labeled document.
+    pub fn observe(&mut self, text: &str, positive: bool) {
+        let toks = tokenize_words(text);
+        let (counts, total, docs) = if positive {
+            (&mut self.pos_counts, &mut self.pos_total, &mut self.pos_docs)
+        } else {
+            (&mut self.neg_counts, &mut self.neg_total, &mut self.neg_docs)
+        };
+        *total += toks.len() as u64;
+        *docs += 1;
+        for t in toks {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+    }
+
+    /// P(positive | text) under naive Bayes.
+    pub fn predict_proba(&self, text: &str) -> f64 {
+        if self.pos_docs == 0 || self.neg_docs == 0 {
+            return 0.5;
+        }
+        let vocab = (self.pos_counts.len() + self.neg_counts.len()).max(1) as f64;
+        let mut log_pos = (self.pos_docs as f64 / (self.pos_docs + self.neg_docs) as f64).ln();
+        let mut log_neg = (self.neg_docs as f64 / (self.pos_docs + self.neg_docs) as f64).ln();
+        for t in tokenize_words(text) {
+            let pc = self.pos_counts.get(&t).copied().unwrap_or(0) as f64;
+            let nc = self.neg_counts.get(&t).copied().unwrap_or(0) as f64;
+            log_pos += ((pc + 1.0) / (self.pos_total as f64 + vocab)).ln();
+            log_neg += ((nc + 1.0) / (self.neg_total as f64 + vocab)).ln();
+        }
+        // Stable sigmoid of the log-odds.
+        let d = log_pos - log_neg;
+        1.0 / (1.0 + (-d).exp())
+    }
+
+    /// Hard prediction at threshold 0.5.
+    pub fn predict(&self, text: &str) -> bool {
+        self.predict_proba(text) >= 0.5
+    }
+}
+
+/// Result of per-site refinement.
+#[derive(Debug, Clone)]
+pub struct SiteLabels {
+    /// Page URLs in the order given.
+    pub urls: Vec<String>,
+    /// Scores after propagation (probability-like, in `\[0, 1\]`).
+    pub scores: Vec<f64>,
+}
+
+impl SiteLabels {
+    /// Hard label for page `i`.
+    pub fn label(&self, i: usize) -> bool {
+        self.scores[i] >= 0.5
+    }
+}
+
+/// Refine global-classifier scores on one site's pages by iterative label
+/// propagation over the site graph. `alpha` is the weight kept on the
+/// classifier's own opinion; the remainder comes from graph neighbors
+/// (same-directory pages and hyperlinked pages).
+pub fn refine_site(pages: &[&Page], global: &NaiveBayes, alpha: f64, iters: usize) -> SiteLabels {
+    let n = pages.len();
+    let mut scores: Vec<f64> = pages.iter().map(|p| global.predict_proba(&p.text())).collect();
+    let priors = scores.clone();
+
+    // Build the neighborhood lists once.
+    let url_index: HashMap<&str, usize> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.url.as_str(), i))
+        .collect();
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // Same-directory edges.
+    let mut by_dir: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, p) in pages.iter().enumerate() {
+        by_dir.entry(p.directory()).or_default().push(i);
+    }
+    for members in by_dir.values() {
+        for &i in members {
+            for &j in members {
+                if i != j {
+                    neighbors[i].push(j);
+                }
+            }
+        }
+    }
+    // Hyperlink edges (within the site).
+    for (i, p) in pages.iter().enumerate() {
+        for link in p.links() {
+            if let Some(&j) = url_index.get(link.as_str()) {
+                if i != j {
+                    neighbors[i].push(j);
+                    neighbors[j].push(i);
+                }
+            }
+        }
+    }
+
+    for _ in 0..iters {
+        let mut next = vec![0.0; n];
+        for i in 0..n {
+            let neigh = &neighbors[i];
+            if neigh.is_empty() {
+                next[i] = priors[i];
+                continue;
+            }
+            let mean: f64 = neigh.iter().map(|&j| scores[j]).sum::<f64>() / neigh.len() as f64;
+            next[i] = alpha * priors[i] + (1.0 - alpha) * mean;
+        }
+        scores = next;
+    }
+
+    SiteLabels {
+        urls: pages.iter().map(|p| p.url.clone()).collect(),
+        scores,
+    }
+}
+
+/// Accuracy of boolean predictions against gold labels.
+pub fn accuracy(pred: &[bool], gold: &[bool]) -> f64 {
+    assert_eq!(pred.len(), gold.len());
+    if pred.is_empty() {
+        return 1.0;
+    }
+    pred.iter().zip(gold).filter(|(p, g)| p == g).count() as f64 / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_webgen::sites::city::city_guide_pages;
+    use woc_webgen::{PageKind, World, WorldConfig};
+
+    fn events_gold(p: &Page) -> bool {
+        p.truth.kind == PageKind::CityEvents
+    }
+
+    /// Train a global classifier on half the city sites, evaluate global vs
+    /// relationally-refined accuracy on the other half.
+    fn run_relational(seed: u64) -> (f64, f64) {
+        let w = World::generate(WorldConfig {
+            events: 24,
+            restaurants: 16,
+            ..WorldConfig::tiny(seed)
+        });
+        let mut rng = rand::SeedableRng::seed_from_u64(seed);
+        let pages = city_guide_pages(&w, &mut rng);
+        let mut sites: Vec<&str> = pages.iter().map(|p| p.site.as_str()).collect();
+        sites.sort();
+        sites.dedup();
+        let (train_sites, test_sites) = sites.split_at(sites.len() / 2);
+
+        let mut nb = NaiveBayes::new();
+        for p in pages.iter().filter(|p| train_sites.contains(&p.site.as_str())) {
+            nb.observe(&p.text(), events_gold(p));
+        }
+
+        let mut global_correct = 0usize;
+        let mut refined_correct = 0usize;
+        let mut total = 0usize;
+        for site in test_sites {
+            let site_pages: Vec<&Page> =
+                pages.iter().filter(|p| p.site == *site).collect();
+            if site_pages.is_empty() {
+                continue;
+            }
+            let labels = refine_site(&site_pages, &nb, 0.35, 10);
+            for (i, p) in site_pages.iter().enumerate() {
+                total += 1;
+                if nb.predict(&p.text()) == events_gold(p) {
+                    global_correct += 1;
+                }
+                if labels.label(i) == events_gold(p) {
+                    refined_correct += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        (
+            global_correct as f64 / total as f64,
+            refined_correct as f64 / total as f64,
+        )
+    }
+
+    #[test]
+    fn naive_bayes_separates_obvious_classes() {
+        let mut nb = NaiveBayes::new();
+        nb.observe("tickets doors open admission rsvp lineup", true);
+        nb.observe("tickets venue schedule performance", true);
+        nb.observe("rooms suites check in lobby concierge", false);
+        nb.observe("brunch patio wine list tasting menu", false);
+        assert!(nb.predict_proba("tickets and lineup tonight") > 0.5);
+        assert!(nb.predict_proba("book rooms and suites") < 0.5);
+    }
+
+    #[test]
+    fn untrained_classifier_is_uninformative() {
+        let nb = NaiveBayes::new();
+        assert_eq!(nb.predict_proba("anything"), 0.5);
+    }
+
+    #[test]
+    fn refinement_beats_or_matches_global() {
+        let (global, refined) = run_relational(121);
+        assert!(
+            refined >= global,
+            "relational refinement must not hurt: global={global:.3} refined={refined:.3}"
+        );
+        assert!(refined > 0.8, "refined accuracy too low: {refined:.3}");
+    }
+
+    #[test]
+    fn propagation_fixes_isolated_misclassification() {
+        // Three same-directory pages; the middle one gets a wrong prior, and
+        // its clean neighbors outvote it.
+        let mut nb = NaiveBayes::new();
+        nb.observe("tickets admission lineup", true);
+        nb.observe("lobby rooms suites", false);
+        let mk = |url: &str, text: &str| woc_webgen::Page {
+            url: url.to_string(),
+            site: "s.example.com".into(),
+            title: String::new(),
+            dom: woc_webgen::Node::elem("html")
+                .child(woc_webgen::Node::elem("body").text_child(text)),
+            truth: woc_webgen::PageTruth {
+                kind: PageKind::CityEvents,
+                about: None,
+                records: vec![],
+                mentions: vec![],
+            },
+        };
+        let pages = [
+            mk("http://s.example.com/calendar/a.html", "tickets admission lineup tonight"),
+            // Reads like hotel copy, but lives with event siblings.
+            mk("http://s.example.com/calendar/b.html", "lobby rooms suites available"),
+            mk("http://s.example.com/calendar/c.html", "tickets lineup admission friday"),
+        ];
+        let refs: Vec<&Page> = pages.iter().collect();
+        assert!(!nb.predict(&pages[1].text()), "global classifier is fooled");
+        let labels = refine_site(&refs, &nb, 0.3, 10);
+        assert!(labels.label(1), "neighbors rescue the misclassified page");
+    }
+
+    #[test]
+    fn accuracy_helper() {
+        assert_eq!(accuracy(&[true, false], &[true, true]), 0.5);
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+}

@@ -1,0 +1,482 @@
+//! Site-centric wrapper induction (paper §4.1) and its robust variant.
+//!
+//! A *wrapper* is a learned extraction rule for one attribute on one site.
+//! "With relatively few labeled examples, extraction rules, called wrappers,
+//! can be learnt to extract information from a specific website. The main
+//! drawback with wrappers is that they rely on the existence of a structure."
+//!
+//! Two rule families are implemented:
+//!
+//! * [`BrittleRule`] — an absolute DOM path (the classic wrapper hypothesis
+//!   space). Fast and precise, but any template change that shifts the path
+//!   (an inserted wrapper `<div>`, an injected ad) silently breaks it.
+//! * [`RobustRule`] — an ensemble of *local* anchors that survive tree edits
+//!   in the spirit of the probabilistic tree-edit work \[22\]: a preceding
+//!   label text ("Phone:"), a class-token anchor tolerant to suffix renames,
+//!   and a path-suffix anchor. Candidates are scored by anchor votes.
+//!
+//! Training labels come from page ground truth, simulating the "relatively
+//! few labeled examples" a human annotator would provide per site.
+
+use std::collections::HashMap;
+
+use woc_textkit::tokenize::normalize;
+use woc_webgen::dom::{Node, NodePath};
+use woc_webgen::Page;
+
+/// An extraction made by any extractor in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedRecord {
+    /// Concept name guess, when the extractor knows it.
+    pub concept: Option<String>,
+    /// `(field, value)` pairs.
+    pub fields: Vec<(String, String)>,
+    /// Extractor confidence in `\[0, 1\]`.
+    pub confidence: f64,
+    /// URL of the source page.
+    pub source_url: String,
+}
+
+/// One labeled training example: a page plus the expected value of the
+/// target attribute on it.
+#[derive(Debug, Clone)]
+pub struct LabeledPage<'a> {
+    /// The page.
+    pub page: &'a Page,
+    /// The expected attribute value as rendered on the page.
+    pub value: String,
+}
+
+/// Find every element whose *own* text (concatenation of direct text
+/// children) normalizes to the target value.
+fn matching_nodes<'a>(dom: &'a Node, value: &str) -> Vec<(NodePath, &'a Node)> {
+    let target = normalize(value);
+    dom.walk()
+        .into_iter()
+        .filter(|(_, n)| n.tag().is_some())
+        .filter(|(_, n)| {
+            let own: String = n
+                .child_nodes()
+                .iter()
+                .filter_map(|c| match c {
+                    Node::Text(t) => Some(t.as_str()),
+                    _ => None,
+                })
+                .collect::<Vec<_>>()
+                .join(" ");
+            normalize(&own) == target && !target.is_empty()
+        })
+        .collect()
+}
+
+/// The classic wrapper: an absolute structural path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BrittleRule {
+    /// Path from the document root to the value node.
+    pub path: NodePath,
+}
+
+impl BrittleRule {
+    /// Learn the path supported by the most labeled pages (majority vote —
+    /// real templates shift paths when optional fields vary, so demanding
+    /// unanimity would reject perfectly good sites). Requires support on at
+    /// least half the examples.
+    pub fn learn(examples: &[LabeledPage<'_>]) -> Option<BrittleRule> {
+        let mut support: std::collections::HashMap<NodePath, usize> =
+            std::collections::HashMap::new();
+        for ex in examples {
+            for (path, _) in matching_nodes(&ex.page.dom, &ex.value) {
+                *support.entry(path).or_insert(0) += 1;
+            }
+        }
+        let need = examples.len().div_ceil(2);
+        support
+            .into_iter()
+            .filter(|(_, n)| *n >= need)
+            .max_by_key(|(p, n)| (*n, p.depth()))
+            .map(|(path, _)| BrittleRule { path })
+    }
+
+    /// Apply to a page: the text at the learned path.
+    pub fn apply(&self, page: &Page) -> Option<String> {
+        page.dom
+            .resolve(&self.path)
+            .map(Node::text_content)
+            .filter(|t| !t.is_empty())
+    }
+}
+
+/// Anchors a robust rule votes with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustRule {
+    /// Label text immediately preceding the value (e.g. `Phone:`), if the
+    /// site labels its fields.
+    pub label: Option<String>,
+    /// Class *token prefix* of the value node's closest classed ancestor —
+    /// tolerant to rename-by-suffix redesigns.
+    pub class_prefix: Option<String>,
+    /// Trailing steps of the value path (local structure), tolerant to
+    /// insertions above.
+    pub path_suffix: Vec<String>,
+}
+
+impl RobustRule {
+    /// Learn anchors consistent across the labeled pages.
+    pub fn learn(examples: &[LabeledPage<'_>]) -> Option<RobustRule> {
+        let mut labels: Vec<Option<String>> = Vec::new();
+        let mut classes: Vec<Option<String>> = Vec::new();
+        let mut suffixes: Vec<Vec<String>> = Vec::new();
+        for ex in examples {
+            let nodes = matching_nodes(&ex.page.dom, &ex.value);
+            if nodes.is_empty() {
+                return None;
+            }
+            // Use the first match to derive anchors (site templates are
+            // regular, so any match works; consistency filtering happens
+            // across pages below).
+            let (path, _node) = &nodes[0];
+            labels.push(label_before(&ex.page.dom, path));
+            classes.push(class_of(&ex.page.dom, path));
+            suffixes.push(
+                path.steps
+                    .iter()
+                    .rev()
+                    .take(2)
+                    .map(|s| s.tag.clone())
+                    .collect(),
+            );
+        }
+        let label = consistent(&labels);
+        let class_prefix = consistent(&classes).map(|c| class_token_prefix(&c));
+        let path_suffix = if suffixes.windows(2).all(|w| w[0] == w[1]) {
+            suffixes.pop().unwrap_or_default()
+        } else {
+            Vec::new()
+        };
+        if label.is_none() && class_prefix.is_none() && path_suffix.is_empty() {
+            return None;
+        }
+        Some(RobustRule {
+            label,
+            class_prefix,
+            path_suffix,
+        })
+    }
+
+    /// Apply to a page: score every element by anchor votes and return the
+    /// best-scoring node's text (requiring at least one vote, and at least
+    /// two when several anchors are known).
+    pub fn apply(&self, page: &Page) -> Option<String> {
+        let known = usize::from(self.label.is_some())
+            + usize::from(self.class_prefix.is_some())
+            + usize::from(!self.path_suffix.is_empty());
+        let need = if known >= 2 { 2 } else { 1 };
+        let mut best: Option<(usize, usize, String)> = None; // (votes, -depth proxy, text)
+        for (path, node) in page.dom.walk() {
+            if node.tag().is_none() {
+                continue;
+            }
+            let own: String = node
+                .child_nodes()
+                .iter()
+                .map(|c| match c {
+                    Node::Text(t) => t.trim().to_string(),
+                    Node::Element { .. } => node_text_shallow(c),
+                })
+                .collect::<Vec<_>>()
+                .join(" ")
+                .trim()
+                .to_string();
+            if own.is_empty() || own.len() > 200 {
+                continue;
+            }
+            let mut votes = 0usize;
+            if let Some(lbl) = &self.label {
+                if label_before(&page.dom, &path).as_deref() == Some(lbl.as_str()) {
+                    votes += 1;
+                }
+            }
+            if let Some(prefix) = &self.class_prefix {
+                if class_of(&page.dom, &path)
+                    .is_some_and(|c| class_token_prefix(&c) == *prefix)
+                {
+                    votes += 1;
+                }
+            }
+            if !self.path_suffix.is_empty() {
+                let tail: Vec<String> = path
+                    .steps
+                    .iter()
+                    .rev()
+                    .take(self.path_suffix.len())
+                    .map(|s| s.tag.clone())
+                    .collect();
+                if tail == self.path_suffix {
+                    votes += 1;
+                }
+            }
+            if votes >= need {
+                let depth = path.depth();
+                if best.as_ref().is_none_or(|(bv, bd, _)| votes > *bv || (votes == *bv && depth > *bd)) {
+                    best = Some((votes, depth, own));
+                }
+            }
+        }
+        best.map(|(_, _, t)| t)
+    }
+}
+
+fn node_text_shallow(n: &Node) -> String {
+    n.text_content()
+}
+
+/// The text of the element immediately preceding `path`'s node among its
+/// siblings, if it looks like a label (ends with `:`).
+fn label_before(dom: &Node, path: &NodePath) -> Option<String> {
+    if path.steps.is_empty() {
+        return None;
+    }
+    let parent_path = NodePath {
+        steps: path.steps[..path.steps.len() - 1].to_vec(),
+    };
+    let parent = dom.resolve(&parent_path)?;
+    let me = dom.resolve(path)?;
+    let kids = parent.child_nodes();
+    let my_pos = kids.iter().position(|c| std::ptr::eq(c, me))?;
+    if my_pos == 0 {
+        return None;
+    }
+    let prev = &kids[my_pos - 1];
+    let text = prev.text_content();
+    text.ends_with(':').then_some(text)
+}
+
+/// The combined `parent-class/own-class` anchor of a node. Using the parent
+/// too matters: many templates give every value span the same class
+/// (`xx-v`) and distinguish fields on the enclosing container.
+fn class_of(dom: &Node, path: &NodePath) -> Option<String> {
+    let own = dom
+        .resolve(path)
+        .and_then(|n| n.get_attr("class"))
+        .map(str::to_string);
+    let parent = (!path.steps.is_empty())
+        .then(|| {
+            let pp = NodePath {
+                steps: path.steps[..path.steps.len() - 1].to_vec(),
+            };
+            dom.resolve(&pp)
+                .and_then(|n| n.get_attr("class"))
+                .map(str::to_string)
+        })
+        .flatten();
+    match (parent, own) {
+        (Some(p), Some(o)) => Some(format!("{p}/{o}")),
+        (Some(p), None) => Some(p),
+        (None, Some(o)) => Some(o),
+        (None, None) => None,
+    }
+}
+
+/// Strip a trailing `-r<digit>`-style rename suffix and any trailing digits
+/// from each `/`-separated component, yielding the stable prefix of a class
+/// anchor.
+fn class_token_prefix(class: &str) -> String {
+    class
+        .split('/')
+        .map(|part| {
+            let first = part.split(' ').next().unwrap_or("");
+            let trimmed = first.trim_end_matches(|c: char| c.is_ascii_digit());
+            trimmed.strip_suffix("-r").unwrap_or(trimmed).to_string()
+        })
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+fn consistent(values: &[Option<String>]) -> Option<String> {
+    let first = values.first()?.clone()?;
+    values
+        .iter()
+        .all(|v| v.as_deref() == Some(first.as_str()))
+        .then_some(first)
+}
+
+/// A full site wrapper: one rule per attribute, in both variants.
+#[derive(Debug, Clone, Default)]
+pub struct SiteWrapper {
+    /// Attribute → brittle rule.
+    pub brittle: HashMap<String, BrittleRule>,
+    /// Attribute → robust rule.
+    pub robust: HashMap<String, RobustRule>,
+}
+
+impl SiteWrapper {
+    /// Learn rules for the given attributes from `k` labeled pages of a
+    /// site. `label_of(page, attr)` supplies the training label (in
+    /// experiments, read from page truth — simulating a human annotator).
+    pub fn learn(
+        pages: &[&Page],
+        attrs: &[&str],
+        label_of: impl Fn(&Page, &str) -> Option<String>,
+    ) -> SiteWrapper {
+        let mut w = SiteWrapper::default();
+        for &attr in attrs {
+            let examples: Vec<LabeledPage<'_>> = pages
+                .iter()
+                .filter_map(|p| {
+                    label_of(p, attr).map(|value| LabeledPage { page: p, value })
+                })
+                .collect();
+            if examples.is_empty() {
+                continue;
+            }
+            if let Some(rule) = BrittleRule::learn(&examples) {
+                w.brittle.insert(attr.to_string(), rule);
+            }
+            if let Some(rule) = RobustRule::learn(&examples) {
+                w.robust.insert(attr.to_string(), rule);
+            }
+        }
+        w
+    }
+
+    /// Extract a record from a page using the brittle rules.
+    pub fn extract_brittle(&self, page: &Page) -> ExtractedRecord {
+        let mut fields = Vec::new();
+        for (attr, rule) in &self.brittle {
+            if let Some(v) = rule.apply(page) {
+                fields.push((attr.clone(), v));
+            }
+        }
+        fields.sort();
+        ExtractedRecord {
+            concept: None,
+            fields,
+            confidence: 0.9,
+            source_url: page.url.clone(),
+        }
+    }
+
+    /// Extract a record from a page using the robust rules.
+    pub fn extract_robust(&self, page: &Page) -> ExtractedRecord {
+        let mut fields = Vec::new();
+        for (attr, rule) in &self.robust {
+            if let Some(v) = rule.apply(page) {
+                fields.push((attr.clone(), v));
+            }
+        }
+        fields.sort();
+        ExtractedRecord {
+            concept: None,
+            fields,
+            confidence: 0.85,
+            source_url: page.url.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_webgen::sites::{AggregatorSpec, SiteStyle};
+    use woc_webgen::{DriftConfig, PageKind, World, WorldConfig};
+
+    fn biz_pages() -> Vec<Page> {
+        let w = World::generate(WorldConfig::tiny(91));
+        let spec = AggregatorSpec {
+            host: "agg.example.com".into(),
+            coverage: (0..w.restaurants.len()).collect(),
+            review_ratio: 0.5,
+            name_noise: 0.0,
+        };
+        let mut rng = rand::SeedableRng::seed_from_u64(1);
+        let style = SiteStyle::sample(&mut rng);
+        woc_webgen::sites::local::aggregator_pages(&w, &spec, &style, &mut rng)
+            .into_iter()
+            .filter(|p| p.truth.kind == PageKind::AggregatorBiz)
+            .collect()
+    }
+
+    fn truth_label(page: &Page, attr: &str) -> Option<String> {
+        page.truth.records.first()?.field(attr).map(str::to_string)
+    }
+
+    #[test]
+    fn brittle_wrapper_learns_from_two_pages() {
+        let pages = biz_pages();
+        let train: Vec<&Page> = pages.iter().take(2).collect();
+        let w = SiteWrapper::learn(&train, &["name", "hours", "cuisine"], truth_label);
+        assert!(w.brittle.contains_key("name"), "name rule learned");
+        assert!(w.brittle.contains_key("hours"), "hours rule learned");
+        // Apply on unseen pages of the same site.
+        let mut correct = 0;
+        let mut total = 0;
+        for p in pages.iter().skip(2) {
+            let rec = w.extract_brittle(p);
+            let truth = &p.truth.records[0];
+            for (k, v) in &rec.fields {
+                if k == "hours" {
+                    total += 1;
+                    if truth.field("hours") == Some(v.as_str()) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            correct as f64 / total as f64 >= 0.8,
+            "brittle wrapper accurate on-site: {correct}/{total}"
+        );
+    }
+
+    #[test]
+    fn robust_wrapper_survives_drift() {
+        let pages = biz_pages();
+        let train: Vec<&Page> = pages.iter().take(3).collect();
+        let w = SiteWrapper::learn(&train, &["hours"], truth_label);
+        assert!(w.robust.contains_key("hours"));
+        let (drifted, plan) = woc_webgen::drift_site(&pages, &DriftConfig::heavy(), 13);
+        assert!(!plan.is_noop());
+        let mut brittle_ok = 0;
+        let mut robust_ok = 0;
+        let mut n = 0;
+        for p in drifted.iter().skip(3) {
+            let truth_hours = p.truth.records[0].field("hours").unwrap().to_string();
+            n += 1;
+            if w.extract_brittle(p).fields.iter().any(|(k, v)| k == "hours" && *v == truth_hours) {
+                brittle_ok += 1;
+            }
+            if w.extract_robust(p)
+                .fields
+                .iter()
+                .any(|(k, v)| k == "hours" && v.contains(&truth_hours))
+            {
+                robust_ok += 1;
+            }
+        }
+        assert!(n > 0);
+        assert!(
+            robust_ok > brittle_ok,
+            "robust ({robust_ok}/{n}) must beat brittle ({brittle_ok}/{n}) under drift"
+        );
+        assert!(robust_ok as f64 / n as f64 > 0.7, "robust survives: {robust_ok}/{n}");
+    }
+
+    #[test]
+    fn learn_fails_gracefully_without_signal() {
+        let pages = biz_pages();
+        let train: Vec<&Page> = pages.iter().take(2).collect();
+        // A label that never appears on the pages yields no rules.
+        let w = SiteWrapper::learn(&train, &["bogus"], |_, _| Some("zzz not on page".into()));
+        assert!(w.brittle.is_empty());
+        assert!(w.robust.is_empty());
+    }
+
+    #[test]
+    fn class_prefix_strips_rename() {
+        assert_eq!(class_token_prefix("yx12-hours-r3"), "yx12-hours");
+        assert_eq!(class_token_prefix("yx12-hours"), "yx12-hours");
+        assert_eq!(class_token_prefix("a b"), "a");
+        assert_eq!(class_token_prefix("yx12-hours-r3/yx12-v-r3"), "yx12-hours/yx12-v");
+    }
+}

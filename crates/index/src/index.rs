@@ -1,0 +1,316 @@
+//! The inverted index with BM25 ranking.
+
+use std::collections::HashMap;
+
+use woc_textkit::tokenize::tokenize_words;
+
+use crate::postings::{intersect, DocId, PostingList};
+
+/// BM25 parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (typical 1.2).
+    pub k1: f64,
+    /// Length normalization (typical 0.75).
+    pub b: f64,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Self { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// A scored search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Matching document.
+    pub doc: DocId,
+    /// BM25 score (non-negative).
+    pub score: f64,
+}
+
+/// An in-memory inverted index over externally keyed documents.
+///
+/// Documents are added once each (the id is assigned densely by insertion
+/// order); the caller maps [`DocId`]s back to its own keys (URLs, lrec ids).
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    terms: HashMap<String, PostingList>,
+    /// Term → (doc, sorted token positions) — the positional index backing
+    /// phrase queries.
+    positions: HashMap<String, Vec<(DocId, Vec<u32>)>>,
+    doc_lens: Vec<u32>,
+    total_len: u64,
+    params: Bm25Params,
+}
+
+impl InvertedIndex {
+    /// Empty index with default BM25 parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty index with explicit parameters.
+    pub fn with_params(params: Bm25Params) -> Self {
+        Self {
+            params,
+            ..Self::default()
+        }
+    }
+
+    /// Index a document given as raw text (tokenized internally). Returns
+    /// its assigned id.
+    pub fn add_text(&mut self, text: &str) -> DocId {
+        let toks = tokenize_words(text);
+        self.add_tokens(&toks)
+    }
+
+    /// Index a document given as pre-tokenized terms.
+    pub fn add_tokens<S: AsRef<str>>(&mut self, tokens: &[S]) -> DocId {
+        let id = DocId(self.doc_lens.len() as u32);
+        for (pos, t) in tokens.iter().enumerate() {
+            self.terms.entry(t.as_ref().to_string()).or_default().add(id);
+            let plist = self.positions.entry(t.as_ref().to_string()).or_default();
+            match plist.last_mut() {
+                Some((d, ps)) if *d == id => ps.push(pos as u32),
+                _ => plist.push((id, vec![pos as u32])),
+            }
+        }
+        self.doc_lens.push(tokens.len() as u32);
+        self.total_len += tokens.len() as u64;
+        id
+    }
+
+    /// Positions of `term` in `doc`, sorted ascending (empty if absent).
+    pub fn positions(&self, term: &str, doc: DocId) -> &[u32] {
+        self.positions
+            .get(term)
+            .and_then(|pl| {
+                pl.binary_search_by_key(&doc, |&(d, _)| d)
+                    .ok()
+                    .map(|i| pl[i].1.as_slice())
+            })
+            .unwrap_or(&[])
+    }
+
+    /// Exact phrase retrieval: documents containing the query tokens as a
+    /// contiguous sequence, via positional intersection.
+    pub fn search_phrase(&self, phrase: &str) -> Vec<DocId> {
+        let terms = tokenize_words(phrase);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        // Candidates: conjunctive containment first.
+        let candidates = self.search_and(&terms.join(" "));
+        candidates
+            .into_iter()
+            .filter(|&doc| {
+                // A start position p works if term[i] occurs at p + i for all i.
+                self.positions(&terms[0], doc).iter().any(|&p| {
+                    terms
+                        .iter()
+                        .enumerate()
+                        .skip(1)
+                        .all(|(i, t)| self.positions(t, doc).binary_search(&(p + i as u32)).is_ok())
+                })
+            })
+            .collect()
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn vocab_size(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Document frequency of a term.
+    pub fn df(&self, term: &str) -> u32 {
+        self.terms.get(term).map(PostingList::doc_freq).unwrap_or(0)
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        let n = self.num_docs() as f64;
+        let df = self.df(term) as f64;
+        // BM25+ style idf, always positive.
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    fn avg_len(&self) -> f64 {
+        if self.doc_lens.is_empty() {
+            0.0
+        } else {
+            self.total_len as f64 / self.doc_lens.len() as f64
+        }
+    }
+
+    /// Ranked disjunctive (OR) retrieval: BM25 over the query terms,
+    /// returning the top `k` hits, highest score first; ties break by doc id
+    /// for determinism.
+    pub fn search(&self, query: &str, k: usize) -> Vec<Hit> {
+        let terms = tokenize_words(query);
+        self.search_terms(&terms, k)
+    }
+
+    /// Ranked retrieval over pre-tokenized query terms.
+    pub fn search_terms<S: AsRef<str>>(&self, terms: &[S], k: usize) -> Vec<Hit> {
+        let mut acc: HashMap<DocId, f64> = HashMap::new();
+        let avg = self.avg_len();
+        for t in terms {
+            let Some(pl) = self.terms.get(t.as_ref()) else {
+                continue;
+            };
+            let idf = self.idf(t.as_ref());
+            for p in pl.iter() {
+                let len = self.doc_lens[p.doc.0 as usize] as f64;
+                let tf = p.tf as f64;
+                let denom =
+                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * len / avg.max(1e-9));
+                let s = idf * tf * (self.params.k1 + 1.0) / denom;
+                *acc.entry(p.doc).or_insert(0.0) += s;
+            }
+        }
+        let mut hits: Vec<Hit> = acc.into_iter().map(|(doc, score)| Hit { doc, score }).collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+
+    /// Boolean conjunctive (AND) retrieval: documents containing *all* terms.
+    pub fn search_and(&self, query: &str) -> Vec<DocId> {
+        let terms = tokenize_words(query);
+        if terms.is_empty() {
+            return Vec::new();
+        }
+        let mut lists: Vec<&PostingList> = Vec::with_capacity(terms.len());
+        for t in &terms {
+            match self.terms.get(t) {
+                Some(pl) => lists.push(pl),
+                None => return Vec::new(),
+            }
+        }
+        // Intersect smallest-first for speed.
+        lists.sort_by_key(|pl| pl.doc_freq());
+        let mut result: Vec<DocId> = lists[0].iter().map(|p| p.doc).collect();
+        for pl in &lists[1..] {
+            let as_list = {
+                let mut l = PostingList::new();
+                for d in &result {
+                    l.add(*d);
+                }
+                l
+            };
+            result = intersect(&as_list, pl);
+            if result.is_empty() {
+                break;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idx() -> InvertedIndex {
+        let mut ix = InvertedIndex::new();
+        ix.add_text("Gochi Fusion Tapas Cupertino japanese tapas");
+        ix.add_text("Taqueria El Farolito San Francisco mexican burrito");
+        ix.add_text("best mexican food in Chicago salsa salsa salsa");
+        ix.add_text("Cupertino city guide hotels attractions");
+        ix
+    }
+
+    #[test]
+    fn search_ranks_relevant_first() {
+        let ix = idx();
+        let hits = ix.search("gochi cupertino", 10);
+        assert!(!hits.is_empty());
+        assert_eq!(hits[0].doc, DocId(0));
+        assert!(hits[0].score > 0.0);
+    }
+
+    #[test]
+    fn repeated_terms_boost_tf() {
+        let ix = idx();
+        let hits = ix.search("salsa", 10);
+        assert_eq!(hits[0].doc, DocId(2));
+    }
+
+    #[test]
+    fn top_k_truncates_and_sorts() {
+        let ix = idx();
+        let hits = ix.search("cupertino mexican", 1);
+        assert_eq!(hits.len(), 1);
+        let all = ix.search("cupertino mexican", 10);
+        assert!(all.len() >= 2);
+        for w in all.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn unknown_terms_ignored() {
+        let ix = idx();
+        assert!(ix.search("zzzz qqqq", 5).is_empty());
+        let hits = ix.search("zzzz gochi", 5);
+        assert_eq!(hits[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn boolean_and() {
+        let ix = idx();
+        assert_eq!(ix.search_and("mexican salsa"), vec![DocId(2)]);
+        assert_eq!(ix.search_and("mexican"), vec![DocId(1), DocId(2)]);
+        assert!(ix.search_and("mexican zzzz").is_empty());
+        assert!(ix.search_and("").is_empty());
+    }
+
+    #[test]
+    fn phrase_search() {
+        let ix = idx();
+        assert_eq!(ix.search_phrase("gochi fusion tapas"), vec![DocId(0)]);
+        // Words present but not contiguous/ordered.
+        assert!(ix.search_phrase("tapas fusion").is_empty());
+        assert!(ix.search_phrase("cupertino gochi").is_empty());
+        // Single word phrase = containment.
+        assert_eq!(ix.search_phrase("salsa"), vec![DocId(2)]);
+        assert!(ix.search_phrase("").is_empty());
+        assert!(ix.search_phrase("zz qq").is_empty());
+    }
+
+    #[test]
+    fn positions_recorded() {
+        let mut ix = InvertedIndex::new();
+        let d = ix.add_tokens(&["a", "b", "a", "c"]);
+        assert_eq!(ix.positions("a", d), &[0, 2]);
+        assert_eq!(ix.positions("c", d), &[3]);
+        assert!(ix.positions("z", d).is_empty());
+        assert!(ix.positions("a", DocId(9)).is_empty());
+    }
+
+    #[test]
+    fn empty_index_safe() {
+        let ix = InvertedIndex::new();
+        assert!(ix.search("anything", 5).is_empty());
+        assert_eq!(ix.num_docs(), 0);
+    }
+
+    #[test]
+    fn scores_nonnegative() {
+        let ix = idx();
+        for hit in ix.search("the cupertino guide mexican", 100) {
+            assert!(hit.score >= 0.0);
+        }
+    }
+}

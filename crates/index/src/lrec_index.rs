@@ -1,0 +1,286 @@
+//! Fielded indexing of lrecs — retrieval over records rather than documents.
+//!
+//! Every lrec is flattened into terms twice: once unscoped (so free-text
+//! queries match any attribute) and once scoped by attribute key (so a query
+//! can constrain `cuisine:italian city:"san jose"`). This is the "evolutionary
+//! shift … based primarily on massively scalable inverted index
+//! implementations" of paper §2.2: concept records ride the same index
+//! machinery as documents.
+
+use std::collections::HashMap;
+
+use woc_lrec::{ConceptId, Lrec, LrecId};
+use woc_textkit::tokenize::tokenize_words;
+
+use crate::index::{Hit, InvertedIndex};
+use crate::postings::DocId;
+
+/// Separator between field name and term in scoped index entries. A unit
+/// separator cannot appear in tokenized words, so scoped and unscoped terms
+/// never collide.
+const FIELD_SEP: char = '\u{1f}';
+
+/// A parsed concept-search query.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FieldQuery {
+    /// Unscoped free-text terms.
+    pub terms: Vec<String>,
+    /// `(field, term)` constraints.
+    pub scoped: Vec<(String, String)>,
+    /// Restrict to a concept, if set (by name; resolved by the caller).
+    pub concept: Option<String>,
+}
+
+impl FieldQuery {
+    /// Parse a query string. Syntax:
+    /// * bare words — free-text terms;
+    /// * `field:value` — scoped term;
+    /// * `field:"two words"` — scoped phrase (each word scoped);
+    /// * `is:concept` — concept restriction (e.g. `is:restaurant`).
+    pub fn parse(input: &str) -> FieldQuery {
+        let mut q = FieldQuery::default();
+        let mut rest = input.trim();
+        while !rest.is_empty() {
+            rest = rest.trim_start();
+            if rest.is_empty() {
+                break;
+            }
+            // Take the next whitespace-delimited chunk, honoring quotes after ':'.
+            let chunk_end = match rest.find(':').filter(|&i| rest[i + 1..].starts_with('"')) {
+                Some(colon) => {
+                    // field:"..." — find the closing quote.
+                    match rest[colon + 2..].find('"') {
+                        Some(q_end) => colon + 2 + q_end + 1,
+                        None => rest.len(),
+                    }
+                }
+                None => rest.find(char::is_whitespace).unwrap_or(rest.len()),
+            };
+            let chunk = &rest[..chunk_end];
+            rest = &rest[chunk_end..];
+            if let Some((field, value)) = chunk.split_once(':') {
+                let value = value.trim_matches('"');
+                let field = field.to_lowercase();
+                if field == "is" {
+                    q.concept = Some(value.to_lowercase());
+                } else {
+                    for w in tokenize_words(value) {
+                        q.scoped.push((field.clone(), w));
+                    }
+                }
+            } else {
+                q.terms.extend(tokenize_words(chunk));
+            }
+        }
+        q
+    }
+
+    /// True if the query has no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty() && self.scoped.is_empty() && self.concept.is_none()
+    }
+}
+
+/// A scored record hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordHit {
+    /// The matching record.
+    pub id: LrecId,
+    /// Its concept.
+    pub concept: ConceptId,
+    /// Retrieval score.
+    pub score: f64,
+}
+
+/// An index over lrec records.
+#[derive(Debug, Clone, Default)]
+pub struct LrecIndex {
+    inner: InvertedIndex,
+    docs: Vec<(LrecId, ConceptId)>,
+    by_lrec: HashMap<LrecId, DocId>,
+}
+
+impl LrecIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index a record (latest version). Re-indexing the same id replaces is
+    /// NOT supported — build a fresh index after bulk updates (this mirrors
+    /// segment-rebuild search architectures and keeps the index immutable).
+    pub fn add(&mut self, rec: &Lrec) {
+        assert!(
+            !self.by_lrec.contains_key(&rec.id()),
+            "record {} already indexed; rebuild the index instead",
+            rec.id()
+        );
+        let mut tokens: Vec<String> = Vec::new();
+        for (key, entries) in rec.iter() {
+            for e in entries {
+                if let woc_lrec::AttrValue::Ref(_) = e.value {
+                    continue;
+                }
+                let text = e.value.display_string();
+                for w in tokenize_words(&text) {
+                    tokens.push(w.clone());
+                    tokens.push(format!("{key}{FIELD_SEP}{w}"));
+                }
+            }
+        }
+        let doc = self.inner.add_tokens(&tokens);
+        debug_assert_eq!(doc.0 as usize, self.docs.len());
+        self.docs.push((rec.id(), rec.concept()));
+        self.by_lrec.insert(rec.id(), doc);
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True if no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Search with a parsed [`FieldQuery`]. `concept_resolver` maps a concept
+    /// name (from `is:...`) to its id.
+    pub fn search(
+        &self,
+        query: &FieldQuery,
+        k: usize,
+        concept_resolver: impl Fn(&str) -> Option<ConceptId>,
+    ) -> Vec<RecordHit> {
+        let mut terms: Vec<String> = query.terms.clone();
+        for (f, t) in &query.scoped {
+            terms.push(format!("{f}{FIELD_SEP}{t}"));
+        }
+        let concept_filter = query.concept.as_deref().and_then(&concept_resolver);
+        // Over-fetch when filtering by concept, then trim.
+        let fetch = if concept_filter.is_some() { k * 8 + 32 } else { k };
+        let hits = self.inner.search_terms(&terms, fetch);
+        let mut out: Vec<RecordHit> = hits
+            .into_iter()
+            .map(|Hit { doc, score }| {
+                let (id, concept) = self.docs[doc.0 as usize];
+                RecordHit { id, concept, score }
+            })
+            .filter(|h| concept_filter.is_none_or(|c| h.concept == c))
+            .collect();
+        // Scoped constraints are *requirements*: a hit must match every one.
+        if !query.scoped.is_empty() {
+            let required: Vec<String> = query
+                .scoped
+                .iter()
+                .map(|(f, t)| format!("{f}{FIELD_SEP}{t}"))
+                .collect();
+            out.retain(|h| {
+                let doc = self.by_lrec[&h.id];
+                required.iter().all(|rt| {
+                    self.inner
+                        .search_terms(std::slice::from_ref(rt), usize::MAX)
+                        .iter()
+                        .any(|hit| hit.doc == doc)
+                })
+            });
+        }
+        out.truncate(k);
+        out
+    }
+
+    /// Convenience: parse and search.
+    pub fn query(
+        &self,
+        input: &str,
+        k: usize,
+        concept_resolver: impl Fn(&str) -> Option<ConceptId>,
+    ) -> Vec<RecordHit> {
+        self.search(&FieldQuery::parse(input), k, concept_resolver)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_lrec::{AttrValue, Provenance, Tick};
+
+    fn rec(id: u64, concept: u32, pairs: &[(&str, &str)]) -> Lrec {
+        let mut r = Lrec::new(LrecId(id), ConceptId(concept));
+        for (k, v) in pairs {
+            r.add(k, AttrValue::Text(v.to_string()), Provenance::ground_truth(Tick(0)));
+        }
+        r
+    }
+
+    fn index() -> LrecIndex {
+        let mut ix = LrecIndex::new();
+        ix.add(&rec(1, 0, &[("name", "Gochi Fusion Tapas"), ("city", "Cupertino"), ("cuisine", "Japanese")]));
+        ix.add(&rec(2, 0, &[("name", "El Farolito"), ("city", "San Francisco"), ("cuisine", "Mexican")]));
+        ix.add(&rec(3, 0, &[("name", "Casa Cantina"), ("city", "San Jose"), ("cuisine", "Mexican")]));
+        ix.add(&rec(4, 1, &[("title", "Towards Entity Matching"), ("venue", "PODS")]));
+        ix
+    }
+
+    fn resolver(name: &str) -> Option<ConceptId> {
+        match name {
+            "restaurant" => Some(ConceptId(0)),
+            "publication" => Some(ConceptId(1)),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn parse_query_forms() {
+        let q = FieldQuery::parse(r#"best tapas cuisine:Japanese city:"San Jose" is:restaurant"#);
+        assert_eq!(q.terms, vec!["best", "tapas"]);
+        assert!(q.scoped.contains(&("cuisine".into(), "japanese".into())));
+        assert!(q.scoped.contains(&("city".into(), "san".into())));
+        assert!(q.scoped.contains(&("city".into(), "jose".into())));
+        assert_eq!(q.concept.as_deref(), Some("restaurant"));
+        assert!(FieldQuery::parse("  ").is_empty());
+    }
+
+    #[test]
+    fn free_text_search() {
+        let ix = index();
+        let hits = ix.query("gochi cupertino", 5, resolver);
+        assert_eq!(hits[0].id, LrecId(1));
+    }
+
+    #[test]
+    fn scoped_search_is_required() {
+        let ix = index();
+        // "san" appears in two records, but cuisine:mexican city:san-jose
+        // pins it to Casa Cantina.
+        let hits = ix.query(r#"cuisine:Mexican city:"San Jose""#, 5, resolver);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, LrecId(3));
+    }
+
+    #[test]
+    fn scoped_field_mismatch_excluded() {
+        let ix = index();
+        // "cupertino" is a city, not a name: scoping to name must miss.
+        let hits = ix.query("name:cupertino", 5, resolver);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn concept_restriction() {
+        let ix = index();
+        let hits = ix.query("is:publication matching", 5, resolver);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, LrecId(4));
+        // Unknown concept name yields no filter (free search).
+        let hits = ix.query("is:unknown gochi", 5, resolver);
+        assert!(!hits.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already indexed")]
+    fn duplicate_add_panics() {
+        let mut ix = index();
+        ix.add(&rec(1, 0, &[("name", "dup")]));
+    }
+}

@@ -1,0 +1,225 @@
+//! Posting lists with delta + varint encoding.
+//!
+//! Paper §2.2 chooses the lrec model partly "because retrieval is more
+//! readily mapped to existing inverted indexes"; this module is that
+//! inverted-index machinery. Postings are kept sorted by document id and can
+//! be serialized into a compact `bytes` buffer (delta-encoded doc ids,
+//! varint-encoded gaps and term frequencies) like a production index would.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Document identifier within one index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+/// One posting: a document and the term's frequency in it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document.
+    pub doc: DocId,
+    /// Term frequency in the document.
+    pub tf: u32,
+}
+
+/// A sorted posting list.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PostingList {
+    entries: Vec<Posting>,
+}
+
+impl PostingList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an occurrence for `doc`. Documents must be added in
+    /// non-decreasing id order (the builder indexes docs sequentially);
+    /// repeated adds for the same doc increment its tf.
+    pub fn add(&mut self, doc: DocId) {
+        match self.entries.last_mut() {
+            Some(last) if last.doc == doc => last.tf += 1,
+            Some(last) => {
+                assert!(
+                    last.doc < doc,
+                    "postings must be appended in doc order: {} then {}",
+                    last.doc.0,
+                    doc.0
+                );
+                self.entries.push(Posting { doc, tf: 1 });
+            }
+            None => self.entries.push(Posting { doc, tf: 1 }),
+        }
+    }
+
+    /// Add with an explicit term frequency.
+    pub fn add_tf(&mut self, doc: DocId, tf: u32) {
+        match self.entries.last_mut() {
+            Some(last) if last.doc == doc => last.tf += tf,
+            Some(last) => {
+                assert!(last.doc < doc, "postings must be appended in doc order");
+                self.entries.push(Posting { doc, tf });
+            }
+            None => self.entries.push(Posting { doc, tf }),
+        }
+    }
+
+    /// Number of documents containing the term.
+    pub fn doc_freq(&self) -> u32 {
+        self.entries.len() as u32
+    }
+
+    /// The postings, sorted by doc id.
+    pub fn iter(&self) -> impl Iterator<Item = Posting> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Binary-search the tf for a document.
+    pub fn tf(&self, doc: DocId) -> u32 {
+        self.entries
+            .binary_search_by_key(&doc, |p| p.doc)
+            .map(|i| self.entries[i].tf)
+            .unwrap_or(0)
+    }
+
+    /// Encode to a compact buffer: `count, (gap, tf)*` as varints.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + self.entries.len() * 2);
+        put_varint(&mut buf, self.entries.len() as u64);
+        let mut prev = 0u32;
+        for p in &self.entries {
+            put_varint(&mut buf, (p.doc.0 - prev) as u64);
+            put_varint(&mut buf, p.tf as u64);
+            prev = p.doc.0;
+        }
+        buf.freeze()
+    }
+
+    /// Decode from [`PostingList::encode`] output. Returns `None` on a
+    /// malformed buffer.
+    pub fn decode(mut buf: Bytes) -> Option<PostingList> {
+        let count = get_varint(&mut buf)? as usize;
+        let mut entries = Vec::with_capacity(count.min(1 << 20));
+        let mut doc = 0u32;
+        for i in 0..count {
+            let gap = get_varint(&mut buf)? as u32;
+            let tf = get_varint(&mut buf)? as u32;
+            doc = if i == 0 { gap } else { doc.checked_add(gap)? };
+            entries.push(Posting { doc: DocId(doc), tf });
+        }
+        Some(PostingList { entries })
+    }
+}
+
+fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+fn get_varint(buf: &mut Bytes) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() || shift >= 64 {
+            return None;
+        }
+        let byte = buf.get_u8();
+        v |= ((byte & 0x7f) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Intersect two sorted posting lists (boolean AND), returning doc ids.
+pub fn intersect(a: &PostingList, b: &PostingList) -> Vec<DocId> {
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.entries.len() && j < b.entries.len() {
+        match a.entries[i].doc.cmp(&b.entries[j].doc) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a.entries[i].doc);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(docs: &[(u32, u32)]) -> PostingList {
+        let mut l = PostingList::new();
+        for &(d, tf) in docs {
+            l.add_tf(DocId(d), tf);
+        }
+        l
+    }
+
+    #[test]
+    fn add_merges_same_doc() {
+        let mut l = PostingList::new();
+        l.add(DocId(1));
+        l.add(DocId(1));
+        l.add(DocId(3));
+        assert_eq!(l.doc_freq(), 2);
+        assert_eq!(l.tf(DocId(1)), 2);
+        assert_eq!(l.tf(DocId(3)), 1);
+        assert_eq!(l.tf(DocId(2)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "doc order")]
+    fn out_of_order_panics() {
+        let mut l = PostingList::new();
+        l.add(DocId(5));
+        l.add(DocId(3));
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let l = list(&[(0, 1), (1, 3), (128, 2), (100_000, 7)]);
+        let decoded = PostingList::decode(l.encode()).unwrap();
+        assert_eq!(decoded, l);
+        let empty = PostingList::new();
+        assert_eq!(PostingList::decode(empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(PostingList::decode(Bytes::from_static(&[0xff])).is_none());
+        // Claims 5 entries but has none.
+        assert!(PostingList::decode(Bytes::from_static(&[5])).is_none());
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut b = buf.freeze();
+            assert_eq!(get_varint(&mut b), Some(v));
+        }
+    }
+
+    #[test]
+    fn intersection() {
+        let a = list(&[(1, 1), (3, 1), (5, 1), (9, 1)]);
+        let b = list(&[(3, 1), (4, 1), (9, 1)]);
+        assert_eq!(intersect(&a, &b), vec![DocId(3), DocId(9)]);
+        assert!(intersect(&a, &PostingList::new()).is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests: index round-trips and ranking invariants.
+
+use proptest::prelude::*;
+use woc_index::postings::{DocId, PostingList};
+use woc_index::InvertedIndex;
+
+proptest! {
+    /// Posting lists round-trip through their byte encoding.
+    #[test]
+    fn postings_encode_decode(docs in prop::collection::btree_map(0u32..100_000, 1u32..50, 0..64)) {
+        let mut pl = PostingList::new();
+        for (&d, &tf) in &docs {
+            pl.add_tf(DocId(d), tf);
+        }
+        let decoded = PostingList::decode(pl.encode()).unwrap();
+        prop_assert_eq!(decoded, pl);
+    }
+
+    /// Every indexed document is findable by each of its own terms,
+    /// and all scores are non-negative.
+    #[test]
+    fn indexed_docs_findable(docs in prop::collection::vec(
+        prop::collection::vec("[a-e]{1,3}", 1..8), 1..12)) {
+        let mut ix = InvertedIndex::new();
+        for toks in &docs {
+            ix.add_tokens(toks);
+        }
+        for (i, toks) in docs.iter().enumerate() {
+            for t in toks {
+                let hits = ix.search_terms(std::slice::from_ref(t), usize::MAX);
+                prop_assert!(
+                    hits.iter().any(|h| h.doc.0 as usize == i),
+                    "doc {} not found for its own term {:?}", i, t
+                );
+                for h in &hits {
+                    prop_assert!(h.score >= 0.0);
+                }
+            }
+        }
+    }
+
+    /// Results are sorted by score descending, doc id ascending on ties,
+    /// and top-k is a prefix of top-(k+1).
+    #[test]
+    fn ranking_sorted_and_prefix_stable(docs in prop::collection::vec(
+        prop::collection::vec("[a-c]{1,2}", 1..6), 1..10), k in 1usize..6) {
+        let mut ix = InvertedIndex::new();
+        for toks in &docs {
+            ix.add_tokens(toks);
+        }
+        let q = ["a".to_string(), "b".to_string()];
+        let top_k = ix.search_terms(&q, k);
+        let top_k1 = ix.search_terms(&q, k + 1);
+        for w in top_k.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        prop_assert!(top_k.len() <= k);
+        for (a, b) in top_k.iter().zip(&top_k1) {
+            prop_assert_eq!(a.doc, b.doc);
+        }
+    }
+
+    /// Phrase hits are a subset of AND hits, and an indexed document is
+    /// always a phrase hit for any contiguous slice of its own tokens.
+    #[test]
+    fn phrase_subset_of_and(docs in prop::collection::vec(
+        prop::collection::vec("[a-c]", 1..8), 1..8), start in 0usize..4, len in 1usize..4) {
+        let mut ix = InvertedIndex::new();
+        for toks in &docs {
+            ix.add_tokens(toks);
+        }
+        // Pick a real slice of doc 0 as the phrase.
+        let d0 = &docs[0];
+        let start = start.min(d0.len() - 1);
+        let end = (start + len).min(d0.len());
+        let phrase = d0[start..end].join(" ");
+        let phrase_hits = ix.search_phrase(&phrase);
+        prop_assert!(
+            phrase_hits.iter().any(|d| d.0 == 0),
+            "doc 0 must match its own slice {:?}", phrase
+        );
+        let and_hits = ix.search_and(&phrase);
+        for d in &phrase_hits {
+            prop_assert!(and_hits.contains(d), "phrase hit missing from AND");
+        }
+    }
+
+    /// Boolean AND result is exactly the set of documents containing all terms.
+    #[test]
+    fn boolean_and_exact(docs in prop::collection::vec(
+        prop::collection::vec("[a-c]", 0..5), 0..10)) {
+        let mut ix = InvertedIndex::new();
+        for toks in &docs {
+            ix.add_tokens(toks);
+        }
+        let found = ix.search_and("a b");
+        for (i, toks) in docs.iter().enumerate() {
+            let has_both = toks.iter().any(|t| t == "a") && toks.iter().any(|t| t == "b");
+            let in_result = found.iter().any(|d| d.0 as usize == i);
+            prop_assert_eq!(has_both, in_result, "doc {} tokens {:?}", i, toks);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Standard concepts and domains used throughout the system.
+//!
+//! The paper's running examples define the restaurant/local domain, the
+//! academic domain, the shopping domain and events (§2.1, §4). This module
+//! registers those concepts with their attribute metadata — including the
+//! cardinality hints §4.2 uses as statistical domain knowledge — so the
+//! generator, extractors and applications all agree on one vocabulary.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::ConceptId;
+use crate::schema::{AttrKind, AttrSpec, Cardinality, ConceptRegistry};
+
+/// Concept ids for the standard registry, in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StandardConcepts {
+    /// Plain web page treated as a record of type "Document" (§4: "today's
+    /// web is a simplified web of concepts, where each record is of type
+    /// Document").
+    pub document: ConceptId,
+    /// Restaurant (local domain).
+    pub restaurant: ConceptId,
+    /// A menu item of a restaurant.
+    pub menu_item: ConceptId,
+    /// A review of some record (restaurant, product, …).
+    pub review: ConceptId,
+    /// A person (author, reviewer).
+    pub person: ConceptId,
+    /// A research publication.
+    pub publication: ConceptId,
+    /// A research institution.
+    pub institution: ConceptId,
+    /// A product (shopping domain).
+    pub product: ConceptId,
+    /// A seller offering products.
+    pub seller: ConceptId,
+    /// An offer (seller sells product at price).
+    pub offer: ConceptId,
+    /// An event (concerts, games, …).
+    pub event: ConceptId,
+}
+
+/// Build the standard registry with all concepts and domains.
+pub fn standard_registry() -> (ConceptRegistry, StandardConcepts) {
+    use AttrKind as K;
+    use Cardinality as C;
+    let mut reg = ConceptRegistry::new();
+
+    let document = reg.register(
+        "document",
+        vec![
+            AttrSpec::new("url", K::Url, C::One).identifying(),
+            AttrSpec::new("title", K::Text, C::One),
+            AttrSpec::new("site", K::Text, C::One),
+        ],
+    );
+
+    let restaurant = reg.register(
+        "restaurant",
+        vec![
+            AttrSpec::new("name", K::Text, C::One).identifying(),
+            AttrSpec::new("street", K::Text, C::One),
+            AttrSpec::new("city", K::Text, C::One).identifying(),
+            AttrSpec::new("state", K::Text, C::One),
+            // §4.2: "each restaurant is associated with a single zip code
+            // and has one or two phone numbers".
+            AttrSpec::new("zip", K::Zip, C::One),
+            AttrSpec::new("phone", K::Phone, C::AtMost(2)).identifying(),
+            AttrSpec::new("cuisine", K::Text, C::AtMost(2)),
+            AttrSpec::new("hours", K::Text, C::One),
+            AttrSpec::new("homepage", K::Url, C::One),
+            AttrSpec::new("rating", K::Float, C::One),
+            AttrSpec::new("price_level", K::Int, C::One),
+        ],
+    );
+
+    let menu_item = reg.register(
+        "menu_item",
+        vec![
+            AttrSpec::new("name", K::Text, C::One).identifying(),
+            AttrSpec::new("price", K::Price, C::One),
+            AttrSpec::new("restaurant", K::RefTo(restaurant), C::One),
+            AttrSpec::new("section", K::Text, C::One),
+        ],
+    );
+
+    let review = reg.register(
+        "review",
+        vec![
+            AttrSpec::new("text", K::Text, C::One),
+            AttrSpec::new("rating", K::Int, C::One),
+            AttrSpec::new("author_name", K::Text, C::One),
+            AttrSpec::new("about", K::RefTo(restaurant), C::One),
+            AttrSpec::new("source_url", K::Url, C::One),
+        ],
+    );
+
+    let person = reg.register(
+        "person",
+        vec![
+            AttrSpec::new("name", K::Text, C::One).identifying(),
+            AttrSpec::new("email", K::Text, C::One).identifying(),
+            AttrSpec::new("homepage", K::Url, C::One),
+        ],
+    );
+
+    let institution = reg.register(
+        "institution",
+        vec![
+            AttrSpec::new("name", K::Text, C::One).identifying(),
+            AttrSpec::new("city", K::Text, C::One),
+        ],
+    );
+
+    let publication = reg.register(
+        "publication",
+        vec![
+            AttrSpec::new("title", K::Text, C::One).identifying(),
+            AttrSpec::new("venue", K::Text, C::One),
+            AttrSpec::new("year", K::Int, C::One),
+            AttrSpec::new("author", K::RefTo(person), C::Many),
+            AttrSpec::new("topic", K::Text, C::AtMost(3)),
+        ],
+    );
+
+    let product = reg.register(
+        "product",
+        vec![
+            AttrSpec::new("name", K::Text, C::One).identifying(),
+            AttrSpec::new("brand", K::Text, C::One).identifying(),
+            AttrSpec::new("category", K::Text, C::One),
+            AttrSpec::new("model", K::Text, C::One).identifying(),
+            // Taxonomy/containment links of §2.3 ("the D40 … is a particular
+            // kind of digital camera"; "part of a special camera package").
+            AttrSpec::new("is_a", K::Text, C::AtMost(3)),
+            AttrSpec::new("part_of", K::RefTo(ConceptId(0)), C::Many),
+            AttrSpec::new("augments", K::RefTo(ConceptId(0)), C::Many),
+        ],
+    );
+
+    let seller = reg.register(
+        "seller",
+        vec![
+            AttrSpec::new("name", K::Text, C::One).identifying(),
+            AttrSpec::new("homepage", K::Url, C::One),
+        ],
+    );
+
+    let offer = reg.register(
+        "offer",
+        vec![
+            AttrSpec::new("product", K::RefTo(product), C::One),
+            AttrSpec::new("seller", K::RefTo(seller), C::One),
+            AttrSpec::new("price", K::Price, C::One),
+            AttrSpec::new("in_stock", K::Bool, C::One),
+        ],
+    );
+
+    let event = reg.register(
+        "event",
+        vec![
+            AttrSpec::new("name", K::Text, C::One).identifying(),
+            AttrSpec::new("category", K::Text, C::One),
+            AttrSpec::new("city", K::Text, C::One),
+            AttrSpec::new("venue", K::Text, C::One),
+            AttrSpec::new("date", K::Date, C::One).identifying(),
+            AttrSpec::new("price", K::Price, C::One),
+        ],
+    );
+
+    reg.define_domain("local", &["restaurant", "menu_item", "review"]);
+    reg.define_domain("academic", &["person", "publication", "institution"]);
+    reg.define_domain("shopping", &["product", "seller", "offer", "review"]);
+    reg.define_domain("events", &["event"]);
+
+    (
+        reg,
+        StandardConcepts {
+            document,
+            restaurant,
+            menu_item,
+            review,
+            person,
+            publication,
+            institution,
+            product,
+            seller,
+            offer,
+            event,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_concepts() {
+        let (reg, c) = standard_registry();
+        assert_eq!(reg.schemas().count(), 11);
+        assert_eq!(reg.schema(c.restaurant).unwrap().name(), "restaurant");
+        assert_eq!(reg.schema(c.event).unwrap().name(), "event");
+    }
+
+    #[test]
+    fn domains_cover_concepts() {
+        let (reg, c) = standard_registry();
+        let local = reg.domain("local").unwrap();
+        assert!(local.concepts.contains(&c.restaurant));
+        assert!(local.concepts.contains(&c.review));
+        let academic = reg.domain("academic").unwrap();
+        assert_eq!(academic.concepts.len(), 3);
+        assert_eq!(reg.domains().count(), 4);
+    }
+
+    #[test]
+    fn restaurant_cardinalities_match_paper() {
+        let (reg, c) = standard_registry();
+        let s = reg.schema(c.restaurant).unwrap();
+        assert_eq!(s.attr("zip").unwrap().cardinality, Cardinality::One);
+        assert_eq!(s.attr("phone").unwrap().cardinality, Cardinality::AtMost(2));
+    }
+
+    #[test]
+    fn ids_distinct() {
+        let (_, c) = standard_registry();
+        let ids = [
+            c.document, c.restaurant, c.menu_item, c.review, c.person, c.publication,
+            c.institution, c.product, c.seller, c.offer, c.event,
+        ];
+        let set: std::collections::HashSet<_> = ids.iter().collect();
+        assert_eq!(set.len(), ids.len());
+    }
+}

@@ -1,0 +1,77 @@
+//! Identifier newtypes: record ids, concept ids, and logical time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The distinguished `id` attribute of an lrec (paper §2.2, stipulation 1).
+///
+/// Ids are dense `u64`s allocated by the [`crate::Store`]; they uniquely
+/// identify a record in the stored corpus and are never reused. When entity
+/// matching discovers that two records describe the same real-world concept
+/// instance, the records are *merged under a surviving id* and the merge is
+/// recorded in lineage — ids themselves stay stable.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LrecId(pub u64);
+
+impl fmt::Display for LrecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lrec:{:08}", self.0)
+    }
+}
+
+/// Identifier of a concept (a "type" of lrec, paper §2.2 stipulation 2),
+/// allocated by [`crate::ConceptRegistry`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ConceptId(pub u32);
+
+impl fmt::Display for ConceptId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "concept:{}", self.0)
+    }
+}
+
+/// Logical time. The web of concepts is rebuilt and maintained continuously
+/// (paper §7.3); ticks order crawls, extractions and record versions without
+/// depending on wall-clock time (keeping every run deterministic).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// The next tick.
+    #[must_use]
+    pub fn next(self) -> Tick {
+        Tick(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(LrecId(42).to_string(), "lrec:00000042");
+        assert_eq!(ConceptId(3).to_string(), "concept:3");
+        assert_eq!(Tick(7).to_string(), "t7");
+    }
+
+    #[test]
+    fn tick_ordering() {
+        let t = Tick(1);
+        assert!(t.next() > t);
+        assert_eq!(t.next(), Tick(2));
+    }
+}

@@ -1,0 +1,156 @@
+//! Provenance stamps carried by every attribute value.
+//!
+//! Paper §7.3: "Managing lineage, i.e., keeping track of the documents and
+//! the sequence of operators that result in a given extracted record, is an
+//! important problem." The full operator DAG lives in `woc-core::lineage`;
+//! this module defines the per-value stamp that anchors values into that DAG
+//! and carries the extraction confidence used for uncertainty propagation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::Tick;
+
+/// Where a value came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SourceRef {
+    /// Extracted from a crawled document, identified by URL.
+    Document(String),
+    /// Produced by an operator (linker, reconciler, classifier) rather than
+    /// read off a page; the string names the operator.
+    Derived(String),
+    /// Imported from a structured feed (the paper's "contractual feeds").
+    Feed(String),
+    /// Ground truth injected by a test or the synthetic-world generator.
+    GroundTruth,
+}
+
+impl fmt::Display for SourceRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceRef::Document(u) => write!(f, "doc:{u}"),
+            SourceRef::Derived(op) => write!(f, "op:{op}"),
+            SourceRef::Feed(name) => write!(f, "feed:{name}"),
+            SourceRef::GroundTruth => write!(f, "ground-truth"),
+        }
+    }
+}
+
+/// A provenance stamp: source + producing operator + confidence + time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// Where the value came from.
+    pub source: SourceRef,
+    /// Name of the operator that produced the value (e.g. `list-extractor`).
+    pub operator: String,
+    /// Confidence in `\[0, 1\]` that the value is correct for this record.
+    pub confidence: f64,
+    /// Logical time the value was observed/produced.
+    pub observed_at: Tick,
+}
+
+impl Provenance {
+    /// Stamp for a value extracted from `url` by `operator` with `confidence`.
+    pub fn extracted(url: &str, operator: &str, confidence: f64, at: Tick) -> Self {
+        Self {
+            source: SourceRef::Document(url.to_string()),
+            operator: operator.to_string(),
+            confidence: confidence.clamp(0.0, 1.0),
+            observed_at: at,
+        }
+    }
+
+    /// Stamp for a derived value.
+    pub fn derived(operator: &str, confidence: f64, at: Tick) -> Self {
+        Self {
+            source: SourceRef::Derived(operator.to_string()),
+            operator: operator.to_string(),
+            confidence: confidence.clamp(0.0, 1.0),
+            observed_at: at,
+        }
+    }
+
+    /// Stamp for ground truth (tests and world generation), confidence 1.
+    pub fn ground_truth(at: Tick) -> Self {
+        Self {
+            source: SourceRef::GroundTruth,
+            operator: "ground-truth".to_string(),
+            confidence: 1.0,
+            observed_at: at,
+        }
+    }
+
+    /// The document URL, when the source is a document.
+    pub fn document_url(&self) -> Option<&str> {
+        match &self.source {
+            SourceRef::Document(u) => Some(u),
+            _ => None,
+        }
+    }
+}
+
+/// Combine confidences of *independent corroborating* observations with
+/// noisy-or: `1 - ∏(1 - cᵢ)`. Corroboration from multiple sources raises
+/// confidence; this is the standard independence model used for uncertainty
+/// propagation through the pipeline (DESIGN.md §6).
+pub fn noisy_or<I: IntoIterator<Item = f64>>(confidences: I) -> f64 {
+    let mut not = 1.0f64;
+    for c in confidences {
+        not *= 1.0 - c.clamp(0.0, 1.0);
+    }
+    1.0 - not
+}
+
+/// Combine confidences along a *dependency chain* (classifier → extractor →
+/// linker) by product: the chain is only right if every step is right.
+pub fn chain<I: IntoIterator<Item = f64>>(confidences: I) -> f64 {
+    confidences
+        .into_iter()
+        .map(|c| c.clamp(0.0, 1.0))
+        .product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_clamp() {
+        let p = Provenance::extracted("u", "op", 1.5, Tick(0));
+        assert_eq!(p.confidence, 1.0);
+        let p = Provenance::derived("op", -0.5, Tick(0));
+        assert_eq!(p.confidence, 0.0);
+    }
+
+    #[test]
+    fn document_url_access() {
+        let p = Provenance::extracted("http://a/b", "op", 0.9, Tick(1));
+        assert_eq!(p.document_url(), Some("http://a/b"));
+        assert_eq!(Provenance::ground_truth(Tick(0)).document_url(), None);
+    }
+
+    #[test]
+    fn noisy_or_monotone() {
+        assert_eq!(noisy_or([]), 0.0);
+        assert!((noisy_or([0.5]) - 0.5).abs() < 1e-12);
+        assert!((noisy_or([0.5, 0.5]) - 0.75).abs() < 1e-12);
+        assert!(noisy_or([0.5, 0.5, 0.5]) > noisy_or([0.5, 0.5]));
+        assert!(noisy_or([1.0, 0.0]) == 1.0);
+    }
+
+    #[test]
+    fn chain_product() {
+        assert_eq!(chain([]), 1.0);
+        assert!((chain([0.9, 0.9]) - 0.81).abs() < 1e-12);
+        assert!(chain([0.9, 0.0]) == 0.0);
+    }
+
+    #[test]
+    fn display_sources() {
+        assert_eq!(SourceRef::Document("u".into()).to_string(), "doc:u");
+        assert_eq!(SourceRef::Derived("link".into()).to_string(), "op:link");
+        assert_eq!(SourceRef::Feed("yelp".into()).to_string(), "feed:yelp");
+        assert_eq!(SourceRef::GroundTruth.to_string(), "ground-truth");
+    }
+}

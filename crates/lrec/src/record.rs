@@ -1,0 +1,258 @@
+//! The lrec record type.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ConceptId, LrecId};
+use crate::provenance::Provenance;
+use crate::value::AttrValue;
+
+/// One attribute value together with its provenance stamp.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValueEntry {
+    /// The value.
+    pub value: AttrValue,
+    /// Where it came from and how confident we are in it.
+    pub provenance: Provenance,
+}
+
+/// A loosely-structured record (paper §2.2).
+///
+/// Attributes form a multimap: a key may carry several values (a restaurant
+/// with two phone numbers; a value asserted by several sources). The set of
+/// populated attributes is *not* required to cover the concept schema, and
+/// keys absent from the schema are admitted (schema evolution, §2.2: "the
+/// set of attributes associated with a concept may also evolve").
+///
+/// Attributes are kept in a `BTreeMap` so iteration order — and therefore
+/// rendering, indexing and hashing — is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Lrec {
+    id: LrecId,
+    concept: ConceptId,
+    attrs: BTreeMap<String, Vec<ValueEntry>>,
+}
+
+impl Lrec {
+    /// Create an empty record. Normally done through
+    /// [`crate::Store::create`], which allocates the id.
+    pub fn new(id: LrecId, concept: ConceptId) -> Self {
+        Self {
+            id,
+            concept,
+            attrs: BTreeMap::new(),
+        }
+    }
+
+    /// The distinguished unique id (stipulation 1).
+    pub fn id(&self) -> LrecId {
+        self.id
+    }
+
+    /// The concept this record instantiates (stipulation 2: "given a record,
+    /// we can determine the corresponding concept").
+    pub fn concept(&self) -> ConceptId {
+        self.concept
+    }
+
+    /// Add a value for `key` (appends; does not replace).
+    pub fn add(&mut self, key: &str, value: AttrValue, provenance: Provenance) {
+        self.attrs
+            .entry(key.to_string())
+            .or_default()
+            .push(ValueEntry { value, provenance });
+    }
+
+    /// Replace all values of `key` with a single value.
+    pub fn set(&mut self, key: &str, value: AttrValue, provenance: Provenance) {
+        self.attrs
+            .insert(key.to_string(), vec![ValueEntry { value, provenance }]);
+    }
+
+    /// Remove all values of `key`, returning them.
+    pub fn remove(&mut self, key: &str) -> Vec<ValueEntry> {
+        self.attrs.remove(key).unwrap_or_default()
+    }
+
+    /// All entries for `key`.
+    pub fn get(&self, key: &str) -> &[ValueEntry] {
+        self.attrs.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The highest-confidence value for `key`, if any.
+    pub fn best(&self, key: &str) -> Option<&ValueEntry> {
+        self.get(key)
+            .iter()
+            .max_by(|a, b| {
+                a.provenance
+                    .confidence
+                    .partial_cmp(&b.provenance.confidence)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+    }
+
+    /// Convenience: the best value's display string.
+    pub fn best_string(&self, key: &str) -> Option<String> {
+        self.best(key).map(|e| e.value.display_string())
+    }
+
+    /// Convenience: the best value's text, if it is `Text`.
+    pub fn best_text(&self, key: &str) -> Option<&str> {
+        self.best(key).and_then(|e| e.value.as_text())
+    }
+
+    /// Iterate over `(key, entries)` pairs in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[ValueEntry])> {
+        self.attrs.iter().map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// The set of populated attribute keys.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.attrs.keys().map(String::as_str)
+    }
+
+    /// Number of populated attribute keys.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Total number of values across all keys.
+    pub fn num_values(&self) -> usize {
+        self.attrs.values().map(Vec::len).sum()
+    }
+
+    /// All outgoing record references (`Ref` values) with their keys.
+    pub fn refs(&self) -> Vec<(&str, LrecId)> {
+        self.iter()
+            .flat_map(|(k, es)| {
+                es.iter()
+                    .filter_map(move |e| e.value.as_ref_id().map(|id| (k, id)))
+            })
+            .collect()
+    }
+
+    /// Flatten the record to text for inverted-index ingestion: every value's
+    /// display string prefixed with nothing, keys excluded (keys are indexed
+    /// as fields separately by `woc-index`).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for (_, entries) in self.iter() {
+            for e in entries {
+                if !matches!(e.value, AttrValue::Ref(_)) {
+                    out.push_str(&e.value.display_string());
+                    out.push(' ');
+                }
+            }
+        }
+        out.trim_end().to_string()
+    }
+
+    /// Merge `other` into `self` (entity-matching merge): every value of
+    /// `other` is appended under its key unless an entry with the same
+    /// denotation already exists, in which case only the higher confidence
+    /// survives. `other`'s id and concept are discarded — the caller records
+    /// the merge in lineage.
+    pub fn absorb(&mut self, other: &Lrec) {
+        for (key, entries) in other.iter() {
+            for e in entries {
+                let existing = self.attrs.entry(key.to_string()).or_default();
+                if let Some(dup) = existing
+                    .iter_mut()
+                    .find(|x| x.value.same_denotation(&e.value))
+                {
+                    if e.provenance.confidence > dup.provenance.confidence {
+                        *dup = e.clone();
+                    }
+                } else {
+                    existing.push(e.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Tick;
+
+    fn prov(c: f64) -> Provenance {
+        Provenance::derived("test", c, Tick(0))
+    }
+
+    fn rec() -> Lrec {
+        let mut r = Lrec::new(LrecId(1), ConceptId(0));
+        r.add("name", "Gochi Fusion Tapas".into(), prov(0.9));
+        r.add("phone", AttrValue::Phone("4085550134".into()), prov(0.8));
+        r.add("phone", AttrValue::Phone("4085550199".into()), prov(0.6));
+        r
+    }
+
+    #[test]
+    fn add_and_get() {
+        let r = rec();
+        assert_eq!(r.get("phone").len(), 2);
+        assert_eq!(r.get("missing").len(), 0);
+        assert_eq!(r.num_attrs(), 2);
+        assert_eq!(r.num_values(), 3);
+    }
+
+    #[test]
+    fn best_picks_highest_confidence() {
+        let r = rec();
+        assert_eq!(
+            r.best("phone").unwrap().value,
+            AttrValue::Phone("4085550134".into())
+        );
+        assert_eq!(r.best_text("name"), Some("Gochi Fusion Tapas"));
+        assert!(r.best("missing").is_none());
+    }
+
+    #[test]
+    fn set_replaces() {
+        let mut r = rec();
+        r.set("phone", AttrValue::Phone("1112223333".into()), prov(1.0));
+        assert_eq!(r.get("phone").len(), 1);
+    }
+
+    #[test]
+    fn refs_collected() {
+        let mut r = rec();
+        r.add("review", AttrValue::Ref(LrecId(7)), prov(0.9));
+        r.add("review", AttrValue::Ref(LrecId(8)), prov(0.9));
+        let refs = r.refs();
+        assert_eq!(refs, vec![("review", LrecId(7)), ("review", LrecId(8))]);
+    }
+
+    #[test]
+    fn to_text_excludes_refs() {
+        let mut r = rec();
+        r.add("review", AttrValue::Ref(LrecId(7)), prov(0.9));
+        let t = r.to_text();
+        assert!(t.contains("Gochi Fusion Tapas"));
+        assert!(!t.contains("lrec:"));
+    }
+
+    #[test]
+    fn absorb_dedups_by_denotation() {
+        let mut a = rec();
+        let mut b = Lrec::new(LrecId(2), ConceptId(0));
+        // Same phone in a different format, higher confidence.
+        b.add("phone", AttrValue::Text("(408) 555-0134".into()), prov(0.95));
+        b.add("cuisine", "Japanese".into(), prov(0.7));
+        a.absorb(&b);
+        // Still 2 phone entries (dedup), but the dup got the higher-confidence stamp.
+        assert_eq!(a.get("phone").len(), 2);
+        let best = a.best("phone").unwrap();
+        assert!((best.provenance.confidence - 0.95).abs() < 1e-12);
+        assert_eq!(a.get("cuisine").len(), 1);
+    }
+
+    #[test]
+    fn iteration_deterministic() {
+        let r = rec();
+        let keys: Vec<_> = r.keys().collect();
+        assert_eq!(keys, vec!["name", "phone"]);
+    }
+}

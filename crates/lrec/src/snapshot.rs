@@ -1,0 +1,146 @@
+//! Store snapshots: export/import the record corpus as JSON.
+//!
+//! Paper §7.1 calls for "creating shared datasets and benchmarks"; §2.3 for
+//! maintaining "versions of important concept instances over windows of
+//! time". Snapshots serialize the *entire* store — every version chain,
+//! tombstone and provenance stamp — so a constructed web of concepts can be
+//! shipped, diffed, and reloaded bit-for-bit.
+
+use serde::{Deserialize, Serialize};
+
+use crate::schema::ConceptRegistry;
+use crate::store::Store;
+
+/// A serializable snapshot: registry + store, with a format version for
+/// forward compatibility.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Snapshot format version.
+    pub format: u32,
+    /// The concept registry (schemas + domains).
+    pub registry: ConceptRegistry,
+    /// The full record store, version chains included.
+    pub store: Store,
+}
+
+/// Current snapshot format version.
+pub const FORMAT: u32 = 1;
+
+/// Errors from snapshot encoding/decoding.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The JSON was malformed or did not match the schema.
+    Malformed(String),
+    /// The format version is not supported.
+    UnsupportedFormat(u32),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Malformed(e) => write!(f, "malformed snapshot: {e}"),
+            SnapshotError::UnsupportedFormat(v) => write!(f, "unsupported snapshot format {v}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialize a registry + store to a JSON string.
+pub fn export(registry: &ConceptRegistry, store: &Store) -> String {
+    let snap = Snapshot {
+        format: FORMAT,
+        registry: registry.clone(),
+        store: store.clone(),
+    };
+    serde_json::to_string(&snap).expect("snapshot types are serializable")
+}
+
+/// Deserialize a snapshot produced by [`export`].
+pub fn import(json: &str) -> Result<(ConceptRegistry, Store), SnapshotError> {
+    let snap: Snapshot =
+        serde_json::from_str(json).map_err(|e| SnapshotError::Malformed(e.to_string()))?;
+    if snap.format != FORMAT {
+        return Err(SnapshotError::UnsupportedFormat(snap.format));
+    }
+    Ok((snap.registry, snap.store))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::standard_registry;
+    use crate::ids::Tick;
+    use crate::provenance::Provenance;
+    use crate::value::AttrValue;
+
+    fn populated() -> (ConceptRegistry, Store) {
+        let (reg, c) = standard_registry();
+        let mut store = Store::new();
+        let a = store.insert(c.restaurant, Tick(0), |r| {
+            r.add("name", "Gochi".into(), Provenance::ground_truth(Tick(0)));
+            r.add(
+                "phone",
+                AttrValue::Phone("4085550134".into()),
+                Provenance::extracted("http://x/", "op", 0.8, Tick(0)),
+            );
+        });
+        let b = store.insert(c.restaurant, Tick(0), |r| {
+            r.add("name", "Gochi Tapas".into(), Provenance::ground_truth(Tick(0)));
+        });
+        store
+            .update(a, Tick(1), |r| r.add("cuisine", "Japanese".into(), Provenance::ground_truth(Tick(1))))
+            .unwrap();
+        store.merge(a, b, Tick(2)).unwrap();
+        (reg, store)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let (reg, store) = populated();
+        let json = export(&reg, &store);
+        let (reg2, store2) = import(&json).unwrap();
+        // Registry: same schemas.
+        assert_eq!(reg.schemas().count(), reg2.schemas().count());
+        assert_eq!(reg2.id_of("restaurant"), reg.id_of("restaurant"));
+        // Store: same records, versions, tombstones.
+        assert_eq!(store2.live_count(), store.live_count());
+        assert_eq!(store2.total_created(), store.total_created());
+        for id in store.live_ids() {
+            assert_eq!(store2.latest(id), store.latest(id));
+            assert_eq!(store2.num_versions(id), store.num_versions(id));
+        }
+        // Merge resolution survives.
+        let loser = crate::ids::LrecId(1);
+        assert_eq!(store2.resolve(loser), store.resolve(loser));
+        // Time travel survives.
+        let a = crate::ids::LrecId(0);
+        assert_eq!(store2.as_of(a, Tick(0)), store.as_of(a, Tick(0)));
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(matches!(import("not json"), Err(SnapshotError::Malformed(_))));
+        assert!(matches!(import("{}"), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn import_rejects_future_format() {
+        let (reg, store) = populated();
+        let json = export(&reg, &store).replace("\"format\":1", "\"format\":99");
+        assert!(matches!(
+            import(&json),
+            Err(SnapshotError::UnsupportedFormat(99))
+        ));
+    }
+
+    #[test]
+    fn new_ids_continue_after_import() {
+        let (reg, store) = populated();
+        let (_, mut store2) = import(&export(&reg, &store)).unwrap();
+        let before = store2.total_created();
+        let id = store2.create(crate::ids::ConceptId(1), Tick(10));
+        assert_eq!(store2.total_created(), before + 1);
+        assert!(id.0 >= before as u64, "ids must not be reused after import");
+    }
+}

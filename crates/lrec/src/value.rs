@@ -1,0 +1,252 @@
+//! Typed attribute values.
+//!
+//! The paper leaves lrec values unspecified beyond "(attribute-key, value)
+//! pairs"; we give values a small typed algebra so that extraction output,
+//! schema checking, reconciliation and indexing can be precise. `Text` is the
+//! universal fallback — anything an extractor cannot type lands there.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::LrecId;
+
+/// A simple calendar date (no time zone; the synthetic world is zone-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Four-digit year.
+    pub year: u16,
+    /// Month `1..=12`.
+    pub month: u8,
+    /// Day `1..=31`.
+    pub day: u8,
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A typed lrec attribute value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// Free text (the universal fallback).
+    Text(String),
+    /// Integer quantity (ratings counts, years, capacities).
+    Int(i64),
+    /// Real-valued quantity (average rating, distance).
+    Float(f64),
+    /// Money in integer cents, avoiding float drift in prices.
+    PriceCents(i64),
+    /// Normalized US phone number digits, e.g. `4085550134`.
+    Phone(String),
+    /// 5-digit zip (stored as text to preserve leading zeros).
+    Zip(String),
+    /// A URL.
+    Url(String),
+    /// A calendar date.
+    Date(Date),
+    /// Boolean flag.
+    Bool(bool),
+    /// Typed reference to another lrec — how records of different concepts
+    /// are interconnected (restaurant → review, paper → author, product
+    /// `part_of` package, camera model `is_a` camera).
+    Ref(LrecId),
+}
+
+impl AttrValue {
+    /// Canonical display string, used when indexing records as text and when
+    /// rendering concept pages.
+    pub fn display_string(&self) -> String {
+        match self {
+            AttrValue::Text(s) => s.clone(),
+            AttrValue::Int(i) => i.to_string(),
+            AttrValue::Float(x) => format!("{x:.2}"),
+            AttrValue::PriceCents(c) => format!("${}.{:02}", c / 100, (c % 100).abs()),
+            AttrValue::Phone(p) => {
+                if p.len() == 10 {
+                    format!("({}) {}-{}", &p[0..3], &p[3..6], &p[6..10])
+                } else {
+                    p.clone()
+                }
+            }
+            AttrValue::Zip(z) => z.clone(),
+            AttrValue::Url(u) => u.clone(),
+            AttrValue::Date(d) => d.to_string(),
+            AttrValue::Bool(b) => b.to_string(),
+            AttrValue::Ref(id) => id.to_string(),
+        }
+    }
+
+    /// The text content if this value is `Text`.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The referenced record id if this value is `Ref`.
+    pub fn as_ref_id(&self) -> Option<LrecId> {
+        match self {
+            AttrValue::Ref(id) => Some(*id),
+            _ => None,
+        }
+    }
+
+    /// The numeric value if `Int`, `Float` or `PriceCents` (cents → dollars).
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(x) => Some(*x),
+            AttrValue::PriceCents(c) => Some(*c as f64 / 100.0),
+            _ => None,
+        }
+    }
+
+    /// Normalize a raw phone string (any format) into an `AttrValue::Phone`
+    /// with digits only; returns `None` unless exactly 10 digits remain.
+    pub fn parse_phone(raw: &str) -> Option<AttrValue> {
+        let digits: String = raw.chars().filter(|c| c.is_ascii_digit()).collect();
+        (digits.len() == 10).then_some(AttrValue::Phone(digits))
+    }
+
+    /// Parse `$D[.DD]` or `D dollars` into `PriceCents`.
+    pub fn parse_price(raw: &str) -> Option<AttrValue> {
+        let t = raw.trim();
+        let t = t.strip_suffix("dollars").map(str::trim).unwrap_or(t);
+        let t = t.strip_prefix('$').unwrap_or(t).trim();
+        let (whole, frac) = match t.split_once('.') {
+            Some((w, f)) => (w, f),
+            None => (t, "0"),
+        };
+        let whole: i64 = whole.parse().ok()?;
+        let frac: i64 = match frac.len() {
+            1 => frac.parse::<i64>().ok()? * 10,
+            2 => frac.parse().ok()?,
+            _ if frac == "0" => 0,
+            _ => return None,
+        };
+        Some(AttrValue::PriceCents(whole * 100 + frac))
+    }
+
+    /// Two values are *reconcilable* if they denote the same information up
+    /// to formatting — used by conflict detection (paper §7.3: "extracted
+    /// information will often be inconsistent and will need to be
+    /// reconciled").
+    pub fn same_denotation(&self, other: &AttrValue) -> bool {
+        if self == other {
+            return true;
+        }
+        match (self, other) {
+            (AttrValue::Text(a), AttrValue::Text(b)) => {
+                a.trim().eq_ignore_ascii_case(b.trim())
+            }
+            (AttrValue::Phone(a), AttrValue::Text(b)) | (AttrValue::Text(b), AttrValue::Phone(a)) => {
+                AttrValue::parse_phone(b).is_some_and(|p| p == AttrValue::Phone(a.clone()))
+            }
+            (AttrValue::PriceCents(c), AttrValue::Text(b))
+            | (AttrValue::Text(b), AttrValue::PriceCents(c)) => {
+                AttrValue::parse_price(b).is_some_and(|p| p == AttrValue::PriceCents(*c))
+            }
+            (AttrValue::Int(a), AttrValue::Float(b)) | (AttrValue::Float(b), AttrValue::Int(a)) => {
+                (*a as f64 - b).abs() < 1e-9
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_string())
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Text(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Text(s)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(i: i64) -> Self {
+        AttrValue::Int(i)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(x: f64) -> Self {
+        AttrValue::Float(x)
+    }
+}
+
+impl From<LrecId> for AttrValue {
+    fn from(id: LrecId) -> Self {
+        AttrValue::Ref(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(AttrValue::PriceCents(1295).display_string(), "$12.95");
+        assert_eq!(AttrValue::PriceCents(500).display_string(), "$5.00");
+        assert_eq!(
+            AttrValue::Phone("4085550134".into()).display_string(),
+            "(408) 555-0134"
+        );
+        assert_eq!(
+            AttrValue::Date(Date { year: 2009, month: 6, day: 29 }).display_string(),
+            "2009-06-29"
+        );
+    }
+
+    #[test]
+    fn phone_parse() {
+        assert_eq!(
+            AttrValue::parse_phone("(408) 555-0134"),
+            Some(AttrValue::Phone("4085550134".into()))
+        );
+        assert_eq!(AttrValue::parse_phone("555-0134"), None);
+    }
+
+    #[test]
+    fn price_parse() {
+        assert_eq!(AttrValue::parse_price("$12.95"), Some(AttrValue::PriceCents(1295)));
+        assert_eq!(AttrValue::parse_price("$5"), Some(AttrValue::PriceCents(500)));
+        assert_eq!(AttrValue::parse_price("20 dollars"), Some(AttrValue::PriceCents(2000)));
+        assert_eq!(AttrValue::parse_price("$1.5"), Some(AttrValue::PriceCents(150)));
+        assert_eq!(AttrValue::parse_price("n/a"), None);
+    }
+
+    #[test]
+    fn denotation_equivalence() {
+        assert!(AttrValue::Phone("4085550134".into())
+            .same_denotation(&AttrValue::Text("(408) 555-0134".into())));
+        assert!(AttrValue::PriceCents(1295).same_denotation(&AttrValue::Text("$12.95".into())));
+        assert!(AttrValue::Text("Gochi ".into()).same_denotation(&AttrValue::Text("gochi".into())));
+        assert!(AttrValue::Int(4).same_denotation(&AttrValue::Float(4.0)));
+        assert!(!AttrValue::Int(4).same_denotation(&AttrValue::Float(4.5)));
+        assert!(!AttrValue::Text("a".into()).same_denotation(&AttrValue::Text("b".into())));
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(AttrValue::Int(3).as_number(), Some(3.0));
+        assert_eq!(AttrValue::PriceCents(150).as_number(), Some(1.5));
+        assert_eq!(AttrValue::Ref(LrecId(9)).as_ref_id(), Some(LrecId(9)));
+        assert_eq!(AttrValue::Text("x".into()).as_text(), Some("x"));
+        assert_eq!(AttrValue::Int(1).as_text(), None);
+    }
+}

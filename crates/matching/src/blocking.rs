@@ -1,0 +1,143 @@
+//! Blocking: cheap candidate-pair generation.
+//!
+//! Comparing all `n²` record pairs is infeasible at web scale; blocking
+//! groups records by cheap keys (zip, city, name tokens, phone) and only
+//! pairs records sharing a key — the standard first stage of every EM system
+//! the paper surveys.
+
+use std::collections::{HashMap, HashSet};
+
+use woc_lrec::Lrec;
+use woc_textkit::tokenize::{normalize, tokenize_words};
+
+/// Generate blocking keys for one record.
+pub fn blocking_keys(rec: &Lrec) -> Vec<String> {
+    let mut keys = Vec::new();
+    for e in rec.get("zip") {
+        keys.push(format!("zip:{}", e.value.display_string()));
+    }
+    for e in rec.get("phone") {
+        keys.push(format!("phone:{}", normalize(&e.value.display_string())));
+    }
+    for e in rec.get("city") {
+        keys.push(format!("city:{}", normalize(&e.value.display_string())));
+    }
+    for name_attr in ["name", "title"] {
+        for e in rec.get(name_attr) {
+            for tok in tokenize_words(&e.value.display_string()) {
+                if tok.len() >= 3 && !woc_textkit::tokenize::is_stopword(&tok) {
+                    keys.push(format!("tok:{tok}"));
+                }
+            }
+        }
+    }
+    keys.sort();
+    keys.dedup();
+    keys
+}
+
+/// Candidate pairs `(i, j)` with `i < j` over `records`, from shared
+/// blocking keys. Keys matching more than `max_block` records are skipped
+/// (stopword-like keys would otherwise reintroduce the quadratic blowup).
+pub fn candidate_pairs(records: &[&Lrec], max_block: usize) -> Vec<(usize, usize)> {
+    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, r) in records.iter().enumerate() {
+        for k in blocking_keys(r) {
+            blocks.entry(k).or_default().push(i);
+        }
+    }
+    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
+    for members in blocks.values() {
+        if members.len() > max_block {
+            continue;
+        }
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                pairs.insert((i.min(j), i.max(j)));
+            }
+        }
+    }
+    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+    out.sort_unstable();
+    out
+}
+
+/// Blocking recall: fraction of true pairs (same gold label) surviving
+/// blocking. The complementary metric to the pair-count reduction.
+pub fn blocking_recall<T: Eq>(pairs: &[(usize, usize)], gold: &[T]) -> f64 {
+    let mut truth_pairs = 0usize;
+    let mut found = 0usize;
+    let pair_set: HashSet<&(usize, usize)> = pairs.iter().collect();
+    for i in 0..gold.len() {
+        for j in (i + 1)..gold.len() {
+            if gold[i] == gold[j] {
+                truth_pairs += 1;
+                if pair_set.contains(&(i, j)) {
+                    found += 1;
+                }
+            }
+        }
+    }
+    if truth_pairs == 0 {
+        1.0
+    } else {
+        found as f64 / truth_pairs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_lrec::{AttrValue, ConceptId, LrecId, Provenance, Tick};
+
+    fn rec(id: u64, name: &str, zip: &str) -> Lrec {
+        let mut r = Lrec::new(LrecId(id), ConceptId(0));
+        let p = Provenance::ground_truth(Tick(0));
+        r.add("name", AttrValue::Text(name.into()), p.clone());
+        if !zip.is_empty() {
+            r.add("zip", AttrValue::Zip(zip.into()), p);
+        }
+        r
+    }
+
+    #[test]
+    fn keys_cover_attributes() {
+        let r = rec(1, "Gochi Fusion Tapas", "95014");
+        let keys = blocking_keys(&r);
+        assert!(keys.contains(&"zip:95014".to_string()));
+        assert!(keys.contains(&"tok:gochi".to_string()));
+        assert!(keys.contains(&"tok:fusion".to_string()));
+    }
+
+    #[test]
+    fn shared_key_pairs() {
+        let a = rec(1, "Gochi Tapas", "95014");
+        let b = rec(2, "Gochi Fusion", "99999");
+        let c = rec(3, "Farolito", "60601");
+        let records = vec![&a, &b, &c];
+        let pairs = candidate_pairs(&records, 50);
+        assert!(pairs.contains(&(0, 1)), "shared token gochi");
+        assert!(!pairs.contains(&(0, 2)));
+        assert!(!pairs.contains(&(1, 2)));
+    }
+
+    #[test]
+    fn oversized_blocks_skipped() {
+        let recs: Vec<Lrec> = (0..10).map(|i| rec(i, "Common Name", "")).collect();
+        let refs: Vec<&Lrec> = recs.iter().collect();
+        let pairs = candidate_pairs(&refs, 5);
+        assert!(pairs.is_empty(), "block of 10 exceeds max 5");
+        let pairs = candidate_pairs(&refs, 20);
+        assert_eq!(pairs.len(), 45);
+    }
+
+    #[test]
+    fn recall_measurement() {
+        let pairs = vec![(0, 1)];
+        let gold = ["a", "a", "b", "a"];
+        // truth pairs: (0,1),(0,3),(1,3) → found 1/3
+        let r = blocking_recall(&pairs, &gold);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(blocking_recall(&[], &["x", "y"]), 1.0);
+    }
+}

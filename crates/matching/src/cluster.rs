@@ -1,0 +1,136 @@
+//! Union-find clustering and pairwise cluster evaluation.
+
+use std::collections::HashMap;
+
+/// Disjoint-set forest with path compression and union by rank.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Merge the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// The clusters as lists of member indices (deterministic order).
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        let mut map: HashMap<usize, Vec<usize>> = HashMap::new();
+        for x in 0..self.parent.len() {
+            let r = self.find(x);
+            map.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = map.into_values().collect();
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+/// Pairwise precision/recall of predicted clusters against gold labels:
+/// a pair `(i, j)` is a gold positive if `gold[i] == gold[j]`.
+pub fn pairwise_prf<T: Eq + std::hash::Hash>(
+    predicted: &mut UnionFind,
+    gold: &[T],
+) -> crate::MatchPrf {
+    let n = gold.len();
+    assert_eq!(predicted.len(), n);
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut fn_ = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let pred = predicted.same(i, j);
+            let truth = gold[i] == gold[j];
+            match (pred, truth) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    crate::MatchPrf { tp, fp, fn_ }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already merged");
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        let clusters = uf.clusters();
+        assert_eq!(clusters, vec![vec![0, 1, 2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn pairwise_evaluation() {
+        let mut uf = UnionFind::new(4);
+        uf.union(0, 1); // correct
+        uf.union(2, 3); // wrong
+        let gold = ["a", "a", "b", "c"];
+        let prf = pairwise_prf(&mut uf, &gold);
+        assert_eq!(prf.tp, 1);
+        assert_eq!(prf.fp, 1);
+        assert_eq!(prf.fn_, 0);
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        let prf = pairwise_prf(&mut uf, &[] as &[u8]);
+        assert_eq!(prf.precision(), 1.0);
+    }
+}

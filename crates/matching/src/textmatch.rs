@@ -1,0 +1,221 @@
+//! Record↔text matching: "establishing that a piece of text is *about* a
+//! record" (paper §4.2 "Matching", reference \[23\]).
+//!
+//! The main method is the paper's: a **domain-centric generative model** —
+//! each candidate record induces a unigram language model from its attribute
+//! values, interpolated with a domain background model; the record
+//! maximizing the text's likelihood wins. A TF-IDF cosine baseline is
+//! provided for experiment S5's comparison.
+
+use woc_lrec::{Lrec, LrecId};
+use woc_textkit::lm::UnigramLm;
+use woc_textkit::tokenize::tokenize_words;
+use woc_textkit::{CorpusStats, TfIdf};
+
+/// The generative text-to-record matcher.
+#[derive(Debug)]
+pub struct GenerativeMatcher {
+    ids: Vec<LrecId>,
+    models: Vec<UnigramLm>,
+    background: UnigramLm,
+    /// Weight on the record model vs the background (the α of DESIGN.md §6).
+    pub alpha: f64,
+}
+
+impl GenerativeMatcher {
+    /// Build from candidate records. The background model pools all records'
+    /// text plus any extra domain text supplied.
+    pub fn build<'a>(
+        records: impl IntoIterator<Item = &'a Lrec>,
+        domain_text: &[&str],
+        alpha: f64,
+    ) -> Self {
+        let mut ids = Vec::new();
+        let mut models = Vec::new();
+        let mut background = UnigramLm::standard();
+        for rec in records {
+            let toks = record_tokens(rec);
+            let mut lm = UnigramLm::standard();
+            lm.observe(&toks);
+            background.observe(&toks);
+            ids.push(rec.id());
+            models.push(lm);
+        }
+        for t in domain_text {
+            background.observe(&tokenize_words(t));
+        }
+        Self {
+            ids,
+            models,
+            background,
+            alpha,
+        }
+    }
+
+    /// The most likely record for a text, with its log-likelihood margin
+    /// over the runner-up (a confidence signal).
+    pub fn match_text(&self, text: &str) -> Option<(LrecId, f64)> {
+        let toks = tokenize_words(text);
+        if toks.is_empty() || self.ids.is_empty() {
+            return None;
+        }
+        let mut scored: Vec<(usize, f64)> = self
+            .models
+            .iter()
+            .enumerate()
+            .map(|(i, lm)| {
+                (
+                    i,
+                    lm.mixture_log_likelihood(&self.background, self.alpha, &toks),
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (best, best_ll) = scored[0];
+        let margin = if scored.len() > 1 {
+            best_ll - scored[1].1
+        } else {
+            f64::INFINITY
+        };
+        Some((self.ids[best], margin))
+    }
+
+    /// Number of candidate records.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// True if there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+/// TF-IDF cosine baseline matcher.
+#[derive(Debug)]
+pub struct TfIdfMatcher {
+    ids: Vec<LrecId>,
+    stats: CorpusStats,
+    vectors: Vec<woc_textkit::SparseVector>,
+}
+
+impl TfIdfMatcher {
+    /// Build from candidate records.
+    pub fn build<'a>(records: impl IntoIterator<Item = &'a Lrec>) -> Self {
+        let mut ids = Vec::new();
+        let mut token_lists = Vec::new();
+        let mut stats = CorpusStats::new();
+        for rec in records {
+            let toks = record_tokens(rec);
+            stats.add_document(&toks);
+            ids.push(rec.id());
+            token_lists.push(toks);
+        }
+        let vectors = {
+            let v = TfIdf::new(&stats);
+            token_lists.iter().map(|t| v.vectorize(t)).collect()
+        };
+        Self { ids, stats, vectors }
+    }
+
+    /// Best cosine match for a text.
+    pub fn match_text(&self, text: &str) -> Option<(LrecId, f64)> {
+        let toks = tokenize_words(text);
+        if toks.is_empty() || self.ids.is_empty() {
+            return None;
+        }
+        let q = TfIdf::new(&self.stats).vectorize(&toks);
+        self.vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, q.cosine(v)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, s)| (self.ids[i], s))
+    }
+}
+
+/// Tokenize a record's non-reference attribute values.
+fn record_tokens(rec: &Lrec) -> Vec<String> {
+    let mut toks = Vec::new();
+    for (_, entries) in rec.iter() {
+        for e in entries {
+            if matches!(e.value, woc_lrec::AttrValue::Ref(_)) {
+                continue;
+            }
+            toks.extend(tokenize_words(&e.value.display_string()));
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_lrec::{AttrValue, ConceptId, Provenance, Tick};
+
+    fn restaurant(id: u64, name: &str, city: &str, cuisine: &str, dishes: &[&str]) -> Lrec {
+        let mut r = Lrec::new(LrecId(id), ConceptId(0));
+        let p = Provenance::ground_truth(Tick(0));
+        r.add("name", AttrValue::Text(name.into()), p.clone());
+        r.add("city", AttrValue::Text(city.into()), p.clone());
+        r.add("cuisine", AttrValue::Text(cuisine.into()), p.clone());
+        for d in dishes {
+            r.add("dish", AttrValue::Text((*d).into()), p.clone());
+        }
+        r
+    }
+
+    fn candidates() -> Vec<Lrec> {
+        vec![
+            restaurant(1, "Gochi Fusion Tapas", "Cupertino", "Japanese", &["Tonkotsu Ramen"]),
+            restaurant(2, "El Farolito", "San Francisco", "Mexican", &["Carnitas Burrito"]),
+            restaurant(3, "Blue Lotus", "Austin", "Thai", &["Pad Thai", "Green Curry"]),
+        ]
+    }
+
+    #[test]
+    fn generative_matches_review_to_restaurant() {
+        let recs = candidates();
+        let m = GenerativeMatcher::build(recs.iter(), &[], 0.6);
+        let (id, margin) = m
+            .match_text("The Pad Thai was amazing, best Thai in Austin")
+            .unwrap();
+        assert_eq!(id, LrecId(3));
+        assert!(margin > 0.0);
+        let (id, _) = m.match_text("great tapas at gochi in cupertino").unwrap();
+        assert_eq!(id, LrecId(1));
+    }
+
+    #[test]
+    fn background_absorbs_generic_words() {
+        let recs = candidates();
+        let m = GenerativeMatcher::build(
+            recs.iter(),
+            &["the food was great service friendly would eat again"],
+            0.6,
+        );
+        // A review that is all generic words has low margin.
+        let (_, margin) = m.match_text("the food was great").unwrap();
+        let (_, strong_margin) = m.match_text("Carnitas Burrito at El Farolito").unwrap();
+        assert!(strong_margin > margin);
+    }
+
+    #[test]
+    fn tfidf_baseline_works_on_distinctive_text() {
+        let recs = candidates();
+        let m = TfIdfMatcher::build(recs.iter());
+        let (id, score) = m.match_text("Carnitas Burrito in San Francisco").unwrap();
+        assert_eq!(id, LrecId(2));
+        assert!(score > 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let m = GenerativeMatcher::build(std::iter::empty(), &[], 0.5);
+        assert!(m.is_empty());
+        assert!(m.match_text("anything").is_none());
+        let recs = candidates();
+        let m = GenerativeMatcher::build(recs.iter(), &[], 0.5);
+        assert!(m.match_text("").is_none());
+    }
+}

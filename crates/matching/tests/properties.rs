@@ -1,0 +1,163 @@
+//! Property tests for entity-matching invariants.
+
+use proptest::prelude::*;
+use woc_lrec::{AttrValue, ConceptId, Lrec, LrecId, Provenance, Tick};
+use woc_matching::{
+    attr_similarity, candidate_pairs, pairwise_prf, resolve_collective, resolve_pairwise,
+    value_similarity, CollectiveConfig, FellegiSunter, UnionFind,
+};
+
+fn rec(id: u64, name: &str, zip: &str, phone: &str) -> Lrec {
+    let mut r = Lrec::new(LrecId(id), ConceptId(0));
+    let p = Provenance::ground_truth(Tick(0));
+    if !name.is_empty() {
+        r.add("name", AttrValue::Text(name.into()), p.clone());
+    }
+    if !zip.is_empty() {
+        r.add("zip", AttrValue::Zip(zip.into()), p.clone());
+    }
+    if !phone.is_empty() {
+        r.add("phone", AttrValue::Phone(phone.into()), p);
+    }
+    r
+}
+
+proptest! {
+    /// Value similarity is bounded, reflexive and symmetric across the typed
+    /// algebra.
+    #[test]
+    fn value_similarity_axioms(a in "[a-z0-9 ]{0,20}", b in "[a-z0-9 ]{0,20}") {
+        let va = AttrValue::Text(a.clone());
+        let vb = AttrValue::Text(b.clone());
+        let s = value_similarity(&va, &vb);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&s));
+        prop_assert!((value_similarity(&va, &va) - 1.0).abs() < 1e-9);
+        prop_assert!((value_similarity(&va, &vb) - value_similarity(&vb, &va)).abs() < 1e-9);
+    }
+
+    /// Fellegi–Sunter scores are symmetric, and missing attributes never
+    /// change a score (loose records: absence is not evidence).
+    #[test]
+    fn fs_symmetry_and_missing_neutrality(
+        n1 in "[a-z]{3,12}", n2 in "[a-z]{3,12}",
+        z1 in "[0-9]{5}", z2 in "[0-9]{5}",
+    ) {
+        let fs = FellegiSunter::restaurant_default();
+        let a = rec(1, &n1, &z1, "4085550134");
+        let b = rec(2, &n2, &z2, "4085550199");
+        prop_assert!((fs.score(&a, &b) - fs.score(&b, &a)).abs() < 1e-9);
+        // Adding an attribute only one side has cannot change the score.
+        let mut a2 = a.clone();
+        a2.add("street", AttrValue::Text("1 Main St".into()), Provenance::ground_truth(Tick(0)));
+        prop_assert!((fs.score(&a2, &b) - fs.score(&a, &b)).abs() < 1e-9);
+    }
+
+    /// attr_similarity is None iff either side lacks the attribute.
+    #[test]
+    fn attr_similarity_missing_contract(n in "[a-z]{1,10}") {
+        let a = rec(1, &n, "", "");
+        let b = rec(2, "", "95014", "");
+        prop_assert!(attr_similarity(&a, &b, "name").is_none());
+        prop_assert!(attr_similarity(&a, &b, "zip").is_none());
+        prop_assert!(attr_similarity(&a, &b, "nope").is_none());
+        let c = rec(3, &n, "", "");
+        prop_assert!(attr_similarity(&a, &c, "name").is_some());
+    }
+
+    /// Blocking never pairs records sharing no key, and identical records
+    /// always end up candidates.
+    #[test]
+    fn blocking_contract(names in prop::collection::vec("[a-f]{4,8}", 2..12)) {
+        let recs: Vec<Lrec> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| rec(i as u64, n, "", ""))
+            .collect();
+        let refs: Vec<&Lrec> = recs.iter().collect();
+        let pairs = candidate_pairs(&refs, 100);
+        for &(i, j) in &pairs {
+            prop_assert!(i < j && j < recs.len());
+        }
+        // Duplicate names must be candidates.
+        for i in 0..names.len() {
+            for j in (i + 1)..names.len() {
+                if names[i] == names[j] {
+                    prop_assert!(pairs.contains(&(i, j)), "dup {} not paired", names[i]);
+                }
+            }
+        }
+    }
+
+    /// Collective resolution with zero relational weight equals pairwise.
+    #[test]
+    fn collective_reduces_to_pairwise(
+        scores in prop::collection::vec((0usize..8, 0usize..8, -2.0f64..6.0), 0..20)
+    ) {
+        let n = 8;
+        let cands: Vec<(usize, usize, f64)> = scores
+            .into_iter()
+            .filter(|(i, j, _)| i != j)
+            .map(|(i, j, s)| (i.min(j), i.max(j), s))
+            .collect();
+        let neighbors = vec![Vec::new(); n];
+        let (mut coll, _) = resolve_collective(
+            n,
+            &cands,
+            &neighbors,
+            &CollectiveConfig {
+                accept: 2.0,
+                relational_weight: 0.0,
+                max_iters: 5,
+            },
+        );
+        let mut pair = resolve_pairwise(n, &cands, 2.0);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(coll.same(i, j), pair.same(i, j));
+            }
+        }
+    }
+
+    /// Pairwise P/R/F1 stays in range and perfect clustering has F1 = 1.
+    #[test]
+    fn prf_bounds(labels in prop::collection::vec(0u8..4, 1..16)) {
+        let n = labels.len();
+        let mut perfect = UnionFind::new(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if labels[i] == labels[j] {
+                    perfect.union(i, j);
+                }
+            }
+        }
+        let prf = pairwise_prf(&mut perfect, &labels);
+        prop_assert!((prf.f1() - 1.0).abs() < 1e-12 || prf.tp + prf.fn_ == 0);
+        prop_assert!(prf.precision() >= 0.0 && prf.precision() <= 1.0);
+        prop_assert!(prf.recall() >= 0.0 && prf.recall() <= 1.0);
+    }
+
+    /// Union-find: union is commutative/idempotent, `same` is an equivalence
+    /// relation.
+    #[test]
+    fn union_find_equivalence(ops in prop::collection::vec((0usize..10, 0usize..10), 0..30)) {
+        let mut uf = UnionFind::new(10);
+        for &(a, b) in &ops {
+            uf.union(a, b);
+        }
+        for x in 0..10 {
+            prop_assert!(uf.same(x, x));
+            for y in 0..10 {
+                prop_assert_eq!(uf.same(x, y), uf.same(y, x));
+                for z in 0..10 {
+                    if uf.same(x, y) && uf.same(y, z) {
+                        prop_assert!(uf.same(x, z));
+                    }
+                }
+            }
+        }
+        // Clusters partition the universe.
+        let clusters = uf.clusters();
+        let total: usize = clusters.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, 10);
+    }
+}

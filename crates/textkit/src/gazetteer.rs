@@ -1,0 +1,344 @@
+//! Shared vocabulary pools (gazetteers).
+//!
+//! The synthetic-web generator samples entity names, addresses, dishes, etc.
+//! from these pools, and the extraction stack uses the same pools as *domain
+//! knowledge* (paper §4.2: "we might have two kinds of domain knowledge:
+//! first, the fields of interest … along with rules to identify zips/phones").
+//! Sharing one curated lexicon between generation and recognition mirrors how
+//! production extraction systems curate domain lexicons from their own data.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// US cities used across the restaurant/local domain, paired with state code
+/// and the 3-digit zip prefix their synthetic addresses use.
+pub const CITIES: &[(&str, &str, &str)] = &[
+    ("San Jose", "CA", "951"),
+    ("Cupertino", "CA", "950"),
+    ("Sunnyvale", "CA", "940"),
+    ("Palo Alto", "CA", "943"),
+    ("San Francisco", "CA", "941"),
+    ("Chicago", "IL", "606"),
+    ("Seattle", "WA", "981"),
+    ("Austin", "TX", "787"),
+    ("Portland", "OR", "972"),
+    ("Boston", "MA", "021"),
+    ("New York", "NY", "100"),
+    ("Providence", "RI", "029"),
+    ("Madison", "WI", "537"),
+    ("Los Angeles", "CA", "900"),
+    ("Denver", "CO", "802"),
+    ("Atlanta", "GA", "303"),
+];
+
+/// Cuisine types for the restaurant concept.
+pub const CUISINES: &[&str] = &[
+    "Italian",
+    "Mexican",
+    "Chinese",
+    "Japanese",
+    "Indian",
+    "Thai",
+    "French",
+    "Greek",
+    "Korean",
+    "Vietnamese",
+    "Spanish",
+    "American",
+    "Ethiopian",
+    "Peruvian",
+];
+
+/// First names used for people (reviewers, authors).
+pub const FIRST_NAMES: &[&str] = &[
+    "Ada", "Alan", "Grace", "Edgar", "Barbara", "Donald", "John", "Leslie", "Frances", "Niklaus",
+    "Tony", "Judea", "Edsger", "Shafi", "Silvio", "Manuel", "Robin", "Juris", "Richard", "Dana",
+    "Maurice", "Ken", "Dennis", "Fran", "Adele", "Radia", "Lynn", "Marissa", "Carlos", "Mei",
+    "Priya", "Ravi", "Nina", "Omar", "Yuki", "Elena",
+];
+
+/// Last names used for people.
+pub const LAST_NAMES: &[&str] = &[
+    "Lovelace", "Turing", "Hopper", "Codd", "Liskov", "Knuth", "McCarthy", "Lamport", "Allen",
+    "Wirth", "Hoare", "Pearl", "Dijkstra", "Goldwasser", "Micali", "Blum", "Milner", "Hartmanis",
+    "Stearns", "Scott", "Wilkes", "Thompson", "Ritchie", "Berman", "Goldberg", "Perlman",
+    "Conway", "Mayer", "Santos", "Chen", "Patel", "Rao", "Ivanova", "Hassan", "Tanaka", "Garcia",
+];
+
+/// Street base names for synthetic addresses.
+pub const STREETS: &[&str] = &[
+    "Homestead", "Stevens Creek", "Main", "Market", "Castro", "University", "Oak", "Elm",
+    "Mission", "Valencia", "Lincoln", "Washington", "Lake", "Hill", "Park", "Bascom", "Winchester",
+    "Saratoga", "Fremont", "Alma",
+];
+
+/// Street suffixes (abbreviated forms used when generating addresses).
+pub const STREET_SUFFIXES: &[&str] = &["St", "Ave", "Rd", "Blvd", "Way", "Dr", "Ln"];
+
+/// Expanded street suffixes (recognizers must accept both forms — sources
+/// render either).
+pub const STREET_SUFFIXES_FULL: &[&str] =
+    &["Street", "Avenue", "Road", "Boulevard", "Way", "Drive", "Lane"];
+
+/// Restaurant-name heads (combined with cuisine words and suffixes).
+pub const RESTAURANT_HEADS: &[&str] = &[
+    "Golden", "Blue", "Red", "Jade", "Silver", "Royal", "Little", "Grand", "Old", "New", "Casa",
+    "Villa", "La", "El", "Bella", "Saigon", "Lotus", "Bamboo", "Olive", "Sunset",
+];
+
+/// Restaurant-name tails.
+pub const RESTAURANT_TAILS: &[&str] = &[
+    "Garden", "House", "Kitchen", "Palace", "Bistro", "Grill", "Cafe", "Tavern", "Table",
+    "Cantina", "Trattoria", "Diner", "Room", "Corner", "Express", "Fusion", "Tapas",
+];
+
+/// Dish names per cuisine bucket (generic pool; cuisine adds flavor words).
+pub const DISHES: &[&str] = &[
+    "Margherita Pizza",
+    "Carbonara",
+    "Lasagna",
+    "Tacos al Pastor",
+    "Carnitas Burrito",
+    "Enchiladas Verdes",
+    "Kung Pao Chicken",
+    "Mapo Tofu",
+    "Chow Mein",
+    "Tonkotsu Ramen",
+    "Chicken Katsu",
+    "Sashimi Platter",
+    "Butter Chicken",
+    "Palak Paneer",
+    "Lamb Vindaloo",
+    "Pad Thai",
+    "Green Curry",
+    "Tom Yum Soup",
+    "Coq au Vin",
+    "Ratatouille",
+    "Moussaka",
+    "Gyro Plate",
+    "Bibimbap",
+    "Kimchi Stew",
+    "Pho Dac Biet",
+    "Banh Mi",
+    "Paella",
+    "Gambas al Ajillo",
+    "Cheeseburger",
+    "BBQ Ribs",
+    "Doro Wat",
+    "Lomo Saltado",
+    "Ceviche",
+    "Caesar Salad",
+    "Clam Chowder",
+    "Garlic Noodles",
+];
+
+/// Positive sentiment words for review generation/analysis.
+pub const POSITIVE_WORDS: &[&str] = &[
+    "great", "excellent", "amazing", "delicious", "friendly", "cozy", "fresh", "fantastic",
+    "wonderful", "perfect", "tasty", "superb",
+];
+
+/// Negative sentiment words for review generation/analysis.
+pub const NEGATIVE_WORDS: &[&str] = &[
+    "slow", "bland", "overpriced", "rude", "cold", "stale", "disappointing", "noisy", "greasy",
+    "mediocre", "terrible", "soggy",
+];
+
+/// Research-topic terms for the academic domain.
+pub const RESEARCH_TOPICS: &[&str] = &[
+    "query optimization",
+    "entity matching",
+    "information extraction",
+    "probabilistic databases",
+    "data integration",
+    "wrapper induction",
+    "schema matching",
+    "record linkage",
+    "stream processing",
+    "view maintenance",
+    "provenance tracking",
+    "concept search",
+    "web mining",
+    "transfer learning",
+    "graph classification",
+];
+
+/// Conference venues for the academic domain.
+pub const VENUES: &[&str] = &[
+    "PODS", "SIGMOD", "VLDB", "ICDE", "KDD", "WWW", "SIGIR", "CIDR", "EDBT", "WSDM",
+];
+
+/// Universities / institutions for the academic domain.
+pub const INSTITUTIONS: &[&str] = &[
+    "University of Wisconsin",
+    "Stanford University",
+    "MIT",
+    "University of Washington",
+    "Cornell University",
+    "UC Berkeley",
+    "Carnegie Mellon University",
+    "ETH Zurich",
+    "University of Toronto",
+    "Yahoo Research",
+    "IBM Almaden",
+    "Microsoft Research",
+];
+
+/// Product brands for the shopping domain.
+pub const BRANDS: &[&str] = &[
+    "Nikon", "Canon", "Sony", "Pentax", "Olympus", "Fuji", "Panasonic", "Leica", "Kodak", "Sigma",
+];
+
+/// Product category names for the shopping domain, with typical price bands
+/// (low, high) in whole dollars.
+pub const PRODUCT_CATEGORIES: &[(&str, u32, u32)] = &[
+    ("Digital Camera", 150, 1200),
+    ("DSLR Camera", 450, 3000),
+    ("Camera Lens", 100, 2200),
+    ("Camera Battery", 15, 90),
+    ("Tripod", 25, 400),
+    ("Memory Card", 10, 120),
+    ("Camera Bag", 20, 250),
+    ("Flash Unit", 40, 600),
+];
+
+/// Event categories for the events domain.
+pub const EVENT_CATEGORIES: &[&str] = &[
+    "Concert", "Festival", "Exhibition", "Conference", "Game", "Workshop", "Meetup", "Play",
+];
+
+/// Month names, used by date recognition and generation.
+pub const MONTHS: &[&str] = &[
+    "January", "February", "March", "April", "May", "June", "July", "August", "September",
+    "October", "November", "December",
+];
+
+fn set_of(words: &'static [&'static str]) -> HashSet<&'static str> {
+    words.iter().copied().collect()
+}
+
+macro_rules! lazy_set {
+    ($fn_name:ident, $src:expr, $doc:literal) => {
+        #[doc = $doc]
+        pub fn $fn_name() -> &'static HashSet<&'static str> {
+            static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+            SET.get_or_init(|| set_of($src))
+        }
+    };
+}
+
+lazy_set!(cuisine_set, CUISINES, "Set view of [`CUISINES`].");
+lazy_set!(first_name_set, FIRST_NAMES, "Set view of [`FIRST_NAMES`].");
+lazy_set!(last_name_set, LAST_NAMES, "Set view of [`LAST_NAMES`].");
+lazy_set!(street_set, STREETS, "Set view of [`STREETS`] (multi-word entries appear whole).");
+lazy_set!(street_suffix_set, STREET_SUFFIXES, "Set view of [`STREET_SUFFIXES`].");
+
+/// Set of both abbreviated and expanded street suffixes.
+pub fn street_suffix_any_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| {
+        STREET_SUFFIXES
+            .iter()
+            .chain(STREET_SUFFIXES_FULL)
+            .copied()
+            .collect()
+    })
+}
+lazy_set!(venue_set, VENUES, "Set view of [`VENUES`].");
+lazy_set!(brand_set, BRANDS, "Set view of [`BRANDS`].");
+lazy_set!(positive_set, POSITIVE_WORDS, "Set view of [`POSITIVE_WORDS`].");
+lazy_set!(negative_set, NEGATIVE_WORDS, "Set view of [`NEGATIVE_WORDS`].");
+lazy_set!(month_set, MONTHS, "Set view of [`MONTHS`].");
+
+/// City-name set (full multi-word names, e.g. `San Jose`).
+pub fn city_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| CITIES.iter().map(|&(c, _, _)| c).collect())
+}
+
+/// Look up a city's `(state, zip-prefix)` by exact name.
+pub fn city_info(name: &str) -> Option<(&'static str, &'static str)> {
+    CITIES
+        .iter()
+        .find(|&&(c, _, _)| c.eq_ignore_ascii_case(name))
+        .map(|&(_, st, zp)| (st, zp))
+}
+
+/// True if `text` contains the given multi-word gazetteer phrase,
+/// case-insensitively, on word boundaries.
+pub fn contains_phrase(text: &str, phrase: &str) -> bool {
+    let t = crate::tokenize::normalize(text);
+    let p = crate::tokenize::normalize(phrase);
+    if p.is_empty() {
+        return false;
+    }
+    // Word-boundary containment over the normalized forms.
+    t == p
+        || t.starts_with(&format!("{p} "))
+        || t.ends_with(&format!(" {p}"))
+        || t.contains(&format!(" {p} "))
+}
+
+/// Find all cities mentioned in `text` (exact phrase, case-insensitive).
+pub fn find_cities(text: &str) -> Vec<&'static str> {
+    CITIES
+        .iter()
+        .map(|&(c, _, _)| c)
+        .filter(|c| contains_phrase(text, c))
+        .collect()
+}
+
+/// Find all cuisines mentioned in `text`.
+pub fn find_cuisines(text: &str) -> Vec<&'static str> {
+    CUISINES
+        .iter()
+        .copied()
+        .filter(|c| contains_phrase(text, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn city_lookup() {
+        assert_eq!(city_info("Cupertino"), Some(("CA", "950")));
+        assert_eq!(city_info("cupertino"), Some(("CA", "950")));
+        assert_eq!(city_info("Gotham"), None);
+    }
+
+    #[test]
+    fn sets_nonempty_and_consistent() {
+        assert_eq!(cuisine_set().len(), CUISINES.len());
+        assert!(city_set().contains("San Jose"));
+        assert!(venue_set().contains("PODS"));
+    }
+
+    #[test]
+    fn phrase_matching() {
+        assert!(contains_phrase("best tacos in san jose ca", "San Jose"));
+        assert!(contains_phrase("San Jose", "san jose"));
+        assert!(!contains_phrase("sanjose dining", "San Jose"));
+        assert!(!contains_phrase("anything", ""));
+    }
+
+    #[test]
+    fn find_cities_in_query() {
+        let found = find_cities("mexican food Chicago best salsa");
+        assert_eq!(found, vec!["Chicago"]);
+        assert!(find_cities("no city here").is_empty());
+    }
+
+    #[test]
+    fn find_cuisines_in_query() {
+        let found = find_cuisines("San Jose Italian Restaurants");
+        assert_eq!(found, vec!["Italian"]);
+    }
+
+    #[test]
+    fn multiword_city_found() {
+        let found = find_cities("moving to San Francisco soon");
+        assert_eq!(found, vec!["San Francisco"]);
+    }
+}

@@ -1,0 +1,259 @@
+//! Corpus statistics and TF-IDF sparse vectors.
+//!
+//! Used by the inverted index (ranking), review↔record matching baselines,
+//! and "related pages" (Table 1, Article→Article) document similarity.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A sparse vector keyed by term id, kept sorted by term id so that dot
+/// products are a linear merge.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SparseVector {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVector {
+    /// Build from unsorted (term, weight) pairs; duplicate terms are summed.
+    pub fn from_pairs(mut pairs: Vec<(u32, f64)>) -> Self {
+        pairs.sort_unstable_by_key(|&(t, _)| t);
+        let mut entries: Vec<(u32, f64)> = Vec::with_capacity(pairs.len());
+        for (t, w) in pairs {
+            match entries.last_mut() {
+                Some((lt, lw)) if *lt == t => *lw += w,
+                _ => entries.push((t, w)),
+            }
+        }
+        Self { entries }
+    }
+
+    /// The (term, weight) entries in increasing term order.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.entries.iter().map(|(_, w)| w * w).sum::<f64>().sqrt()
+    }
+
+    /// Dot product by linear merge over the sorted entries.
+    pub fn dot(&self, other: &SparseVector) -> f64 {
+        let (mut i, mut j, mut acc) = (0usize, 0usize, 0.0f64);
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1 * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Cosine similarity in `\[0, 1\]` (0 if either vector is empty).
+    pub fn cosine(&self, other: &SparseVector) -> f64 {
+        let n = self.norm() * other.norm();
+        if n == 0.0 {
+            0.0
+        } else {
+            self.dot(other) / n
+        }
+    }
+}
+
+/// Document-frequency statistics over a corpus, with a string↔id term
+/// dictionary. Terms are interned to `u32` ids.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct CorpusStats {
+    term_ids: HashMap<String, u32>,
+    terms: Vec<String>,
+    doc_freq: Vec<u32>,
+    num_docs: u32,
+    total_len: u64,
+}
+
+impl CorpusStats {
+    /// Empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a term, returning its id.
+    pub fn intern(&mut self, term: &str) -> u32 {
+        if let Some(&id) = self.term_ids.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(term.to_string());
+        self.term_ids.insert(term.to_string(), id);
+        self.doc_freq.push(0);
+        id
+    }
+
+    /// Look up a term id without interning.
+    pub fn term_id(&self, term: &str) -> Option<u32> {
+        self.term_ids.get(term).copied()
+    }
+
+    /// The term string for an id, if valid.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.terms.get(id as usize).map(|s| s.as_str())
+    }
+
+    /// Record one document's tokens (duplicates within the document only
+    /// count once toward document frequency).
+    pub fn add_document<S: AsRef<str>>(&mut self, tokens: &[S]) {
+        self.num_docs += 1;
+        self.total_len += tokens.len() as u64;
+        let mut seen = std::collections::HashSet::new();
+        for t in tokens {
+            let id = self.intern(t.as_ref());
+            if seen.insert(id) {
+                self.doc_freq[id as usize] += 1;
+            }
+        }
+    }
+
+    /// Number of documents recorded.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Mean document length in tokens (0 if no documents).
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.num_docs == 0 {
+            0.0
+        } else {
+            self.total_len as f64 / self.num_docs as f64
+        }
+    }
+
+    /// Document frequency of a term id (0 for unknown ids).
+    pub fn df(&self, id: u32) -> u32 {
+        self.doc_freq.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Smoothed inverse document frequency: `ln(1 + (N - df + 0.5)/(df + 0.5))`,
+    /// the BM25+ style idf which is always positive.
+    pub fn idf(&self, id: u32) -> f64 {
+        let n = self.num_docs as f64;
+        let df = self.df(id) as f64;
+        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn vocab_size(&self) -> usize {
+        self.terms.len()
+    }
+}
+
+/// TF-IDF vectorizer over a [`CorpusStats`].
+#[derive(Debug, Clone)]
+pub struct TfIdf<'a> {
+    stats: &'a CorpusStats,
+}
+
+impl<'a> TfIdf<'a> {
+    /// Create a vectorizer borrowing corpus statistics.
+    pub fn new(stats: &'a CorpusStats) -> Self {
+        Self { stats }
+    }
+
+    /// Vectorize tokens with `(1 + ln tf) · idf` weighting. Unknown terms
+    /// (never interned) are skipped.
+    pub fn vectorize<S: AsRef<str>>(&self, tokens: &[S]) -> SparseVector {
+        let mut tf: HashMap<u32, f64> = HashMap::new();
+        for t in tokens {
+            if let Some(id) = self.stats.term_id(t.as_ref()) {
+                *tf.entry(id).or_insert(0.0) += 1.0;
+            }
+        }
+        SparseVector::from_pairs(
+            tf.into_iter()
+                .map(|(id, f)| (id, (1.0 + f.ln()) * self.stats.idf(id)))
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> CorpusStats {
+        let mut s = CorpusStats::new();
+        s.add_document(&["the", "best", "salsa", "in", "chicago"]);
+        s.add_document(&["the", "menu", "of", "gochi"]);
+        s.add_document(&["the", "best", "tapas"]);
+        s
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let mut s = CorpusStats::new();
+        s.add_document(&["a", "a", "a", "b"]);
+        let a = s.term_id("a").unwrap();
+        let b = s.term_id("b").unwrap();
+        assert_eq!(s.df(a), 1);
+        assert_eq!(s.df(b), 1);
+    }
+
+    #[test]
+    fn idf_ordering() {
+        let s = stats();
+        let the = s.term_id("the").unwrap();
+        let salsa = s.term_id("salsa").unwrap();
+        assert!(s.idf(salsa) > s.idf(the), "rarer term has larger idf");
+        assert!(s.idf(the) > 0.0, "idf stays positive even for ubiquitous terms");
+    }
+
+    #[test]
+    fn avg_doc_len() {
+        let s = stats();
+        assert!((s.avg_doc_len() - 4.0).abs() < 1e-12);
+        assert_eq!(CorpusStats::new().avg_doc_len(), 0.0);
+    }
+
+    #[test]
+    fn sparse_vector_dedup_and_sorted() {
+        let v = SparseVector::from_pairs(vec![(3, 1.0), (1, 2.0), (3, 4.0)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (3, 5.0)]);
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        let a = SparseVector::from_pairs(vec![(0, 1.0), (2, 2.0)]);
+        let b = SparseVector::from_pairs(vec![(2, 3.0), (5, 1.0)]);
+        assert_eq!(a.dot(&b), 6.0);
+        let c = a.cosine(&a);
+        assert!((c - 1.0).abs() < 1e-12);
+        assert_eq!(a.cosine(&SparseVector::default()), 0.0);
+    }
+
+    #[test]
+    fn vectorize_skips_unknown() {
+        let s = stats();
+        let v = TfIdf::new(&s).vectorize(&["salsa", "zebra"]);
+        assert_eq!(v.nnz(), 1);
+    }
+
+    #[test]
+    fn similar_docs_rank_higher() {
+        let s = stats();
+        let t = TfIdf::new(&s);
+        let q = t.vectorize(&["best", "salsa"]);
+        let d1 = t.vectorize(&["the", "best", "salsa", "in", "chicago"]);
+        let d2 = t.vectorize(&["the", "menu", "of", "gochi"]);
+        assert!(q.cosine(&d1) > q.cosine(&d2));
+    }
+}

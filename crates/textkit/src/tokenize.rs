@@ -1,0 +1,266 @@
+//! Offset-preserving tokenization and text normalization.
+//!
+//! The tokenizer is deliberately simple and deterministic: it splits text
+//! into maximal runs of alphabetic characters, digit runs, and single
+//! punctuation marks, preserving byte offsets so downstream extractors can
+//! map token-level decisions (e.g. sequence-labeler output) back to spans of
+//! the original page text.
+
+use serde::{Deserialize, Serialize};
+
+/// The coarse class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TokenKind {
+    /// A run of alphabetic characters (`[A-Za-z]+` plus other unicode letters).
+    Word,
+    /// A run of ASCII digits.
+    Number,
+    /// A single punctuation or symbol character.
+    Punct,
+}
+
+/// A token with its byte span in the source text.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Token {
+    /// Token text, exactly as it appears in the source.
+    pub text: String,
+    /// Coarse token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token in the source.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Token {
+    /// Lowercased token text.
+    pub fn lower(&self) -> String {
+        self.text.to_lowercase()
+    }
+
+    /// True if the token is a word consisting of a single uppercase initial
+    /// followed by lowercase letters (e.g. `Gochi`).
+    pub fn is_capitalized(&self) -> bool {
+        let mut chars = self.text.chars();
+        match chars.next() {
+            Some(c) if c.is_uppercase() => chars.all(|c| c.is_lowercase()),
+            _ => false,
+        }
+    }
+}
+
+/// Tokenize `text` into words, numbers and punctuation, skipping whitespace.
+///
+/// Invariants (checked by property tests):
+/// * spans are non-overlapping and strictly increasing,
+/// * every span satisfies `start < end` and slices `text` at char boundaries,
+/// * concatenating the token texts with the skipped gaps reproduces `text`.
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    let mut iter = text.char_indices().peekable();
+    while let Some(&(start, c)) = iter.peek() {
+        if c.is_whitespace() {
+            iter.next();
+            continue;
+        }
+        if c.is_alphabetic() {
+            let mut end = start;
+            while let Some(&(i, ch)) = iter.peek() {
+                if ch.is_alphabetic() {
+                    end = i + ch.len_utf8();
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                text: text[start..end].to_string(),
+                kind: TokenKind::Word,
+                start,
+                end,
+            });
+        } else if c.is_ascii_digit() {
+            let mut end = start;
+            while let Some(&(i, ch)) = iter.peek() {
+                if ch.is_ascii_digit() {
+                    end = i + ch.len_utf8();
+                    iter.next();
+                } else {
+                    break;
+                }
+            }
+            out.push(Token {
+                text: text[start..end].to_string(),
+                kind: TokenKind::Number,
+                start,
+                end,
+            });
+        } else {
+            iter.next();
+            out.push(Token {
+                text: text[start..start + c.len_utf8()].to_string(),
+                kind: TokenKind::Punct,
+                start,
+                end: start + c.len_utf8(),
+            });
+        }
+    }
+    out
+}
+
+/// Tokenize and return only lowercased word/number texts (no punctuation).
+///
+/// This is the canonical "bag of words" view used by the inverted index and
+/// by TF-IDF vectorization.
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    tokenize(text)
+        .into_iter()
+        .filter(|t| t.kind != TokenKind::Punct)
+        .map(|t| t.lower())
+        .collect()
+}
+
+/// Normalize a string for matching: lowercase, collapse whitespace runs to a
+/// single space, strip leading/trailing whitespace, and drop punctuation.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            // Lowercasing can emit combining marks ('İ' → "i\u{307}"); keep
+            // only alphanumeric output so normalization is idempotent.
+            for lc in c.to_lowercase() {
+                if lc.is_alphanumeric() {
+                    out.push(lc);
+                }
+            }
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// A small English stopword list used by ranking and attribute-tally code.
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "has", "he", "in", "is", "it",
+    "its", "of", "on", "or", "that", "the", "to", "was", "were", "will", "with",
+];
+
+/// True if `word` (already lowercased) is a stopword.
+pub fn is_stopword(word: &str) -> bool {
+    STOPWORDS.contains(&word)
+}
+
+/// Split text into sentences at `.`, `!`, `?` followed by whitespace.
+///
+/// Good enough for the synthetic article/review text this system processes;
+/// used by semantic linking to attribute entity mentions to sentences.
+pub fn sentences(text: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let bytes = text.as_bytes();
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if (b == b'.' || b == b'!' || b == b'?')
+            && bytes.get(i + 1).is_none_or(|n| n.is_ascii_whitespace())
+        {
+            let s = text[start..=i].trim();
+            if !s.is_empty() {
+                out.push(s);
+            }
+            start = i + 1;
+        }
+        i += 1;
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_mixed() {
+        let toks = tokenize("Gochi, 19980 Homestead Rd #F");
+        let texts: Vec<_> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec!["Gochi", ",", "19980", "Homestead", "Rd", "#", "F"]
+        );
+        assert_eq!(toks[0].kind, TokenKind::Word);
+        assert_eq!(toks[2].kind, TokenKind::Number);
+        assert_eq!(toks[5].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn tokenize_offsets_slice_source() {
+        let text = "Best salsa in Chicago! Call 312-555-0134.";
+        for t in tokenize(text) {
+            assert_eq!(&text[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn tokenize_empty_and_whitespace() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn tokenize_words_lowercases_and_drops_punct() {
+        assert_eq!(
+            tokenize_words("Mexican Food, Chicago: BEST salsa"),
+            vec!["mexican", "food", "chicago", "best", "salsa"]
+        );
+    }
+
+    #[test]
+    fn normalize_collapses() {
+        assert_eq!(normalize("  Gochi   Fusion -- Tapas!  "), "gochi fusion tapas");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("!!!"), "");
+    }
+
+    #[test]
+    fn capitalized_detection() {
+        let toks = tokenize("Gochi CUPERTINO cafe");
+        assert!(toks[0].is_capitalized());
+        assert!(!toks[1].is_capitalized());
+        assert!(!toks[2].is_capitalized());
+    }
+
+    #[test]
+    fn sentence_split() {
+        let s = sentences("Great food. Would eat again! Right? Yes.");
+        assert_eq!(s, vec!["Great food.", "Would eat again!", "Right?", "Yes."]);
+    }
+
+    #[test]
+    fn sentence_split_no_terminator() {
+        assert_eq!(sentences("no terminator here"), vec!["no terminator here"]);
+    }
+
+    #[test]
+    fn sentence_split_decimal_not_boundary() {
+        // A period followed by a digit is not a sentence boundary.
+        let s = sentences("The price is 3.50 dollars. Cheap.");
+        assert_eq!(s, vec!["The price is 3.50 dollars.", "Cheap."]);
+    }
+
+    #[test]
+    fn stopwords() {
+        assert!(is_stopword("the"));
+        assert!(!is_stopword("menu"));
+    }
+}

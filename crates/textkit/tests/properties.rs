@@ -1,0 +1,119 @@
+//! Property-based tests for textkit invariants (DESIGN.md §8).
+
+use proptest::prelude::*;
+use woc_textkit::metrics::{
+    char_ngrams, cosine_counts, dice, jaccard, jaro, jaro_winkler, lev_similarity, levenshtein,
+    name_similarity,
+};
+use woc_textkit::tokenize::{normalize, sentences, tokenize, tokenize_words};
+
+proptest! {
+    #[test]
+    fn tokenize_spans_slice_source(s in ".{0,200}") {
+        let toks = tokenize(&s);
+        for t in &toks {
+            prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
+        }
+        // Spans strictly increasing and non-overlapping.
+        for w in toks.windows(2) {
+            prop_assert!(w[0].end <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn tokenize_words_all_lowercase(s in "\\PC{0,200}") {
+        for w in tokenize_words(&s) {
+            prop_assert_eq!(w.to_lowercase(), w.clone());
+            prop_assert!(!w.is_empty());
+        }
+    }
+
+    #[test]
+    fn normalize_idempotent(s in "\\PC{0,200}") {
+        let once = normalize(&s);
+        prop_assert_eq!(normalize(&once), once.clone());
+        prop_assert!(!once.starts_with(' ') && !once.ends_with(' '));
+    }
+
+    #[test]
+    fn levenshtein_metric_axioms(a in "[a-z]{0,20}", b in "[a-z]{0,20}", c in "[a-z]{0,20}") {
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(levenshtein(&a, &a), 0);
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+        // Bounded by max length.
+        prop_assert!(levenshtein(&a, &b) <= a.len().max(b.len()));
+    }
+
+    #[test]
+    fn similarities_bounded(a in "\\PC{0,40}", b in "\\PC{0,40}") {
+        for v in [
+            lev_similarity(&a, &b),
+            jaro(&a, &b),
+            jaro_winkler(&a, &b),
+            name_similarity(&a, &b),
+        ] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v), "similarity out of range: {}", v);
+        }
+    }
+
+    #[test]
+    fn similarity_identity(a in "\\PC{1,40}") {
+        prop_assert!((jaro(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((jaro_winkler(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((lev_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_symmetry(a in "[a-z ]{0,30}", b in "[a-z ]{0,30}") {
+        prop_assert!((jaro(&a, &b) - jaro(&b, &a)).abs() < 1e-12);
+        prop_assert!((lev_similarity(&a, &b) - lev_similarity(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_similarities_bounded(a in prop::collection::vec("[a-z]{1,6}", 0..20),
+                                b in prop::collection::vec("[a-z]{1,6}", 0..20)) {
+        for v in [jaccard(&a, &b), dice(&a, &b), cosine_counts(&a, &b)] {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&v));
+        }
+        prop_assert!((jaccard(&a, &a) - 1.0).abs() < 1e-12);
+        prop_assert!((cosine_counts(&a, &a) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn char_ngram_count(s in "[a-z]{0,30}", n in 1usize..5) {
+        let g = char_ngrams(&s, n);
+        if s.is_empty() && n == 1 {
+            prop_assert!(g.is_empty());
+        } else {
+            // With (n-1) padding on both sides there are len + n - 1 windows.
+            prop_assert_eq!(g.len(), s.chars().count() + n - 1);
+        }
+        for gram in &g {
+            prop_assert_eq!(gram.chars().count(), n);
+        }
+    }
+
+    #[test]
+    fn sentences_cover_nonwhitespace(s in "[a-zA-Z .!?]{0,120}") {
+        // Every sentence is a non-empty trimmed substring of the input.
+        for sent in sentences(&s) {
+            prop_assert!(!sent.is_empty());
+            prop_assert!(s.contains(sent));
+            prop_assert_eq!(sent.trim(), sent);
+        }
+    }
+}
+
+#[test]
+fn tfidf_vector_norm_nonnegative() {
+    use woc_textkit::{CorpusStats, TfIdf};
+    let mut s = CorpusStats::new();
+    s.add_document(&["a", "b", "c"]);
+    s.add_document(&["a", "d"]);
+    let v = TfIdf::new(&s).vectorize(&["a", "b", "b"]);
+    assert!(v.norm() > 0.0);
+    for &(_, w) in v.entries() {
+        assert!(w >= 0.0, "tf-idf weights are non-negative with BM25+ idf");
+    }
+}

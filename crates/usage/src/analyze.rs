@@ -1,0 +1,427 @@
+//! The §3 analyses, re-run over raw logs.
+//!
+//! Each function mirrors one paragraph of the paper's "Usage Studies"
+//! section and works only from raw queries/clicks/trails plus the public
+//! URL inventory (aggregator URL patterns, the list of restaurant homepage
+//! URLs — which the paper's authors also had, "we obtained a list of
+//! restaurant homepage URLs from yelp.com").
+
+use std::collections::{HashMap, HashSet};
+
+use woc_textkit::tokenize::tokenize_words;
+
+use crate::log::{SearchEvent, Trail, UsageLog};
+
+/// The aggregator URL taxonomy of §3 "Concepts vs. Search".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregatorUrlKind {
+    /// `/biz/…` — one business.
+    Biz,
+    /// `/search/…` — a result page.
+    Search,
+    /// `/c/…` — a predefined category.
+    Category,
+    /// Anything else on the aggregator host.
+    Other,
+}
+
+/// Classify an aggregator URL by its path shape (the study's method: URL
+/// sub-categories of yelp.com).
+pub fn classify_aggregator_url(url: &str, host: &str) -> Option<AggregatorUrlKind> {
+    if !url.contains(host) {
+        return None;
+    }
+    let path = woc_webgen::page::url_path(url);
+    Some(if path.starts_with("/biz/") {
+        AggregatorUrlKind::Biz
+    } else if path.starts_with("/search/") {
+        AggregatorUrlKind::Search
+    } else if path.starts_with("/c/") {
+        AggregatorUrlKind::Category
+    } else {
+        AggregatorUrlKind::Other
+    })
+}
+
+/// E1: shares of clicked aggregator URLs per kind.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClickCategoryStats {
+    /// Total clicks on the aggregator.
+    pub total: usize,
+    /// Share of biz clicks.
+    pub biz: f64,
+    /// Share of search clicks.
+    pub search: f64,
+    /// Share of category clicks.
+    pub category: f64,
+    /// Share of other clicks.
+    pub other: f64,
+}
+
+/// E1: "we looked at queries resulting in a click on a URL from yelp.com …
+/// 59% are biz URLs, 19% are search URLs, 11% are c URLs".
+pub fn click_categories(log: &UsageLog, host: &str) -> ClickCategoryStats {
+    let mut counts: HashMap<AggregatorUrlKind, usize> = HashMap::new();
+    let mut total = 0usize;
+    for e in &log.searches {
+        for u in &e.clicks {
+            if let Some(kind) = classify_aggregator_url(u, host) {
+                *counts.entry(kind).or_insert(0) += 1;
+                total += 1;
+            }
+        }
+    }
+    let share = |k| {
+        if total == 0 {
+            0.0
+        } else {
+            counts.get(&k).copied().unwrap_or(0) as f64 / total as f64
+        }
+    };
+    ClickCategoryStats {
+        total,
+        biz: share(AggregatorUrlKind::Biz),
+        search: share(AggregatorUrlKind::Search),
+        category: share(AggregatorUrlKind::Category),
+        other: share(AggregatorUrlKind::Other),
+    }
+}
+
+/// E2: attribute-token tally over queries that clicked a restaurant
+/// homepage, "after removing the restaurant names and location information
+/// from the queries". Returns `(token, fraction of such queries)` sorted by
+/// fraction descending.
+pub fn attribute_queries(
+    log: &UsageLog,
+    homepage_urls: &HashSet<String>,
+    name_location_tokens: &HashSet<String>,
+) -> Vec<(String, f64)> {
+    let mut query_count = 0usize;
+    let mut token_counts: HashMap<String, usize> = HashMap::new();
+    for e in &log.searches {
+        if !e.clicks.iter().any(|u| homepage_urls.contains(u)) {
+            continue;
+        }
+        query_count += 1;
+        let mut seen: HashSet<String> = HashSet::new();
+        for tok in tokenize_words(&e.query) {
+            if name_location_tokens.contains(&tok) || woc_textkit::tokenize::is_stopword(&tok) {
+                continue;
+            }
+            if seen.insert(tok.clone()) {
+                *token_counts.entry(tok).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut out: Vec<(String, f64)> = token_counts
+        .into_iter()
+        .map(|(t, c)| (t, c as f64 / query_count.max(1) as f64))
+        .collect();
+    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    out
+}
+
+/// E3: co-click statistics among queries that clicked a biz URL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CoClickStats {
+    /// Number of biz-click queries.
+    pub total: usize,
+    /// Fraction that clicked at least one other URL for the same query.
+    pub at_least_one_other: f64,
+    /// Fraction that clicked at least two other URLs.
+    pub at_least_two_others: f64,
+}
+
+/// E3: "more than 59% of the time they also clicked on at least one other
+/// URL for the same query, and 35% of the time … at least two".
+pub fn co_clicks(log: &UsageLog, host: &str) -> CoClickStats {
+    let mut total = 0usize;
+    let mut one = 0usize;
+    let mut two = 0usize;
+    for e in &log.searches {
+        let biz_click = e
+            .clicks
+            .iter()
+            .any(|u| classify_aggregator_url(u, host) == Some(AggregatorUrlKind::Biz));
+        if !biz_click {
+            continue;
+        }
+        total += 1;
+        let others = e.clicks.len().saturating_sub(1);
+        if others >= 1 {
+            one += 1;
+        }
+        if others >= 2 {
+            two += 1;
+        }
+    }
+    CoClickStats {
+        total,
+        at_least_one_other: one as f64 / total.max(1) as f64,
+        at_least_two_others: two as f64 / total.max(1) as f64,
+    }
+}
+
+/// E4: trail statistics around restaurant homepages.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrailStats {
+    /// Homepage visits observed.
+    pub homepage_visits: usize,
+    /// Fraction immediately preceded by a search-engine page.
+    pub search_preceded: f64,
+    /// Fraction of next-URLs that are location pages.
+    pub next_location: f64,
+    /// Fraction of next-URLs that are menu pages.
+    pub next_menu: f64,
+    /// Fraction of next-URLs that are coupons pages.
+    pub next_coupons: f64,
+    /// Fraction of trails containing more than one distinct restaurant.
+    pub multi_instance_trails: f64,
+}
+
+/// Page-role classifiers the trail analysis needs. All derivable from URL
+/// inventories (no ground truth).
+pub struct TrailClassifier<'a> {
+    /// Restaurant homepage URLs.
+    pub homepages: &'a HashSet<String>,
+    /// Homepage host → restaurant key, to count distinct instances.
+    pub host_of: &'a dyn Fn(&str) -> Option<String>,
+}
+
+/// E4: "about 42% of the homepage visits are immediately preceded by a
+/// query to a search engine … 11.5% of [next URLs] are the location/address
+/// … 9% menu … 1% coupons … about 10.5% of the user trails contain more
+/// than one distinct instance of the restaurant concept."
+pub fn trails(log: &UsageLog, cls: &TrailClassifier<'_>) -> TrailStats {
+    let mut visits = 0usize;
+    let mut preceded = 0usize;
+    let mut next_total = 0usize;
+    let mut next_loc = 0usize;
+    let mut next_menu = 0usize;
+    let mut next_coupons = 0usize;
+    let mut multi = 0usize;
+    for t in &log.trails {
+        let mut distinct: HashSet<String> = HashSet::new();
+        for (i, url) in t.urls.iter().enumerate() {
+            if let Some(host) = (cls.host_of)(url) {
+                distinct.insert(host);
+            }
+            if !cls.homepages.contains(url) {
+                continue;
+            }
+            visits += 1;
+            if i > 0 && t.is_search_page(i - 1) {
+                preceded += 1;
+            }
+            if let Some(next) = t.urls.get(i + 1) {
+                next_total += 1;
+                if next.contains("location") {
+                    next_loc += 1;
+                } else if next.contains("menu") {
+                    next_menu += 1;
+                } else if next.contains("coupons") {
+                    next_coupons += 1;
+                }
+            }
+        }
+        if distinct.len() > 1 {
+            multi += 1;
+        }
+    }
+    TrailStats {
+        homepage_visits: visits,
+        search_preceded: preceded as f64 / visits.max(1) as f64,
+        next_location: next_loc as f64 / next_total.max(1) as f64,
+        next_menu: next_menu as f64 / next_total.max(1) as f64,
+        next_coupons: next_coupons as f64 / next_total.max(1) as f64,
+        multi_instance_trails: multi as f64 / log.trails.len().max(1) as f64,
+    }
+}
+
+/// Helper: the name/location token set for E2, built from the restaurant
+/// inventory (names, cities, states) — the "removing the restaurant names
+/// and location information" step.
+pub fn name_location_tokens(world: &woc_webgen::World) -> HashSet<String> {
+    let mut set = HashSet::new();
+    for &r in &world.restaurants {
+        let rec = world.rec(r);
+        for key in ["name", "city", "state"] {
+            if let Some(v) = rec.best_string(key) {
+                set.extend(tokenize_words(&v));
+            }
+        }
+    }
+    set
+}
+
+/// Helper: homepage URL set and host mapping for E2/E4.
+pub fn homepage_inventory(
+    world: &woc_webgen::World,
+) -> (HashSet<String>, HashMap<String, String>) {
+    let mut urls = HashSet::new();
+    let mut hosts = HashMap::new();
+    for &r in &world.restaurants {
+        if let Some(h) = world.rec(r).best_string("homepage") {
+            let host = woc_webgen::page::url_host(&h).to_string();
+            urls.insert(h.clone());
+            hosts.insert(host, h);
+        }
+    }
+    (urls, hosts)
+}
+
+/// Convenience: one SearchEvent for tests.
+pub fn event(user: u32, query: &str, clicks: &[&str]) -> SearchEvent {
+    SearchEvent {
+        user,
+        query: query.to_string(),
+        clicks: clicks.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+/// Convenience: one Trail for tests.
+pub fn trail(user: u32, urls: &[&str]) -> Trail {
+    Trail {
+        user,
+        urls: urls.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOST: &str = "localreviews.example.com";
+
+    #[test]
+    fn url_classification() {
+        assert_eq!(
+            classify_aggregator_url("http://localreviews.example.com/biz/gochi", HOST),
+            Some(AggregatorUrlKind::Biz)
+        );
+        assert_eq!(
+            classify_aggregator_url("http://localreviews.example.com/search/x", HOST),
+            Some(AggregatorUrlKind::Search)
+        );
+        assert_eq!(
+            classify_aggregator_url("http://localreviews.example.com/c/a/b", HOST),
+            Some(AggregatorUrlKind::Category)
+        );
+        assert_eq!(
+            classify_aggregator_url("http://localreviews.example.com/", HOST),
+            Some(AggregatorUrlKind::Other)
+        );
+        assert_eq!(classify_aggregator_url("http://other.example.com/biz/x", HOST), None);
+    }
+
+    #[test]
+    fn click_category_shares() {
+        let log = UsageLog {
+            searches: vec![
+                event(1, "a", &["http://localreviews.example.com/biz/x"]),
+                event(2, "b", &["http://localreviews.example.com/biz/y"]),
+                event(3, "c", &["http://localreviews.example.com/search/z"]),
+                event(4, "d", &["http://localreviews.example.com/c/a/b"]),
+                event(5, "e", &["http://elsewhere.example.com/"]),
+            ],
+            trails: vec![],
+        };
+        let s = click_categories(&log, HOST);
+        assert_eq!(s.total, 4);
+        assert!((s.biz - 0.5).abs() < 1e-12);
+        assert!((s.search - 0.25).abs() < 1e-12);
+        assert!((s.category - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn attribute_tally_strips_names() {
+        let homepages: HashSet<String> = ["http://gochi.example.com/".to_string()].into();
+        let names: HashSet<String> = ["gochi".to_string(), "cupertino".to_string()].into();
+        let log = UsageLog {
+            searches: vec![
+                event(1, "gochi cupertino menu", &["http://gochi.example.com/"]),
+                event(2, "gochi cupertino", &["http://gochi.example.com/"]),
+                event(3, "gochi menu", &["http://gochi.example.com/"]),
+                event(4, "unrelated menu", &["http://other.example.com/"]),
+            ],
+            trails: vec![],
+        };
+        let tally = attribute_queries(&log, &homepages, &names);
+        assert_eq!(tally[0].0, "menu");
+        assert!((tally[0].1 - 2.0 / 3.0).abs() < 1e-12, "2 of 3 homepage queries");
+    }
+
+    #[test]
+    fn co_click_counting() {
+        let log = UsageLog {
+            searches: vec![
+                event(1, "a", &["http://localreviews.example.com/biz/x"]),
+                event(
+                    2,
+                    "b",
+                    &[
+                        "http://localreviews.example.com/biz/y",
+                        "http://y.example.com/",
+                    ],
+                ),
+                event(
+                    3,
+                    "c",
+                    &[
+                        "http://localreviews.example.com/biz/z",
+                        "http://z1.example.com/",
+                        "http://z2.example.com/",
+                    ],
+                ),
+            ],
+            trails: vec![],
+        };
+        let s = co_clicks(&log, HOST);
+        assert_eq!(s.total, 3);
+        assert!((s.at_least_one_other - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.at_least_two_others - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trail_statistics() {
+        let homepages: HashSet<String> = ["http://gochi.example.com/".to_string(), "http://blue.example.com/".to_string()].into();
+        let host_of = |url: &str| -> Option<String> {
+            let host = woc_webgen::page::url_host(url).to_string();
+            (host.contains("gochi") || host.contains("blue")).then_some(host)
+        };
+        let log = UsageLog {
+            searches: vec![],
+            trails: vec![
+                trail(
+                    1,
+                    &[
+                        &crate::log::search_url("gochi"),
+                        "http://gochi.example.com/",
+                        "http://gochi.example.com/menu.html",
+                    ],
+                ),
+                trail(
+                    2,
+                    &[
+                        "http://blog.example.com/post",
+                        "http://gochi.example.com/",
+                        "http://gochi.example.com/location.html",
+                    ],
+                ),
+                trail(
+                    3,
+                    &["http://gochi.example.com/", "http://blue.example.com/"],
+                ),
+            ],
+        };
+        let cls = TrailClassifier {
+            homepages: &homepages,
+            host_of: &host_of,
+        };
+        let s = trails(&log, &cls);
+        assert_eq!(s.homepage_visits, 4);
+        assert!((s.search_preceded - 0.25).abs() < 1e-12);
+        assert!((s.multi_instance_trails - 1.0 / 3.0).abs() < 1e-12);
+        assert!(s.next_menu > 0.0 && s.next_location > 0.0);
+    }
+}

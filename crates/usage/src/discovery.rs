@@ -1,0 +1,127 @@
+//! Behavior-driven concept/attribute discovery (paper §7.4).
+//!
+//! "How can user behavior in search and browsing be studied in order to
+//! extract the concepts and attributes that might be valuable to improving
+//! the user experience?" — the attribute-token machinery of E2 already
+//! surfaces what users ask restaurants *for* (menu, coupons, delivery…);
+//! this module turns those signals into schema evolution: frequently
+//! requested attributes missing from a concept's schema are proposed and can
+//! be admitted (paper §2.2: "the set of attributes associated with a concept
+//! may also evolve").
+
+use std::collections::HashSet;
+
+use woc_core::WebOfConcepts;
+use woc_lrec::{AttrKind, AttrSpec, Cardinality, ConceptId};
+
+use crate::analyze::attribute_queries;
+use crate::log::UsageLog;
+
+/// A proposed schema addition with its evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttributeProposal {
+    /// The proposed attribute key.
+    pub key: String,
+    /// Fraction of relevant queries requesting it.
+    pub demand: f64,
+}
+
+/// Mine attribute proposals for a concept from homepage-click queries:
+/// tokens users append to instance queries, minus what the schema already
+/// declares, above a demand threshold.
+pub fn propose_attributes(
+    woc: &WebOfConcepts,
+    concept: ConceptId,
+    log: &UsageLog,
+    homepage_urls: &HashSet<String>,
+    name_location_tokens: &HashSet<String>,
+    min_demand: f64,
+) -> Vec<AttributeProposal> {
+    let Some(schema) = woc.registry.schema(concept) else {
+        return Vec::new();
+    };
+    let declared: HashSet<String> = schema.attrs().map(|a| a.key.clone()).collect();
+    attribute_queries(log, homepage_urls, name_location_tokens)
+        .into_iter()
+        .filter(|(_, demand)| *demand >= min_demand)
+        .filter(|(token, _)| !declared.contains(token))
+        .map(|(key, demand)| AttributeProposal { key, demand })
+        .collect()
+}
+
+/// Admit proposals into the concept's schema (as loosely-typed `Text`
+/// attributes — extraction will type them as it learns more). Returns the
+/// admitted keys.
+pub fn evolve_schema_from_behavior(
+    woc: &mut WebOfConcepts,
+    concept: ConceptId,
+    proposals: &[AttributeProposal],
+) -> Vec<String> {
+    let Some(schema) = woc.registry.schema_mut(concept) else {
+        return Vec::new();
+    };
+    let mut admitted = Vec::new();
+    for p in proposals {
+        if schema.attr(&p.key).is_none() {
+            schema.evolve(AttrSpec::new(&p.key, AttrKind::Text, Cardinality::Many));
+            admitted.push(p.key.clone());
+        }
+    }
+    admitted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{homepage_inventory, name_location_tokens};
+    use crate::simulate::{simulate, UsageConfig};
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    #[test]
+    fn user_demand_evolves_the_schema() {
+        let world = World::generate(WorldConfig::tiny(811));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(72));
+        let mut woc = build(&corpus, &PipelineConfig::default());
+        let log = simulate(&world, &corpus, &UsageConfig::default());
+        let (homepages, _) = homepage_inventory(&world);
+        let names = name_location_tokens(&world);
+        let restaurant = woc.concepts.restaurant;
+
+        let proposals = propose_attributes(&woc, restaurant, &log, &homepages, &names, 0.005);
+        // Users ask for menus (declared? no — the restaurant schema has no
+        // `menu` attribute) and coupons (undeclared).
+        let keys: Vec<&str> = proposals.iter().map(|p| p.key.as_str()).collect();
+        assert!(keys.contains(&"menu"), "menu demanded: {keys:?}");
+        assert!(keys.contains(&"coupons"), "coupons demanded: {keys:?}");
+        // Already-declared attributes are not proposed.
+        assert!(!keys.contains(&"name"));
+        assert!(!keys.contains(&"phone"));
+        // Demand ordering: menu tops the list (the paper's 3%).
+        assert_eq!(proposals[0].key, "menu");
+
+        let before = woc.registry.schema(restaurant).unwrap().attrs().count();
+        let admitted = evolve_schema_from_behavior(&mut woc, restaurant, &proposals);
+        assert!(admitted.contains(&"coupons".to_string()));
+        let schema = woc.registry.schema(restaurant).unwrap();
+        assert_eq!(schema.attrs().count(), before + admitted.len());
+        assert!(schema.attr("coupons").is_some());
+        // Idempotent.
+        let again = evolve_schema_from_behavior(&mut woc, restaurant, &proposals);
+        assert!(again.is_empty());
+    }
+
+    #[test]
+    fn threshold_filters_noise() {
+        let world = World::generate(WorldConfig::tiny(812));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(73));
+        let mut woc = build(&corpus, &PipelineConfig::default());
+        let log = simulate(&world, &corpus, &UsageConfig::default());
+        let (homepages, _) = homepage_inventory(&world);
+        let names = name_location_tokens(&world);
+        let restaurant = woc.concepts.restaurant;
+        let strict = propose_attributes(&woc, restaurant, &log, &homepages, &names, 0.5);
+        let _ = &mut woc;
+        assert!(strict.is_empty());
+    }
+}

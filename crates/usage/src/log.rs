@@ -1,0 +1,130 @@
+//! Raw log types: search logs and toolbar trails.
+//!
+//! These stand in for the paper's Yahoo! Search and Yahoo! Toolbar logs
+//! (§3). The *analyzers* (see [`crate::analyze`]) only ever see these raw
+//! structures — queries, clicked URLs, surf sequences — exactly the
+//! information the paper's authors had.
+
+use serde::{Deserialize, Serialize};
+
+/// The synthetic web-search engine's result-page host.
+pub const SEARCH_ENGINE_HOST: &str = "websearch.example.com";
+
+/// One search event: a query and the URLs the user clicked on the results.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchEvent {
+    /// Anonymous user id.
+    pub user: u32,
+    /// The query string.
+    pub query: String,
+    /// Clicked result URLs, in click order.
+    pub clicks: Vec<String>,
+}
+
+/// One toolbar trail: the sequence of URLs a user surfed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trail {
+    /// Anonymous user id.
+    pub user: u32,
+    /// Visited URLs in order. Search-result pages appear as
+    /// `http://websearch.example.com/?q=...` entries.
+    pub urls: Vec<String>,
+}
+
+impl Trail {
+    /// True if the URL at `i` is a search-engine result page.
+    pub fn is_search_page(&self, i: usize) -> bool {
+        self.urls
+            .get(i)
+            .is_some_and(|u| crate::log::is_search_url(u))
+    }
+}
+
+/// True if a URL is a search-engine result page.
+pub fn is_search_url(url: &str) -> bool {
+    url.contains(SEARCH_ENGINE_HOST)
+}
+
+/// Build a search-result-page URL for a query.
+pub fn search_url(query: &str) -> String {
+    format!(
+        "http://{SEARCH_ENGINE_HOST}/?q={}",
+        query.replace(' ', "+")
+    )
+}
+
+/// A full usage log: searches plus trails.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UsageLog {
+    /// Search events.
+    pub searches: Vec<SearchEvent>,
+    /// Toolbar trails.
+    pub trails: Vec<Trail>,
+}
+
+impl UsageLog {
+    /// Number of search events.
+    pub fn num_searches(&self) -> usize {
+        self.searches.len()
+    }
+
+    /// Number of trails.
+    pub fn num_trails(&self) -> usize {
+        self.trails.len()
+    }
+
+    /// Export the raw log as JSON — "creating shared datasets and
+    /// benchmarks" (paper §7.1): the usage studies are re-runnable by anyone
+    /// from the exported file.
+    pub fn export(&self) -> String {
+        serde_json::to_string(self).expect("log types are serializable")
+    }
+
+    /// Import a log exported by [`UsageLog::export`].
+    pub fn import(json: &str) -> Result<UsageLog, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_url_round_trip() {
+        let u = search_url("gochi cupertino");
+        assert!(is_search_url(&u));
+        assert!(u.contains("gochi+cupertino"));
+        assert!(!is_search_url("http://gochi.example.com/"));
+    }
+
+    #[test]
+    fn log_export_round_trip() {
+        let log = UsageLog {
+            searches: vec![SearchEvent {
+                user: 1,
+                query: "gochi cupertino".into(),
+                clicks: vec!["http://a/".into()],
+            }],
+            trails: vec![Trail {
+                user: 2,
+                urls: vec![search_url("x"), "http://b/".into()],
+            }],
+        };
+        let imported = UsageLog::import(&log.export()).unwrap();
+        assert_eq!(imported.searches, log.searches);
+        assert_eq!(imported.trails, log.trails);
+        assert!(UsageLog::import("garbage").is_err());
+    }
+
+    #[test]
+    fn trail_search_page_detection() {
+        let t = Trail {
+            user: 1,
+            urls: vec![search_url("x"), "http://a.example.com/".into()],
+        };
+        assert!(t.is_search_page(0));
+        assert!(!t.is_search_page(1));
+        assert!(!t.is_search_page(9));
+    }
+}

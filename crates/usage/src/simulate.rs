@@ -1,0 +1,379 @@
+//! The user-behavior simulator — the stand-in for Yahoo!'s user population.
+//!
+//! The paper measured real logs; those are proprietary, so we *simulate* a
+//! population whose intent mixture is calibrated to the paper's reported
+//! statistics (DESIGN.md §2, experiment ids E1–E4) and re-run the paper's
+//! analyses over the raw logs the simulator emits. The analyzers never see
+//! the calibration parameters — they recover the statistics from raw
+//! queries, clicks and trails, exactly like the original study.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use woc_webgen::sites::RestaurantView;
+use woc_webgen::{PageKind, WebCorpus, World};
+
+use crate::log::{search_url, SearchEvent, Trail, UsageLog};
+
+/// Calibration of the simulated population. Defaults reproduce §3.
+#[derive(Debug, Clone)]
+pub struct UsageConfig {
+    /// Number of search events targeting the local aggregator (E1/E3).
+    pub aggregator_queries: usize,
+    /// Number of search events clicking restaurant homepages (E2).
+    pub homepage_queries: usize,
+    /// Number of toolbar trails through restaurant homepages (E4).
+    pub trails: usize,
+    /// Aggregator click mix: biz / search / category (remainder: home).
+    pub p_biz: f64,
+    /// Search-page share.
+    pub p_search: f64,
+    /// Category-page share.
+    pub p_category: f64,
+    /// Among biz-click queries: distribution of *additional* same-query
+    /// clicks `0,1,2,3` (E3: ≥1 must be ~0.59, ≥2 ~0.35).
+    pub co_click_dist: [f64; 4],
+    /// Attribute-token rates appended to homepage queries (E2): token, rate.
+    pub attribute_rates: Vec<(&'static str, f64)>,
+    /// Fraction of homepage visits arriving from a search page (E4: 42%).
+    pub p_search_referral: f64,
+    /// Next-page mix after the homepage (E4): location/menu/coupons rates.
+    pub p_next_location: f64,
+    /// Menu as next page.
+    pub p_next_menu: f64,
+    /// Coupons as next page.
+    pub p_next_coupons: f64,
+    /// Fraction of trails visiting a second restaurant (E4: 10.5%).
+    pub p_multi_instance: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UsageConfig {
+    fn default() -> Self {
+        Self {
+            aggregator_queries: 4000,
+            homepage_queries: 4000,
+            trails: 4000,
+            p_biz: 0.59,
+            p_search: 0.19,
+            p_category: 0.11,
+            // P(0)=0.41, P(1)=0.24, P(2)=0.245, P(3)=0.105 ⇒ P(≥1)=0.59, P(≥2)=0.35.
+            co_click_dist: [0.41, 0.24, 0.245, 0.105],
+            // Appending rates sit above the paper's reported fractions
+            // because the E2 denominator also counts the homepage co-clicks
+            // of E1/E3 queries (which carry no attribute tokens) — the same
+            // dilution the real study would see from navigational queries.
+            attribute_rates: vec![
+                ("menu", 0.040),
+                ("coupons", 0.024),
+                ("online", 0.020),
+                ("weekly specials", 0.020),
+                ("locations", 0.020),
+                ("nutrition", 0.005),
+                ("to go", 0.005),
+                ("delivery", 0.005),
+                ("careers", 0.004),
+            ],
+            // Second-instance homepage visits (the multi-instance trails)
+            // are never search-preceded and often trail-final; the raw
+            // parameters compensate so the *measured* statistics land on
+            // the paper's numbers.
+            p_search_referral: 0.465,
+            p_next_location: 0.100,
+            p_next_menu: 0.078,
+            p_next_coupons: 0.018,
+            p_multi_instance: 0.105,
+            seed: 0x5EED,
+        }
+    }
+}
+
+impl UsageConfig {
+    /// Smaller log volume for tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            aggregator_queries: 800,
+            homepage_queries: 800,
+            trails: 800,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// A restaurant's own pages: `(home, location, menu, coupons)` URLs
+/// (options where the page exists).
+type HomepagePages = (String, Option<String>, Option<String>, Option<String>);
+
+/// Everything the simulator needs to know about the corpus: URL inventories
+/// per page role.
+struct Inventory {
+    /// `(biz_url, restaurant_index)` on the primary aggregator.
+    biz: Vec<(String, usize)>,
+    /// Aggregator search URLs.
+    search: Vec<String>,
+    /// Aggregator category URLs.
+    category: Vec<String>,
+    /// Aggregator home URL.
+    home: Option<String>,
+    /// Per-restaurant other-source URLs (secondary aggregator biz page,
+    /// blog mentions) for co-clicks.
+    other_sources: Vec<Vec<String>>,
+    /// Per-restaurant homepage-site pages.
+    homepages: Vec<HomepagePages>,
+}
+
+fn inventory(world: &World, corpus: &WebCorpus, views: &[RestaurantView]) -> Inventory {
+    const PRIMARY: &str = "localreviews.example.com";
+    let mut biz = Vec::new();
+    let mut search = Vec::new();
+    let mut category = Vec::new();
+    let mut home = None;
+    let mut other_sources: Vec<Vec<String>> = vec![Vec::new(); views.len()];
+    let mut homepages: Vec<HomepagePages> = views
+        .iter()
+        .map(|v| (v.homepage.clone(), None, None, None))
+        .collect();
+
+    let id_to_index: std::collections::HashMap<_, _> = world
+        .restaurants
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| (id, i))
+        .collect();
+
+    for page in corpus.pages() {
+        match &page.truth.kind {
+            PageKind::AggregatorBiz => {
+                if let Some(about) = page.truth.about {
+                    if let Some(&i) = id_to_index.get(&about) {
+                        if page.site == PRIMARY {
+                            biz.push((page.url.clone(), i));
+                        } else {
+                            other_sources[i].push(page.url.clone());
+                        }
+                    }
+                }
+            }
+            PageKind::AggregatorSearch if page.site == PRIMARY => search.push(page.url.clone()),
+            PageKind::AggregatorCategory if page.site == PRIMARY => {
+                category.push(page.url.clone())
+            }
+            PageKind::AggregatorHome if page.site == PRIMARY => home = Some(page.url.clone()),
+            PageKind::Article => {
+                for m in &page.truth.mentions {
+                    if let Some(&i) = id_to_index.get(m) {
+                        other_sources[i].push(page.url.clone());
+                    }
+                }
+            }
+            PageKind::RestaurantLocation => {
+                if let Some(&i) = page.truth.about.as_ref().and_then(|a| id_to_index.get(a)) {
+                    homepages[i].1 = Some(page.url.clone());
+                }
+            }
+            PageKind::RestaurantMenu => {
+                if let Some(&i) = page.truth.about.as_ref().and_then(|a| id_to_index.get(a)) {
+                    homepages[i].2 = Some(page.url.clone());
+                }
+            }
+            PageKind::RestaurantCoupons => {
+                if let Some(&i) = page.truth.about.as_ref().and_then(|a| id_to_index.get(a)) {
+                    homepages[i].3 = Some(page.url.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    Inventory {
+        biz,
+        search,
+        category,
+        home,
+        other_sources,
+        homepages,
+    }
+}
+
+/// Simulate a full usage log over a world + corpus.
+pub fn simulate(world: &World, corpus: &WebCorpus, config: &UsageConfig) -> UsageLog {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let views = RestaurantView::all(world);
+    let inv = inventory(world, corpus, &views);
+    let mut log = UsageLog::default();
+    let mut user = 0u32;
+
+    // --- E1/E3: queries clicking the aggregator --------------------------
+    for _ in 0..config.aggregator_queries {
+        user += 1;
+        let roll: f64 = rng.random();
+        if roll < config.p_biz && !inv.biz.is_empty() {
+            // Specific-instance search.
+            let &(ref biz_url, i) = inv.biz.choose(&mut rng).unwrap();
+            let v = &views[i];
+            let query = format!("{} {}", v.name.to_lowercase(), v.city.to_lowercase());
+            let mut clicks = vec![biz_url.clone()];
+            // Co-clicks on other sources for the same query (E3): "the
+            // homepage of the business, profile pages from other aggregation
+            // sites …, as well as blogs and reviews".
+            let extra = sample_index(&mut rng, &config.co_click_dist);
+            let mut pool: Vec<String> = vec![v.homepage.clone()];
+            pool.extend(inv.other_sources[i].iter().cloned());
+            let (_, loc, menu, _) = &inv.homepages[i];
+            pool.extend(menu.clone());
+            pool.extend(loc.clone());
+            for k in 0..extra {
+                if let Some(u) = pool.get(k) {
+                    clicks.push(u.clone());
+                }
+            }
+            log.searches.push(SearchEvent { user, query, clicks });
+        } else if roll < config.p_biz + config.p_search && !inv.search.is_empty() {
+            // Set search ("wedding cakes Los Angeles"-style).
+            let url = inv.search.choose(&mut rng).unwrap().clone();
+            let v = views.choose(&mut rng).unwrap();
+            let query = format!("{} {}", v.cuisine.to_lowercase(), v.city.to_lowercase());
+            log.searches.push(SearchEvent { user, query, clicks: vec![url] });
+        } else if roll < config.p_biz + config.p_search + config.p_category
+            && !inv.category.is_empty()
+        {
+            let url = inv.category.choose(&mut rng).unwrap().clone();
+            let v = views.choose(&mut rng).unwrap();
+            let query = format!(
+                "{} {} restaurants",
+                v.city.to_lowercase(),
+                v.cuisine.to_lowercase()
+            );
+            log.searches.push(SearchEvent { user, query, clicks: vec![url] });
+        } else if let Some(h) = &inv.home {
+            let query = "restaurant reviews".to_string();
+            log.searches.push(SearchEvent { user, query, clicks: vec![h.clone()] });
+        }
+    }
+
+    // --- E2: queries clicking restaurant homepages -----------------------
+    for _ in 0..config.homepage_queries {
+        user += 1;
+        let i = rng.random_range(0..views.len());
+        let v = &views[i];
+        let mut query = format!("{} {}", v.name.to_lowercase(), v.city.to_lowercase());
+        // Append at most one attribute token per the calibrated rates.
+        let roll: f64 = rng.random();
+        let mut acc = 0.0;
+        for (token, rate) in &config.attribute_rates {
+            acc += rate;
+            if roll < acc {
+                query = format!("{query} {token}");
+                break;
+            }
+        }
+        log.searches.push(SearchEvent {
+            user,
+            query,
+            clicks: vec![inv.homepages[i].0.clone()],
+        });
+    }
+
+    // --- E4: toolbar trails through homepages -----------------------------
+    for _ in 0..config.trails {
+        user += 1;
+        let i = rng.random_range(0..views.len());
+        let (home, location, menu, coupons) = &inv.homepages[i];
+        let mut urls: Vec<String> = Vec::new();
+        // Referrer: search page or some other page (blog, aggregator).
+        if rng.random_bool(config.p_search_referral) {
+            urls.push(search_url(&views[i].name.to_lowercase()));
+        } else if let Some(src) = inv.other_sources[i].first() {
+            urls.push(src.clone());
+        }
+        urls.push(home.clone());
+        // Next page after the homepage.
+        let roll: f64 = rng.random();
+        if roll < config.p_next_location {
+            if let Some(l) = location {
+                urls.push(l.clone());
+            }
+        } else if roll < config.p_next_location + config.p_next_menu {
+            if let Some(m) = menu {
+                urls.push(m.clone());
+            }
+        } else if roll < config.p_next_location + config.p_next_menu + config.p_next_coupons {
+            if let Some(c) = coupons {
+                urls.push(c.clone());
+            }
+        } else if let Some(other) = inv.other_sources[i].first() {
+            urls.push(other.clone());
+        }
+        // Multi-instance trails (E4: ~10.5%).
+        if rng.random_bool(config.p_multi_instance) {
+            let j = rng.random_range(0..views.len());
+            if j != i {
+                urls.push(inv.homepages[j].0.clone());
+            }
+        }
+        log.trails.push(Trail { user, urls });
+    }
+
+    log
+}
+
+fn sample_index(rng: &mut StdRng, dist: &[f64; 4]) -> usize {
+    let roll: f64 = rng.random();
+    let mut acc = 0.0;
+    for (i, p) in dist.iter().enumerate() {
+        acc += p;
+        if roll < acc {
+            return i;
+        }
+    }
+    dist.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_webgen::{generate_corpus, CorpusConfig, WorldConfig};
+
+    fn setup() -> (World, WebCorpus) {
+        let w = World::generate(WorldConfig::tiny(401));
+        let c = generate_corpus(&w, &CorpusConfig::tiny(31));
+        (w, c)
+    }
+
+    #[test]
+    fn simulation_produces_configured_volumes() {
+        let (w, c) = setup();
+        let log = simulate(&w, &c, &UsageConfig::small(1));
+        assert_eq!(log.num_searches(), 800 + 800);
+        assert_eq!(log.num_trails(), 800);
+    }
+
+    #[test]
+    fn clicks_reference_real_pages_or_search() {
+        let (w, c) = setup();
+        let log = simulate(&w, &c, &UsageConfig::small(2));
+        for e in &log.searches {
+            assert!(!e.clicks.is_empty());
+            for u in &e.clicks {
+                assert!(
+                    c.get(u).is_some() || crate::log::is_search_url(u),
+                    "clicked URL {u} not in corpus"
+                );
+            }
+        }
+        for t in &log.trails {
+            assert!(!t.urls.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (w, c) = setup();
+        let a = simulate(&w, &c, &UsageConfig::small(3));
+        let b = simulate(&w, &c, &UsageConfig::small(3));
+        assert_eq!(a.searches, b.searches);
+        assert_eq!(a.trails, b.trails);
+    }
+}

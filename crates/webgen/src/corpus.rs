@@ -1,0 +1,151 @@
+//! The crawled web: a corpus of pages with URL and site indexes.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::page::Page;
+
+/// A web corpus — what a crawler would hand to the extraction pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct WebCorpus {
+    pages: Vec<Page>,
+    by_url: HashMap<String, usize>,
+    by_site: BTreeMap<String, Vec<usize>>,
+}
+
+impl WebCorpus {
+    /// Empty corpus.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a page. Re-adding a URL replaces the old page (a recrawl).
+    pub fn add(&mut self, page: Page) {
+        match self.by_url.get(&page.url) {
+            Some(&i) => {
+                // Recrawl: site index unchanged (site is derived from URL).
+                self.pages[i] = page;
+            }
+            None => {
+                let i = self.pages.len();
+                self.by_url.insert(page.url.clone(), i);
+                self.by_site.entry(page.site.clone()).or_default().push(i);
+                self.pages.push(page);
+            }
+        }
+    }
+
+    /// Look up a page by URL.
+    pub fn get(&self, url: &str) -> Option<&Page> {
+        self.by_url.get(url).map(|&i| &self.pages[i])
+    }
+
+    /// All pages.
+    pub fn pages(&self) -> &[Page] {
+        &self.pages
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Site names in deterministic order.
+    pub fn sites(&self) -> Vec<&str> {
+        self.by_site.keys().map(String::as_str).collect()
+    }
+
+    /// Pages of one site, in insertion order.
+    pub fn pages_of_site(&self, site: &str) -> Vec<&Page> {
+        self.by_site
+            .get(site)
+            .map(|ids| ids.iter().map(|&i| &self.pages[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The hyperlink graph: URL → outgoing in-corpus link URLs.
+    ///
+    /// Links pointing outside the corpus are dropped — crawlers only know
+    /// about pages they fetched.
+    pub fn link_graph(&self) -> HashMap<&str, Vec<&str>> {
+        let mut g: HashMap<&str, Vec<&str>> = HashMap::new();
+        for p in &self.pages {
+            let outs: Vec<&str> = p
+                .links()
+                .into_iter()
+                .filter_map(|u| self.by_url.get(&u).map(|&i| self.pages[i].url.as_str()))
+                .collect();
+            g.insert(p.url.as_str(), outs);
+        }
+        g
+    }
+
+    /// Merge another corpus into this one (recrawls replace).
+    pub fn extend(&mut self, other: WebCorpus) {
+        for p in other.pages {
+            self.add(p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Node;
+    use crate::page::{PageKind, PageTruth};
+
+    fn page(url: &str, link_to: Option<&str>) -> Page {
+        let mut body = Node::elem("body");
+        if let Some(l) = link_to {
+            body = body.child(Node::elem("a").attr("href", l).text_child("x"));
+        }
+        Page {
+            url: url.to_string(),
+            site: crate::page::url_host(url).to_string(),
+            title: String::new(),
+            dom: Node::elem("html").child(body),
+            truth: PageTruth {
+                kind: PageKind::Article,
+                about: None,
+                records: vec![],
+                mentions: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn add_get_and_site_index() {
+        let mut c = WebCorpus::new();
+        c.add(page("http://a.example.com/1", None));
+        c.add(page("http://a.example.com/2", None));
+        c.add(page("http://b.example.com/1", None));
+        assert_eq!(c.len(), 3);
+        assert!(c.get("http://a.example.com/1").is_some());
+        assert!(c.get("http://nope").is_none());
+        assert_eq!(c.sites(), vec!["a.example.com", "b.example.com"]);
+        assert_eq!(c.pages_of_site("a.example.com").len(), 2);
+    }
+
+    #[test]
+    fn recrawl_replaces() {
+        let mut c = WebCorpus::new();
+        c.add(page("http://a.example.com/1", None));
+        c.add(page("http://a.example.com/1", Some("http://a.example.com/2")));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get("http://a.example.com/1").unwrap().links().len(), 1);
+    }
+
+    #[test]
+    fn link_graph_drops_external() {
+        let mut c = WebCorpus::new();
+        c.add(page("http://a.example.com/1", Some("http://a.example.com/2")));
+        c.add(page("http://a.example.com/2", Some("http://external.example.org/")));
+        let g = c.link_graph();
+        assert_eq!(g["http://a.example.com/1"], vec!["http://a.example.com/2"]);
+        assert!(g["http://a.example.com/2"].is_empty());
+    }
+}

@@ -1,0 +1,580 @@
+//! A small DOM: the tree structure extractors actually see.
+//!
+//! Site-centric extraction (paper §4.1) "relies on the rich HTML structure
+//! employed by the author for presenting the content"; our DOM keeps exactly
+//! what that requires — element tags, `class`/`id`/`href` attributes, child
+//! order and text — plus an HTML writer and a robust (never-panicking)
+//! parser so pages can round-trip through markup like a real crawl.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+/// A DOM node: an element with attributes and children, or a text node.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Node {
+    /// An element.
+    Element {
+        /// Lowercase tag name (`div`, `ul`, `li`, `span`, …).
+        tag: String,
+        /// Attributes, sorted by name for deterministic rendering.
+        attrs: BTreeMap<String, String>,
+        /// Children in document order.
+        children: Vec<Node>,
+    },
+    /// A text node.
+    Text(String),
+}
+
+impl Node {
+    /// New element with no attributes or children.
+    pub fn elem(tag: &str) -> Node {
+        Node::Element {
+            tag: tag.to_string(),
+            attrs: BTreeMap::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// New text node.
+    pub fn text(t: impl Into<String>) -> Node {
+        Node::Text(t.into())
+    }
+
+    /// Builder: set an attribute.
+    #[must_use]
+    pub fn attr(mut self, name: &str, value: &str) -> Node {
+        if let Node::Element { attrs, .. } = &mut self {
+            attrs.insert(name.to_string(), value.to_string());
+        }
+        self
+    }
+
+    /// Builder: set the `class` attribute.
+    #[must_use]
+    pub fn class(self, value: &str) -> Node {
+        self.attr("class", value)
+    }
+
+    /// Builder: append a child.
+    #[must_use]
+    pub fn child(mut self, c: Node) -> Node {
+        if let Node::Element { children, .. } = &mut self {
+            children.push(c);
+        }
+        self
+    }
+
+    /// Builder: append many children.
+    #[must_use]
+    pub fn children(mut self, cs: impl IntoIterator<Item = Node>) -> Node {
+        if let Node::Element { children, .. } = &mut self {
+            children.extend(cs);
+        }
+        self
+    }
+
+    /// Builder: append a text child.
+    #[must_use]
+    pub fn text_child(self, t: impl Into<String>) -> Node {
+        self.child(Node::text(t))
+    }
+
+    /// Tag name, or `None` for text nodes.
+    pub fn tag(&self) -> Option<&str> {
+        match self {
+            Node::Element { tag, .. } => Some(tag),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Attribute value.
+    pub fn get_attr(&self, name: &str) -> Option<&str> {
+        match self {
+            Node::Element { attrs, .. } => attrs.get(name).map(String::as_str),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Element children (empty slice for text nodes).
+    pub fn child_nodes(&self) -> &[Node] {
+        match self {
+            Node::Element { children, .. } => children,
+            Node::Text(_) => &[],
+        }
+    }
+
+    /// Mutable element children.
+    pub fn child_nodes_mut(&mut self) -> Option<&mut Vec<Node>> {
+        match self {
+            Node::Element { children, .. } => Some(children),
+            Node::Text(_) => None,
+        }
+    }
+
+    /// Concatenated text content of the subtree, with single spaces between
+    /// adjacent text runs.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        self.collect_text(&mut out);
+        out.trim().to_string()
+    }
+
+    fn collect_text(&self, out: &mut String) {
+        match self {
+            Node::Text(t) => {
+                if !out.is_empty() && !out.ends_with(' ') {
+                    out.push(' ');
+                }
+                out.push_str(t.trim());
+            }
+            Node::Element { children, .. } => {
+                for c in children {
+                    c.collect_text(out);
+                }
+            }
+        }
+    }
+
+    /// Depth-first iterator over all nodes (self included) paired with their
+    /// [`NodePath`] from this node.
+    pub fn walk(&self) -> Vec<(NodePath, &Node)> {
+        let mut out = Vec::new();
+        self.walk_into(NodePath::root(), &mut out);
+        out
+    }
+
+    fn walk_into<'a>(&'a self, path: NodePath, out: &mut Vec<(NodePath, &'a Node)>) {
+        out.push((path.clone(), self));
+        let mut tag_counts: BTreeMap<&str, usize> = BTreeMap::new();
+        for child in self.child_nodes() {
+            match child {
+                Node::Element { tag, .. } => {
+                    let idx = tag_counts.entry(tag.as_str()).or_insert(0);
+                    let p = path.push(tag, *idx);
+                    *idx += 1;
+                    child.walk_into(p, out);
+                }
+                Node::Text(_) => {
+                    // Text nodes are addressed through their parent.
+                    out.push((path.push("#text", 0), child));
+                }
+            }
+        }
+    }
+
+    /// Find the first descendant element with the given class.
+    pub fn find_class(&self, class: &str) -> Option<&Node> {
+        self.walk()
+            .into_iter()
+            .map(|(_, n)| n)
+            .find(|n| n.get_attr("class").is_some_and(|c| c.split(' ').any(|x| x == class)))
+    }
+
+    /// Find all descendant elements with the given tag.
+    pub fn find_tag(&self, tag: &str) -> Vec<&Node> {
+        self.walk()
+            .into_iter()
+            .map(|(_, n)| n)
+            .filter(|n| n.tag() == Some(tag))
+            .collect()
+    }
+
+    /// Resolve a [`NodePath`] from this node.
+    pub fn resolve(&self, path: &NodePath) -> Option<&Node> {
+        let mut cur = self;
+        for step in &path.steps {
+            let mut seen = 0usize;
+            let mut found = None;
+            for child in cur.child_nodes() {
+                if child.tag() == Some(step.tag.as_str()) {
+                    if seen == step.index {
+                        found = Some(child);
+                        break;
+                    }
+                    seen += 1;
+                }
+            }
+            cur = found?;
+        }
+        Some(cur)
+    }
+
+    /// Number of nodes in the subtree.
+    pub fn size(&self) -> usize {
+        1 + self.child_nodes().iter().map(Node::size).sum::<usize>()
+    }
+
+    /// Render the subtree as HTML.
+    pub fn to_html(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+
+    fn render(&self, out: &mut String) {
+        match self {
+            Node::Text(t) => out.push_str(&escape(t)),
+            Node::Element { tag, attrs, children } => {
+                let _ = write!(out, "<{tag}");
+                for (k, v) in attrs {
+                    let _ = write!(out, " {k}=\"{}\"", escape(v));
+                }
+                out.push('>');
+                for c in children {
+                    c.render(out);
+                }
+                let _ = write!(out, "</{tag}>");
+            }
+        }
+    }
+}
+
+fn escape(t: &str) -> String {
+    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+fn unescape(t: &str) -> String {
+    t.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+/// One step in a structural path: a tag plus its index among same-tag
+/// siblings. These paths are the hypothesis space of wrapper induction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PathStep {
+    /// Child tag.
+    pub tag: String,
+    /// Index among siblings with the same tag.
+    pub index: usize,
+}
+
+/// A structural path from a root node.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct NodePath {
+    /// Steps from the root.
+    pub steps: Vec<PathStep>,
+}
+
+impl NodePath {
+    /// The empty path (the root itself).
+    pub fn root() -> NodePath {
+        NodePath::default()
+    }
+
+    /// Extend with one step.
+    #[must_use]
+    pub fn push(&self, tag: &str, index: usize) -> NodePath {
+        let mut steps = self.steps.clone();
+        steps.push(PathStep { tag: tag.to_string(), index });
+        NodePath { steps }
+    }
+
+    /// Path depth.
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Render like `html/0 > body/0 > div/2`.
+    pub fn display(&self) -> String {
+        self.steps
+            .iter()
+            .map(|s| format!("{}/{}", s.tag, s.index))
+            .collect::<Vec<_>>()
+            .join(" > ")
+    }
+
+    /// True if `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &NodePath) -> bool {
+        other.steps.len() >= self.steps.len()
+            && self.steps.iter().zip(&other.steps).all(|(a, b)| a == b)
+    }
+}
+
+/// Parse HTML produced by [`Node::to_html`] (or reasonably similar markup)
+/// back into a tree. The parser never panics: mismatched or stray close tags
+/// are skipped, unclosed elements are closed at end of input, and anything
+/// unparseable becomes text. Returns a synthetic `html` root if the input
+/// has multiple top-level nodes.
+pub fn parse_html(input: &str) -> Node {
+    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    let mut roots = parser.parse_nodes(None);
+    if roots.len() == 1 && roots[0].tag().is_some() {
+        roots.pop().unwrap()
+    } else {
+        Node::Element {
+            tag: "html".to_string(),
+            attrs: BTreeMap::new(),
+            children: roots,
+        }
+    }
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn parse_nodes(&mut self, parent: Option<&str>) -> Vec<Node> {
+        let mut out = Vec::new();
+        while self.pos < self.input.len() {
+            if self.input[self.pos] == b'<' {
+                if self.peek_close() {
+                    let tag = self.read_close_tag();
+                    match (parent, tag) {
+                        (Some(p), Some(t)) if p == t => return out,
+                        // Stray close tag: if it matches an ancestor we are
+                        // lenient and treat it as closing us too, else skip.
+                        (Some(_), Some(_)) => return out,
+                        _ => continue, // top level stray close: skip
+                    }
+                }
+                if let Some(node) = self.parse_element() {
+                    out.push(node);
+                } else {
+                    // '<' that is not a tag: consume as text.
+                    self.pos += 1;
+                    out.push(Node::text("<"));
+                }
+            } else {
+                let text = self.read_text();
+                if !text.trim().is_empty() {
+                    out.push(Node::text(unescape(text.trim())));
+                }
+            }
+        }
+        out
+    }
+
+    fn peek_close(&self) -> bool {
+        self.input.get(self.pos) == Some(&b'<') && self.input.get(self.pos + 1) == Some(&b'/')
+    }
+
+    fn read_close_tag(&mut self) -> Option<String> {
+        // at '</'
+        self.pos += 2;
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'>' {
+            self.pos += 1;
+        }
+        let tag = String::from_utf8_lossy(&self.input[start..self.pos]).trim().to_lowercase();
+        if self.pos < self.input.len() {
+            self.pos += 1; // consume '>'
+        }
+        (!tag.is_empty()).then_some(tag)
+    }
+
+    fn parse_element(&mut self) -> Option<Node> {
+        let save = self.pos;
+        self.pos += 1; // '<'
+        let start = self.pos;
+        while self.pos < self.input.len() && (self.input[self.pos].is_ascii_alphanumeric()) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            self.pos = save;
+            return None;
+        }
+        let tag = String::from_utf8_lossy(&self.input[start..self.pos]).to_lowercase();
+        let mut attrs = BTreeMap::new();
+        // Attributes until '>' or '/>'.
+        loop {
+            self.skip_ws();
+            match self.input.get(self.pos) {
+                None => break,
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'/') => {
+                    // self-closing
+                    self.pos += 1;
+                    if self.input.get(self.pos) == Some(&b'>') {
+                        self.pos += 1;
+                    }
+                    return Some(Node::Element { tag, attrs, children: Vec::new() });
+                }
+                _ => {
+                    if let Some((k, v)) = self.read_attr() {
+                        attrs.insert(k, v);
+                    } else {
+                        self.pos += 1; // garbage: skip a byte
+                    }
+                }
+            }
+        }
+        let children = self.parse_nodes(Some(&tag));
+        Some(Node::Element { tag, attrs, children })
+    }
+
+    fn read_attr(&mut self) -> Option<(String, String)> {
+        let start = self.pos;
+        while self.pos < self.input.len()
+            && (self.input[self.pos].is_ascii_alphanumeric()
+                || self.input[self.pos] == b'-'
+                || self.input[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return None;
+        }
+        let name = String::from_utf8_lossy(&self.input[start..self.pos]).to_lowercase();
+        self.skip_ws();
+        if self.input.get(self.pos) != Some(&b'=') {
+            return Some((name, String::new()));
+        }
+        self.pos += 1;
+        self.skip_ws();
+        if self.input.get(self.pos) == Some(&b'"') {
+            self.pos += 1;
+            let vstart = self.pos;
+            while self.pos < self.input.len() && self.input[self.pos] != b'"' {
+                self.pos += 1;
+            }
+            let value = String::from_utf8_lossy(&self.input[vstart..self.pos]).to_string();
+            if self.pos < self.input.len() {
+                self.pos += 1;
+            }
+            Some((name, unescape(&value)))
+        } else {
+            let vstart = self.pos;
+            while self.pos < self.input.len()
+                && !self.input[self.pos].is_ascii_whitespace()
+                && self.input[self.pos] != b'>'
+            {
+                self.pos += 1;
+            }
+            Some((
+                name,
+                String::from_utf8_lossy(&self.input[vstart..self.pos]).to_string(),
+            ))
+        }
+    }
+
+    fn read_text(&mut self) -> &'a str {
+        let start = self.pos;
+        while self.pos < self.input.len() && self.input[self.pos] != b'<' {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.input[start..self.pos]).unwrap_or("")
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.input.len() && self.input[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Node {
+        Node::elem("html").child(
+            Node::elem("body")
+                .child(Node::elem("h1").text_child("Gochi"))
+                .child(
+                    Node::elem("ul").class("menu").children([
+                        Node::elem("li").text_child("Pad Thai $9.95"),
+                        Node::elem("li").text_child("Green Curry $11.50"),
+                    ]),
+                ),
+        )
+    }
+
+    #[test]
+    fn build_and_text_content() {
+        let d = sample();
+        assert_eq!(d.text_content(), "Gochi Pad Thai $9.95 Green Curry $11.50");
+        assert_eq!(d.size(), 9);
+    }
+
+    #[test]
+    fn html_round_trip() {
+        let d = sample();
+        let html = d.to_html();
+        let parsed = parse_html(&html);
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn escaping_round_trip() {
+        let d = Node::elem("p")
+            .attr("title", "a \"quoted\" & <odd> title")
+            .text_child("5 < 6 & 7 > 2");
+        let parsed = parse_html(&d.to_html());
+        assert_eq!(parsed, d);
+    }
+
+    #[test]
+    fn parser_survives_malformed_input() {
+        // Never panic, always return something (failure injection, DESIGN §8).
+        for bad in [
+            "",
+            "<",
+            "<<<>>>",
+            "<div><p>unclosed",
+            "</stray>text</more>",
+            "<div class=>x</div>",
+            "<a href=unquoted>y</a>",
+            "plain text only",
+            "<div><span></div></span>",
+        ] {
+            let _ = parse_html(bad);
+        }
+        let n = parse_html("<div><p>unclosed");
+        assert_eq!(n.text_content(), "unclosed");
+    }
+
+    #[test]
+    fn unquoted_attr_parsed() {
+        let n = parse_html("<a href=unquoted>y</a>");
+        assert_eq!(n.get_attr("href"), Some("unquoted"));
+    }
+
+    #[test]
+    fn walk_paths_resolve() {
+        let d = sample();
+        for (path, node) in d.walk() {
+            if node.tag().is_some() {
+                assert_eq!(d.resolve(&path), Some(node), "path {}", path.display());
+            }
+        }
+    }
+
+    #[test]
+    fn path_indexing_by_tag() {
+        let d = sample();
+        let path = NodePath::root().push("body", 0).push("ul", 0).push("li", 1);
+        let li = d.resolve(&path).unwrap();
+        assert_eq!(li.text_content(), "Green Curry $11.50");
+        assert!(d.resolve(&NodePath::root().push("body", 0).push("ul", 1)).is_none());
+    }
+
+    #[test]
+    fn path_prefix() {
+        let a = NodePath::root().push("body", 0);
+        let b = a.push("ul", 0);
+        assert!(a.is_prefix_of(&b));
+        assert!(!b.is_prefix_of(&a));
+        assert!(NodePath::root().is_prefix_of(&a));
+    }
+
+    #[test]
+    fn find_helpers() {
+        let d = sample();
+        assert!(d.find_class("menu").is_some());
+        assert!(d.find_class("nope").is_none());
+        assert_eq!(d.find_tag("li").len(), 2);
+    }
+
+    #[test]
+    fn multi_root_wrapped() {
+        let n = parse_html("<p>a</p><p>b</p>");
+        assert_eq!(n.tag(), Some("html"));
+        assert_eq!(n.child_nodes().len(), 2);
+    }
+}

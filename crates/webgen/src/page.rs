@@ -1,0 +1,236 @@
+//! Pages and their ground-truth annotations.
+
+use serde::{Deserialize, Serialize};
+
+use woc_lrec::{ConceptId, LrecId};
+
+use crate::dom::Node;
+
+/// What a page *is*, per ground truth. This is the label space for page
+/// classification (paper §4.2 "Relational Classification") and the category
+/// system behind the usage studies (§3: biz / search / category URLs).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PageKind {
+    /// Aggregator page about one business (Yelp "biz" URL).
+    AggregatorBiz,
+    /// Aggregator search-results page.
+    AggregatorSearch,
+    /// Aggregator pre-defined category page (e.g. "San Jose Italian Restaurants").
+    AggregatorCategory,
+    /// Aggregator front page.
+    AggregatorHome,
+    /// A restaurant's own homepage.
+    RestaurantHome,
+    /// A restaurant's menu page.
+    RestaurantMenu,
+    /// A restaurant's location/directions page.
+    RestaurantLocation,
+    /// A restaurant's coupons page.
+    RestaurantCoupons,
+    /// A restaurant's careers page.
+    RestaurantCareers,
+    /// City-guide content page in a non-event category (hotels, dining, …).
+    CityCategory,
+    /// City-guide events page (the positive class of experiment S3).
+    CityEvents,
+    /// Researcher homepage with a publication list.
+    AcademicHome,
+    /// Venue page listing publications.
+    VenuePage,
+    /// Product detail page.
+    ProductPage,
+    /// Product category listing.
+    ProductList,
+    /// Event detail page on the events aggregator.
+    EventPage,
+    /// Event listing page.
+    EventList,
+    /// Blog/news article.
+    Article,
+}
+
+impl PageKind {
+    /// Usage-study click category for this page, when it lives on the local
+    /// aggregator (paper §3: 59% biz, 19% search, 11% category). `None` for
+    /// pages outside that taxonomy.
+    pub fn click_category(&self) -> Option<&'static str> {
+        match self {
+            PageKind::AggregatorBiz => Some("biz"),
+            PageKind::AggregatorSearch => Some("search"),
+            PageKind::AggregatorCategory => Some("c"),
+            _ => None,
+        }
+    }
+}
+
+/// One ground-truth record rendered on a page, with the attribute values
+/// *as rendered* (extraction is scored against these strings).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TruthRecord {
+    /// The concept of the record.
+    pub concept: ConceptId,
+    /// The world entity this rendering is about.
+    pub entity: LrecId,
+    /// `(attribute, rendered value)` pairs present on the page.
+    pub fields: Vec<(String, String)>,
+}
+
+impl TruthRecord {
+    /// Value of a field, if rendered.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Ground-truth annotation of a page.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageTruth {
+    /// The page's true kind.
+    pub kind: PageKind,
+    /// The single entity the page is about, when there is one.
+    pub about: Option<LrecId>,
+    /// All records rendered on the page (one for detail pages, many for lists).
+    pub records: Vec<TruthRecord>,
+    /// All entities *mentioned* in running text (for semantic linking).
+    pub mentions: Vec<LrecId>,
+}
+
+/// A crawled page: URL, site, DOM, outgoing links and ground truth.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Page {
+    /// Absolute URL.
+    pub url: String,
+    /// Site (hostname) the page belongs to.
+    pub site: String,
+    /// Page title.
+    pub title: String,
+    /// The DOM.
+    pub dom: Node,
+    /// Ground-truth annotation (never shown to extractors; used for
+    /// training-label simulation and evaluation only).
+    pub truth: PageTruth,
+}
+
+impl Page {
+    /// All outgoing link hrefs in document order.
+    pub fn links(&self) -> Vec<String> {
+        self.dom
+            .walk()
+            .into_iter()
+            .filter_map(|(_, n)| n.get_attr("href"))
+            .map(str::to_string)
+            .collect()
+    }
+
+    /// Full visible text of the page.
+    pub fn text(&self) -> String {
+        self.dom.text_content()
+    }
+
+    /// The path component of the URL (after the host).
+    pub fn path(&self) -> &str {
+        url_path(&self.url)
+    }
+
+    /// The top-level directory of the URL path (e.g. `calendar` for
+    /// `/calendar/show-1.html`) — the relational signal of experiment S3.
+    pub fn directory(&self) -> &str {
+        let p = self.path().trim_start_matches('/');
+        match p.find('/') {
+            Some(i) => &p[..i],
+            None => "",
+        }
+    }
+}
+
+/// Path component of an absolute URL (empty string if malformed).
+pub fn url_path(url: &str) -> &str {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))
+        .unwrap_or(url);
+    match rest.find('/') {
+        Some(i) => &rest[i..],
+        None => "",
+    }
+}
+
+/// Host component of an absolute URL.
+pub fn url_host(url: &str) -> &str {
+    let rest = url
+        .strip_prefix("http://")
+        .or_else(|| url.strip_prefix("https://"))
+        .unwrap_or(url);
+    match rest.find('/') {
+        Some(i) => &rest[..i],
+        None => rest,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::Node;
+
+    fn page(url: &str) -> Page {
+        Page {
+            url: url.to_string(),
+            site: url_host(url).to_string(),
+            title: "t".into(),
+            dom: Node::elem("html").child(
+                Node::elem("a").attr("href", "http://x.example.com/a").text_child("link"),
+            ),
+            truth: PageTruth {
+                kind: PageKind::Article,
+                about: None,
+                records: vec![],
+                mentions: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn url_helpers() {
+        assert_eq!(url_host("http://a.example.com/x/y"), "a.example.com");
+        assert_eq!(url_path("http://a.example.com/x/y"), "/x/y");
+        assert_eq!(url_path("http://a.example.com"), "");
+        assert_eq!(url_host("https://b.example.com/"), "b.example.com");
+    }
+
+    #[test]
+    fn page_directory() {
+        let p = page("http://sanjose.example.com/calendar/show-1.html");
+        assert_eq!(p.directory(), "calendar");
+        // A file at the root has no directory.
+        let p = page("http://sanjose.example.com/index.html");
+        assert_eq!(p.directory(), "");
+    }
+
+    #[test]
+    fn links_extracted() {
+        let p = page("http://a.example.com/");
+        assert_eq!(p.links(), vec!["http://x.example.com/a"]);
+    }
+
+    #[test]
+    fn click_categories() {
+        assert_eq!(PageKind::AggregatorBiz.click_category(), Some("biz"));
+        assert_eq!(PageKind::AggregatorSearch.click_category(), Some("search"));
+        assert_eq!(PageKind::AggregatorCategory.click_category(), Some("c"));
+        assert_eq!(PageKind::Article.click_category(), None);
+    }
+
+    #[test]
+    fn truth_record_field_lookup() {
+        let tr = TruthRecord {
+            concept: woc_lrec::ConceptId(0),
+            entity: woc_lrec::LrecId(1),
+            fields: vec![("name".into(), "Gochi".into())],
+        };
+        assert_eq!(tr.field("name"), Some("Gochi"));
+        assert_eq!(tr.field("zip"), None);
+    }
+}

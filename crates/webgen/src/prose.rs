@@ -1,0 +1,142 @@
+//! Deterministic synthetic prose: reviews and articles.
+//!
+//! Review text correlates with the review's star rating (sentiment words)
+//! and mentions real attributes of the reviewed entity (dishes, city,
+//! cuisine) so that record↔text matching and semantic linking have real
+//! signal to find, as they would on the web.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use woc_textkit::gazetteer::{NEGATIVE_WORDS, POSITIVE_WORDS};
+
+fn pick<'a>(rng: &mut StdRng, pool: &[&'a str]) -> &'a str {
+    pool.choose(rng).copied().unwrap_or("")
+}
+
+/// Generate review text for a restaurant with the given attributes.
+///
+/// `rating` is 1..=5; ratings ≥ 4 draw positive sentiment, ≤ 2 negative,
+/// 3 mixes both.
+pub fn review_text(
+    rng: &mut StdRng,
+    restaurant_name: &str,
+    city: &str,
+    cuisine: &str,
+    dishes: &[String],
+    rating: i64,
+) -> String {
+    let pos = rating >= 4 || (rating == 3 && rng.random_bool(0.5));
+    let sentiment = if pos {
+        pick(rng, POSITIVE_WORDS)
+    } else {
+        pick(rng, NEGATIVE_WORDS)
+    };
+    let dish = dishes
+        .choose(rng)
+        .cloned()
+        .unwrap_or_else(|| "food".to_string());
+    let openers = [
+        format!("The {dish} at {restaurant_name} was {sentiment}."),
+        format!("{restaurant_name} serves {sentiment} {cuisine} food."),
+        format!("Stopped by {restaurant_name} in {city} last week."),
+    ];
+    let middles = if pos {
+        [
+            format!("Service was {} and the room felt {}.", pick(rng, POSITIVE_WORDS), pick(rng, POSITIVE_WORDS)),
+            format!("The {dish} alone is worth the trip."),
+            format!("Easily the best {cuisine} spot in {city}."),
+        ]
+    } else {
+        [
+            format!("Service was {} and the room felt {}.", pick(rng, NEGATIVE_WORDS), pick(rng, NEGATIVE_WORDS)),
+            format!("The {dish} arrived {}.", pick(rng, NEGATIVE_WORDS)),
+            format!("There are better {cuisine} options in {city}."),
+        ]
+    };
+    let closers = if pos {
+        ["Would eat again!", "Highly recommended.", "Five happy stomachs."]
+    } else {
+        ["Would not return.", "Skip this one.", "Disappointed overall."]
+    };
+    format!(
+        "{} {} {}",
+        openers.choose(rng).unwrap(),
+        middles.choose(rng).unwrap(),
+        pick(rng, &closers),
+    )
+}
+
+/// Generate article text that mentions the given entity names verbatim —
+/// fodder for semantic linking (Table 1: Article↔Concept).
+pub fn article_text(rng: &mut StdRng, topic: &str, mentions: &[&str]) -> String {
+    let mut out = format!("An in-depth look at {topic}.");
+    for m in mentions {
+        let templates = [
+            format!(" Readers keep asking about {m}, and for good reason."),
+            format!(" Few places illustrate the trend better than {m}."),
+            format!(" Our correspondent spent an evening at {m} to find out."),
+            format!(" The story of {m} is instructive."),
+        ];
+        out.push_str(templates.choose(rng).unwrap());
+    }
+    out.push_str(" More coverage to follow in next week's edition.");
+    out
+}
+
+/// A short biography/abstract sentence for academic pages.
+pub fn research_blurb(rng: &mut StdRng, name: &str, topic: &str, institution: &str) -> String {
+    let templates = [
+        format!("{name} works on {topic} at {institution}."),
+        format!("At {institution}, {name} studies {topic}."),
+        format!("{name} is a researcher at {institution} focusing on {topic}."),
+    ];
+    templates.choose(rng).unwrap().clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn review_sentiment_tracks_rating() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let dishes = vec!["Pad Thai".to_string()];
+        let good = review_text(&mut rng, "Gochi", "Cupertino", "Japanese", &dishes, 5);
+        let bad = review_text(&mut rng, "Gochi", "Cupertino", "Japanese", &dishes, 1);
+        let has_pos = |t: &str| POSITIVE_WORDS.iter().any(|w| t.contains(w));
+        let has_neg = |t: &str| NEGATIVE_WORDS.iter().any(|w| t.contains(w));
+        assert!(has_pos(&good) && !has_neg(&good), "good: {good}");
+        assert!(has_neg(&bad) && !has_pos(&bad), "bad: {bad}");
+    }
+
+    #[test]
+    fn review_mentions_restaurant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let t = review_text(&mut rng, "Blue Lotus", "Austin", "Thai", &["Tom Yum Soup".into()], 4);
+            assert!(
+                t.contains("Blue Lotus") || t.contains("Tom Yum Soup") || t.contains("Austin"),
+                "review must carry matchable signal: {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn article_mentions_all_entities() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = article_text(&mut rng, "dining trends", &["Gochi", "Blue Lotus"]);
+        assert!(t.contains("Gochi") && t.contains("Blue Lotus"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let gen = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            review_text(&mut rng, "X", "Y", "Z", &["D".into()], 4)
+        };
+        assert_eq!(gen(), gen());
+    }
+}

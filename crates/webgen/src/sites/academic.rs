@@ -1,0 +1,279 @@
+//! The academic domain: researcher homepages with publication lists, and
+//! venue pages — the "list of publications from a personal homepage" of
+//! paper §4 and the citation-segmentation workload for the sequence labeler.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use woc_lrec::LrecId;
+
+use crate::dom::Node;
+use crate::page::{Page, PageKind, PageTruth, TruthRecord};
+use crate::prose;
+use crate::sites::style::SiteStyle;
+use crate::world::{slugify, World};
+
+/// A rendered citation string plus the true segmentation, used as labeled
+/// data for training/evaluating the CRF-style sequence labeler.
+#[derive(Debug, Clone)]
+pub struct Citation {
+    /// The rendered citation line.
+    pub text: String,
+    /// The publication entity.
+    pub publication: LrecId,
+    /// True segments: `(field, substring)` in order of appearance.
+    pub segments: Vec<(String, String)>,
+}
+
+/// Render one citation for a publication in one of several formats.
+pub fn render_citation(world: &World, pub_id: LrecId, format: usize) -> Citation {
+    let rec = world.rec(pub_id);
+    let title = rec.best_string("title").unwrap_or_default();
+    let venue = rec.best_string("venue").unwrap_or_default();
+    let year = rec.best_string("year").unwrap_or_default();
+    let authors: Vec<String> = rec
+        .get("author")
+        .iter()
+        .filter_map(|e| e.value.as_ref_id())
+        .map(|id| world.attr(id, "name"))
+        .collect();
+    let author_str = authors.join(", ");
+    let (text, segments) = match format % 3 {
+        0 => (
+            format!("{author_str}. {title}. In {venue}, {year}."),
+            vec![
+                ("authors".to_string(), author_str.clone()),
+                ("title".to_string(), title.clone()),
+                ("venue".to_string(), venue.clone()),
+                ("year".to_string(), year.clone()),
+            ],
+        ),
+        1 => (
+            format!("{title} ({venue} {year}), with {author_str}."),
+            vec![
+                ("title".to_string(), title.clone()),
+                ("venue".to_string(), venue.clone()),
+                ("year".to_string(), year.clone()),
+                ("authors".to_string(), author_str.clone()),
+            ],
+        ),
+        _ => (
+            format!("[{year}] {author_str}: {title}. {venue}."),
+            vec![
+                ("year".to_string(), year.clone()),
+                ("authors".to_string(), author_str.clone()),
+                ("title".to_string(), title.clone()),
+                ("venue".to_string(), venue.clone()),
+            ],
+        ),
+    };
+    Citation {
+        text,
+        publication: pub_id,
+        segments,
+    }
+}
+
+/// Generate researcher homepages (one page per person, under a shared
+/// `people.example.edu` host) and per-venue publication listings.
+pub fn academic_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
+    let mut pages = Vec::new();
+    let host = "people.example.edu".to_string();
+    let style = SiteStyle::sample(rng);
+
+    // Person → publications map.
+    let mut by_person: std::collections::HashMap<LrecId, Vec<LrecId>> =
+        std::collections::HashMap::new();
+    for &p in &world.publications {
+        for e in world.rec(p).get("author") {
+            if let Some(a) = e.value.as_ref_id() {
+                by_person.entry(a).or_default().push(p);
+            }
+        }
+    }
+
+    for &person in &world.people {
+        let name = world.attr(person, "name");
+        let email = world.attr(person, "email");
+        let url = format!("http://{host}/~{}/", slugify(&name));
+        let institution = world
+            .institutions
+            .choose(rng)
+            .map(|&i| world.attr(i, "name"))
+            .unwrap_or_default();
+        let topic = woc_textkit::gazetteer::RESEARCH_TOPICS.choose(rng).unwrap();
+        let blurb = prose::research_blurb(rng, &name, topic, &institution);
+        // Per-person citation format — realistic: each homepage formats its
+        // list consistently, but formats differ across homepages.
+        let fmt = rng.random_range(0..3);
+
+        let pubs = by_person.get(&person).cloned().unwrap_or_default();
+        let mut rows = Vec::new();
+        let mut records = vec![TruthRecord {
+            concept: world.concepts.person,
+            entity: person,
+            fields: vec![("name".into(), name.clone()), ("email".into(), email.clone())],
+        }];
+        let mut mentions = vec![person];
+        for &p in &pubs {
+            let cit = render_citation(world, p, fmt);
+            rows.push(vec![Node::elem("span")
+                .class(&style.class_for("cit"))
+                .text_child(&*cit.text)]);
+            records.push(TruthRecord {
+                concept: world.concepts.publication,
+                entity: p,
+                fields: cit.segments,
+            });
+            mentions.push(p);
+        }
+        let mut content = vec![
+            style.headline(&name),
+            style.para(&blurb),
+            style.field("email", "Email", &email),
+        ];
+        if !rows.is_empty() {
+            content.push(Node::elem("h2").text_child("Publications"));
+            content.push(style.list("pubs", rows));
+        }
+        let nav = vec![
+            ("Home".to_string(), url.clone()),
+            ("Directory".to_string(), format!("http://{host}/")),
+        ];
+        pages.push(Page {
+            url,
+            site: host.clone(),
+            title: format!("{name} - homepage"),
+            dom: style.page(&name, nav, content),
+            truth: PageTruth {
+                kind: PageKind::AcademicHome,
+                about: Some(person),
+                records,
+                mentions,
+            },
+        });
+    }
+
+    // Venue pages on a separate host with a separate style (a second academic
+    // "source" whose records overlap personal homepages — bootstrapping fuel).
+    let vhost = "proceedings.example.org".to_string();
+    let vstyle = SiteStyle::sample(rng);
+    let mut by_venue: std::collections::BTreeMap<String, Vec<LrecId>> =
+        std::collections::BTreeMap::new();
+    for &p in &world.publications {
+        by_venue
+            .entry(world.attr(p, "venue"))
+            .or_default()
+            .push(p);
+    }
+    for (venue, pubs) in &by_venue {
+        let url = format!("http://{vhost}/venue/{}.html", slugify(venue));
+        let fmt = rng.random_range(0..3);
+        let mut rows = Vec::new();
+        let mut records = Vec::new();
+        for &p in pubs {
+            let cit = render_citation(world, p, fmt);
+            rows.push(vec![Node::elem("span")
+                .class(&vstyle.class_for("cit"))
+                .text_child(&*cit.text)]);
+            records.push(TruthRecord {
+                concept: world.concepts.publication,
+                entity: p,
+                fields: cit.segments,
+            });
+        }
+        let content = vec![
+            vstyle.headline(&format!("{venue} papers")),
+            vstyle.list("pubs", rows),
+        ];
+        let nav = vec![("Venues".to_string(), format!("http://{vhost}/"))];
+        pages.push(Page {
+            url,
+            site: vhost.clone(),
+            title: format!("{venue} proceedings"),
+            dom: vstyle.page(venue, nav, content),
+            truth: PageTruth {
+                kind: PageKind::VenuePage,
+                about: None,
+                mentions: pubs.clone(),
+                records,
+            },
+        });
+    }
+
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn citation_contains_all_segments() {
+        let w = World::generate(WorldConfig::tiny(31));
+        for fmt in 0..3 {
+            let cit = render_citation(&w, w.publications[0], fmt);
+            for (field, seg) in &cit.segments {
+                assert!(
+                    cit.text.contains(seg),
+                    "format {fmt}: segment {field}={seg:?} not in {:?}",
+                    cit.text
+                );
+            }
+            assert_eq!(cit.segments.len(), 4);
+        }
+    }
+
+    #[test]
+    fn every_person_gets_a_homepage() {
+        let w = World::generate(WorldConfig::tiny(32));
+        let mut rng = StdRng::seed_from_u64(1);
+        let pages = academic_pages(&w, &mut rng);
+        let homes = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::AcademicHome)
+            .count();
+        assert_eq!(homes, w.people.len());
+    }
+
+    #[test]
+    fn venue_pages_cover_all_publications() {
+        let w = World::generate(WorldConfig::tiny(33));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pages = academic_pages(&w, &mut rng);
+        let mut covered: std::collections::HashSet<woc_lrec::LrecId> =
+            std::collections::HashSet::new();
+        for p in pages.iter().filter(|p| p.truth.kind == PageKind::VenuePage) {
+            for tr in &p.truth.records {
+                covered.insert(tr.entity);
+            }
+        }
+        for &p in &w.publications {
+            assert!(covered.contains(&p));
+        }
+    }
+
+    #[test]
+    fn homepage_lists_own_publications() {
+        let w = World::generate(WorldConfig::tiny(34));
+        let mut rng = StdRng::seed_from_u64(3);
+        let pages = academic_pages(&w, &mut rng);
+        for p in pages.iter().filter(|p| p.truth.kind == PageKind::AcademicHome) {
+            let person = p.truth.about.unwrap();
+            for tr in &p.truth.records {
+                if tr.concept == w.concepts.publication {
+                    let authors: Vec<_> = w
+                        .rec(tr.entity)
+                        .get("author")
+                        .iter()
+                        .filter_map(|e| e.value.as_ref_id())
+                        .collect();
+                    assert!(authors.contains(&person), "listed pub must be authored by page owner");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Blog/article sites — the *article pages* of Table 1 and the raw material
+//! for semantic linking ("mining articles to understand references to records
+//! in a web of concepts", §5.4).
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use woc_lrec::LrecId;
+
+use crate::page::{Page, PageKind, PageTruth};
+use crate::prose;
+use crate::sites::style::SiteStyle;
+use crate::world::World;
+
+/// Configuration for the blog corpus.
+#[derive(Debug, Clone)]
+pub struct BlogSpec {
+    /// Hostname of the blog.
+    pub host: String,
+    /// Number of articles.
+    pub articles: usize,
+    /// Max entities mentioned per article.
+    pub max_mentions: usize,
+}
+
+impl Default for BlogSpec {
+    fn default() -> Self {
+        Self {
+            host: "webfood.example.com".into(),
+            articles: 40,
+            max_mentions: 3,
+        }
+    }
+}
+
+/// Generate blog articles mentioning restaurants, products and events by
+/// their canonical names.
+pub fn blog_pages(world: &World, spec: &BlogSpec, rng: &mut StdRng) -> Vec<Page> {
+    let style = SiteStyle::sample(rng);
+    let base = format!("http://{}", spec.host);
+    let topics = [
+        "dining trends",
+        "weekend plans",
+        "camera gear",
+        "local events",
+        "city life",
+        "eating out on a budget",
+    ];
+    // Mentionable pool: restaurants, products, events.
+    let pool: Vec<LrecId> = world
+        .restaurants
+        .iter()
+        .chain(&world.products)
+        .chain(&world.events)
+        .copied()
+        .collect();
+
+    let mut pages = Vec::new();
+    let article_urls: Vec<String> = (0..spec.articles)
+        .map(|i| format!("{base}/post/{i}.html"))
+        .collect();
+    for i in 0..spec.articles {
+        let topic = *topics.choose(rng).unwrap();
+        let n = rng.random_range(1..=spec.max_mentions.max(1));
+        let mut mentions: Vec<LrecId> = Vec::new();
+        while mentions.len() < n && mentions.len() < pool.len() {
+            let m = *pool.choose(rng).unwrap();
+            if !mentions.contains(&m) {
+                mentions.push(m);
+            }
+        }
+        let names: Vec<String> = mentions.iter().map(|&m| world.attr(m, "name")).collect();
+        let name_refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        let text = prose::article_text(rng, topic, &name_refs);
+        let title = format!("Notes on {topic} #{i}");
+        let mut content = vec![style.headline(&title), style.para(&text)];
+        // "Related posts" links — the Article→Article cell of Table 1 needs
+        // a linked article graph to compare against.
+        let mut rel = crate::dom::Node::elem("div").class(&style.class_for("rel"));
+        for _ in 0..2 {
+            let j = rng.random_range(0..spec.articles);
+            if j != i {
+                rel = rel.child(style.link(&format!("post {j}"), &article_urls[j]));
+            }
+        }
+        content.push(rel);
+        let nav = vec![("Blog home".to_string(), format!("{base}/"))];
+        pages.push(Page {
+            url: article_urls[i].clone(),
+            site: spec.host.clone(),
+            title,
+            dom: style.page(topic, nav, content),
+            truth: PageTruth {
+                kind: PageKind::Article,
+                about: None,
+                records: Vec::new(),
+                mentions,
+            },
+        });
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn articles_mention_entities_verbatim() {
+        let w = World::generate(WorldConfig::tiny(51));
+        let mut rng = StdRng::seed_from_u64(1);
+        let pages = blog_pages(&w, &BlogSpec::default(), &mut rng);
+        assert_eq!(pages.len(), 40);
+        for p in &pages {
+            assert!(!p.truth.mentions.is_empty());
+            let text = p.text();
+            for &m in &p.truth.mentions {
+                let name = w.attr(m, "name");
+                assert!(text.contains(&name), "article must mention {name:?} verbatim");
+            }
+        }
+    }
+
+    #[test]
+    fn articles_link_to_each_other() {
+        let w = World::generate(WorldConfig::tiny(52));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pages = blog_pages(&w, &BlogSpec::default(), &mut rng);
+        let with_links = pages
+            .iter()
+            .filter(|p| p.links().iter().any(|l| l.contains("/post/")))
+            .count();
+        assert!(with_links > pages.len() / 2);
+    }
+}

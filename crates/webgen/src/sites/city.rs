@@ -1,0 +1,295 @@
+//! City-guide sites (the paper's `sanjose.com` example, §4.2 "Relational
+//! Classification").
+//!
+//! Each city site hosts pages in several categories (dining, hotels,
+//! attractions, nightlife, events). Crucially, the events pages of a site
+//! live under a site-specific directory (often `calendar`, sometimes
+//! `events` or `whatson`), and pages of the same category link to each other
+//! — the *relational structure* a per-site classifier can exploit to clean
+//! up the labels of a noisy global classifier.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+
+use crate::dom::Node;
+use crate::page::{Page, PageKind, PageTruth, TruthRecord};
+use crate::sites::style::SiteStyle;
+use crate::world::{slugify, World};
+
+const NON_EVENT_CATEGORIES: &[(&str, &[&str])] = &[
+    (
+        "dining",
+        &["brunch", "patio", "chefs", "wine list", "tasting menu", "happy hour"],
+    ),
+    (
+        "hotels",
+        &["rooms", "suites", "check in", "lobby", "concierge", "amenities"],
+    ),
+    (
+        "attractions",
+        &["museum", "gallery", "park", "tour", "landmark", "exhibit hall"],
+    ),
+    (
+        "nightlife",
+        &["cocktails", "dance floor", "live band", "late night", "cover charge", "bar"],
+    ),
+];
+
+/// Words typical of event pages — the vocabulary a global events classifier
+/// keys on. Event pages also contain misleading non-event words (and vice
+/// versa), which is what makes the global classifier noisy.
+const EVENT_WORDS: &[&str] = &[
+    "tickets", "doors open", "admission", "rsvp", "lineup", "schedule", "venue", "performance",
+];
+
+/// Generate one city-guide site for each city that has events or
+/// restaurants, returning all pages.
+pub fn city_guide_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
+    let mut cities: Vec<String> = world
+        .events
+        .iter()
+        .map(|&e| world.attr(e, "city"))
+        .chain(world.restaurants.iter().map(|&r| world.attr(r, "city")))
+        .collect();
+    cities.sort();
+    cities.dedup();
+
+    let mut pages = Vec::new();
+    for city in &cities {
+        let style = SiteStyle::sample(rng);
+        let host = format!("{}-guide.example.com", slugify(city));
+        let base = format!("http://{host}");
+        // Site-specific events directory name — relational structure differs
+        // per site (paper §4.2: "this relational structure will be different
+        // for different web sites").
+        let events_dir = *["calendar", "events", "whatson"].choose(rng).unwrap();
+
+        let nav: Vec<(String, String)> = NON_EVENT_CATEGORIES
+            .iter()
+            .map(|&(cat, _)| (cat.to_string(), format!("{base}/{cat}/")))
+            .chain(std::iter::once((
+                "events".to_string(),
+                format!("{base}/{events_dir}/"),
+            )))
+            .collect();
+
+        // Content pages per non-event category.
+        let mut urls_by_cat: Vec<(String, Vec<String>)> = Vec::new();
+        for &(cat, words) in NON_EVENT_CATEGORIES {
+            let n = rng.random_range(2..5);
+            let urls: Vec<String> = (0..n)
+                .map(|i| format!("{base}/{cat}/page-{i}.html"))
+                .collect();
+            urls_by_cat.push((cat.to_string(), urls.clone()));
+            for (i, url) in urls.iter().enumerate() {
+                let mut text = format!("Your guide to {cat} in {city}. ");
+                for _ in 0..rng.random_range(2..5) {
+                    text.push_str(words.choose(rng).unwrap());
+                    text.push_str(", ");
+                }
+                // Noise: non-event pages regularly mention event words
+                // (hotels sell "tickets", bars have "lineup"s) — the
+                // cross-site vocabulary bleed that makes a global classifier
+                // noisy (§4.2).
+                for _ in 0..4 {
+                    if rng.random_bool(0.5) {
+                        text.push_str(EVENT_WORDS.choose(rng).unwrap());
+                        text.push_str(". ");
+                    }
+                }
+                let mut content = vec![
+                    style.headline(&format!("{city} {cat} guide {i}")),
+                    style.para(&text),
+                ];
+                // Confounders: hotel deals carry dates and prices too, with
+                // the same labeled-field markup event pages use.
+                if rng.random_bool(0.5) {
+                    content.push(style.field(
+                        "date",
+                        "Updated",
+                        &format!("2009-{:02}-{:02}", rng.random_range(1..=12), rng.random_range(1..=28)),
+                    ));
+                }
+                if rng.random_bool(0.4) {
+                    content.push(style.field(
+                        "price",
+                        "From",
+                        &format!("${}.00", rng.random_range(49..300)),
+                    ));
+                }
+                // Same-category sibling links (the relational signal).
+                let mut sib = Node::elem("div").class(&style.class_for("sib"));
+                for (j, u) in urls.iter().enumerate() {
+                    if j != i {
+                        sib = sib.child(style.link(&format!("more {j}"), u));
+                    }
+                }
+                content.push(sib);
+                pages.push(Page {
+                    url: url.clone(),
+                    site: host.clone(),
+                    title: format!("{city} {cat} {i}"),
+                    dom: style.page(&format!("{city} {cat}"), nav.clone(), content),
+                    truth: PageTruth {
+                        kind: PageKind::CityCategory,
+                        about: None,
+                        records: Vec::new(),
+                        mentions: Vec::new(),
+                    },
+                });
+            }
+        }
+
+        // Event pages in the events directory.
+        let city_events: Vec<_> = world
+            .events
+            .iter()
+            .copied()
+            .filter(|&e| world.attr(e, "city") == *city)
+            .collect();
+        let event_urls: Vec<String> = city_events
+            .iter()
+            .map(|&e| format!("{base}/{events_dir}/{}.html", slugify(&world.attr(e, "name"))))
+            .collect();
+        for (idx, &eid) in city_events.iter().enumerate() {
+            let rec = world.rec(eid);
+            let name = rec.best_string("name").unwrap_or_default();
+            let date = rec.best_string("date").unwrap_or_default();
+            let venue = rec.best_string("venue").unwrap_or_default();
+            let price = rec.best_string("price").unwrap_or_default();
+            let category = rec.best_string("category").unwrap_or_default();
+            let mut text = format!("{name} at {venue}, {date}. ");
+            if rng.random_bool(0.3) {
+                text.push_str(&format!("See our guide to {city}. "));
+            }
+            // Event vocabulary is present but not guaranteed — some event
+            // pages read plainly, which is exactly what defeats a purely
+            // global classifier.
+            for _ in 0..2 {
+                if rng.random_bool(0.6) {
+                    text.push_str(EVENT_WORDS.choose(rng).unwrap());
+                    text.push_str(". ");
+                }
+            }
+            // Noise in the other direction: event pages read like dining or
+            // nightlife copy half the time.
+            for _ in 0..3 {
+                if rng.random_bool(0.5) {
+                    let (_, words) = NON_EVENT_CATEGORIES.choose(rng).unwrap();
+                    text.push_str(words.choose(rng).unwrap());
+                    text.push_str(". ");
+                }
+            }
+            let mut content = vec![
+                style.headline(&name),
+                style.field("date", "Date", &date),
+                style.field("venue", "Venue", &venue),
+                style.field("price", "Tickets", &price),
+                style.para(&text),
+            ];
+            let mut sib = Node::elem("div").class(&style.class_for("sib"));
+            for (j, u) in event_urls.iter().enumerate() {
+                if j != idx {
+                    sib = sib.child(style.link(&format!("event {j}"), u));
+                }
+            }
+            content.push(sib);
+            pages.push(Page {
+                url: event_urls[idx].clone(),
+                site: host.clone(),
+                title: name.clone(),
+                dom: style.page(&name, nav.clone(), content),
+                truth: PageTruth {
+                    kind: PageKind::CityEvents,
+                    about: Some(eid),
+                    records: vec![TruthRecord {
+                        concept: world.concepts.event,
+                        entity: eid,
+                        fields: vec![
+                            ("name".into(), name.clone()),
+                            ("date".into(), date),
+                            ("venue".into(), venue),
+                            ("price".into(), price),
+                            ("category".into(), category),
+                        ],
+                    }],
+                    mentions: vec![eid],
+                },
+            });
+        }
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn event_pages_live_in_one_directory_per_site() {
+        let w = World::generate(WorldConfig::tiny(21));
+        let mut rng = StdRng::seed_from_u64(1);
+        let pages = city_guide_pages(&w, &mut rng);
+        let mut sites: std::collections::HashMap<&str, std::collections::HashSet<&str>> =
+            std::collections::HashMap::new();
+        for p in pages.iter().filter(|p| p.truth.kind == PageKind::CityEvents) {
+            sites.entry(p.site.as_str()).or_default().insert(p.directory());
+        }
+        for (site, dirs) in sites {
+            assert_eq!(dirs.len(), 1, "site {site} should use one events dir, got {dirs:?}");
+            let d = dirs.into_iter().next().unwrap();
+            assert!(["calendar", "events", "whatson"].contains(&d));
+        }
+    }
+
+    #[test]
+    fn every_event_gets_a_page() {
+        let w = World::generate(WorldConfig::tiny(22));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pages = city_guide_pages(&w, &mut rng);
+        let event_pages = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::CityEvents)
+            .count();
+        assert_eq!(event_pages, w.events.len());
+    }
+
+    #[test]
+    fn non_event_pages_exist_in_each_category() {
+        let w = World::generate(WorldConfig::tiny(23));
+        let mut rng = StdRng::seed_from_u64(3);
+        let pages = city_guide_pages(&w, &mut rng);
+        let dirs: std::collections::HashSet<&str> = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::CityCategory)
+            .map(|p| p.directory())
+            .collect();
+        for (cat, _) in NON_EVENT_CATEGORIES {
+            assert!(dirs.contains(cat), "missing category dir {cat}");
+        }
+    }
+
+    #[test]
+    fn sibling_links_stay_in_category() {
+        let w = World::generate(WorldConfig::tiny(24));
+        let mut rng = StdRng::seed_from_u64(4);
+        let pages = city_guide_pages(&w, &mut rng);
+        for p in &pages {
+            let own_dir = p.directory().to_string();
+            for link in p.links() {
+                if link.contains(&p.site) && link.contains("page-") {
+                    let dir = crate::page::url_path(&link)
+                        .trim_start_matches('/')
+                        .split('/')
+                        .next()
+                        .unwrap()
+                        .to_string();
+                    assert_eq!(dir, own_dir, "sibling links are same-category on {}", p.url);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! An events aggregator (the paper's `upcoming.yahoo.com` example, §2.1) —
+//! a second, independently styled source of event records overlapping the
+//! city-guide calendars.
+
+use rand::rngs::StdRng;
+
+use woc_lrec::LrecId;
+
+use crate::dom::Node;
+use crate::page::{Page, PageKind, PageTruth, TruthRecord};
+use crate::sites::style::SiteStyle;
+use crate::world::{slugify, World};
+
+/// Generate the events-aggregator site (`upcoming.example.com`).
+pub fn events_aggregator_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
+    let style = SiteStyle::sample(rng);
+    let host = "upcoming.example.com".to_string();
+    let base = format!("http://{host}");
+    let mut pages = Vec::new();
+    let nav = vec![
+        ("Home".to_string(), format!("{base}/")),
+        ("Cities".to_string(), format!("{base}/cities.html")),
+    ];
+
+    // Event detail pages.
+    for &eid in &world.events {
+        let rec = world.rec(eid);
+        let name = rec.best_string("name").unwrap_or_default();
+        let date = rec.best_string("date").unwrap_or_default();
+        let venue = rec.best_string("venue").unwrap_or_default();
+        let city = rec.best_string("city").unwrap_or_default();
+        let category = rec.best_string("category").unwrap_or_default();
+        let price = rec.best_string("price").unwrap_or_default();
+        let url = format!("{base}/event/{}.html", slugify(&name));
+        let content = vec![
+            style.headline(&name),
+            style.field("when", "When", &date),
+            style.field("where", "Where", &format!("{venue}, {city}")),
+            style.field("category", "Category", &category),
+            style.field("price", "Price", &price),
+            style.link("All events in this city", &city_url(&base, &city)),
+        ];
+        pages.push(Page {
+            url,
+            site: host.clone(),
+            title: name.clone(),
+            dom: style.page(&name, nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::EventPage,
+                about: Some(eid),
+                records: vec![TruthRecord {
+                    concept: world.concepts.event,
+                    entity: eid,
+                    fields: vec![
+                        ("name".into(), name),
+                        ("date".into(), date),
+                        ("venue".into(), venue),
+                        ("city".into(), city),
+                        ("category".into(), category),
+                        ("price".into(), price),
+                    ],
+                }],
+                mentions: vec![eid],
+            },
+        });
+    }
+
+    // City listing pages.
+    let mut by_city: std::collections::BTreeMap<String, Vec<LrecId>> =
+        std::collections::BTreeMap::new();
+    for &e in &world.events {
+        by_city.entry(world.attr(e, "city")).or_default().push(e);
+    }
+    for (city, events) in &by_city {
+        let url = city_url(&base, city);
+        let mut rows = Vec::new();
+        let mut records = Vec::new();
+        for &e in events {
+            let name = world.attr(e, "name");
+            let date = world.attr(e, "date");
+            rows.push(vec![
+                Node::elem("a")
+                    .attr("href", &format!("{base}/event/{}.html", slugify(&name)))
+                    .text_child(&*name),
+                Node::elem("span").class(&style.class_for("d")).text_child(&*date),
+            ]);
+            records.push(TruthRecord {
+                concept: world.concepts.event,
+                entity: e,
+                fields: vec![("name".into(), name), ("date".into(), date)],
+            });
+        }
+        let content = vec![
+            style.headline(&format!("Upcoming events in {city}")),
+            style.list("events", rows),
+        ];
+        pages.push(Page {
+            url,
+            site: host.clone(),
+            title: format!("Events in {city}"),
+            dom: style.page(city, nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::EventList,
+                about: None,
+                mentions: events.clone(),
+                records,
+            },
+        });
+    }
+    pages
+}
+
+fn city_url(base: &str, city: &str) -> String {
+    format!("{base}/city/{}.html", slugify(city))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn every_event_has_detail_page() {
+        let w = World::generate(WorldConfig::tiny(61));
+        let mut rng = StdRng::seed_from_u64(1);
+        let pages = events_aggregator_pages(&w, &mut rng);
+        let detail = pages.iter().filter(|p| p.truth.kind == PageKind::EventPage).count();
+        assert_eq!(detail, w.events.len());
+    }
+
+    #[test]
+    fn city_lists_link_to_details() {
+        let w = World::generate(WorldConfig::tiny(62));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pages = events_aggregator_pages(&w, &mut rng);
+        for p in pages.iter().filter(|p| p.truth.kind == PageKind::EventList) {
+            assert!(p.links().iter().any(|l| l.contains("/event/")));
+            assert!(!p.truth.records.is_empty());
+        }
+    }
+}

@@ -1,0 +1,779 @@
+//! The local/restaurant domain: review aggregators (yelp/citysearch-like)
+//! and per-restaurant homepage sites.
+//!
+//! Aggregator sites carry three URL sub-categories — **biz** pages about one
+//! business, **search** result pages, and pre-defined **category** pages —
+//! mirroring the taxonomy of the paper's §3 usage study. Rendering applies
+//! realistic per-site variation (name variants, phone formats, street-suffix
+//! expansion) so that entity matching across sources is non-trivial.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use woc_lrec::LrecId;
+
+use crate::dom::Node;
+use crate::page::{Page, PageKind, PageTruth, TruthRecord};
+use crate::sites::style::SiteStyle;
+use crate::world::{slugify, World};
+
+/// A flattened view of one restaurant's ground truth.
+#[derive(Debug, Clone)]
+pub struct RestaurantView {
+    /// World record id.
+    pub id: LrecId,
+    /// Index in `world.restaurants`.
+    pub index: usize,
+    /// Canonical name.
+    pub name: String,
+    /// Street line ("19980 Homestead Rd").
+    pub street: String,
+    /// City.
+    pub city: String,
+    /// State code.
+    pub state: String,
+    /// Zip.
+    pub zip: String,
+    /// Raw 10-digit phone numbers.
+    pub phones: Vec<String>,
+    /// Cuisine.
+    pub cuisine: String,
+    /// Hours string.
+    pub hours: String,
+    /// Average rating.
+    pub rating: f64,
+    /// Homepage URL.
+    pub homepage: String,
+    /// Menu items `(name, price_cents)`.
+    pub menu: Vec<(String, i64)>,
+    /// Reviews `(review_id, text, rating, author)`.
+    pub reviews: Vec<(LrecId, String, i64, String)>,
+}
+
+impl RestaurantView {
+    /// Build views for every restaurant in the world.
+    pub fn all(world: &World) -> Vec<RestaurantView> {
+        world
+            .restaurants
+            .iter()
+            .enumerate()
+            .map(|(index, &id)| {
+                let r = world.rec(id);
+                RestaurantView {
+                    id,
+                    index,
+                    name: r.best_string("name").unwrap_or_default(),
+                    street: r.best_string("street").unwrap_or_default(),
+                    city: r.best_string("city").unwrap_or_default(),
+                    state: r.best_string("state").unwrap_or_default(),
+                    zip: r.best_string("zip").unwrap_or_default(),
+                    phones: r
+                        .get("phone")
+                        .iter()
+                        .filter_map(|e| match &e.value {
+                            woc_lrec::AttrValue::Phone(p) => Some(p.clone()),
+                            _ => None,
+                        })
+                        .collect(),
+                    cuisine: r.best_string("cuisine").unwrap_or_default(),
+                    hours: r.best_string("hours").unwrap_or_default(),
+                    rating: r.best("rating").and_then(|e| e.value.as_number()).unwrap_or(0.0),
+                    homepage: r.best_string("homepage").unwrap_or_default(),
+                    menu: world.menus[index]
+                        .iter()
+                        .map(|&m| {
+                            let rec = world.rec(m);
+                            (
+                                rec.best_string("name").unwrap_or_default(),
+                                rec.best("price")
+                                    .and_then(|e| match e.value {
+                                        woc_lrec::AttrValue::PriceCents(c) => Some(c),
+                                        _ => None,
+                                    })
+                                    .unwrap_or(0),
+                            )
+                        })
+                        .collect(),
+                    reviews: world.reviews[index]
+                        .iter()
+                        .map(|&v| {
+                            let rec = world.rec(v);
+                            (
+                                v,
+                                rec.best_string("text").unwrap_or_default(),
+                                rec.best("rating").and_then(|e| e.value.as_number()).unwrap_or(3.0)
+                                    as i64,
+                                rec.best_string("author_name").unwrap_or_default(),
+                            )
+                        })
+                        .collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// URL slug for this restaurant.
+    pub fn slug(&self) -> String {
+        slugify(&self.name)
+    }
+}
+
+/// Render a 10-digit phone in a random display format.
+pub fn phone_format(rng: &mut StdRng, digits: &str) -> String {
+    if digits.len() != 10 {
+        return digits.to_string();
+    }
+    let (a, b, c) = (&digits[0..3], &digits[3..6], &digits[6..10]);
+    match rng.random_range(0..3) {
+        0 => format!("({a}) {b}-{c}"),
+        1 => format!("{a}-{b}-{c}"),
+        _ => format!("{a}.{b}.{c}"),
+    }
+}
+
+/// Render a name variant with probability `noise` of deviating from the
+/// canonical form — the per-source spelling differences entity matching
+/// has to bridge.
+pub fn name_variant(rng: &mut StdRng, name: &str, city: &str, cuisine: &str, noise: f64) -> String {
+    if !rng.random_bool(noise) {
+        return name.to_string();
+    }
+    match rng.random_range(0..4) {
+        0 => format!("{name} - {city}"),
+        1 => format!("{name} ({cuisine})"),
+        2 => {
+            // Drop the last word if the name has 3+ words.
+            let words: Vec<&str> = name.split(' ').collect();
+            if words.len() >= 3 {
+                words[..words.len() - 1].join(" ")
+            } else {
+                format!("The {name}")
+            }
+        }
+        _ => name.to_uppercase(),
+    }
+}
+
+/// Expand abbreviated street suffixes ("Rd" → "Road") half the time.
+pub fn street_variant(rng: &mut StdRng, street: &str) -> String {
+    if !rng.random_bool(0.5) {
+        return street.to_string();
+    }
+    let expansions = [
+        ("St", "Street"),
+        ("Ave", "Avenue"),
+        ("Rd", "Road"),
+        ("Blvd", "Boulevard"),
+        ("Dr", "Drive"),
+        ("Ln", "Lane"),
+    ];
+    for (abbr, full) in expansions {
+        if let Some(prefix) = street.strip_suffix(abbr) {
+            return format!("{prefix}{full}");
+        }
+    }
+    street.to_string()
+}
+
+/// Configuration of one aggregator site.
+#[derive(Debug, Clone)]
+pub struct AggregatorSpec {
+    /// Hostname, e.g. `localreviews.example.com`.
+    pub host: String,
+    /// Indices into `world.restaurants` this aggregator covers.
+    pub coverage: Vec<usize>,
+    /// Probability each review of a covered restaurant is shown.
+    pub review_ratio: f64,
+    /// Probability a rendered name deviates from the canonical form.
+    pub name_noise: f64,
+}
+
+/// Generate all pages of an aggregator site.
+pub fn aggregator_pages(
+    world: &World,
+    spec: &AggregatorSpec,
+    style: &SiteStyle,
+    rng: &mut StdRng,
+) -> Vec<Page> {
+    let views = RestaurantView::all(world);
+    let covered: Vec<&RestaurantView> = spec.coverage.iter().map(|&i| &views[i]).collect();
+    let base = format!("http://{}", spec.host);
+    let mut pages = Vec::new();
+
+    let nav = vec![
+        ("Home".to_string(), format!("{base}/")),
+        ("Search".to_string(), format!("{base}/search/restaurants")),
+        ("About".to_string(), format!("{base}/about")),
+        ("Help".to_string(), format!("{base}/help")),
+        ("Terms".to_string(), format!("{base}/terms")),
+    ];
+
+    // --- biz pages ------------------------------------------------------
+    for v in &covered {
+        let url = format!("{base}/biz/{}", v.slug());
+        let shown_name = name_variant(rng, &v.name, &v.city, &v.cuisine, spec.name_noise);
+        let shown_street = street_variant(rng, &v.street);
+        let shown_phones: Vec<String> =
+            v.phones.iter().map(|p| phone_format(rng, p)).collect();
+        let addr_line = format!("{shown_street}, {}, {} {}", v.city, v.state, v.zip);
+
+        let mut content = vec![
+            style.headline(&shown_name),
+            style.field("addr", "Address", &addr_line),
+        ];
+        for p in &shown_phones {
+            content.push(style.field("phone", "Phone", p));
+        }
+        content.push(style.field("hours", "Hours", &v.hours));
+        content.push(style.field("cuisine", "Cuisine", &v.cuisine));
+        content.push(style.field("rating", "Rating", &format!("{:.1} stars", v.rating)));
+        content.push(
+            Node::elem("div")
+                .class(&style.class_for("links"))
+                .child(style.link("Official homepage", &v.homepage))
+                .child(style.link(
+                    "More in this category",
+                    &category_url(&base, &v.city, &v.cuisine),
+                )),
+        );
+
+        // Reviews.
+        let mut review_truth = Vec::new();
+        let mut review_rows = Vec::new();
+        for (rid, text, rating, author) in &v.reviews {
+            if rng.random_bool(spec.review_ratio) {
+                review_rows.push(vec![
+                    Node::elem("span").class(&style.class_for("rev-a")).text_child(author),
+                    Node::elem("span")
+                        .class(&style.class_for("rev-r"))
+                        .text_child(format!("{rating} stars")),
+                    Node::elem("span").class(&style.class_for("rev-t")).text_child(text),
+                ]);
+                review_truth.push(TruthRecord {
+                    concept: world.concepts.review,
+                    entity: *rid,
+                    fields: vec![
+                        ("author_name".into(), author.clone()),
+                        ("rating".into(), rating.to_string()),
+                        ("text".into(), text.clone()),
+                    ],
+                });
+            }
+        }
+        if !review_rows.is_empty() {
+            content.push(Node::elem("h2").text_child("Reviews"));
+            content.push(style.list("reviews", review_rows));
+        }
+
+        // Related businesses (same city).
+        let related: Vec<&&RestaurantView> = covered
+            .iter()
+            .filter(|o| o.city == v.city && o.id != v.id)
+            .take(3)
+            .collect();
+        if !related.is_empty() {
+            let mut div = Node::elem("div").class(&style.class_for("related"));
+            for o in &related {
+                div = div.child(style.link(&o.name, &format!("{base}/biz/{}", o.slug())));
+            }
+            content.push(div);
+        }
+
+        let mut records = vec![TruthRecord {
+            concept: world.concepts.restaurant,
+            entity: v.id,
+            fields: vec![
+                ("name".into(), shown_name.clone()),
+                ("street".into(), shown_street.clone()),
+                ("city".into(), v.city.clone()),
+                ("state".into(), v.state.clone()),
+                ("zip".into(), v.zip.clone()),
+                ("phone".into(), shown_phones.first().cloned().unwrap_or_default()),
+                ("hours".into(), v.hours.clone()),
+                ("cuisine".into(), v.cuisine.clone()),
+            ],
+        }];
+        records.extend(review_truth);
+
+        pages.push(Page {
+            url,
+            site: spec.host.clone(),
+            title: format!("{shown_name} - {} - Reviews", v.city),
+            dom: style.page(&format!("{shown_name} - Reviews"), nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::AggregatorBiz,
+                about: Some(v.id),
+                records,
+                mentions: vec![v.id],
+            },
+        });
+    }
+
+    // --- category pages ---------------------------------------------------
+    let mut groups: std::collections::BTreeMap<(String, String), Vec<&RestaurantView>> =
+        std::collections::BTreeMap::new();
+    for v in &covered {
+        groups
+            .entry((v.city.clone(), v.cuisine.clone()))
+            .or_default()
+            .push(v);
+    }
+    for ((city, cuisine), members) in &groups {
+        let url = category_url(&base, city, cuisine);
+        let title = format!("{city} {cuisine} Restaurants");
+        let mut rows = Vec::new();
+        let mut records = Vec::new();
+        for v in members {
+            let shown_phone = v
+                .phones
+                .first()
+                .map(|p| phone_format(rng, p))
+                .unwrap_or_default();
+            let shown_street = street_variant(rng, &v.street);
+            rows.push(vec![
+                Node::elem("a")
+                    .attr("href", &format!("{base}/biz/{}", v.slug()))
+                    .class(&style.class_for("c-name"))
+                    .text_child(&*v.name),
+                Node::elem("span")
+                    .class(&style.class_for("c-addr"))
+                    .text_child(format!("{shown_street}, {city} {}", v.zip)),
+                Node::elem("span").class(&style.class_for("c-phone")).text_child(&*shown_phone),
+            ]);
+            records.push(TruthRecord {
+                concept: world.concepts.restaurant,
+                entity: v.id,
+                fields: vec![
+                    ("name".into(), v.name.clone()),
+                    ("street".into(), shown_street),
+                    ("zip".into(), v.zip.clone()),
+                    ("phone".into(), shown_phone),
+                ],
+            });
+        }
+        let content = vec![
+            style.headline(&title),
+            style.para(&format!(
+                "The best {cuisine} restaurants in {city}, rated by our community."
+            )),
+            style.list("listing", rows),
+        ];
+        pages.push(Page {
+            url,
+            site: spec.host.clone(),
+            title: title.clone(),
+            dom: style.page(&title, nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::AggregatorCategory,
+                about: None,
+                mentions: members.iter().map(|v| v.id).collect(),
+                records,
+            },
+        });
+    }
+
+    // --- search pages -------------------------------------------------------
+    // City-scoped searches plus name searches for a third of the coverage.
+    let mut searches: Vec<(String, Vec<&RestaurantView>)> = Vec::new();
+    let mut cities: Vec<String> = covered.iter().map(|v| v.city.clone()).collect();
+    cities.sort();
+    cities.dedup();
+    for city in &cities {
+        let members: Vec<&RestaurantView> = covered
+            .iter()
+            .filter(|v| &v.city == city)
+            .copied()
+            .collect();
+        searches.push((format!("restaurants {city}"), members));
+    }
+    for (i, v) in covered.iter().enumerate() {
+        if i % 3 == 0 {
+            // A name search also surfaces up to two same-city businesses.
+            let mut members = vec![*v];
+            members.extend(
+                covered
+                    .iter()
+                    .filter(|o| o.city == v.city && o.id != v.id)
+                    .take(2)
+                    .copied(),
+            );
+            searches.push((format!("{} {}", v.name.to_lowercase(), v.city.to_lowercase()), members));
+        }
+    }
+    for (query, members) in &searches {
+        let url = format!("{base}/search/{}", slugify(query));
+        let title = format!("Search results for {query}");
+        let mut rows = Vec::new();
+        for v in members {
+            rows.push(vec![
+                Node::elem("a")
+                    .attr("href", &format!("{base}/biz/{}", v.slug()))
+                    .text_child(&*v.name),
+                Node::elem("span").text_child(format!("{}, {}", v.street, v.city)),
+            ]);
+        }
+        let content = vec![style.headline(&title), style.list("results", rows)];
+        pages.push(Page {
+            url,
+            site: spec.host.clone(),
+            title,
+            dom: style.page(query, nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::AggregatorSearch,
+                about: None,
+                records: Vec::new(),
+                mentions: members.iter().map(|v| v.id).collect(),
+            },
+        });
+    }
+
+    // --- home -----------------------------------------------------------------
+    let mut content = vec![
+        style.headline("Find great local businesses"),
+        style.para("Reviews, menus, photos and more for restaurants near you."),
+    ];
+    let mut cat_div = Node::elem("div").class(&style.class_for("cats"));
+    for (city, cuisine) in groups.keys() {
+        cat_div = cat_div.child(style.link(
+            &format!("{city} {cuisine}"),
+            &category_url(&base, city, cuisine),
+        ));
+    }
+    content.push(cat_div);
+    pages.push(Page {
+        url: format!("{base}/"),
+        site: spec.host.clone(),
+        title: format!("{} - local reviews", spec.host),
+        dom: style.page("Local reviews", nav, content),
+        truth: PageTruth {
+            kind: PageKind::AggregatorHome,
+            about: None,
+            records: Vec::new(),
+            mentions: Vec::new(),
+        },
+    });
+
+    pages
+}
+
+fn category_url(base: &str, city: &str, cuisine: &str) -> String {
+    format!("{base}/c/{}/{}", slugify(city), slugify(cuisine))
+}
+
+/// Generate every restaurant's own homepage site (home, menu, location, and
+/// sometimes coupons/careers pages — the attribute pages users search for in
+/// §3 "Searching for Attributes of a Concept").
+pub fn homepage_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
+    let views = RestaurantView::all(world);
+    let mut pages = Vec::new();
+    for v in &views {
+        let style = SiteStyle::sample(rng);
+        let host = crate::page::url_host(&v.homepage).to_string();
+        let base = format!("http://{host}");
+        let has_coupons = rng.random_bool(0.5);
+        let has_careers = rng.random_bool(0.3);
+        let mut nav = vec![
+            ("Home".to_string(), format!("{base}/")),
+            ("Menu".to_string(), format!("{base}/menu.html")),
+            ("Location".to_string(), format!("{base}/location.html")),
+        ];
+        if has_coupons {
+            nav.push(("Coupons".to_string(), format!("{base}/coupons.html")));
+        }
+        if has_careers {
+            nav.push(("Careers".to_string(), format!("{base}/careers.html")));
+        }
+        // Homepage navigation must always reach the attribute pages.
+        let mut style = style;
+        style.nav_links = nav.len();
+
+        let phone_shown = v.phones.first().map(|p| phone_format(rng, p)).unwrap_or_default();
+        let addr_line = format!("{}, {}, {} {}", v.street, v.city, v.state, v.zip);
+
+        // Home.
+        let content = vec![
+            style.headline(&v.name),
+            style.para(&format!(
+                "Welcome to {}, {} cuisine in the heart of {}.",
+                v.name, v.cuisine, v.city
+            )),
+            style.field("addr", "Address", &addr_line),
+            style.field("phone", "Phone", &phone_shown),
+            style.field("hours", "Hours", &v.hours),
+        ];
+        pages.push(Page {
+            url: format!("{base}/"),
+            site: host.clone(),
+            title: v.name.clone(),
+            dom: style.page(&v.name, nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::RestaurantHome,
+                about: Some(v.id),
+                records: vec![TruthRecord {
+                    concept: world.concepts.restaurant,
+                    entity: v.id,
+                    fields: vec![
+                        ("name".into(), v.name.clone()),
+                        ("street".into(), v.street.clone()),
+                        ("city".into(), v.city.clone()),
+                        ("state".into(), v.state.clone()),
+                        ("zip".into(), v.zip.clone()),
+                        ("phone".into(), phone_shown.clone()),
+                        ("hours".into(), v.hours.clone()),
+                    ],
+                }],
+                mentions: vec![v.id],
+            },
+        });
+
+        // Menu.
+        let mut rows = Vec::new();
+        let mut records = Vec::new();
+        for (mi, (dish, cents)) in v.menu.iter().enumerate() {
+            let price = format!("${}.{:02}", cents / 100, cents % 100);
+            rows.push(vec![
+                Node::elem("span").class(&style.class_for("dish")).text_child(dish),
+                Node::elem("span").class(&style.class_for("price")).text_child(&*price),
+            ]);
+            records.push(TruthRecord {
+                concept: world.concepts.menu_item,
+                entity: world.menus[v.index][mi],
+                fields: vec![("name".into(), dish.clone()), ("price".into(), price)],
+            });
+        }
+        let content = vec![
+            style.headline(&format!("{} Menu", v.name)),
+            style.list("menu", rows),
+            style.para("Prices subject to change. Ask about weekly specials."),
+        ];
+        pages.push(Page {
+            url: format!("{base}/menu.html"),
+            site: host.clone(),
+            title: format!("{} - Menu", v.name),
+            dom: style.page("Menu", nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::RestaurantMenu,
+                about: Some(v.id),
+                records,
+                mentions: vec![v.id],
+            },
+        });
+
+        // Location.
+        let content = vec![
+            style.headline(&format!("Find {}", v.name)),
+            style.field("addr", "Address", &addr_line),
+            style.para(&format!(
+                "We are located on {} in {}. Parking available after 5pm.",
+                v.street, v.city
+            )),
+        ];
+        pages.push(Page {
+            url: format!("{base}/location.html"),
+            site: host.clone(),
+            title: format!("{} - Location", v.name),
+            dom: style.page("Location", nav.clone(), content),
+            truth: PageTruth {
+                kind: PageKind::RestaurantLocation,
+                about: Some(v.id),
+                records: vec![TruthRecord {
+                    concept: world.concepts.restaurant,
+                    entity: v.id,
+                    fields: vec![
+                        ("street".into(), v.street.clone()),
+                        ("city".into(), v.city.clone()),
+                        ("zip".into(), v.zip.clone()),
+                    ],
+                }],
+                mentions: vec![v.id],
+            },
+        });
+
+        // Coupons.
+        if has_coupons {
+            let pct = rng.random_range(1..5) * 5;
+            let content = vec![
+                style.headline("Coupons and weekly specials"),
+                style.para(&format!(
+                    "Print this page for {pct}% off your next dinner at {}.",
+                    v.name
+                )),
+            ];
+            pages.push(Page {
+                url: format!("{base}/coupons.html"),
+                site: host.clone(),
+                title: format!("{} - Coupons", v.name),
+                dom: style.page("Coupons", nav.clone(), content),
+                truth: PageTruth {
+                    kind: PageKind::RestaurantCoupons,
+                    about: Some(v.id),
+                    records: Vec::new(),
+                    mentions: vec![v.id],
+                },
+            });
+        }
+
+        // Careers.
+        if has_careers {
+            let content = vec![
+                style.headline("Join our team"),
+                style.para(&format!(
+                    "{} in {} is hiring servers and line cooks. Email us to apply.",
+                    v.name, v.city
+                )),
+            ];
+            pages.push(Page {
+                url: format!("{base}/careers.html"),
+                site: host.clone(),
+                title: format!("{} - Careers", v.name),
+                dom: style.page("Careers", nav, content),
+                truth: PageTruth {
+                    kind: PageKind::RestaurantCareers,
+                    about: Some(v.id),
+                    records: Vec::new(),
+                    mentions: vec![v.id],
+                },
+            });
+        }
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::SeedableRng;
+
+    fn world() -> World {
+        World::generate(WorldConfig::tiny(11))
+    }
+
+    #[test]
+    fn aggregator_page_mix() {
+        let w = world();
+        let spec = AggregatorSpec {
+            host: "agg.example.com".into(),
+            coverage: (0..w.restaurants.len()).collect(),
+            review_ratio: 0.8,
+            name_noise: 0.2,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let style = SiteStyle::sample(&mut rng);
+        let pages = aggregator_pages(&w, &spec, &style, &mut rng);
+        let biz = pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorBiz).count();
+        let cat = pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorCategory).count();
+        let srch = pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorSearch).count();
+        assert_eq!(biz, w.restaurants.len());
+        assert!(cat >= 1);
+        assert!(srch >= 1);
+        assert!(pages.iter().any(|p| p.truth.kind == PageKind::AggregatorHome));
+    }
+
+    #[test]
+    fn biz_page_contains_truth_fields() {
+        let w = world();
+        let spec = AggregatorSpec {
+            host: "agg.example.com".into(),
+            coverage: vec![0, 1, 2],
+            review_ratio: 1.0,
+            name_noise: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let style = SiteStyle::sample(&mut rng);
+        let pages = aggregator_pages(&w, &spec, &style, &mut rng);
+        for p in pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorBiz) {
+            let text = p.text();
+            let rec = &p.truth.records[0];
+            for (k, v) in &rec.fields {
+                assert!(
+                    text.contains(v),
+                    "page text must contain rendered {k} value {v:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn category_pages_group_by_city_cuisine() {
+        let w = world();
+        let spec = AggregatorSpec {
+            host: "agg.example.com".into(),
+            coverage: (0..w.restaurants.len()).collect(),
+            review_ratio: 0.0,
+            name_noise: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let style = SiteStyle::sample(&mut rng);
+        let pages = aggregator_pages(&w, &spec, &style, &mut rng);
+        for p in pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorCategory) {
+            assert!(!p.truth.records.is_empty());
+            assert!(p.url.contains("/c/"));
+        }
+    }
+
+    #[test]
+    fn homepage_sites_have_menu_and_location() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(4);
+        let pages = homepage_pages(&w, &mut rng);
+        for &r in &w.restaurants {
+            let homepage = w.attr(r, "homepage");
+            let host = crate::page::url_host(&homepage);
+            let mine: Vec<&Page> = pages.iter().filter(|p| p.site == host).collect();
+            assert!(mine.iter().any(|p| p.truth.kind == PageKind::RestaurantHome));
+            assert!(mine.iter().any(|p| p.truth.kind == PageKind::RestaurantMenu));
+            assert!(mine.iter().any(|p| p.truth.kind == PageKind::RestaurantLocation));
+        }
+    }
+
+    #[test]
+    fn menu_truth_records_match_world() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(5);
+        let pages = homepage_pages(&w, &mut rng);
+        let menu_pages: Vec<&Page> = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::RestaurantMenu)
+            .collect();
+        assert_eq!(menu_pages.len(), w.restaurants.len());
+        for p in menu_pages {
+            assert!(!p.truth.records.is_empty());
+            for tr in &p.truth.records {
+                assert_eq!(tr.concept, w.concepts.menu_item);
+                assert!(p.text().contains(tr.field("name").unwrap()));
+            }
+        }
+    }
+
+    #[test]
+    fn name_variant_noise_zero_is_exact() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            assert_eq!(name_variant(&mut rng, "Gochi Tapas", "Cupertino", "Japanese", 0.0), "Gochi Tapas");
+        }
+    }
+
+    #[test]
+    fn phone_format_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let f = phone_format(&mut rng, "4085550134");
+            let digits: String = f.chars().filter(|c| c.is_ascii_digit()).collect();
+            assert_eq!(digits, "4085550134");
+        }
+        assert_eq!(phone_format(&mut rng, "123"), "123");
+    }
+
+    #[test]
+    fn street_variant_expansion() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut expanded = false;
+        for _ in 0..30 {
+            let v = street_variant(&mut rng, "19980 Homestead Rd");
+            assert!(v == "19980 Homestead Rd" || v == "19980 Homestead Road");
+            expanded |= v.ends_with("Road");
+        }
+        assert!(expanded);
+    }
+}

@@ -1,0 +1,195 @@
+//! Site renderers: from ground-truth world to crawled pages.
+//!
+//! Each submodule renders one family of sites; [`generate_corpus`] assembles
+//! the full synthetic web the pipeline crawls.
+
+pub mod academic;
+pub mod blog;
+pub mod city;
+pub mod events;
+pub mod local;
+pub mod shop;
+pub mod style;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub use local::{AggregatorSpec, RestaurantView};
+pub use style::SiteStyle;
+
+use crate::corpus::WebCorpus;
+use crate::world::World;
+
+/// Which sites to generate and with what coverage.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Fraction of restaurants covered by the primary aggregator.
+    pub primary_coverage: f64,
+    /// Fraction covered by the secondary aggregator (overlapping).
+    pub secondary_coverage: f64,
+    /// Name-variation probability on aggregator renderings.
+    pub name_noise: f64,
+    /// Number of blog articles.
+    pub blog_articles: usize,
+    /// Seed for all rendering randomness.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            primary_coverage: 0.9,
+            secondary_coverage: 0.6,
+            name_noise: 0.25,
+            blog_articles: 40,
+            seed: 0xBEEF,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// Small corpus for fast tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            blog_articles: 10,
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generate the complete synthetic web for a world.
+///
+/// The corpus contains: two overlapping restaurant aggregators (different
+/// styles and coverage), every restaurant's homepage site, one city-guide
+/// site per city, researcher homepages + venue proceedings, one catalog site
+/// per seller, the events aggregator, and a blog. All rendering is
+/// deterministic in `config.seed`.
+pub fn generate_corpus(world: &World, config: &CorpusConfig) -> WebCorpus {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut corpus = WebCorpus::new();
+
+    let n = world.restaurants.len();
+    let primary: Vec<usize> = (0..n)
+        .filter(|i| (*i as f64) < config.primary_coverage * n as f64)
+        .collect();
+    // Secondary coverage overlaps the tail of primary plus the uncovered rest.
+    let start = ((1.0 - config.secondary_coverage) * n as f64) as usize;
+    let secondary: Vec<usize> = (start.min(n)..n).collect();
+
+    let primary_spec = AggregatorSpec {
+        host: "localreviews.example.com".into(),
+        coverage: primary,
+        review_ratio: 0.8,
+        name_noise: config.name_noise,
+    };
+    let style = SiteStyle::sample(&mut rng);
+    for p in local::aggregator_pages(world, &primary_spec, &style, &mut rng) {
+        corpus.add(p);
+    }
+
+    let secondary_spec = AggregatorSpec {
+        host: "cityfinder.example.com".into(),
+        coverage: secondary,
+        review_ratio: 0.5,
+        name_noise: config.name_noise * 1.5,
+    };
+    let style = SiteStyle::sample(&mut rng);
+    for p in local::aggregator_pages(world, &secondary_spec, &style, &mut rng) {
+        corpus.add(p);
+    }
+
+    for p in local::homepage_pages(world, &mut rng) {
+        corpus.add(p);
+    }
+    for p in city::city_guide_pages(world, &mut rng) {
+        corpus.add(p);
+    }
+    for p in academic::academic_pages(world, &mut rng) {
+        corpus.add(p);
+    }
+    for p in shop::shop_pages(world, &mut rng) {
+        corpus.add(p);
+    }
+    for p in events::events_aggregator_pages(world, &mut rng) {
+        corpus.add(p);
+    }
+    let blog_spec = blog::BlogSpec {
+        articles: config.blog_articles,
+        ..blog::BlogSpec::default()
+    };
+    for p in blog::blog_pages(world, &blog_spec, &mut rng) {
+        corpus.add(p);
+    }
+
+    corpus
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PageKind;
+    use crate::world::WorldConfig;
+
+    #[test]
+    fn full_corpus_generates_all_site_families() {
+        let w = World::generate(WorldConfig::tiny(71));
+        let c = generate_corpus(&w, &CorpusConfig::tiny(1));
+        assert!(c.len() > 50, "corpus too small: {}", c.len());
+        let kinds: std::collections::HashSet<_> =
+            c.pages().iter().map(|p| p.truth.kind.clone()).collect();
+        for k in [
+            PageKind::AggregatorBiz,
+            PageKind::AggregatorSearch,
+            PageKind::AggregatorCategory,
+            PageKind::RestaurantHome,
+            PageKind::RestaurantMenu,
+            PageKind::CityCategory,
+            PageKind::CityEvents,
+            PageKind::AcademicHome,
+            PageKind::VenuePage,
+            PageKind::ProductPage,
+            PageKind::EventPage,
+            PageKind::Article,
+        ] {
+            assert!(kinds.contains(&k), "missing page kind {k:?}");
+        }
+    }
+
+    #[test]
+    fn aggregators_overlap() {
+        let w = World::generate(WorldConfig::tiny(72));
+        let c = generate_corpus(&w, &CorpusConfig::tiny(2));
+        let covered = |site: &str| -> std::collections::HashSet<woc_lrec::LrecId> {
+            c.pages_of_site(site)
+                .iter()
+                .filter(|p| p.truth.kind == PageKind::AggregatorBiz)
+                .filter_map(|p| p.truth.about)
+                .collect()
+        };
+        let a = covered("localreviews.example.com");
+        let b = covered("cityfinder.example.com");
+        assert!(!a.is_empty() && !b.is_empty());
+        assert!(a.intersection(&b).count() > 0, "aggregators must overlap for matching eval");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let w = World::generate(WorldConfig::tiny(73));
+        let a = generate_corpus(&w, &CorpusConfig::tiny(9));
+        let b = generate_corpus(&w, &CorpusConfig::tiny(9));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.pages().iter().zip(b.pages()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn urls_unique() {
+        let w = World::generate(WorldConfig::tiny(74));
+        let c = generate_corpus(&w, &CorpusConfig::tiny(3));
+        let urls: std::collections::HashSet<&str> =
+            c.pages().iter().map(|p| p.url.as_str()).collect();
+        assert_eq!(urls.len(), c.len());
+    }
+}

@@ -1,0 +1,234 @@
+//! The shopping domain: one catalog site per seller, with product detail
+//! pages and category listings (the paper's product/seller/review shopping
+//! domain, plus the §2.3 camera taxonomy examples).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use woc_lrec::LrecId;
+
+use crate::dom::Node;
+use crate::page::{Page, PageKind, PageTruth, TruthRecord};
+use crate::sites::style::SiteStyle;
+use crate::world::{slugify, World};
+
+/// Generate all seller catalog sites.
+pub fn shop_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
+    let mut pages = Vec::new();
+
+    // Seller → offers.
+    let mut by_seller: std::collections::HashMap<LrecId, Vec<LrecId>> =
+        std::collections::HashMap::new();
+    for &o in &world.offers {
+        if let Some(s) = world.rec(o).best("seller").and_then(|e| e.value.as_ref_id()) {
+            by_seller.entry(s).or_default().push(o);
+        }
+    }
+
+    for &seller in &world.sellers {
+        let style = SiteStyle::sample(rng);
+        let homepage = world.attr(seller, "homepage");
+        let host = crate::page::url_host(&homepage).to_string();
+        let base = format!("http://{host}");
+        let seller_name = world.attr(seller, "name");
+        let offers = by_seller.get(&seller).cloned().unwrap_or_default();
+
+        let nav = vec![
+            ("Home".to_string(), format!("{base}/")),
+            ("All products".to_string(), format!("{base}/category/all.html")),
+            ("Cart".to_string(), format!("{base}/cart")),
+        ];
+
+        // Product detail pages.
+        let mut by_category: std::collections::BTreeMap<String, Vec<(LrecId, LrecId)>> =
+            std::collections::BTreeMap::new();
+        for &offer in &offers {
+            let orec = world.rec(offer);
+            let product = orec.best("product").and_then(|e| e.value.as_ref_id()).unwrap();
+            let prec = world.rec(product);
+            let pname = prec.best_string("name").unwrap_or_default();
+            let brand = prec.best_string("brand").unwrap_or_default();
+            let model = prec.best_string("model").unwrap_or_default();
+            let category = prec.best_string("category").unwrap_or_default();
+            let price = orec.best_string("price").unwrap_or_default();
+            let in_stock = orec.best_string("in_stock").unwrap_or_default() == "true";
+            let url = format!("{base}/product/{}.html", slugify(&pname));
+
+            by_category
+                .entry(category.clone())
+                .or_default()
+                .push((product, offer));
+
+            let mut content = vec![
+                style.headline(&pname),
+                style.field("brand", "Brand", &brand),
+                style.field("model", "Model", &model),
+                style.field("category", "Category", &category),
+                style.field("price", "Price", &price),
+                style.field(
+                    "stock",
+                    "Availability",
+                    if in_stock { "In stock" } else { "Out of stock" },
+                ),
+                style.para(&format!(
+                    "Buy the {pname} from {seller_name} with free shipping over $50."
+                )),
+            ];
+            // "Customers also bought" — the augmentation links of §5.4.
+            let augments: Vec<LrecId> = prec
+                .get("augments")
+                .iter()
+                .filter_map(|e| e.value.as_ref_id())
+                .collect();
+            if !augments.is_empty() {
+                let mut div = Node::elem("div").class(&style.class_for("also"));
+                for a in &augments {
+                    let aname = world.attr(*a, "name");
+                    div = div.child(style.link(
+                        &aname,
+                        &format!("{base}/product/{}.html", slugify(&aname)),
+                    ));
+                }
+                content.push(Node::elem("h2").text_child("Customers also bought"));
+                content.push(div);
+            }
+
+            pages.push(Page {
+                url,
+                site: host.clone(),
+                title: format!("{pname} - {seller_name}"),
+                dom: style.page(&pname, nav.clone(), content),
+                truth: PageTruth {
+                    kind: PageKind::ProductPage,
+                    about: Some(product),
+                    records: vec![
+                        TruthRecord {
+                            concept: world.concepts.product,
+                            entity: product,
+                            fields: vec![
+                                ("name".into(), pname.clone()),
+                                ("brand".into(), brand),
+                                ("model".into(), model),
+                                ("category".into(), category),
+                            ],
+                        },
+                        TruthRecord {
+                            concept: world.concepts.offer,
+                            entity: offer,
+                            fields: vec![("price".into(), price)],
+                        },
+                    ],
+                    mentions: vec![product],
+                },
+            });
+        }
+
+        // Category listing pages.
+        for (category, items) in &by_category {
+            let url = format!("{base}/category/{}.html", slugify(category));
+            let mut rows = Vec::new();
+            let mut records = Vec::new();
+            for (product, offer) in items {
+                let pname = world.attr(*product, "name");
+                let price = world.attr(*offer, "price");
+                rows.push(vec![
+                    Node::elem("a")
+                        .attr("href", &format!("{base}/product/{}.html", slugify(&pname)))
+                        .class(&style.class_for("pname"))
+                        .text_child(&*pname),
+                    Node::elem("span").class(&style.class_for("pprice")).text_child(&*price),
+                ]);
+                records.push(TruthRecord {
+                    concept: world.concepts.product,
+                    entity: *product,
+                    fields: vec![("name".into(), pname), ("price".into(), price)],
+                });
+            }
+            let content = vec![
+                style.headline(&format!("{category} at {seller_name}")),
+                style.list("catalog", rows),
+            ];
+            pages.push(Page {
+                url,
+                site: host.clone(),
+                title: format!("{category} - {seller_name}"),
+                dom: style.page(category, nav.clone(), content),
+                truth: PageTruth {
+                    kind: PageKind::ProductList,
+                    about: None,
+                    mentions: items.iter().map(|(p, _)| *p).collect(),
+                    records,
+                },
+            });
+        }
+
+        // A simple homepage.
+        let _ = rng.random_bool(0.5);
+        pages.push(Page {
+            url: format!("{base}/"),
+            site: host.clone(),
+            title: seller_name.clone(),
+            dom: style.page(
+                &seller_name,
+                nav,
+                vec![
+                    style.headline(&seller_name),
+                    style.para("Cameras, lenses and accessories at honest prices."),
+                ],
+            ),
+            truth: PageTruth {
+                kind: PageKind::ProductList,
+                about: Some(seller),
+                records: vec![],
+                mentions: vec![seller],
+            },
+        });
+    }
+    pages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::WorldConfig;
+    use rand::SeedableRng;
+
+    #[test]
+    fn product_pages_per_offer() {
+        let w = World::generate(WorldConfig::tiny(41));
+        let mut rng = StdRng::seed_from_u64(1);
+        let pages = shop_pages(&w, &mut rng);
+        let detail = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::ProductPage)
+            .count();
+        assert_eq!(detail, w.offers.len());
+    }
+
+    #[test]
+    fn product_truth_matches_world() {
+        let w = World::generate(WorldConfig::tiny(42));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pages = shop_pages(&w, &mut rng);
+        for p in pages.iter().filter(|p| p.truth.kind == PageKind::ProductPage) {
+            let tr = &p.truth.records[0];
+            assert_eq!(tr.field("name").unwrap(), w.attr(tr.entity, "name"));
+            assert!(p.text().contains(tr.field("name").unwrap()));
+        }
+    }
+
+    #[test]
+    fn category_pages_list_products() {
+        let w = World::generate(WorldConfig::tiny(43));
+        let mut rng = StdRng::seed_from_u64(3);
+        let pages = shop_pages(&w, &mut rng);
+        let lists: Vec<_> = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::ProductList && !p.truth.records.is_empty())
+            .collect();
+        assert!(!lists.is_empty());
+        for p in lists {
+            assert!(p.links().iter().any(|l| l.contains("/product/")));
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-site presentation styles.
+//!
+//! Real websites serve pages "off a database … to generate highly structured
+//! and regular HTML" (paper §4.1) — regular *within* a site, different
+//! *across* sites. [`SiteStyle`] captures that: each site draws its own class
+//! names, list markup, wrapper nesting and label conventions, so wrappers
+//! learned on one site do not transfer verbatim to another, exactly the
+//! situation that motivates domain-centric extraction.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dom::Node;
+
+/// A site's presentation conventions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteStyle {
+    /// Site-specific CSS class prefix (e.g. `yx`), making class names
+    /// site-local.
+    pub class_prefix: String,
+    /// Render record lists as `<table><tr><td>` instead of `<ul><li>`.
+    pub use_table_lists: bool,
+    /// Extra nested wrapper `<div>`s around the main content (0..=2).
+    pub wrapper_depth: usize,
+    /// Render `Label:` spans before field values.
+    pub label_fields: bool,
+    /// Number of boilerplate navigation links.
+    pub nav_links: usize,
+    /// Put navigation after the content instead of before.
+    pub nav_last: bool,
+}
+
+impl SiteStyle {
+    /// Sample a style from a site-specific RNG.
+    pub fn sample(rng: &mut StdRng) -> SiteStyle {
+        let prefixes = ["yx", "cs", "lp", "qd", "mv", "tk", "rb", "zn", "wf", "hg"];
+        SiteStyle {
+            class_prefix: format!(
+                "{}{}",
+                prefixes.choose(rng).unwrap(),
+                rng.random_range(0..100)
+            ),
+            use_table_lists: rng.random_bool(0.4),
+            wrapper_depth: rng.random_range(0..3),
+            label_fields: rng.random_bool(0.6),
+            nav_links: rng.random_range(2..6),
+            nav_last: rng.random_bool(0.2),
+        }
+    }
+
+    /// A fixed plain style (tests).
+    pub fn plain() -> SiteStyle {
+        SiteStyle {
+            class_prefix: "pl".into(),
+            use_table_lists: false,
+            wrapper_depth: 0,
+            label_fields: true,
+            nav_links: 2,
+            nav_last: false,
+        }
+    }
+
+    /// Site-local class name for a field.
+    pub fn class_for(&self, field: &str) -> String {
+        format!("{}-{}", self.class_prefix, field)
+    }
+
+    /// Build a full page DOM: `html > body > [nav, wrapped main content]`.
+    pub fn page(&self, title: &str, nav: Vec<(String, String)>, content: Vec<Node>) -> Node {
+        let mut main = Node::elem("div").class(&self.class_for("main")).children(content);
+        for _ in 0..self.wrapper_depth {
+            main = Node::elem("div").class(&self.class_for("wrap")).child(main);
+        }
+        let mut nav_node = Node::elem("div").class(&self.class_for("nav"));
+        for (text, href) in nav.into_iter().take(self.nav_links.max(1)) {
+            nav_node = nav_node.child(Node::elem("a").attr("href", &href).text_child(text));
+        }
+        let body = if self.nav_last {
+            Node::elem("body").child(main).child(nav_node)
+        } else {
+            Node::elem("body").child(nav_node).child(main)
+        };
+        Node::elem("html")
+            .child(Node::elem("head").child(Node::elem("title").text_child(title)))
+            .child(body)
+    }
+
+    /// A labeled field block: `<div class="{p}-{name}">[<span class="{p}-l">Label:</span>]<span class="{p}-v">value</span></div>`.
+    pub fn field(&self, name: &str, label: &str, value: &str) -> Node {
+        let mut div = Node::elem("div").class(&self.class_for(name));
+        if self.label_fields {
+            div = div.child(
+                Node::elem("span")
+                    .class(&self.class_for("l"))
+                    .text_child(format!("{label}:")),
+            );
+        }
+        div.child(
+            Node::elem("span")
+                .class(&self.class_for("v"))
+                .text_child(value),
+        )
+    }
+
+    /// A record list: each row is a sequence of cell nodes. Rendered as a
+    /// table or a `ul` per the style; either way rows share structure, which
+    /// is the repeating pattern list extraction looks for.
+    pub fn list(&self, name: &str, rows: Vec<Vec<Node>>) -> Node {
+        if self.use_table_lists {
+            let mut table = Node::elem("table").class(&self.class_for(name));
+            for cells in rows {
+                let mut tr = Node::elem("tr");
+                for c in cells {
+                    tr = tr.child(Node::elem("td").child(c));
+                }
+                table = table.child(tr);
+            }
+            table
+        } else {
+            let mut ul = Node::elem("ul").class(&self.class_for(name));
+            for cells in rows {
+                let mut li = Node::elem("li");
+                for c in cells {
+                    li = li.child(c);
+                }
+                ul = ul.child(li);
+            }
+            ul.child(Node::elem("li").class(&self.class_for("foot")).text_child("·"))
+        }
+    }
+
+    /// A headline node.
+    pub fn headline(&self, text: &str) -> Node {
+        Node::elem("h1").class(&self.class_for("h")).text_child(text)
+    }
+
+    /// A paragraph of running text.
+    pub fn para(&self, text: &str) -> Node {
+        Node::elem("p").class(&self.class_for("p")).text_child(text)
+    }
+
+    /// A link node.
+    pub fn link(&self, text: &str, href: &str) -> Node {
+        Node::elem("a").attr("href", href).text_child(text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_styles_vary() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let styles: Vec<SiteStyle> = (0..10).map(|_| SiteStyle::sample(&mut rng)).collect();
+        let prefixes: std::collections::HashSet<_> =
+            styles.iter().map(|s| s.class_prefix.clone()).collect();
+        assert!(prefixes.len() > 5, "prefixes should mostly differ");
+    }
+
+    #[test]
+    fn page_structure() {
+        let s = SiteStyle::plain();
+        let p = s.page(
+            "Title",
+            vec![("Home".into(), "/".into())],
+            vec![s.headline("H"), s.field("phone", "Phone", "408-555-0134")],
+        );
+        assert!(p.text_content().contains("Phone: 408-555-0134"));
+        assert!(p.find_class("pl-phone").is_some());
+        assert!(p.find_class("pl-nav").is_some());
+        let html = p.to_html();
+        assert_eq!(crate::dom::parse_html(&html), p, "round-trips");
+    }
+
+    #[test]
+    fn wrapper_depth_respected() {
+        let mut s = SiteStyle::plain();
+        s.wrapper_depth = 2;
+        let p = s.page("t", vec![], vec![s.para("x")]);
+        // main is nested under two wrap divs.
+        let body = &p.child_nodes()[1];
+        let nav_then_wrap = body.child_nodes();
+        let wrap = &nav_then_wrap[1];
+        assert_eq!(wrap.get_attr("class"), Some("pl-wrap"));
+        assert_eq!(wrap.child_nodes()[0].get_attr("class"), Some("pl-wrap"));
+    }
+
+    #[test]
+    fn table_and_ul_lists() {
+        let mut s = SiteStyle::plain();
+        let rows = vec![
+            vec![Node::text("a"), Node::text("b")],
+            vec![Node::text("c"), Node::text("d")],
+        ];
+        s.use_table_lists = true;
+        let t = s.list("rows", rows.clone());
+        assert_eq!(t.tag(), Some("table"));
+        assert_eq!(t.find_tag("tr").len(), 2);
+        s.use_table_lists = false;
+        let u = s.list("rows", rows);
+        assert_eq!(u.tag(), Some("ul"));
+        assert_eq!(u.find_tag("li").len(), 3, "2 rows + footer");
+    }
+
+    #[test]
+    fn unlabeled_fields() {
+        let mut s = SiteStyle::plain();
+        s.label_fields = false;
+        let f = s.field("zip", "Zip", "95014");
+        assert_eq!(f.text_content(), "95014");
+    }
+}

@@ -1,0 +1,690 @@
+//! Ground-truth world generation.
+//!
+//! A [`World`] is the "real world" behind the synthetic web: actual
+//! restaurants, people, publications, products, sellers and events, stored as
+//! ground-truth lrecs. Sites (see [`crate::sites`]) render pages *about*
+//! these entities; extraction quality is then measurable against the world.
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use woc_lrec::domains::{standard_registry, StandardConcepts};
+use woc_lrec::value::Date;
+use woc_lrec::{AttrValue, ConceptRegistry, LrecId, Provenance, Store, Tick};
+use woc_textkit::gazetteer::{
+    BRANDS, CITIES, CUISINES, DISHES, EVENT_CATEGORIES, FIRST_NAMES, INSTITUTIONS, LAST_NAMES,
+    PRODUCT_CATEGORIES, RESEARCH_TOPICS, RESTAURANT_HEADS, RESTAURANT_TAILS, STREETS,
+    STREET_SUFFIXES, VENUES,
+};
+
+use crate::prose;
+
+/// Sizing knobs for world generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldConfig {
+    /// Number of restaurants.
+    pub restaurants: usize,
+    /// Reviews per restaurant (upper bound; actual is 1..=this).
+    pub max_reviews_per_restaurant: usize,
+    /// Menu items per restaurant (range 4..=this).
+    pub max_menu_items: usize,
+    /// Number of researchers.
+    pub people: usize,
+    /// Number of publications.
+    pub publications: usize,
+    /// Number of products.
+    pub products: usize,
+    /// Number of sellers.
+    pub sellers: usize,
+    /// Number of events.
+    pub events: usize,
+    /// How many cities from the gazetteer to use (denser categories with
+    /// fewer cities).
+    pub cities: usize,
+    /// How many cuisines from the gazetteer to use.
+    pub cuisines: usize,
+    /// RNG seed: same seed ⇒ identical world.
+    pub seed: u64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            restaurants: 60,
+            max_reviews_per_restaurant: 6,
+            max_menu_items: 10,
+            people: 30,
+            publications: 50,
+            products: 40,
+            sellers: 6,
+            events: 30,
+            cities: 5,
+            cuisines: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A small world for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            restaurants: 10,
+            max_reviews_per_restaurant: 3,
+            max_menu_items: 6,
+            people: 8,
+            publications: 12,
+            products: 10,
+            sellers: 3,
+            events: 8,
+            cities: 4,
+            cuisines: 4,
+            seed,
+        }
+    }
+}
+
+/// The ground-truth world.
+#[derive(Debug, Clone)]
+pub struct World {
+    /// Concept registry (standard concepts + domains).
+    pub registry: ConceptRegistry,
+    /// Ids of the standard concepts.
+    pub concepts: StandardConcepts,
+    /// Ground-truth records.
+    pub store: Store,
+    /// Restaurant record ids.
+    pub restaurants: Vec<LrecId>,
+    /// Menu-item ids per restaurant (parallel to `restaurants`).
+    pub menus: Vec<Vec<LrecId>>,
+    /// Review ids per restaurant (parallel to `restaurants`).
+    pub reviews: Vec<Vec<LrecId>>,
+    /// Person ids.
+    pub people: Vec<LrecId>,
+    /// Institution ids.
+    pub institutions: Vec<LrecId>,
+    /// Publication ids.
+    pub publications: Vec<LrecId>,
+    /// Product ids (components and bundles).
+    pub products: Vec<LrecId>,
+    /// Bundle product ids (subset of `products`).
+    pub bundles: Vec<LrecId>,
+    /// Seller ids.
+    pub sellers: Vec<LrecId>,
+    /// Offer ids.
+    pub offers: Vec<LrecId>,
+    /// Event ids.
+    pub events: Vec<LrecId>,
+    /// The config used.
+    pub config: WorldConfig,
+}
+
+impl World {
+    /// Generate a world from a config (fully deterministic in the seed).
+    pub fn generate(config: WorldConfig) -> World {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let (registry, concepts) = standard_registry();
+        let mut store = Store::new();
+        let t0 = Tick(0);
+        let gt = || Provenance::ground_truth(Tick(0));
+
+        let city_pool = &CITIES[..config.cities.clamp(1, CITIES.len())];
+        let cuisine_pool = &CUISINES[..config.cuisines.clamp(1, CUISINES.len())];
+
+        // --- Restaurants, menus, reviews -------------------------------
+        let mut restaurants = Vec::new();
+        let mut menus = Vec::new();
+        let mut reviews = Vec::new();
+        let mut used_names = std::collections::HashSet::new();
+        for i in 0..config.restaurants {
+            let cuisine = *cuisine_pool.choose(&mut rng).unwrap();
+            let name = loop {
+                let head = *RESTAURANT_HEADS.choose(&mut rng).unwrap();
+                let tail = *RESTAURANT_TAILS.choose(&mut rng).unwrap();
+                let candidate = if rng.random_bool(0.3) {
+                    format!("{head} {cuisine} {tail}")
+                } else {
+                    format!("{head} {tail}")
+                };
+                if used_names.insert(candidate.clone()) {
+                    break candidate;
+                }
+            };
+            let &(city, state, zip_prefix) = city_pool.choose(&mut rng).unwrap();
+            let zip = format!("{zip_prefix}{:02}", rng.random_range(0..100));
+            let street_no = rng.random_range(100..20000);
+            let street = format!(
+                "{} {}",
+                STREETS.choose(&mut rng).unwrap(),
+                STREET_SUFFIXES.choose(&mut rng).unwrap()
+            );
+            let phone = format!(
+                "{}555{:04}",
+                ["408", "650", "415", "312", "206", "512"].choose(&mut rng).unwrap(),
+                rng.random_range(0..10000)
+            );
+            let second_phone = rng
+                .random_bool(0.3)
+                .then(|| format!("{}555{:04}", "408", rng.random_range(0..10000)));
+            let open = rng.random_range(7..12);
+            let close = rng.random_range(20..24) - 12;
+            let hours = format!("{open}am - {close}pm");
+            let rating = (rng.random_range(20..50) as f64) / 10.0;
+            let price_level = rng.random_range(1..5i64);
+            let slug = slugify(&name);
+            let homepage = format!("http://{slug}.example.com/");
+
+            let rid = store.insert(concepts.restaurant, t0, |r| {
+                r.add("name", AttrValue::Text(name.clone()), gt());
+                r.add("street", AttrValue::Text(format!("{street_no} {street}")), gt());
+                r.add("city", AttrValue::Text(city.to_string()), gt());
+                r.add("state", AttrValue::Text(state.to_string()), gt());
+                r.add("zip", AttrValue::Zip(zip.clone()), gt());
+                r.add("phone", AttrValue::Phone(phone.clone()), gt());
+                if let Some(p2) = &second_phone {
+                    r.add("phone", AttrValue::Phone(p2.clone()), gt());
+                }
+                r.add("cuisine", AttrValue::Text(cuisine.to_string()), gt());
+                r.add("hours", AttrValue::Text(hours.clone()), gt());
+                r.add("homepage", AttrValue::Url(homepage.clone()), gt());
+                r.add("rating", AttrValue::Float(rating), gt());
+                r.add("price_level", AttrValue::Int(price_level), gt());
+            });
+
+            // Menu.
+            let n_items = rng.random_range(4..=config.max_menu_items.max(5));
+            let mut dish_pool: Vec<&str> = DISHES.to_vec();
+            let mut items = Vec::new();
+            let mut dish_names = Vec::new();
+            for k in 0..n_items {
+                if dish_pool.is_empty() {
+                    break;
+                }
+                let di = rng.random_range(0..dish_pool.len());
+                let dish = dish_pool.swap_remove(di);
+                let price = rng.random_range(595..2695) / 5 * 5; // cents
+                let section = if k < n_items / 2 { "Mains" } else { "Specials" };
+                let mid = store.insert(concepts.menu_item, t0, |r| {
+                    r.add("name", AttrValue::Text(dish.to_string()), gt());
+                    r.add("price", AttrValue::PriceCents(price as i64), gt());
+                    r.add("restaurant", AttrValue::Ref(rid), gt());
+                    r.add("section", AttrValue::Text(section.to_string()), gt());
+                });
+                items.push(mid);
+                dish_names.push(dish.to_string());
+            }
+
+            // Reviews.
+            let n_reviews = rng.random_range(1..=config.max_reviews_per_restaurant.max(1));
+            let mut revs = Vec::new();
+            for _ in 0..n_reviews {
+                let rating = rng.random_range(1..=5i64);
+                let author = format!(
+                    "{} {}",
+                    FIRST_NAMES.choose(&mut rng).unwrap(),
+                    LAST_NAMES.choose(&mut rng).unwrap()
+                );
+                let text = prose::review_text(&mut rng, &name, city, cuisine, &dish_names, rating);
+                let vid = store.insert(concepts.review, t0, |r| {
+                    r.add("text", AttrValue::Text(text.clone()), gt());
+                    r.add("rating", AttrValue::Int(rating), gt());
+                    r.add("author_name", AttrValue::Text(author.clone()), gt());
+                    r.add("about", AttrValue::Ref(rid), gt());
+                });
+                revs.push(vid);
+            }
+
+            restaurants.push(rid);
+            menus.push(items);
+            reviews.push(revs);
+            let _ = i;
+        }
+
+        // --- Academic domain --------------------------------------------
+        let mut institutions = Vec::new();
+        for inst in INSTITUTIONS {
+            let &(city, _, _) = CITIES.choose(&mut rng).unwrap();
+            let iid = store.insert(concepts.institution, t0, |r| {
+                r.add("name", AttrValue::Text(inst.to_string()), gt());
+                r.add("city", AttrValue::Text(city.to_string()), gt());
+            });
+            institutions.push(iid);
+        }
+        let mut people = Vec::new();
+        let mut person_names = std::collections::HashSet::new();
+        for _ in 0..config.people {
+            let name = loop {
+                let n = format!(
+                    "{} {}",
+                    FIRST_NAMES.choose(&mut rng).unwrap(),
+                    LAST_NAMES.choose(&mut rng).unwrap()
+                );
+                if person_names.insert(n.clone()) {
+                    break n;
+                }
+            };
+            let email = format!("{}@example.edu", slugify(&name));
+            let homepage = format!("http://people.example.edu/~{}/", slugify(&name));
+            let pid = store.insert(concepts.person, t0, |r| {
+                r.add("name", AttrValue::Text(name.clone()), gt());
+                r.add("email", AttrValue::Text(email.clone()), gt());
+                r.add("homepage", AttrValue::Url(homepage.clone()), gt());
+            });
+            people.push(pid);
+        }
+        let mut publications = Vec::new();
+        for _ in 0..config.publications {
+            let topic = *RESEARCH_TOPICS.choose(&mut rng).unwrap();
+            let topic2 = *RESEARCH_TOPICS.choose(&mut rng).unwrap();
+            let title = format!(
+                "{} {}: {} for {}",
+                ["Towards", "Scalable", "Efficient", "Robust", "Adaptive", "Principled"]
+                    .choose(&mut rng)
+                    .unwrap(),
+                capitalize_words(topic),
+                ["a Framework", "New Techniques", "an Approach", "Foundations"]
+                    .choose(&mut rng)
+                    .unwrap(),
+                topic2,
+            );
+            let venue = *VENUES.choose(&mut rng).unwrap();
+            let year = rng.random_range(1999..2010i64);
+            let n_authors = rng.random_range(1..=4.min(people.len()));
+            let mut authors: Vec<LrecId> = Vec::new();
+            while authors.len() < n_authors {
+                let p = *people.choose(&mut rng).unwrap();
+                if !authors.contains(&p) {
+                    authors.push(p);
+                }
+            }
+            let pid = store.insert(concepts.publication, t0, |r| {
+                r.add("title", AttrValue::Text(title.clone()), gt());
+                r.add("venue", AttrValue::Text(venue.to_string()), gt());
+                r.add("year", AttrValue::Int(year), gt());
+                for a in &authors {
+                    r.add("author", AttrValue::Ref(*a), gt());
+                }
+                r.add("topic", AttrValue::Text(topic.to_string()), gt());
+            });
+            publications.push(pid);
+        }
+
+        // --- Shopping domain --------------------------------------------
+        let mut products = Vec::new();
+        for _ in 0..config.products {
+            let brand = *BRANDS.choose(&mut rng).unwrap();
+            let &(category, lo, hi) = PRODUCT_CATEGORIES.choose(&mut rng).unwrap();
+            let model = format!(
+                "{}{}",
+                ["D", "G", "EOS-", "A", "X", "FZ"].choose(&mut rng).unwrap(),
+                rng.random_range(10..100)
+            );
+            let name = format!("{brand} {model}");
+            let _ = (lo, hi);
+            let pid = store.insert(concepts.product, t0, |r| {
+                r.add("name", AttrValue::Text(name.clone()), gt());
+                r.add("brand", AttrValue::Text(brand.to_string()), gt());
+                r.add("category", AttrValue::Text(category.to_string()), gt());
+                r.add("model", AttrValue::Text(model.clone()), gt());
+                r.add("is_a", AttrValue::Text(category.to_string()), gt());
+            });
+            products.push(pid);
+        }
+        // Augmentation links (camera ↔ battery/lens/bag), §5.4 "Augmentations".
+        let accessory_ids: Vec<LrecId> = products
+            .iter()
+            .copied()
+            .filter(|&p| {
+                let cat = store.latest(p).unwrap().best_string("category").unwrap_or_default();
+                cat.contains("Battery") || cat.contains("Lens") || cat.contains("Bag")
+                    || cat.contains("Card") || cat.contains("Tripod") || cat.contains("Flash")
+            })
+            .collect();
+        let camera_ids: Vec<LrecId> = products
+            .iter()
+            .copied()
+            .filter(|&p| {
+                let cat = store.latest(p).unwrap().best_string("category").unwrap_or_default();
+                // Actual cameras only — lenses/bags/batteries are accessories.
+                cat.ends_with("Camera")
+            })
+            .collect();
+        for &cam in &camera_ids {
+            if accessory_ids.is_empty() {
+                break;
+            }
+            let n = rng.random_range(1..=3.min(accessory_ids.len()));
+            let mut chosen: Vec<LrecId> = Vec::new();
+            while chosen.len() < n {
+                let a = *accessory_ids.choose(&mut rng).unwrap();
+                if !chosen.contains(&a) {
+                    chosen.push(a);
+                }
+            }
+            store
+                .update(cam, Tick(1), |r| {
+                    for a in &chosen {
+                        r.add("augments", AttrValue::Ref(*a), Provenance::ground_truth(Tick(1)));
+                    }
+                })
+                .expect("augment update");
+        }
+
+        // Bundles (§2.3 "part of a special camera package"): a camera plus
+        // accessories grouped as a product whose components carry `part_of`
+        // references to it.
+        let mut bundles = Vec::new();
+        if !camera_ids.is_empty() && accessory_ids.len() >= 2 {
+            for b in 0..2usize {
+                let cam = camera_ids[b % camera_ids.len()];
+                let acc1 = accessory_ids[b % accessory_ids.len()];
+                let acc2 = accessory_ids[(b + 1) % accessory_ids.len()];
+                let cam_name = store
+                    .latest(cam)
+                    .and_then(|r| r.best_string("name"))
+                    .unwrap_or_default();
+                let bundle = store.insert(concepts.product, t0, |r| {
+                    r.add("name", AttrValue::Text(format!("{cam_name} Travel Bundle")), gt());
+                    r.add("brand", AttrValue::Text(cam_name.split(' ').next().unwrap_or("").to_string()), gt());
+                    r.add("category", AttrValue::Text("Camera Bundle".to_string()), gt());
+                    r.add("model", AttrValue::Text(format!("BNDL-{b}")), gt());
+                    r.add("is_a", AttrValue::Text("Camera Bundle".to_string()), gt());
+                });
+                for &component in &[cam, acc1, acc2] {
+                    store
+                        .update(component, Tick(1).max(store.max_tick()).next(), |r| {
+                            r.add(
+                                "part_of",
+                                AttrValue::Ref(bundle),
+                                Provenance::ground_truth(Tick(1)),
+                            );
+                        })
+                        .expect("part_of update");
+                }
+                bundles.push(bundle);
+                products.push(bundle);
+            }
+        }
+
+        let mut sellers = Vec::new();
+        for s in 0..config.sellers {
+            let name = format!(
+                "{} {}",
+                ["Shutter", "Pixel", "Photo", "Optic", "Lens", "Aperture"]
+                    .choose(&mut rng)
+                    .unwrap(),
+                ["Mart", "World", "Depot", "Hub", "Outlet", "Bazaar"].choose(&mut rng).unwrap()
+            );
+            let sid = store.insert(concepts.seller, t0, |r| {
+                r.add("name", AttrValue::Text(format!("{name} {s}")), gt());
+                r.add(
+                    "homepage",
+                    AttrValue::Url(format!("http://seller{s}.example.com/")),
+                    gt(),
+                );
+            });
+            sellers.push(sid);
+        }
+        let mut offers = Vec::new();
+        for &p in &products {
+            let cat = store.latest(p).unwrap().best_string("category").unwrap_or_default();
+            let (lo, hi) = PRODUCT_CATEGORIES
+                .iter()
+                .find(|&&(c, _, _)| c == cat)
+                .map(|&(_, lo, hi)| (lo, hi))
+                .unwrap_or((10, 100));
+            let base = rng.random_range(lo..=hi) as i64 * 100;
+            for &s in &sellers {
+                if rng.random_bool(0.6) {
+                    let jitter = rng.random_range(-10..=10) as i64 * 50;
+                    let oid = store.insert(concepts.offer, t0, |r| {
+                        r.add("product", AttrValue::Ref(p), gt());
+                        r.add("seller", AttrValue::Ref(s), gt());
+                        r.add("price", AttrValue::PriceCents((base + jitter).max(500)), gt());
+                        r.add("in_stock", AttrValue::Bool(rng.random_bool(0.85)), gt());
+                    });
+                    offers.push(oid);
+                }
+            }
+        }
+
+        // --- Events -------------------------------------------------------
+        let mut events = Vec::new();
+        for _ in 0..config.events {
+            let category = *EVENT_CATEGORIES.choose(&mut rng).unwrap();
+            let &(city, _, _) = CITIES.choose(&mut rng).unwrap();
+            let name = format!(
+                "{} {} {}",
+                city,
+                ["Winter", "Spring", "Summer", "Fall", "Annual", "Grand"].choose(&mut rng).unwrap(),
+                category
+            );
+            let date = Date {
+                year: 2009,
+                month: rng.random_range(1..=12),
+                day: rng.random_range(1..=28),
+            };
+            let venue = format!(
+                "{} {}",
+                ["Civic", "Memorial", "Riverside", "Downtown", "Harbor"].choose(&mut rng).unwrap(),
+                ["Hall", "Arena", "Theater", "Center", "Pavilion"].choose(&mut rng).unwrap()
+            );
+            let price = rng.random_range(0..15i64) * 500;
+            let eid = store.insert(concepts.event, t0, |r| {
+                r.add("name", AttrValue::Text(name.clone()), gt());
+                r.add("category", AttrValue::Text(category.to_string()), gt());
+                r.add("city", AttrValue::Text(city.to_string()), gt());
+                r.add("venue", AttrValue::Text(venue.clone()), gt());
+                r.add("date", AttrValue::Date(date), gt());
+                r.add("price", AttrValue::PriceCents(price), gt());
+            });
+            events.push(eid);
+        }
+
+        // Pin restaurant 0 to the paper's Figure 1 example — Gochi in
+        // Cupertino — so the `gochi cupertino` concept-box experiment (F1)
+        // works against any seed.
+        if let Some(&gochi) = restaurants.first() {
+            store
+                .update(gochi, Tick(1), |r| {
+                    let p = Provenance::ground_truth(Tick(1));
+                    r.set("name", AttrValue::Text("Gochi Fusion Tapas".into()), p.clone());
+                    r.set("city", AttrValue::Text("Cupertino".into()), p.clone());
+                    r.set("state", AttrValue::Text("CA".into()), p.clone());
+                    r.set("street", AttrValue::Text("19980 Homestead Rd".into()), p.clone());
+                    r.set("zip", AttrValue::Zip("95014".into()), p.clone());
+                    r.set("cuisine", AttrValue::Text("Japanese".into()), p.clone());
+                    r.set(
+                        "homepage",
+                        AttrValue::Url("http://gochi-fusion-tapas.example.com/".into()),
+                        p,
+                    );
+                })
+                .expect("gochi pin");
+        }
+
+        World {
+            registry,
+            concepts,
+            store,
+            restaurants,
+            menus,
+            reviews,
+            people,
+            institutions,
+            publications,
+            products,
+            bundles,
+            sellers,
+            offers,
+            events,
+            config,
+        }
+    }
+
+    /// Convenience: the ground-truth record for an id.
+    pub fn rec(&self, id: LrecId) -> &woc_lrec::Lrec {
+        self.store.latest(id).expect("world ids are always live")
+    }
+
+    /// Convenience: best string attribute of a record.
+    pub fn attr(&self, id: LrecId, key: &str) -> String {
+        self.rec(id).best_string(key).unwrap_or_default()
+    }
+}
+
+/// Lowercase, hyphen-separated slug of a name (for URLs).
+pub fn slugify(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut dash = true;
+    for c in name.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            dash = false;
+        } else if !dash {
+            out.push('-');
+            dash = true;
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+fn capitalize_words(s: &str) -> String {
+    s.split(' ')
+        .map(|w| {
+            let mut c = w.chars();
+            match c.next() {
+                Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+                None => String::new(),
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_sizes_match_config() {
+        let w = World::generate(WorldConfig::tiny(1));
+        assert_eq!(w.restaurants.len(), 10);
+        assert_eq!(w.menus.len(), 10);
+        assert_eq!(w.reviews.len(), 10);
+        assert_eq!(w.people.len(), 8);
+        assert_eq!(w.publications.len(), 12);
+        // Products = configured components + generated bundles.
+        assert_eq!(w.products.len(), 10 + w.bundles.len());
+        assert_eq!(w.events.len(), 8);
+        assert!(!w.offers.is_empty());
+        // Bundle components link back via part_of.
+        for &b in &w.bundles {
+            let components: Vec<_> = w
+                .products
+                .iter()
+                .filter(|&&p| {
+                    w.rec(p)
+                        .get("part_of")
+                        .iter()
+                        .any(|e| e.value.as_ref_id() == Some(b))
+                })
+                .collect();
+            assert!(components.len() >= 3, "bundle {b} has {} components", components.len());
+        }
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = World::generate(WorldConfig::tiny(42));
+        let b = World::generate(WorldConfig::tiny(42));
+        for (&x, &y) in a.restaurants.iter().zip(&b.restaurants) {
+            assert_eq!(a.rec(x), b.rec(y));
+        }
+        let c = World::generate(WorldConfig::tiny(43));
+        let same = a
+            .restaurants
+            .iter()
+            .zip(&c.restaurants)
+            .all(|(&x, &y)| a.attr(x, "name") == c.attr(y, "name"));
+        assert!(!same, "different seeds should differ");
+    }
+
+    #[test]
+    fn restaurants_conform_to_schema() {
+        let w = World::generate(WorldConfig::tiny(3));
+        let schema = w.registry.schema(w.concepts.restaurant).unwrap();
+        for &r in &w.restaurants {
+            let v = schema.check(w.rec(r));
+            assert!(v.is_empty(), "violations: {v:?}");
+        }
+    }
+
+    #[test]
+    fn restaurant_names_unique() {
+        let w = World::generate(WorldConfig::default());
+        let names: std::collections::HashSet<String> =
+            w.restaurants.iter().map(|&r| w.attr(r, "name")).collect();
+        assert_eq!(names.len(), w.restaurants.len());
+    }
+
+    #[test]
+    fn menu_items_link_back() {
+        let w = World::generate(WorldConfig::tiny(5));
+        for (ri, items) in w.menus.iter().enumerate() {
+            assert!(!items.is_empty());
+            for &m in items {
+                let about = w.rec(m).best("restaurant").unwrap().value.as_ref_id().unwrap();
+                assert_eq!(about, w.restaurants[ri]);
+            }
+        }
+    }
+
+    #[test]
+    fn reviews_link_back_and_have_text() {
+        let w = World::generate(WorldConfig::tiny(6));
+        for (ri, revs) in w.reviews.iter().enumerate() {
+            for &v in revs {
+                let rec = w.rec(v);
+                assert_eq!(
+                    rec.best("about").unwrap().value.as_ref_id().unwrap(),
+                    w.restaurants[ri]
+                );
+                assert!(!rec.best_text("text").unwrap().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn publications_have_authors() {
+        let w = World::generate(WorldConfig::tiny(7));
+        for &p in &w.publications {
+            let authors = w.rec(p).get("author");
+            assert!(!authors.is_empty() && authors.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn offers_reference_valid_products_and_sellers() {
+        let w = World::generate(WorldConfig::tiny(8));
+        for &o in &w.offers {
+            let rec = w.rec(o);
+            let p = rec.best("product").unwrap().value.as_ref_id().unwrap();
+            let s = rec.best("seller").unwrap().value.as_ref_id().unwrap();
+            assert!(w.products.contains(&p));
+            assert!(w.sellers.contains(&s));
+        }
+    }
+
+    #[test]
+    fn slugify_examples() {
+        assert_eq!(slugify("Gochi Fusion Tapas"), "gochi-fusion-tapas");
+        assert_eq!(slugify("  -- A&B --"), "a-b");
+        assert_eq!(slugify(""), "");
+    }
+}

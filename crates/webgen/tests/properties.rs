@@ -1,0 +1,148 @@
+//! Property tests: DOM round-trips, parser robustness, corpus determinism.
+
+use proptest::prelude::*;
+use woc_webgen::dom::{parse_html, Node};
+
+/// Strategy generating small random DOM trees with the builders.
+fn node_strategy() -> impl Strategy<Value = Node> {
+    let leaf = prop_oneof![
+        "[a-zA-Z0-9 .,!]{1,20}".prop_map(Node::text),
+        ("(div|span|p|li|b|td)", prop::option::of("[a-z]{1,8}")).prop_map(|(tag, class)| {
+            let n = Node::elem(&tag);
+            match class {
+                Some(c) => n.class(&c),
+                None => n,
+            }
+        }),
+    ];
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            "(div|ul|li|span|table|tr|td|p)",
+            prop::option::of("[a-z]{1,8}"),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(tag, class, children)| {
+                let mut n = Node::elem(&tag);
+                if let Some(c) = class {
+                    n = n.class(&c);
+                }
+                n.children(children)
+            })
+    })
+}
+
+/// Adjacent text nodes merge on parse (the writer would emit them adjacent),
+/// so normalize trees before comparing round-trips.
+fn merge_adjacent_text(n: &Node) -> Node {
+    match n {
+        Node::Text(t) => Node::text(t.trim()),
+        Node::Element { tag, attrs, children } => {
+            let mut out: Vec<Node> = Vec::new();
+            for c in children {
+                let c = merge_adjacent_text(c);
+                if let (Some(Node::Text(prev)), Node::Text(cur)) = (out.last_mut(), &c) {
+                    // The parser sees "a" + "b" as one text run.
+                    *prev = format!("{prev}{cur}");
+                    continue;
+                }
+                // Whitespace-only text is dropped by the parser.
+                if matches!(&c, Node::Text(t) if t.trim().is_empty()) {
+                    continue;
+                }
+                out.push(c);
+            }
+            Node::Element {
+                tag: tag.clone(),
+                attrs: attrs.clone(),
+                children: out,
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn html_round_trip(node in node_strategy()) {
+        let normalized = merge_adjacent_text(&node);
+        let html = normalized.to_html();
+        let parsed = parse_html(&html);
+        // Wrap single text roots like the parser does.
+        let expected = if normalized.tag().is_some() {
+            normalized
+        } else {
+            Node::elem("html").child(normalized)
+        };
+        // Parser trims text; compare normalized forms.
+        prop_assert_eq!(merge_adjacent_text(&parsed), merge_adjacent_text(&expected));
+    }
+
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,300}") {
+        let _ = parse_html(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_tagsoup(s in "[<>a-z\"=/ ]{0,200}") {
+        let _ = parse_html(&s);
+    }
+
+    #[test]
+    fn walk_paths_always_resolve(node in node_strategy()) {
+        for (path, n) in node.walk() {
+            if n.tag().is_some() {
+                prop_assert_eq!(node.resolve(&path), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn text_content_contains_all_text(texts in prop::collection::vec("[a-z]{1,8}", 1..6)) {
+        let mut n = Node::elem("div");
+        for t in &texts {
+            n = n.child(Node::elem("span").text_child(t.clone()));
+        }
+        let content = n.text_content();
+        for t in &texts {
+            prop_assert!(content.contains(t.as_str()));
+        }
+    }
+}
+
+#[test]
+fn drift_preserves_truth_and_tokens() {
+    use woc_webgen::{drift_site, generate_corpus, CorpusConfig, DriftConfig, World, WorldConfig};
+    let w = World::generate(WorldConfig::tiny(15));
+    let c = generate_corpus(&w, &CorpusConfig::tiny(16));
+    for site in ["localreviews.example.com", "upcoming.example.com"] {
+        let pages: Vec<woc_webgen::Page> =
+            c.pages_of_site(site).into_iter().cloned().collect();
+        for seed in [1u64, 2, 3] {
+            let (drifted, _) = drift_site(&pages, &DriftConfig::heavy(), seed);
+            for (old, new) in pages.iter().zip(&drifted) {
+                assert_eq!(old.truth, new.truth, "drift never touches truth");
+                assert_eq!(old.url, new.url);
+                // Every original truth value still appears in the new text.
+                let text = new.text();
+                for tr in &old.truth.records {
+                    for (_, v) in &tr.fields {
+                        assert!(text.contains(v), "drift lost value {v:?} on {}", old.url);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn corpus_generation_deterministic_across_processes() {
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+    let w1 = World::generate(WorldConfig::tiny(5));
+    let w2 = World::generate(WorldConfig::tiny(5));
+    let c1 = generate_corpus(&w1, &CorpusConfig::tiny(6));
+    let c2 = generate_corpus(&w2, &CorpusConfig::tiny(6));
+    assert_eq!(c1.pages().len(), c2.pages().len());
+    for (a, b) in c1.pages().iter().zip(c2.pages()) {
+        assert_eq!(a.url, b.url);
+        assert_eq!(a.dom, b.dom);
+    }
+}

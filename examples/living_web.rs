@@ -1,0 +1,86 @@
+//! Maintenance scenario (paper §7.3): the world changes — restaurants close,
+//! phone numbers change — and the web of concepts tracks it incrementally,
+//! with versions, provenance, and lineage-backed explanations.
+//!
+//! Run: `cargo run --example living_web --release`
+
+use web_of_concepts::prelude::*;
+use web_of_concepts::webgen::{churn_restaurants, ChurnEvent};
+
+fn main() {
+    let cfg = CorpusConfig::default();
+    let mut world = World::generate(WorldConfig::default());
+    let corpus_v1 = generate_corpus(&world, &cfg);
+    let mut woc = build(&corpus_v1, &PipelineConfig::default());
+    println!(
+        "Initial build: {} pages → {} canonical records",
+        corpus_v1.len(),
+        woc.store.live_count()
+    );
+
+    // --- The world moves on -------------------------------------------------
+    let events = churn_restaurants(&mut world, 0.25, Tick(10), 2026);
+    println!("\nWorld churn: {} events", events.len());
+    for e in events.iter().take(5) {
+        match e {
+            ChurnEvent::PhoneChanged(id, p) => {
+                println!("  {} changed phone to {p}", world.attr(*id, "name"))
+            }
+            ChurnEvent::HoursChanged(id, h) => {
+                println!("  {} changed hours to {h}", world.attr(*id, "name"))
+            }
+            ChurnEvent::Closed(id) => println!("  {} closed", world.attr(*id, "name")),
+        }
+    }
+
+    // --- Incremental recrawl -------------------------------------------------
+    let corpus_v2 = generate_corpus(&world, &cfg);
+    let report = recrawl(&mut woc, &corpus_v1, &corpus_v2, Tick(100));
+    println!(
+        "\nRecrawl: {}/{} pages re-extracted ({:.1}% of a full rebuild), \
+         {} records updated, {} created",
+        report.pages_reprocessed,
+        report.pages_total,
+        100.0 * report.cost_ratio(),
+        report.records_updated,
+        report.records_created
+    );
+
+    // --- Time travel on one changed record ----------------------------------
+    if let Some(ChurnEvent::PhoneChanged(world_id, new_phone)) = events
+        .iter()
+        .find(|e| matches!(e, ChurnEvent::PhoneChanged(..)))
+    {
+        let name = world.attr(*world_id, "name");
+        let rec = woc
+            .store
+            .by_concept(woc.concepts.restaurant)
+            .into_iter()
+            .filter_map(|id| woc.store.latest(id))
+            .find(|r| r.best_string("name").unwrap_or_default().contains(&name));
+        if let Some(rec) = rec {
+            let id = rec.id();
+            println!("\nRecord {} ({name}):", id);
+            println!("  versions: {}", woc.store.num_versions(id));
+            println!(
+                "  phone before (as of t5): {}",
+                woc.store
+                    .as_of(id, Tick(5))
+                    .and_then(|r| r.best_string("phone"))
+                    .unwrap_or_else(|| "-".into())
+            );
+            println!(
+                "  phone now:               {}",
+                woc.store
+                    .latest(id)
+                    .and_then(|r| r.best_string("phone"))
+                    .unwrap_or_else(|| "-".into())
+            );
+            println!("  (world changed it to {new_phone})");
+            println!("\n  why do we believe the current values?");
+            for line in woc.lineage.explain(id).iter().take(6) {
+                println!("    · {line}");
+            }
+        }
+    }
+}

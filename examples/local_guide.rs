@@ -1,0 +1,91 @@
+//! Local-domain scenario (the paper's running example): a user researches
+//! dinner options — concept search with geographic parsing, refinement,
+//! alternatives, search-within-concept, and the session-disambiguation
+//! behaviour of §5.3.
+//!
+//! Run: `cargo run --example local_guide --release`
+
+use web_of_concepts::apps::{
+    alternatives, concept_search, rank_content, refine, search_within_concept, Interaction,
+    UserModel,
+};
+use web_of_concepts::prelude::*;
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    let woc = build(&corpus, &PipelineConfig::default());
+
+    // --- A set-search with geographic parsing (§5.2) --------------------
+    println!("Query: Mexican restaurants in San Jose");
+    let results = concept_search(&woc, "Mexican restaurants in San Jose", 8);
+    for r in &results {
+        println!("  {} — {}", r.name, r.summary);
+    }
+
+    // --- Refinement: "show only Italian" (§5.2) --------------------------
+    println!("\nRefine a broad city search to cuisine = Italian:");
+    let broad = concept_search(&woc, "restaurants in San Jose", 30);
+    let refined = refine(&woc, &broad, "cuisine", "Italian");
+    println!("  {} results → {} after refinement", broad.len(), refined.len());
+    for r in refined.iter().take(5) {
+        println!("  {}", r.name);
+    }
+
+    // --- Pick one, explore within it and around it (§5.4) -----------------
+    let Some(anchor) = results.first() else {
+        println!("no results");
+        return;
+    };
+    println!("\nSearch within {}:", anchor.name);
+    for (url, _) in search_within_concept(&woc, anchor.id, "menu reviews", 5) {
+        println!("  {url}");
+    }
+    println!("\nAlternatives to {}:", anchor.name);
+    for rec in alternatives(&woc, anchor.id, 5) {
+        let name = woc
+            .store
+            .latest(rec.id)
+            .and_then(|r| r.best_string("name"))
+            .unwrap_or_default();
+        println!("  {name} ({})", rec.reason);
+    }
+
+    // --- Session disambiguation: the Birks scenario (§5.3) ----------------
+    // After browsing restaurants in one city, an ambiguous short query
+    // should resolve toward that city.
+    let mut user = UserModel::new();
+    user.observe(&woc, Interaction::ViewedRecord(anchor.id));
+    user.observe(&woc, Interaction::Queried("dinner san jose".into()));
+    println!("\nPersonalized search for `house` after a San Jose session:");
+    for (id, score) in personalized_search(&woc, &user, "house", 5) {
+        let rec = woc.store.latest(id).unwrap();
+        println!(
+            "  {:<28} city={:<14} score={score:.2}",
+            rec.best_string("name").unwrap_or_default(),
+            rec.best_string("city").unwrap_or_default()
+        );
+    }
+    println!("\nSame query for a cold user:");
+    let cold = UserModel::new();
+    for (id, score) in personalized_search(&woc, &cold, "house", 5) {
+        let rec = woc.store.latest(id).unwrap();
+        println!(
+            "  {:<28} city={:<14} score={score:.2}",
+            rec.best_string("name").unwrap_or_default(),
+            rec.best_string("city").unwrap_or_default()
+        );
+    }
+
+    // --- Front-page content ranking (§5.3 "Understanding Content") --------
+    let article_urls: Vec<String> = corpus
+        .pages()
+        .iter()
+        .filter(|p| p.url.contains("/post/"))
+        .map(|p| p.url.clone())
+        .collect();
+    println!("\nFront-page articles ranked for this user (top 3):");
+    for (url, score) in rank_content(&woc, &user, &article_urls).into_iter().take(3) {
+        println!("  [{score:.2}] {url}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Shopping + advertising scenario (paper §2.3, §5.4, §5.5): the camera
+//! taxonomy, augmentation recommendations ("the NB-7L battery for the Canon
+//! G10"), concept-targeted ads and the second-price marketplace.
+//!
+//! Run: `cargo run --example marketplace --release`
+
+use web_of_concepts::apps::{augmentations, run_auction, Ad, AdContext, CoEngagement, Target};
+use web_of_concepts::prelude::*;
+
+fn main() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    let woc = build(&corpus, &PipelineConfig::default());
+
+    // --- Augmentations: complements, not alternatives (§5.4) --------------
+    let products = woc.records_of(woc.concepts.product);
+    println!("{} canonical products extracted from seller catalogs", products.len());
+    let camera = products
+        .iter()
+        .find(|p| !p.get("augments").is_empty())
+        .expect("a camera with extracted augmentation links");
+    println!(
+        "\nAnchor: {} ({})",
+        camera.best_string("name").unwrap_or_default(),
+        camera.best_string("category").unwrap_or_default()
+    );
+    // Co-engagement sessions sharpen the ranking.
+    let mut co = CoEngagement::new();
+    for w in products.windows(3) {
+        co.observe_session(&[w[0].id(), w[1].id(), w[2].id()]);
+    }
+    println!("Customers also bought:");
+    for rec in augmentations(&woc, camera.id(), Some(&co), 5) {
+        let r = woc.store.latest(rec.id).unwrap();
+        println!(
+            "  {} ({}) — {}",
+            r.best_string("name").unwrap_or_default(),
+            r.best_string("category").unwrap_or_default(),
+            rec.reason
+        );
+    }
+
+    // --- Concept-targeted advertising (§5.5) -------------------------------
+    // "the proprietor of Birks Steakhouse might place a bid on any query
+    // that hits on a restaurant in zipcode 95054."
+    let restaurants = woc.records_of(woc.concepts.restaurant);
+    let target_rec = restaurants
+        .iter()
+        .find(|r| r.best_string("zip").is_some())
+        .unwrap();
+    let zip = target_rec.best_string("zip").unwrap();
+    let ads = vec![
+        Ad {
+            id: 1,
+            advertiser: "Neighborhood Steakhouse".into(),
+            creative: format!("Steaks near {zip}"),
+            bid_cents: 120,
+            target: Target::Concept {
+                concept: "restaurant".into(),
+                constraints: vec![("zip".into(), zip.clone())],
+            },
+        },
+        Ad {
+            id: 2,
+            advertiser: "Citywide Delivery".into(),
+            creative: "Dinner delivered".into(),
+            bid_cents: 80,
+            target: Target::Concept {
+                concept: "restaurant".into(),
+                constraints: vec![],
+            },
+        },
+        Ad {
+            id: 3,
+            advertiser: "Keyword Pizza".into(),
+            creative: "pizza pizza".into(),
+            bid_cents: 300,
+            target: Target::Keywords(vec!["pizza".into()]),
+        },
+    ];
+
+    let ctx = AdContext {
+        query: "dinner tonight".into(),
+        records: vec![target_rec.id()],
+    };
+    println!(
+        "\nPageview about {} (zip {zip}), query {:?}:",
+        target_rec.best_string("name").unwrap_or_default(),
+        ctx.query
+    );
+    match run_auction(&woc, &ads, &ctx) {
+        Some(result) => println!(
+            "  winner: {} (ad {}), pays {}¢ (second price)",
+            result.advertiser, result.ad_id, result.price_cents
+        ),
+        None => println!("  no eligible ads"),
+    }
+
+    // Keyword ad wins only when its keyword appears.
+    let ctx2 = AdContext {
+        query: "best pizza slices".into(),
+        records: vec![],
+    };
+    match run_auction(&woc, &ads, &ctx2) {
+        Some(result) => println!(
+            "Query {:?}: winner {} pays {}¢",
+            ctx2.query, result.advertiser, result.price_cents
+        ),
+        None => println!("Query {:?}: no eligible ads", ctx2.query),
+    }
+}

@@ -1,0 +1,62 @@
+//! Quickstart: build a web of concepts from a synthetic web and ask it the
+//! paper's Figure 1 question.
+//!
+//! Run: `cargo run --example quickstart --release`
+
+use web_of_concepts::prelude::*;
+
+fn main() {
+    // 1. A ground-truth world (restaurants, papers, products, events) and
+    //    the synthetic web rendered from it.
+    println!("Generating world and corpus…");
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    println!(
+        "  {} ground-truth entities across {} pages on {} sites",
+        world.store.live_count(),
+        corpus.len(),
+        corpus.sites().len()
+    );
+
+    // 2. Build the web of concepts: extraction → entity resolution →
+    //    reconciliation → linking → indexes.
+    println!("Constructing the web of concepts…");
+    let woc = build(&corpus, &PipelineConfig::default());
+    println!(
+        "  {} canonical records, {} record↔document associations, {} lineage nodes",
+        woc.store.live_count(),
+        woc.web.len(),
+        woc.lineage.len()
+    );
+
+    // 3. The paper's Figure 1: `gochi cupertino` triggers a concept box.
+    println!("\nSearch: gochi cupertino");
+    let results = web_of_concepts::apps::augmented_search(&woc, "gochi cupertino", 5);
+    if let Some(b) = &results.concept_box {
+        println!("{}", b.render());
+    }
+    for (i, r) in results.results.iter().enumerate() {
+        println!("  {}. {} {:?}", i + 1, r.url, r.features);
+    }
+
+    // 4. Why do we believe this record? Lineage explains (paper §7.3).
+    if let Some(b) = &results.concept_box {
+        println!("\nProvenance of the record:");
+        for line in woc.lineage.explain(b.record).iter().take(8) {
+            println!("  · {line}");
+        }
+    }
+
+    // 5. The concept page: the full aggregate view of one instance (§5.4).
+    if let Some(b) = &results.concept_box {
+        if let Some(page) = web_of_concepts::apps::concept_page(&woc, b.record, 5) {
+            println!("\n{}", page.render());
+        }
+    }
+
+    // 6. Concept search: typed records, not documents (paper §5.2).
+    println!("\nConcept search: is:restaurant Italian \"San Jose\"");
+    for r in web_of_concepts::apps::concept_search(&woc, "is:restaurant Italian San Jose", 5) {
+        println!("  {} — {}", r.name, r.summary);
+    }
+}

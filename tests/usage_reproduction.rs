@@ -1,0 +1,78 @@
+//! Integration check for experiments E1–E4: every Section-3 statistic the
+//! paper reports is reproduced, at full log volume, within tight tolerance.
+//! (The bench binary `usage_studies` prints the full tables; this test pins
+//! the numbers in CI.)
+
+use web_of_concepts::prelude::*;
+use web_of_concepts::usage::{analyze, AGGREGATOR_HOST};
+
+#[test]
+fn section3_statistics_within_tolerance() {
+    let world = World::generate(WorldConfig::default());
+    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    let config = UsageConfig {
+        aggregator_queries: 10_000,
+        homepage_queries: 10_000,
+        trails: 10_000,
+        ..UsageConfig::default()
+    };
+    let log = simulate(&world, &corpus, &config);
+
+    // E1 — "59% are biz URLs … 19% are search URLs … 11% are c URLs".
+    let e1 = analyze::click_categories(&log, AGGREGATOR_HOST);
+    assert!((e1.biz - 0.59).abs() < 0.02, "biz {}", e1.biz);
+    assert!((e1.search - 0.19).abs() < 0.02, "search {}", e1.search);
+    assert!((e1.category - 0.11).abs() < 0.02, "category {}", e1.category);
+
+    // E2 — "menu (3%), coupons (1.8%), online, weekly specials,
+    // locations (1.5%)".
+    let (homepages, host_map) = analyze::homepage_inventory(&world);
+    let names = analyze::name_location_tokens(&world);
+    let tally = analyze::attribute_queries(&log, &homepages, &names);
+    let rate = |tok: &str| {
+        tally
+            .iter()
+            .find(|(t, _)| t == tok)
+            .map(|(_, r)| *r)
+            .unwrap_or(0.0)
+    };
+    assert!((rate("menu") - 0.030).abs() < 0.01, "menu {}", rate("menu"));
+    assert!((rate("coupons") - 0.018).abs() < 0.008, "coupons {}", rate("coupons"));
+    assert!((rate("locations") - 0.015).abs() < 0.008, "locations {}", rate("locations"));
+    // Long-tail attributes surface too (paper: nutrition, to go, delivery,
+    // careers).
+    for tok in ["nutrition", "delivery", "careers"] {
+        assert!(rate(tok) > 0.0, "long-tail token {tok} absent");
+    }
+    // And the top attribute is menu, as in the paper.
+    assert_eq!(tally[0].0, "menu");
+
+    // E3 — "more than 59% … clicked on at least one other URL …
+    // 35% … at least two".
+    let e3 = analyze::co_clicks(&log, AGGREGATOR_HOST);
+    assert!((e3.at_least_one_other - 0.59).abs() < 0.03, "{}", e3.at_least_one_other);
+    assert!((e3.at_least_two_others - 0.35).abs() < 0.03, "{}", e3.at_least_two_others);
+
+    // E4 — "about 42% of the homepage visits are immediately preceded by a
+    // query … 11.5% … location/address … 9% … menu … 1% … coupons …
+    // about 10.5% of the user trails contain more than one distinct
+    // instance".
+    let host_of = move |url: &str| -> Option<String> {
+        let host = web_of_concepts::webgen::page::url_host(url).to_string();
+        host_map.contains_key(&host).then_some(host)
+    };
+    let cls = analyze::TrailClassifier {
+        homepages: &homepages,
+        host_of: &host_of,
+    };
+    let e4 = analyze::trails(&log, &cls);
+    assert!((e4.search_preceded - 0.42).abs() < 0.03, "{}", e4.search_preceded);
+    assert!((e4.next_location - 0.115).abs() < 0.025, "{}", e4.next_location);
+    assert!((e4.next_menu - 0.09).abs() < 0.025, "{}", e4.next_menu);
+    assert!((e4.next_coupons - 0.01).abs() < 0.01, "{}", e4.next_coupons);
+    assert!(
+        (e4.multi_instance_trails - 0.105).abs() < 0.025,
+        "{}",
+        e4.multi_instance_trails
+    );
+}
