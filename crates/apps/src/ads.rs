@@ -143,14 +143,15 @@ impl Marketplace {
             .cloned()
             .collect();
         let result = run_auction(woc, &live, ctx)?;
-        let price = result
-            .price_cents
-            .min(self.budget(&result.advertiser));
+        let price = result.price_cents.min(self.budget(&result.advertiser));
         *self
             .budgets_cents
             .get_mut(&result.advertiser)
             .expect("winner has a budget entry") -= price;
-        *self.spend_cents.entry(result.advertiser.clone()).or_insert(0) += price;
+        *self
+            .spend_cents
+            .entry(result.advertiser.clone())
+            .or_insert(0) += price;
         Some(AuctionResult {
             price_cents: price,
             ..result
@@ -233,8 +234,14 @@ mod tests {
             bid_cents: 50,
             target: Target::Keywords(vec!["pizza".into(), "jose".into()]),
         };
-        let hit = AdContext { query: "pizza in San Jose".into(), records: vec![] };
-        let miss = AdContext { query: "pizza".into(), records: vec![] };
+        let hit = AdContext {
+            query: "pizza in San Jose".into(),
+            records: vec![],
+        };
+        let miss = AdContext {
+            query: "pizza".into(),
+            records: vec![],
+        };
         assert!(eligible(&woc, &ad, &hit));
         assert!(!eligible(&woc, &ad, &miss), "all keywords required");
     }
@@ -352,6 +359,10 @@ mod tests {
             },
         ];
         let hits = ads_for_user(&woc, &ads, &ctx.records, 5);
-        assert_eq!(hits, vec![10], "only concept-targeted ads match user profiles");
+        assert_eq!(
+            hits,
+            vec![10],
+            "only concept-targeted ads match user profiles"
+        );
     }
 }

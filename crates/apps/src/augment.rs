@@ -230,9 +230,9 @@ pub fn augmented_search(woc: &WebOfConcepts, query: &str, k: usize) -> Augmented
                 .iter()
                 .filter_map(|(r, _)| woc.store.resolve(*r))
                 .filter_map(|r| {
-                    woc.store
-                        .latest(r)
-                        .and_then(|rec| rec.best_string("name").or_else(|| rec.best_string("title")))
+                    woc.store.latest(r).and_then(|rec| {
+                        rec.best_string("name").or_else(|| rec.best_string("title"))
+                    })
                 })
                 .collect();
             entities.sort();
@@ -335,11 +335,20 @@ mod tests {
     fn results_are_entity_annotated() {
         let woc = woc();
         let res = augmented_search(&woc, "gochi cupertino", 5);
-        let annotated = res.results.iter().filter(|r| !r.entities.is_empty()).count();
-        assert!(annotated > 0, "profile/homepage results carry entity annotations");
+        let annotated = res
+            .results
+            .iter()
+            .filter(|r| !r.entities.is_empty())
+            .count();
+        assert!(
+            annotated > 0,
+            "profile/homepage results carry entity annotations"
+        );
         let top = &res.results[0];
         assert!(
-            top.entities.iter().any(|e| e.to_lowercase().contains("gochi")),
+            top.entities
+                .iter()
+                .any(|e| e.to_lowercase().contains("gochi")),
             "top result annotated with the entity: {:?}",
             top.entities
         );

@@ -199,7 +199,10 @@ impl ConceptPage {
             }
         }
         if !self.mentions.is_empty() {
-            out.push_str(&format!("  mentioned in {} article(s)\n", self.mentions.len()));
+            out.push_str(&format!(
+                "  mentioned in {} article(s)\n",
+                self.mentions.len()
+            ));
         }
         out.push_str(&format!("  {} source document(s)\n", self.sources.len()));
         out
@@ -233,7 +236,9 @@ mod tests {
     #[test]
     fn page_for_gochi_aggregates_everything() {
         let woc = woc();
-        let hit = woc.record_index.query("gochi cupertino", 1, |n| woc.registry.id_of(n));
+        let hit = woc
+            .record_index
+            .query("gochi cupertino", 1, |n| woc.registry.id_of(n));
         let page = concept_page(&woc, hit[0].id, 5).unwrap();
         assert_eq!(page.concept, "restaurant");
         assert!(page.title.to_lowercase().contains("gochi"));

@@ -49,8 +49,12 @@ pub fn interpret_query(query: &str) -> FieldQuery {
         q.terms.retain(|t| *t != w);
     }
     // Connective noise.
-    q.terms
-        .retain(|t| !matches!(t.as_str(), "in" | "near" | "restaurants" | "restaurant" | "best"));
+    q.terms.retain(|t| {
+        !matches!(
+            t.as_str(),
+            "in" | "near" | "restaurants" | "restaurant" | "best"
+        )
+    });
     q
 }
 
@@ -70,11 +74,13 @@ pub fn concept_search(woc: &WebOfConcepts, query: &str, k: usize) -> Vec<Concept
                 .best_string("name")
                 .or_else(|| rec.best_string("title"))
                 .unwrap_or_else(|| h.id.to_string());
-            let summary = ["city", "cuisine", "venue", "date", "price", "rating", "year"]
-                .iter()
-                .filter_map(|key| rec.best_string(key).map(|v| format!("{key}: {v}")))
-                .collect::<Vec<_>>()
-                .join(" · ");
+            let summary = [
+                "city", "cuisine", "venue", "date", "price", "rating", "year",
+            ]
+            .iter()
+            .filter_map(|key| rec.best_string(key).map(|v| format!("{key}: {v}")))
+            .collect::<Vec<_>>()
+            .join(" · ");
             Some(ConceptResult {
                 id: h.id,
                 concept,
@@ -205,7 +211,9 @@ mod tests {
     #[test]
     fn search_within_concept_restricts_to_associated_docs() {
         let woc = woc();
-        let hits = woc.record_index.query("gochi", 1, |n| woc.registry.id_of(n));
+        let hits = woc
+            .record_index
+            .query("gochi", 1, |n| woc.registry.id_of(n));
         let gochi = hits[0].id;
         let within = search_within_concept(&woc, gochi, "menu", 10);
         let all_docs: std::collections::HashSet<&str> = woc

@@ -35,10 +35,17 @@ pub mod semantic;
 pub mod session;
 pub mod transitions;
 
-pub use ads::{ads_for_user, eligible, run_auction, Ad, AdContext, AuctionResult, Marketplace, Target};
-pub use augment::{augmented_search, build_concept_box, trigger_concept_box, AugmentedResults, ConceptBox, DocFeature, RankedDoc};
+pub use ads::{
+    ads_for_user, eligible, run_auction, Ad, AdContext, AuctionResult, Marketplace, Target,
+};
+pub use augment::{
+    augmented_search, build_concept_box, trigger_concept_box, AugmentedResults, ConceptBox,
+    DocFeature, RankedDoc,
+};
 pub use concept_page::{concept_page, AttributeLine, ConceptPage, LinkedRecord};
-pub use concept_search::{concept_search, interpret_query, refine, search_within_concept, ConceptResult};
+pub use concept_search::{
+    concept_search, interpret_query, refine, search_within_concept, ConceptResult,
+};
 pub use metrics::{holistic_score, result_set_stats, ResultSetStats};
 pub use recommend::{alternatives, augmentations, CoEngagement, Recommendation};
 pub use semantic::{articles_for, pivot_chain, records_in, RelatedPages};

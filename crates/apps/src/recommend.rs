@@ -240,8 +240,8 @@ mod tests {
         for rec in &recs {
             assert_ne!(rec.id, anchor);
             let r = woc.store.latest(rec.id).unwrap();
-            let shares = attr(r, "city") == attr(a, "city")
-                || attr(r, "cuisine") == attr(a, "cuisine");
+            let shares =
+                attr(r, "city") == attr(a, "city") || attr(r, "cuisine") == attr(a, "cuisine");
             assert!(shares, "alternative must share city or cuisine");
         }
     }
@@ -289,7 +289,10 @@ mod tests {
             co.observe_session(&[a, b]);
         }
         let recs = augmentations(&woc, a, Some(&co), 5);
-        assert!(recs.iter().any(|r| r.id == b), "co-engaged record recommended");
+        assert!(
+            recs.iter().any(|r| r.id == b),
+            "co-engaged record recommended"
+        );
     }
 
     #[test]

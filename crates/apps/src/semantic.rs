@@ -131,7 +131,11 @@ mod tests {
     fn bipartite_pivots_are_consistent() {
         let (corpus, woc) = setup();
         let mut found = 0;
-        for page in corpus.pages().iter().filter(|p| p.truth.kind == PageKind::Article) {
+        for page in corpus
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::Article)
+        {
             for rec in records_in(&woc, &page.url) {
                 assert!(
                     articles_for(&woc, rec).contains(&page.url),

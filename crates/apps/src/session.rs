@@ -95,7 +95,10 @@ impl UserModel {
 
     /// Long-term interest in a concept.
     pub fn concept_interest(&self, concept: ConceptId) -> f64 {
-        self.historical_concepts.get(&concept).copied().unwrap_or(0.0)
+        self.historical_concepts
+            .get(&concept)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Mean inter-arrival gap (in interaction counts) between consumptions
@@ -170,11 +173,7 @@ impl UserModel {
 /// to this user, but deeply uninteresting to other users." Returns
 /// `(url, score)` sorted best-first; pages mentioning nothing the user cares
 /// about score zero.
-pub fn rank_content(
-    woc: &WebOfConcepts,
-    user: &UserModel,
-    urls: &[String],
-) -> Vec<(String, f64)> {
+pub fn rank_content(woc: &WebOfConcepts, user: &UserModel, urls: &[String]) -> Vec<(String, f64)> {
     let mut scored: Vec<(String, f64)> = urls
         .iter()
         .map(|url| {
@@ -200,7 +199,9 @@ pub fn personalized_search(
     query: &str,
     k: usize,
 ) -> Vec<(LrecId, f64)> {
-    let hits = woc.record_index.query(query, k * 4 + 8, |n| woc.registry.id_of(n));
+    let hits = woc
+        .record_index
+        .query(query, k * 4 + 8, |n| woc.registry.id_of(n));
     let mut scored: Vec<(LrecId, f64)> = hits
         .into_iter()
         .map(|h| {
@@ -326,17 +327,25 @@ mod tests {
         let woc = woc();
         let restaurants = woc.records_of(woc.concepts.restaurant);
         let mut user = UserModel::new();
-        assert!(user.concept_inter_arrival(woc.concepts.restaurant).is_none());
+        assert!(user
+            .concept_inter_arrival(woc.concepts.restaurant)
+            .is_none());
         // A habitual restaurant consumer: every other event.
         for i in 0..10 {
             if i % 2 == 0 {
-                user.observe(&woc, Interaction::ViewedRecord(restaurants[i % restaurants.len()].id()));
+                user.observe(
+                    &woc,
+                    Interaction::ViewedRecord(restaurants[i % restaurants.len()].id()),
+                );
             } else {
                 user.observe(&woc, Interaction::Queried("noise".into()));
             }
         }
         let gap = user.concept_inter_arrival(woc.concepts.restaurant).unwrap();
-        assert!((gap - 2.0).abs() < 1e-9, "every-other-event habit, got {gap}");
+        assert!(
+            (gap - 2.0).abs() < 1e-9,
+            "every-other-event habit, got {gap}"
+        );
         assert!(user.concept_inter_arrival(woc.concepts.product).is_none());
     }
 

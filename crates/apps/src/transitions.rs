@@ -123,7 +123,11 @@ impl<'a> TransitionEngine<'a> {
 
     /// Concept→Concept: **Concept recommendation** — alternatives and
     /// augmentations, both flavors (§5.4 insists they differ).
-    pub fn recommendations(&self, record: LrecId, k: usize) -> (Vec<Recommendation>, Vec<Recommendation>) {
+    pub fn recommendations(
+        &self,
+        record: LrecId,
+        k: usize,
+    ) -> (Vec<Recommendation>, Vec<Recommendation>) {
         (
             alternatives(self.woc, record, k),
             augmentations(self.woc, record, self.co, k),
@@ -166,12 +170,7 @@ impl<'a> TransitionEngine<'a> {
     }
 
     /// Article→Article: **Related pages** via a prebuilt engine.
-    pub fn related_pages(
-        &self,
-        engine: &RelatedPages,
-        url: &str,
-        k: usize,
-    ) -> Vec<TransitionLink> {
+    pub fn related_pages(&self, engine: &RelatedPages, url: &str, k: usize) -> Vec<TransitionLink> {
         let Some(idx) = engine.index_of(url) else {
             return Vec::new();
         };
@@ -211,9 +210,18 @@ mod tests {
         let engine = TransitionEngine::new(&woc, None);
 
         // Row 1: Result → {Result, Concept, Article}.
-        assert!(!engine.assistance("restaurants", 5).is_empty(), "assistance");
-        assert!(!engine.concept_links("gochi", 5).is_empty(), "concept search");
-        assert!(!engine.vanilla_search("menu", 5).is_empty(), "vanilla search");
+        assert!(
+            !engine.assistance("restaurants", 5).is_empty(),
+            "assistance"
+        );
+        assert!(
+            !engine.concept_links("gochi", 5).is_empty(),
+            "concept search"
+        );
+        assert!(
+            !engine.vanilla_search("menu", 5).is_empty(),
+            "vanilla search"
+        );
 
         // Row 2: Concept → {Result, Concept, Article}.
         let gochi = engine.concept_links("gochi cupertino", 1)[0].id;
@@ -244,7 +252,9 @@ mod tests {
 
         // Row 3: Article → {Concept, Article}.
         assert!(
-            !engine.semantic_links_from_article(&article_url, 5).is_empty(),
+            !engine
+                .semantic_links_from_article(&article_url, 5)
+                .is_empty(),
             "article→concept"
         );
         let articles: Vec<&woc_webgen::Page> = corpus
@@ -275,6 +285,8 @@ mod tests {
     fn unknown_article_yields_no_links() {
         let (_, woc) = setup();
         let engine = TransitionEngine::new(&woc, None);
-        assert!(engine.semantic_links_from_article("http://nope/", 5).is_empty());
+        assert!(engine
+            .semantic_links_from_article("http://nope/", 5)
+            .is_empty());
     }
 }

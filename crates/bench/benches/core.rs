@@ -9,6 +9,11 @@ fn bench_core(c: &mut Criterion) {
     let world = World::generate(WorldConfig::tiny(79));
     let corpus = generate_corpus(&world, &CorpusConfig::tiny(79));
 
+    // One instrumented build up front so the bench log shows where the
+    // pipeline spends its time, not just the end-to-end numbers.
+    let woc = build(&corpus, &PipelineConfig::default());
+    println!("{}", woc.report);
+
     let mut group = c.benchmark_group("pipeline");
     group.sample_size(10);
     group.bench_function("build_tiny_sequential", |b| {
@@ -16,14 +21,22 @@ fn bench_core(c: &mut Criterion) {
             build(
                 black_box(&corpus),
                 &PipelineConfig {
-                    parallel: false,
+                    threads: 1,
                     ..PipelineConfig::default()
                 },
             )
         })
     });
     group.bench_function("build_tiny_parallel", |b| {
-        b.iter(|| build(black_box(&corpus), &PipelineConfig::default()))
+        b.iter(|| {
+            build(
+                black_box(&corpus),
+                &PipelineConfig {
+                    threads: 0,
+                    ..PipelineConfig::default()
+                },
+            )
+        })
     });
     group.finish();
 

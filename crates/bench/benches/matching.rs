@@ -10,9 +10,21 @@ fn records(n: u64) -> Vec<Lrec> {
         .map(|i| {
             let mut r = Lrec::new(LrecId(i), ConceptId(0));
             let p = Provenance::ground_truth(Tick(0));
-            r.add("name", AttrValue::Text(format!("Restaurant Number {}", i / 2)), p.clone());
-            r.add("zip", AttrValue::Zip(format!("95{:03}", i % 100)), p.clone());
-            r.add("phone", AttrValue::Phone(format!("408555{:04}", i / 2)), p.clone());
+            r.add(
+                "name",
+                AttrValue::Text(format!("Restaurant Number {}", i / 2)),
+                p.clone(),
+            );
+            r.add(
+                "zip",
+                AttrValue::Zip(format!("95{:03}", i % 100)),
+                p.clone(),
+            );
+            r.add(
+                "phone",
+                AttrValue::Phone(format!("408555{:04}", i / 2)),
+                p.clone(),
+            );
             r.add("city", AttrValue::Text("San Jose".into()), p);
             r
         })

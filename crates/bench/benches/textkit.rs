@@ -17,12 +17,18 @@ fn bench_textkit(c: &mut Criterion) {
     });
     c.bench_function("metrics/levenshtein_20", |b| {
         b.iter(|| {
-            woc_textkit::levenshtein(black_box("Gochi Fusion Tapas"), black_box("Gochi Fusion Tapas SJ"))
+            woc_textkit::levenshtein(
+                black_box("Gochi Fusion Tapas"),
+                black_box("Gochi Fusion Tapas SJ"),
+            )
         })
     });
     c.bench_function("metrics/jaro_winkler_20", |b| {
         b.iter(|| {
-            woc_textkit::jaro_winkler(black_box("gochi fusion tapas"), black_box("gochi fusion tapas cupertino"))
+            woc_textkit::jaro_winkler(
+                black_box("gochi fusion tapas"),
+                black_box("gochi fusion tapas cupertino"),
+            )
         })
     });
     c.bench_function("metrics/name_similarity", |b| {

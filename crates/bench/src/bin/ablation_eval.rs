@@ -28,8 +28,12 @@ fn coverage_stats(world: &World, corpus: &WebCorpus, woc: &WebOfConcepts) -> (f6
                 if *kind != AssocKind::ExtractedFrom {
                     continue;
                 }
-                let Some(canon) = woc.store.resolve(*rec) else { continue };
-                let Some(r) = woc.store.latest(canon) else { continue };
+                let Some(canon) = woc.store.resolve(*rec) else {
+                    continue;
+                };
+                let Some(r) = woc.store.latest(canon) else {
+                    continue;
+                };
                 if r.concept() != restaurant {
                     continue;
                 }
@@ -37,7 +41,11 @@ fn coverage_stats(world: &World, corpus: &WebCorpus, woc: &WebOfConcepts) -> (f6
                 if name_similarity(&rec_name, truth_name) < 0.6 {
                     continue;
                 }
-                *votes.entry(canon).or_default().entry(tr.entity).or_insert(0) += 1;
+                *votes
+                    .entry(canon)
+                    .or_default()
+                    .entry(tr.entity)
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -140,6 +148,7 @@ fn main() {
     header("A2  Fielded vs flat retrieval (§2.2 representation choice)");
     // Precision@1 of name+city queries under three query treatments.
     let woc = build(&corpus, &PipelineConfig::default());
+    println!("{}", woc.report);
     let mut flat_ok = 0usize;
     let mut fielded_ok = 0usize;
     let mut interpreted_ok = 0usize;
@@ -182,14 +191,20 @@ fn main() {
         if check(&fielded) {
             fielded_ok += 1;
         }
-        if interpreted.first().is_some_and(|h| name_similarity(&h.name, &name) > 0.7) {
+        if interpreted
+            .first()
+            .is_some_and(|h| name_similarity(&h.name, &name) > 0.7)
+        {
             interpreted_ok += 1;
         }
     }
     metric_row("queries", total);
     metric_row("flat bag-of-words P@1", pct(flat_ok as f64 / total as f64));
     metric_row("fully fielded P@1", pct(fielded_ok as f64 / total as f64));
-    metric_row("interpreted (geo-promoted) P@1", pct(interpreted_ok as f64 / total as f64));
+    metric_row(
+        "interpreted (geo-promoted) P@1",
+        pct(interpreted_ok as f64 / total as f64),
+    );
     println!("  (expected shape: field scoping prunes cross-attribute false matches)");
 
     header("A3  Curated vs data-driven taxonomy (§2.3)");

@@ -34,12 +34,13 @@ fn main() {
     let biz: Vec<&Page> = corpus
         .pages()
         .iter()
-        .filter(|p| {
-            p.truth.kind == PageKind::AggregatorBiz && p.site == "localreviews.example.com"
-        })
+        .filter(|p| p.truth.kind == PageKind::AggregatorBiz && p.site == "localreviews.example.com")
         .collect();
     let attrs = ["hours", "cuisine"];
-    println!("  {:<10} {:>12} {:>12}", "k labeled", "brittle F1", "robust F1");
+    println!(
+        "  {:<10} {:>12} {:>12}",
+        "k labeled", "brittle F1", "robust F1"
+    );
     for k in [1usize, 2, 3, 5, 8] {
         // Sample labeled pages spread across the site (annotators label a
         // representative handful, not the first k URLs).
@@ -61,10 +62,7 @@ fn main() {
     let train: Vec<&Page> = (0..3).map(|i| biz[i * biz.len() / 3]).collect();
     let w = SiteWrapper::learn(&train, &attrs, truth_label);
     let owned: Vec<Page> = biz.iter().map(|&p| p.clone()).collect();
-    println!(
-        "  {:<12} {:>12} {:>12}",
-        "drift", "brittle F1", "robust F1"
-    );
+    println!("  {:<12} {:>12} {:>12}", "drift", "brittle F1", "robust F1");
     for (label, cfg) in [
         ("none", None),
         ("mild", Some(DriftConfig::mild())),
@@ -83,7 +81,12 @@ fn main() {
                 robust.merge(score_field(&[w.extract_robust(p)], &truth, attr));
             }
         }
-        println!("  {:<12} {:>12.3} {:>12.3}", label, brittle.f1(), robust.f1());
+        println!(
+            "  {:<12} {:>12.3} {:>12.3}",
+            label,
+            brittle.f1(),
+            robust.f1()
+        );
     }
     println!("  (expected shape: brittle collapses under drift, robust survives)");
 
@@ -91,10 +94,30 @@ fn main() {
     header("S2  Domain-centric list extraction — unsupervised, site-independent");
     let profiles = ConceptProfile::standard();
     for (label, kind, concept, field) in [
-        ("menu items on homepages", PageKind::RestaurantMenu, "menu_item", "name"),
-        ("restaurants on category pages", PageKind::AggregatorCategory, "restaurant", "name"),
-        ("publications on venue pages", PageKind::VenuePage, "publication", "venue"),
-        ("events on listing pages", PageKind::EventList, "event", "name"),
+        (
+            "menu items on homepages",
+            PageKind::RestaurantMenu,
+            "menu_item",
+            "name",
+        ),
+        (
+            "restaurants on category pages",
+            PageKind::AggregatorCategory,
+            "restaurant",
+            "name",
+        ),
+        (
+            "publications on venue pages",
+            PageKind::VenuePage,
+            "publication",
+            "venue",
+        ),
+        (
+            "events on listing pages",
+            PageKind::EventList,
+            "event",
+            "name",
+        ),
     ] {
         let mut prf = Prf::default();
         let mut pages_n = 0;
@@ -133,8 +156,14 @@ fn main() {
     let src = cite(0);
     let tgt = cite(2);
     let model = Labeler::train(&src[..30], 8);
-    metric_row("in-format token accuracy", pct(model.token_accuracy(&src[30..])));
-    metric_row("cross-format (no adaptation)", pct(model.token_accuracy(&tgt[30..])));
+    metric_row(
+        "in-format token accuracy",
+        pct(model.token_accuracy(&src[30..])),
+    );
+    metric_row(
+        "cross-format (no adaptation)",
+        pct(model.token_accuracy(&tgt[30..])),
+    );
     println!("  adaptation curve (k target-format examples):");
     println!("  {:>4} {:>14} {:>14}", "k", "adapted", "cold start");
     for k in [1usize, 2, 4, 8] {
@@ -173,7 +202,10 @@ fn main() {
     for noise in [0.0, 0.1, 0.2, 0.25, 0.3] {
         let mut nb = NaiveBayes::new();
         let mut noise_rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7);
-        for p in city_pages.iter().filter(|p| train_sites.contains(&p.site.as_str())) {
+        for p in city_pages
+            .iter()
+            .filter(|p| train_sites.contains(&p.site.as_str()))
+        {
             let mut label = p.truth.kind == PageKind::CityEvents;
             if noise > 0.0 && rand::Rng::random_bool(&mut noise_rng, noise) {
                 label = !label;
@@ -215,7 +247,10 @@ fn main() {
     let total_truth: usize = menu_pages.iter().map(|p| p.truth.records.len()).sum();
     metric_row("menu pages", menu_pages.len());
     metric_row("true menu items", total_truth);
-    println!("  {:<10} {:>10} {:>10} {:>12}", "seeds", "rounds", "harvested", "growth curve");
+    println!(
+        "  {:<10} {:>10} {:>10} {:>12}",
+        "seeds", "rounds", "harvested", "growth curve"
+    );
     for n_seeds in [1usize, 3, 5, 10] {
         let seed_names: Vec<String> = menu_pages[0]
             .truth
@@ -227,7 +262,12 @@ fn main() {
             .collect();
         let refs: Vec<&str> = seed_names.iter().map(String::as_str).collect();
         let seeds = seeds_from_names("menu_item", &refs);
-        let result = bootstrap(&menu_pages, "menu_item", &seeds, &BootstrapConfig::default());
+        let result = bootstrap(
+            &menu_pages,
+            "menu_item",
+            &seeds,
+            &BootstrapConfig::default(),
+        );
         println!(
             "  {:<10} {:>10} {:>10} {:>12?}",
             n_seeds,

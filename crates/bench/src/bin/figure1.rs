@@ -8,6 +8,7 @@ use woc_bench::{header, metric_row, standard_fixture};
 
 fn main() {
     let f = standard_fixture();
+    println!("{}", f.woc.report);
     metric_row("pages crawled", f.corpus.len());
     metric_row("canonical records", f.woc.store.live_count());
 
@@ -36,15 +37,19 @@ fn main() {
     let control = augmented_search(&f.woc, "best food in town", 3);
     metric_row(
         "concept box",
-        if control.concept_box.is_some() { "TRIGGERED (unexpected)" } else { "not triggered (correct)" },
+        if control.concept_box.is_some() {
+            "TRIGGERED (unexpected)"
+        } else {
+            "not triggered (correct)"
+        },
     );
 
     header("Second entity query — another restaurant");
     let restaurants = f.woc.records_of(f.woc.concepts.restaurant);
-    if let Some(other) = restaurants
-        .iter()
-        .find(|r| r.best_string("name").is_some_and(|n| !n.to_lowercase().contains("gochi")))
-    {
+    if let Some(other) = restaurants.iter().find(|r| {
+        r.best_string("name")
+            .is_some_and(|n| !n.to_lowercase().contains("gochi"))
+    }) {
         let name = other.best_string("name").unwrap();
         let city = other.best_string("city").unwrap_or_default();
         let q = format!("{} {}", name.to_lowercase(), city.to_lowercase());

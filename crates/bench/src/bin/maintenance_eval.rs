@@ -43,6 +43,7 @@ fn main() {
     let mut world = World::generate(WorldConfig::default());
     let corpus_v1 = generate_corpus(&world, &cfg);
     let mut woc = build(&corpus_v1, &PipelineConfig::default());
+    println!("{}", woc.report);
     let live_before = woc.store.live_count();
     let events = churn_restaurants(&mut world, 0.3, Tick(10), 77);
     let corpus_v2 = generate_corpus(&world, &cfg);
@@ -116,7 +117,10 @@ fn main() {
             let id = rec.id();
             metric_row("record", &name);
             metric_row("versions", woc.store.num_versions(id));
-            let old = woc.store.as_of(id, Tick(5)).and_then(|r| r.best_string("phone"));
+            let old = woc
+                .store
+                .as_of(id, Tick(5))
+                .and_then(|r| r.best_string("phone"));
             let new = woc.store.latest(id).and_then(|r| r.best_string("phone"));
             metric_row("phone as of t5", old.unwrap_or_else(|| "-".into()));
             metric_row("phone now", new.unwrap_or_else(|| "-".into()));

@@ -132,7 +132,12 @@ fn main() {
                         rec.add(
                             k,
                             woc_core::pipeline::type_value(k, v),
-                            woc_lrec::Provenance::extracted(&page.url, "bench", 0.9, woc_lrec::Tick(0)),
+                            woc_lrec::Provenance::extracted(
+                                &page.url,
+                                "bench",
+                                0.9,
+                                woc_lrec::Tick(0),
+                            ),
                         );
                     }
                     page_restaurant = Some(m_records.len());
@@ -147,7 +152,12 @@ fn main() {
                         rec.add(
                             "text",
                             woc_lrec::AttrValue::Text(t.to_string()),
-                            woc_lrec::Provenance::extracted(&page.url, "bench", 0.9, woc_lrec::Tick(0)),
+                            woc_lrec::Provenance::extracted(
+                                &page.url,
+                                "bench",
+                                0.9,
+                                woc_lrec::Tick(0),
+                            ),
                         );
                     }
                     page_reviews.push(m_records.len());
@@ -165,8 +175,14 @@ fn main() {
             }
         }
     }
-    metric_row("restaurant mentions", m_kind.iter().filter(|k| **k == Kind::Restaurant).count());
-    metric_row("review mentions", m_kind.iter().filter(|k| **k == Kind::Review).count());
+    metric_row(
+        "restaurant mentions",
+        m_kind.iter().filter(|k| **k == Kind::Restaurant).count(),
+    );
+    metric_row(
+        "review mentions",
+        m_kind.iter().filter(|k| **k == Kind::Review).count(),
+    );
 
     // Candidate pairs: attribute blocking for restaurants; reviews pair by
     // exact normalized text (their natural blocking key).
@@ -238,7 +254,10 @@ fn main() {
             max_iters: 6,
         },
     );
-    println!("  collective {}   (iterations: {iters})", restaurant_prf(&mut uf_coll));
+    println!(
+        "  collective {}   (iterations: {iters})",
+        restaurant_prf(&mut uf_coll)
+    );
     println!("  (restaurant-pair P/R/F1; expected shape: shared syndicated reviews");
     println!("   let collective resolution recover recall pairwise matching loses");
     println!("   when attributes are sparse)");
@@ -274,7 +293,11 @@ fn main() {
             let p = woc_lrec::Provenance::ground_truth(woc_lrec::Tick(0));
             r.add("name", woc_lrec::AttrValue::Text(v.name.clone()), p.clone());
             r.add("city", woc_lrec::AttrValue::Text(v.city.clone()), p.clone());
-            r.add("cuisine", woc_lrec::AttrValue::Text(v.cuisine.clone()), p.clone());
+            r.add(
+                "cuisine",
+                woc_lrec::AttrValue::Text(v.cuisine.clone()),
+                p.clone(),
+            );
             for (dish, _) in &v.menu {
                 r.add("dish", woc_lrec::AttrValue::Text(dish.clone()), p.clone());
             }
@@ -286,7 +309,10 @@ fn main() {
     // Two conditions: full review text, and name-masked text (snippets and
     // blog mentions often talk about "this place" without naming it — the
     // matcher must then lean on dishes/city/cuisine).
-    println!("  {:<22} {:>12} {:>12}", "condition", "generative", "tf-idf");
+    println!(
+        "  {:<22} {:>12} {:>12}",
+        "condition", "generative", "tf-idf"
+    );
     for masked in [false, true] {
         let mut gen_ok = 0usize;
         let mut tf_ok = 0usize;
@@ -294,7 +320,9 @@ fn main() {
         for (ri, reviews) in world.reviews.iter().enumerate() {
             let name = world.attr(world.restaurants[ri], "name");
             let name_toks: std::collections::HashSet<String> =
-                woc_textkit::tokenize::tokenize_words(&name).into_iter().collect();
+                woc_textkit::tokenize::tokenize_words(&name)
+                    .into_iter()
+                    .collect();
             for &rv in reviews {
                 let mut text = world.attr(rv, "text");
                 if masked {
@@ -319,7 +347,11 @@ fn main() {
         }
         println!(
             "  {:<22} {:>12} {:>12}",
-            if masked { "name-masked text" } else { "full text" },
+            if masked {
+                "name-masked text"
+            } else {
+                "full text"
+            },
             pct(gen_ok as f64 / total.max(1) as f64),
             pct(tf_ok as f64 / total.max(1) as f64)
         );

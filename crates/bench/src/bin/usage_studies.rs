@@ -1,17 +1,35 @@
 //! Experiments E1–E4: reproduce every statistic of the paper's §3 usage
 //! studies over simulated logs. Run: `cargo run -p woc-bench --bin usage_studies --release`
+//!
+//! `--quick` runs a smoke profile (tiny world, 2k events per study) that
+//! finishes in well under a minute and also builds the web of concepts once
+//! to print its pipeline report — the CI-friendly end-to-end check.
 
-use woc_bench::{compare_row, header, metric_row};
+use woc_bench::{bench_pipeline_config, compare_row, header, metric_row};
 use woc_usage::{analyze, simulate, UsageConfig, AGGREGATOR_HOST};
 use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
 
 fn main() {
-    let world = World::generate(WorldConfig::default());
-    let corpus = generate_corpus(&world, &CorpusConfig::default());
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (world, corpus) = if quick {
+        let world = World::generate(WorldConfig::tiny(79));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(79));
+        (world, corpus)
+    } else {
+        let world = World::generate(WorldConfig::default());
+        let corpus = generate_corpus(&world, &CorpusConfig::default());
+        (world, corpus)
+    };
+    if quick {
+        header("Quick smoke: pipeline build");
+        let woc = woc_core::build(&corpus, &bench_pipeline_config());
+        println!("{}", woc.report);
+    }
+    let events = if quick { 2_000 } else { 20_000 };
     let config = UsageConfig {
-        aggregator_queries: 20_000,
-        homepage_queries: 20_000,
-        trails: 20_000,
+        aggregator_queries: events,
+        homepage_queries: events,
+        trails: events,
         ..UsageConfig::default()
     };
     let log = simulate(&world, &corpus, &config);
@@ -72,7 +90,11 @@ fn main() {
     compare_row("next page = location/address", 0.115, e4.next_location);
     compare_row("next page = menu", 0.09, e4.next_menu);
     compare_row("next page = coupons", 0.01, e4.next_coupons);
-    compare_row("trails with >1 restaurant instance", 0.105, e4.multi_instance_trails);
+    compare_row(
+        "trails with >1 restaurant instance",
+        0.105,
+        e4.multi_instance_trails,
+    );
 
     println!();
     println!("All four §3 analyses re-run over raw simulated logs (analyzers see");

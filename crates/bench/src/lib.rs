@@ -21,11 +21,25 @@ pub struct Fixture {
     pub woc: WebOfConcepts,
 }
 
+/// The pipeline configuration the experiment binaries use: defaults, with
+/// the worker count overridable via the `WOC_THREADS` env var (0 = all
+/// cores). Results are identical at any thread count — only timings move.
+pub fn bench_pipeline_config() -> PipelineConfig {
+    let threads = std::env::var("WOC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    PipelineConfig {
+        threads,
+        ..PipelineConfig::default()
+    }
+}
+
 /// Build the standard experiment fixture (deterministic).
 pub fn standard_fixture() -> Fixture {
     let world = World::generate(WorldConfig::default());
     let corpus = generate_corpus(&world, &CorpusConfig::default());
-    let woc = woc_core::build(&corpus, &PipelineConfig::default());
+    let woc = woc_core::build(&corpus, &bench_pipeline_config());
     Fixture { world, corpus, woc }
 }
 
@@ -33,7 +47,7 @@ pub fn standard_fixture() -> Fixture {
 pub fn small_fixture(seed: u64) -> Fixture {
     let world = World::generate(WorldConfig::tiny(seed));
     let corpus = generate_corpus(&world, &CorpusConfig::tiny(seed));
-    let woc = woc_core::build(&corpus, &PipelineConfig::default());
+    let woc = woc_core::build(&corpus, &bench_pipeline_config());
     Fixture { world, corpus, woc }
 }
 

@@ -107,11 +107,7 @@ pub fn ingest_feed(woc: &mut WebOfConcepts, feed: &Feed, tick: Tick) -> FeedRepo
             .store
             .by_concept(cid)
             .into_iter()
-            .filter_map(|id| {
-                woc.store
-                    .latest(id)
-                    .map(|r| (id, fs.score(&staged, r)))
-            })
+            .filter_map(|id| woc.store.latest(id).map(|r| (id, fs.score(&staged, r))))
             .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
 
         match best {
@@ -219,7 +215,9 @@ mod tests {
         assert_eq!(woc.store.live_count(), before + 1);
 
         // The merged record now carries feed provenance alongside extraction.
-        let hits = woc.record_index.query("gochi cupertino", 3, |n| woc.registry.id_of(n));
+        let hits = woc
+            .record_index
+            .query("gochi cupertino", 3, |n| woc.registry.id_of(n));
         let rec = woc.store.latest(hits[0].id).unwrap();
         let has_feed = rec.iter().any(|(_, es)| {
             es.iter()
@@ -228,7 +226,9 @@ mod tests {
         assert!(has_feed, "feed values present on the merged record");
 
         // The new bistro is findable.
-        let hits = woc.record_index.query("brand new bistro", 3, |n| woc.registry.id_of(n));
+        let hits = woc
+            .record_index
+            .query("brand new bistro", 3, |n| woc.registry.id_of(n));
         assert!(!hits.is_empty());
     }
 
@@ -248,7 +248,9 @@ mod tests {
         let (world, mut woc) = setup();
         let feed = gochi_feed(&world);
         ingest_feed(&mut woc, &feed, Tick(200));
-        let hits = woc.record_index.query("gochi cupertino", 3, |n| woc.registry.id_of(n));
+        let hits = woc
+            .record_index
+            .query("gochi cupertino", 3, |n| woc.registry.id_of(n));
         let id = hits[0].id;
         let values_after_one = woc.store.latest(id).unwrap().num_values();
         // Re-ingesting the same feed adds no duplicate values to the merged

@@ -76,9 +76,13 @@ impl ConceptWeb {
     }
 
     /// Rewrite associations after entity merges: every association of a
-    /// merged-away record moves to its surviving record.
+    /// merged-away record moves to its surviving record. Records are
+    /// re-inserted in id order — HashMap iteration order would make the
+    /// merged association lists differ from run to run.
     pub fn resolve_merges(&mut self, store: &Store) {
-        let old = std::mem::take(&mut self.by_record);
+        let mut old: Vec<(LrecId, Vec<(String, AssocKind)>)> =
+            std::mem::take(&mut self.by_record).into_iter().collect();
+        old.sort_unstable_by_key(|(rec, _)| *rec);
         self.by_doc.clear();
         for (rec, assocs) in old {
             let target = store.resolve(rec).unwrap_or(rec);
@@ -139,8 +143,14 @@ mod tests {
         g.associate(r, "http://r.example.com/", AssocKind::Homepage);
         assert_eq!(g.len(), 2);
         assert_eq!(g.docs_of(r).len(), 2);
-        assert_eq!(g.records_of("http://a/biz"), &[(r, AssocKind::ExtractedFrom)]);
-        assert_eq!(g.docs_of_kind(r, AssocKind::Homepage), vec!["http://r.example.com/"]);
+        assert_eq!(
+            g.records_of("http://a/biz"),
+            &[(r, AssocKind::ExtractedFrom)]
+        );
+        assert_eq!(
+            g.docs_of_kind(r, AssocKind::Homepage),
+            vec!["http://r.example.com/"]
+        );
         assert!(g.records_of("http://unknown").is_empty());
     }
 

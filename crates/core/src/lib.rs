@@ -29,8 +29,10 @@ pub mod feed;
 pub mod graph;
 pub mod lineage;
 pub mod maintain;
+pub mod parallel;
 pub mod pipeline;
 pub mod quality;
+pub mod report;
 pub mod taxonomy;
 pub mod uncertainty;
 
@@ -38,12 +40,14 @@ pub use feed::{ingest_feed, parse_feed, Feed, FeedError, FeedRecord, FeedReport}
 pub use graph::{record_links, reverse_links, AssocKind, ConceptWeb};
 pub use lineage::{Lineage, LineageNode, NodeId, NodeKind};
 pub use maintain::{recrawl, MaintenanceReport};
+pub use parallel::{resolve_threads, shard_map};
 pub use pipeline::{build, detail_extract, extract_page, PipelineConfig, WebOfConcepts};
 pub use quality::{assess, ConceptQuality, QualityReport};
+pub use report::{PipelineReport, StageStat};
 pub use taxonomy::{
     bundles_containing, cluster_purity, data_driven_taxonomy, part_of_components, Taxonomy,
 };
 pub use uncertainty::{
-    apply_reconciliation, group_by_denotation, quality_score, reconcile, Conflict, Reconciliation,
-    ReconciledValue,
+    apply_reconciliation, group_by_denotation, quality_score, reconcile, Conflict, ReconciledValue,
+    Reconciliation,
 };

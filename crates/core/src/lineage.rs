@@ -198,9 +198,7 @@ impl Lineage {
                     NodeKind::Document(url) => out.push(format!("document {url}")),
                     NodeKind::Operator { name } => out.push(format!("operator {name}")),
                     NodeKind::Record(r) => out.push(format!("record {r}")),
-                    NodeKind::Value { record, attr } => {
-                        out.push(format!("value {record}.{attr}"))
-                    }
+                    NodeKind::Value { record, attr } => out.push(format!("value {record}.{attr}")),
                 }
             }
         }
@@ -316,7 +314,10 @@ mod tests {
         let (l, r1, r2) = sample();
         let recs = l.records_from_document("http://b.example.com/biz/gochi");
         assert!(recs.contains(&r2));
-        assert!(recs.contains(&r1), "merge makes r1 downstream of doc 2 as well");
+        assert!(
+            recs.contains(&r1),
+            "merge makes r1 downstream of doc 2 as well"
+        );
         assert!(l.records_from_document("http://unknown/").is_empty());
     }
 

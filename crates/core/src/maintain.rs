@@ -78,7 +78,9 @@ pub fn recrawl(
         report.pages_reprocessed += 1;
 
         let doc_node = woc.lineage.document(&page.url);
-        let op = woc.lineage.operator("incremental-extractor", vec![doc_node]);
+        let op = woc
+            .lineage
+            .operator("incremental-extractor", vec![doc_node]);
 
         // Existing records extracted from this page, resolved through merges.
         let existing: Vec<woc_lrec::LrecId> = woc
@@ -226,7 +228,10 @@ mod tests {
             report.pages_reprocessed,
             report.pages_total
         );
-        assert!(report.records_updated > 0, "existing records updated in place");
+        assert!(
+            report.records_updated > 0,
+            "existing records updated in place"
+        );
         // No duplicate explosion: new records only for genuinely new content.
         assert!(
             woc.store.live_count() <= before_live + report.records_created,

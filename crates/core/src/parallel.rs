@@ -1,0 +1,80 @@
+//! Deterministic sharded execution for the construction pipeline.
+//!
+//! Work is split into contiguous shards, one per worker, and results are
+//! re-assembled in shard order — so as long as the per-item function is
+//! pure, the output is *identical* to a serial run regardless of the worker
+//! count. All pipeline parallelism routes through here to keep that
+//! guarantee in one place.
+
+use std::num::NonZeroUsize;
+
+/// Resolve a configured thread count: `0` means all available parallelism.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// Map `f` over `items` on up to `threads` workers, preserving input order.
+///
+/// Items are split into contiguous chunks; each worker maps its chunk and
+/// the chunk results are concatenated in order, so the output equals
+/// `items.iter().map(f).collect()` exactly (for pure `f`) at any thread
+/// count.
+pub fn shard_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < 2 {
+        return items.iter().map(f).collect();
+    }
+    let shards = threads.min(items.len());
+    let chunk = items.len().div_ceil(shards);
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|shard| {
+                let f = &f;
+                scope.spawn(move |_| shard.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("pipeline shard worker panicked"));
+        }
+        out
+    })
+    .expect("pipeline shard scope")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_means_available() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn order_preserved_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 7, 16, 1000, 2000] {
+            assert_eq!(shard_map(&items, threads, |x| x * x), serial);
+        }
+    }
+
+    #[test]
+    fn small_and_empty_inputs() {
+        assert_eq!(shard_map(&[] as &[u8], 4, |x| *x), Vec::<u8>::new());
+        assert_eq!(shard_map(&[5u8], 4, |x| *x + 1), vec![6]);
+    }
+}

@@ -10,16 +10,15 @@
 //! confidence, so §7.3's uncertainty/lineage requirements hold end to end.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use woc_extract::lists::{extract_lists, ConceptProfile};
 use woc_extract::ExtractedRecord;
 use woc_index::{InvertedIndex, LrecIndex};
 use woc_lrec::domains::{standard_registry, StandardConcepts};
 use woc_lrec::value::Date;
-use woc_lrec::{
-    AttrValue, ConceptRegistry, Lrec, LrecId, Provenance, Store, Tick,
-};
-use woc_matching::{candidate_pairs, CollectiveConfig, FellegiSunter, GenerativeMatcher};
+use woc_lrec::{AttrValue, ConceptRegistry, Lrec, LrecId, Provenance, Store, Tick};
+use woc_matching::{candidate_pairs_sharded, CollectiveConfig, FellegiSunter, GenerativeMatcher};
 use woc_textkit::gazetteer;
 use woc_textkit::recognize::{self, FieldKind};
 use woc_textkit::tokenize::normalize;
@@ -27,14 +26,17 @@ use woc_webgen::{Page, WebCorpus};
 
 use crate::graph::{AssocKind, ConceptWeb};
 use crate::lineage::Lineage;
+use crate::parallel::{resolve_threads, shard_map};
+use crate::report::PipelineReport;
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Logical time of this construction run.
     pub tick: Tick,
-    /// Run page extraction on worker threads.
-    pub parallel: bool,
+    /// Worker threads for the sharded stages (0 = all available cores).
+    /// Output is byte-identical at any thread count.
+    pub threads: usize,
     /// Use collective (relational) resolution instead of purely pairwise.
     pub collective: bool,
     /// Minimum generative-matcher margin to accept a review→record link.
@@ -53,7 +55,7 @@ impl Default for PipelineConfig {
     fn default() -> Self {
         Self {
             tick: Tick(1),
-            parallel: true,
+            threads: 0,
             collective: true,
             review_margin: 0.5,
             use_lists: true,
@@ -85,6 +87,8 @@ pub struct WebOfConcepts {
     pub doc_urls: Vec<String>,
     /// Page titles by doc-index id.
     pub doc_titles: Vec<String>,
+    /// Stage timings and record counts of the build that produced this web.
+    pub report: PipelineReport,
 }
 
 impl WebOfConcepts {
@@ -121,12 +125,10 @@ pub fn type_value(field: &str, raw: &str) -> AttrValue {
                 AttrValue::Text(raw.to_string())
             }
         }
-        "price" => {
-            AttrValue::parse_price(raw).unwrap_or_else(|| AttrValue::Text(raw.to_string()))
-        }
-        "date" => parse_date(raw).map(AttrValue::Date).unwrap_or_else(|| {
-            AttrValue::Text(raw.to_string())
-        }),
+        "price" => AttrValue::parse_price(raw).unwrap_or_else(|| AttrValue::Text(raw.to_string())),
+        "date" => parse_date(raw)
+            .map(AttrValue::Date)
+            .unwrap_or_else(|| AttrValue::Text(raw.to_string())),
         "rating" | "year" => raw
             .parse::<i64>()
             .map(AttrValue::Int)
@@ -159,9 +161,11 @@ pub fn parse_date(raw: &str) -> Option<Date> {
     // YYYY-MM-DD
     let iso: Vec<&str> = raw.split('-').map(str::trim).collect();
     if iso.len() == 3 && iso[0].len() == 4 {
-        if let (Ok(year), Ok(month), Ok(day)) =
-            (iso[0].parse::<u16>(), iso[1].parse::<u8>(), iso[2].parse::<u8>())
-        {
+        if let (Ok(year), Ok(month), Ok(day)) = (
+            iso[0].parse::<u16>(),
+            iso[1].parse::<u8>(),
+            iso[2].parse::<u8>(),
+        ) {
             if (1..=12).contains(&month) && (1..=31).contains(&day) {
                 return Some(Date { year, month, day });
             }
@@ -193,9 +197,15 @@ pub fn detail_extract(page: &Page, exclude_concepts: &[&str]) -> Option<Extracte
     // Boilerplate headlines ("Search results for …", "Find …") are not
     // entity names; drop the name but keep extracting typed fields.
     let h1_lower = h1.to_lowercase();
-    let boilerplate = ["search results", "find ", "welcome", "join our", "upcoming events"]
-        .iter()
-        .any(|b| h1_lower.starts_with(b));
+    let boilerplate = [
+        "search results",
+        "find ",
+        "welcome",
+        "join our",
+        "upcoming events",
+    ]
+    .iter()
+    .any(|b| h1_lower.starts_with(b));
     let h1 = if boilerplate { String::new() } else { h1 };
     let text = page.text();
     let spans = recognize::recognize_all(&text);
@@ -243,9 +253,7 @@ pub fn detail_extract(page: &Page, exclude_concepts: &[&str]) -> Option<Extracte
 
     // Homepage link: an anchor whose text mentions "homepage".
     for (_, n) in dom.walk() {
-        if n.tag() == Some("a")
-            && n.text_content().to_lowercase().contains("homepage")
-        {
+        if n.tag() == Some("a") && n.text_content().to_lowercase().contains("homepage") {
             if let Some(href) = n.get_attr("href") {
                 fields.push(("homepage".to_string(), href.to_string()));
                 break;
@@ -378,6 +386,12 @@ pub fn extract_page(page: &Page, profiles: &[ConceptProfile]) -> Vec<ExtractedRe
 }
 
 /// Build the web of concepts from a corpus.
+///
+/// The heavy stages (extraction, candidate generation, pair scoring, the
+/// mention scan) shard across `config.threads` workers via
+/// [`crate::parallel::shard_map`]; the produced web is byte-identical at any
+/// thread count. Stage timings and counts are returned in
+/// [`WebOfConcepts::report`].
 pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     let (registry, concepts) = standard_registry();
     let mut store = Store::new();
@@ -385,41 +399,18 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     let mut web = ConceptWeb::new();
     let tick = config.tick;
     let profiles = ConceptProfile::standard();
+    let threads = resolve_threads(config.threads);
+    let mut report = PipelineReport::new(threads);
+    let mut t0 = Instant::now();
 
-    // --- Stage A: page extraction (parallel over pages) -----------------
+    // --- Stage A: page extraction (sharded over pages) -------------------
     let pages: Vec<&Page> = corpus.pages().iter().collect();
     let (use_lists, use_detail) = (config.use_lists, config.use_detail);
-    let extracted: Vec<Vec<ExtractedRecord>> = if config.parallel && pages.len() > 64 {
-        let workers = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(8);
-        let chunk = pages.len().div_ceil(workers);
-        let mut results: Vec<Vec<Vec<ExtractedRecord>>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let handles: Vec<_> = pages
-                .chunks(chunk)
-                .map(|ps| {
-                    let profiles = &profiles;
-                    scope.spawn(move |_| {
-                        ps.iter()
-                            .map(|p| extract_page_with(p, profiles, use_lists, use_detail))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.push(h.join().expect("extraction worker panicked"));
-            }
-        })
-        .expect("extraction scope");
-        results.into_iter().flatten().collect()
-    } else {
-        pages
-            .iter()
-            .map(|p| extract_page_with(p, &profiles, use_lists, use_detail))
-            .collect()
-    };
+    let extracted: Vec<Vec<ExtractedRecord>> = shard_map(&pages, threads, |p| {
+        extract_page_with(p, &profiles, use_lists, use_detail)
+    });
+    report.pages_scanned = pages.len();
+    report.stage_done("extract", pages.len(), &mut t0);
 
     // --- Stage B: typed record creation with lineage --------------------
     let concept_id = |name: &str| registry.id_of(name).expect("standard concept");
@@ -473,6 +464,8 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
             created.push(id);
         }
     }
+    report.lrecs_extracted = created.len();
+    report.stage_done("records", created.len(), &mut t0);
 
     // --- Stage C: entity resolution per concept --------------------------
     // Every mutating store operation gets its own strictly-increasing tick.
@@ -490,14 +483,17 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         if ids.len() < 2 {
             continue;
         }
-        let recs: Vec<Lrec> = ids.iter().map(|&i| store.latest(i).unwrap().clone()).collect();
-        let refs: Vec<&Lrec> = recs.iter().collect();
-        let pairs = candidate_pairs(&refs, 200);
-        let fs = scorer_for(cname);
-        let scored: Vec<(usize, usize, f64)> = pairs
+        let recs: Vec<Lrec> = ids
             .iter()
-            .map(|&(i, j)| (i, j, fs.score(&recs[i], &recs[j])))
+            .map(|&i| store.latest(i).unwrap().clone())
             .collect();
+        let refs: Vec<&Lrec> = recs.iter().collect();
+        let pairs = candidate_pairs_sharded(&refs, 200, threads);
+        let fs = scorer_for(cname);
+        let scored: Vec<(usize, usize, f64)> = shard_map(&pairs, threads, |&(i, j)| {
+            (i, j, fs.score(&recs[i], &recs[j]))
+        });
+        report.match_pairs_scored += scored.len();
         let mut uf = if config.collective {
             // Relational evidence: records extracted from pages that mention
             // each other… for the corpus here, shared source hosts carry no
@@ -537,6 +533,7 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
             if cluster.len() < 2 {
                 continue;
             }
+            report.clusters_formed += 1;
             let winner_idx = *cluster
                 .iter()
                 .max_by_key(|&&i| recs[i].num_values())
@@ -560,8 +557,10 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         }
     }
     web.resolve_merges(&store);
+    report.stage_done("resolve", report.match_pairs_scored, &mut t0);
 
     // --- Stage C2: reconciliation ----------------------------------------
+    let mut reconciled = 0usize;
     for id in store.live_ids() {
         if !config.reconcile_values {
             break;
@@ -577,10 +576,13 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
                     crate::uncertainty::apply_reconciliation(r, &recon, "reconciler");
                 })
                 .expect("reconcile update");
+            reconciled += 1;
         }
     }
+    report.stage_done("reconcile", reconciled, &mut t0);
 
     // --- Stage D: review → record linking --------------------------------
+    let mut review_links = 0usize;
     let restaurant_recs: Vec<Lrec> = store
         .by_concept(concepts.restaurant)
         .into_iter()
@@ -589,7 +591,9 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     if !restaurant_recs.is_empty() {
         let matcher = GenerativeMatcher::build(restaurant_recs.iter(), &[], 0.6);
         for rid in store.by_concept(concepts.review) {
-            let Some(text) = store.latest(rid).and_then(|r| r.best_text("text").map(str::to_string))
+            let Some(text) = store
+                .latest(rid)
+                .and_then(|r| r.best_text("text").map(str::to_string))
             else {
                 continue;
             };
@@ -618,10 +622,12 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
                             web.associate(target, &url, AssocKind::ReviewOf);
                         }
                     }
+                    review_links += 1;
                 }
             }
         }
     }
+    report.stage_done("review-link", review_links, &mut t0);
 
     // --- Stage E: semantic linking (record mentions in documents) --------
     let mention_targets: Vec<(LrecId, String)> = store
@@ -629,25 +635,35 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         .into_iter()
         .filter_map(|id| {
             let rec = store.latest(id)?;
-            let name = rec.best_string("name").or_else(|| rec.best_string("title"))?;
+            let name = rec
+                .best_string("name")
+                .or_else(|| rec.best_string("title"))?;
             let norm = normalize(&name);
             // Short/generic names create false mentions; require 2+ tokens.
             (norm.split(' ').count() >= 2).then_some((id, norm))
         })
         .collect();
-    for page in &pages {
+    // The scan (normalize + substring search over every page × target) is
+    // the pure, heavy part — shard it. Association order depends only on
+    // pre-E web state, so serial application in page order is identical.
+    let mentions_per_page: Vec<Vec<LrecId>> = shard_map(&pages, threads, |page| {
         let text = normalize(&page.text());
-        for (id, name) in &mention_targets {
-            if text.contains(name.as_str())
-                && !web
-                    .records_of(&page.url)
-                    .iter()
-                    .any(|(r, _)| r == id)
-            {
-                web.associate(*id, &page.url, AssocKind::Mentions);
-            }
+        mention_targets
+            .iter()
+            .filter(|(id, name)| {
+                text.contains(name.as_str())
+                    && !web.records_of(&page.url).iter().any(|(r, _)| r == id)
+            })
+            .map(|(id, _)| *id)
+            .collect()
+    });
+    for (page, ids) in pages.iter().zip(&mentions_per_page) {
+        for id in ids {
+            web.associate(*id, &page.url, AssocKind::Mentions);
+            report.mention_links += 1;
         }
     }
+    report.stage_done("mention-scan", pages.len(), &mut t0);
 
     // --- Stage E2: augmentation links ("Customers also bought") ----------
     // Product pages advertise complements; resolve anchor names to product
@@ -662,6 +678,7 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
                 .map(|n| (normalize(&n), id))
         })
         .collect();
+    let mut augment_links = 0usize;
     for page in &pages {
         let mut also: Vec<LrecId> = Vec::new();
         let mut in_also = false;
@@ -684,18 +701,28 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
             .iter()
             .filter(|(_, k)| *k == AssocKind::ExtractedFrom)
             .filter_map(|(r, _)| store.resolve(*r))
-            .find(|&r| store.latest(r).is_some_and(|x| x.concept() == concepts.product));
+            .find(|&r| {
+                store
+                    .latest(r)
+                    .is_some_and(|x| x.concept() == concepts.product)
+            });
         if let Some(owner) = owner {
             let t = next_tick();
             let existing: Vec<LrecId> = store
                 .latest(owner)
-                .map(|r| r.get("augments").iter().filter_map(|e| e.value.as_ref_id()).collect())
+                .map(|r| {
+                    r.get("augments")
+                        .iter()
+                        .filter_map(|e| e.value.as_ref_id())
+                        .collect()
+                })
                 .unwrap_or_default();
             let fresh: Vec<LrecId> = also
                 .into_iter()
                 .filter(|a| *a != owner && !existing.contains(a))
                 .collect();
             if !fresh.is_empty() {
+                augment_links += fresh.len();
                 store
                     .update(owner, t, |r| {
                         for a in &fresh {
@@ -710,15 +737,19 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
             }
         }
     }
+    report.stage_done("augment", augment_links, &mut t0);
 
     // --- Stage F: homepage associations -----------------------------------
+    let mut homepage_links = 0usize;
     for id in store.live_ids() {
         if let Some(url) = store.latest(id).and_then(|r| r.best_string("homepage")) {
             if corpus.get(&url).is_some() {
                 web.associate(id, &url, AssocKind::Homepage);
+                homepage_links += 1;
             }
         }
     }
+    report.stage_done("homepage", homepage_links, &mut t0);
 
     // --- Stage G: indexes ---------------------------------------------------
     let mut record_index = LrecIndex::new();
@@ -733,6 +764,7 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         doc_urls.push(page.url.clone());
         doc_titles.push(page.title.clone());
     }
+    report.stage_done("index", store.live_count() + pages.len(), &mut t0);
 
     WebOfConcepts {
         registry,
@@ -744,6 +776,7 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         doc_index,
         doc_urls,
         doc_titles,
+        report,
     }
 }
 
@@ -754,17 +787,42 @@ pub(crate) fn scorer_for(concept: &str) -> FellegiSunter {
         "restaurant" => FellegiSunter::restaurant_default(),
         "publication" => FellegiSunter {
             attrs: vec![
-                AttrParams { key: "name".into(), m: 0.9, u: 0.02, agree_threshold: 0.8 },
-                AttrParams { key: "venue".into(), m: 0.95, u: 0.15, agree_threshold: 0.95 },
-                AttrParams { key: "year".into(), m: 0.95, u: 0.1, agree_threshold: 0.99 },
+                AttrParams {
+                    key: "name".into(),
+                    m: 0.9,
+                    u: 0.02,
+                    agree_threshold: 0.8,
+                },
+                AttrParams {
+                    key: "venue".into(),
+                    m: 0.95,
+                    u: 0.15,
+                    agree_threshold: 0.95,
+                },
+                AttrParams {
+                    key: "year".into(),
+                    m: 0.95,
+                    u: 0.1,
+                    agree_threshold: 0.99,
+                },
             ],
             upper: 3.0,
             lower: 0.0,
         },
         "menu_item" => FellegiSunter {
             attrs: vec![
-                AttrParams { key: "name".into(), m: 0.95, u: 0.01, agree_threshold: 0.9 },
-                AttrParams { key: "price".into(), m: 0.8, u: 0.05, agree_threshold: 0.95 },
+                AttrParams {
+                    key: "name".into(),
+                    m: 0.95,
+                    u: 0.01,
+                    agree_threshold: 0.9,
+                },
+                AttrParams {
+                    key: "price".into(),
+                    m: 0.8,
+                    u: 0.05,
+                    agree_threshold: 0.95,
+                },
             ],
             // Menu items on different restaurants share names (same dish
             // pool); require both name AND price to agree.
@@ -773,8 +831,18 @@ pub(crate) fn scorer_for(concept: &str) -> FellegiSunter {
         },
         "event" => FellegiSunter {
             attrs: vec![
-                AttrParams { key: "name".into(), m: 0.95, u: 0.02, agree_threshold: 0.85 },
-                AttrParams { key: "date".into(), m: 0.95, u: 0.02, agree_threshold: 0.99 },
+                AttrParams {
+                    key: "name".into(),
+                    m: 0.95,
+                    u: 0.02,
+                    agree_threshold: 0.85,
+                },
+                AttrParams {
+                    key: "date".into(),
+                    m: 0.95,
+                    u: 0.02,
+                    agree_threshold: 0.99,
+                },
             ],
             upper: 3.5,
             lower: 0.0,
@@ -797,7 +865,6 @@ mod tests {
     use super::*;
     use woc_webgen::{generate_corpus, CorpusConfig, PageKind, World, WorldConfig};
 
-
     fn small_woc() -> (World, WebCorpus, WebOfConcepts) {
         let world = World::generate(WorldConfig::tiny(201));
         let corpus = generate_corpus(&world, &CorpusConfig::tiny(11));
@@ -809,11 +876,19 @@ mod tests {
     fn parse_date_formats() {
         assert_eq!(
             parse_date("January 20, 2010"),
-            Some(Date { year: 2010, month: 1, day: 20 })
+            Some(Date {
+                year: 2010,
+                month: 1,
+                day: 20
+            })
         );
         assert_eq!(
             parse_date("1/20/2010"),
-            Some(Date { year: 2010, month: 1, day: 20 })
+            Some(Date {
+                year: 2010,
+                month: 1,
+                day: 20
+            })
         );
         assert_eq!(parse_date("not a date"), None);
         assert_eq!(parse_date("13/45/2010"), None);
@@ -830,7 +905,10 @@ mod tests {
         assert_eq!(type_value("rating", "4"), AttrValue::Int(4));
         assert_eq!(type_value("name", "Gochi"), AttrValue::Text("Gochi".into()));
         // Unparseable falls back to text, never lost.
-        assert_eq!(type_value("phone", "call us"), AttrValue::Text("call us".into()));
+        assert_eq!(
+            type_value("phone", "call us"),
+            AttrValue::Text("call us".into())
+        );
     }
 
     #[test]
@@ -868,7 +946,9 @@ mod tests {
             .filter(|p| p.truth.kind == woc_webgen::PageKind::ProductPage)
         {
             product_pages += 1;
-            let Some(rec) = detail_extract(page, &[]) else { continue };
+            let Some(rec) = detail_extract(page, &[]) else {
+                continue;
+            };
             assert_eq!(rec.concept.as_deref(), Some("product"));
             let has = |k: &str| rec.fields.iter().any(|(key, _)| key == k);
             assert!(has("name"));
@@ -935,7 +1015,10 @@ mod tests {
         assert!(!reviews.is_empty(), "reviews extracted");
         let linked = reviews
             .iter()
-            .filter(|r| r.best("about").is_some_and(|e| e.value.as_ref_id().is_some()))
+            .filter(|r| {
+                r.best("about")
+                    .is_some_and(|e| e.value.as_ref_id().is_some())
+            })
             .count();
         assert!(
             linked * 2 > reviews.len(),
@@ -985,12 +1068,41 @@ mod tests {
         let seq = build(
             &corpus,
             &PipelineConfig {
-                parallel: false,
+                threads: 1,
                 ..PipelineConfig::default()
             },
         );
-        let par = build(&corpus, &PipelineConfig::default());
+        let par = build(
+            &corpus,
+            &PipelineConfig {
+                threads: 4,
+                ..PipelineConfig::default()
+            },
+        );
         assert_eq!(seq.store.live_count(), par.store.live_count());
         assert_eq!(seq.store.total_created(), par.store.total_created());
+        // Deterministic counts match even though wall-clock timings differ.
+        assert_eq!(seq.report.pages_scanned, par.report.pages_scanned);
+        assert_eq!(seq.report.lrecs_extracted, par.report.lrecs_extracted);
+        assert_eq!(seq.report.match_pairs_scored, par.report.match_pairs_scored);
+        assert_eq!(seq.report.clusters_formed, par.report.clusters_formed);
+        assert_eq!(seq.report.mention_links, par.report.mention_links);
+        assert_eq!(seq.report.threads, 1);
+        assert_eq!(par.report.threads, 4);
+        assert!(seq.report.stage("extract").is_some());
+    }
+
+    #[test]
+    fn report_counts_are_populated() {
+        let (_, _, woc) = small_woc();
+        let r = &woc.report;
+        assert!(r.pages_scanned > 0);
+        assert!(r.lrecs_extracted > 0);
+        assert!(r.match_pairs_scored > 0);
+        assert!(r.clusters_formed > 0);
+        assert!(r.stages.len() >= 8, "stages: {:?}", r.stages);
+        let shown = r.to_string();
+        assert!(shown.contains("pipeline report"));
+        assert!(shown.contains("extract"));
     }
 }

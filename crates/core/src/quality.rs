@@ -134,7 +134,10 @@ mod tests {
         }
         // Restaurants appear on several sources, so corroboration shows up.
         let r = &report.concepts["restaurant"];
-        assert!(r.multi_source_records > 0, "merged restaurants are multi-source");
+        assert!(
+            r.multi_source_records > 0,
+            "merged restaurants are multi-source"
+        );
         let rendered = report.render();
         assert!(rendered.contains("restaurant"));
         assert!(report.overall_quality() > 0.3);

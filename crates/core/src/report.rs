@@ -1,0 +1,134 @@
+//! Stage-level instrumentation of a pipeline build.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Wall-clock time and item count of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageStat {
+    /// Stage name (stable identifiers, e.g. `"extract"`).
+    pub name: &'static str,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
+    /// Items the stage processed (pages, records, pairs — per stage).
+    pub items: usize,
+}
+
+/// What a [`crate::build`] run did and how long each stage took.
+///
+/// Timings are wall-clock and vary run to run; the counts are deterministic
+/// for a given corpus and configuration (at any thread count).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Worker threads the run actually used.
+    pub threads: usize,
+    /// Corpus pages scanned in extraction.
+    pub pages_scanned: usize,
+    /// Typed records created from extractions.
+    pub lrecs_extracted: usize,
+    /// Candidate pairs scored during entity resolution.
+    pub match_pairs_scored: usize,
+    /// Multi-record clusters merged during entity resolution.
+    pub clusters_formed: usize,
+    /// Mention associations added by semantic linking.
+    pub mention_links: usize,
+    /// Per-stage timings in execution order.
+    pub stages: Vec<StageStat>,
+}
+
+impl PipelineReport {
+    /// A fresh report for a run with `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads,
+            ..Self::default()
+        }
+    }
+
+    /// Record a finished stage: elapsed time since `*t0`, which is reset to
+    /// now so consecutive calls time consecutive stages.
+    pub fn stage_done(&mut self, name: &'static str, items: usize, t0: &mut Instant) {
+        let now = Instant::now();
+        self.stages.push(StageStat {
+            name,
+            duration: now.duration_since(*t0),
+            items,
+        });
+        *t0 = now;
+    }
+
+    /// Total wall-clock across stages.
+    pub fn total(&self) -> Duration {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
+
+    /// Look up a stage by name.
+    pub fn stage(&self, name: &str) -> Option<&StageStat> {
+        self.stages.iter().find(|s| s.name == name)
+    }
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.1} ms", d.as_secs_f64() * 1e3)
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "pipeline report: {} threads, {} total",
+            self.threads,
+            fmt_ms(self.total())
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {:<12} {:>10}  {:>7} items",
+                s.name,
+                fmt_ms(s.duration),
+                s.items
+            )?;
+        }
+        write!(
+            f,
+            "  {} pages scanned, {} lrecs extracted, {} pairs scored, {} clusters formed, {} mentions linked",
+            self.pages_scanned,
+            self.lrecs_extracted,
+            self.match_pairs_scored,
+            self.clusters_formed,
+            self.mention_links
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_done_times_consecutive_stages() {
+        let mut r = PipelineReport::new(2);
+        let mut t0 = Instant::now();
+        r.stage_done("a", 10, &mut t0);
+        r.stage_done("b", 20, &mut t0);
+        assert_eq!(r.stages.len(), 2);
+        assert_eq!(r.stage("a").unwrap().items, 10);
+        assert_eq!(r.stage("b").unwrap().items, 20);
+        assert!(r.stage("zzz").is_none());
+        assert!(r.total() >= r.stages[0].duration);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut r = PipelineReport::new(4);
+        r.pages_scanned = 7;
+        r.lrecs_extracted = 3;
+        let mut t0 = Instant::now();
+        r.stage_done("extract", 7, &mut t0);
+        let s = r.to_string();
+        assert!(s.contains("4 threads"));
+        assert!(s.contains("extract"));
+        assert!(s.contains("7 pages scanned"));
+        assert!(s.contains("3 lrecs extracted"));
+    }
+}

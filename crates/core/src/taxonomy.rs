@@ -91,7 +91,10 @@ impl Taxonomy {
     /// The full `is_a` chain for a record: its own category attribute plus
     /// all curated ancestors (the "D40 → digital camera → camera" walk).
     pub fn chain_for(&self, rec: &Lrec) -> Vec<String> {
-        let Some(cat) = rec.best_string("category").or_else(|| rec.best_string("is_a")) else {
+        let Some(cat) = rec
+            .best_string("category")
+            .or_else(|| rec.best_string("is_a"))
+        else {
             return Vec::new();
         };
         let mut out = vec![cat.clone()];
@@ -263,7 +266,11 @@ mod tests {
         let cameras = t.instances_under(&w.store, &w.products, "Camera");
         let accessories = t.instances_under(&w.store, &w.products, "Camera Accessory");
         let all = t.instances_under(&w.store, &w.products, "Product");
-        assert_eq!(all.len(), w.products.len(), "every product is under Product");
+        assert_eq!(
+            all.len(),
+            w.products.len(),
+            "every product is under Product"
+        );
         assert!(!accessories.is_empty());
         for &c in &cameras {
             assert!(!accessories.contains(&c), "disjoint subtrees");

@@ -210,8 +210,16 @@ mod tests {
     #[test]
     fn reconcile_enforces_cardinality_and_reports_conflicts() {
         let mut r = Lrec::new(LrecId(1), ConceptId(0));
-        r.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("a", 0.9, Tick(0)));
-        r.add("zip", AttrValue::Zip("60601".into()), Provenance::derived("b", 0.4, Tick(0)));
+        r.add(
+            "zip",
+            AttrValue::Zip("95014".into()),
+            Provenance::derived("a", 0.9, Tick(0)),
+        );
+        r.add(
+            "zip",
+            AttrValue::Zip("60601".into()),
+            Provenance::derived("b", 0.4, Tick(0)),
+        );
         let recon = reconcile(&r, &schema());
         let zips = &recon.kept.iter().find(|(k, _)| k == "zip").unwrap().1;
         assert_eq!(zips.len(), 1);
@@ -224,8 +232,16 @@ mod tests {
     #[test]
     fn unknown_attrs_kept_loosely() {
         let mut r = Lrec::new(LrecId(1), ConceptId(0));
-        r.add("parking", AttrValue::Text("street".into()), Provenance::derived("a", 0.5, Tick(0)));
-        r.add("parking", AttrValue::Text("valet".into()), Provenance::derived("b", 0.5, Tick(0)));
+        r.add(
+            "parking",
+            AttrValue::Text("street".into()),
+            Provenance::derived("a", 0.5, Tick(0)),
+        );
+        r.add(
+            "parking",
+            AttrValue::Text("valet".into()),
+            Provenance::derived("b", 0.5, Tick(0)),
+        );
         let recon = reconcile(&r, &schema());
         let parking = &recon.kept.iter().find(|(k, _)| k == "parking").unwrap().1;
         assert_eq!(parking.len(), 2, "Many cardinality keeps all groups");
@@ -235,9 +251,21 @@ mod tests {
     #[test]
     fn apply_reconciliation_rewrites_record() {
         let mut r = Lrec::new(LrecId(1), ConceptId(0));
-        r.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("a", 0.6, Tick(0)));
-        r.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("b", 0.6, Tick(0)));
-        r.add("zip", AttrValue::Zip("60601".into()), Provenance::derived("c", 0.3, Tick(0)));
+        r.add(
+            "zip",
+            AttrValue::Zip("95014".into()),
+            Provenance::derived("a", 0.6, Tick(0)),
+        );
+        r.add(
+            "zip",
+            AttrValue::Zip("95014".into()),
+            Provenance::derived("b", 0.6, Tick(0)),
+        );
+        r.add(
+            "zip",
+            AttrValue::Zip("60601".into()),
+            Provenance::derived("c", 0.3, Tick(0)),
+        );
         let recon = reconcile(&r, &schema());
         apply_reconciliation(&mut r, &recon, "reconciler");
         assert_eq!(r.get("zip").len(), 1);
@@ -249,9 +277,17 @@ mod tests {
     #[test]
     fn quality_reflects_conflicts() {
         let mut clean = Lrec::new(LrecId(1), ConceptId(0));
-        clean.add("zip", AttrValue::Zip("95014".into()), Provenance::derived("a", 0.9, Tick(0)));
+        clean.add(
+            "zip",
+            AttrValue::Zip("95014".into()),
+            Provenance::derived("a", 0.9, Tick(0)),
+        );
         let mut dirty = clean.clone();
-        dirty.add("zip", AttrValue::Zip("60601".into()), Provenance::derived("b", 0.8, Tick(0)));
+        dirty.add(
+            "zip",
+            AttrValue::Zip("60601".into()),
+            Provenance::derived("b", 0.8, Tick(0)),
+        );
         let q_clean = quality_score(&reconcile(&clean, &schema()));
         let q_dirty = quality_score(&reconcile(&dirty, &schema()));
         assert!(q_clean > q_dirty, "{q_clean} vs {q_dirty}");

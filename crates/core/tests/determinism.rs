@@ -1,0 +1,99 @@
+//! The pipeline's central parallelism guarantee: the web of concepts built
+//! with N worker threads is identical to the one built serially — same
+//! record ids, same canonical mapping, same values, same associations, same
+//! index postings. Timings are the only thing allowed to differ.
+
+use woc_core::{build, AssocKind, PipelineConfig, WebOfConcepts};
+use woc_lrec::LrecId;
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+fn build_with(threads: usize) -> WebOfConcepts {
+    let world = World::generate(WorldConfig::tiny(303));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(33));
+    build(
+        &corpus,
+        &PipelineConfig {
+            threads,
+            ..PipelineConfig::default()
+        },
+    )
+}
+
+#[test]
+fn parallel_build_is_byte_identical_to_serial() {
+    let serial = build_with(1);
+    let parallel = build_with(8);
+
+    // Same records created, same survivors.
+    assert_eq!(serial.store.total_created(), parallel.store.total_created());
+    let mut live_s = serial.store.live_ids();
+    let mut live_p = parallel.store.live_ids();
+    live_s.sort_unstable();
+    live_p.sort_unstable();
+    assert_eq!(live_s, live_p);
+    assert!(!live_s.is_empty(), "fixture must produce records");
+
+    // Same canonical mapping for every id ever created, and identical
+    // record contents (values, provenance, confidences) for the survivors.
+    for i in 0..serial.store.total_created() as u64 {
+        let id = LrecId(i);
+        assert_eq!(
+            serial.store.resolve(id),
+            parallel.store.resolve(id),
+            "id {id}"
+        );
+    }
+    for &id in &live_s {
+        assert_eq!(
+            serial.store.latest(id),
+            parallel.store.latest(id),
+            "record {id}"
+        );
+        assert_eq!(
+            serial.web.docs_of(id),
+            parallel.web.docs_of(id),
+            "assocs of {id}"
+        );
+    }
+
+    // Same document→record associations (covers Mentions added in stage E).
+    for url in &serial.doc_urls {
+        assert_eq!(
+            serial.web.records_of(url),
+            parallel.web.records_of(url),
+            "{url}"
+        );
+    }
+    let mentions = live_s
+        .iter()
+        .flat_map(|&id| serial.web.docs_of(id))
+        .filter(|(_, k)| *k == AssocKind::Mentions)
+        .count();
+    assert!(mentions > 0, "fixture must exercise the mention scan");
+
+    // Same index postings, byte for byte.
+    assert_eq!(serial.record_index.digest(), parallel.record_index.digest());
+    assert_eq!(serial.doc_index.digest(), parallel.doc_index.digest());
+    assert_eq!(serial.doc_urls, parallel.doc_urls);
+    assert_eq!(serial.doc_titles, parallel.doc_titles);
+
+    // Deterministic report counts; only stage durations may differ.
+    assert_eq!(serial.report.pages_scanned, parallel.report.pages_scanned);
+    assert_eq!(
+        serial.report.lrecs_extracted,
+        parallel.report.lrecs_extracted
+    );
+    assert_eq!(
+        serial.report.match_pairs_scored,
+        parallel.report.match_pairs_scored
+    );
+    assert_eq!(
+        serial.report.clusters_formed,
+        parallel.report.clusters_formed
+    );
+    assert_eq!(serial.report.mention_links, parallel.report.mention_links);
+    let names = |w: &WebOfConcepts| -> Vec<&'static str> {
+        w.report.stages.iter().map(|s| s.name).collect()
+    };
+    assert_eq!(names(&serial), names(&parallel));
+}

@@ -107,8 +107,7 @@ pub fn bootstrap(
         let mut grew = false;
         for (pi, regions) in typed_pages.iter().enumerate() {
             for rows in regions {
-                let keys: Vec<Option<String>> =
-                    rows.iter().map(|r| name_key(&r.fields)).collect();
+                let keys: Vec<Option<String>> = rows.iter().map(|r| name_key(&r.fields)).collect();
                 let overlap = keys
                     .iter()
                     .filter(|k| k.as_ref().is_some_and(|k| known.contains(k)))
@@ -187,7 +186,12 @@ mod tests {
             .collect();
         let seed_refs: Vec<&str> = seed_names.iter().map(String::as_str).collect();
         let seeds = seeds_from_names("menu_item", &seed_refs);
-        let result = bootstrap(&menu_pages, "menu_item", &seeds, &BootstrapConfig::default());
+        let result = bootstrap(
+            &menu_pages,
+            "menu_item",
+            &seeds,
+            &BootstrapConfig::default(),
+        );
 
         // The world draws dishes from a shared pool, so menus overlap and
         // bootstrapping should spread well beyond the seed page.

@@ -80,13 +80,18 @@ pub fn parse_citation(text: &str) -> CitationFields {
         let meaningful: Vec<&&Token> = run
             .iter()
             .filter(|t| t.kind == TokenKind::Word)
-            .filter(|t| !matches!(t.lower().as_str(), "in" | "with" | "and" | "eds" | "et" | "al"))
+            .filter(|t| {
+                !matches!(
+                    t.lower().as_str(),
+                    "in" | "with" | "and" | "eds" | "et" | "al"
+                )
+            })
             .collect();
         if meaningful.is_empty() {
             return RunKind::Skip;
         }
-        let name_frac = meaningful.iter().filter(|t| is_name_token(t)).count() as f64
-            / meaningful.len() as f64;
+        let name_frac =
+            meaningful.iter().filter(|t| is_name_token(t)).count() as f64 / meaningful.len() as f64;
         if name_frac >= 0.5 {
             RunKind::Author
         } else if meaningful.len() >= 2 {
@@ -122,7 +127,10 @@ pub fn parse_citation(text: &str) -> CitationFields {
         i = j + 1;
     }
     let title_run: Option<Vec<&Token>> = title_run.map(|(a, b, _)| {
-        runs[a..=b].iter().flat_map(|(r, _)| r.iter().copied()).collect()
+        runs[a..=b]
+            .iter()
+            .flat_map(|(r, _)| r.iter().copied())
+            .collect()
     });
 
     let render = |run: &[&Token]| -> String {
@@ -175,17 +183,27 @@ mod tests {
         let f = parse_citation("Scalable Entity Matching (VLDB 2004), with Donald Knuth.");
         assert_eq!(f.venue.as_deref(), Some("VLDB"));
         assert_eq!(f.year.as_deref(), Some("2004"));
-        assert!(f.title.as_deref().unwrap().contains("Scalable Entity Matching"));
+        assert!(f
+            .title
+            .as_deref()
+            .unwrap()
+            .contains("Scalable Entity Matching"));
         assert!(f.authors.as_deref().unwrap().contains("Knuth"));
     }
 
     #[test]
     fn parses_format_year_first() {
-        let f = parse_citation("[2007] Barbara Liskov: Robust Wrapper Induction for view maintenance. SIGMOD.");
+        let f = parse_citation(
+            "[2007] Barbara Liskov: Robust Wrapper Induction for view maintenance. SIGMOD.",
+        );
         assert_eq!(f.venue.as_deref(), Some("SIGMOD"));
         assert_eq!(f.year.as_deref(), Some("2007"));
         assert!(f.authors.as_deref().unwrap().contains("Liskov"));
-        assert!(f.title.as_deref().unwrap().contains("Robust Wrapper Induction"));
+        assert!(f
+            .title
+            .as_deref()
+            .unwrap()
+            .contains("Robust Wrapper Induction"));
     }
 
     #[test]

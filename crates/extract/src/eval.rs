@@ -99,7 +99,12 @@ pub fn score_field(extracted: &[ExtractedRecord], truth: &[TruthRecord], field: 
     let filtered_ex: Vec<ExtractedRecord> = extracted
         .iter()
         .map(|r| ExtractedRecord {
-            fields: r.fields.iter().filter(|(k, _)| k == field).cloned().collect(),
+            fields: r
+                .fields
+                .iter()
+                .filter(|(k, _)| k == field)
+                .cloned()
+                .collect(),
             ..r.clone()
         })
         .collect();
@@ -108,7 +113,12 @@ pub fn score_field(extracted: &[ExtractedRecord], truth: &[TruthRecord], field: 
         .map(|t| TruthRecord {
             concept: t.concept,
             entity: t.entity,
-            fields: t.fields.iter().filter(|(k, _)| k == field).cloned().collect(),
+            fields: t
+                .fields
+                .iter()
+                .filter(|(k, _)| k == field)
+                .cloned()
+                .collect(),
         })
         .collect();
     score_fields(&filtered_ex, &filtered_truth)
@@ -157,10 +167,7 @@ pub fn score_records(
 }
 
 /// Collect the truth records of a given concept from a page.
-pub fn truth_of_concept(
-    page: &Page,
-    concept: woc_lrec::ConceptId,
-) -> Vec<&TruthRecord> {
+pub fn truth_of_concept(page: &Page, concept: woc_lrec::ConceptId) -> Vec<&TruthRecord> {
     page.truth
         .records
         .iter()
@@ -176,7 +183,10 @@ mod tests {
     fn ex(fields: &[(&str, &str)]) -> ExtractedRecord {
         ExtractedRecord {
             concept: None,
-            fields: fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
             confidence: 1.0,
             source_url: String::new(),
         }
@@ -186,7 +196,10 @@ mod tests {
         TruthRecord {
             concept: ConceptId(0),
             entity: LrecId(0),
-            fields: fields.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect(),
+            fields: fields
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
         }
     }
 
@@ -196,7 +209,11 @@ mod tests {
         assert_eq!(p.precision(), 1.0);
         assert_eq!(p.recall(), 1.0);
         assert_eq!(p.f1(), 1.0, "vacuous truth: perfect P and R");
-        let p = Prf { tp: 2, fp: 2, fn_: 2 };
+        let p = Prf {
+            tp: 2,
+            fp: 2,
+            fn_: 2,
+        };
         assert_eq!(p.precision(), 0.5);
         assert_eq!(p.recall(), 0.5);
         assert!((p.f1() - 0.5).abs() < 1e-12);
@@ -243,8 +260,23 @@ mod tests {
 
     #[test]
     fn prf_merge() {
-        let mut a = Prf { tp: 1, fp: 2, fn_: 3 };
-        a.merge(Prf { tp: 4, fp: 5, fn_: 6 });
-        assert_eq!(a, Prf { tp: 5, fp: 7, fn_: 9 });
+        let mut a = Prf {
+            tp: 1,
+            fp: 2,
+            fn_: 3,
+        };
+        a.merge(Prf {
+            tp: 4,
+            fp: 5,
+            fn_: 6,
+        });
+        assert_eq!(
+            a,
+            Prf {
+                tp: 5,
+                fp: 7,
+                fn_: 9
+            }
+        );
     }
 }

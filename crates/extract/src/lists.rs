@@ -121,7 +121,9 @@ pub fn type_row(row: &Node) -> RowFields {
         .map(|a| a.text_content())
         .filter(|t| !t.is_empty())
         .or_else(|| {
-            let lead = text[..first_span_start].trim().trim_end_matches([',', '-', ':']);
+            let lead = text[..first_span_start]
+                .trim()
+                .trim_end_matches([',', '-', ':']);
             let lead = lead.trim();
             (!lead.is_empty() && lead.len() < 80).then(|| lead.to_string())
         });
@@ -153,7 +155,9 @@ pub fn type_row(row: &Node) -> RowFields {
         if tok.kind == woc_textkit::tokenize::TokenKind::Number
             && tok.text.len() == 4
             && (tok.text.starts_with("19") || tok.text.starts_with("20"))
-            && !spans.iter().any(|s| tok.start >= s.start && tok.end <= s.end)
+            && !spans
+                .iter()
+                .any(|s| tok.start >= s.start && tok.end <= s.end)
         {
             fields.push(("year".to_string(), tok.text.clone()));
         }
@@ -397,7 +401,11 @@ mod tests {
     #[test]
     fn type_row_restaurant_like() {
         let row = Node::elem("li")
-            .child(Node::elem("a").attr("href", "x").text_child("Gochi Fusion Tapas"))
+            .child(
+                Node::elem("a")
+                    .attr("href", "x")
+                    .text_child("Gochi Fusion Tapas"),
+            )
             .child(Node::text("19980 Homestead Rd, Cupertino 95014"))
             .child(Node::text("(408) 555-0134"));
         let typed = type_row(&row);
@@ -421,7 +429,11 @@ mod tests {
         let profiles = ConceptProfile::standard();
         let mut tp = 0usize;
         let mut total_truth = 0usize;
-        for page in c.pages().iter().filter(|p| p.truth.kind == PageKind::RestaurantMenu) {
+        for page in c
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::RestaurantMenu)
+        {
             let recs = extract_lists(page, &profiles);
             let menu_recs: Vec<&ExtractedRecord> = recs
                 .iter()
@@ -430,17 +442,21 @@ mod tests {
             total_truth += page.truth.records.len();
             for tr in &page.truth.records {
                 let name = tr.field("name").unwrap();
-                if menu_recs
-                    .iter()
-                    .any(|r| r.fields.iter().any(|(k, v)| k == "name" && v.contains(name)))
-                {
+                if menu_recs.iter().any(|r| {
+                    r.fields
+                        .iter()
+                        .any(|(k, v)| k == "name" && v.contains(name))
+                }) {
                     tp += 1;
                 }
             }
         }
         assert!(total_truth > 0);
         let recall = tp as f64 / total_truth as f64;
-        assert!(recall > 0.7, "menu recall too low: {recall} ({tp}/{total_truth})");
+        assert!(
+            recall > 0.7,
+            "menu recall too low: {recall} ({tp}/{total_truth})"
+        );
         let _ = w;
     }
 
@@ -480,7 +496,11 @@ mod tests {
     fn no_lists_claimed_on_plain_articles() {
         let (_, c) = corpus();
         let profiles = ConceptProfile::standard();
-        for page in c.pages().iter().filter(|p| p.truth.kind == PageKind::Article) {
+        for page in c
+            .pages()
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::Article)
+        {
             let recs = extract_lists(page, &profiles);
             assert!(
                 recs.len() <= 1,
@@ -500,6 +520,9 @@ mod tests {
         row.fields.push(("phone".into(), "408-555-0000".into()));
         assert!(p.row_conforms(&row));
         row.fields.push(("zip".into(), "95015".into()));
-        assert!(!p.row_conforms(&row), "two zips violate the paper's constraint");
+        assert!(
+            !p.row_conforms(&row),
+            "two zips violate the paper's constraint"
+        );
     }
 }

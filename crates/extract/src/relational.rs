@@ -39,9 +39,17 @@ impl NaiveBayes {
     pub fn observe(&mut self, text: &str, positive: bool) {
         let toks = tokenize_words(text);
         let (counts, total, docs) = if positive {
-            (&mut self.pos_counts, &mut self.pos_total, &mut self.pos_docs)
+            (
+                &mut self.pos_counts,
+                &mut self.pos_total,
+                &mut self.pos_docs,
+            )
         } else {
-            (&mut self.neg_counts, &mut self.neg_total, &mut self.neg_docs)
+            (
+                &mut self.neg_counts,
+                &mut self.neg_total,
+                &mut self.neg_docs,
+            )
         };
         *total += toks.len() as u64;
         *docs += 1;
@@ -97,7 +105,10 @@ impl SiteLabels {
 /// (same-directory pages and hyperlinked pages).
 pub fn refine_site(pages: &[&Page], global: &NaiveBayes, alpha: f64, iters: usize) -> SiteLabels {
     let n = pages.len();
-    let mut scores: Vec<f64> = pages.iter().map(|p| global.predict_proba(&p.text())).collect();
+    let mut scores: Vec<f64> = pages
+        .iter()
+        .map(|p| global.predict_proba(&p.text()))
+        .collect();
     let priors = scores.clone();
 
     // Build the neighborhood lists once.
@@ -188,7 +199,10 @@ mod tests {
         let (train_sites, test_sites) = sites.split_at(sites.len() / 2);
 
         let mut nb = NaiveBayes::new();
-        for p in pages.iter().filter(|p| train_sites.contains(&p.site.as_str())) {
+        for p in pages
+            .iter()
+            .filter(|p| train_sites.contains(&p.site.as_str()))
+        {
             nb.observe(&p.text(), events_gold(p));
         }
 
@@ -196,8 +210,7 @@ mod tests {
         let mut refined_correct = 0usize;
         let mut total = 0usize;
         for site in test_sites {
-            let site_pages: Vec<&Page> =
-                pages.iter().filter(|p| p.site == *site).collect();
+            let site_pages: Vec<&Page> = pages.iter().filter(|p| p.site == *site).collect();
             if site_pages.is_empty() {
                 continue;
             }
@@ -267,10 +280,19 @@ mod tests {
             },
         };
         let pages = [
-            mk("http://s.example.com/calendar/a.html", "tickets admission lineup tonight"),
+            mk(
+                "http://s.example.com/calendar/a.html",
+                "tickets admission lineup tonight",
+            ),
             // Reads like hotel copy, but lives with event siblings.
-            mk("http://s.example.com/calendar/b.html", "lobby rooms suites available"),
-            mk("http://s.example.com/calendar/c.html", "tickets lineup admission friday"),
+            mk(
+                "http://s.example.com/calendar/b.html",
+                "lobby rooms suites available",
+            ),
+            mk(
+                "http://s.example.com/calendar/c.html",
+                "tickets lineup admission friday",
+            ),
         ];
         let refs: Vec<&Page> = pages.iter().collect();
         assert!(!nb.predict(&pages[1].text()), "global classifier is fooled");

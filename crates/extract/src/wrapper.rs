@@ -197,9 +197,7 @@ impl RobustRule {
                 }
             }
             if let Some(prefix) = &self.class_prefix {
-                if class_of(&page.dom, &path)
-                    .is_some_and(|c| class_token_prefix(&c) == *prefix)
-                {
+                if class_of(&page.dom, &path).is_some_and(|c| class_token_prefix(&c) == *prefix) {
                     votes += 1;
                 }
             }
@@ -217,7 +215,10 @@ impl RobustRule {
             }
             if votes >= need {
                 let depth = path.depth();
-                if best.as_ref().is_none_or(|(bv, bd, _)| votes > *bv || (votes == *bv && depth > *bd)) {
+                if best
+                    .as_ref()
+                    .is_none_or(|(bv, bd, _)| votes > *bv || (votes == *bv && depth > *bd))
+                {
                     best = Some((votes, depth, own));
                 }
             }
@@ -322,9 +323,7 @@ impl SiteWrapper {
         for &attr in attrs {
             let examples: Vec<LabeledPage<'_>> = pages
                 .iter()
-                .filter_map(|p| {
-                    label_of(p, attr).map(|value| LabeledPage { page: p, value })
-                })
+                .filter_map(|p| label_of(p, attr).map(|value| LabeledPage { page: p, value }))
                 .collect();
             if examples.is_empty() {
                 continue;
@@ -382,9 +381,19 @@ mod tests {
 
     fn biz_pages() -> Vec<Page> {
         let w = World::generate(WorldConfig::tiny(91));
+        // Restrict coverage to single-phone restaurants: multi-valued fields
+        // repeat their element, so a mixed site has two legitimate layouts
+        // and no absolute path can cover both. The brittle-wrapper accuracy
+        // claim is about one regular template; drift tests cover breakage.
+        let coverage: Vec<usize> = woc_webgen::sites::local::RestaurantView::all(&w)
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.phones.len() == 1)
+            .map(|(i, _)| i)
+            .collect();
         let spec = AggregatorSpec {
             host: "agg.example.com".into(),
-            coverage: (0..w.restaurants.len()).collect(),
+            coverage,
             review_ratio: 0.5,
             name_noise: 0.0,
         };
@@ -443,7 +452,11 @@ mod tests {
         for p in drifted.iter().skip(3) {
             let truth_hours = p.truth.records[0].field("hours").unwrap().to_string();
             n += 1;
-            if w.extract_brittle(p).fields.iter().any(|(k, v)| k == "hours" && *v == truth_hours) {
+            if w.extract_brittle(p)
+                .fields
+                .iter()
+                .any(|(k, v)| k == "hours" && *v == truth_hours)
+            {
                 brittle_ok += 1;
             }
             if w.extract_robust(p)
@@ -459,7 +472,10 @@ mod tests {
             robust_ok > brittle_ok,
             "robust ({robust_ok}/{n}) must beat brittle ({brittle_ok}/{n}) under drift"
         );
-        assert!(robust_ok as f64 / n as f64 > 0.7, "robust survives: {robust_ok}/{n}");
+        assert!(
+            robust_ok as f64 / n as f64 > 0.7,
+            "robust survives: {robust_ok}/{n}"
+        );
     }
 
     #[test]
@@ -477,6 +493,9 @@ mod tests {
         assert_eq!(class_token_prefix("yx12-hours-r3"), "yx12-hours");
         assert_eq!(class_token_prefix("yx12-hours"), "yx12-hours");
         assert_eq!(class_token_prefix("a b"), "a");
-        assert_eq!(class_token_prefix("yx12-hours-r3/yx12-v-r3"), "yx12-hours/yx12-v");
+        assert_eq!(
+            class_token_prefix("yx12-hours-r3/yx12-v-r3"),
+            "yx12-hours/yx12-v"
+        );
     }
 }

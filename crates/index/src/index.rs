@@ -70,7 +70,10 @@ impl InvertedIndex {
     pub fn add_tokens<S: AsRef<str>>(&mut self, tokens: &[S]) -> DocId {
         let id = DocId(self.doc_lens.len() as u32);
         for (pos, t) in tokens.iter().enumerate() {
-            self.terms.entry(t.as_ref().to_string()).or_default().add(id);
+            self.terms
+                .entry(t.as_ref().to_string())
+                .or_default()
+                .add(id);
             let plist = self.positions.entry(t.as_ref().to_string()).or_default();
             match plist.last_mut() {
                 Some((d, ps)) if *d == id => ps.push(pos as u32),
@@ -108,11 +111,11 @@ impl InvertedIndex {
             .filter(|&doc| {
                 // A start position p works if term[i] occurs at p + i for all i.
                 self.positions(&terms[0], doc).iter().any(|&p| {
-                    terms
-                        .iter()
-                        .enumerate()
-                        .skip(1)
-                        .all(|(i, t)| self.positions(t, doc).binary_search(&(p + i as u32)).is_ok())
+                    terms.iter().enumerate().skip(1).all(|(i, t)| {
+                        self.positions(t, doc)
+                            .binary_search(&(p + i as u32))
+                            .is_ok()
+                    })
                 })
             })
             .collect()
@@ -131,6 +134,43 @@ impl InvertedIndex {
     /// Document frequency of a term.
     pub fn df(&self, term: &str) -> u32 {
         self.terms.get(term).map(PostingList::doc_freq).unwrap_or(0)
+    }
+
+    /// Content digest: FNV-1a over the sorted vocabulary, every posting and
+    /// position list, and the document lengths. Two indexes with identical
+    /// content digest equal — the equality check behind the pipeline's
+    /// any-thread-count determinism tests.
+    pub fn digest(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn byte(&mut self, b: u8) {
+                self.0 ^= b as u64;
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+            fn word(&mut self, w: u64) {
+                w.to_le_bytes().iter().for_each(|&b| self.byte(b));
+            }
+        }
+        let mut h = Fnv(0xcbf29ce484222325);
+        let mut terms: Vec<&String> = self.terms.keys().collect();
+        terms.sort_unstable();
+        for t in terms {
+            t.bytes().for_each(|b| h.byte(b));
+            h.byte(0xff);
+            for p in self.terms[t].iter() {
+                h.word(p.doc.0 as u64);
+                h.word(p.tf as u64);
+            }
+            for (doc, ps) in &self.positions[t] {
+                h.word(doc.0 as u64);
+                ps.iter().for_each(|&p| h.word(p as u64));
+            }
+        }
+        for &l in &self.doc_lens {
+            h.word(l as u64);
+        }
+        h.word(self.total_len);
+        h.0
     }
 
     fn idf(&self, term: &str) -> f64 {
@@ -168,13 +208,16 @@ impl InvertedIndex {
             for p in pl.iter() {
                 let len = self.doc_lens[p.doc.0 as usize] as f64;
                 let tf = p.tf as f64;
-                let denom =
-                    tf + self.params.k1 * (1.0 - self.params.b + self.params.b * len / avg.max(1e-9));
+                let denom = tf
+                    + self.params.k1 * (1.0 - self.params.b + self.params.b * len / avg.max(1e-9));
                 let s = idf * tf * (self.params.k1 + 1.0) / denom;
                 *acc.entry(p.doc).or_insert(0.0) += s;
             }
         }
-        let mut hits: Vec<Hit> = acc.into_iter().map(|(doc, score)| Hit { doc, score }).collect();
+        let mut hits: Vec<Hit> = acc
+            .into_iter()
+            .map(|(doc, score)| Hit { doc, score })
+            .collect();
         hits.sort_by(|a, b| {
             b.score
                 .partial_cmp(&a.score)
@@ -312,5 +355,17 @@ mod tests {
         for hit in ix.search("the cupertino guide mexican", 100) {
             assert!(hit.score >= 0.0);
         }
+    }
+
+    #[test]
+    fn digest_tracks_content() {
+        assert_eq!(idx().digest(), idx().digest());
+        let mut other = idx();
+        let before = other.digest();
+        other.add_text("one more document");
+        assert_ne!(before, other.digest());
+        // Insertion of the same docs in the same order → same digest even
+        // though HashMap iteration order may differ between instances.
+        assert_eq!(InvertedIndex::new().digest(), InvertedIndex::new().digest());
     }
 }

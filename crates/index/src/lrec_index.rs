@@ -144,6 +144,20 @@ impl LrecIndex {
         self.docs.is_empty()
     }
 
+    /// Content digest over the inner index and the record/concept mapping —
+    /// see [`InvertedIndex::digest`].
+    pub fn digest(&self) -> u64 {
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = self.inner.digest();
+        for (id, concept) in &self.docs {
+            h ^= id.0;
+            h = h.wrapping_mul(PRIME);
+            h ^= concept.0 as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        h
+    }
+
     /// Search with a parsed [`FieldQuery`]. `concept_resolver` maps a concept
     /// name (from `is:...`) to its id.
     pub fn search(
@@ -158,7 +172,11 @@ impl LrecIndex {
         }
         let concept_filter = query.concept.as_deref().and_then(&concept_resolver);
         // Over-fetch when filtering by concept, then trim.
-        let fetch = if concept_filter.is_some() { k * 8 + 32 } else { k };
+        let fetch = if concept_filter.is_some() {
+            k * 8 + 32
+        } else {
+            k
+        };
         let hits = self.inner.search_terms(&terms, fetch);
         let mut out: Vec<RecordHit> = hits
             .into_iter()
@@ -208,17 +226,49 @@ mod tests {
     fn rec(id: u64, concept: u32, pairs: &[(&str, &str)]) -> Lrec {
         let mut r = Lrec::new(LrecId(id), ConceptId(concept));
         for (k, v) in pairs {
-            r.add(k, AttrValue::Text(v.to_string()), Provenance::ground_truth(Tick(0)));
+            r.add(
+                k,
+                AttrValue::Text(v.to_string()),
+                Provenance::ground_truth(Tick(0)),
+            );
         }
         r
     }
 
     fn index() -> LrecIndex {
         let mut ix = LrecIndex::new();
-        ix.add(&rec(1, 0, &[("name", "Gochi Fusion Tapas"), ("city", "Cupertino"), ("cuisine", "Japanese")]));
-        ix.add(&rec(2, 0, &[("name", "El Farolito"), ("city", "San Francisco"), ("cuisine", "Mexican")]));
-        ix.add(&rec(3, 0, &[("name", "Casa Cantina"), ("city", "San Jose"), ("cuisine", "Mexican")]));
-        ix.add(&rec(4, 1, &[("title", "Towards Entity Matching"), ("venue", "PODS")]));
+        ix.add(&rec(
+            1,
+            0,
+            &[
+                ("name", "Gochi Fusion Tapas"),
+                ("city", "Cupertino"),
+                ("cuisine", "Japanese"),
+            ],
+        ));
+        ix.add(&rec(
+            2,
+            0,
+            &[
+                ("name", "El Farolito"),
+                ("city", "San Francisco"),
+                ("cuisine", "Mexican"),
+            ],
+        ));
+        ix.add(&rec(
+            3,
+            0,
+            &[
+                ("name", "Casa Cantina"),
+                ("city", "San Jose"),
+                ("cuisine", "Mexican"),
+            ],
+        ));
+        ix.add(&rec(
+            4,
+            1,
+            &[("title", "Towards Entity Matching"), ("venue", "PODS")],
+        ));
         ix
     }
 

@@ -105,7 +105,10 @@ impl PostingList {
             let gap = get_varint(&mut buf)? as u32;
             let tf = get_varint(&mut buf)? as u32;
             doc = if i == 0 { gap } else { doc.checked_add(gap)? };
-            entries.push(Posting { doc: DocId(doc), tf });
+            entries.push(Posting {
+                doc: DocId(doc),
+                tf,
+            });
         }
         Some(PostingList { entries })
     }

@@ -226,8 +226,17 @@ mod tests {
     fn ids_distinct() {
         let (_, c) = standard_registry();
         let ids = [
-            c.document, c.restaurant, c.menu_item, c.review, c.person, c.publication,
-            c.institution, c.product, c.seller, c.offer, c.event,
+            c.document,
+            c.restaurant,
+            c.menu_item,
+            c.review,
+            c.person,
+            c.publication,
+            c.institution,
+            c.product,
+            c.seller,
+            c.offer,
+            c.event,
         ];
         let set: std::collections::HashSet<_> = ids.iter().collect();
         assert_eq!(set.len(), ids.len());

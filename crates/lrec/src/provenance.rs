@@ -105,10 +105,7 @@ pub fn noisy_or<I: IntoIterator<Item = f64>>(confidences: I) -> f64 {
 /// Combine confidences along a *dependency chain* (classifier → extractor →
 /// linker) by product: the chain is only right if every step is right.
 pub fn chain<I: IntoIterator<Item = f64>>(confidences: I) -> f64 {
-    confidences
-        .into_iter()
-        .map(|c| c.clamp(0.0, 1.0))
-        .product()
+    confidences.into_iter().map(|c| c.clamp(0.0, 1.0)).product()
 }
 
 #[cfg(test)]

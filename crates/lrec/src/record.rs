@@ -82,14 +82,12 @@ impl Lrec {
 
     /// The highest-confidence value for `key`, if any.
     pub fn best(&self, key: &str) -> Option<&ValueEntry> {
-        self.get(key)
-            .iter()
-            .max_by(|a, b| {
-                a.provenance
-                    .confidence
-                    .partial_cmp(&b.provenance.confidence)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+        self.get(key).iter().max_by(|a, b| {
+            a.provenance
+                .confidence
+                .partial_cmp(&b.provenance.confidence)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// Convenience: the best value's display string.
@@ -239,7 +237,11 @@ mod tests {
         let mut a = rec();
         let mut b = Lrec::new(LrecId(2), ConceptId(0));
         // Same phone in a different format, higher confidence.
-        b.add("phone", AttrValue::Text("(408) 555-0134".into()), prov(0.95));
+        b.add(
+            "phone",
+            AttrValue::Text("(408) 555-0134".into()),
+            prov(0.95),
+        );
         b.add("cuisine", "Japanese".into(), prov(0.7));
         a.absorb(&b);
         // Still 2 phone entries (dedup), but the dup got the higher-confidence stamp.

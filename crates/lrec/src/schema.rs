@@ -198,7 +198,9 @@ impl ConceptSchema {
         let mut out = Vec::new();
         for (key, entries) in rec.iter() {
             match self.attrs.get(key) {
-                None => out.push(Violation::UndeclaredKey { key: key.to_string() }),
+                None => out.push(Violation::UndeclaredKey {
+                    key: key.to_string(),
+                }),
                 Some(spec) => {
                     if !spec.cardinality.admits_count(entries.len()) {
                         out.push(Violation::CardinalityExceeded {
@@ -286,10 +288,7 @@ impl ConceptRegistry {
 
     /// Define a domain over already-registered concepts.
     pub fn define_domain(&mut self, name: &str, concept_names: &[&str]) -> &Domain {
-        let concepts = concept_names
-            .iter()
-            .filter_map(|n| self.id_of(n))
-            .collect();
+        let concepts = concept_names.iter().filter_map(|n| self.id_of(n)).collect();
         self.domains.insert(
             name.to_string(),
             Domain {
@@ -371,10 +370,12 @@ mod tests {
         r.add("phone", AttrValue::Phone("3".into()), prov());
         r.add("parking", "street".into(), prov());
         let v = s.check(&r);
-        assert!(v.iter().any(|x| matches!(x, Violation::KindMismatch { key, .. } if key == "zip")));
         assert!(v
             .iter()
-            .any(|x| matches!(x, Violation::CardinalityExceeded { key, count: 3 } if key == "phone")));
+            .any(|x| matches!(x, Violation::KindMismatch { key, .. } if key == "zip")));
+        assert!(v.iter().any(
+            |x| matches!(x, Violation::CardinalityExceeded { key, count: 3 } if key == "phone")
+        ));
         assert!(v
             .iter()
             .any(|x| matches!(x, Violation::UndeclaredKey { key } if key == "parking")));

@@ -86,10 +86,20 @@ mod tests {
             );
         });
         let b = store.insert(c.restaurant, Tick(0), |r| {
-            r.add("name", "Gochi Tapas".into(), Provenance::ground_truth(Tick(0)));
+            r.add(
+                "name",
+                "Gochi Tapas".into(),
+                Provenance::ground_truth(Tick(0)),
+            );
         });
         store
-            .update(a, Tick(1), |r| r.add("cuisine", "Japanese".into(), Provenance::ground_truth(Tick(1))))
+            .update(a, Tick(1), |r| {
+                r.add(
+                    "cuisine",
+                    "Japanese".into(),
+                    Provenance::ground_truth(Tick(1)),
+                )
+            })
             .unwrap();
         store.merge(a, b, Tick(2)).unwrap();
         (reg, store)
@@ -120,7 +130,10 @@ mod tests {
 
     #[test]
     fn import_rejects_garbage() {
-        assert!(matches!(import("not json"), Err(SnapshotError::Malformed(_))));
+        assert!(matches!(
+            import("not json"),
+            Err(SnapshotError::Malformed(_))
+        ));
         assert!(matches!(import("{}"), Err(SnapshotError::Malformed(_))));
     }
 

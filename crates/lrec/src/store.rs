@@ -111,12 +111,23 @@ impl Store {
     }
 
     /// Insert a fully built record, allocating its id. Returns the id.
-    pub fn insert(&mut self, concept: ConceptId, tick: Tick, build: impl FnOnce(&mut Lrec)) -> LrecId {
+    pub fn insert(
+        &mut self,
+        concept: ConceptId,
+        tick: Tick,
+        build: impl FnOnce(&mut Lrec),
+    ) -> LrecId {
         let id = self.create(concept, tick);
         // Unwrap is fine: we just created it and it cannot be tombstoned.
         let mut rec = self.latest(id).unwrap().clone();
         build(&mut rec);
-        self.chains.get_mut(&id).unwrap().versions.last_mut().unwrap().rec = rec;
+        self.chains
+            .get_mut(&id)
+            .unwrap()
+            .versions
+            .last_mut()
+            .unwrap()
+            .rec = rec;
         id
     }
 
@@ -124,7 +135,9 @@ impl Store {
     /// tombstoned records still return their last version (their data was
     /// merged elsewhere but the history remains queryable).
     pub fn latest(&self, id: LrecId) -> Option<&Lrec> {
-        self.chains.get(&id).map(|c| &c.versions.last().unwrap().rec)
+        self.chains
+            .get(&id)
+            .map(|c| &c.versions.last().unwrap().rec)
     }
 
     /// Resolve an id through merge tombstones to the surviving record id.
@@ -382,7 +395,10 @@ mod tests {
             Err(StoreError::Tombstoned(_))
         ));
         // Merging the same loser twice fails.
-        assert!(matches!(s.merge(a, b, Tick(3)), Err(StoreError::Tombstoned(_))));
+        assert!(matches!(
+            s.merge(a, b, Tick(3)),
+            Err(StoreError::Tombstoned(_))
+        ));
     }
 
     #[test]

@@ -140,10 +140,9 @@ impl AttrValue {
             return true;
         }
         match (self, other) {
-            (AttrValue::Text(a), AttrValue::Text(b)) => {
-                a.trim().eq_ignore_ascii_case(b.trim())
-            }
-            (AttrValue::Phone(a), AttrValue::Text(b)) | (AttrValue::Text(b), AttrValue::Phone(a)) => {
+            (AttrValue::Text(a), AttrValue::Text(b)) => a.trim().eq_ignore_ascii_case(b.trim()),
+            (AttrValue::Phone(a), AttrValue::Text(b))
+            | (AttrValue::Text(b), AttrValue::Phone(a)) => {
                 AttrValue::parse_phone(b).is_some_and(|p| p == AttrValue::Phone(a.clone()))
             }
             (AttrValue::PriceCents(c), AttrValue::Text(b))
@@ -207,7 +206,12 @@ mod tests {
             "(408) 555-0134"
         );
         assert_eq!(
-            AttrValue::Date(Date { year: 2009, month: 6, day: 29 }).display_string(),
+            AttrValue::Date(Date {
+                year: 2009,
+                month: 6,
+                day: 29
+            })
+            .display_string(),
             "2009-06-29"
         );
     }
@@ -223,10 +227,22 @@ mod tests {
 
     #[test]
     fn price_parse() {
-        assert_eq!(AttrValue::parse_price("$12.95"), Some(AttrValue::PriceCents(1295)));
-        assert_eq!(AttrValue::parse_price("$5"), Some(AttrValue::PriceCents(500)));
-        assert_eq!(AttrValue::parse_price("20 dollars"), Some(AttrValue::PriceCents(2000)));
-        assert_eq!(AttrValue::parse_price("$1.5"), Some(AttrValue::PriceCents(150)));
+        assert_eq!(
+            AttrValue::parse_price("$12.95"),
+            Some(AttrValue::PriceCents(1295))
+        );
+        assert_eq!(
+            AttrValue::parse_price("$5"),
+            Some(AttrValue::PriceCents(500))
+        );
+        assert_eq!(
+            AttrValue::parse_price("20 dollars"),
+            Some(AttrValue::PriceCents(2000))
+        );
+        assert_eq!(
+            AttrValue::parse_price("$1.5"),
+            Some(AttrValue::PriceCents(150))
+        );
         assert_eq!(AttrValue::parse_price("n/a"), None);
     }
 

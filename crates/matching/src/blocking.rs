@@ -10,6 +10,8 @@ use std::collections::{HashMap, HashSet};
 use woc_lrec::Lrec;
 use woc_textkit::tokenize::{normalize, tokenize_words};
 
+use crate::shard::shard_map;
+
 /// Generate blocking keys for one record.
 pub fn blocking_keys(rec: &Lrec) -> Vec<String> {
     let mut keys = Vec::new();
@@ -40,25 +42,40 @@ pub fn blocking_keys(rec: &Lrec) -> Vec<String> {
 /// blocking keys. Keys matching more than `max_block` records are skipped
 /// (stopword-like keys would otherwise reintroduce the quadratic blowup).
 pub fn candidate_pairs(records: &[&Lrec], max_block: usize) -> Vec<(usize, usize)> {
-    let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
-    for (i, r) in records.iter().enumerate() {
-        for k in blocking_keys(r) {
-            blocks.entry(k).or_default().push(i);
+    candidate_pairs_sharded(records, max_block, 1)
+}
+
+/// [`candidate_pairs`] with both expensive halves sharded across `threads`
+/// workers: key generation per record, then pair emission per key bucket.
+/// The final sort + dedup makes the result identical at any thread count.
+pub fn candidate_pairs_sharded(
+    records: &[&Lrec],
+    max_block: usize,
+    threads: usize,
+) -> Vec<(usize, usize)> {
+    let keys_per_rec: Vec<Vec<String>> = shard_map(records, threads, |r| blocking_keys(r));
+    let mut blocks: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (i, keys) in keys_per_rec.iter().enumerate() {
+        for k in keys {
+            blocks.entry(k.as_str()).or_default().push(i);
         }
     }
-    let mut pairs: HashSet<(usize, usize)> = HashSet::new();
-    for members in blocks.values() {
-        if members.len() > max_block {
-            continue;
-        }
+    let buckets: Vec<Vec<usize>> = blocks
+        .into_values()
+        .filter(|m| m.len() <= max_block)
+        .collect();
+    let per_bucket: Vec<Vec<(usize, usize)>> = shard_map(&buckets, threads, |members| {
+        let mut pairs = Vec::with_capacity(members.len() * (members.len() - 1) / 2);
         for (a, &i) in members.iter().enumerate() {
             for &j in &members[a + 1..] {
-                pairs.insert((i.min(j), i.max(j)));
+                pairs.push((i.min(j), i.max(j)));
             }
         }
-    }
-    let mut out: Vec<(usize, usize)> = pairs.into_iter().collect();
+        pairs
+    });
+    let mut out: Vec<(usize, usize)> = per_bucket.into_iter().flatten().collect();
     out.sort_unstable();
+    out.dedup();
     out
 }
 
@@ -129,6 +146,25 @@ mod tests {
         assert!(pairs.is_empty(), "block of 10 exceeds max 5");
         let pairs = candidate_pairs(&refs, 20);
         assert_eq!(pairs.len(), 45);
+    }
+
+    #[test]
+    fn sharded_pairs_match_serial_at_any_thread_count() {
+        let recs: Vec<Lrec> = (0..30)
+            .map(|i| {
+                rec(
+                    i,
+                    ["Gochi Tapas", "Blue Lotus", "Farolito Cafe"][i as usize % 3],
+                    "",
+                )
+            })
+            .collect();
+        let refs: Vec<&Lrec> = recs.iter().collect();
+        let serial = candidate_pairs(&refs, 50);
+        assert!(!serial.is_empty());
+        for threads in [2, 3, 8, 64] {
+            assert_eq!(candidate_pairs_sharded(&refs, 50, threads), serial);
+        }
     }
 
     #[test]

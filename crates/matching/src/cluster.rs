@@ -78,14 +78,41 @@ pub fn pairwise_prf<T: Eq + std::hash::Hash>(
     predicted: &mut UnionFind,
     gold: &[T],
 ) -> crate::MatchPrf {
+    // Not delegated to the sharded variant: that would force `T: Sync` on
+    // every caller for no benefit at one thread.
     let n = gold.len();
     assert_eq!(predicted.len(), n);
-    let mut tp = 0usize;
-    let mut fp = 0usize;
-    let mut fn_ = 0usize;
+    let roots: Vec<usize> = (0..n).map(|x| predicted.find(x)).collect();
+    let mut prf = crate::MatchPrf::default();
     for i in 0..n {
         for j in (i + 1)..n {
-            let pred = predicted.same(i, j);
+            match (roots[i] == roots[j], gold[i] == gold[j]) {
+                (true, true) => prf.tp += 1,
+                (true, false) => prf.fp += 1,
+                (false, true) => prf.fn_ += 1,
+                (false, false) => {}
+            }
+        }
+    }
+    prf
+}
+
+/// [`pairwise_prf`] over `threads` workers. Roots are resolved up front so
+/// the O(n²) pair sweep is a pure read; per-row counts are summed, which is
+/// order-independent, so the result is identical at any thread count.
+pub fn pairwise_prf_sharded<T: Eq + std::hash::Hash + Sync>(
+    predicted: &mut UnionFind,
+    gold: &[T],
+    threads: usize,
+) -> crate::MatchPrf {
+    let n = gold.len();
+    assert_eq!(predicted.len(), n);
+    let roots: Vec<usize> = (0..n).map(|x| predicted.find(x)).collect();
+    let rows: Vec<usize> = (0..n).collect();
+    let counts = crate::shard::shard_map(&rows, threads, |&i| {
+        let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);
+        for j in (i + 1)..n {
+            let pred = roots[i] == roots[j];
             let truth = gold[i] == gold[j];
             match (pred, truth) {
                 (true, true) => tp += 1,
@@ -94,8 +121,15 @@ pub fn pairwise_prf<T: Eq + std::hash::Hash>(
                 (false, false) => {}
             }
         }
+        (tp, fp, fn_)
+    });
+    let mut prf = crate::MatchPrf::default();
+    for (tp, fp, fn_) in counts {
+        prf.tp += tp;
+        prf.fp += fp;
+        prf.fn_ += fn_;
     }
-    crate::MatchPrf { tp, fp, fn_ }
+    prf
 }
 
 #[cfg(test)]
@@ -124,6 +158,19 @@ mod tests {
         assert_eq!(prf.tp, 1);
         assert_eq!(prf.fp, 1);
         assert_eq!(prf.fn_, 0);
+    }
+
+    #[test]
+    fn sharded_prf_matches_serial() {
+        let mut uf = UnionFind::new(40);
+        for i in 0..20 {
+            uf.union(i * 2, i * 2 + 1);
+        }
+        let gold: Vec<usize> = (0..40).map(|i| i / 3).collect();
+        let serial = pairwise_prf(&mut uf, &gold);
+        for threads in [2, 4, 40, 100] {
+            assert_eq!(pairwise_prf_sharded(&mut uf, &gold, threads), serial);
+        }
     }
 
     #[test]

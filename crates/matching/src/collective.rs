@@ -144,7 +144,8 @@ mod tests {
         // Same ambiguous pair but with disjoint neighborhoods.
         let candidates = vec![(0, 1, 0.6), (2, 3, 1.2)];
         let neighbors = vec![vec![2], vec![], vec![0], vec![]];
-        let (mut uf, _) = resolve_collective(4, &candidates, &neighbors, &CollectiveConfig::default());
+        let (mut uf, _) =
+            resolve_collective(4, &candidates, &neighbors, &CollectiveConfig::default());
         assert!(!uf.same(0, 1));
     }
 
@@ -152,7 +153,8 @@ mod tests {
     fn fixpoint_terminates_early() {
         let candidates = vec![(0, 1, 2.0)];
         let neighbors = vec![vec![], vec![]];
-        let (mut uf, iters) = resolve_collective(2, &candidates, &neighbors, &CollectiveConfig::default());
+        let (mut uf, iters) =
+            resolve_collective(2, &candidates, &neighbors, &CollectiveConfig::default());
         assert!(uf.same(0, 1));
         assert!(iters <= 2);
     }

@@ -50,11 +50,36 @@ impl FellegiSunter {
     pub fn restaurant_default() -> Self {
         Self {
             attrs: vec![
-                AttrParams { key: "name".into(), m: 0.9, u: 0.05, agree_threshold: 0.75 },
-                AttrParams { key: "phone".into(), m: 0.85, u: 0.001, agree_threshold: 0.99 },
-                AttrParams { key: "zip".into(), m: 0.95, u: 0.05, agree_threshold: 0.99 },
-                AttrParams { key: "street".into(), m: 0.85, u: 0.02, agree_threshold: 0.85 },
-                AttrParams { key: "city".into(), m: 0.98, u: 0.2, agree_threshold: 0.95 },
+                AttrParams {
+                    key: "name".into(),
+                    m: 0.9,
+                    u: 0.05,
+                    agree_threshold: 0.75,
+                },
+                AttrParams {
+                    key: "phone".into(),
+                    m: 0.85,
+                    u: 0.001,
+                    agree_threshold: 0.99,
+                },
+                AttrParams {
+                    key: "zip".into(),
+                    m: 0.95,
+                    u: 0.05,
+                    agree_threshold: 0.99,
+                },
+                AttrParams {
+                    key: "street".into(),
+                    m: 0.85,
+                    u: 0.02,
+                    agree_threshold: 0.85,
+                },
+                AttrParams {
+                    key: "city".into(),
+                    m: 0.98,
+                    u: 0.2,
+                    agree_threshold: 0.95,
+                },
             ],
             // Calibrated against experiment S5c: 4.0 admits name-similar
             // same-city pairs ("Olive House" / "Old House"); 5.0 sits on the
@@ -165,15 +190,32 @@ mod tests {
     fn same_entity_scores_high() {
         let fs = FellegiSunter::restaurant_default();
         let a = rec(1, "Gochi Fusion Tapas", "4085550134", "95014", "Cupertino");
-        let b = rec(2, "GOCHI FUSION TAPAS - Cupertino", "4085550134", "95014", "Cupertino");
-        assert_eq!(fs.decide(&a, &b), Decision::Match, "score {}", fs.score(&a, &b));
+        let b = rec(
+            2,
+            "GOCHI FUSION TAPAS - Cupertino",
+            "4085550134",
+            "95014",
+            "Cupertino",
+        );
+        assert_eq!(
+            fs.decide(&a, &b),
+            Decision::Match,
+            "score {}",
+            fs.score(&a, &b)
+        );
     }
 
     #[test]
     fn different_entities_score_low() {
         let fs = FellegiSunter::restaurant_default();
         let a = rec(1, "Gochi Fusion Tapas", "4085550134", "95014", "Cupertino");
-        let b = rec(2, "Taqueria El Farolito", "4155559999", "94110", "San Francisco");
+        let b = rec(
+            2,
+            "Taqueria El Farolito",
+            "4155559999",
+            "94110",
+            "San Francisco",
+        );
         assert_eq!(fs.decide(&a, &b), Decision::NonMatch);
     }
 

@@ -23,11 +23,12 @@ pub mod blocking;
 pub mod cluster;
 pub mod collective;
 pub mod fellegi;
+pub mod shard;
 pub mod simvec;
 pub mod textmatch;
 
-pub use blocking::{blocking_keys, blocking_recall, candidate_pairs};
-pub use cluster::{pairwise_prf, UnionFind};
+pub use blocking::{blocking_keys, blocking_recall, candidate_pairs, candidate_pairs_sharded};
+pub use cluster::{pairwise_prf, pairwise_prf_sharded, UnionFind};
 pub use collective::{resolve_collective, resolve_pairwise, CollectiveConfig};
 pub use fellegi::{AttrParams, Decision, FellegiSunter};
 pub use simvec::{attr_similarity, similarity_vector, value_similarity};

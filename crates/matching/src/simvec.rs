@@ -89,11 +89,17 @@ mod tests {
             1.0
         );
         assert_eq!(
-            value_similarity(&AttrValue::Zip("95014".into()), &AttrValue::Zip("95099".into())),
+            value_similarity(
+                &AttrValue::Zip("95014".into()),
+                &AttrValue::Zip("95099".into())
+            ),
             0.3
         );
         assert_eq!(
-            value_similarity(&AttrValue::Zip("95014".into()), &AttrValue::Zip("60601".into())),
+            value_similarity(
+                &AttrValue::Zip("95014".into()),
+                &AttrValue::Zip("60601".into())
+            ),
             0.0
         );
         let close = value_similarity(&AttrValue::PriceCents(1000), &AttrValue::PriceCents(1100));

@@ -115,7 +115,11 @@ impl TfIdfMatcher {
             let v = TfIdf::new(&stats);
             token_lists.iter().map(|t| v.vectorize(t)).collect()
         };
-        Self { ids, stats, vectors }
+        Self {
+            ids,
+            stats,
+            vectors,
+        }
     }
 
     /// Best cosine match for a text.
@@ -167,9 +171,27 @@ mod tests {
 
     fn candidates() -> Vec<Lrec> {
         vec![
-            restaurant(1, "Gochi Fusion Tapas", "Cupertino", "Japanese", &["Tonkotsu Ramen"]),
-            restaurant(2, "El Farolito", "San Francisco", "Mexican", &["Carnitas Burrito"]),
-            restaurant(3, "Blue Lotus", "Austin", "Thai", &["Pad Thai", "Green Curry"]),
+            restaurant(
+                1,
+                "Gochi Fusion Tapas",
+                "Cupertino",
+                "Japanese",
+                &["Tonkotsu Ramen"],
+            ),
+            restaurant(
+                2,
+                "El Farolito",
+                "San Francisco",
+                "Mexican",
+                &["Carnitas Burrito"],
+            ),
+            restaurant(
+                3,
+                "Blue Lotus",
+                "Austin",
+                "Thai",
+                &["Pad Thai", "Green Curry"],
+            ),
         ]
     }
 

@@ -59,17 +59,66 @@ pub const FIRST_NAMES: &[&str] = &[
 
 /// Last names used for people.
 pub const LAST_NAMES: &[&str] = &[
-    "Lovelace", "Turing", "Hopper", "Codd", "Liskov", "Knuth", "McCarthy", "Lamport", "Allen",
-    "Wirth", "Hoare", "Pearl", "Dijkstra", "Goldwasser", "Micali", "Blum", "Milner", "Hartmanis",
-    "Stearns", "Scott", "Wilkes", "Thompson", "Ritchie", "Berman", "Goldberg", "Perlman",
-    "Conway", "Mayer", "Santos", "Chen", "Patel", "Rao", "Ivanova", "Hassan", "Tanaka", "Garcia",
+    "Lovelace",
+    "Turing",
+    "Hopper",
+    "Codd",
+    "Liskov",
+    "Knuth",
+    "McCarthy",
+    "Lamport",
+    "Allen",
+    "Wirth",
+    "Hoare",
+    "Pearl",
+    "Dijkstra",
+    "Goldwasser",
+    "Micali",
+    "Blum",
+    "Milner",
+    "Hartmanis",
+    "Stearns",
+    "Scott",
+    "Wilkes",
+    "Thompson",
+    "Ritchie",
+    "Berman",
+    "Goldberg",
+    "Perlman",
+    "Conway",
+    "Mayer",
+    "Santos",
+    "Chen",
+    "Patel",
+    "Rao",
+    "Ivanova",
+    "Hassan",
+    "Tanaka",
+    "Garcia",
 ];
 
 /// Street base names for synthetic addresses.
 pub const STREETS: &[&str] = &[
-    "Homestead", "Stevens Creek", "Main", "Market", "Castro", "University", "Oak", "Elm",
-    "Mission", "Valencia", "Lincoln", "Washington", "Lake", "Hill", "Park", "Bascom", "Winchester",
-    "Saratoga", "Fremont", "Alma",
+    "Homestead",
+    "Stevens Creek",
+    "Main",
+    "Market",
+    "Castro",
+    "University",
+    "Oak",
+    "Elm",
+    "Mission",
+    "Valencia",
+    "Lincoln",
+    "Washington",
+    "Lake",
+    "Hill",
+    "Park",
+    "Bascom",
+    "Winchester",
+    "Saratoga",
+    "Fremont",
+    "Alma",
 ];
 
 /// Street suffixes (abbreviated forms used when generating addresses).
@@ -77,8 +126,15 @@ pub const STREET_SUFFIXES: &[&str] = &["St", "Ave", "Rd", "Blvd", "Way", "Dr", "
 
 /// Expanded street suffixes (recognizers must accept both forms — sources
 /// render either).
-pub const STREET_SUFFIXES_FULL: &[&str] =
-    &["Street", "Avenue", "Road", "Boulevard", "Way", "Drive", "Lane"];
+pub const STREET_SUFFIXES_FULL: &[&str] = &[
+    "Street",
+    "Avenue",
+    "Road",
+    "Boulevard",
+    "Way",
+    "Drive",
+    "Lane",
+];
 
 /// Restaurant-name heads (combined with cuisine words and suffixes).
 pub const RESTAURANT_HEADS: &[&str] = &[
@@ -88,8 +144,23 @@ pub const RESTAURANT_HEADS: &[&str] = &[
 
 /// Restaurant-name tails.
 pub const RESTAURANT_TAILS: &[&str] = &[
-    "Garden", "House", "Kitchen", "Palace", "Bistro", "Grill", "Cafe", "Tavern", "Table",
-    "Cantina", "Trattoria", "Diner", "Room", "Corner", "Express", "Fusion", "Tapas",
+    "Garden",
+    "House",
+    "Kitchen",
+    "Palace",
+    "Bistro",
+    "Grill",
+    "Cafe",
+    "Tavern",
+    "Table",
+    "Cantina",
+    "Trattoria",
+    "Diner",
+    "Room",
+    "Corner",
+    "Express",
+    "Fusion",
+    "Tapas",
 ];
 
 /// Dish names per cuisine bucket (generic pool; cuisine adds flavor words).
@@ -134,14 +205,34 @@ pub const DISHES: &[&str] = &[
 
 /// Positive sentiment words for review generation/analysis.
 pub const POSITIVE_WORDS: &[&str] = &[
-    "great", "excellent", "amazing", "delicious", "friendly", "cozy", "fresh", "fantastic",
-    "wonderful", "perfect", "tasty", "superb",
+    "great",
+    "excellent",
+    "amazing",
+    "delicious",
+    "friendly",
+    "cozy",
+    "fresh",
+    "fantastic",
+    "wonderful",
+    "perfect",
+    "tasty",
+    "superb",
 ];
 
 /// Negative sentiment words for review generation/analysis.
 pub const NEGATIVE_WORDS: &[&str] = &[
-    "slow", "bland", "overpriced", "rude", "cold", "stale", "disappointing", "noisy", "greasy",
-    "mediocre", "terrible", "soggy",
+    "slow",
+    "bland",
+    "overpriced",
+    "rude",
+    "cold",
+    "stale",
+    "disappointing",
+    "noisy",
+    "greasy",
+    "mediocre",
+    "terrible",
+    "soggy",
 ];
 
 /// Research-topic terms for the academic domain.
@@ -186,7 +277,16 @@ pub const INSTITUTIONS: &[&str] = &[
 
 /// Product brands for the shopping domain.
 pub const BRANDS: &[&str] = &[
-    "Nikon", "Canon", "Sony", "Pentax", "Olympus", "Fuji", "Panasonic", "Leica", "Kodak", "Sigma",
+    "Nikon",
+    "Canon",
+    "Sony",
+    "Pentax",
+    "Olympus",
+    "Fuji",
+    "Panasonic",
+    "Leica",
+    "Kodak",
+    "Sigma",
 ];
 
 /// Product category names for the shopping domain, with typical price bands
@@ -204,13 +304,30 @@ pub const PRODUCT_CATEGORIES: &[(&str, u32, u32)] = &[
 
 /// Event categories for the events domain.
 pub const EVENT_CATEGORIES: &[&str] = &[
-    "Concert", "Festival", "Exhibition", "Conference", "Game", "Workshop", "Meetup", "Play",
+    "Concert",
+    "Festival",
+    "Exhibition",
+    "Conference",
+    "Game",
+    "Workshop",
+    "Meetup",
+    "Play",
 ];
 
 /// Month names, used by date recognition and generation.
 pub const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 fn set_of(words: &'static [&'static str]) -> HashSet<&'static str> {
@@ -230,8 +347,16 @@ macro_rules! lazy_set {
 lazy_set!(cuisine_set, CUISINES, "Set view of [`CUISINES`].");
 lazy_set!(first_name_set, FIRST_NAMES, "Set view of [`FIRST_NAMES`].");
 lazy_set!(last_name_set, LAST_NAMES, "Set view of [`LAST_NAMES`].");
-lazy_set!(street_set, STREETS, "Set view of [`STREETS`] (multi-word entries appear whole).");
-lazy_set!(street_suffix_set, STREET_SUFFIXES, "Set view of [`STREET_SUFFIXES`].");
+lazy_set!(
+    street_set,
+    STREETS,
+    "Set view of [`STREETS`] (multi-word entries appear whole)."
+);
+lazy_set!(
+    street_suffix_set,
+    STREET_SUFFIXES,
+    "Set view of [`STREET_SUFFIXES`]."
+);
 
 /// Set of both abbreviated and expanded street suffixes.
 pub fn street_suffix_any_set() -> &'static HashSet<&'static str> {
@@ -246,8 +371,16 @@ pub fn street_suffix_any_set() -> &'static HashSet<&'static str> {
 }
 lazy_set!(venue_set, VENUES, "Set view of [`VENUES`].");
 lazy_set!(brand_set, BRANDS, "Set view of [`BRANDS`].");
-lazy_set!(positive_set, POSITIVE_WORDS, "Set view of [`POSITIVE_WORDS`].");
-lazy_set!(negative_set, NEGATIVE_WORDS, "Set view of [`NEGATIVE_WORDS`].");
+lazy_set!(
+    positive_set,
+    POSITIVE_WORDS,
+    "Set view of [`POSITIVE_WORDS`]."
+);
+lazy_set!(
+    negative_set,
+    NEGATIVE_WORDS,
+    "Set view of [`NEGATIVE_WORDS`]."
+);
 lazy_set!(month_set, MONTHS, "Set view of [`MONTHS`].");
 
 /// City-name set (full multi-word names, e.g. `San Jose`).

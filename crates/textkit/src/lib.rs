@@ -30,7 +30,7 @@ pub mod recognize;
 pub mod tfidf;
 pub mod tokenize;
 
-pub use metrics::{cosine_counts, dice, jaccard, jaro, jaro_winkler, levenshtein, lev_similarity};
+pub use metrics::{cosine_counts, dice, jaccard, jaro, jaro_winkler, lev_similarity, levenshtein};
 pub use recognize::{recognize_all, FieldKind, FieldSpan};
 pub use tfidf::{CorpusStats, SparseVector, TfIdf};
 pub use tokenize::{normalize, tokenize, tokenize_words, Token, TokenKind};

@@ -204,7 +204,10 @@ mod tests {
         let review = ["great", "tapas", "at", "gochi"];
         let l1 = r1.mixture_log_likelihood(&bg, 0.5, &review);
         let l2 = r2.mixture_log_likelihood(&bg, 0.5, &review);
-        assert!(l1 > l2, "review should be attributed to gochi: {l1} vs {l2}");
+        assert!(
+            l1 > l2,
+            "review should be attributed to gochi: {l1} vs {l2}"
+        );
     }
 
     #[test]

@@ -92,10 +92,7 @@ pub fn phones(text: &str) -> Vec<FieldSpan> {
             continue;
         }
         // DDD sep DDD sep DDDD where sep is -, ., or adjacency with space
-        if i + 2 < toks.len()
-            && is_digits(&toks[i], 3)
-            && is_digits_sep(&toks, i, text).is_some()
-        {
+        if i + 2 < toks.len() && is_digits(&toks[i], 3) && is_digits_sep(&toks, i, text).is_some() {
             if let Some(consumed) = is_digits_sep(&toks, i, text) {
                 out.push(span(FieldKind::Phone, &toks[i..i + consumed], text, 0.95));
                 i += consumed;
@@ -156,8 +153,10 @@ pub fn zips(text: &str) -> Vec<FieldSpan> {
             // Context boost: preceding token is a state code or city word.
             if i > 0 {
                 let prev = toks[i - 1].text.to_uppercase();
-                if ["CA", "IL", "WA", "TX", "OR", "MA", "NY", "RI", "WI", "CO", "GA"]
-                    .contains(&prev.as_str())
+                if [
+                    "CA", "IL", "WA", "TX", "OR", "MA", "NY", "RI", "WI", "CO", "GA",
+                ]
+                .contains(&prev.as_str())
                 {
                     conf = 0.97;
                 }
@@ -179,10 +178,7 @@ pub fn prices(text: &str) -> Vec<FieldSpan> {
     while i < toks.len() {
         if is_punct(&toks[i], "$") && i + 1 < toks.len() && toks[i + 1].kind == TokenKind::Number {
             let mut end = i + 1;
-            if i + 3 < toks.len()
-                && is_punct(&toks[i + 2], ".")
-                && is_digits(&toks[i + 3], 2)
-            {
+            if i + 3 < toks.len() && is_punct(&toks[i + 2], ".") && is_digits(&toks[i + 3], 2) {
                 end = i + 3;
             }
             out.push(span(FieldKind::Price, &toks[i..=end], text, 0.97));
@@ -275,10 +271,7 @@ pub fn times(text: &str) -> Vec<FieldSpan> {
     while i < toks.len() {
         if toks[i].kind == TokenKind::Number && toks[i].text.len() <= 2 {
             let mut j = i;
-            if i + 2 < toks.len()
-                && is_punct(&toks[i + 1], ":")
-                && is_digits(&toks[i + 2], 2)
-            {
+            if i + 2 < toks.len() && is_punct(&toks[i + 1], ":") && is_digits(&toks[i + 2], 2) {
                 j = i + 2;
             }
             if j + 1 < toks.len() {
@@ -501,7 +494,10 @@ mod tests {
 
     #[test]
     fn phone_requires_separator() {
-        assert!(phones("123 456 7890").is_empty(), "bare triples are ambiguous");
+        assert!(
+            phones("123 456 7890").is_empty(),
+            "bare triples are ambiguous"
+        );
     }
 
     #[test]
@@ -581,7 +577,9 @@ mod tests {
 
     #[test]
     fn recognize_all_sorted() {
-        let spans = recognize_all("Gochi, 19980 Homestead Rd, Cupertino CA 95014, (408) 555-0134, open 11am");
+        let spans = recognize_all(
+            "Gochi, 19980 Homestead Rd, Cupertino CA 95014, (408) 555-0134, open 11am",
+        );
         assert!(!spans.is_empty());
         for w in spans.windows(2) {
             assert!(w[0].start <= w[1].start);

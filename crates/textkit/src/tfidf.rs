@@ -214,7 +214,10 @@ mod tests {
         let the = s.term_id("the").unwrap();
         let salsa = s.term_id("salsa").unwrap();
         assert!(s.idf(salsa) > s.idf(the), "rarer term has larger idf");
-        assert!(s.idf(the) > 0.0, "idf stays positive even for ubiquitous terms");
+        assert!(
+            s.idf(the) > 0.0,
+            "idf stays positive even for ubiquitous terms"
+        );
     }
 
     #[test]

@@ -227,7 +227,10 @@ mod tests {
 
     #[test]
     fn normalize_collapses() {
-        assert_eq!(normalize("  Gochi   Fusion -- Tapas!  "), "gochi fusion tapas");
+        assert_eq!(
+            normalize("  Gochi   Fusion -- Tapas!  "),
+            "gochi fusion tapas"
+        );
         assert_eq!(normalize(""), "");
         assert_eq!(normalize("!!!"), "");
     }

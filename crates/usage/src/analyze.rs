@@ -117,7 +117,11 @@ pub fn attribute_queries(
         .into_iter()
         .map(|(t, c)| (t, c as f64 / query_count.max(1) as f64))
         .collect();
-    out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    out.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     out
 }
 
@@ -255,9 +259,7 @@ pub fn name_location_tokens(world: &woc_webgen::World) -> HashSet<String> {
 }
 
 /// Helper: homepage URL set and host mapping for E2/E4.
-pub fn homepage_inventory(
-    world: &woc_webgen::World,
-) -> (HashSet<String>, HashMap<String, String>) {
+pub fn homepage_inventory(world: &woc_webgen::World) -> (HashSet<String>, HashMap<String, String>) {
     let mut urls = HashSet::new();
     let mut hosts = HashMap::new();
     for &r in &world.restaurants {
@@ -311,7 +313,10 @@ mod tests {
             classify_aggregator_url("http://localreviews.example.com/", HOST),
             Some(AggregatorUrlKind::Other)
         );
-        assert_eq!(classify_aggregator_url("http://other.example.com/biz/x", HOST), None);
+        assert_eq!(
+            classify_aggregator_url("http://other.example.com/biz/x", HOST),
+            None
+        );
     }
 
     #[test]
@@ -348,7 +353,10 @@ mod tests {
         };
         let tally = attribute_queries(&log, &homepages, &names);
         assert_eq!(tally[0].0, "menu");
-        assert!((tally[0].1 - 2.0 / 3.0).abs() < 1e-12, "2 of 3 homepage queries");
+        assert!(
+            (tally[0].1 - 2.0 / 3.0).abs() < 1e-12,
+            "2 of 3 homepage queries"
+        );
     }
 
     #[test]
@@ -384,7 +392,11 @@ mod tests {
 
     #[test]
     fn trail_statistics() {
-        let homepages: HashSet<String> = ["http://gochi.example.com/".to_string(), "http://blue.example.com/".to_string()].into();
+        let homepages: HashSet<String> = [
+            "http://gochi.example.com/".to_string(),
+            "http://blue.example.com/".to_string(),
+        ]
+        .into();
         let host_of = |url: &str| -> Option<String> {
             let host = woc_webgen::page::url_host(url).to_string();
             (host.contains("gochi") || host.contains("blue")).then_some(host)

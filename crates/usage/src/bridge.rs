@@ -132,7 +132,11 @@ mod tests {
         let user = log
             .searches
             .iter()
-            .find(|e| e.clicks.iter().any(|u| !records_for_url(&woc, u).is_empty()))
+            .find(|e| {
+                e.clicks
+                    .iter()
+                    .any(|u| !records_for_url(&woc, u).is_empty())
+            })
             .map(|e| e.user)
             .expect("some resolving click");
         let model = user_model_from_logs(&woc, &log, user);

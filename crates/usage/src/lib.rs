@@ -26,12 +26,12 @@ pub mod discovery;
 pub mod log;
 pub mod simulate;
 
-pub use discovery::{evolve_schema_from_behavior, propose_attributes, AttributeProposal};
-pub use bridge::{co_engagement_from_logs, records_for_url, user_model_from_logs};
 pub use analyze::{
     attribute_queries, click_categories, co_clicks, trails, AggregatorUrlKind, ClickCategoryStats,
     CoClickStats, TrailStats,
 };
+pub use bridge::{co_engagement_from_logs, records_for_url, user_model_from_logs};
+pub use discovery::{evolve_schema_from_behavior, propose_attributes, AttributeProposal};
 pub use log::{SearchEvent, Trail, UsageLog, SEARCH_ENGINE_HOST};
 pub use simulate::{simulate, UsageConfig};
 
@@ -55,21 +55,47 @@ mod tests {
         // E1: 59% biz / 19% search / 11% category.
         let e1 = click_categories(&log, AGGREGATOR_HOST);
         assert!((e1.biz - 0.59).abs() < 0.04, "biz share {}", e1.biz);
-        assert!((e1.search - 0.19).abs() < 0.04, "search share {}", e1.search);
-        assert!((e1.category - 0.11).abs() < 0.04, "category share {}", e1.category);
+        assert!(
+            (e1.search - 0.19).abs() < 0.04,
+            "search share {}",
+            e1.search
+        );
+        assert!(
+            (e1.category - 0.11).abs() < 0.04,
+            "category share {}",
+            e1.category
+        );
 
         // E2: menu ~3%, coupons ~1.8%.
         let (homepages, _) = analyze::homepage_inventory(&world);
         let names = analyze::name_location_tokens(&world);
         let tally = attribute_queries(&log, &homepages, &names);
-        let rate = |tok: &str| tally.iter().find(|(t, _)| t == tok).map(|(_, r)| *r).unwrap_or(0.0);
+        let rate = |tok: &str| {
+            tally
+                .iter()
+                .find(|(t, _)| t == tok)
+                .map(|(_, r)| *r)
+                .unwrap_or(0.0)
+        };
         assert!((rate("menu") - 0.03).abs() < 0.015, "menu {}", rate("menu"));
-        assert!((rate("coupons") - 0.018).abs() < 0.012, "coupons {}", rate("coupons"));
+        assert!(
+            (rate("coupons") - 0.018).abs() < 0.012,
+            "coupons {}",
+            rate("coupons")
+        );
 
         // E3: ≥1 other click 59%, ≥2 35%.
         let e3 = co_clicks(&log, AGGREGATOR_HOST);
-        assert!((e3.at_least_one_other - 0.59).abs() < 0.05, "{}", e3.at_least_one_other);
-        assert!((e3.at_least_two_others - 0.35).abs() < 0.05, "{}", e3.at_least_two_others);
+        assert!(
+            (e3.at_least_one_other - 0.59).abs() < 0.05,
+            "{}",
+            e3.at_least_one_other
+        );
+        assert!(
+            (e3.at_least_two_others - 0.35).abs() < 0.05,
+            "{}",
+            e3.at_least_two_others
+        );
 
         // E4: 42% search-preceded; next = location 11.5% / menu 9% / coupons 1%;
         // 10.5% multi-instance.
@@ -83,10 +109,22 @@ mod tests {
             host_of: &host_of,
         };
         let e4 = trails(&log, &cls);
-        assert!((e4.search_preceded - 0.42).abs() < 0.05, "{}", e4.search_preceded);
-        assert!((e4.next_location - 0.115).abs() < 0.04, "{}", e4.next_location);
+        assert!(
+            (e4.search_preceded - 0.42).abs() < 0.05,
+            "{}",
+            e4.search_preceded
+        );
+        assert!(
+            (e4.next_location - 0.115).abs() < 0.04,
+            "{}",
+            e4.next_location
+        );
         assert!((e4.next_menu - 0.09).abs() < 0.04, "{}", e4.next_menu);
         assert!(e4.next_coupons < 0.05, "{}", e4.next_coupons);
-        assert!((e4.multi_instance_trails - 0.105).abs() < 0.04, "{}", e4.multi_instance_trails);
+        assert!(
+            (e4.multi_instance_trails - 0.105).abs() < 0.04,
+            "{}",
+            e4.multi_instance_trails
+        );
     }
 }

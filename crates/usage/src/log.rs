@@ -47,10 +47,7 @@ pub fn is_search_url(url: &str) -> bool {
 
 /// Build a search-result-page URL for a query.
 pub fn search_url(query: &str) -> String {
-    format!(
-        "http://{SEARCH_ENGINE_HOST}/?q={}",
-        query.replace(' ', "+")
-    )
+    format!("http://{SEARCH_ENGINE_HOST}/?q={}", query.replace(' ', "+"))
 }
 
 /// A full usage log: searches plus trails.

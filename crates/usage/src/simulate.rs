@@ -158,9 +158,7 @@ fn inventory(world: &World, corpus: &WebCorpus, views: &[RestaurantView]) -> Inv
                 }
             }
             PageKind::AggregatorSearch if page.site == PRIMARY => search.push(page.url.clone()),
-            PageKind::AggregatorCategory if page.site == PRIMARY => {
-                category.push(page.url.clone())
-            }
+            PageKind::AggregatorCategory if page.site == PRIMARY => category.push(page.url.clone()),
             PageKind::AggregatorHome if page.site == PRIMARY => home = Some(page.url.clone()),
             PageKind::Article => {
                 for m in &page.truth.mentions {
@@ -229,13 +227,21 @@ pub fn simulate(world: &World, corpus: &WebCorpus, config: &UsageConfig) -> Usag
                     clicks.push(u.clone());
                 }
             }
-            log.searches.push(SearchEvent { user, query, clicks });
+            log.searches.push(SearchEvent {
+                user,
+                query,
+                clicks,
+            });
         } else if roll < config.p_biz + config.p_search && !inv.search.is_empty() {
             // Set search ("wedding cakes Los Angeles"-style).
             let url = inv.search.choose(&mut rng).unwrap().clone();
             let v = views.choose(&mut rng).unwrap();
             let query = format!("{} {}", v.cuisine.to_lowercase(), v.city.to_lowercase());
-            log.searches.push(SearchEvent { user, query, clicks: vec![url] });
+            log.searches.push(SearchEvent {
+                user,
+                query,
+                clicks: vec![url],
+            });
         } else if roll < config.p_biz + config.p_search + config.p_category
             && !inv.category.is_empty()
         {
@@ -246,10 +252,18 @@ pub fn simulate(world: &World, corpus: &WebCorpus, config: &UsageConfig) -> Usag
                 v.city.to_lowercase(),
                 v.cuisine.to_lowercase()
             );
-            log.searches.push(SearchEvent { user, query, clicks: vec![url] });
+            log.searches.push(SearchEvent {
+                user,
+                query,
+                clicks: vec![url],
+            });
         } else if let Some(h) = &inv.home {
             let query = "restaurant reviews".to_string();
-            log.searches.push(SearchEvent { user, query, clicks: vec![h.clone()] });
+            log.searches.push(SearchEvent {
+                user,
+                query,
+                clicks: vec![h.clone()],
+            });
         }
     }
 

@@ -134,7 +134,10 @@ mod tests {
     fn recrawl_replaces() {
         let mut c = WebCorpus::new();
         c.add(page("http://a.example.com/1", None));
-        c.add(page("http://a.example.com/1", Some("http://a.example.com/2")));
+        c.add(page(
+            "http://a.example.com/1",
+            Some("http://a.example.com/2"),
+        ));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get("http://a.example.com/1").unwrap().links().len(), 1);
     }
@@ -142,8 +145,14 @@ mod tests {
     #[test]
     fn link_graph_drops_external() {
         let mut c = WebCorpus::new();
-        c.add(page("http://a.example.com/1", Some("http://a.example.com/2")));
-        c.add(page("http://a.example.com/2", Some("http://external.example.org/")));
+        c.add(page(
+            "http://a.example.com/1",
+            Some("http://a.example.com/2"),
+        ));
+        c.add(page(
+            "http://a.example.com/2",
+            Some("http://external.example.org/"),
+        ));
         let g = c.link_graph();
         assert_eq!(g["http://a.example.com/1"], vec!["http://a.example.com/2"]);
         assert!(g["http://a.example.com/2"].is_empty());

@@ -166,10 +166,10 @@ impl Node {
 
     /// Find the first descendant element with the given class.
     pub fn find_class(&self, class: &str) -> Option<&Node> {
-        self.walk()
-            .into_iter()
-            .map(|(_, n)| n)
-            .find(|n| n.get_attr("class").is_some_and(|c| c.split(' ').any(|x| x == class)))
+        self.walk().into_iter().map(|(_, n)| n).find(|n| {
+            n.get_attr("class")
+                .is_some_and(|c| c.split(' ').any(|x| x == class))
+        })
     }
 
     /// Find all descendant elements with the given tag.
@@ -216,7 +216,11 @@ impl Node {
     fn render(&self, out: &mut String) {
         match self {
             Node::Text(t) => out.push_str(&escape(t)),
-            Node::Element { tag, attrs, children } => {
+            Node::Element {
+                tag,
+                attrs,
+                children,
+            } => {
                 let _ = write!(out, "<{tag}");
                 for (k, v) in attrs {
                     let _ = write!(out, " {k}=\"{}\"", escape(v));
@@ -232,11 +236,17 @@ impl Node {
 }
 
 fn escape(t: &str) -> String {
-    t.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+    t.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
 }
 
 fn unescape(t: &str) -> String {
-    t.replace("&quot;", "\"").replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    t.replace("&quot;", "\"")
+        .replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
 }
 
 /// One step in a structural path: a tag plus its index among same-tag
@@ -266,7 +276,10 @@ impl NodePath {
     #[must_use]
     pub fn push(&self, tag: &str, index: usize) -> NodePath {
         let mut steps = self.steps.clone();
-        steps.push(PathStep { tag: tag.to_string(), index });
+        steps.push(PathStep {
+            tag: tag.to_string(),
+            index,
+        });
         NodePath { steps }
     }
 
@@ -297,7 +310,10 @@ impl NodePath {
 /// unparseable becomes text. Returns a synthetic `html` root if the input
 /// has multiple top-level nodes.
 pub fn parse_html(input: &str) -> Node {
-    let mut parser = Parser { input: input.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     let mut roots = parser.parse_nodes(None);
     if roots.len() == 1 && roots[0].tag().is_some() {
         roots.pop().unwrap()
@@ -358,7 +374,9 @@ impl<'a> Parser<'a> {
         while self.pos < self.input.len() && self.input[self.pos] != b'>' {
             self.pos += 1;
         }
-        let tag = String::from_utf8_lossy(&self.input[start..self.pos]).trim().to_lowercase();
+        let tag = String::from_utf8_lossy(&self.input[start..self.pos])
+            .trim()
+            .to_lowercase();
         if self.pos < self.input.len() {
             self.pos += 1; // consume '>'
         }
@@ -393,7 +411,11 @@ impl<'a> Parser<'a> {
                     if self.input.get(self.pos) == Some(&b'>') {
                         self.pos += 1;
                     }
-                    return Some(Node::Element { tag, attrs, children: Vec::new() });
+                    return Some(Node::Element {
+                        tag,
+                        attrs,
+                        children: Vec::new(),
+                    });
                 }
                 _ => {
                     if let Some((k, v)) = self.read_attr() {
@@ -405,7 +427,11 @@ impl<'a> Parser<'a> {
             }
         }
         let children = self.parse_nodes(Some(&tag));
-        Some(Node::Element { tag, attrs, children })
+        Some(Node::Element {
+            tag,
+            attrs,
+            children,
+        })
     }
 
     fn read_attr(&mut self) -> Option<(String, String)> {
@@ -476,12 +502,10 @@ mod tests {
         Node::elem("html").child(
             Node::elem("body")
                 .child(Node::elem("h1").text_child("Gochi"))
-                .child(
-                    Node::elem("ul").class("menu").children([
-                        Node::elem("li").text_child("Pad Thai $9.95"),
-                        Node::elem("li").text_child("Green Curry $11.50"),
-                    ]),
-                ),
+                .child(Node::elem("ul").class("menu").children([
+                    Node::elem("li").text_child("Pad Thai $9.95"),
+                    Node::elem("li").text_child("Green Curry $11.50"),
+                ])),
         )
     }
 
@@ -551,7 +575,9 @@ mod tests {
         let path = NodePath::root().push("body", 0).push("ul", 0).push("li", 1);
         let li = d.resolve(&path).unwrap();
         assert_eq!(li.text_content(), "Green Curry $11.50");
-        assert!(d.resolve(&NodePath::root().push("body", 0).push("ul", 1)).is_none());
+        assert!(d
+            .resolve(&NodePath::root().push("body", 0).push("ul", 1))
+            .is_none());
     }
 
     #[test]

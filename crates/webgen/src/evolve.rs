@@ -105,11 +105,11 @@ impl DriftPlan {
                 body.child_nodes_mut().unwrap().push(wrapper);
             }
             if let Some(pos) = self.ad_position {
-                let ad = Node::elem("div")
-                    .class("ad-banner")
-                    .child(Node::elem("a").attr("href", "http://ads.example.net/click").text_child(
-                        "Sponsored: limited time offer",
-                    ));
+                let ad = Node::elem("div").class("ad-banner").child(
+                    Node::elem("a")
+                        .attr("href", "http://ads.example.net/click")
+                        .text_child("Sponsored: limited time offer"),
+                );
                 let kids = body.child_nodes_mut().unwrap();
                 let pos = pos.min(kids.len());
                 kids.insert(pos, ad);
@@ -134,7 +134,10 @@ fn find_body_mut(dom: &mut Node) -> Option<&mut Node> {
 }
 
 fn rename_classes(node: &mut Node, suffix: &str) {
-    if let Node::Element { attrs, children, .. } = node {
+    if let Node::Element {
+        attrs, children, ..
+    } = node
+    {
         if let Some(c) = attrs.get_mut("class") {
             *c = format!("{c}{suffix}");
         }
@@ -145,9 +148,13 @@ fn rename_classes(node: &mut Node, suffix: &str) {
 }
 
 fn bold_value_spans(node: &mut Node) {
-    if let Node::Element { tag, attrs, children } = node {
-        let is_value_span =
-            tag == "span" && attrs.get("class").is_some_and(|c| c.ends_with("-v"));
+    if let Node::Element {
+        tag,
+        attrs,
+        children,
+    } = node
+    {
+        let is_value_span = tag == "span" && attrs.get("class").is_some_and(|c| c.ends_with("-v"));
         if is_value_span {
             let inner = std::mem::take(children);
             children.push(Node::elem("b").children(inner));
@@ -198,12 +205,7 @@ impl ChurnEvent {
 
 /// Mutate a fraction `rate` of restaurants at `tick`. Closures are kept rare
 /// (a tenth of churn events) so the corpus keeps most of its pages.
-pub fn churn_restaurants(
-    world: &mut World,
-    rate: f64,
-    tick: Tick,
-    seed: u64,
-) -> Vec<ChurnEvent> {
+pub fn churn_restaurants(world: &mut World, rate: f64, tick: Tick, seed: u64) -> Vec<ChurnEvent> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut events = Vec::new();
     let ids: Vec<LrecId> = world.restaurants.clone();
@@ -310,14 +312,22 @@ mod tests {
             .zip(&drifted)
             .filter(|(a, b)| a.dom != b.dom)
             .count();
-        assert_eq!(changed, site_pages.len(), "site-wide redesign hits every page");
+        assert_eq!(
+            changed,
+            site_pages.len(),
+            "site-wide redesign hits every page"
+        );
     }
 
     #[test]
     fn drift_plan_deterministic() {
         let w = World::generate(WorldConfig::tiny(83));
         let c = generate_corpus(&w, &CorpusConfig::tiny(3));
-        let pages: Vec<Page> = c.pages_of_site("upcoming.example.com").into_iter().cloned().collect();
+        let pages: Vec<Page> = c
+            .pages_of_site("upcoming.example.com")
+            .into_iter()
+            .cloned()
+            .collect();
         let (a, _) = drift_site(&pages, &DriftConfig::mild(), 99);
         let (b, _) = drift_site(&pages, &DriftConfig::mild(), 99);
         assert_eq!(a, b);
@@ -333,8 +343,7 @@ mod tests {
                 .map(|e| e.value.display_string())
                 .collect()
         };
-        let before: Vec<Vec<String>> =
-            w.restaurants.iter().map(|&r| phones(&w, r)).collect();
+        let before: Vec<Vec<String>> = w.restaurants.iter().map(|&r| phones(&w, r)).collect();
         let events = churn_restaurants(&mut w, 0.5, Tick(10), 5);
         assert!(!events.is_empty());
         assert!(events.len() <= w.restaurants.len());

@@ -181,7 +181,9 @@ mod tests {
             site: url_host(url).to_string(),
             title: "t".into(),
             dom: Node::elem("html").child(
-                Node::elem("a").attr("href", "http://x.example.com/a").text_child("link"),
+                Node::elem("a")
+                    .attr("href", "http://x.example.com/a")
+                    .text_child("link"),
             ),
             truth: PageTruth {
                 kind: PageKind::Article,

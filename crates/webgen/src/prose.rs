@@ -44,28 +44,51 @@ pub fn review_text(
     ];
     let middles = if pos {
         [
-            format!("Service was {} and the room felt {}.", pick(rng, POSITIVE_WORDS), pick(rng, POSITIVE_WORDS)),
+            format!(
+                "Service was {} and the room felt {}.",
+                pick(rng, POSITIVE_WORDS),
+                pick(rng, POSITIVE_WORDS)
+            ),
             format!("The {dish} alone is worth the trip."),
             format!("Easily the best {cuisine} spot in {city}."),
         ]
     } else {
         [
-            format!("Service was {} and the room felt {}.", pick(rng, NEGATIVE_WORDS), pick(rng, NEGATIVE_WORDS)),
+            format!(
+                "Service was {} and the room felt {}.",
+                pick(rng, NEGATIVE_WORDS),
+                pick(rng, NEGATIVE_WORDS)
+            ),
             format!("The {dish} arrived {}.", pick(rng, NEGATIVE_WORDS)),
             format!("There are better {cuisine} options in {city}."),
         ]
     };
     let closers = if pos {
-        ["Would eat again!", "Highly recommended.", "Five happy stomachs."]
+        [
+            "Would eat again!",
+            "Highly recommended.",
+            "Five happy stomachs.",
+        ]
     } else {
-        ["Would not return.", "Skip this one.", "Disappointed overall."]
+        [
+            "Would not return.",
+            "Skip this one.",
+            "Disappointed overall.",
+        ]
     };
-    format!(
+    let mut text = format!(
         "{} {} {}",
         openers.choose(rng).unwrap(),
         middles.choose(rng).unwrap(),
         pick(rng, &closers),
-    )
+    );
+    // Every review must carry at least one lexicon word matching its
+    // rating's polarity — sentiment analysis over the usage logs counts on
+    // it — and the sampled sentences may all be the neutral ones.
+    if !text.contains(sentiment) {
+        text.push_str(&format!(" In a word: {sentiment}."));
+    }
+    text
 }
 
 /// Generate article text that mentions the given entity names verbatim —
@@ -116,7 +139,14 @@ mod tests {
     fn review_mentions_restaurant() {
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..20 {
-            let t = review_text(&mut rng, "Blue Lotus", "Austin", "Thai", &["Tom Yum Soup".into()], 4);
+            let t = review_text(
+                &mut rng,
+                "Blue Lotus",
+                "Austin",
+                "Thai",
+                &["Tom Yum Soup".into()],
+                4,
+            );
             assert!(
                 t.contains("Blue Lotus") || t.contains("Tom Yum Soup") || t.contains("Austin"),
                 "review must carry matchable signal: {t}"

@@ -113,7 +113,10 @@ pub fn academic_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
         let mut records = vec![TruthRecord {
             concept: world.concepts.person,
             entity: person,
-            fields: vec![("name".into(), name.clone()), ("email".into(), email.clone())],
+            fields: vec![
+                ("name".into(), name.clone()),
+                ("email".into(), email.clone()),
+            ],
         }];
         let mut mentions = vec![person];
         for &p in &pubs {
@@ -162,10 +165,7 @@ pub fn academic_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
     let mut by_venue: std::collections::BTreeMap<String, Vec<LrecId>> =
         std::collections::BTreeMap::new();
     for &p in &world.publications {
-        by_venue
-            .entry(world.attr(p, "venue"))
-            .or_default()
-            .push(p);
+        by_venue.entry(world.attr(p, "venue")).or_default().push(p);
     }
     for (venue, pubs) in &by_venue {
         let url = format!("http://{vhost}/venue/{}.html", slugify(venue));
@@ -261,7 +261,10 @@ mod tests {
         let w = World::generate(WorldConfig::tiny(34));
         let mut rng = StdRng::seed_from_u64(3);
         let pages = academic_pages(&w, &mut rng);
-        for p in pages.iter().filter(|p| p.truth.kind == PageKind::AcademicHome) {
+        for p in pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::AcademicHome)
+        {
             let person = p.truth.about.unwrap();
             for tr in &p.truth.records {
                 if tr.concept == w.concepts.publication {
@@ -271,7 +274,10 @@ mod tests {
                         .iter()
                         .filter_map(|e| e.value.as_ref_id())
                         .collect();
-                    assert!(authors.contains(&person), "listed pub must be authored by page owner");
+                    assert!(
+                        authors.contains(&person),
+                        "listed pub must be authored by page owner"
+                    );
                 }
             }
         }

@@ -119,7 +119,10 @@ mod tests {
             let text = p.text();
             for &m in &p.truth.mentions {
                 let name = w.attr(m, "name");
-                assert!(text.contains(&name), "article must mention {name:?} verbatim");
+                assert!(
+                    text.contains(&name),
+                    "article must mention {name:?} verbatim"
+                );
             }
         }
     }

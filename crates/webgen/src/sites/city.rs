@@ -20,19 +20,47 @@ use crate::world::{slugify, World};
 const NON_EVENT_CATEGORIES: &[(&str, &[&str])] = &[
     (
         "dining",
-        &["brunch", "patio", "chefs", "wine list", "tasting menu", "happy hour"],
+        &[
+            "brunch",
+            "patio",
+            "chefs",
+            "wine list",
+            "tasting menu",
+            "happy hour",
+        ],
     ),
     (
         "hotels",
-        &["rooms", "suites", "check in", "lobby", "concierge", "amenities"],
+        &[
+            "rooms",
+            "suites",
+            "check in",
+            "lobby",
+            "concierge",
+            "amenities",
+        ],
     ),
     (
         "attractions",
-        &["museum", "gallery", "park", "tour", "landmark", "exhibit hall"],
+        &[
+            "museum",
+            "gallery",
+            "park",
+            "tour",
+            "landmark",
+            "exhibit hall",
+        ],
     ),
     (
         "nightlife",
-        &["cocktails", "dance floor", "live band", "late night", "cover charge", "bar"],
+        &[
+            "cocktails",
+            "dance floor",
+            "live band",
+            "late night",
+            "cover charge",
+            "bar",
+        ],
     ),
 ];
 
@@ -40,7 +68,14 @@ const NON_EVENT_CATEGORIES: &[(&str, &[&str])] = &[
 /// keys on. Event pages also contain misleading non-event words (and vice
 /// versa), which is what makes the global classifier noisy.
 const EVENT_WORDS: &[&str] = &[
-    "tickets", "doors open", "admission", "rsvp", "lineup", "schedule", "venue", "performance",
+    "tickets",
+    "doors open",
+    "admission",
+    "rsvp",
+    "lineup",
+    "schedule",
+    "venue",
+    "performance",
 ];
 
 /// Generate one city-guide site for each city that has events or
@@ -108,7 +143,11 @@ pub fn city_guide_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
                     content.push(style.field(
                         "date",
                         "Updated",
-                        &format!("2009-{:02}-{:02}", rng.random_range(1..=12), rng.random_range(1..=28)),
+                        &format!(
+                            "2009-{:02}-{:02}",
+                            rng.random_range(1..=12),
+                            rng.random_range(1..=28)
+                        ),
                     ));
                 }
                 if rng.random_bool(0.4) {
@@ -150,7 +189,12 @@ pub fn city_guide_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
             .collect();
         let event_urls: Vec<String> = city_events
             .iter()
-            .map(|&e| format!("{base}/{events_dir}/{}.html", slugify(&world.attr(e, "name"))))
+            .map(|&e| {
+                format!(
+                    "{base}/{events_dir}/{}.html",
+                    slugify(&world.attr(e, "name"))
+                )
+            })
             .collect();
         for (idx, &eid) in city_events.iter().enumerate() {
             let rec = world.rec(eid);
@@ -235,11 +279,21 @@ mod tests {
         let pages = city_guide_pages(&w, &mut rng);
         let mut sites: std::collections::HashMap<&str, std::collections::HashSet<&str>> =
             std::collections::HashMap::new();
-        for p in pages.iter().filter(|p| p.truth.kind == PageKind::CityEvents) {
-            sites.entry(p.site.as_str()).or_default().insert(p.directory());
+        for p in pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::CityEvents)
+        {
+            sites
+                .entry(p.site.as_str())
+                .or_default()
+                .insert(p.directory());
         }
         for (site, dirs) in sites {
-            assert_eq!(dirs.len(), 1, "site {site} should use one events dir, got {dirs:?}");
+            assert_eq!(
+                dirs.len(),
+                1,
+                "site {site} should use one events dir, got {dirs:?}"
+            );
             let d = dirs.into_iter().next().unwrap();
             assert!(["calendar", "events", "whatson"].contains(&d));
         }

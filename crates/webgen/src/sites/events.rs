@@ -82,7 +82,9 @@ pub fn events_aggregator_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
                 Node::elem("a")
                     .attr("href", &format!("{base}/event/{}.html", slugify(&name)))
                     .text_child(&*name),
-                Node::elem("span").class(&style.class_for("d")).text_child(&*date),
+                Node::elem("span")
+                    .class(&style.class_for("d"))
+                    .text_child(&*date),
             ]);
             records.push(TruthRecord {
                 concept: world.concepts.event,
@@ -125,7 +127,10 @@ mod tests {
         let w = World::generate(WorldConfig::tiny(61));
         let mut rng = StdRng::seed_from_u64(1);
         let pages = events_aggregator_pages(&w, &mut rng);
-        let detail = pages.iter().filter(|p| p.truth.kind == PageKind::EventPage).count();
+        let detail = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::EventPage)
+            .count();
         assert_eq!(detail, w.events.len());
     }
 

@@ -77,7 +77,10 @@ impl RestaurantView {
                         .collect(),
                     cuisine: r.best_string("cuisine").unwrap_or_default(),
                     hours: r.best_string("hours").unwrap_or_default(),
-                    rating: r.best("rating").and_then(|e| e.value.as_number()).unwrap_or(0.0),
+                    rating: r
+                        .best("rating")
+                        .and_then(|e| e.value.as_number())
+                        .unwrap_or(0.0),
                     homepage: r.best_string("homepage").unwrap_or_default(),
                     menu: world.menus[index]
                         .iter()
@@ -101,8 +104,9 @@ impl RestaurantView {
                             (
                                 v,
                                 rec.best_string("text").unwrap_or_default(),
-                                rec.best("rating").and_then(|e| e.value.as_number()).unwrap_or(3.0)
-                                    as i64,
+                                rec.best("rating")
+                                    .and_then(|e| e.value.as_number())
+                                    .unwrap_or(3.0) as i64,
                                 rec.best_string("author_name").unwrap_or_default(),
                             )
                         })
@@ -213,8 +217,7 @@ pub fn aggregator_pages(
         let url = format!("{base}/biz/{}", v.slug());
         let shown_name = name_variant(rng, &v.name, &v.city, &v.cuisine, spec.name_noise);
         let shown_street = street_variant(rng, &v.street);
-        let shown_phones: Vec<String> =
-            v.phones.iter().map(|p| phone_format(rng, p)).collect();
+        let shown_phones: Vec<String> = v.phones.iter().map(|p| phone_format(rng, p)).collect();
         let addr_line = format!("{shown_street}, {}, {} {}", v.city, v.state, v.zip);
 
         let mut content = vec![
@@ -243,11 +246,15 @@ pub fn aggregator_pages(
         for (rid, text, rating, author) in &v.reviews {
             if rng.random_bool(spec.review_ratio) {
                 review_rows.push(vec![
-                    Node::elem("span").class(&style.class_for("rev-a")).text_child(author),
+                    Node::elem("span")
+                        .class(&style.class_for("rev-a"))
+                        .text_child(author),
                     Node::elem("span")
                         .class(&style.class_for("rev-r"))
                         .text_child(format!("{rating} stars")),
-                    Node::elem("span").class(&style.class_for("rev-t")).text_child(text),
+                    Node::elem("span")
+                        .class(&style.class_for("rev-t"))
+                        .text_child(text),
                 ]);
                 review_truth.push(TruthRecord {
                     concept: world.concepts.review,
@@ -288,7 +295,10 @@ pub fn aggregator_pages(
                 ("city".into(), v.city.clone()),
                 ("state".into(), v.state.clone()),
                 ("zip".into(), v.zip.clone()),
-                ("phone".into(), shown_phones.first().cloned().unwrap_or_default()),
+                (
+                    "phone".into(),
+                    shown_phones.first().cloned().unwrap_or_default(),
+                ),
                 ("hours".into(), v.hours.clone()),
                 ("cuisine".into(), v.cuisine.clone()),
             ],
@@ -338,7 +348,9 @@ pub fn aggregator_pages(
                 Node::elem("span")
                     .class(&style.class_for("c-addr"))
                     .text_child(format!("{shown_street}, {city} {}", v.zip)),
-                Node::elem("span").class(&style.class_for("c-phone")).text_child(&*shown_phone),
+                Node::elem("span")
+                    .class(&style.class_for("c-phone"))
+                    .text_child(&*shown_phone),
             ]);
             records.push(TruthRecord {
                 concept: world.concepts.restaurant,
@@ -397,7 +409,10 @@ pub fn aggregator_pages(
                     .take(2)
                     .copied(),
             );
-            searches.push((format!("{} {}", v.name.to_lowercase(), v.city.to_lowercase()), members));
+            searches.push((
+                format!("{} {}", v.name.to_lowercase(), v.city.to_lowercase()),
+                members,
+            ));
         }
     }
     for (query, members) in &searches {
@@ -487,7 +502,11 @@ pub fn homepage_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
         let mut style = style;
         style.nav_links = nav.len();
 
-        let phone_shown = v.phones.first().map(|p| phone_format(rng, p)).unwrap_or_default();
+        let phone_shown = v
+            .phones
+            .first()
+            .map(|p| phone_format(rng, p))
+            .unwrap_or_default();
         let addr_line = format!("{}, {}, {} {}", v.street, v.city, v.state, v.zip);
 
         // Home.
@@ -532,8 +551,12 @@ pub fn homepage_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
         for (mi, (dish, cents)) in v.menu.iter().enumerate() {
             let price = format!("${}.{:02}", cents / 100, cents % 100);
             rows.push(vec![
-                Node::elem("span").class(&style.class_for("dish")).text_child(dish),
-                Node::elem("span").class(&style.class_for("price")).text_child(&*price),
+                Node::elem("span")
+                    .class(&style.class_for("dish"))
+                    .text_child(dish),
+                Node::elem("span")
+                    .class(&style.class_for("price"))
+                    .text_child(&*price),
             ]);
             records.push(TruthRecord {
                 concept: world.concepts.menu_item,
@@ -661,13 +684,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let style = SiteStyle::sample(&mut rng);
         let pages = aggregator_pages(&w, &spec, &style, &mut rng);
-        let biz = pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorBiz).count();
-        let cat = pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorCategory).count();
-        let srch = pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorSearch).count();
+        let biz = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::AggregatorBiz)
+            .count();
+        let cat = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::AggregatorCategory)
+            .count();
+        let srch = pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::AggregatorSearch)
+            .count();
         assert_eq!(biz, w.restaurants.len());
         assert!(cat >= 1);
         assert!(srch >= 1);
-        assert!(pages.iter().any(|p| p.truth.kind == PageKind::AggregatorHome));
+        assert!(pages
+            .iter()
+            .any(|p| p.truth.kind == PageKind::AggregatorHome));
     }
 
     #[test]
@@ -682,7 +716,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let style = SiteStyle::sample(&mut rng);
         let pages = aggregator_pages(&w, &spec, &style, &mut rng);
-        for p in pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorBiz) {
+        for p in pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::AggregatorBiz)
+        {
             let text = p.text();
             let rec = &p.truth.records[0];
             for (k, v) in &rec.fields {
@@ -706,7 +743,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let style = SiteStyle::sample(&mut rng);
         let pages = aggregator_pages(&w, &spec, &style, &mut rng);
-        for p in pages.iter().filter(|p| p.truth.kind == PageKind::AggregatorCategory) {
+        for p in pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::AggregatorCategory)
+        {
             assert!(!p.truth.records.is_empty());
             assert!(p.url.contains("/c/"));
         }
@@ -721,9 +761,15 @@ mod tests {
             let homepage = w.attr(r, "homepage");
             let host = crate::page::url_host(&homepage);
             let mine: Vec<&Page> = pages.iter().filter(|p| p.site == host).collect();
-            assert!(mine.iter().any(|p| p.truth.kind == PageKind::RestaurantHome));
-            assert!(mine.iter().any(|p| p.truth.kind == PageKind::RestaurantMenu));
-            assert!(mine.iter().any(|p| p.truth.kind == PageKind::RestaurantLocation));
+            assert!(mine
+                .iter()
+                .any(|p| p.truth.kind == PageKind::RestaurantHome));
+            assert!(mine
+                .iter()
+                .any(|p| p.truth.kind == PageKind::RestaurantMenu));
+            assert!(mine
+                .iter()
+                .any(|p| p.truth.kind == PageKind::RestaurantLocation));
         }
     }
 
@@ -750,7 +796,10 @@ mod tests {
     fn name_variant_noise_zero_is_exact() {
         let mut rng = StdRng::seed_from_u64(6);
         for _ in 0..20 {
-            assert_eq!(name_variant(&mut rng, "Gochi Tapas", "Cupertino", "Japanese", 0.0), "Gochi Tapas");
+            assert_eq!(
+                name_variant(&mut rng, "Gochi Tapas", "Cupertino", "Japanese", 0.0),
+                "Gochi Tapas"
+            );
         }
     }
 

@@ -170,7 +170,10 @@ mod tests {
         let a = covered("localreviews.example.com");
         let b = covered("cityfinder.example.com");
         assert!(!a.is_empty() && !b.is_empty());
-        assert!(a.intersection(&b).count() > 0, "aggregators must overlap for matching eval");
+        assert!(
+            a.intersection(&b).count() > 0,
+            "aggregators must overlap for matching eval"
+        );
     }
 
     #[test]

@@ -20,7 +20,11 @@ pub fn shop_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
     let mut by_seller: std::collections::HashMap<LrecId, Vec<LrecId>> =
         std::collections::HashMap::new();
     for &o in &world.offers {
-        if let Some(s) = world.rec(o).best("seller").and_then(|e| e.value.as_ref_id()) {
+        if let Some(s) = world
+            .rec(o)
+            .best("seller")
+            .and_then(|e| e.value.as_ref_id())
+        {
             by_seller.entry(s).or_default().push(o);
         }
     }
@@ -35,7 +39,10 @@ pub fn shop_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
 
         let nav = vec![
             ("Home".to_string(), format!("{base}/")),
-            ("All products".to_string(), format!("{base}/category/all.html")),
+            (
+                "All products".to_string(),
+                format!("{base}/category/all.html"),
+            ),
             ("Cart".to_string(), format!("{base}/cart")),
         ];
 
@@ -44,7 +51,10 @@ pub fn shop_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
             std::collections::BTreeMap::new();
         for &offer in &offers {
             let orec = world.rec(offer);
-            let product = orec.best("product").and_then(|e| e.value.as_ref_id()).unwrap();
+            let product = orec
+                .best("product")
+                .and_then(|e| e.value.as_ref_id())
+                .unwrap();
             let prec = world.rec(product);
             let pname = prec.best_string("name").unwrap_or_default();
             let brand = prec.best_string("brand").unwrap_or_default();
@@ -84,10 +94,9 @@ pub fn shop_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
                 let mut div = Node::elem("div").class(&style.class_for("also"));
                 for a in &augments {
                     let aname = world.attr(*a, "name");
-                    div = div.child(style.link(
-                        &aname,
-                        &format!("{base}/product/{}.html", slugify(&aname)),
-                    ));
+                    div = div.child(
+                        style.link(&aname, &format!("{base}/product/{}.html", slugify(&aname))),
+                    );
                 }
                 content.push(Node::elem("h2").text_child("Customers also bought"));
                 content.push(div);
@@ -136,7 +145,9 @@ pub fn shop_pages(world: &World, rng: &mut StdRng) -> Vec<Page> {
                         .attr("href", &format!("{base}/product/{}.html", slugify(&pname)))
                         .class(&style.class_for("pname"))
                         .text_child(&*pname),
-                    Node::elem("span").class(&style.class_for("pprice")).text_child(&*price),
+                    Node::elem("span")
+                        .class(&style.class_for("pprice"))
+                        .text_child(&*price),
                 ]);
                 records.push(TruthRecord {
                     concept: world.concepts.product,
@@ -210,7 +221,10 @@ mod tests {
         let w = World::generate(WorldConfig::tiny(42));
         let mut rng = StdRng::seed_from_u64(2);
         let pages = shop_pages(&w, &mut rng);
-        for p in pages.iter().filter(|p| p.truth.kind == PageKind::ProductPage) {
+        for p in pages
+            .iter()
+            .filter(|p| p.truth.kind == PageKind::ProductPage)
+        {
             let tr = &p.truth.records[0];
             assert_eq!(tr.field("name").unwrap(), w.attr(tr.entity, "name"));
             assert!(p.text().contains(tr.field("name").unwrap()));

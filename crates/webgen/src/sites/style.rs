@@ -69,7 +69,9 @@ impl SiteStyle {
 
     /// Build a full page DOM: `html > body > [nav, wrapped main content]`.
     pub fn page(&self, title: &str, nav: Vec<(String, String)>, content: Vec<Node>) -> Node {
-        let mut main = Node::elem("div").class(&self.class_for("main")).children(content);
+        let mut main = Node::elem("div")
+            .class(&self.class_for("main"))
+            .children(content);
         for _ in 0..self.wrapper_depth {
             main = Node::elem("div").class(&self.class_for("wrap")).child(main);
         }
@@ -127,13 +129,19 @@ impl SiteStyle {
                 }
                 ul = ul.child(li);
             }
-            ul.child(Node::elem("li").class(&self.class_for("foot")).text_child("·"))
+            ul.child(
+                Node::elem("li")
+                    .class(&self.class_for("foot"))
+                    .text_child("·"),
+            )
         }
     }
 
     /// A headline node.
     pub fn headline(&self, text: &str) -> Node {
-        Node::elem("h1").class(&self.class_for("h")).text_child(text)
+        Node::elem("h1")
+            .class(&self.class_for("h"))
+            .text_child(text)
     }
 
     /// A paragraph of running text.

@@ -162,7 +162,9 @@ impl World {
             );
             let phone = format!(
                 "{}555{:04}",
-                ["408", "650", "415", "312", "206", "512"].choose(&mut rng).unwrap(),
+                ["408", "650", "415", "312", "206", "512"]
+                    .choose(&mut rng)
+                    .unwrap(),
                 rng.random_range(0..10000)
             );
             let second_phone = rng
@@ -178,7 +180,11 @@ impl World {
 
             let rid = store.insert(concepts.restaurant, t0, |r| {
                 r.add("name", AttrValue::Text(name.clone()), gt());
-                r.add("street", AttrValue::Text(format!("{street_no} {street}")), gt());
+                r.add(
+                    "street",
+                    AttrValue::Text(format!("{street_no} {street}")),
+                    gt(),
+                );
                 r.add("city", AttrValue::Text(city.to_string()), gt());
                 r.add("state", AttrValue::Text(state.to_string()), gt());
                 r.add("zip", AttrValue::Zip(zip.clone()), gt());
@@ -280,13 +286,25 @@ impl World {
             let topic2 = *RESEARCH_TOPICS.choose(&mut rng).unwrap();
             let title = format!(
                 "{} {}: {} for {}",
-                ["Towards", "Scalable", "Efficient", "Robust", "Adaptive", "Principled"]
-                    .choose(&mut rng)
-                    .unwrap(),
+                [
+                    "Towards",
+                    "Scalable",
+                    "Efficient",
+                    "Robust",
+                    "Adaptive",
+                    "Principled"
+                ]
+                .choose(&mut rng)
+                .unwrap(),
                 capitalize_words(topic),
-                ["a Framework", "New Techniques", "an Approach", "Foundations"]
-                    .choose(&mut rng)
-                    .unwrap(),
+                [
+                    "a Framework",
+                    "New Techniques",
+                    "an Approach",
+                    "Foundations"
+                ]
+                .choose(&mut rng)
+                .unwrap(),
                 topic2,
             );
             let venue = *VENUES.choose(&mut rng).unwrap();
@@ -337,16 +355,28 @@ impl World {
             .iter()
             .copied()
             .filter(|&p| {
-                let cat = store.latest(p).unwrap().best_string("category").unwrap_or_default();
-                cat.contains("Battery") || cat.contains("Lens") || cat.contains("Bag")
-                    || cat.contains("Card") || cat.contains("Tripod") || cat.contains("Flash")
+                let cat = store
+                    .latest(p)
+                    .unwrap()
+                    .best_string("category")
+                    .unwrap_or_default();
+                cat.contains("Battery")
+                    || cat.contains("Lens")
+                    || cat.contains("Bag")
+                    || cat.contains("Card")
+                    || cat.contains("Tripod")
+                    || cat.contains("Flash")
             })
             .collect();
         let camera_ids: Vec<LrecId> = products
             .iter()
             .copied()
             .filter(|&p| {
-                let cat = store.latest(p).unwrap().best_string("category").unwrap_or_default();
+                let cat = store
+                    .latest(p)
+                    .unwrap()
+                    .best_string("category")
+                    .unwrap_or_default();
                 // Actual cameras only — lenses/bags/batteries are accessories.
                 cat.ends_with("Camera")
             })
@@ -366,7 +396,11 @@ impl World {
             store
                 .update(cam, Tick(1), |r| {
                     for a in &chosen {
-                        r.add("augments", AttrValue::Ref(*a), Provenance::ground_truth(Tick(1)));
+                        r.add(
+                            "augments",
+                            AttrValue::Ref(*a),
+                            Provenance::ground_truth(Tick(1)),
+                        );
                     }
                 })
                 .expect("augment update");
@@ -386,9 +420,21 @@ impl World {
                     .and_then(|r| r.best_string("name"))
                     .unwrap_or_default();
                 let bundle = store.insert(concepts.product, t0, |r| {
-                    r.add("name", AttrValue::Text(format!("{cam_name} Travel Bundle")), gt());
-                    r.add("brand", AttrValue::Text(cam_name.split(' ').next().unwrap_or("").to_string()), gt());
-                    r.add("category", AttrValue::Text("Camera Bundle".to_string()), gt());
+                    r.add(
+                        "name",
+                        AttrValue::Text(format!("{cam_name} Travel Bundle")),
+                        gt(),
+                    );
+                    r.add(
+                        "brand",
+                        AttrValue::Text(cam_name.split(' ').next().unwrap_or("").to_string()),
+                        gt(),
+                    );
+                    r.add(
+                        "category",
+                        AttrValue::Text("Camera Bundle".to_string()),
+                        gt(),
+                    );
                     r.add("model", AttrValue::Text(format!("BNDL-{b}")), gt());
                     r.add("is_a", AttrValue::Text("Camera Bundle".to_string()), gt());
                 });
@@ -415,7 +461,9 @@ impl World {
                 ["Shutter", "Pixel", "Photo", "Optic", "Lens", "Aperture"]
                     .choose(&mut rng)
                     .unwrap(),
-                ["Mart", "World", "Depot", "Hub", "Outlet", "Bazaar"].choose(&mut rng).unwrap()
+                ["Mart", "World", "Depot", "Hub", "Outlet", "Bazaar"]
+                    .choose(&mut rng)
+                    .unwrap()
             );
             let sid = store.insert(concepts.seller, t0, |r| {
                 r.add("name", AttrValue::Text(format!("{name} {s}")), gt());
@@ -429,7 +477,11 @@ impl World {
         }
         let mut offers = Vec::new();
         for &p in &products {
-            let cat = store.latest(p).unwrap().best_string("category").unwrap_or_default();
+            let cat = store
+                .latest(p)
+                .unwrap()
+                .best_string("category")
+                .unwrap_or_default();
             let (lo, hi) = PRODUCT_CATEGORIES
                 .iter()
                 .find(|&&(c, _, _)| c == cat)
@@ -442,7 +494,11 @@ impl World {
                     let oid = store.insert(concepts.offer, t0, |r| {
                         r.add("product", AttrValue::Ref(p), gt());
                         r.add("seller", AttrValue::Ref(s), gt());
-                        r.add("price", AttrValue::PriceCents((base + jitter).max(500)), gt());
+                        r.add(
+                            "price",
+                            AttrValue::PriceCents((base + jitter).max(500)),
+                            gt(),
+                        );
                         r.add("in_stock", AttrValue::Bool(rng.random_bool(0.85)), gt());
                     });
                     offers.push(oid);
@@ -458,7 +514,9 @@ impl World {
             let name = format!(
                 "{} {} {}",
                 city,
-                ["Winter", "Spring", "Summer", "Fall", "Annual", "Grand"].choose(&mut rng).unwrap(),
+                ["Winter", "Spring", "Summer", "Fall", "Annual", "Grand"]
+                    .choose(&mut rng)
+                    .unwrap(),
                 category
             );
             let date = Date {
@@ -468,8 +526,12 @@ impl World {
             };
             let venue = format!(
                 "{} {}",
-                ["Civic", "Memorial", "Riverside", "Downtown", "Harbor"].choose(&mut rng).unwrap(),
-                ["Hall", "Arena", "Theater", "Center", "Pavilion"].choose(&mut rng).unwrap()
+                ["Civic", "Memorial", "Riverside", "Downtown", "Harbor"]
+                    .choose(&mut rng)
+                    .unwrap(),
+                ["Hall", "Arena", "Theater", "Center", "Pavilion"]
+                    .choose(&mut rng)
+                    .unwrap()
             );
             let price = rng.random_range(0..15i64) * 500;
             let eid = store.insert(concepts.event, t0, |r| {
@@ -490,10 +552,18 @@ impl World {
             store
                 .update(gochi, Tick(1), |r| {
                     let p = Provenance::ground_truth(Tick(1));
-                    r.set("name", AttrValue::Text("Gochi Fusion Tapas".into()), p.clone());
+                    r.set(
+                        "name",
+                        AttrValue::Text("Gochi Fusion Tapas".into()),
+                        p.clone(),
+                    );
                     r.set("city", AttrValue::Text("Cupertino".into()), p.clone());
                     r.set("state", AttrValue::Text("CA".into()), p.clone());
-                    r.set("street", AttrValue::Text("19980 Homestead Rd".into()), p.clone());
+                    r.set(
+                        "street",
+                        AttrValue::Text("19980 Homestead Rd".into()),
+                        p.clone(),
+                    );
                     r.set("zip", AttrValue::Zip("95014".into()), p.clone());
                     r.set("cuisine", AttrValue::Text("Japanese".into()), p.clone());
                     r.set(
@@ -595,7 +665,11 @@ mod tests {
                         .any(|e| e.value.as_ref_id() == Some(b))
                 })
                 .collect();
-            assert!(components.len() >= 3, "bundle {b} has {} components", components.len());
+            assert!(
+                components.len() >= 3,
+                "bundle {b} has {} components",
+                components.len()
+            );
         }
     }
 
@@ -639,7 +713,13 @@ mod tests {
         for (ri, items) in w.menus.iter().enumerate() {
             assert!(!items.is_empty());
             for &m in items {
-                let about = w.rec(m).best("restaurant").unwrap().value.as_ref_id().unwrap();
+                let about = w
+                    .rec(m)
+                    .best("restaurant")
+                    .unwrap()
+                    .value
+                    .as_ref_id()
+                    .unwrap();
                 assert_eq!(about, w.restaurants[ri]);
             }
         }

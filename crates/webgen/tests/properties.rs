@@ -36,7 +36,11 @@ fn node_strategy() -> impl Strategy<Value = Node> {
 fn merge_adjacent_text(n: &Node) -> Node {
     match n {
         Node::Text(t) => Node::text(t.trim()),
-        Node::Element { tag, attrs, children } => {
+        Node::Element {
+            tag,
+            attrs,
+            children,
+        } => {
             let mut out: Vec<Node> = Vec::new();
             for c in children {
                 let c = merge_adjacent_text(c);
@@ -114,8 +118,7 @@ fn drift_preserves_truth_and_tokens() {
     let w = World::generate(WorldConfig::tiny(15));
     let c = generate_corpus(&w, &CorpusConfig::tiny(16));
     for site in ["localreviews.example.com", "upcoming.example.com"] {
-        let pages: Vec<woc_webgen::Page> =
-            c.pages_of_site(site).into_iter().cloned().collect();
+        let pages: Vec<woc_webgen::Page> = c.pages_of_site(site).into_iter().cloned().collect();
         for seed in [1u64, 2, 3] {
             let (drifted, _) = drift_site(&pages, &DriftConfig::heavy(), seed);
             for (old, new) in pages.iter().zip(&drifted) {

@@ -57,7 +57,9 @@ fn main() {
     );
 
     // The merged record carries both extraction and feed provenance.
-    let hits = woc.record_index.query("gochi cupertino", 1, |n| woc.registry.id_of(n));
+    let hits = woc
+        .record_index
+        .query("gochi cupertino", 1, |n| woc.registry.id_of(n));
     let rec = woc.store.latest(hits[0].id).unwrap();
     println!("\nProvenance mix on the Gochi record:");
     let mut sources: Vec<String> = rec
@@ -71,7 +73,9 @@ fn main() {
     }
 
     // The feed-only record is now searchable like any other.
-    let hits = woc.record_index.query("licensed only supper club", 1, |n| woc.registry.id_of(n));
+    let hits = woc
+        .record_index
+        .query("licensed only supper club", 1, |n| woc.registry.id_of(n));
     println!(
         "\nFeed-only record findable: {}",
         hits.first()

@@ -27,7 +27,11 @@ fn main() {
     println!("\nRefine a broad city search to cuisine = Italian:");
     let broad = concept_search(&woc, "restaurants in San Jose", 30);
     let refined = refine(&woc, &broad, "cuisine", "Italian");
-    println!("  {} results → {} after refinement", broad.len(), refined.len());
+    println!(
+        "  {} results → {} after refinement",
+        broad.len(),
+        refined.len()
+    );
     for r in refined.iter().take(5) {
         println!("  {}", r.name);
     }

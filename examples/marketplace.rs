@@ -14,7 +14,10 @@ fn main() {
 
     // --- Augmentations: complements, not alternatives (§5.4) --------------
     let products = woc.records_of(woc.concepts.product);
-    println!("{} canonical products extracted from seller catalogs", products.len());
+    println!(
+        "{} canonical products extracted from seller catalogs",
+        products.len()
+    );
     let camera = products
         .iter()
         .find(|p| !p.get("augments").is_empty())

@@ -54,9 +54,7 @@ fn main() {
     let academic_pages: Vec<&web_of_concepts::webgen::Page> = corpus
         .pages()
         .iter()
-        .filter(|p| {
-            matches!(p.truth.kind, PageKind::AcademicHome | PageKind::VenuePage)
-        })
+        .filter(|p| matches!(p.truth.kind, PageKind::AcademicHome | PageKind::VenuePage))
         .collect();
     let seed_titles: Vec<String> = world
         .publications
@@ -69,7 +67,12 @@ fn main() {
     // leading text, which for citations is format-dependent — so expect
     // partial coverage, exactly as the paper cautions for semantic methods.
     let seeds = seeds_from_names("publication", &refs);
-    let result = bootstrap(&academic_pages, "publication", &seeds, &BootstrapConfig::default());
+    let result = bootstrap(
+        &academic_pages,
+        "publication",
+        &seeds,
+        &BootstrapConfig::default(),
+    );
     println!(
         "\nBootstrap over {} academic pages: {} seed titles → {} records in {} rounds",
         academic_pages.len(),

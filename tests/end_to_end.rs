@@ -39,8 +39,12 @@ fn canonical_to_world(s: &Setup) -> HashMap<LrecId, LrecId> {
                 if *kind != AssocKind::ExtractedFrom {
                     continue;
                 }
-                let Some(canon) = s.woc.store.resolve(*rec) else { continue };
-                let Some(r) = s.woc.store.latest(canon) else { continue };
+                let Some(canon) = s.woc.store.resolve(*rec) else {
+                    continue;
+                };
+                let Some(r) = s.woc.store.latest(canon) else {
+                    continue;
+                };
                 if r.concept() != s.woc.registry.id_of("restaurant").unwrap() {
                     continue;
                 }
@@ -50,7 +54,11 @@ fn canonical_to_world(s: &Setup) -> HashMap<LrecId, LrecId> {
                 if woc_textkit::metrics::name_similarity(&rec_name, truth_name) < 0.6 {
                     continue;
                 }
-                *votes.entry(canon).or_default().entry(tr.entity).or_insert(0) += 1;
+                *votes
+                    .entry(canon)
+                    .or_default()
+                    .entry(tr.entity)
+                    .or_insert(0) += 1;
             }
         }
     }
@@ -134,15 +142,19 @@ fn every_restaurant_findable_by_name_city_query() {
         let name = s.world.attr(r, "name");
         let city = s.world.attr(r, "city");
         let hits = concept_search(&s.woc, &format!("{name} {city}"), 5);
-        let hit = hits.iter().any(|h| {
-            woc_textkit::metrics::name_similarity(&h.name, &name) > 0.7
-        });
+        let hit = hits
+            .iter()
+            .any(|h| woc_textkit::metrics::name_similarity(&h.name, &name) > 0.7);
         if hit {
             found += 1;
         }
     }
     let rate = found as f64 / s.world.restaurants.len() as f64;
-    assert!(rate > 0.85, "findability {found}/{}", s.world.restaurants.len());
+    assert!(
+        rate > 0.85,
+        "findability {found}/{}",
+        s.world.restaurants.len()
+    );
 }
 
 #[test]
@@ -153,7 +165,9 @@ fn figure1_triggers_with_homepage_on_top() {
     assert!(b.name.to_lowercase().contains("gochi"));
     assert!(b.homepage.is_some(), "homepage link present");
     assert!(
-        res.results[0].features.contains(&apps::DocFeature::IsHomepage)
+        res.results[0]
+            .features
+            .contains(&apps::DocFeature::IsHomepage)
             || res.results[0]
                 .features
                 .contains(&apps::DocFeature::IsProfilePage)
@@ -195,9 +209,7 @@ fn reviews_link_to_the_right_restaurant() {
         .reviews
         .iter()
         .enumerate()
-        .flat_map(|(ri, revs)| {
-            revs.iter().map(move |&v| (v, ri))
-        })
+        .flat_map(|(ri, revs)| revs.iter().map(move |&v| (v, ri)))
         .map(|(v, ri)| (v, s.world.restaurants[ri]))
         .collect();
     for page in s.corpus.pages() {
@@ -210,8 +222,12 @@ fn reviews_link_to_the_right_restaurant() {
                 if *kind != AssocKind::ExtractedFrom {
                     continue;
                 }
-                let Some(canon) = s.woc.store.resolve(*rec) else { continue };
-                let Some(r) = s.woc.store.latest(canon) else { continue };
+                let Some(canon) = s.woc.store.resolve(*rec) else {
+                    continue;
+                };
+                let Some(r) = s.woc.store.latest(canon) else {
+                    continue;
+                };
                 if r.concept() != review_cid {
                     continue;
                 }
@@ -229,13 +245,19 @@ fn reviews_link_to_the_right_restaurant() {
     }
     assert!(linked > 50, "enough reviews linked: {linked}");
     let acc = correct as f64 / linked as f64;
-    assert!(acc > 0.6, "review linking accuracy {acc:.2} ({correct}/{linked})");
+    assert!(
+        acc > 0.6,
+        "review linking accuracy {acc:.2} ({correct}/{linked})"
+    );
 }
 
 #[test]
 fn lineage_explains_every_canonical_restaurant() {
     let s = setup();
-    for rec in s.woc.records_of(s.woc.registry.id_of("restaurant").unwrap()) {
+    for rec in s
+        .woc
+        .records_of(s.woc.registry.id_of("restaurant").unwrap())
+    {
         let docs = s.woc.lineage.source_documents(rec.id());
         assert!(
             !docs.is_empty(),
@@ -248,9 +270,14 @@ fn lineage_explains_every_canonical_restaurant() {
 #[test]
 fn publications_carry_refined_titles() {
     let s = setup();
-    let pubs = s.woc.records_of(s.woc.registry.id_of("publication").unwrap());
+    let pubs = s
+        .woc
+        .records_of(s.woc.registry.id_of("publication").unwrap());
     assert!(!pubs.is_empty());
-    let with_title = pubs.iter().filter(|p| p.best_string("title").is_some()).count();
+    let with_title = pubs
+        .iter()
+        .filter(|p| p.best_string("title").is_some())
+        .count();
     assert!(
         with_title * 2 > pubs.len(),
         "most publications should have citation-refined titles: {with_title}/{}",

@@ -44,7 +44,9 @@ fn pipeline_survives_malformed_pages() {
     // Must not panic, and the clean content must still come through.
     let woc = build(&corpus, &PipelineConfig::default());
     assert!(woc.store.live_count() > 0);
-    let hits = woc.record_index.query("gochi", 3, |n| woc.registry.id_of(n));
+    let hits = woc
+        .record_index
+        .query("gochi", 3, |n| woc.registry.id_of(n));
     assert!(!hits.is_empty(), "clean records still built");
 }
 
@@ -150,7 +152,10 @@ fn duplicate_source_pages_do_not_duplicate_records() {
             ) > 0.9
         })
         .count();
-    assert_eq!(matches, 1, "mirror page must fold into one canonical record");
+    assert_eq!(
+        matches, 1,
+        "mirror page must fold into one canonical record"
+    );
 }
 
 #[test]
@@ -180,7 +185,10 @@ fn schema_violations_are_reported_not_fatal() {
     // and associated with its sources.
     for id in woc.store.live_ids().into_iter().take(50) {
         assert!(woc.store.latest(id).is_some());
-        let has_source = !woc.web.docs_of_kind(id, AssocKind::ExtractedFrom).is_empty();
+        let has_source = !woc
+            .web
+            .docs_of_kind(id, AssocKind::ExtractedFrom)
+            .is_empty();
         assert!(has_source || !woc.lineage.nodes_of_record(id).is_empty());
     }
     // Sanity: the loose model admits them rather than dropping records.

@@ -51,7 +51,11 @@ fn full_lifecycle_round_trip() {
     // --- Quality holds ------------------------------------------------------
     let q1 = assess(&woc);
     assert!(q1.total_records() >= q0.total_records());
-    assert!(q1.overall_quality() > 0.3, "quality {}", q1.overall_quality());
+    assert!(
+        q1.overall_quality() > 0.3,
+        "quality {}",
+        q1.overall_quality()
+    );
 
     // --- Figure-1 query still works after the whole lifecycle ----------------
     let res = web_of_concepts::apps::augmented_search(&woc, "gochi cupertino", 5);

@@ -22,7 +22,11 @@ fn section3_statistics_within_tolerance() {
     let e1 = analyze::click_categories(&log, AGGREGATOR_HOST);
     assert!((e1.biz - 0.59).abs() < 0.02, "biz {}", e1.biz);
     assert!((e1.search - 0.19).abs() < 0.02, "search {}", e1.search);
-    assert!((e1.category - 0.11).abs() < 0.02, "category {}", e1.category);
+    assert!(
+        (e1.category - 0.11).abs() < 0.02,
+        "category {}",
+        e1.category
+    );
 
     // E2 — "menu (3%), coupons (1.8%), online, weekly specials,
     // locations (1.5%)".
@@ -37,8 +41,16 @@ fn section3_statistics_within_tolerance() {
             .unwrap_or(0.0)
     };
     assert!((rate("menu") - 0.030).abs() < 0.01, "menu {}", rate("menu"));
-    assert!((rate("coupons") - 0.018).abs() < 0.008, "coupons {}", rate("coupons"));
-    assert!((rate("locations") - 0.015).abs() < 0.008, "locations {}", rate("locations"));
+    assert!(
+        (rate("coupons") - 0.018).abs() < 0.008,
+        "coupons {}",
+        rate("coupons")
+    );
+    assert!(
+        (rate("locations") - 0.015).abs() < 0.008,
+        "locations {}",
+        rate("locations")
+    );
     // Long-tail attributes surface too (paper: nutrition, to go, delivery,
     // careers).
     for tok in ["nutrition", "delivery", "careers"] {
@@ -50,8 +62,16 @@ fn section3_statistics_within_tolerance() {
     // E3 — "more than 59% … clicked on at least one other URL …
     // 35% … at least two".
     let e3 = analyze::co_clicks(&log, AGGREGATOR_HOST);
-    assert!((e3.at_least_one_other - 0.59).abs() < 0.03, "{}", e3.at_least_one_other);
-    assert!((e3.at_least_two_others - 0.35).abs() < 0.03, "{}", e3.at_least_two_others);
+    assert!(
+        (e3.at_least_one_other - 0.59).abs() < 0.03,
+        "{}",
+        e3.at_least_one_other
+    );
+    assert!(
+        (e3.at_least_two_others - 0.35).abs() < 0.03,
+        "{}",
+        e3.at_least_two_others
+    );
 
     // E4 — "about 42% of the homepage visits are immediately preceded by a
     // query … 11.5% … location/address … 9% … menu … 1% … coupons …
@@ -66,8 +86,16 @@ fn section3_statistics_within_tolerance() {
         host_of: &host_of,
     };
     let e4 = analyze::trails(&log, &cls);
-    assert!((e4.search_preceded - 0.42).abs() < 0.03, "{}", e4.search_preceded);
-    assert!((e4.next_location - 0.115).abs() < 0.025, "{}", e4.next_location);
+    assert!(
+        (e4.search_preceded - 0.42).abs() < 0.03,
+        "{}",
+        e4.search_preceded
+    );
+    assert!(
+        (e4.next_location - 0.115).abs() < 0.025,
+        "{}",
+        e4.next_location
+    );
     assert!((e4.next_menu - 0.09).abs() < 0.025, "{}", e4.next_menu);
     assert!((e4.next_coupons - 0.01).abs() < 0.01, "{}", e4.next_coupons);
     assert!(

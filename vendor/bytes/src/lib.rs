@@ -1,0 +1,149 @@
+//! Offline vendored stand-in for the `bytes` crate.
+//!
+//! Provides `Bytes`, `BytesMut` and the `Buf`/`BufMut` trait subset the
+//! index's posting-list codec uses. `Bytes` here is a plain owned buffer
+//! with a cursor rather than a refcounted slice — the codec only ever
+//! consumes buffers front to back, so zero-copy sharing buys nothing.
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// True if any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+    /// Consume and return one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8;
+}
+
+/// Append sink for bytes.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+}
+
+/// Immutable byte buffer with a consume cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wrap a static byte slice.
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Self {
+            data: s.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Length in bytes (unconsumed portion).
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True if fully consumed or empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The unconsumed bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Self { data, pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let mut m = BytesMut::with_capacity(4);
+        m.put_u8(7);
+        m.put_u8(9);
+        let mut b = m.freeze();
+        assert_eq!(b.remaining(), 2);
+        assert_eq!(b.get_u8(), 7);
+        assert!(b.has_remaining());
+        assert_eq!(b.get_u8(), 9);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn from_static_and_vec() {
+        let b = Bytes::from_static(&[1, 2]);
+        assert_eq!(b.as_slice(), &[1, 2]);
+        let v: Bytes = vec![3].into();
+        assert_eq!(v.len(), 1);
+    }
+}

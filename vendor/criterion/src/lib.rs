@@ -1,0 +1,218 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the subset this workspace's benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`], benchmark groups with
+//! `sample_size`, and [`Bencher::iter`]. Timing is plain wall-clock with an
+//! adaptive iteration count per sample; results print as min/mean/max per
+//! iteration. There is no statistical analysis, HTML report, or baseline
+//! comparison. Honors `cargo bench -- <filter>` substring filtering and a
+//! `WOC_BENCH_SAMPLE_SIZE` env override (useful to keep CI smoke runs fast).
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers work; benches here mostly use
+/// `std::hint::black_box` directly.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target wall-clock time per sample; iteration count adapts to reach it.
+const TARGET_SAMPLE: Duration = Duration::from_millis(25);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // skip harness flags like `--bench`.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let default_sample_size = std::env::var("WOC_BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Self {
+            filter,
+            default_sample_size,
+        }
+    }
+}
+
+impl Criterion {
+    /// Run one benchmark under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let samples = self.default_sample_size;
+        self.run(id, samples, f);
+        self
+    }
+
+    /// Start a named group; group ids render as `group/function`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples,
+            per_iter: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id);
+    }
+}
+
+/// Scoped benchmark group returned by [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion.run(&full, samples, f);
+        self
+    }
+
+    /// End the group (no-op beyond upstream API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `routine`, adapting iterations per sample to [`TARGET_SAMPLE`].
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Warm up and size the batch from a single timed call.
+        let start = Instant::now();
+        std_black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        self.per_iter.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std_black_box(routine());
+            }
+            self.per_iter.push(start.elapsed() / iters);
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.per_iter.is_empty() {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let min = self.per_iter.iter().min().unwrap();
+        let max = self.per_iter.iter().max().unwrap();
+        let mean = self.per_iter.iter().sum::<Duration>() / self.per_iter.len() as u32;
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_duration(*min),
+            fmt_duration(mean),
+            fmt_duration(*max)
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        c.bench_function("test/sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion {
+            filter: None,
+            default_sample_size: 3,
+        };
+        sum_bench(&mut c);
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_function("inner", |b| b.iter(|| black_box(21) * 2));
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz_nomatch".into()),
+            default_sample_size: 3,
+        };
+        let mut ran = false;
+        c.bench_function("test/other", |_b| ran = true);
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}

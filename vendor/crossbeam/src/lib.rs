@@ -1,0 +1,78 @@
+//! Offline vendored stand-in for `crossbeam`'s scoped threads.
+//!
+//! Delegates to `std::thread::scope` (stable since 1.63), exposing the
+//! `crossbeam::scope(|s| { s.spawn(|_| …) })` call shape the pipeline uses.
+//! Only the scoped-thread API is provided; channels, deques and epoch GC are
+//! absent because nothing here needs them.
+
+use std::any::Any;
+use std::marker::PhantomData;
+use std::thread;
+
+/// Error payload of a panicked scope (mirrors `std::thread::Result`).
+pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// A scope handle passed to [`scope`]'s closure; spawns borrowing workers.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// Join handle of a scoped worker.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a worker that may borrow from the enclosing scope. The closure
+    /// receives the scope (crossbeam's signature) so workers can spawn
+    /// sub-workers.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Wait for the worker and return its result.
+    pub fn join(self) -> Result<T, PanicPayload> {
+        self.inner.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowing worker threads can be spawned.
+/// All workers are joined before `scope` returns. Returns `Err` only if `f`
+/// itself panics — worker panics surface through their `join()` calls, or
+/// abort the scope exactly as with `std::thread::scope`.
+pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_workers_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

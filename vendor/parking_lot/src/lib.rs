@@ -1,0 +1,87 @@
+//! Offline vendored stand-in for `parking_lot`.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's non-poisoning API:
+//! `read()` / `write()` / `lock()` return guards directly instead of
+//! `Result`s. A poisoned std lock means a writer panicked mid-critical
+//! section; matching parking_lot semantics, we propagate the inner data
+//! anyway rather than surfacing the poison.
+
+use std::sync::{self, LockResult};
+
+/// Reader–writer lock with parking_lot's panic-transparent guards.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+
+fn ignore_poison<G>(r: LockResult<G>) -> G {
+    match r {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+impl<T> RwLock<T> {
+    /// New lock owning `value`.
+    pub fn new(value: T) -> Self {
+        Self(sync::RwLock::new(value))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        ignore_poison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Shared read guard.
+    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+        ignore_poison(self.0.read())
+    }
+
+    /// Exclusive write guard.
+    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+        ignore_poison(self.0.write())
+    }
+}
+
+/// Mutex with parking_lot's panic-transparent guard.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// New mutex owning `value`.
+    pub fn new(value: T) -> Self {
+        Self(sync::Mutex::new(value))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        ignore_poison(self.0.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Exclusive guard.
+    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+        ignore_poison(self.0.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(1);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 2);
+        assert_eq!(l.into_inner(), 2);
+    }
+
+    #[test]
+    fn mutex_lock() {
+        let m = Mutex::new(vec![1]);
+        m.lock().push(2);
+        assert_eq!(m.into_inner(), vec![1, 2]);
+    }
+}

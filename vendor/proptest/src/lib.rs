@@ -1,0 +1,556 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Provides the strategy combinators and macros this workspace's property
+//! tests use: `proptest!`, `prop_assert*`, `prop_oneof!`, `Strategy` with
+//! `prop_map`/`prop_recursive`/`boxed`, integer-range and regex-string
+//! strategies, and `prop::collection` / `prop::option`. Differences from
+//! upstream: cases are sampled from a deterministic per-test seed (no
+//! persisted failure files), there is **no shrinking** (the failing case
+//! index and seed are printed instead), and the regex-string strategy
+//! implements only the pattern subset found in this repo's tests
+//! (character classes, literal alternations, `.`, `\PC`, `{m,n}` repeats).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// RNG handed to strategies by the [`proptest!`] runner.
+pub type TestRng = StdRng;
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a clonable boxed strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+
+    /// Recursive structures: at each of `depth` levels, generation picks
+    /// the leaf (`self`) or one step of `branch` built over the inner
+    /// strategy. `_size_hint` and `_items_hint` are accepted for upstream
+    /// signature compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _size_hint: u32,
+        _items_hint: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = branch(current).boxed();
+            let shallow = leaf.clone();
+            current = BoxedStrategy(Rc::new(move |rng: &mut TestRng| {
+                if rng.random_bool(0.5) {
+                    shallow.sample(rng)
+                } else {
+                    deeper.sample(rng)
+                }
+            }));
+        }
+        current
+    }
+}
+
+/// Clonable type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies ([`prop_oneof!`]).
+pub struct OneOf<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.random_range(0..self.0.len());
+        self.0[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $n:tt),+)),+) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        regex::generate(self, rng)
+    }
+}
+
+pub mod regex {
+    //! Pattern-subset string generation for `&str` strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// `[a-z0-9 ]`: inclusive char ranges (singletons are `(c, c)`).
+        Class(Vec<(char, char)>),
+        /// `(foo|bar)`: literal alternatives.
+        Alt(Vec<String>),
+        /// `.` or `\PC`: any printable char from [`POOL`].
+        Any,
+        /// A literal character.
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Sample pool for `.` / `\PC`: printable ASCII plus a few multi-byte
+    /// chars so byte-offset handling gets exercised.
+    const EXTRA: &[char] = &['é', 'ß', 'λ', '→', '中', '界', '€', 'Ω'];
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // ']'
+                    Atom::Class(ranges)
+                }
+                '(' => {
+                    i += 1;
+                    let mut alts = vec![String::new()];
+                    while i < chars.len() && chars[i] != ')' {
+                        if chars[i] == '|' {
+                            alts.push(String::new());
+                        } else {
+                            alts.last_mut().unwrap().push(chars[i]);
+                        }
+                        i += 1;
+                    }
+                    assert!(i < chars.len(), "unterminated group in {pattern:?}");
+                    i += 1; // ')'
+                    Atom::Alt(alts)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '\\' => {
+                    // Only `\PC` (printable chars) appears in this repo.
+                    assert!(
+                        chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                        "unsupported escape in pattern {pattern:?}"
+                    );
+                    i += 3;
+                    Atom::Any
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (min, max) = if chars.get(i) == Some(&'{') {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unterminated repeat")
+                    + i;
+                let spec: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad repeat lower bound"),
+                        hi.trim().parse().expect("bad repeat upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad repeat count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let (lo, hi) = ranges[rng.random_range(0..ranges.len())];
+        char::from_u32(rng.random_range(lo as u32..=hi as u32)).unwrap_or(lo)
+    }
+
+    fn sample_any(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally multi-byte.
+        if rng.random_bool(0.12) {
+            EXTRA[rng.random_range(0..EXTRA.len())]
+        } else {
+            char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap()
+        }
+    }
+
+    /// Generate one string matching `pattern` (subset grammar).
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = rng.random_range(piece.min..=piece.max);
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                    Atom::Alt(alts) => out.push_str(&alts[rng.random_range(0..alts.len())]),
+                    Atom::Any => out.push(sample_any(rng)),
+                    Atom::Lit(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod prop {
+    //! The `prop::` helper namespace.
+
+    pub mod collection {
+        //! Collection strategies.
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Vec of `element` with a length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// Strategy produced by [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.random_range(self.size.clone());
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// BTreeMap of `key → value` with approximately `size` entries
+        /// (duplicate keys collapse, as upstream).
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: std::ops::Range<usize>,
+        ) -> BTreeMapStrategy<K, V> {
+            BTreeMapStrategy { key, value, size }
+        }
+
+        /// Strategy produced by [`btree_map`].
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = std::collections::BTreeMap<K::Value, V::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = rng.random_range(self.size.clone());
+                (0..len)
+                    .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                    .collect()
+            }
+        }
+    }
+
+    pub mod option {
+        //! Option strategies.
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// `None` half the time, `Some(inner)` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// Strategy produced by [`of`].
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                if rng.random_bool(0.5) {
+                    Some(self.inner.sample(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// Cases per property (upstream default is 256; 64 keeps CI fast while
+/// still exercising the generators).
+pub const CASES: u64 = 64;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: runs [`CASES`] deterministic cases, printing the
+/// case index and seed before propagating any panic.
+pub fn run_cases<F: FnMut(&mut TestRng)>(name: &str, mut body: F) {
+    for case in 0..CASES {
+        let seed = fnv1a(name) ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| body(&mut rng)));
+        if let Err(payload) = outcome {
+            eprintln!("proptest property `{name}` failed at case {case} (seed {seed:#x})");
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// Define property tests: `proptest! { #[test] fn p(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__proptest_rng| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), __proptest_rng);)+
+                    $body
+                });
+            }
+        )+
+    };
+}
+
+/// Assert within a property (panics; no shrink/resume semantics).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assert within a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::TestRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = crate::regex::generate("[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let z = crate::regex::generate("[0-9]{5}", &mut rng);
+            assert_eq!(z.len(), 5);
+            assert!(z.chars().all(|c| c.is_ascii_digit()));
+
+            let t = crate::regex::generate("(div|span|p)", &mut rng);
+            assert!(["div", "span", "p"].contains(&t.as_str()));
+
+            let any = crate::regex::generate("\\PC{0,10}", &mut rng);
+            assert!(any.chars().count() <= 10);
+
+            let cls = crate::regex::generate("[<>a-z\"=/ ]{0,20}", &mut rng);
+            assert!(cls
+                .chars()
+                .all(|c| "<>\"=/ ".contains(c) || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn strategies_compose() {
+        let mut rng = crate::TestRng::seed_from_u64(2);
+        let s = prop_oneof![
+            (0u8..4).prop_map(|x| x as usize),
+            (0u8..2, 0u8..2).prop_map(|(a, b)| (a + b) as usize),
+        ];
+        for _ in 0..100 {
+            assert!(s.sample(&mut rng) < 4);
+        }
+        let v = prop::collection::vec(0u32..5, 2..4);
+        for _ in 0..50 {
+            let xs = v.sample(&mut rng);
+            assert!((2..4).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+        let o = prop::option::of(0u8..3);
+        let some = (0..100).filter(|_| o.sample(&mut rng).is_some()).count();
+        assert!((20..80).contains(&some));
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn max_leaf(t: &Tree) -> u8 {
+            match t {
+                Tree::Leaf(n) => *n,
+                Tree::Node(kids) => kids.iter().map(max_leaf).max().unwrap_or(0),
+            }
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::TestRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let t = strat.sample(&mut rng);
+            assert!(depth(&t) <= 5 + 1);
+            assert!(max_leaf(&t) < 8);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_binds_multiple_args(a in 0u8..10, s in "[a-c]{2}", pair in (0u8..3, 1u8..4)) {
+            prop_assert!(a < 10);
+            prop_assert_eq!(s.len(), 2);
+            prop_assert_ne!(pair.1, 0);
+        }
+    }
+}

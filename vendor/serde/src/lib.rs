@@ -1,0 +1,429 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this crate supplies the
+//! serialization surface the workspace uses: `#[derive(Serialize,
+//! Deserialize)]` and the two traits, routed through an owned JSON-like
+//! [`Value`] model instead of serde's zero-copy visitor machinery. The
+//! companion vendored `serde_json` renders/parses [`Value`] as JSON text.
+//!
+//! Fidelity notes: externally-tagged enums, transparent newtypes and
+//! string-keyed maps follow serde_json's conventions, so snapshots written
+//! by the real serde_json of the same shapes parse fine and vice versa.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Owned serialization tree (JSON data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer beyond `i64` or naturally unsigned.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object; insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as object entries, if an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow as array elements, if an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Short name of the value's kind, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub String);
+
+impl Error {
+    /// "expected X while reading Y" error.
+    pub fn expected(what: &str, context: &str) -> Self {
+        Error(format!("expected {what} in {context}"))
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into a [`Value`].
+pub trait Serialize {
+    /// Encode `self` as a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Decode from a value tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+/// Look up a required object field (derive-generated code calls this).
+pub fn field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, Error> {
+    match entries.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| Error(format!("{context}.{name}: {e}"))),
+        None => Err(Error(format!("missing field {context}.{name}"))),
+    }
+}
+
+// --- primitive impls -----------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::expected("bool", other.kind())),
+        }
+    }
+}
+
+macro_rules! impl_serde_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(Error::expected("integer", other.kind())),
+                };
+                <$t>::try_from(wide).map_err(|_| Error(format!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let wide: i128 = match v {
+                    Value::Int(i) => *i as i128,
+                    Value::UInt(u) => *u as i128,
+                    other => return Err(Error::expected("integer", other.kind())),
+                };
+                <$t>::try_from(wide).map_err(|_| Error(format!(
+                    "integer {wide} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_serde_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Float(x) => Ok(*x),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::expected("number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let s = String::from_value(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::expected("single-char string", "char")),
+        }
+    }
+}
+
+// --- container impls -----------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::expected("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let items = v.as_array().ok_or_else(|| Error::expected("array", "tuple"))?;
+                let expect = [$($n,)+].len();
+                if items.len() != expect {
+                    return Err(Error(format!(
+                        "tuple length mismatch: expected {expect}, got {}", items.len()
+                    )));
+                }
+                Ok(($($t::from_value(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_serde_tuple!(
+    (0 A),
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D)
+);
+
+/// Encode a map key as the string serde_json would use.
+fn key_to_string(v: Value) -> Result<String, Error> {
+    match v {
+        Value::Str(s) => Ok(s),
+        Value::Int(i) => Ok(i.to_string()),
+        Value::UInt(u) => Ok(u.to_string()),
+        Value::Bool(b) => Ok(b.to_string()),
+        other => Err(Error(format!(
+            "map key must be scalar, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Decode a map key encoded by [`key_to_string`].
+fn key_from_string<K: Deserialize>(s: &str) -> Result<K, Error> {
+    if let Ok(k) = K::from_value(&Value::Str(s.to_string())) {
+        return Ok(k);
+    }
+    if let Ok(u) = s.parse::<u64>() {
+        if let Ok(k) = K::from_value(&Value::UInt(u)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        if let Ok(k) = K::from_value(&Value::Int(i)) {
+            return Ok(k);
+        }
+    }
+    if let Ok(b) = s.parse::<bool>() {
+        if let Ok(k) = K::from_value(&Value::Bool(b)) {
+            return Ok(k);
+        }
+    }
+    Err(Error(format!("unparseable map key {s:?}")))
+}
+
+macro_rules! impl_serde_map {
+    ($map:ident, $($bound:tt)+) => {
+        impl<K: Serialize + $($bound)+, V: Serialize> Serialize for $map<K, V> {
+            fn to_value(&self) -> Value {
+                let mut entries = Vec::with_capacity(self.len());
+                for (k, v) in self {
+                    let key = key_to_string(k.to_value())
+                        .expect("map keys must serialize to scalars");
+                    entries.push((key, v.to_value()));
+                }
+                Value::Object(entries)
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $map<K, V> {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let obj = v.as_object().ok_or_else(|| Error::expected("object", "map"))?;
+                let mut out = Self::default();
+                for (k, item) in obj {
+                    out.insert(key_from_string(k)?, V::from_value(item)?);
+                }
+                Ok(out)
+            }
+        }
+    };
+}
+
+impl_serde_map!(HashMap, Eq + std::hash::Hash);
+impl_serde_map!(BTreeMap, Ord);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert!(u8::from_value(&Value::Int(300)).is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&v.to_value()).unwrap(), v);
+        let o: Option<String> = None;
+        assert_eq!(Option::<String>::from_value(&o.to_value()).unwrap(), None);
+        let mut m = HashMap::new();
+        m.insert(5u64, "five".to_string());
+        assert_eq!(
+            HashMap::<u64, String>::from_value(&m.to_value()).unwrap(),
+            m
+        );
+        let t = (1u8, "x".to_string());
+        assert_eq!(<(u8, String)>::from_value(&t.to_value()).unwrap(), t);
+    }
+}

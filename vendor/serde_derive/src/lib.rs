@@ -1,0 +1,428 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-model `serde` without `syn`/`quote` (unavailable offline):
+//! the item is parsed with a hand-rolled token walker and the impl is
+//! emitted as source text. Supported shapes are exactly what this workspace
+//! derives on — non-generic structs (named, tuple, unit) and enums with
+//! unit/newtype/tuple/struct variants. `#[serde(...)]` attributes are not
+//! supported and generics are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Self {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn skip_attributes(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.next(); // '#'
+                         // Outer attribute body is a bracket group.
+            if matches!(self.peek(), Some(TokenTree::Group(_))) {
+                self.next();
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.next();
+            // pub(crate) / pub(super) / pub(in …)
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("derive parser: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skip a type (or discriminant expression) up to a top-level comma,
+    /// tracking `<` / `>` nesting. The comma itself is consumed.
+    fn skip_past_top_level_comma(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        fields.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive parser: expected ':' after field, got {other:?}"),
+        }
+        c.skip_past_top_level_comma();
+    }
+    fields
+}
+
+fn parse_tuple_arity(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut arity = 0usize;
+    loop {
+        c.skip_attributes();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        arity += 1;
+        c.skip_past_top_level_comma();
+    }
+    arity
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kw = c.expect_ident("struct/enum keyword");
+    let name = c.expect_ident("type name");
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types ({name})");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(parse_tuple_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("derive parser: unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("derive parser: expected enum body, got {other:?}"),
+            };
+            let mut vc = Cursor::new(body);
+            let mut variants = Vec::new();
+            loop {
+                vc.skip_attributes();
+                if vc.peek().is_none() {
+                    break;
+                }
+                let vname = vc.expect_ident("variant name");
+                let fields = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream()));
+                        vc.next();
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(parse_tuple_arity(g.stream()));
+                        vc.next();
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                // Discriminant (`= expr`) or the separating comma.
+                vc.skip_past_top_level_comma();
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+            }
+            Item::Enum { name, variants }
+        }
+        other => panic!("derive parser: expected struct or enum, got {other}"),
+    }
+}
+
+// --- Serialize codegen ---------------------------------------------------
+
+fn serialize_named(fields: &[String], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&{access_prefix}{f}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => serialize_named(fs, "self."),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),"
+                        ),
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Serialize::to_value(x0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> =
+                                (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), ::serde::Value::Array(vec![{}]))]),",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fs) => {
+                            let binds = fs.join(", ");
+                            let inner = serialize_named(fs, "");
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![(\"{vn}\".to_string(), {inner})]),"
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}\n",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+// --- Deserialize codegen -------------------------------------------------
+
+fn deserialize_named(type_path: &str, fields: &[String], obj_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::field({obj_expr}, \"{f}\", \"{type_path}\")?,"))
+        .collect();
+    format!("{type_path} {{ {} }}", inits.join(" "))
+}
+
+fn deserialize_tuple_items(n: usize, arr_expr: &str, context: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("::serde::Deserialize::from_value(&{arr_expr}[{i}])?"))
+        .collect();
+    format!(
+        "{{\n\
+             let arr = {arr_expr};\n\
+             if arr.len() != {n} {{\n\
+                 return Err(::serde::Error(format!(\n\
+                     \"{context}: expected {n} elements, got {{}}\", arr.len())));\n\
+             }}\n\
+             ({})\n\
+         }}",
+        items.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => format!(
+                    "let obj = v.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{name}\"))?;\n\
+                     Ok({})",
+                    deserialize_named(name, fs, "obj")
+                ),
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+                }
+                Fields::Tuple(n) => format!(
+                    "let arr = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{name}\"))?;\n\
+                     let items = {};\n\
+                     Ok({name}(items.0{}))",
+                    deserialize_tuple_items(*n, "arr", name),
+                    (1..*n).map(|i| format!(", items.{i}")).collect::<String>()
+                ),
+                Fields::Unit => format!("let _ = v; Ok({name})"),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+                 }}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("::serde::Value::Str(s) if s == \"{vn}\" => Ok({name}::{vn}),")
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    let path = format!("{name}::{vn}");
+                    match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => Ok({path}(::serde::Deserialize::from_value(inner)?)),"
+                        ),
+                        Fields::Tuple(n) => format!(
+                            "\"{vn}\" => {{\n\
+                                 let arr = inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", \"{path}\"))?;\n\
+                                 let items = {};\n\
+                                 Ok({path}(items.0{}))\n\
+                             }}",
+                            deserialize_tuple_items(*n, "arr", &path),
+                            (1..*n).map(|i| format!(", items.{i}")).collect::<String>()
+                        ),
+                        Fields::Named(fs) => format!(
+                            "\"{vn}\" => {{\n\
+                                 let obj = inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object\", \"{path}\"))?;\n\
+                                 Ok({})\n\
+                             }}",
+                            deserialize_named(&path, fs, "obj")
+                        ),
+                    }
+                })
+                .collect();
+            let payload_match = if payload_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                         let (tag, inner) = &entries[0];\n\
+                         match tag.as_str() {{\n{}\n\
+                             other => Err(::serde::Error(format!(\"unknown {name} variant {{other}}\"))),\n\
+                         }}\n\
+                     }}",
+                    payload_arms.join("\n")
+                )
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n\
+                         match v {{\n\
+                             {}\n\
+                             {}\n\
+                             other => Err(::serde::Error(format!(\n\
+                                 \"invalid {name} value: {{}}\", other.kind()))),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n",
+                unit_arms.join("\n"),
+                payload_match
+            )
+        }
+    }
+}
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
