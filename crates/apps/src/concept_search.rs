@@ -60,8 +60,14 @@ pub fn interpret_query(query: &str) -> FieldQuery {
 
 /// Run a concept search and hydrate display summaries.
 pub fn concept_search(woc: &WebOfConcepts, query: &str, k: usize) -> Vec<ConceptResult> {
-    let fq = interpret_query(query);
-    let hits: Vec<RecordHit> = woc.record_index.search(&fq, k, |n| woc.registry.id_of(n));
+    concept_search_parsed(woc, &interpret_query(query), k)
+}
+
+/// Run a concept search from an already-parsed [`FieldQuery`] — the entry
+/// point the serving layer uses after normalizing the query for its cache,
+/// so cached and uncached evaluations share one code path.
+pub fn concept_search_parsed(woc: &WebOfConcepts, fq: &FieldQuery, k: usize) -> Vec<ConceptResult> {
+    let hits: Vec<RecordHit> = woc.record_index.search(fq, k, |n| woc.registry.id_of(n));
     hits.into_iter()
         .filter_map(|h| {
             let rec = woc.store.latest(h.id)?;

@@ -1,0 +1,137 @@
+//! Serving-layer load benchmark: closed-loop QPS and tail latency for the
+//! `woc-serve` front end, at 1 vs N worker threads, cache off vs on.
+//! Run: `cargo run -p woc-bench --bin serve_bench --release`
+//!
+//! `--quick` serves a tiny fixture with a smaller workload — the CI smoke
+//! profile. The workload is deterministic (seeded skew over real record
+//! names), so hit rates and result counts are reproducible run to run; only
+//! timings move with the machine.
+
+use std::time::Instant;
+
+use woc_bench::{bench_pipeline_config, header, metric_row, pct};
+use woc_core::build;
+use woc_serve::{ConceptServer, Endpoint, Query, ServeConfig};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+/// Deterministic closed-loop workload: mixed endpoints over a skewed query
+/// pool (a hot set takes ~3/4 of traffic, the tail the rest), so the cache
+/// has something to earn.
+fn build_workload(pool: &[String], ops: usize) -> Vec<Query> {
+    let hot = (pool.len() / 16).max(1);
+    (0..ops)
+        .map(|i| {
+            let name = if i % 4 != 3 {
+                &pool[(i * 31) % hot]
+            } else {
+                &pool[(i * 7919) % pool.len()]
+            };
+            match i % 5 {
+                0 | 1 => Query::Search(name.clone(), 5),
+                2 => Query::Search(format!("{name} is:restaurant"), 8),
+                3 => Query::ConceptBox(name.clone()),
+                _ => Query::Recommend(name.clone(), 3),
+            }
+        })
+        .collect()
+}
+
+/// One benchmark phase: drain the workload through the server and report
+/// QPS, hit rate and latency percentiles from the server's own metrics.
+fn run_phase(server: &ConceptServer, workload: &[Query], threads: usize, cache: bool) -> f64 {
+    server.set_cache_enabled(cache);
+    server.metrics().reset();
+    if cache {
+        // Warm pass: fill the cache so the measured pass shows steady state.
+        server.run_batch(workload, threads);
+        server.metrics().reset();
+    }
+    let t0 = Instant::now();
+    let answers = server.run_batch(workload, threads);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(answers.len(), workload.len());
+    let qps = workload.len() as f64 / secs;
+
+    let (mut hits, mut consulted) = (0u64, 0u64);
+    for e in Endpoint::ALL {
+        let s = server.metrics().endpoint(e).summary();
+        hits += s.cache_hits;
+        consulted += s.cache_hits + s.cache_misses;
+    }
+    let hit_rate = if consulted == 0 {
+        0.0
+    } else {
+        hits as f64 / consulted as f64
+    };
+    let s = server.metrics().endpoint(Endpoint::Search).summary();
+    println!(
+        "  threads {threads}  cache {}   {qps:>9.0} qps   hit-rate {:>6}   \
+         search p50 {:>5}µs  p95 {:>5}µs  p99 {:>5}µs",
+        if cache { "on " } else { "off" },
+        pct(hit_rate),
+        s.p50_micros,
+        s.p95_micros,
+        s.p99_micros,
+    );
+    qps
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (world, corpus) = if quick {
+        let world = World::generate(WorldConfig::tiny(83));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(83));
+        (world, corpus)
+    } else {
+        let world = World::generate(WorldConfig::default());
+        let corpus = generate_corpus(&world, &CorpusConfig::default());
+        (world, corpus)
+    };
+    let _ = &world;
+    header("Serve bench: build + publish");
+    let t0 = Instant::now();
+    let woc = build(&corpus, &bench_pipeline_config());
+    metric_row(
+        "pipeline build",
+        format!("{:.2}s", t0.elapsed().as_secs_f64()),
+    );
+    metric_row("records live", woc.store.live_count());
+
+    // Query pool: real record names from the built web (deterministic order).
+    let mut pool: Vec<String> = woc
+        .store
+        .live_ids()
+        .into_iter()
+        .filter_map(|id| woc.store.latest(id)?.best_string("name"))
+        .take(if quick { 64 } else { 512 })
+        .collect();
+    pool.sort();
+    pool.dedup();
+    let server = ConceptServer::new(woc, ServeConfig::default());
+    let ops = if quick { 2_000 } else { 20_000 };
+    let workload = build_workload(&pool, ops);
+    metric_row("query pool", pool.len());
+    metric_row("workload ops", workload.len());
+
+    header("Closed-loop phases (QPS, cache hit rate, tail latency)");
+    let mut qps_off_1 = 0.0;
+    let mut qps_on_1 = 0.0;
+    for threads in [1usize, 8] {
+        for cache in [false, true] {
+            let qps = run_phase(&server, &workload, threads, cache);
+            if threads == 1 && !cache {
+                qps_off_1 = qps;
+            }
+            if threads == 1 && cache {
+                qps_on_1 = qps;
+            }
+        }
+    }
+
+    header("Summary");
+    metric_row(
+        "cached speedup (1 thread, repeated workload)",
+        format!("{:.1}x", qps_on_1 / qps_off_1),
+    );
+    println!("{}", server.metrics().report());
+}

@@ -67,7 +67,11 @@ impl Default for PipelineConfig {
 }
 
 /// The constructed web of concepts.
-#[derive(Debug)]
+///
+/// `Clone` supports the serving layer's maintenance cycle: clone the
+/// currently-published web, run [`crate::maintain::recrawl`] on the copy,
+/// then publish it as a new snapshot epoch while readers drain the old one.
+#[derive(Debug, Clone)]
 pub struct WebOfConcepts {
     /// Concept registry.
     pub registry: ConceptRegistry,

@@ -20,4 +20,4 @@ pub mod postings;
 
 pub use index::{Bm25Params, Hit, InvertedIndex};
 pub use lrec_index::{FieldQuery, LrecIndex, RecordHit};
-pub use postings::{DocId, Posting, PostingList};
+pub use postings::{intersect, union, DocId, Posting, PostingList};

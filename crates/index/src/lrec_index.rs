@@ -45,8 +45,14 @@ impl FieldQuery {
             if rest.is_empty() {
                 break;
             }
-            // Take the next whitespace-delimited chunk, honoring quotes after ':'.
-            let chunk_end = match rest.find(':').filter(|&i| rest[i + 1..].starts_with('"')) {
+            // Take the next whitespace-delimited chunk, honoring quotes after
+            // ':'. Only a colon inside the *current* token opens a quoted
+            // span — a later token's `field:"…"` must not swallow this one.
+            let token_end = rest.find(char::is_whitespace).unwrap_or(rest.len());
+            let chunk_end = match rest[..token_end]
+                .find(':')
+                .filter(|&i| rest[i + 1..].starts_with('"'))
+            {
                 Some(colon) => {
                     // field:"..." — find the closing quote.
                     match rest[colon + 2..].find('"') {
@@ -54,7 +60,7 @@ impl FieldQuery {
                         None => rest.len(),
                     }
                 }
-                None => rest.find(char::is_whitespace).unwrap_or(rest.len()),
+                None => token_end,
             };
             let chunk = &rest[..chunk_end];
             rest = &rest[chunk_end..];
@@ -78,6 +84,48 @@ impl FieldQuery {
     /// True if the query has no constraints at all.
     pub fn is_empty(&self) -> bool {
         self.terms.is_empty() && self.scoped.is_empty() && self.concept.is_none()
+    }
+
+    /// Canonical form: free-text terms and scoped constraints sorted.
+    /// Duplicates are kept — repeated terms legitimately weight BM25 — but
+    /// evaluation order becomes deterministic, so two queries with the same
+    /// normalized form score identically (including float summation order).
+    /// The serving layer keys its result cache on the normalized rendering.
+    pub fn normalized(&self) -> FieldQuery {
+        let mut q = self.clone();
+        q.terms.sort_unstable();
+        q.scoped.sort_unstable();
+        q
+    }
+}
+
+impl std::fmt::Display for FieldQuery {
+    /// Render back to query syntax. For queries built by [`FieldQuery::parse`]
+    /// (whose terms are single lowercase tokens), `parse → to_string → parse`
+    /// is a fixed point: re-parsing the rendering reproduces the query.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut first = true;
+        let mut sep = |f: &mut std::fmt::Formatter<'_>| -> std::fmt::Result {
+            if first {
+                first = false;
+                Ok(())
+            } else {
+                write!(f, " ")
+            }
+        };
+        for t in &self.terms {
+            sep(f)?;
+            write!(f, "{t}")?;
+        }
+        for (field, term) in &self.scoped {
+            sep(f)?;
+            write!(f, "{field}:{term}")?;
+        }
+        if let Some(c) = &self.concept {
+            sep(f)?;
+            write!(f, "is:{c}")?;
+        }
+        Ok(())
     }
 }
 

@@ -142,6 +142,37 @@ fn get_varint(buf: &mut Bytes) -> Option<u64> {
     }
 }
 
+/// Union of two sorted posting lists (boolean OR): every document present in
+/// either list, with term frequencies summed where both contain the doc. The
+/// result is a valid sorted [`PostingList`].
+pub fn union(a: &PostingList, b: &PostingList) -> PostingList {
+    let mut entries = Vec::with_capacity(a.entries.len() + b.entries.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.entries.len() && j < b.entries.len() {
+        match a.entries[i].doc.cmp(&b.entries[j].doc) {
+            std::cmp::Ordering::Less => {
+                entries.push(a.entries[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                entries.push(b.entries[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                entries.push(Posting {
+                    doc: a.entries[i].doc,
+                    tf: a.entries[i].tf.saturating_add(b.entries[j].tf),
+                });
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    entries.extend_from_slice(&a.entries[i..]);
+    entries.extend_from_slice(&b.entries[j..]);
+    PostingList { entries }
+}
+
 /// Intersect two sorted posting lists (boolean AND), returning doc ids.
 pub fn intersect(a: &PostingList, b: &PostingList) -> Vec<DocId> {
     let mut out = Vec::new();
@@ -216,6 +247,18 @@ mod tests {
             let mut b = buf.freeze();
             assert_eq!(get_varint(&mut b), Some(v));
         }
+    }
+
+    #[test]
+    fn union_merges_and_sums_tf() {
+        let a = list(&[(1, 1), (3, 2), (5, 1)]);
+        let b = list(&[(3, 4), (4, 1), (9, 1)]);
+        let u = union(&a, &b);
+        let docs: Vec<u32> = u.iter().map(|p| p.doc.0).collect();
+        assert_eq!(docs, vec![1, 3, 4, 5, 9]);
+        assert_eq!(u.tf(DocId(3)), 6);
+        assert_eq!(union(&a, &PostingList::new()), a);
+        assert_eq!(union(&PostingList::new(), &b), b);
     }
 
     #[test]

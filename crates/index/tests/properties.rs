@@ -1,8 +1,8 @@
 //! Property tests: index round-trips and ranking invariants.
 
 use proptest::prelude::*;
-use woc_index::postings::{DocId, PostingList};
-use woc_index::InvertedIndex;
+use woc_index::postings::{intersect, union, DocId, PostingList};
+use woc_index::{FieldQuery, InvertedIndex};
 
 proptest! {
     /// Posting lists round-trip through their byte encoding.
@@ -83,6 +83,114 @@ proptest! {
         for d in &phrase_hits {
             prop_assert!(and_hits.contains(d), "phrase hit missing from AND");
         }
+    }
+
+    /// Delta+varint encoding round-trips arbitrary sorted doc id lists,
+    /// including huge gaps near the u32 ceiling (multi-byte varints).
+    #[test]
+    fn postings_roundtrip_large_gaps(docs in prop::collection::btree_map(
+        0u32..u32::MAX - 1, 1u32..1_000_000, 0..32)) {
+        let mut pl = PostingList::new();
+        for (&d, &tf) in &docs {
+            pl.add_tf(DocId(d), tf);
+        }
+        let decoded = PostingList::decode(pl.encode()).unwrap();
+        prop_assert_eq!(&decoded, &pl);
+        // Double round-trip: re-encoding the decoded list is byte-identical.
+        prop_assert_eq!(decoded.encode(), pl.encode());
+    }
+
+    /// `intersect` agrees with the naive model: exactly the doc ids present
+    /// in both lists, ascending.
+    #[test]
+    fn intersect_matches_naive_model(
+        a in prop::collection::btree_map(0u32..2_000, 1u32..20, 0..48),
+        b in prop::collection::btree_map(0u32..2_000, 1u32..20, 0..48)) {
+        let mut pa = PostingList::new();
+        for (&d, &tf) in &a { pa.add_tf(DocId(d), tf); }
+        let mut pb = PostingList::new();
+        for (&d, &tf) in &b { pb.add_tf(DocId(d), tf); }
+        let naive: Vec<DocId> = a.keys()
+            .filter(|d| b.contains_key(d))
+            .map(|&d| DocId(d))
+            .collect();
+        prop_assert_eq!(intersect(&pa, &pb), naive);
+    }
+
+    /// `union` agrees with the naive model: every doc id from either side,
+    /// ascending, with term frequencies summed on the overlap — and it
+    /// round-trips through the byte encoding like any other list.
+    #[test]
+    fn union_matches_naive_model(
+        a in prop::collection::btree_map(0u32..2_000, 1u32..20, 0..48),
+        b in prop::collection::btree_map(0u32..2_000, 1u32..20, 0..48)) {
+        let mut pa = PostingList::new();
+        for (&d, &tf) in &a { pa.add_tf(DocId(d), tf); }
+        let mut pb = PostingList::new();
+        for (&d, &tf) in &b { pb.add_tf(DocId(d), tf); }
+        let u = union(&pa, &pb);
+        let mut naive: std::collections::BTreeMap<u32, u32> = a.clone();
+        for (&d, &tf) in &b {
+            *naive.entry(d).or_insert(0) += tf;
+        }
+        let got: Vec<(u32, u32)> = u.iter().map(|p| (p.doc.0, p.tf)).collect();
+        let want: Vec<(u32, u32)> = naive.into_iter().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(u.doc_freq() as usize,
+            a.keys().chain(b.keys()).collect::<std::collections::BTreeSet<_>>().len());
+        prop_assert_eq!(PostingList::decode(u.encode()).unwrap(), u);
+    }
+
+    /// `FieldQuery::parse` never panics on arbitrary byte soup, and neither
+    /// do `to_string` and `normalized` on whatever it produced.
+    #[test]
+    fn field_query_parse_total(bytes in prop::collection::vec(0u8..=255, 0..64)) {
+        let soup = String::from_utf8_lossy(&bytes);
+        let fq = FieldQuery::parse(&soup);
+        let _ = fq.to_string();
+        let _ = fq.normalized().to_string();
+    }
+
+    /// `parse → to_string → parse` is idempotent for any input: one render
+    /// cycle canonicalizes the query, after which re-parsing the rendering
+    /// reproduces it exactly. The serving cache keys on this stability.
+    #[test]
+    fn field_query_render_fixed_point(raw in ".{0,48}") {
+        let fq1 = FieldQuery::parse(&raw);
+        let fq2 = FieldQuery::parse(&fq1.to_string());
+        let fq3 = FieldQuery::parse(&fq2.to_string());
+        prop_assert_eq!(&fq3, &fq2, "render of {:?} not stable", raw);
+        // Normalization commutes with the render cycle.
+        let norm = fq2.normalized();
+        prop_assert_eq!(FieldQuery::parse(&norm.to_string()), norm);
+    }
+
+    /// Well-formed queries (plain terms, `field:value`, quoted values,
+    /// `is:` concept filters) hit the fixed point on the *first* render.
+    #[test]
+    fn field_query_well_formed_round_trip(
+        terms in prop::collection::vec("[a-z]{1,6}", 0..4),
+        scoped in prop::collection::vec(("[a-z]{1,4}", "[a-z]{1,6}"), 0..3),
+        quoted in prop::option::of(("[a-z]{1,4}", "[a-z]{1,4}", "[a-z]{1,4}")),
+        concept in prop::option::of("[a-z]{1,6}")) {
+        let mut parts: Vec<String> = terms;
+        for (f, v) in &scoped {
+            parts.push(format!("{f}:{v}"));
+        }
+        if let Some((f, v1, v2)) = &quoted {
+            // Quoted multi-word value: city:"san jose" scopes both words.
+            parts.push(format!("{f}:\"{v1} {v2}\""));
+        }
+        if let Some(c) = &concept {
+            parts.push(format!("is:{c}"));
+        }
+        let raw = parts.join(" ");
+        let fq1 = FieldQuery::parse(&raw);
+        if let Some((f, v1, v2)) = &quoted {
+            prop_assert!(fq1.scoped.contains(&(f.clone(), v1.clone())));
+            prop_assert!(fq1.scoped.contains(&(f.clone(), v2.clone())));
+        }
+        prop_assert_eq!(FieldQuery::parse(&fq1.to_string()), fq1);
     }
 
     /// Boolean AND result is exactly the set of documents containing all terms.

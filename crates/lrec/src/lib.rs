@@ -36,6 +36,8 @@ pub mod value;
 pub use ids::{ConceptId, LrecId, Tick};
 pub use provenance::{Provenance, SourceRef};
 pub use record::{Lrec, ValueEntry};
-pub use schema::{AttrKind, AttrSpec, Cardinality, ConceptRegistry, ConceptSchema, Domain};
+pub use schema::{
+    AttrKind, AttrSpec, Cardinality, ConceptRegistry, ConceptSchema, Domain, Violation,
+};
 pub use store::{ConcurrentStore, Store, StoreError};
 pub use value::AttrValue;

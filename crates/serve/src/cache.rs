@@ -1,0 +1,168 @@
+//! Sharded LRU result cache.
+//!
+//! Keys are canonical query renderings (endpoint + epoch + normalized
+//! [`woc_index::FieldQuery`] + k); values are `Arc`-shared responses so a hit
+//! never copies the payload. The map is split into shards, each behind its
+//! own mutex, so concurrent readers on different shards never contend.
+//! Recency is tracked with a per-shard logical clock and a `BTreeMap` from
+//! stamp to key, giving `O(log n)` touch and strict least-recently-used
+//! eviction without unsafe intrusive lists.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One cache shard: key → (value, recency stamp), plus the recency order.
+#[derive(Debug)]
+struct Shard<V> {
+    map: HashMap<String, (Arc<V>, u64)>,
+    order: BTreeMap<u64, String>,
+    clock: u64,
+}
+
+impl<V> Default for Shard<V> {
+    fn default() -> Self {
+        Self {
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+}
+
+impl<V> Shard<V> {
+    fn touch(&mut self, key: &str) -> Option<Arc<V>> {
+        let (value, stamp) = self.map.get(key)?;
+        let (value, old) = (Arc::clone(value), *stamp);
+        self.clock += 1;
+        let now = self.clock;
+        self.order.remove(&old);
+        self.order.insert(now, key.to_string());
+        self.map.get_mut(key).expect("present").1 = now;
+        Some(value)
+    }
+
+    fn insert(&mut self, key: String, value: Arc<V>, capacity: usize) {
+        if capacity == 0 {
+            return;
+        }
+        self.clock += 1;
+        let now = self.clock;
+        if let Some((_, old)) = self.map.insert(key.clone(), (value, now)) {
+            self.order.remove(&old);
+        }
+        self.order.insert(now, key);
+        while self.map.len() > capacity {
+            let (&oldest, _) = self.order.iter().next().expect("order tracks map");
+            let victim = self.order.remove(&oldest).expect("present");
+            self.map.remove(&victim);
+        }
+    }
+}
+
+/// A sharded LRU cache from canonical query strings to shared responses.
+#[derive(Debug)]
+pub struct ShardedCache<V> {
+    shards: Vec<Mutex<Shard<V>>>,
+    capacity_per_shard: usize,
+}
+
+impl<V> ShardedCache<V> {
+    /// Cache with `shards` independent LRU shards and `capacity` total
+    /// entries (rounded up to a multiple of the shard count).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: capacity.div_ceil(shards),
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> &Mutex<Shard<V>> {
+        // FNV-1a; stable across runs so shard assignment is deterministic.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in key.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<V>> {
+        self.shard_of(key).lock().touch(key)
+    }
+
+    /// Insert `key → value`, evicting least-recently-used entries of the
+    /// same shard while over capacity.
+    pub fn insert(&self, key: String, value: Arc<V>) {
+        let shard = self.shard_of(&key);
+        shard.lock().insert(key, value, self.capacity_per_shard);
+    }
+
+    /// Drop every entry (snapshot invalidation).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            let mut s = s.lock();
+            s.map.clear();
+            s.order.clear();
+        }
+    }
+
+    /// Entries currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_clear() {
+        let c: ShardedCache<u32> = ShardedCache::new(8, 2);
+        assert!(c.get("a").is_none());
+        c.insert("a".into(), Arc::new(1));
+        assert_eq!(*c.get("a").unwrap(), 1);
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.get("a").is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overwrite_replaces_value() {
+        let c: ShardedCache<u32> = ShardedCache::new(8, 1);
+        c.insert("k".into(), Arc::new(1));
+        c.insert("k".into(), Arc::new(2));
+        assert_eq!(*c.get("k").unwrap(), 2);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // Single shard, capacity 2: touching "a" protects it from eviction.
+        let c: ShardedCache<u32> = ShardedCache::new(2, 1);
+        c.insert("a".into(), Arc::new(1));
+        c.insert("b".into(), Arc::new(2));
+        assert!(c.get("a").is_some());
+        c.insert("c".into(), Arc::new(3));
+        assert!(c.get("a").is_some(), "recently touched survives");
+        assert!(c.get("b").is_none(), "least recent evicted");
+        assert!(c.get("c").is_some());
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let c: ShardedCache<u32> = ShardedCache::new(0, 4);
+        c.insert("a".into(), Arc::new(1));
+        assert!(c.get("a").is_none());
+    }
+}

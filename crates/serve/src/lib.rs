@@ -1,0 +1,439 @@
+//! # woc-serve — the concurrent concept-serving layer
+//!
+//! The paper's applications (§5) presume "massively scalable" serving
+//! infrastructure over the concept store and its inverted indexes (§2.2);
+//! this crate is that read tier. A built [`WebOfConcepts`] is frozen into an
+//! immutable [`Snapshot`] and published behind an `Arc`; any number of
+//! threads query it concurrently through a [`ConceptServer`]:
+//!
+//! * **Snapshot/epoch model** — readers grab one `Arc<Snapshot>` per request
+//!   and evaluate entirely against it, so a request can never observe a
+//!   half-updated web (no torn reads, by construction). Maintenance builds a
+//!   *new* web (see [`ConceptServer::maintain`]), publishes it under a bumped
+//!   epoch, and in-flight readers of the old epoch drain gracefully — the old
+//!   snapshot is freed when its last reader drops its `Arc`.
+//! * **Sharded LRU result cache** ([`cache`]) — keyed on the endpoint, the
+//!   epoch, and the *normalized* [`FieldQuery`] rendering, so syntactic
+//!   variants of a query share one entry and a stale worker finishing after a
+//!   publish can never poison the new epoch's cache (its key carries the old
+//!   epoch). Publishing explicitly invalidates the whole cache.
+//! * **Metrics** ([`metrics`]) — per-endpoint request counters, cache
+//!   hit/miss counters, and log2-bucketed latency histograms with p50/p95/p99
+//!   summaries, cheap enough to stay on under load.
+//!
+//! Queries are canonicalized *before* evaluation (sorted terms, rendered
+//! back to query syntax), so the cached and uncached paths evaluate the
+//! byte-identical query — the cache can only ever return exactly what a
+//! fresh evaluation would.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::RwLock;
+
+use woc_apps::{
+    build_concept_box, concept_search_parsed, interpret_query, trigger_concept_box, ConceptBox,
+    ConceptResult, Recommendation,
+};
+use woc_core::{recrawl, shard_map, MaintenanceReport, WebOfConcepts};
+use woc_index::FieldQuery;
+use woc_lrec::{Tick, Violation};
+use woc_webgen::WebCorpus;
+
+use cache::ShardedCache;
+pub use metrics::{Endpoint, EndpointSummary, MetricsRegistry};
+
+/// Separator inside cache keys; cannot occur in tokenized query terms.
+const KEY_SEP: char = '\u{1f}';
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Total result-cache entries across all shards (0 disables storage).
+    pub cache_capacity: usize,
+    /// Number of independent cache shards.
+    pub cache_shards: usize,
+    /// Whether queries consult the cache at all (togglable at runtime via
+    /// [`ConceptServer::set_cache_enabled`], e.g. for A/B benchmarking).
+    pub cache_enabled: bool,
+    /// Exclude records with *hard* schema violations (kind mismatches,
+    /// cardinality overruns) from search results — the serving-path guard
+    /// against garbage that survived extraction. Undeclared keys are
+    /// tolerated: the lrec model is deliberately loose (§2.2).
+    pub exclude_nonconforming: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: 4096,
+            cache_shards: 16,
+            cache_enabled: true,
+            exclude_nonconforming: false,
+        }
+    }
+}
+
+/// An immutable, read-only view of one published web of concepts.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonically increasing publish generation (first publish = 1).
+    pub epoch: u64,
+    /// The web this snapshot serves.
+    pub woc: WebOfConcepts,
+}
+
+/// One serving request, for batch execution.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Concept search: query string and result budget.
+    Search(String, usize),
+    /// Augmented-search concept box for the query.
+    ConceptBox(String),
+    /// Recommendations (alternatives) anchored on the query's best match.
+    Recommend(String, usize),
+}
+
+/// A serving response payload.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Concept-search hits.
+    Search(Vec<ConceptResult>),
+    /// The concept box, when the query confidently matched a record.
+    ConceptBox(Option<ConceptBox>),
+    /// Recommendations for the query's matched record.
+    Recommend(Vec<Recommendation>),
+}
+
+/// A response plus its serving metadata.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Shared response payload (uncopied on cache hits).
+    pub value: Arc<Response>,
+    /// The snapshot epoch that produced this answer. Every answer comes from
+    /// exactly one epoch: the request holds one `Arc<Snapshot>` throughout.
+    pub epoch: u64,
+    /// True if served from the result cache.
+    pub cached: bool,
+    /// End-to-end service time in microseconds.
+    pub micros: u64,
+}
+
+/// The thread-safe serving front end over a published [`Snapshot`].
+#[derive(Debug)]
+pub struct ConceptServer {
+    snapshot: RwLock<Arc<Snapshot>>,
+    cache: ShardedCache<Response>,
+    cache_enabled: AtomicBool,
+    metrics: MetricsRegistry,
+    config: ServeConfig,
+}
+
+impl ConceptServer {
+    /// Publish `woc` as epoch 1 and start serving.
+    pub fn new(woc: WebOfConcepts, config: ServeConfig) -> Self {
+        Self {
+            snapshot: RwLock::new(Arc::new(Snapshot { epoch: 1, woc })),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            cache_enabled: AtomicBool::new(config.cache_enabled),
+            metrics: MetricsRegistry::new(),
+            config,
+        }
+    }
+
+    /// The currently published snapshot. Holding the returned `Arc` pins
+    /// that epoch's web for as long as the caller needs it, independent of
+    /// later publishes.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.snapshot.read().epoch
+    }
+
+    /// Publish a freshly built web as the next epoch and invalidate the
+    /// result cache. In-flight requests keep serving from the epoch they
+    /// started on; new requests see the new snapshot immediately. Returns
+    /// the new epoch.
+    pub fn publish(&self, woc: WebOfConcepts) -> u64 {
+        let mut guard = self.snapshot.write();
+        let epoch = guard.epoch + 1;
+        *guard = Arc::new(Snapshot { epoch, woc });
+        drop(guard);
+        self.cache.clear();
+        epoch
+    }
+
+    /// Maintenance cycle: clone the published web, apply an incremental
+    /// recrawl ([`woc_core::maintain`]) against it, and publish the result
+    /// as a new epoch. Readers never block on the rebuild — they keep
+    /// serving the old snapshot until the swap.
+    pub fn maintain(
+        &self,
+        old: &WebCorpus,
+        new: &WebCorpus,
+        tick: Tick,
+    ) -> (MaintenanceReport, u64) {
+        let mut woc = self.snapshot().woc.clone();
+        let report = recrawl(&mut woc, old, new, tick);
+        let epoch = self.publish(woc);
+        (report, epoch)
+    }
+
+    /// Runtime cache switch (the config default applies at construction).
+    pub fn set_cache_enabled(&self, on: bool) {
+        self.cache_enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// The metrics registry (counters, hit rates, latency histograms).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Entries currently in the result cache.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Concept search (§5.2) with geo/cuisine query interpretation.
+    pub fn search(&self, query: &str, k: usize) -> Answer {
+        let fq = interpret_query(query).normalized();
+        let key = format!("{k}{KEY_SEP}{fq}");
+        let exclude = self.config.exclude_nonconforming;
+        self.serve(Endpoint::Search, key, move |woc| {
+            let mut hits = concept_search_parsed(woc, &fq, k);
+            if exclude {
+                hits.retain(|h| conforms(woc, h.id));
+            }
+            Response::Search(hits)
+        })
+    }
+
+    /// Augmented-search concept box (§5.1): `Some` when the query
+    /// confidently matches one record.
+    pub fn concept_box(&self, query: &str) -> Answer {
+        let canon = FieldQuery::parse(query).normalized().to_string();
+        self.serve(Endpoint::ConceptBox, canon.clone(), move |woc| {
+            Response::ConceptBox(
+                trigger_concept_box(woc, &canon)
+                    .and_then(|(id, conf)| build_concept_box(woc, id, conf)),
+            )
+        })
+    }
+
+    /// Recommendations (§5.4): alternatives anchored on the query's best
+    /// concept-box match, empty when nothing triggers.
+    pub fn recommend(&self, query: &str, k: usize) -> Answer {
+        let canon = FieldQuery::parse(query).normalized().to_string();
+        let key = format!("{k}{KEY_SEP}{canon}");
+        self.serve(Endpoint::Recommend, key, move |woc| {
+            Response::Recommend(
+                trigger_concept_box(woc, &canon)
+                    .map(|(id, _)| woc_apps::alternatives(woc, id, k))
+                    .unwrap_or_default(),
+            )
+        })
+    }
+
+    /// Execute one [`Query`].
+    pub fn execute(&self, q: &Query) -> Answer {
+        match q {
+            Query::Search(s, k) => self.search(s, *k),
+            Query::ConceptBox(s) => self.concept_box(s),
+            Query::Recommend(s, k) => self.recommend(s, *k),
+        }
+    }
+
+    /// Fan a batch of queries across a worker pool of up to `threads`
+    /// threads (0 = all available cores). Answers come back in input order;
+    /// each query still runs against whichever snapshot is current when its
+    /// worker picks it up.
+    pub fn run_batch(&self, queries: &[Query], threads: usize) -> Vec<Answer> {
+        let threads = woc_core::resolve_threads(threads);
+        shard_map(queries, threads, |q| self.execute(q))
+    }
+
+    /// The shared serve skeleton: snapshot pin → cache probe → evaluate →
+    /// cache fill → metrics. `key` must determine the evaluation entirely
+    /// (it is combined with the endpoint name and the pinned epoch).
+    fn serve(
+        &self,
+        endpoint: Endpoint,
+        key: String,
+        eval: impl FnOnce(&WebOfConcepts) -> Response,
+    ) -> Answer {
+        let start = Instant::now();
+        let snap = self.snapshot();
+        let enabled = self.cache_enabled.load(Ordering::Relaxed);
+        let full_key = format!("{}{KEY_SEP}{}{KEY_SEP}{key}", endpoint.name(), snap.epoch);
+        if enabled {
+            if let Some(value) = self.cache.get(&full_key) {
+                let micros = start.elapsed().as_micros() as u64;
+                self.metrics.endpoint(endpoint).record(micros, Some(true));
+                return Answer {
+                    value,
+                    epoch: snap.epoch,
+                    cached: true,
+                    micros,
+                };
+            }
+        }
+        let value = Arc::new(eval(&snap.woc));
+        if enabled {
+            self.cache.insert(full_key, Arc::clone(&value));
+        }
+        let micros = start.elapsed().as_micros() as u64;
+        self.metrics
+            .endpoint(endpoint)
+            .record(micros, enabled.then_some(false));
+        Answer {
+            value,
+            epoch: snap.epoch,
+            cached: false,
+            micros,
+        }
+    }
+}
+
+/// True unless the record carries a *hard* schema violation (kind mismatch
+/// or cardinality overrun). Records of concepts without a schema conform
+/// trivially, as do undeclared keys — the loose-schema stance of §2.2.
+pub fn conforms(woc: &WebOfConcepts, id: woc_lrec::LrecId) -> bool {
+    let Some(rec) = woc.store.latest(id) else {
+        return false;
+    };
+    let Some(schema) = woc.registry.schema(rec.concept()) else {
+        return true;
+    };
+    !schema.check(rec).iter().any(|v| {
+        matches!(
+            v,
+            Violation::KindMismatch { .. } | Violation::CardinalityExceeded { .. }
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::{build, PipelineConfig};
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    fn tiny_woc(world_seed: u64, corpus_seed: u64) -> WebOfConcepts {
+        let world = World::generate(WorldConfig::tiny(world_seed));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(corpus_seed));
+        build(&corpus, &PipelineConfig::default())
+    }
+
+    #[test]
+    fn search_hits_and_caches() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        let a = server.search("gochi cupertino", 5);
+        assert_eq!(a.epoch, 1);
+        assert!(!a.cached);
+        let Response::Search(hits) = a.value.as_ref() else {
+            panic!("wrong variant");
+        };
+        assert!(!hits.is_empty());
+        let b = server.search("gochi cupertino", 5);
+        assert!(b.cached, "repeat query served from cache");
+        assert!(Arc::ptr_eq(&a.value, &b.value), "hit shares the payload");
+        let s = server.metrics().endpoint(Endpoint::Search).summary();
+        assert_eq!((s.requests, s.cache_hits, s.cache_misses), (2, 1, 1));
+    }
+
+    #[test]
+    fn normalized_variants_share_a_cache_entry() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        let a = server.search("cupertino gochi", 5);
+        let b = server.search("gochi   cupertino", 5);
+        assert!(!a.cached && b.cached, "term order normalizes away");
+        assert_eq!(format!("{:?}", a.value), format!("{:?}", b.value));
+    }
+
+    #[test]
+    fn publish_bumps_epoch_and_invalidates() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        server.search("gochi cupertino", 5);
+        assert!(server.cache_len() > 0);
+        let epoch = server.publish(tiny_woc(902, 92));
+        assert_eq!(epoch, 2);
+        assert_eq!(server.epoch(), 2);
+        assert_eq!(server.cache_len(), 0, "publish clears the cache");
+        let a = server.search("gochi cupertino", 5);
+        assert_eq!(a.epoch, 2);
+        assert!(!a.cached);
+    }
+
+    #[test]
+    fn old_snapshot_survives_publish() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        let pinned = server.snapshot();
+        server.publish(tiny_woc(902, 92));
+        assert_eq!(pinned.epoch, 1, "pinned epoch unchanged");
+        assert!(pinned.woc.store.live_count() > 0, "old web still readable");
+        assert_eq!(server.snapshot().epoch, 2);
+    }
+
+    #[test]
+    fn cache_disabled_never_hits() {
+        let server = ConceptServer::new(
+            tiny_woc(901, 91),
+            ServeConfig {
+                cache_enabled: false,
+                ..ServeConfig::default()
+            },
+        );
+        server.search("gochi", 5);
+        let b = server.search("gochi", 5);
+        assert!(!b.cached);
+        assert_eq!(server.cache_len(), 0);
+        let s = server.metrics().endpoint(Endpoint::Search).summary();
+        assert_eq!(s.cache_hits + s.cache_misses, 0, "bypass counts nothing");
+    }
+
+    #[test]
+    fn batch_executes_all_queries_in_order() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        let queries = vec![
+            Query::Search("gochi cupertino".into(), 5),
+            Query::ConceptBox("gochi cupertino".into()),
+            Query::Recommend("gochi cupertino".into(), 3),
+            Query::Search("is:restaurant".into(), 10),
+        ];
+        for threads in [1, 4] {
+            let answers = server.run_batch(&queries, threads);
+            assert_eq!(answers.len(), queries.len());
+            assert!(matches!(answers[0].value.as_ref(), Response::Search(_)));
+            assert!(matches!(answers[1].value.as_ref(), Response::ConceptBox(_)));
+            assert!(matches!(answers[2].value.as_ref(), Response::Recommend(_)));
+        }
+    }
+
+    #[test]
+    fn maintain_publishes_new_epoch() {
+        let mut world = World::generate(WorldConfig::tiny(903));
+        let cfg = CorpusConfig::tiny(93);
+        let corpus_v1 = generate_corpus(&world, &cfg);
+        let woc = build(&corpus_v1, &PipelineConfig::default());
+        let server = ConceptServer::new(woc, ServeConfig::default());
+        server.search("gochi", 5);
+
+        woc_webgen::churn_restaurants(&mut world, 0.5, Tick(10), 7);
+        let corpus_v2 = generate_corpus(&world, &cfg);
+        let (report, epoch) = server.maintain(&corpus_v1, &corpus_v2, Tick(60));
+        assert_eq!(epoch, 2);
+        assert!(report.pages_total > 0);
+        assert_eq!(server.cache_len(), 0);
+        assert_eq!(server.search("gochi", 5).epoch, 2);
+    }
+}

@@ -1,0 +1,277 @@
+//! Lightweight serving metrics: per-endpoint request counters, cache
+//! hit/miss counters, and log2-bucketed latency histograms with percentile
+//! summaries.
+//!
+//! Everything is a relaxed atomic — recording a sample is a handful of
+//! `fetch_add`s, cheap enough to leave on in production serving. Buckets are
+//! powers of two in microseconds: bucket `i` holds samples in
+//! `[2^(i-1), 2^i)` µs (bucket 0 holds sub-microsecond samples), so p50/p95/
+//! p99 are upper-bound estimates with ≤2× resolution — the standard
+//! trade-off of histogram-based tail latency tracking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 latency buckets: 2^39 µs ≈ 6.4 days, beyond any query.
+const BUCKETS: usize = 40;
+
+/// The serving endpoints instrumented by the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Concept search (`§5.2`).
+    Search,
+    /// Augmented-search concept box (`§5.1`).
+    ConceptBox,
+    /// Concept recommendations (`§5.4`).
+    Recommend,
+}
+
+impl Endpoint {
+    /// All endpoints, in display order.
+    pub const ALL: [Endpoint; 3] = [Endpoint::Search, Endpoint::ConceptBox, Endpoint::Recommend];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Search => "search",
+            Endpoint::ConceptBox => "concept_box",
+            Endpoint::Recommend => "recommend",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Search => 0,
+            Endpoint::ConceptBox => 1,
+            Endpoint::Recommend => 2,
+        }
+    }
+}
+
+/// Counters and latency histogram for one endpoint.
+#[derive(Debug)]
+pub struct EndpointMetrics {
+    requests: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    total_micros: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for EndpointMetrics {
+    fn default() -> Self {
+        Self {
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl EndpointMetrics {
+    /// Record one request with its latency and cache outcome.
+    /// `cached = None` means the cache was bypassed (disabled).
+    pub fn record(&self, micros: u64, cached: Option<bool>) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match cached {
+            Some(true) => self.cache_hits.fetch_add(1, Ordering::Relaxed),
+            Some(false) => self.cache_misses.fetch_add(1, Ordering::Relaxed),
+            None => 0,
+        };
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+        let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary of this endpoint.
+    pub fn summary(&self) -> EndpointSummary {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let requests = self.requests.load(Ordering::Relaxed);
+        let percentile = |p: f64| -> u64 {
+            let total: u64 = counts.iter().sum();
+            if total == 0 {
+                return 0;
+            }
+            let rank = (p * total as f64).ceil() as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Upper bound of bucket i: 2^i µs (bucket 0 → 1 µs).
+                    return 1u64 << i.min(63);
+                }
+            }
+            1u64 << (BUCKETS - 1)
+        };
+        EndpointSummary {
+            requests,
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            mean_micros: if requests == 0 {
+                0.0
+            } else {
+                self.total_micros.load(Ordering::Relaxed) as f64 / requests as f64
+            },
+            p50_micros: percentile(0.50),
+            p95_micros: percentile(0.95),
+            p99_micros: percentile(0.99),
+        }
+    }
+
+    fn reset(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.total_micros.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Snapshot of one endpoint's counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EndpointSummary {
+    /// Requests served.
+    pub requests: u64,
+    /// Requests answered from the cache.
+    pub cache_hits: u64,
+    /// Requests that evaluated and populated the cache.
+    pub cache_misses: u64,
+    /// Mean latency in microseconds.
+    pub mean_micros: f64,
+    /// Median latency (bucket upper bound), microseconds.
+    pub p50_micros: u64,
+    /// 95th-percentile latency (bucket upper bound), microseconds.
+    pub p95_micros: u64,
+    /// 99th-percentile latency (bucket upper bound), microseconds.
+    pub p99_micros: u64,
+}
+
+impl EndpointSummary {
+    /// Cache hit rate over requests that consulted the cache (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let consulted = self.cache_hits + self.cache_misses;
+        if consulted == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / consulted as f64
+        }
+    }
+}
+
+/// The registry: one [`EndpointMetrics`] per serving endpoint.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    endpoints: [EndpointMetrics; 3],
+}
+
+impl MetricsRegistry {
+    /// Fresh registry with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The metrics of one endpoint.
+    pub fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
+        &self.endpoints[e.index()]
+    }
+
+    /// Zero every counter and bucket (between benchmark phases).
+    pub fn reset(&self) {
+        for e in &self.endpoints {
+            e.reset();
+        }
+    }
+
+    /// Render every endpoint's summary as the standard report block.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("serving metrics\n");
+        for e in Endpoint::ALL {
+            let s = self.endpoint(e).summary();
+            let _ = writeln!(
+                out,
+                "  {:<12} req {:>8}  hit {:>7}  miss {:>7}  hit-rate {:>5.1}%  \
+                 mean {:>8.1}µs  p50 {:>6}µs  p95 {:>6}µs  p99 {:>6}µs",
+                e.name(),
+                s.requests,
+                s.cache_hits,
+                s.cache_misses,
+                100.0 * s.hit_rate(),
+                s.mean_micros,
+                s.p50_micros,
+                s.p95_micros,
+                s.p99_micros,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summarize() {
+        let m = MetricsRegistry::new();
+        let e = m.endpoint(Endpoint::Search);
+        e.record(0, Some(false));
+        e.record(3, Some(true));
+        e.record(100, Some(true));
+        let s = e.summary();
+        assert_eq!(s.requests, 3);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+        assert!((s.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(s.p50_micros <= s.p95_micros && s.p95_micros <= s.p99_micros);
+        // 100µs lands in the (64,128] bucket → upper bound 128.
+        assert_eq!(s.p99_micros, 128);
+    }
+
+    #[test]
+    fn percentiles_track_distribution() {
+        let m = MetricsRegistry::new();
+        let e = m.endpoint(Endpoint::Recommend);
+        // 90 fast samples, 10 slow: p50 small, p99 large.
+        for _ in 0..90 {
+            e.record(2, None);
+        }
+        for _ in 0..10 {
+            e.record(5_000, None);
+        }
+        let s = e.summary();
+        assert!(s.p50_micros <= 4);
+        assert!(
+            s.p99_micros >= 4_096,
+            "tail visible at p99: {}",
+            s.p99_micros
+        );
+        assert_eq!(s.cache_hits + s.cache_misses, 0, "bypass counts nothing");
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = MetricsRegistry::new();
+        m.endpoint(Endpoint::ConceptBox).record(10, Some(true));
+        m.reset();
+        let s = m.endpoint(Endpoint::ConceptBox).summary();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p99_micros, 0);
+        assert!(m.report().contains("concept_box"));
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = EndpointMetrics::default().summary();
+        assert_eq!(s.requests, 0);
+        assert_eq!(s.p50_micros, 0);
+        assert_eq!(s.hit_rate(), 0.0);
+    }
+}

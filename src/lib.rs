@@ -20,6 +20,7 @@
 //! | entity matching | [`matching`] | §6, §7.2 |
 //! | the web of concepts | [`core`] | §4, §7.3 |
 //! | applications | [`apps`] | §5 |
+//! | serving layer | [`serve`] | §2.2 scalable serving |
 //! | usage studies | [`usage`] | §3 |
 //!
 //! ## Quickstart
@@ -51,6 +52,7 @@ pub use woc_extract as extract;
 pub use woc_index as index;
 pub use woc_lrec as lrec;
 pub use woc_matching as matching;
+pub use woc_serve as serve;
 pub use woc_textkit as textkit;
 pub use woc_usage as usage;
 pub use woc_webgen as webgen;
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use woc_core::{build, recrawl, PipelineConfig, WebOfConcepts};
     pub use woc_index::{FieldQuery, LrecIndex};
     pub use woc_lrec::{AttrValue, ConceptRegistry, Lrec, LrecId, Provenance, Store, Tick};
+    pub use woc_serve::{ConceptServer, ServeConfig};
     pub use woc_usage::{simulate, UsageConfig};
     pub use woc_webgen::{generate_corpus, CorpusConfig, WebCorpus, World, WorldConfig};
 }

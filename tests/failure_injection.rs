@@ -170,6 +170,78 @@ fn empty_corpus_builds_empty_web() {
 }
 
 #[test]
+fn serving_path_survives_garbage_and_excludes_violating_records() {
+    use web_of_concepts::lrec::{AttrValue, Provenance};
+    use web_of_concepts::serve::{ConceptServer, Response, ServeConfig};
+
+    // A corpus salted with garbage pages (same set the pipeline test uses).
+    let world = World::generate(WorldConfig::tiny(505));
+    let mut corpus = generate_corpus(&world, &CorpusConfig::tiny(45));
+    let garbage = [
+        "<div><p>unclosed <b>every <i>where",
+        "</stray></tags><div class=>< <<<< >>>",
+        "<ul><li>$<li>$$<li>$$$</ul>",
+        &"<span>".repeat(300),
+    ];
+    for (i, html) in garbage.iter().enumerate() {
+        corpus.add(page_from_html(
+            &format!("http://broken.example.com/s{i}"),
+            html,
+        ));
+    }
+    let mut woc = build(&corpus, &PipelineConfig::default());
+
+    // Inject a record with *hard* schema violations straight into the built
+    // web — a restaurant whose zip is the wrong kind and over cardinality —
+    // and index it, as if a rogue extraction had slipped through.
+    let restaurant = woc.registry.id_of("restaurant").unwrap();
+    let prov = Provenance::extracted("http://broken.example.com/s0", "x", 0.9, Tick(1));
+    let bad_id = woc.store.insert(restaurant, Tick(1), |rec| {
+        rec.add("name", AttrValue::Text("glitchporium".into()), prov.clone());
+        rec.add("zip", AttrValue::Text("not a zip".into()), prov.clone());
+        rec.add("zip", AttrValue::Text("also wrong".into()), prov.clone());
+    });
+    let bad_rec = woc.store.latest(bad_id).unwrap().clone();
+    woc.record_index.add(&bad_rec);
+
+    // Strict serving: schema-violating records must not surface.
+    let strict = ConceptServer::new(
+        woc.clone(),
+        ServeConfig {
+            exclude_nonconforming: true,
+            ..ServeConfig::default()
+        },
+    );
+    let answer = strict.search("glitchporium", 10);
+    let Response::Search(hits) = answer.value.as_ref() else {
+        panic!("wrong response variant");
+    };
+    assert!(
+        hits.iter().all(|h| h.id != bad_id),
+        "hard-violating record leaked through strict serving: {hits:?}"
+    );
+    // Clean records still serve, across every endpoint, without panicking.
+    let Response::Search(clean) = strict.search("gochi cupertino", 5).value.as_ref().clone() else {
+        panic!("wrong response variant");
+    };
+    assert!(!clean.is_empty(), "clean content must still be servable");
+    let _ = strict.concept_box("glitchporium");
+    let _ = strict.recommend("glitchporium", 3);
+
+    // Default (loose) serving tolerates the record — the exclusion is an
+    // explicit serving policy, not data loss.
+    let loose = ConceptServer::new(woc, ServeConfig::default());
+    let answer = loose.search("glitchporium", 10);
+    let Response::Search(hits) = answer.value.as_ref() else {
+        panic!("wrong response variant");
+    };
+    assert!(
+        hits.iter().any(|h| h.id == bad_id),
+        "loose serving keeps the record findable"
+    );
+}
+
+#[test]
 fn schema_violations_are_reported_not_fatal() {
     let world = World::generate(WorldConfig::tiny(504));
     let corpus = generate_corpus(&world, &CorpusConfig::tiny(44));
