@@ -58,9 +58,12 @@ impl UserModel {
 
     /// Observe an interaction, updating both models.
     pub fn observe(&mut self, woc: &WebOfConcepts, event: Interaction) {
+        // woc-lint: allow(map-iter-order) — uniform in-place decay; per-element and
+        // commutative, so visit order is immaterial.
         for v in self.historical_concepts.values_mut() {
             *v *= self.decay;
         }
+        // woc-lint: allow(map-iter-order) — uniform in-place decay, order-free.
         for v in self.historical_values.values_mut() {
             *v *= self.decay;
         }

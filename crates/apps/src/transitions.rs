@@ -45,6 +45,15 @@ pub struct TransitionEngine<'a> {
     co: Option<&'a CoEngagement>,
 }
 
+impl std::fmt::Debug for TransitionEngine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransitionEngine")
+            .field("records", &self.woc.store.live_count())
+            .field("co_engagement", &self.co.is_some())
+            .finish()
+    }
+}
+
 impl<'a> TransitionEngine<'a> {
     /// Create an engine.
     pub fn new(woc: &'a WebOfConcepts, co: Option<&'a CoEngagement>) -> Self {

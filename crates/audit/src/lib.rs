@@ -1,0 +1,531 @@
+//! # woc-audit — structural integrity audit over a built web of concepts
+//!
+//! The construction pipeline is heuristic, but the artifact it emits has
+//! exact structural invariants: associations point at records that exist,
+//! `Ref` values resolve, the record index agrees with the record store, the
+//! lineage DAG is acyclic, merge resolution is canonical. This crate checks
+//! those invariants over any [`WebOfConcepts`] and reports violations with
+//! record ids, as human diagnostics and machine-readable JSON — the
+//! static-analysis counterpart, over data, of what `woc-lint` does over
+//! source.
+//!
+//! Every check has a stable code (`W001`…`W010`) so CI logs and dashboards
+//! can track specific regressions:
+//!
+//! | code | name               | invariant |
+//! |------|--------------------|-----------|
+//! | W001 | dangling-assoc     | every association endpoint resolves to a stored record |
+//! | W002 | assoc-symmetry     | record→doc and doc→record edge sets mirror each other |
+//! | W003 | dangling-ref       | every `Ref` attribute resolves through merges to a live record |
+//! | W004 | schema-conformance | live records conform to their concept schema (rate ≥ threshold) |
+//! | W005 | prob-mass          | confidences lie in [0,1]; alternatives of a One-cardinality attribute carry total mass ≤ 1+ε |
+//! | W006 | index-postings     | the record index holds exactly the live record ids |
+//! | W007 | index-roundtrip    | sampled indexed fields are findable via scoped search |
+//! | W008 | lineage-acyclic    | lineage inputs precede their node; live records have lineage |
+//! | W009 | merge-canonical    | id resolution is idempotent and lands on live records |
+//! | W010 | doc-tables         | document index, URL and title tables agree in length |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::Serialize;
+
+use woc_core::{uncertainty::group_by_denotation, NodeId, WebOfConcepts};
+use woc_index::lrec_index::FieldQuery;
+use woc_lrec::{AttrValue, Cardinality, LrecId, Violation};
+use woc_textkit::tokenize::tokenize_words;
+
+/// Tunables for the audit.
+#[derive(Debug, Clone)]
+pub struct AuditConfig {
+    /// Minimum fraction of live records without hard schema violations
+    /// (kind mismatches, cardinality overruns). Undeclared keys are
+    /// reported but never gate — the paper treats them as schema-evolution
+    /// signal, not corruption.
+    pub conformance_threshold: f64,
+    /// Slack for probability-mass sums (float accumulation).
+    pub epsilon: f64,
+    /// Number of records sampled for the index round-trip check.
+    pub roundtrip_sample: usize,
+    /// Per-check cap on detailed diagnostics (total counts are always exact).
+    pub max_details: usize,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            conformance_threshold: 0.9,
+            epsilon: 1e-6,
+            roundtrip_sample: 64,
+            max_details: 20,
+        }
+    }
+}
+
+/// Result of one integrity check.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckResult {
+    /// Stable code, e.g. `W003`.
+    pub code: String,
+    /// Human name, e.g. `dangling-ref`.
+    pub name: String,
+    /// Units examined (edges, records, nodes — per check).
+    pub checked: usize,
+    /// Number of violations found (exact, even when details are capped).
+    pub violations: usize,
+    /// Capped per-violation diagnostics, each naming the offending ids.
+    pub details: Vec<String>,
+    /// Non-gating observations (rates, undeclared keys).
+    pub info: Vec<String>,
+}
+
+impl CheckResult {
+    fn new(code: &str, name: &str) -> Self {
+        Self {
+            code: code.to_string(),
+            name: name.to_string(),
+            checked: 0,
+            violations: 0,
+            details: Vec::new(),
+            info: Vec::new(),
+        }
+    }
+
+    fn violation(&mut self, cap: usize, msg: String) {
+        self.violations += 1;
+        if self.details.len() < cap {
+            self.details.push(msg);
+        }
+    }
+
+    /// True if the invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// The full audit report.
+#[derive(Debug, Clone, Serialize)]
+pub struct Audit {
+    /// All checks, in code order.
+    pub checks: Vec<CheckResult>,
+    /// Live records examined.
+    pub live_records: usize,
+    /// Associations examined.
+    pub associations: usize,
+    /// Fraction of live records with no hard schema violations.
+    pub conformance_rate: f64,
+}
+
+impl Audit {
+    /// True if every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(CheckResult::passed)
+    }
+
+    /// The check with the given code.
+    pub fn check(&self, code: &str) -> Option<&CheckResult> {
+        self.checks.iter().find(|c| c.code == code)
+    }
+
+    /// Render the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for c in &self.checks {
+            let status = if c.passed() { "ok  " } else { "FAIL" };
+            out.push_str(&format!(
+                "{status} {} {:<18} checked {:>6}, violations {}\n",
+                c.code, c.name, c.checked, c.violations
+            ));
+            for d in &c.details {
+                out.push_str(&format!("       - {d}\n"));
+            }
+            if c.violations > c.details.len() {
+                out.push_str(&format!(
+                    "       … and {} more\n",
+                    c.violations - c.details.len()
+                ));
+            }
+            for i in &c.info {
+                out.push_str(&format!("       · {i}\n"));
+            }
+        }
+        out.push_str(&format!(
+            "audit: {} live records, {} associations, conformance {:.4} — {}\n",
+            self.live_records,
+            self.associations,
+            self.conformance_rate,
+            if self.passed() { "PASS" } else { "FAIL" }
+        ));
+        out
+    }
+}
+
+/// Run every integrity check over a built web.
+pub fn audit(woc: &WebOfConcepts, cfg: &AuditConfig) -> Audit {
+    let live = woc.store.live_ids();
+    let mut checks = vec![
+        check_dangling_assoc(woc, cfg),
+        check_assoc_symmetry(woc, cfg),
+        check_dangling_ref(woc, cfg, &live),
+    ];
+    let (conf_check, conformance_rate) = check_schema_conformance(woc, cfg, &live);
+    checks.push(conf_check);
+    checks.push(check_prob_mass(woc, cfg, &live));
+    checks.push(check_index_postings(woc, cfg, &live));
+    checks.push(check_index_roundtrip(woc, cfg, &live));
+    checks.push(check_lineage(woc, cfg, &live));
+    checks.push(check_merge_canonical(woc, cfg));
+    checks.push(check_doc_tables(woc, cfg));
+    Audit {
+        checks,
+        live_records: live.len(),
+        associations: woc.web.len(),
+        conformance_rate,
+    }
+}
+
+/// W001: every association endpoint (record side) resolves to a stored
+/// record — no edge may point at an id the store has never seen.
+fn check_dangling_assoc(woc: &WebOfConcepts, cfg: &AuditConfig) -> CheckResult {
+    let mut c = CheckResult::new("W001", "dangling-assoc");
+    for url in woc.web.documents() {
+        for &(id, kind) in woc.web.records_of(url) {
+            c.checked += 1;
+            if woc.store.latest(id).is_none() {
+                c.violation(
+                    cfg.max_details,
+                    format!("association {url} –{kind:?}→ {id} points at an unknown record"),
+                );
+            }
+        }
+    }
+    c
+}
+
+/// W002: the record→doc and doc→record halves of the bipartite graph hold
+/// the same edge set.
+fn check_assoc_symmetry(woc: &WebOfConcepts, cfg: &AuditConfig) -> CheckResult {
+    let mut c = CheckResult::new("W002", "assoc-symmetry");
+    for rec in woc.web.records() {
+        for (url, kind) in woc.web.docs_of(rec) {
+            c.checked += 1;
+            if !woc.web.records_of(url).contains(&(rec, *kind)) {
+                c.violation(
+                    cfg.max_details,
+                    format!("edge {rec} –{kind:?}→ {url} missing from the doc-side map"),
+                );
+            }
+        }
+    }
+    for url in woc.web.documents() {
+        for &(rec, kind) in woc.web.records_of(url) {
+            c.checked += 1;
+            if !woc
+                .web
+                .docs_of(rec)
+                .iter()
+                .any(|(u, k)| u == url && *k == kind)
+            {
+                c.violation(
+                    cfg.max_details,
+                    format!("edge {url} –{kind:?}→ {rec} missing from the record-side map"),
+                );
+            }
+        }
+    }
+    c
+}
+
+/// W003: every `Ref` attribute value of a live record resolves (through
+/// merge tombstones) to a live record.
+fn check_dangling_ref(woc: &WebOfConcepts, cfg: &AuditConfig, live: &[LrecId]) -> CheckResult {
+    let mut c = CheckResult::new("W003", "dangling-ref");
+    for &id in live {
+        let Some(rec) = woc.store.latest(id) else {
+            continue;
+        };
+        for (attr, target) in rec.refs() {
+            c.checked += 1;
+            match woc.store.resolve(target) {
+                Some(t) if woc.store.latest(t).is_some() => {}
+                _ => c.violation(
+                    cfg.max_details,
+                    format!("record {id} attr `{attr}` references {target}, which does not resolve to a live record"),
+                ),
+            }
+        }
+    }
+    c
+}
+
+/// W004: live records conform to their concept schema. Kind mismatches and
+/// cardinality overruns are hard violations; the pass/fail criterion is the
+/// conformance *rate* against [`AuditConfig::conformance_threshold`], since
+/// extraction is allowed to be imperfect but not broken. A record whose
+/// concept has no registered schema is always a hard violation.
+fn check_schema_conformance(
+    woc: &WebOfConcepts,
+    cfg: &AuditConfig,
+    live: &[LrecId],
+) -> (CheckResult, f64) {
+    let mut c = CheckResult::new("W004", "schema-conformance");
+    let mut nonconforming = 0usize;
+    let mut undeclared = 0usize;
+    for &id in live {
+        let Some(rec) = woc.store.latest(id) else {
+            continue;
+        };
+        c.checked += 1;
+        let Some(schema) = woc.registry.schema(rec.concept()) else {
+            nonconforming += 1;
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "record {id} has concept {:?} with no registered schema",
+                    rec.concept()
+                ),
+            );
+            continue;
+        };
+        let mut hard = Vec::new();
+        for v in schema.check(rec) {
+            match v {
+                Violation::UndeclaredKey { .. } => undeclared += 1,
+                other => hard.push(other),
+            }
+        }
+        if !hard.is_empty() {
+            nonconforming += 1;
+            if c.details.len() < cfg.max_details {
+                c.details.push(format!(
+                    "record {id} ({}) violates schema: {hard:?}",
+                    schema.name()
+                ));
+            }
+        }
+    }
+    let rate = if c.checked == 0 {
+        1.0
+    } else {
+        1.0 - nonconforming as f64 / c.checked as f64
+    };
+    c.info.push(format!(
+        "conformance rate {rate:.4} (threshold {:.4}), {undeclared} undeclared-key observations",
+        cfg.conformance_threshold
+    ));
+    // Individual nonconforming records only gate through the rate.
+    if rate < cfg.conformance_threshold {
+        c.violations += 1;
+        c.details.insert(
+            0,
+            format!(
+                "conformance rate {rate:.4} below threshold {:.4} ({nonconforming}/{} records nonconforming)",
+                cfg.conformance_threshold, c.checked
+            ),
+        );
+    }
+    (c, rate)
+}
+
+/// W005: every confidence lies in [0,1]; where a One-cardinality attribute
+/// still carries several denotation groups (uncertain alternatives), the
+/// groups' combined confidences — a distribution over mutually exclusive
+/// alternatives — must not exceed total mass 1+ε.
+fn check_prob_mass(woc: &WebOfConcepts, cfg: &AuditConfig, live: &[LrecId]) -> CheckResult {
+    let mut c = CheckResult::new("W005", "prob-mass");
+    for &id in live {
+        let Some(rec) = woc.store.latest(id) else {
+            continue;
+        };
+        let schema = woc.registry.schema(rec.concept());
+        for (attr, entries) in rec.iter() {
+            c.checked += 1;
+            for e in entries {
+                let conf = e.provenance.confidence;
+                if !(0.0..=1.0).contains(&conf) || !conf.is_finite() {
+                    c.violation(
+                        cfg.max_details,
+                        format!("record {id} attr `{attr}` has confidence {conf} outside [0,1]"),
+                    );
+                }
+            }
+            let is_one = schema
+                .and_then(|s| s.attr(attr))
+                .is_some_and(|spec| spec.cardinality == Cardinality::One);
+            if !is_one {
+                continue;
+            }
+            let groups = group_by_denotation(entries);
+            if groups.len() < 2 {
+                continue;
+            }
+            let mass: f64 = groups.iter().map(|g| g.combined_confidence).sum();
+            if mass > 1.0 + cfg.epsilon {
+                c.violation(
+                    cfg.max_details,
+                    format!(
+                        "record {id} attr `{attr}` (cardinality One) carries {} alternatives with total mass {mass:.4} > 1",
+                        groups.len()
+                    ),
+                );
+            }
+        }
+    }
+    c
+}
+
+/// W006: the record index holds exactly the live record ids — a stale or
+/// over-eager index silently corrupts every concept-search result.
+fn check_index_postings(woc: &WebOfConcepts, cfg: &AuditConfig, live: &[LrecId]) -> CheckResult {
+    let mut c = CheckResult::new("W006", "index-postings");
+    let indexed = woc.record_index.indexed_ids();
+    c.checked = indexed.len().max(live.len());
+    let live_set: std::collections::BTreeSet<LrecId> = live.iter().copied().collect();
+    let indexed_set: std::collections::BTreeSet<LrecId> = indexed.iter().copied().collect();
+    for &id in indexed_set.difference(&live_set) {
+        c.violation(
+            cfg.max_details,
+            format!("record {id} is indexed but not live in the store (stale index entry)"),
+        );
+    }
+    for &id in live_set.difference(&indexed_set) {
+        c.violation(
+            cfg.max_details,
+            format!("record {id} is live but missing from the record index"),
+        );
+    }
+    c
+}
+
+/// W007: indexed fields round-trip through scoped search — for sampled live
+/// records, a `field:term` query built from a stored value must retrieve
+/// the record. Catches tokenization or posting corruption that W006's
+/// membership check cannot see.
+fn check_index_roundtrip(woc: &WebOfConcepts, cfg: &AuditConfig, live: &[LrecId]) -> CheckResult {
+    let mut c = CheckResult::new("W007", "index-roundtrip");
+    if live.is_empty() {
+        return c;
+    }
+    let step = (live.len() / cfg.roundtrip_sample.max(1)).max(1);
+    let k = woc.record_index.len().max(1);
+    for &id in live.iter().step_by(step) {
+        let Some(rec) = woc.store.latest(id) else {
+            continue;
+        };
+        // First text-bearing attribute with a tokenizable value.
+        let Some((attr, term)) = rec.iter().find_map(|(attr, entries)| {
+            entries.iter().find_map(|e| match &e.value {
+                AttrValue::Ref(_) => None,
+                v => tokenize_words(&v.display_string())
+                    .into_iter()
+                    .next()
+                    .map(|w| (attr, w)),
+            })
+        }) else {
+            continue;
+        };
+        c.checked += 1;
+        let query = FieldQuery {
+            scoped: vec![(attr.to_string(), term.clone())],
+            ..FieldQuery::default()
+        };
+        let hits = woc.record_index.search(&query, k, |_| None);
+        if !hits.iter().any(|h| h.id == id) {
+            c.violation(
+                cfg.max_details,
+                format!("record {id} not retrieved by scoped query `{attr}:{term}` built from its own value"),
+            );
+        }
+    }
+    c
+}
+
+/// W008: the lineage DAG is acyclic (inputs strictly precede their node —
+/// the append-only construction invariant) and every live record has at
+/// least one lineage node, so provenance queries cannot come up empty.
+fn check_lineage(woc: &WebOfConcepts, cfg: &AuditConfig, live: &[LrecId]) -> CheckResult {
+    let mut c = CheckResult::new("W008", "lineage-acyclic");
+    for i in 0..woc.lineage.len() {
+        let id = NodeId(i as u32);
+        c.checked += 1;
+        let Some(node) = woc.lineage.node(id) else {
+            c.violation(cfg.max_details, format!("lineage node {id:?} unreadable"));
+            continue;
+        };
+        for &input in &node.inputs {
+            if input.0 >= node.id.0 {
+                c.violation(
+                    cfg.max_details,
+                    format!(
+                        "lineage node {:?} has input {input:?} that does not precede it (cycle or forward edge)",
+                        node.id
+                    ),
+                );
+            }
+        }
+    }
+    for &id in live {
+        c.checked += 1;
+        if woc.lineage.nodes_of_record(id).is_empty() {
+            c.violation(
+                cfg.max_details,
+                format!("live record {id} has no lineage node (unexplainable provenance)"),
+            );
+        }
+    }
+    c
+}
+
+/// W009: merge resolution is canonical — resolving any ever-created id
+/// either fails (retracted) or lands, idempotently, on a live record.
+fn check_merge_canonical(woc: &WebOfConcepts, cfg: &AuditConfig) -> CheckResult {
+    let mut c = CheckResult::new("W009", "merge-canonical");
+    for raw in 0..woc.store.total_created() as u64 {
+        let id = LrecId(raw);
+        c.checked += 1;
+        let Some(canon) = woc.store.resolve(id) else {
+            continue; // retracted: resolution legitimately fails
+        };
+        if woc.store.resolve(canon) != Some(canon) {
+            c.violation(
+                cfg.max_details,
+                format!("resolve({id}) = {canon}, but resolve({canon}) ≠ {canon} (not idempotent)"),
+            );
+        }
+        if woc.store.latest(canon).is_none() {
+            c.violation(
+                cfg.max_details,
+                format!("resolve({id}) = {canon}, which has no stored version"),
+            );
+        }
+    }
+    c
+}
+
+/// W010: the parallel document tables (inverted index, URL table, title
+/// table) agree in length, so every doc id renders with a URL and title.
+fn check_doc_tables(woc: &WebOfConcepts, cfg: &AuditConfig) -> CheckResult {
+    let mut c = CheckResult::new("W010", "doc-tables");
+    c.checked = 3;
+    let n = woc.doc_index.num_docs();
+    if woc.doc_urls.len() != n {
+        c.violation(
+            cfg.max_details,
+            format!(
+                "doc_urls has {} entries but the doc index has {n} documents",
+                woc.doc_urls.len()
+            ),
+        );
+    }
+    if woc.doc_titles.len() != n {
+        c.violation(
+            cfg.max_details,
+            format!(
+                "doc_titles has {} entries but the doc index has {n} documents",
+                woc.doc_titles.len()
+            ),
+        );
+    }
+    c
+}

@@ -1,0 +1,330 @@
+//! Each integrity check must (a) pass on a freshly built synthetic web and
+//! (b) fire — with the right diagnostic code — on a web hand-corrupted to
+//! break exactly that invariant.
+
+use std::sync::OnceLock;
+
+use woc_audit::{audit, Audit, AuditConfig};
+use woc_core::{AssocKind, NodeId, WebOfConcepts};
+use woc_lrec::{AttrValue, Cardinality, ConceptId, LrecId, Provenance, SourceRef, Tick};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+/// One tiny deterministic build, cloned per test (`WebOfConcepts: Clone`).
+fn fresh_web() -> WebOfConcepts {
+    static BASE: OnceLock<WebOfConcepts> = OnceLock::new();
+    BASE.get_or_init(|| {
+        let world = World::generate(WorldConfig::tiny(7));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(7));
+        woc_core::build(&corpus, &woc_core::PipelineConfig::default())
+    })
+    .clone()
+}
+
+fn run(woc: &WebOfConcepts) -> Audit {
+    // Sample every record in the round-trip check so corruptions anywhere
+    // in the store are visible to W007.
+    let cfg = AuditConfig {
+        roundtrip_sample: usize::MAX,
+        ..AuditConfig::default()
+    };
+    audit(woc, &cfg)
+}
+
+/// The check with `code` fired, and its first detail mentions `needle`.
+fn assert_fired(report: &Audit, code: &str, needle: &str) {
+    let check = report
+        .check(code)
+        .unwrap_or_else(|| panic!("no check {code}"));
+    assert!(
+        check.violations > 0,
+        "{code} should have fired:\n{}",
+        report.render()
+    );
+    assert!(
+        check.details.iter().any(|d| d.contains(needle)),
+        "{code} details should mention {needle:?}, got: {:?}",
+        check.details
+    );
+    assert!(
+        !report.passed(),
+        "corrupted web must fail the audit overall"
+    );
+}
+
+fn next_tick(woc: &WebOfConcepts) -> Tick {
+    Tick(woc.store.max_tick().0 + 1)
+}
+
+fn a_live_id(woc: &WebOfConcepts) -> LrecId {
+    *woc.store
+        .live_ids()
+        .first()
+        .expect("tiny fixture has live records")
+}
+
+#[test]
+fn clean_build_passes_every_check() {
+    let woc = fresh_web();
+    let report = run(&woc);
+    assert!(
+        report.passed(),
+        "clean build must audit clean:\n{}",
+        report.render()
+    );
+    assert_eq!(report.checks.len(), 10);
+    assert!(report.live_records > 0 && report.associations > 0);
+    assert!((report.conformance_rate - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn w001_association_to_unknown_record() {
+    let mut woc = fresh_web();
+    let bogus = LrecId(u64::MAX);
+    woc.web
+        .associate(bogus, "http://nowhere.test/ghost", AssocKind::Mentions);
+    assert_fired(&run(&woc), "W001", "unknown record");
+}
+
+#[test]
+fn w003_ref_to_nonexistent_record() {
+    let mut woc = fresh_web();
+    let id = a_live_id(&woc);
+    let tick = next_tick(&woc);
+    woc.store
+        .update(id, tick, |rec| {
+            rec.add(
+                "see_also",
+                AttrValue::Ref(LrecId(999_999_999)),
+                Provenance::derived("corruptor", 0.9, tick),
+            );
+        })
+        .expect("update succeeds on a live record");
+    assert_fired(&run(&woc), "W003", "does not resolve");
+}
+
+#[test]
+fn w004_record_with_unregistered_concept() {
+    let mut woc = fresh_web();
+    let tick = next_tick(&woc);
+    let id = woc.store.insert(ConceptId(u32::MAX), tick, |rec| {
+        rec.add(
+            "name",
+            AttrValue::Text("orphan".into()),
+            Provenance::derived("corruptor", 0.9, tick),
+        );
+    });
+    // Keep the lineage/index checks out of the blast radius: this test is
+    // about the schema gap, not the missing postings.
+    let producer = woc.lineage.operator("corruptor", vec![]);
+    woc.lineage.record(id, producer);
+    woc.record_index
+        .add(woc.store.latest(id).expect("just inserted"));
+    assert_fired(&run(&woc), "W004", "no registered schema");
+}
+
+#[test]
+fn w004_conformance_rate_gates_at_threshold_one() {
+    let mut woc = fresh_web();
+    let id = a_live_id(&woc);
+    let schema = woc
+        .registry
+        .schema(woc.store.latest(id).expect("live").concept())
+        .expect("live records have schemas");
+    // A One-cardinality attribute to overrun.
+    let attr = schema
+        .attrs()
+        .find(|s| s.cardinality == Cardinality::One)
+        .expect("fixture schemas declare One-cardinality attrs")
+        .key
+        .clone();
+    let tick = next_tick(&woc);
+    woc.store
+        .update(id, tick, |rec| {
+            for i in 0..4 {
+                rec.add(
+                    &attr,
+                    AttrValue::Text(format!("alt-{i}")),
+                    Provenance::derived("corruptor", 0.1, tick),
+                );
+            }
+        })
+        .expect("update succeeds");
+    let cfg = AuditConfig {
+        conformance_threshold: 1.0,
+        ..AuditConfig::default()
+    };
+    let report = audit(&woc, &cfg);
+    assert_fired(&report, "W004", "below threshold");
+    assert!(report.conformance_rate < 1.0);
+}
+
+#[test]
+fn w005_alternatives_with_excess_probability_mass() {
+    let mut woc = fresh_web();
+    let id = a_live_id(&woc);
+    let schema = woc
+        .registry
+        .schema(woc.store.latest(id).expect("live").concept())
+        .expect("live records have schemas");
+    let attr = schema
+        .attrs()
+        .find(|s| s.cardinality == Cardinality::One)
+        .expect("fixture schemas declare One-cardinality attrs")
+        .key
+        .clone();
+    let tick = next_tick(&woc);
+    woc.store
+        .update(id, tick, |rec| {
+            rec.remove(&attr);
+            // Two mutually exclusive alternatives, each claimed near-certain:
+            // total mass 1.85 — an impossible distribution.
+            rec.add(
+                &attr,
+                AttrValue::Text("alternative alpha".into()),
+                Provenance::derived("extractor-a", 0.95, tick),
+            );
+            rec.add(
+                &attr,
+                AttrValue::Text("alternative beta".into()),
+                Provenance::derived("extractor-b", 0.9, tick),
+            );
+        })
+        .expect("update succeeds");
+    assert_fired(&run(&woc), "W005", "total mass");
+}
+
+#[test]
+fn w005_confidence_outside_unit_interval() {
+    let mut woc = fresh_web();
+    let id = a_live_id(&woc);
+    let tick = next_tick(&woc);
+    woc.store
+        .update(id, tick, |rec| {
+            // The constructors clamp confidence into [0,1]; corrupt data
+            // arrives through the public fields (e.g. a bad deserialization).
+            rec.add(
+                "suspicious",
+                AttrValue::Text("overconfident".into()),
+                Provenance {
+                    source: SourceRef::Derived("corruptor".into()),
+                    operator: "corruptor".into(),
+                    confidence: 1.5,
+                    observed_at: tick,
+                },
+            );
+        })
+        .expect("update succeeds");
+    assert_fired(&run(&woc), "W005", "outside [0,1]");
+}
+
+#[test]
+fn w006_live_record_missing_from_index() {
+    let mut woc = fresh_web();
+    let concept = woc.store.latest(a_live_id(&woc)).expect("live").concept();
+    let tick = next_tick(&woc);
+    // Created in the store but never handed to the record index.
+    let id = woc.store.create(concept, tick);
+    let producer = woc.lineage.operator("corruptor", vec![]);
+    woc.lineage.record(id, producer);
+    let report = run(&woc);
+    assert_fired(&report, "W006", &format!("{id}"));
+    assert_fired(&report, "W006", "missing from the record index");
+}
+
+#[test]
+fn w006_stale_index_entry_for_retracted_record() {
+    let mut woc = fresh_web();
+    let id = a_live_id(&woc);
+    // Retract in the store without removing the postings.
+    woc.store
+        .retract(id)
+        .expect("retract succeeds on a live record");
+    assert_fired(&run(&woc), "W006", "stale index entry");
+}
+
+#[test]
+fn w007_index_roundtrip_catches_unreindexed_update() {
+    let mut woc = fresh_web();
+    let id = a_live_id(&woc);
+    let rec = woc.store.latest(id).expect("live");
+    let attr = rec
+        .iter()
+        .find(|(_, entries)| {
+            entries
+                .iter()
+                .any(|e| !matches!(e.value, AttrValue::Ref(_)))
+        })
+        .map(|(a, _)| a.to_string())
+        .expect("live records carry text attrs");
+    let tick = next_tick(&woc);
+    // Rewrite the value in the store; the index still holds the old tokens,
+    // so a scoped query built from the stored value comes up empty.
+    woc.store
+        .update(id, tick, |rec| {
+            rec.remove(&attr);
+            rec.add(
+                &attr,
+                AttrValue::Text("zzyxq never indexed".into()),
+                Provenance::derived("corruptor", 0.9, tick),
+            );
+        })
+        .expect("update succeeds");
+    assert_fired(&run(&woc), "W007", "not retrieved");
+}
+
+#[test]
+fn w008_lineage_forward_edge() {
+    let mut woc = fresh_web();
+    // The in-memory API enforces acyclicity at construction, so smuggle the
+    // forward edge in the way real corruption would arrive: through a
+    // serialized DAG whose bytes were damaged before deserialization.
+    let dag = serde_json::to_string(&woc.lineage).expect("lineage serializes");
+    let future = NodeId(woc.lineage.len() as u32 + 10);
+    // First `"inputs":[]` in the stream belongs to the first source node.
+    let corrupted = dag.replacen("\"inputs\":[]", &format!("\"inputs\":[{}]", future.0), 1);
+    assert_ne!(dag, corrupted, "fixture lineage has an input-free node");
+    woc.lineage = serde_json::from_str(&corrupted).expect("corrupted lineage deserializes");
+    assert_fired(&run(&woc), "W008", "does not precede");
+}
+
+#[test]
+fn w008_live_record_without_lineage() {
+    let mut woc = fresh_web();
+    let concept = woc.store.latest(a_live_id(&woc)).expect("live").concept();
+    let tick = next_tick(&woc);
+    let id = woc.store.create(concept, tick);
+    woc.record_index
+        .add(woc.store.latest(id).expect("just created"));
+    assert_fired(&run(&woc), "W008", "no lineage node");
+}
+
+#[test]
+fn w009_reported_counts_cover_every_created_id() {
+    // W009 cannot be corrupted through the store's public API (resolution
+    // is canonical by construction — that is the point of the check), so
+    // assert its coverage instead: every ever-created id is examined,
+    // including merge tombstones that no longer appear in live_ids().
+    let woc = fresh_web();
+    let report = run(&woc);
+    let w9 = report.check("W009").expect("W009 present");
+    assert_eq!(w9.checked, woc.store.total_created());
+    assert!(w9.checked > report.live_records, "merges leave tombstones");
+    assert!(w9.passed());
+}
+
+#[test]
+fn w010_truncated_url_table() {
+    let mut woc = fresh_web();
+    woc.doc_urls.pop().expect("fixture has documents");
+    assert_fired(&run(&woc), "W010", "doc_urls");
+}
+
+#[test]
+fn json_report_is_serializable_and_stable() {
+    let woc = fresh_web();
+    let report = run(&woc);
+    let json = serde_json::to_string(&report).expect("report serializes");
+    for code in ["W001", "W004", "W007", "W010"] {
+        assert!(json.contains(code), "JSON report should carry {code}");
+    }
+}

@@ -63,6 +63,7 @@ fn coverage_stats(world: &World, corpus: &WebCorpus, woc: &WebOfConcepts) -> (f6
         .collect();
     let mut checked = 0usize;
     let mut correct = 0usize;
+    // woc-lint: allow(map-iter-order) — counter accumulation only; commutative.
     for (&canon, &entity) in &mapping {
         if let Some(z) = woc.store.latest(canon).and_then(|r| r.best_string("zip")) {
             checked += 1;

@@ -21,6 +21,15 @@ pub struct Fixture {
     pub woc: WebOfConcepts,
 }
 
+impl std::fmt::Debug for Fixture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fixture")
+            .field("pages", &self.corpus.len())
+            .field("live_records", &self.woc.store.live_count())
+            .finish()
+    }
+}
+
 /// The pipeline configuration the experiment binaries use: defaults, with
 /// the worker count overridable via the `WOC_THREADS` env var (0 = all
 /// cores). Results are identical at any thread count — only timings move.

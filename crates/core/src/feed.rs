@@ -152,7 +152,11 @@ pub fn ingest_feed(woc: &mut WebOfConcepts, feed: &Feed, tick: Tick) -> FeedRepo
     // Feed data changes the corpus: rebuild the record index.
     let mut index = woc_index::LrecIndex::new();
     for id in woc.store.live_ids() {
-        index.add(woc.store.latest(id).unwrap());
+        index.add(
+            woc.store
+                .latest(id)
+                .expect("invariant: live_ids() yields ids with a latest version"),
+        );
     }
     woc.record_index = index;
     report

@@ -102,9 +102,20 @@ impl ConceptWeb {
         self.by_doc.is_empty()
     }
 
-    /// All documents with at least one association.
+    /// All documents with at least one association, in URL order. Sorted so
+    /// callers materialising the list (reports, exports) are byte-stable
+    /// across runs regardless of HashMap seeding.
     pub fn documents(&self) -> impl Iterator<Item = &str> {
-        self.by_doc.keys().map(String::as_str)
+        let mut docs: Vec<&str> = self.by_doc.keys().map(String::as_str).collect();
+        docs.sort_unstable();
+        docs.into_iter()
+    }
+
+    /// All records with at least one association, in id order.
+    pub fn records(&self) -> Vec<LrecId> {
+        let mut ids: Vec<LrecId> = self.by_record.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 }
 

@@ -194,7 +194,11 @@ impl Lineage {
                 if !seen.insert(a) {
                     continue;
                 }
-                match &self.node(a).unwrap().kind {
+                match &self
+                    .node(a)
+                    .expect("invariant: ancestors() returns in-bounds node ids")
+                    .kind
+                {
                     NodeKind::Document(url) => out.push(format!("document {url}")),
                     NodeKind::Operator { name } => out.push(format!("operator {name}")),
                     NodeKind::Record(r) => out.push(format!("record {r}")),
@@ -228,9 +232,15 @@ impl Lineage {
         let mut out: Vec<LrecId> = self
             .descendants(doc)
             .into_iter()
-            .filter_map(|n| match &self.node(n).unwrap().kind {
-                NodeKind::Record(r) => Some(*r),
-                _ => None,
+            .filter_map(|n| {
+                match &self
+                    .node(n)
+                    .expect("invariant: descendants() returns in-bounds node ids")
+                    .kind
+                {
+                    NodeKind::Record(r) => Some(*r),
+                    _ => None,
+                }
             })
             .collect();
         out.sort_unstable();
@@ -248,11 +258,16 @@ impl Lineage {
             let mut ops = HashSet::new();
             for &n in self.nodes_of_record(r) {
                 for a in self.ancestors(n) {
-                    if let NodeKind::Operator { name } = &self.node(a).unwrap().kind {
+                    let node = self
+                        .node(a)
+                        .expect("invariant: ancestors() returns in-bounds node ids");
+                    if let NodeKind::Operator { name } = &node.kind {
                         ops.insert(name.clone());
                     }
                 }
             }
+            // woc-lint: allow(map-iter-order) — counts accumulate with += into a
+            // map that is sorted before being returned.
             for op in ops {
                 *counts.entry(op).or_insert(0) += 1;
             }

@@ -115,7 +115,11 @@ pub fn recrawl(
                         }
                         m
                     };
-                    let current = woc.store.latest(id).unwrap().clone();
+                    let current = woc
+                        .store
+                        .latest(id)
+                        .expect("invariant: live_ids() yields ids with a latest version")
+                        .clone();
                     let mut updates: Vec<(String, Vec<AttrValue>)> = Vec::new();
                     for (field, raws) in fields {
                         let new_vals: Vec<AttrValue> =
@@ -182,7 +186,11 @@ pub fn recrawl(
     // Rebuild the record index (segment-rebuild model).
     let mut index = woc_index::LrecIndex::new();
     for id in woc.store.live_ids() {
-        index.add(woc.store.latest(id).unwrap());
+        index.add(
+            woc.store
+                .latest(id)
+                .expect("invariant: live_ids() yields ids with a latest version"),
+        );
     }
     woc.record_index = index;
 

@@ -9,7 +9,7 @@
 //! is recorded in [`crate::lineage::Lineage`] and every value carries a
 //! confidence, so §7.3's uncertainty/lineage requirements hold end to end.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
 
 use woc_extract::lists::{extract_lists, ConceptProfile};
@@ -489,7 +489,12 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         }
         let recs: Vec<Lrec> = ids
             .iter()
-            .map(|&i| store.latest(i).unwrap().clone())
+            .map(|&i| {
+                store
+                    .latest(i)
+                    .expect("invariant: by_concept() yields live ids")
+                    .clone()
+            })
             .collect();
         let refs: Vec<&Lrec> = recs.iter().collect();
         let pairs = candidate_pairs_sharded(&refs, 200, threads);
@@ -502,7 +507,9 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
             // Relational evidence: records extracted from pages that mention
             // each other… for the corpus here, shared source hosts carry no
             // evidence, so neighbors are records sharing a source document.
-            let mut doc_members: HashMap<&str, Vec<usize>> = HashMap::new();
+            // BTreeMap, not HashMap: the per-doc member lists feed `neighbors`
+            // in iteration order, which must not depend on hash seeding.
+            let mut doc_members: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
             for (i, id) in ids.iter().enumerate() {
                 for (url, _) in web.docs_of(*id) {
                     doc_members.entry(url.as_str()).or_default().push(i);
@@ -541,7 +548,7 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
             let winner_idx = *cluster
                 .iter()
                 .max_by_key(|&&i| recs[i].num_values())
-                .unwrap();
+                .expect("invariant: clusters() yields non-empty clusters");
             let winner = ids[winner_idx];
             let mut inputs = vec![];
             for &i in &cluster {
@@ -569,7 +576,10 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         if !config.reconcile_values {
             break;
         }
-        let rec = store.latest(id).unwrap().clone();
+        let rec = store
+            .latest(id)
+            .expect("invariant: live_ids() yields ids with a latest version")
+            .clone();
         let Some(schema) = registry.schema(rec.concept()) else {
             continue;
         };
@@ -590,7 +600,12 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     let restaurant_recs: Vec<Lrec> = store
         .by_concept(concepts.restaurant)
         .into_iter()
-        .map(|id| store.latest(id).unwrap().clone())
+        .map(|id| {
+            store
+                .latest(id)
+                .expect("invariant: by_concept() yields live ids")
+                .clone()
+        })
         .collect();
     if !restaurant_recs.is_empty() {
         let matcher = GenerativeMatcher::build(restaurant_recs.iter(), &[], 0.6);
@@ -758,7 +773,11 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     // --- Stage G: indexes ---------------------------------------------------
     let mut record_index = LrecIndex::new();
     for id in store.live_ids() {
-        record_index.add(store.latest(id).unwrap());
+        record_index.add(
+            store
+                .latest(id)
+                .expect("invariant: live_ids() yields ids with a latest version"),
+        );
     }
     let mut doc_index = InvertedIndex::new();
     let mut doc_urls = Vec::with_capacity(pages.len());

@@ -72,7 +72,7 @@ pub fn group_by_denotation(entries: &[ValueEntry]) -> Vec<ReconciledValue> {
                         .partial_cmp(&b.provenance.confidence)
                         .unwrap_or(std::cmp::Ordering::Equal)
                 })
-                .unwrap();
+                .expect("invariant: denotation groups are non-empty");
             ReconciledValue {
                 entry: (*best).clone(),
                 combined_confidence: combined,

@@ -13,7 +13,7 @@
 //! * [`refine_site`] — per-site label propagation over the page graph whose
 //!   edges are same-directory membership and hyperlinks.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use woc_textkit::tokenize::tokenize_words;
 use woc_webgen::Page;
@@ -119,7 +119,9 @@ pub fn refine_site(pages: &[&Page], global: &NaiveBayes, alpha: f64, iters: usiz
         .collect();
     let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
     // Same-directory edges.
-    let mut by_dir: HashMap<&str, Vec<usize>> = HashMap::new();
+    // BTreeMap, not HashMap: member lists feed `neighbors` in iteration
+    // order, which must not depend on hash seeding.
+    let mut by_dir: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
     for (i, p) in pages.iter().enumerate() {
         by_dir.entry(p.directory()).or_default().push(i);
     }

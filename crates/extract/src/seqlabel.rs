@@ -192,7 +192,13 @@ impl Labeler {
                 let gold: Vec<usize> = ex
                     .labels
                     .iter()
-                    .map(|l| model.labels.iter().position(|x| x == l).unwrap())
+                    .map(|l| {
+                        model
+                            .labels
+                            .iter()
+                            .position(|x| x == l)
+                            .expect("invariant: training labels come from the model label set")
+                    })
                     .collect();
                 let pred = model.viterbi_ids(&ex.tokens);
                 if pred == gold {
@@ -308,8 +314,12 @@ impl Labeler {
             }
         }
         let mut last = (0..l)
-            .max_by(|&a, &b| dp[n - 1][a].partial_cmp(&dp[n - 1][b]).unwrap())
-            .unwrap();
+            .max_by(|&a, &b| {
+                dp[n - 1][a]
+                    .partial_cmp(&dp[n - 1][b])
+                    .expect("invariant: viterbi scores are finite, never NaN")
+            })
+            .expect("invariant: the label set is non-empty");
         let mut out = vec![0usize; n];
         out[n - 1] = last;
         for i in (1..n).rev() {
@@ -360,14 +370,18 @@ impl Labeler {
         let l = self.labels.len();
         let mut score = 0.0;
         for i in 0..tokens.len() {
-            let y = self.labels.iter().position(|x| x == &labels[i]).unwrap();
+            let y = self
+                .labels
+                .iter()
+                .position(|x| x == &labels[i])
+                .expect("invariant: scored labels come from the model label set");
             let prev = if i == 0 {
                 l
             } else {
                 self.labels
                     .iter()
                     .position(|x| x == &labels[i - 1])
-                    .unwrap()
+                    .expect("invariant: scored labels come from the model label set")
             };
             score += self.emit_scores(tokens, i)[y] + self.trans[prev][y];
         }

@@ -200,6 +200,8 @@ impl InvertedIndex {
     pub fn search_terms<S: AsRef<str>>(&self, terms: &[S], k: usize) -> Vec<Hit> {
         let mut acc: HashMap<DocId, f64> = HashMap::new();
         let avg = self.avg_len();
+        // woc-lint: allow(map-iter-order) — `terms` is the query slice parameter
+        // (shadows the postings field name); scores sum commutatively into `acc`.
         for t in terms {
             let Some(pl) = self.terms.get(t.as_ref()) else {
                 continue;
@@ -235,6 +237,8 @@ impl InvertedIndex {
             return Vec::new();
         }
         let mut lists: Vec<&PostingList> = Vec::with_capacity(terms.len());
+        // woc-lint: allow(map-iter-order) — `terms` is the tokenized query Vec
+        // (shadows the postings field name), already in query order.
         for t in &terms {
             match self.terms.get(t) {
                 Some(pl) => lists.push(pl),

@@ -187,6 +187,14 @@ impl LrecIndex {
         self.docs.len()
     }
 
+    /// Ids of all indexed records, in id order (for integrity audits that
+    /// compare index membership against the record store).
+    pub fn indexed_ids(&self) -> Vec<LrecId> {
+        let mut ids: Vec<LrecId> = self.docs.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// True if no records are indexed.
     pub fn is_empty(&self) -> bool {
         self.docs.is_empty()

@@ -1,0 +1,164 @@
+//! # woc-lint — custom static analysis for the web-of-concepts workspace
+//!
+//! A self-contained, dependency-free Rust source analyzer (own line scanner;
+//! no `syn`, so offline/vendored builds stay intact) enforcing the project's
+//! determinism, panic-hygiene, concurrency and api-hygiene conventions.
+//!
+//! The rules are heuristics over token shapes, not a type-checked analysis —
+//! that is the right trade for a project-local linter: cheap to run on every
+//! CI job, zero external deps, and every rule is suppressible in place:
+//!
+//! ```text
+//! // woc-lint: allow(map-iter-order) — summed into a scalar, order-free
+//! for v in counts.values() { total += v; }
+//! ```
+//!
+//! A pragma on its own comment line applies to the next code line; a
+//! trailing pragma applies to its own line. `woc-lint: allow-file(rule)`
+//! anywhere in a file suppresses the rule file-wide (use sparingly, with a
+//! justification).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rules;
+pub mod scan;
+
+pub use rules::{rule_info, FileKind, Finding, RuleInfo, Severity, RULES};
+pub use scan::Source;
+
+/// Classify a file path into [`FileKind`]. Paths use `/` separators.
+pub fn classify(path: &str) -> FileKind {
+    let p = path.replace('\\', "/");
+    if p.contains("/tests/")
+        || p.contains("/benches/")
+        || p.contains("/examples/")
+        || p.starts_with("tests/")
+        || p.starts_with("examples/")
+        || p.ends_with("build.rs")
+    {
+        FileKind::Test
+    } else if p.contains("/src/bin/") || p.ends_with("/src/main.rs") || p == "src/main.rs" {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Lint one source text. `path` is used for classification, hot-path crate
+/// detection, and diagnostics.
+pub fn lint_source(path: &str, text: &str) -> Vec<Finding> {
+    let src = Source::parse(text);
+    let kind = classify(path);
+    let mut findings = rules::run_all(&src, kind, path);
+    apply_pragmas(&src, &mut findings);
+    findings
+}
+
+/// Parse `allow(…)`-style pragma lists out of a comment.
+fn pragma_rules(comment: &str, directive: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find(directive) {
+        let after = &rest[pos + directive.len()..];
+        if let Some(close) = after.find(')') {
+            for rule in after[..close].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    out.push(rule.to_string());
+                }
+            }
+        }
+        rest = &rest[pos + directive.len()..];
+    }
+    out
+}
+
+/// Mark findings suppressed by `woc-lint: allow(...)` pragmas.
+fn apply_pragmas(src: &Source, findings: &mut [Finding]) {
+    let mut file_allows: Vec<String> = Vec::new();
+    // allowed[i] = rules allowed on line i (0-based).
+    let mut line_allows: Vec<Vec<String>> = vec![Vec::new(); src.lines.len()];
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line.comment.contains("woc-lint:") {
+            continue;
+        }
+        file_allows.extend(pragma_rules(&line.comment, "woc-lint: allow-file("));
+        let allows = pragma_rules(&line.comment, "woc-lint: allow(");
+        if allows.is_empty() {
+            continue;
+        }
+        if line.code.trim().is_empty() {
+            // Comment-only pragma line: applies to the next code line.
+            if let Some(target) =
+                (i + 1..src.lines.len()).find(|&j| !src.lines[j].code.trim().is_empty())
+            {
+                line_allows[target].extend(allows);
+            }
+        } else {
+            line_allows[i].extend(allows);
+        }
+    }
+    for f in findings.iter_mut() {
+        let allowed_here = line_allows
+            .get(f.line - 1)
+            .is_some_and(|a| a.iter().any(|r| r == f.rule));
+        if allowed_here || file_allows.iter().any(|r| r == f.rule) {
+            f.allowed = true;
+        }
+    }
+}
+
+/// Summary counts over a finding set.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Unallowed deny findings (these gate).
+    pub deny: usize,
+    /// Unallowed warn findings.
+    pub warn: usize,
+    /// Findings suppressed by pragmas.
+    pub allowed: usize,
+}
+
+/// Tally a finding set.
+pub fn tally(findings: &[Finding]) -> Tally {
+    let mut t = Tally::default();
+    for f in findings {
+        if f.allowed {
+            t.allowed += 1;
+        } else {
+            match f.severity {
+                Severity::Deny => t.deny += 1,
+                Severity::Warn => t.warn += 1,
+            }
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(classify("crates/core/src/graph.rs"), FileKind::Lib);
+        assert_eq!(classify("crates/core/tests/determinism.rs"), FileKind::Test);
+        assert_eq!(classify("crates/bench/src/bin/table1.rs"), FileKind::Bin);
+        assert_eq!(classify("crates/bench/benches/index.rs"), FileKind::Test);
+        assert_eq!(classify("src/lib.rs"), FileKind::Lib);
+        assert_eq!(classify("tests/integration.rs"), FileKind::Test);
+    }
+
+    #[test]
+    fn pragma_parsing() {
+        assert_eq!(
+            pragma_rules(
+                "// woc-lint: allow(map-iter-order, panic-in-lib) — reason",
+                "woc-lint: allow("
+            ),
+            vec!["map-iter-order".to_string(), "panic-in-lib".to_string()]
+        );
+        assert!(pragma_rules("// plain comment", "woc-lint: allow(").is_empty());
+    }
+}

@@ -1,0 +1,176 @@
+//! `woc-lint` — lint the workspace.
+//!
+//! ```text
+//! woc-lint [PATHS…] [--self-check] [--json] [--quiet-warn] [--show-allowed] [--rules]
+//! ```
+//!
+//! With no paths, lints the workspace roots (`crates/`, `src/`, `tests/`,
+//! `examples/`), skipping `vendor/` (external stand-ins) and `target/`.
+//! Exits non-zero iff any unallowed deny-severity finding remains.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use woc_lint::{lint_source, tally, Finding, Severity, Tally, RULES};
+
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return;
+    };
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "vendor" || name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| args.iter().any(|a| a == name);
+    let (self_check, json, quiet_warn, show_allowed) = (
+        flag("--self-check"),
+        flag("--json"),
+        flag("--quiet-warn"),
+        flag("--show-allowed"),
+    );
+    if flag("--rules") {
+        println!("{:<18} {:<5} {:<8} summary", "rule", "sev", "scope");
+        for r in RULES {
+            println!(
+                "{:<18} {:<5} {:<8} {}",
+                r.name,
+                match r.severity {
+                    Severity::Deny => "deny",
+                    Severity::Warn => "warn",
+                },
+                format!("{:?}", r.scope).to_lowercase(),
+                r.summary
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let roots: Vec<PathBuf> = if self_check {
+        vec![PathBuf::from("crates/lint")]
+    } else {
+        let named: Vec<PathBuf> = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .map(PathBuf::from)
+            .collect();
+        if named.is_empty() {
+            ["crates", "src", "tests", "examples"]
+                .iter()
+                .map(PathBuf::from)
+                .filter(|p| p.exists())
+                .collect()
+        } else {
+            named
+        }
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in &roots {
+        if root.is_file() {
+            files.push(root.clone());
+        } else {
+            collect_rs_files(root, &mut files);
+        }
+    }
+
+    let mut all: Vec<(String, Vec<Finding>)> = Vec::new();
+    for file in &files {
+        let Ok(text) = std::fs::read_to_string(file) else {
+            eprintln!("woc-lint: unreadable file {}", file.display());
+            continue;
+        };
+        let label = file.to_string_lossy().replace('\\', "/");
+        let findings = lint_source(&label, &text);
+        if !findings.is_empty() {
+            all.push((label, findings));
+        }
+    }
+
+    let mut total = Tally::default();
+    let mut json_items: Vec<String> = Vec::new();
+    for (file, findings) in &all {
+        let t = tally(findings);
+        total.deny += t.deny;
+        total.warn += t.warn;
+        total.allowed += t.allowed;
+        for f in findings {
+            if f.allowed && !show_allowed {
+                continue;
+            }
+            if f.severity == Severity::Warn && quiet_warn && !f.allowed {
+                continue;
+            }
+            let sev = match (f.allowed, f.severity) {
+                (true, _) => "allowed",
+                (false, Severity::Deny) => "deny",
+                (false, Severity::Warn) => "warn",
+            };
+            if json {
+                json_items.push(format!(
+                    "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"excerpt\":\"{}\"}}",
+                    json_escape(file),
+                    f.line,
+                    f.rule,
+                    sev,
+                    json_escape(&f.message),
+                    json_escape(&f.excerpt)
+                ));
+            } else {
+                println!("{sev}[{}]: {}:{}", f.rule, file, f.line);
+                println!("    {}", f.message);
+                println!("    > {}", f.excerpt);
+            }
+        }
+    }
+
+    if json {
+        println!(
+            "{{\"findings\":[{}],\"deny\":{},\"warn\":{},\"allowed\":{}}}",
+            json_items.join(","),
+            total.deny,
+            total.warn,
+            total.allowed
+        );
+    } else {
+        println!(
+            "woc-lint: {} files scanned — {} deny, {} warn, {} allowed",
+            files.len(),
+            total.deny,
+            total.warn,
+            total.allowed
+        );
+    }
+    if total.deny > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,617 @@
+//! The rule catalog and rule implementations.
+//!
+//! Each rule is a pure function over a preprocessed [`Source`]; rules are
+//! heuristic by design (no type information), so every rule supports
+//! suppression via `// woc-lint: allow(rule)` pragmas with a justification.
+
+use crate::scan::{find_words, ident_before, Source};
+
+/// How a finding gates CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the lint run unless allow-listed.
+    Deny,
+    /// Reported but never fails the run.
+    Warn,
+}
+
+/// What part of the tree a file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code (`src/` of a lib crate).
+    Lib,
+    /// Binary code (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// Test/bench/example code.
+    Test,
+}
+
+/// Which files and lines a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Library code outside `#[cfg(test)]` only.
+    LibOnly,
+    /// Library and binary code outside `#[cfg(test)]`.
+    NonTest,
+    /// Everything, including tests.
+    All,
+}
+
+/// One lint finding.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule name (catalog key and pragma key).
+    pub rule: &'static str,
+    /// Gate behavior.
+    pub severity: Severity,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human diagnostic.
+    pub message: String,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+    /// True if an allow pragma suppresses this finding.
+    pub allowed: bool,
+}
+
+/// Catalog entry describing a rule.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Rule name.
+    pub name: &'static str,
+    /// Gate behavior.
+    pub severity: Severity,
+    /// Applicability.
+    pub scope: Scope,
+    /// One-line summary for `--rules` and the README catalog.
+    pub summary: &'static str,
+}
+
+/// The rule catalog.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "map-iter-order",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "HashMap/HashSet iteration flows into order-sensitive output without an adjacent sort or order-insensitive reduction",
+    },
+    RuleInfo {
+        name: "nondet-source",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "unseeded RNG or wall-clock time (thread_rng, from_entropy, rand::random, SystemTime::now) in deterministic code paths",
+    },
+    RuleInfo {
+        name: "panic-in-lib",
+        severity: Severity::Deny,
+        scope: Scope::LibOnly,
+        summary: "bare unwrap()/panic!/todo!/unimplemented! in library code (expect(\"invariant\") with a message is admitted)",
+    },
+    RuleInfo {
+        name: "slice-index",
+        severity: Severity::Warn,
+        scope: Scope::LibOnly,
+        summary: "direct slice/map indexing in hot-path crates (index, matching, serve, core) — prefer get() on untrusted indices",
+    },
+    RuleInfo {
+        name: "static-mut",
+        severity: Severity::Deny,
+        scope: Scope::All,
+        summary: "static mut items (data races by construction)",
+    },
+    RuleInfo {
+        name: "unsafe-no-safety",
+        severity: Severity::Deny,
+        scope: Scope::All,
+        summary: "unsafe block/fn/impl without a `// SAFETY:` comment on or directly above it",
+    },
+    RuleInfo {
+        name: "nested-locks",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "lock acquisition while another lock guard binding is still live in the same scope (deadlock-prone; drop the guard first)",
+    },
+    RuleInfo {
+        name: "missing-debug",
+        severity: Severity::Deny,
+        scope: Scope::LibOnly,
+        summary: "public struct/enum without a Debug derive or manual Debug impl",
+    },
+    RuleInfo {
+        name: "error-display",
+        severity: Severity::Deny,
+        scope: Scope::LibOnly,
+        summary: "public *Error enum without a Display impl in its defining file",
+    },
+];
+
+/// Look up a rule's catalog entry.
+pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.name == name)
+}
+
+fn line_applies(scope: Scope, kind: FileKind, in_test: bool) -> bool {
+    match scope {
+        Scope::LibOnly => kind == FileKind::Lib && !in_test,
+        Scope::NonTest => kind != FileKind::Test && !in_test,
+        Scope::All => true,
+    }
+}
+
+fn finding(rule: &'static str, line_no: usize, raw: &str, message: String) -> Finding {
+    let info = rule_info(rule).expect("rule registered in catalog");
+    Finding {
+        rule,
+        severity: info.severity,
+        line: line_no + 1,
+        message,
+        excerpt: raw.trim().to_string(),
+        allowed: false,
+    }
+}
+
+/// Run every rule over a preprocessed file.
+pub fn run_all(src: &Source, kind: FileKind, path: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    map_iter_order(src, kind, &mut out);
+    nondet_source(src, kind, &mut out);
+    panic_in_lib(src, kind, &mut out);
+    slice_index(src, kind, path, &mut out);
+    static_mut(src, &mut out);
+    unsafe_no_safety(src, &mut out);
+    nested_locks(src, kind, &mut out);
+    missing_debug(src, kind, &mut out);
+    error_display(src, kind, &mut out);
+    out.sort_by_key(|f| (f.line, f.rule));
+    out
+}
+
+// ---------------------------------------------------------------- determinism
+
+/// Methods whose results surface iteration order.
+const ITER_METHODS: &[&str] = &[
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".iter()",
+    ".iter_mut()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Markers within the statement window that make surfaced order harmless:
+/// an explicit sort, an order-insensitive reduction, or collection back into
+/// an unordered/ordered-by-key container.
+const ORDER_SAFE: &[&str] = &[
+    "sort",
+    ".sum()",
+    ".sum::<",
+    ".count()",
+    ".max",
+    ".min",
+    ".any(",
+    ".all(",
+    ".fold(",
+    ".contains",
+    ".len()",
+    "BTreeMap",
+    "BTreeSet",
+    "HashMap",
+    "HashSet",
+    "noisy_or",
+];
+
+/// Lines to look ahead for an ORDER_SAFE marker (the rest of the statement
+/// plus an immediately following `out.sort…` statement).
+const ORDER_WINDOW: usize = 5;
+
+fn collect_map_idents(src: &Source) -> Vec<String> {
+    let mut idents: Vec<String> = Vec::new();
+    for line in &src.lines {
+        let code = &line.code;
+        for ty in ["HashMap", "HashSet"] {
+            for pos in find_words(code, ty) {
+                if let Some(name) = binding_ident(code, pos) {
+                    if !idents.iter().any(|i| i == &name) {
+                        idents.push(name);
+                    }
+                }
+            }
+        }
+    }
+    idents
+}
+
+/// The identifier a `HashMap`/`HashSet` occurrence is bound to, if the
+/// occurrence is a declaration site (`name: HashMap<…>`, `let name =
+/// HashMap::new()`, `let name = …collect::<HashMap<…>>()`).
+fn binding_ident(code: &str, pos: usize) -> Option<String> {
+    let before = code[..pos].trim_end();
+    // `let name = HashMap::new()` / `name: HashMap<...>` / `name: &mut HashMap<...>`
+    let before = before
+        .strip_suffix("&mut")
+        .or_else(|| before.strip_suffix('&'))
+        .unwrap_or(before)
+        .trim_end();
+    if let Some(prefix) = before
+        .strip_suffix(':')
+        .or_else(|| before.strip_suffix('='))
+    {
+        let prefix = prefix.trim_end();
+        let name = ident_before(prefix, prefix.len())?;
+        if name == "mut" || name == "static" || name == "const" {
+            return None;
+        }
+        return Some(name.to_string());
+    }
+    // `….collect::<HashMap<…>>()` bound by a `let name =` earlier on the line.
+    if before.ends_with("::<") {
+        let let_pos = code.find("let ")?;
+        let rest = &code[let_pos + 4..];
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let end = rest
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(rest.len());
+        if end > 0 {
+            return Some(rest[..end].to_string());
+        }
+    }
+    None
+}
+
+fn map_iter_order(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
+    let idents = collect_map_idents(src);
+    if idents.is_empty() {
+        return;
+    }
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line_applies(Scope::NonTest, kind, line.in_test) {
+            continue;
+        }
+        let code = &line.code;
+        let mut hit: Option<&str> = None;
+        for m in ITER_METHODS {
+            let mut start = 0;
+            while let Some(rel) = code[start..].find(m) {
+                let pos = start + rel;
+                if let Some(recv) = ident_before(code, pos) {
+                    if idents.iter().any(|i| i == recv) {
+                        hit = Some(recv);
+                    }
+                }
+                start = pos + m.len();
+            }
+        }
+        // `for x in &map {` / `for x in map {` without an iterator method.
+        if hit.is_none() {
+            if let Some(in_pos) = code.find(" in ") {
+                let rest = code[in_pos + 4..].trim_start();
+                let rest = rest
+                    .strip_prefix("&mut ")
+                    .or_else(|| rest.strip_prefix('&'))
+                    .unwrap_or(rest);
+                let end = rest
+                    .find(|c: char| !c.is_alphanumeric() && c != '_')
+                    .unwrap_or(rest.len());
+                let name = &rest[..end];
+                let after = rest[end..].trim_start();
+                if after.is_empty() || after.starts_with('{') {
+                    hit = idents.iter().find(|i| *i == name).map(String::as_str);
+                }
+            }
+        }
+        let Some(recv) = hit else { continue };
+        // The statement may begin above (e.g. `let out: HashMap<…> =` on the
+        // previous line): extend the window back over continuation lines —
+        // preceding lines that do not terminate a statement or open a block.
+        let mut start = i;
+        while start > 0 && i - start < 3 {
+            let prev = src.lines[start - 1].code.trim_end();
+            if prev.is_empty() || prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}')
+            {
+                break;
+            }
+            start -= 1;
+        }
+        let window: String = src.lines[start..(i + ORDER_WINDOW).min(src.lines.len())]
+            .iter()
+            .map(|l| l.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        if ORDER_SAFE.iter().any(|s| window.contains(s)) {
+            continue;
+        }
+        // A sort on the binding just above the loop (`v.sort(); for x in v`)
+        // fixes the order before it is consumed.
+        let sorted_above = src.lines[i.saturating_sub(3)..i]
+            .iter()
+            .any(|l| l.code.contains("sort"));
+        if sorted_above {
+            continue;
+        }
+        out.push(finding(
+            "map-iter-order",
+            i,
+            &line.raw,
+            format!(
+                "iteration over hash container `{recv}` surfaces nondeterministic order \
+                 (no sort or order-insensitive reduction nearby); collect and sort, or use a BTreeMap"
+            ),
+        ));
+    }
+}
+
+fn nondet_source(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
+    const SOURCES: &[(&str, &str)] = &[
+        ("thread_rng", "unseeded RNG"),
+        ("from_entropy", "entropy-seeded RNG"),
+        ("SystemTime::now", "wall-clock time"),
+        ("rand::random", "unseeded RNG"),
+    ];
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line_applies(Scope::NonTest, kind, line.in_test) {
+            continue;
+        }
+        for (tok, what) in SOURCES {
+            if !find_words(&line.code, tok).is_empty() {
+                out.push(finding(
+                    "nondet-source",
+                    i,
+                    &line.raw,
+                    format!(
+                        "{what} (`{tok}`) breaks reproducibility; thread a seeded StdRng through instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn panic_in_lib(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
+    const PANICS: &[(&str, &str)] = &[
+        (".unwrap()", "bare unwrap"),
+        ("panic!(", "explicit panic"),
+        ("todo!(", "todo"),
+        ("unimplemented!(", "unimplemented"),
+    ];
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line_applies(Scope::LibOnly, kind, line.in_test) {
+            continue;
+        }
+        for (tok, what) in PANICS {
+            if line.code.contains(tok) {
+                out.push(finding(
+                    "panic-in-lib",
+                    i,
+                    &line.raw,
+                    format!(
+                        "{what} in library code can abort the process on unexpected input; \
+                         handle the None/Err, or use expect(\"invariant: …\") to document why it cannot fire"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn slice_index(src: &Source, kind: FileKind, path: &str, out: &mut Vec<Finding>) {
+    const HOT: &[&str] = &[
+        "crates/index/",
+        "crates/matching/",
+        "crates/serve/",
+        "crates/core/",
+    ];
+    if !HOT.iter().any(|h| path.contains(h)) {
+        return;
+    }
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line_applies(Scope::LibOnly, kind, line.in_test) {
+            continue;
+        }
+        let code = &line.code;
+        let mut reported = false;
+        for (pos, c) in code.char_indices() {
+            if c != '[' || reported {
+                continue;
+            }
+            let Some(recv) = ident_before(code, pos) else {
+                continue;
+            };
+            // `vec![…]`, attribute `#[…]`, and type syntax have no ident or a
+            // `!`/`#` before the bracket; closing `]` immediately after is a
+            // type like `[u8]`.
+            if recv.is_empty() || code[pos..].starts_with("[]") {
+                continue;
+            }
+            out.push(finding(
+                "slice-index",
+                i,
+                &line.raw,
+                format!(
+                    "direct indexing of `{recv}` in a hot-path crate panics on out-of-range; \
+                     prefer get()/get_mut() unless the bound is locally checked"
+                ),
+            ));
+            reported = true;
+        }
+    }
+}
+
+fn static_mut(src: &Source, out: &mut Vec<Finding>) {
+    for (i, line) in src.lines.iter().enumerate() {
+        if line.code.contains("static mut ") {
+            out.push(finding(
+                "static-mut",
+                i,
+                &line.raw,
+                "static mut is a data race waiting to happen; use atomics, OnceLock, or Mutex"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn unsafe_no_safety(src: &Source, out: &mut Vec<Finding>) {
+    for (i, line) in src.lines.iter().enumerate() {
+        let positions = find_words(&line.code, "unsafe");
+        if positions.is_empty() {
+            continue;
+        }
+        let documented =
+            (i.saturating_sub(3)..=i).any(|j| src.lines[j].comment.contains("SAFETY:"));
+        if !documented {
+            out.push(finding(
+                "unsafe-no-safety",
+                i,
+                &line.raw,
+                "unsafe without a `// SAFETY:` comment stating the invariant that makes it sound"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+fn nested_locks(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
+    const ACQUIRE: &[&str] = &[".lock()", ".read()", ".write()"];
+    // (guard ident, depth at binding line): live until depth drops below.
+    let mut live: Vec<(String, u32)> = Vec::new();
+    for (i, line) in src.lines.iter().enumerate() {
+        live.retain(|(_, d)| line.depth >= *d);
+        if !line_applies(Scope::NonTest, kind, line.in_test) {
+            continue;
+        }
+        let code = &line.code;
+        // Explicit drop ends a guard's life early.
+        for (name, _) in live.clone() {
+            if code.contains(&format!("drop({name})")) {
+                live.retain(|(n, _)| n != &name);
+            }
+        }
+        let acquires_here = ACQUIRE.iter().any(|a| code.contains(a));
+        if acquires_here && !live.is_empty() {
+            let holders: Vec<&str> = live.iter().map(|(n, _)| n.as_str()).collect();
+            out.push(finding(
+                "nested-locks",
+                i,
+                &line.raw,
+                format!(
+                    "lock acquired while guard(s) [{}] are still live; drop the guard first \
+                     (lock-ordering deadlocks and surprise contention)",
+                    holders.join(", ")
+                ),
+            ));
+        }
+        // New guard binding: `let [mut] name = ….lock()/.read()/.write()…;`
+        if acquires_here {
+            let trimmed = code.trim_start();
+            if let Some(rest) = trimmed.strip_prefix("let ") {
+                let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+                let end = rest
+                    .find(|c: char| !c.is_alphanumeric() && c != '_')
+                    .unwrap_or(rest.len());
+                if end > 0 && rest[end..].trim_start().starts_with('=') {
+                    live.push((rest[..end].to_string(), line.depth));
+                }
+            }
+        }
+    }
+}
+
+fn missing_debug(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line_applies(Scope::LibOnly, kind, line.in_test) {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(name) = ["pub struct ", "pub enum "]
+            .iter()
+            .find_map(|kw| trimmed.strip_prefix(kw))
+        else {
+            continue;
+        };
+        // Only top-level-ish declarations (not strings already; depth 0 for
+        // items, >0 inside `mod` blocks is fine too — accept any).
+        let end = name
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(name.len());
+        let name = &name[..end];
+        if name.is_empty() {
+            continue;
+        }
+        let attrs = attribute_block_above(src, i);
+        let has_derive_debug = attrs.contains("derive") && !find_words(&attrs, "Debug").is_empty();
+        let has_manual = src
+            .lines
+            .iter()
+            .any(|l| l.code.contains(&format!("Debug for {name}")));
+        if !has_derive_debug && !has_manual {
+            out.push(finding(
+                "missing-debug",
+                i,
+                &line.raw,
+                format!(
+                    "public type `{name}` has no Debug derive or impl; callers cannot log or assert on it"
+                ),
+            ));
+        }
+    }
+}
+
+/// Join the contiguous attribute/doc-comment block directly above line `i`
+/// (handles multi-line `#[derive(…)]` lists).
+fn attribute_block_above(src: &Source, i: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for j in (i.saturating_sub(14)..i).rev() {
+        let code = src.lines[j].code.trim();
+        let is_comment_only = code.is_empty();
+        let is_attr = code.starts_with("#[") || code.starts_with("#!");
+        // Continuation lines inside a multi-line attribute: idents, commas,
+        // parens, brackets only.
+        let is_continuation = !code.is_empty()
+            && code
+                .chars()
+                .all(|c| c.is_alphanumeric() || "_,()[]<>= \t\"".contains(c));
+        if is_comment_only || is_attr || is_continuation {
+            parts.push(code);
+        } else {
+            break;
+        }
+    }
+    parts.reverse();
+    parts.join("\n")
+}
+
+fn error_display(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line_applies(Scope::LibOnly, kind, line.in_test) {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(rest) = trimmed.strip_prefix("pub enum ") else {
+            continue;
+        };
+        let end = rest
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(rest.len());
+        let name = &rest[..end];
+        if !name.ends_with("Error") {
+            continue;
+        }
+        let has_display = src
+            .lines
+            .iter()
+            .any(|l| l.code.contains(&format!("Display for {name}")));
+        if !has_display {
+            out.push(finding(
+                "error-display",
+                i,
+                &line.raw,
+                format!(
+                    "error enum `{name}` has no Display impl; errors must render for operators and logs"
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,386 @@
+//! Source preprocessing: a lexer-lite pass that separates code from comments
+//! and string/char literals, tracks brace depth, and marks `#[cfg(test)]`
+//! regions, so the rules operate on *code* text only and never fire on
+//! examples inside doc comments or string payloads.
+//!
+//! This is deliberately not a full Rust parser (`syn` would drag a heavy
+//! dependency into the one crate that must always build): it is a precise
+//! character-level scanner for the token classes the rules care about.
+
+/// One preprocessed source line.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Original text (for diagnostics).
+    pub raw: String,
+    /// Code with comments removed and string/char literal *contents* blanked
+    /// to spaces (delimiters kept, so expression shape survives).
+    pub code: String,
+    /// Concatenated comment text on this line (pragmas, `SAFETY:` markers).
+    pub comment: String,
+    /// Brace depth at the start of the line.
+    pub depth: u32,
+    /// True if the line is inside a `#[cfg(test)]` item.
+    pub in_test: bool,
+}
+
+/// A preprocessed source file.
+#[derive(Debug, Clone)]
+pub struct Source {
+    /// The lines, 0-indexed (diagnostics add 1).
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+impl Source {
+    /// Preprocess a source text.
+    pub fn parse(text: &str) -> Source {
+        let mut lines: Vec<Line> = Vec::new();
+        let mut mode = Mode::Code;
+        let mut depth: u32 = 0;
+        // Stack of depths at which a `#[cfg(test)]` item's block opened.
+        let mut test_depths: Vec<u32> = Vec::new();
+        // A `#[cfg(test)]` attribute was seen; the next opened block is test.
+        let mut pending_test = false;
+
+        for raw in text.split('\n') {
+            let depth_at_start = depth;
+            let in_test_at_start = !test_depths.is_empty();
+            let mut code = String::with_capacity(raw.len());
+            let mut comment = String::new();
+            let chars: Vec<char> = raw.chars().collect();
+            let mut i = 0usize;
+            // Line comments never span lines.
+            if mode == Mode::LineComment {
+                mode = Mode::Code;
+            }
+            while i < chars.len() {
+                let c = chars[i];
+                let next = chars.get(i + 1).copied();
+                match mode {
+                    Mode::Code => match c {
+                        '/' if next == Some('/') => {
+                            mode = Mode::LineComment;
+                            comment.push_str(&raw[byte_at(raw, i)..]);
+                            break;
+                        }
+                        '/' if next == Some('*') => {
+                            mode = Mode::BlockComment(1);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            mode = Mode::Str;
+                            code.push('"');
+                        }
+                        'r' | 'b' if is_raw_string_start(&chars, i) => {
+                            let hashes = count_hashes(&chars, i);
+                            mode = Mode::RawStr(hashes);
+                            // Skip prefix + hashes + opening quote.
+                            let mut skip = 1 + hashes as usize;
+                            if c == 'b' && chars.get(i + 1) == Some(&'r') {
+                                skip += 1;
+                            }
+                            for _ in 0..=skip.min(chars.len() - i - 1) {
+                                code.push(' ');
+                            }
+                            i += skip; // the loop's i += 1 consumes the quote
+                        }
+                        '\'' => {
+                            // Char literal vs lifetime: a literal closes with
+                            // a quote shortly after; a lifetime does not.
+                            if is_char_literal(&chars, i) {
+                                mode = Mode::Char;
+                                code.push('\'');
+                            } else {
+                                code.push('\'');
+                            }
+                        }
+                        '{' => {
+                            depth += 1;
+                            if pending_test {
+                                test_depths.push(depth);
+                                pending_test = false;
+                            }
+                            code.push(c);
+                        }
+                        '}' => {
+                            if test_depths.last() == Some(&depth) {
+                                test_depths.pop();
+                            }
+                            depth = depth.saturating_sub(1);
+                            code.push(c);
+                        }
+                        _ => code.push(c),
+                    },
+                    Mode::LineComment => unreachable!("handled above"),
+                    Mode::BlockComment(n) => {
+                        if c == '*' && next == Some('/') {
+                            mode = if n == 1 {
+                                Mode::Code
+                            } else {
+                                Mode::BlockComment(n - 1)
+                            };
+                            comment.push_str(" */");
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        } else if c == '/' && next == Some('*') {
+                            mode = Mode::BlockComment(n + 1);
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        comment.push(c);
+                        code.push(' ');
+                    }
+                    Mode::Str => match c {
+                        '\\' => {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        '"' => {
+                            mode = Mode::Code;
+                            code.push('"');
+                        }
+                        _ => code.push(' '),
+                    },
+                    Mode::RawStr(hashes) => {
+                        if c == '"' && closes_raw(&chars, i, hashes) {
+                            mode = Mode::Code;
+                            for _ in 0..=hashes as usize {
+                                code.push(' ');
+                            }
+                            i += hashes as usize;
+                        } else {
+                            code.push(' ');
+                        }
+                    }
+                    Mode::Char => match c {
+                        '\\' => {
+                            code.push(' ');
+                            code.push(' ');
+                            i += 2;
+                            continue;
+                        }
+                        '\'' => {
+                            mode = Mode::Code;
+                            code.push('\'');
+                        }
+                        _ => code.push(' '),
+                    },
+                }
+                i += 1;
+            }
+            // Unterminated string modes do not survive a newline in valid
+            // code unless the string itself spans lines — keep mode as-is
+            // (multi-line strings stay blanked).
+            if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+                pending_test = true;
+            }
+            lines.push(Line {
+                raw: raw.to_string(),
+                code,
+                comment,
+                depth: depth_at_start,
+                in_test: in_test_at_start || !test_depths.is_empty() || pending_test,
+            });
+        }
+        Source { lines }
+    }
+}
+
+fn byte_at(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+/// `r"`, `r#"`, `br"`, `br#"` … — but not plain identifiers ending in r/b.
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // The r/b must not be part of a longer identifier.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        if chars.get(j) != Some(&'r') {
+            return false;
+        }
+        j += 1;
+    }
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+fn count_hashes(chars: &[char], i: usize) -> u32 {
+    let mut j = i + 1;
+    if chars[i] == 'b' {
+        j += 1;
+    }
+    let mut n = 0;
+    while chars.get(j) == Some(&'#') {
+        n += 1;
+        j += 1;
+    }
+    n
+}
+
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime): a literal
+/// has a closing quote within a short window; `'` followed by `\` is always
+/// a literal.
+fn is_char_literal(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+/// True if `code[pos..]` starts a standalone word match of `word` (previous
+/// and following chars are not identifier chars).
+pub fn word_at(code: &str, pos: usize, word: &str) -> bool {
+    if !code[pos..].starts_with(word) {
+        return false;
+    }
+    let before_ok = pos == 0
+        || code[..pos]
+            .chars()
+            .next_back()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    let after = code[pos + word.len()..].chars().next();
+    let after_ok = after.is_none_or(|c| !c.is_alphanumeric() && c != '_');
+    before_ok && after_ok
+}
+
+/// All standalone-word occurrences of `word` in `code`.
+pub fn find_words(code: &str, word: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(rel) = code[start..].find(word) {
+        let pos = start + rel;
+        if word_at(code, pos, word) {
+            out.push(pos);
+        }
+        start = pos + word.len();
+    }
+    out
+}
+
+/// The identifier ending immediately before byte `pos` in `code` (for
+/// receiver extraction: `self.by_doc.keys()` with pos at `.keys` → `by_doc`).
+pub fn ident_before(code: &str, pos: usize) -> Option<&str> {
+    let bytes = code.as_bytes();
+    if pos == 0 {
+        return None;
+    }
+    let mut start = pos;
+    while start > 0 {
+        let c = bytes[start - 1] as char;
+        if c.is_alphanumeric() || c == '_' {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    if start == pos {
+        return None;
+    }
+    // Reject numeric literals.
+    if (bytes[start] as char).is_ascii_digit() {
+        return None;
+    }
+    Some(&code[start..pos])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_blanked() {
+        let src = Source::parse(
+            "let x = \"HashMap::new()\"; // thread_rng in comment\nlet y = 1; /* unwrap() */ let z = 2;",
+        );
+        assert!(!src.lines[0].code.contains("HashMap"));
+        assert!(!src.lines[0].code.contains("thread_rng"));
+        assert!(src.lines[0].comment.contains("thread_rng"));
+        assert!(!src.lines[1].code.contains("unwrap"));
+        assert!(src.lines[1].code.contains("let z = 2;"));
+    }
+
+    #[test]
+    fn raw_strings_blanked() {
+        let src = Source::parse("let q = r#\"a \"quoted\" unwrap()\"#; let w = 3;");
+        assert!(!src.lines[0].code.contains("unwrap"));
+        assert!(src.lines[0].code.contains("let w = 3;"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let src = Source::parse("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert!(src.lines[0].code.contains("&'a str"));
+        assert!(!src.lines[0].code.contains("'x'") || src.lines[0].code.contains("' '"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracked() {
+        let src = Source::parse(
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn lib2() {}\n",
+        );
+        assert!(!src.lines[0].in_test);
+        assert!(src.lines[3].in_test);
+        assert!(!src.lines[5].in_test, "region must close");
+    }
+
+    #[test]
+    fn depth_tracked() {
+        let src = Source::parse("fn f() {\n    if x {\n        y();\n    }\n}\n");
+        assert_eq!(src.lines[0].depth, 0);
+        assert_eq!(src.lines[2].depth, 2);
+        assert_eq!(src.lines[4].depth, 1);
+    }
+
+    #[test]
+    fn word_helpers() {
+        assert!(word_at("unsafe {", 0, "unsafe"));
+        assert!(!word_at("unsafe_code", 0, "unsafe"));
+        assert_eq!(
+            find_words("a unsafe b unsafe_code unsafe", "unsafe").len(),
+            2
+        );
+        assert_eq!(ident_before("self.by_doc.keys", 11), Some("by_doc"));
+        assert_eq!(ident_before(".keys", 0), None);
+    }
+
+    #[test]
+    fn multiline_string_stays_blanked() {
+        let src = Source::parse("let s = \"line one\nunwrap() still string\";\nlet t = 1;");
+        assert!(!src.lines[1].code.contains("unwrap"));
+        assert!(src.lines[2].code.contains("let t = 1;"));
+    }
+}

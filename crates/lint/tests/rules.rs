@@ -1,0 +1,415 @@
+//! Fixture tests: every rule has a firing and a non-firing fixture, plus
+//! pragma-suppression and false-positive guards (BTreeMap, sorted collects).
+//!
+//! Fixtures live in string literals; when woc-lint scans *this* file the
+//! scanner blanks string contents, so the deliberate violations below never
+//! leak into the workspace lint run.
+
+use woc_lint::{lint_source, tally, Finding, Severity};
+
+const LIB: &str = "crates/demo/src/lib.rs";
+const HOT: &str = "crates/index/src/demo.rs";
+const BIN: &str = "crates/demo/src/bin/tool.rs";
+const TEST: &str = "crates/demo/tests/it.rs";
+
+/// Unallowed findings for `rule`.
+fn fired(findings: &[Finding], rule: &str) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.allowed)
+        .count()
+}
+
+fn allowed(findings: &[Finding], rule: &str) -> usize {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.allowed)
+        .count()
+}
+
+// ---------------------------------------------------------------- map-iter-order
+
+#[test]
+fn map_iter_order_fires_on_unordered_push() {
+    let src = "use std::collections::HashMap;\n\
+               fn f(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                   let mut out = Vec::new();\n\
+                   for k in m.keys() {\n\
+                       out.push(k.clone());\n\
+                   }\n\
+                   out\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "map-iter-order"), 1, "{f:#?}");
+    assert_eq!(
+        f.iter().find(|x| x.rule == "map-iter-order").unwrap().line,
+        4
+    );
+}
+
+#[test]
+fn map_iter_order_quiet_when_sorted() {
+    let src = "use std::collections::HashMap;\n\
+               fn g(m: &HashMap<String, u32>) -> Vec<String> {\n\
+                   let mut out: Vec<String> = m.keys().cloned().collect();\n\
+                   out.sort();\n\
+                   out\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "map-iter-order"), 0);
+}
+
+#[test]
+fn map_iter_order_quiet_on_btreemap() {
+    let src = "use std::collections::BTreeMap;\n\
+               fn h(m: &BTreeMap<String, u32>) -> Vec<String> {\n\
+                   let mut out = Vec::new();\n\
+                   for k in m.keys() { out.push(k.clone()); }\n\
+                   out\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "map-iter-order"), 0);
+}
+
+#[test]
+fn map_iter_order_quiet_on_order_insensitive_reduction() {
+    let src = "use std::collections::HashMap;\n\
+               fn total(m: &HashMap<String, u32>) -> u32 {\n\
+                   m.values().sum()\n\
+               }\n\
+               fn biggest(m: &HashMap<String, u32>) -> u32 {\n\
+                   m.values().copied().max().unwrap_or(0)\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "map-iter-order"), 0);
+}
+
+#[test]
+fn map_iter_order_quiet_when_recollected_into_map() {
+    let src = "use std::collections::HashMap;\n\
+               fn inv(m: &HashMap<String, u32>) -> HashMap<u32, String> {\n\
+                   let out: HashMap<u32, String> =\n\
+                       m.iter().map(|(k, v)| (*v, k.clone())).collect();\n\
+                   out\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "map-iter-order"), 0);
+}
+
+#[test]
+fn map_iter_order_quiet_when_sorted_above_loop() {
+    // The index digest pattern: field `terms` is a HashMap, the local `terms`
+    // is a Vec sorted right before the loop.
+    let src = "pub struct S { terms: HashMap<String, u32> }\n\
+               impl S {\n\
+                   fn digest(&self) -> Vec<String> {\n\
+                       let mut terms: Vec<&String> = self.terms.keys().collect();\n\
+                       terms.sort_unstable();\n\
+                       let mut out = Vec::new();\n\
+                       for t in terms { out.push(t.clone()); }\n\
+                       out\n\
+                   }\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "map-iter-order"), 0, "{f:#?}");
+}
+
+#[test]
+fn map_iter_order_skips_tests() {
+    let src = "use std::collections::HashMap;\n\
+               fn mk() -> HashMap<String, u32> { HashMap::new() }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   #[test]\n\
+                   fn t() {\n\
+                       let m = super::mk();\n\
+                       for k in m.keys() { println(k); }\n\
+                   }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "map-iter-order"), 0);
+}
+
+// ---------------------------------------------------------------- nondet-source
+
+#[test]
+fn nondet_source_fires_on_thread_rng_and_wall_clock() {
+    let src = "fn f() -> u64 {\n\
+                   let mut r = thread_rng();\n\
+                   let t = SystemTime::now();\n\
+                   r.gen()\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "nondet-source"), 2, "{f:#?}");
+}
+
+#[test]
+fn nondet_source_quiet_on_seeded_rng_and_in_tests() {
+    let seeded = "fn f(seed: u64) -> StdRng { StdRng::seed_from_u64(seed) }\n";
+    assert_eq!(fired(&lint_source(LIB, seeded), "nondet-source"), 0);
+    let in_test = "fn t() { let r = thread_rng(); }\n";
+    assert_eq!(fired(&lint_source(TEST, in_test), "nondet-source"), 0);
+}
+
+// ---------------------------------------------------------------- panic-in-lib
+
+#[test]
+fn panic_in_lib_fires_on_bare_unwrap_and_panic() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+                   if v.is_empty() { panic!(\"empty\"); }\n\
+                   *v.first().unwrap()\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "panic-in-lib"), 2, "{f:#?}");
+}
+
+#[test]
+fn panic_in_lib_admits_expect_with_message() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+                   *v.first().expect(\"invariant: caller checked non-empty\")\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "panic-in-lib"), 0);
+}
+
+#[test]
+fn panic_in_lib_skips_bins_tests_and_cfg_test() {
+    let src = "pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n";
+    assert_eq!(fired(&lint_source(BIN, src), "panic-in-lib"), 0);
+    assert_eq!(fired(&lint_source(TEST, src), "panic-in-lib"), 0);
+    let cfg = "pub fn ok() {}\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+                   fn t(v: &[u32]) -> u32 { *v.first().unwrap() }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, cfg), "panic-in-lib"), 0);
+}
+
+#[test]
+fn panic_in_lib_ignores_strings_and_comments() {
+    let src = "pub fn f() -> &'static str {\n\
+                   // calling unwrap() here would be wrong\n\
+                   \"contains .unwrap() and panic!( text\"\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "panic-in-lib"), 0);
+}
+
+// ---------------------------------------------------------------- slice-index
+
+#[test]
+fn slice_index_warns_only_in_hot_crates() {
+    let src = "pub fn f(v: &[u32], i: usize) -> u32 { v[i] }\n";
+    let hot = lint_source(HOT, src);
+    assert_eq!(fired(&hot, "slice-index"), 1, "{hot:#?}");
+    assert!(hot
+        .iter()
+        .all(|x| x.rule != "slice-index" || x.severity == Severity::Warn));
+    assert_eq!(fired(&lint_source(LIB, src), "slice-index"), 0);
+}
+
+#[test]
+fn slice_index_quiet_on_macros_attrs_and_types() {
+    let src = "#[derive(Clone)]\n\
+               pub struct W { buf: Vec<u8> }\n\
+               pub fn f() -> Vec<u32> { vec![1, 2, 3] }\n\
+               pub fn g(x: &[u8]) -> usize { x.len() }\n";
+    let f = lint_source(HOT, src);
+    assert_eq!(fired(&f, "slice-index"), 0, "{f:#?}");
+}
+
+// ---------------------------------------------------------------- static-mut
+
+#[test]
+fn static_mut_fires_everywhere_even_tests() {
+    let src = "static mut COUNTER: u32 = 0;\n";
+    assert_eq!(fired(&lint_source(LIB, src), "static-mut"), 1);
+    assert_eq!(fired(&lint_source(TEST, src), "static-mut"), 1);
+    let ok = "static COUNTER: AtomicU32 = AtomicU32::new(0);\n";
+    assert_eq!(fired(&lint_source(LIB, ok), "static-mut"), 0);
+}
+
+// ---------------------------------------------------------------- unsafe-no-safety
+
+#[test]
+fn unsafe_without_safety_comment_fires() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "unsafe-no-safety"), 1);
+}
+
+#[test]
+fn unsafe_with_safety_comment_is_quiet() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n\
+                   // SAFETY: p is non-null and aligned by the caller contract.\n\
+                   unsafe { *p }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "unsafe-no-safety"), 0);
+}
+
+#[test]
+fn unsafe_in_identifier_is_not_a_match() {
+    let src = "#![forbid(unsafe_code)]\npub fn unsafe_free() {}\n";
+    assert_eq!(fired(&lint_source(LIB, src), "unsafe-no-safety"), 0);
+}
+
+// ---------------------------------------------------------------- nested-locks
+
+#[test]
+fn nested_locks_fires_on_second_acquisition() {
+    let src = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                   let g1 = a.lock();\n\
+                   let g2 = b.lock();\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "nested-locks"), 1, "{f:#?}");
+    assert_eq!(f.iter().find(|x| x.rule == "nested-locks").unwrap().line, 3);
+}
+
+#[test]
+fn nested_locks_quiet_after_explicit_drop() {
+    let src = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                   let g1 = a.lock();\n\
+                   drop(g1);\n\
+                   let g2 = b.lock();\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "nested-locks"), 0);
+}
+
+#[test]
+fn nested_locks_quiet_when_scope_closed() {
+    let src = "fn f(a: &Mutex<u32>, b: &Mutex<u32>) {\n\
+                   {\n\
+                       let g1 = a.lock();\n\
+                   }\n\
+                   let g2 = b.lock();\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "nested-locks"), 0);
+}
+
+#[test]
+fn nested_locks_ignores_closure_style_read() {
+    // ConcurrentStore-style `.read(|s| …)` is not a guard acquisition.
+    let src = "fn f(store: &ConcurrentStore, m: &Mutex<u32>) -> usize {\n\
+                   let g = m.lock();\n\
+                   store.read(|s| s.len())\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "nested-locks"), 0);
+}
+
+// ---------------------------------------------------------------- missing-debug
+
+#[test]
+fn missing_debug_fires_without_derive() {
+    let src = "pub struct Point {\n    pub x: u32,\n}\n";
+    assert_eq!(fired(&lint_source(LIB, src), "missing-debug"), 1);
+}
+
+#[test]
+fn missing_debug_quiet_with_derive_or_manual_impl() {
+    let derived = "#[derive(Debug, Clone)]\npub struct Point {\n    pub x: u32,\n}\n";
+    assert_eq!(fired(&lint_source(LIB, derived), "missing-debug"), 0);
+    let manual = "pub struct Point {\n    pub x: u32,\n}\n\
+                  impl fmt::Debug for Point {\n\
+                      fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result { Ok(()) }\n\
+                  }\n";
+    assert_eq!(fired(&lint_source(LIB, manual), "missing-debug"), 0);
+}
+
+#[test]
+fn missing_debug_handles_multiline_derive() {
+    let src = "#[derive(\n    Debug,\n    Clone,\n)]\npub struct Point {\n    pub x: u32,\n}\n";
+    assert_eq!(fired(&lint_source(LIB, src), "missing-debug"), 0);
+}
+
+// ---------------------------------------------------------------- error-display
+
+#[test]
+fn error_display_fires_without_display_impl() {
+    let src = "#[derive(Debug)]\npub enum ParseError {\n    Bad,\n}\n";
+    assert_eq!(fired(&lint_source(LIB, src), "error-display"), 1);
+}
+
+#[test]
+fn error_display_quiet_with_display_impl() {
+    let src = "#[derive(Debug)]\npub enum ParseError {\n    Bad,\n}\n\
+               impl fmt::Display for ParseError {\n\
+                   fn fmt(&self, f: &mut fmt::Formatter) -> fmt::Result { Ok(()) }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "error-display"), 0);
+}
+
+#[test]
+fn error_display_only_cares_about_error_enums() {
+    let src = "#[derive(Debug)]\npub enum Mode {\n    Fast,\n}\n";
+    assert_eq!(fired(&lint_source(LIB, src), "error-display"), 0);
+}
+
+// ---------------------------------------------------------------- pragmas
+
+#[test]
+fn trailing_pragma_suppresses_own_line() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+                   *v.first().unwrap() // woc-lint: allow(panic-in-lib) — len checked by caller\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "panic-in-lib"), 0);
+    assert_eq!(allowed(&f, "panic-in-lib"), 1);
+}
+
+#[test]
+fn preceding_line_pragma_suppresses_next_code_line() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+                   // woc-lint: allow(panic-in-lib) — len checked by caller\n\
+                   *v.first().unwrap()\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "panic-in-lib"), 0);
+    assert_eq!(allowed(&f, "panic-in-lib"), 1);
+}
+
+#[test]
+fn allow_file_pragma_suppresses_file_wide() {
+    let src = "// woc-lint: allow-file(panic-in-lib) — demo fixture\n\
+               pub fn f(v: &[u32]) -> u32 { *v.first().unwrap() }\n\
+               pub fn g(v: &[u32]) -> u32 { *v.last().unwrap() }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "panic-in-lib"), 0);
+    assert_eq!(allowed(&f, "panic-in-lib"), 2);
+}
+
+#[test]
+fn pragma_for_other_rule_does_not_suppress() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+                   *v.first().unwrap() // woc-lint: allow(map-iter-order) — wrong rule\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "panic-in-lib"), 1);
+}
+
+#[test]
+fn pragma_line_does_not_leak_past_target() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+                   // woc-lint: allow(panic-in-lib) — first is checked\n\
+                   let a = *v.first().unwrap();\n\
+                   let b = *v.last().unwrap();\n\
+                   a + b\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(
+        fired(&f, "panic-in-lib"),
+        1,
+        "second unwrap must still fire"
+    );
+    assert_eq!(allowed(&f, "panic-in-lib"), 1);
+}
+
+// ---------------------------------------------------------------- tally
+
+#[test]
+fn tally_counts_severities_and_allows() {
+    let src = "pub fn f(v: &[u32]) -> u32 {\n\
+                   *v.first().unwrap()\n\
+               }\n\
+               pub fn g(v: &[u32], i: usize) -> u32 {\n\
+                   v[i] // woc-lint: allow(slice-index) — i < len by construction\n\
+               }\n";
+    let f = lint_source(HOT, src);
+    let t = tally(&f);
+    assert_eq!(t.deny, 1, "{f:#?}");
+    assert_eq!(t.allowed, 1);
+}

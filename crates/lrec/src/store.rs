@@ -118,15 +118,17 @@ impl Store {
         build: impl FnOnce(&mut Lrec),
     ) -> LrecId {
         let id = self.create(concept, tick);
-        // Unwrap is fine: we just created it and it cannot be tombstoned.
-        let mut rec = self.latest(id).unwrap().clone();
+        let mut rec = self
+            .latest(id)
+            .expect("invariant: id was created on the previous line")
+            .clone();
         build(&mut rec);
         self.chains
             .get_mut(&id)
-            .unwrap()
+            .expect("invariant: id was created on the previous line")
             .versions
             .last_mut()
-            .unwrap()
+            .expect("invariant: chains hold at least one version")
             .rec = rec;
         id
     }
@@ -135,9 +137,12 @@ impl Store {
     /// tombstoned records still return their last version (their data was
     /// merged elsewhere but the history remains queryable).
     pub fn latest(&self, id: LrecId) -> Option<&Lrec> {
-        self.chains
-            .get(&id)
-            .map(|c| &c.versions.last().unwrap().rec)
+        self.chains.get(&id).map(|c| {
+            &c.versions
+                .last()
+                .expect("invariant: chains hold at least one version")
+                .rec
+        })
     }
 
     /// Resolve an id through merge tombstones to the surviving record id.
@@ -191,14 +196,23 @@ impl Store {
         if chain.is_tombstoned() {
             return Err(StoreError::Tombstoned(id));
         }
-        let latest_tick = chain.versions.last().unwrap().tick;
+        let latest_tick = chain
+            .versions
+            .last()
+            .expect("invariant: chains hold at least one version")
+            .tick;
         if tick <= latest_tick {
             return Err(StoreError::NonMonotonicTick {
                 latest: latest_tick,
                 got: tick,
             });
         }
-        let mut rec = chain.versions.last().unwrap().rec.clone();
+        let mut rec = chain
+            .versions
+            .last()
+            .expect("invariant: chains hold at least one version")
+            .rec
+            .clone();
         mutate(&mut rec);
         chain.versions.push(Version { tick, rec });
         Ok(())
@@ -215,11 +229,19 @@ impl Store {
             .latest(loser)
             .ok_or(StoreError::NotFound(loser))?
             .clone();
-        if self.chains.get(&loser).unwrap().is_tombstoned() {
+        if self
+            .chains
+            .get(&loser)
+            .expect("invariant: latest(loser) succeeded above")
+            .is_tombstoned()
+        {
             return Err(StoreError::Tombstoned(loser));
         }
         self.update(winner, tick, |w| w.absorb(&loser_rec))?;
-        self.chains.get_mut(&loser).unwrap().merged_into = Some(winner);
+        self.chains
+            .get_mut(&loser)
+            .expect("invariant: latest(loser) succeeded above")
+            .merged_into = Some(winner);
         Ok(())
     }
 

@@ -179,6 +179,7 @@ impl<'a> TfIdf<'a> {
             }
         }
         SparseVector::from_pairs(
+            // woc-lint: allow(map-iter-order) — from_pairs sorts by term id.
             tf.into_iter()
                 .map(|(id, f)| (id, (1.0 + f.ln()) * self.stats.idf(id)))
                 .collect(),

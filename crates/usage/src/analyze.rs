@@ -192,6 +192,15 @@ pub struct TrailClassifier<'a> {
     pub host_of: &'a dyn Fn(&str) -> Option<String>,
 }
 
+impl std::fmt::Debug for TrailClassifier<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrailClassifier")
+            .field("homepages", &self.homepages.len())
+            .field("host_of", &"<fn>")
+            .finish()
+    }
+}
+
 /// E4: "about 42% of the homepage visits are immediately preceded by a
 /// query to a search engine … 11.5% of [next URLs] are the location/address
 /// … 9% menu … 1% coupons … about 10.5% of the user trails contain more
@@ -285,6 +294,8 @@ pub fn event(user: u32, query: &str, clicks: &[&str]) -> SearchEvent {
 pub fn trail(user: u32, urls: &[&str]) -> Trail {
     Trail {
         user,
+        // woc-lint: allow(map-iter-order) — `urls` is the slice parameter (shadows
+        // a map binding elsewhere in this file); slice order is preserved.
         urls: urls.iter().map(|s| s.to_string()).collect(),
     }
 }

@@ -7,6 +7,9 @@
 //! the calibration parameters — they recover the statistics from raw
 //! queries, clicks and trails, exactly like the original study.
 
+// woc-lint: allow-file(panic-in-lib) — log simulator: unwraps are choose() over
+// inventories the caller builds non-empty (guarded at entry).
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};

@@ -6,6 +6,9 @@
 //! order and text — plus an HTML writer and a robust (never-panicking)
 //! parser so pages can round-trip through markup like a real crawl.
 
+// woc-lint: allow-file(panic-in-lib) — parser invariant: roots is seeded with one
+// element before the loop and never drained.
+
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 

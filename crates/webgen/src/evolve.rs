@@ -11,6 +11,9 @@
 //! * [`churn_restaurants`] mutates the ground-truth world (phone/hours
 //!   changes, closures) — the workload of the maintenance experiment S6.
 
+// woc-lint: allow-file(panic-in-lib) — corpus evolution: unwraps are choose() over
+// non-empty pools and child_nodes_mut() on elements built by this module.
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};

@@ -5,6 +5,9 @@
 //! cuisine) so that record↔text matching and semantic linking have real
 //! signal to find, as they would on the web.
 
+// woc-lint: allow-file(panic-in-lib) — prose generator: unwraps are choose() over
+// statically non-empty template pools.
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::Rng;

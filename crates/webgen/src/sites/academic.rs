@@ -2,6 +2,9 @@
 //! venue pages — the "list of publications from a personal homepage" of
 //! paper §4 and the citation-segmentation workload for the sequence labeler.
 
+// woc-lint: allow-file(panic-in-lib) — site generator: unwraps are choose() over
+// statically non-empty pools.
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::Rng;

@@ -2,6 +2,9 @@
 //! for semantic linking ("mining articles to understand references to records
 //! in a web of concepts", §5.4).
 
+// woc-lint: allow-file(panic-in-lib) — site generator: unwraps are choose() over
+// statically non-empty pools.
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::Rng;

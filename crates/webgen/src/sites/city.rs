@@ -8,6 +8,9 @@
 //! — the *relational structure* a per-site classifier can exploit to clean
 //! up the labels of a noisy global classifier.
 
+// woc-lint: allow-file(panic-in-lib) — site generator: unwraps are choose() over
+// statically non-empty pools.
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::Rng;

@@ -2,6 +2,9 @@
 //! pages and category listings (the paper's product/seller/review shopping
 //! domain, plus the §2.3 camera taxonomy examples).
 
+// woc-lint: allow-file(panic-in-lib) — site generator: unwraps are choose() over
+// statically non-empty pools.
+
 use rand::rngs::StdRng;
 use rand::Rng;
 

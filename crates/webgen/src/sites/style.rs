@@ -7,6 +7,9 @@
 //! learned on one site do not transfer verbatim to another, exactly the
 //! situation that motivates domain-centric extraction.
 
+// woc-lint: allow-file(panic-in-lib) — site generator: unwraps are choose() over
+// statically non-empty pools.
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::Rng;

@@ -5,6 +5,10 @@
 //! ground-truth lrecs. Sites (see [`crate::sites`]) render pages *about*
 //! these entities; extraction quality is then measurable against the world.
 
+// woc-lint: allow-file(panic-in-lib) — world generator: unwraps are choose() over
+// statically non-empty gazetteers/pools; a panic here is a broken fixture, not a
+// user-facing failure mode.
+
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{Rng, SeedableRng};
