@@ -9,7 +9,7 @@
 //! static-analysis counterpart, over data, of what `woc-lint` does over
 //! source.
 //!
-//! Every check has a stable code (`W001`…`W010`) so CI logs and dashboards
+//! Every check has a stable code (`W001`…`W011`) so CI logs and dashboards
 //! can track specific regressions:
 //!
 //! | code | name               | invariant |
@@ -24,6 +24,7 @@
 //! | W008 | lineage-acyclic    | lineage inputs precede their node; live records have lineage |
 //! | W009 | merge-canonical    | id resolution is idempotent and lands on live records |
 //! | W010 | doc-tables         | document index, URL and title tables agree in length |
+//! | W011 | tombstone-epoch    | no live association or index posting references a retracted or merged-away record |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -177,6 +178,7 @@ pub fn audit(woc: &WebOfConcepts, cfg: &AuditConfig) -> Audit {
     checks.push(check_lineage(woc, cfg, &live));
     checks.push(check_merge_canonical(woc, cfg));
     checks.push(check_doc_tables(woc, cfg));
+    checks.push(check_tombstones(woc, cfg));
     Audit {
         checks,
         live_records: live.len(),
@@ -526,6 +528,38 @@ fn check_doc_tables(woc: &WebOfConcepts, cfg: &AuditConfig) -> CheckResult {
                 woc.doc_titles.len()
             ),
         );
+    }
+    c
+}
+
+/// W011: tombstone/epoch consistency — incremental maintenance retracts
+/// and merges records, and nothing live may keep pointing at the corpses:
+/// every association endpoint and every indexed record id must resolve to
+/// *itself* (a live, canonical record). A dangling pointer here means a
+/// maintained epoch would serve content that a from-scratch rebuild would
+/// not have.
+fn check_tombstones(woc: &WebOfConcepts, cfg: &AuditConfig) -> CheckResult {
+    let mut c = CheckResult::new("W011", "tombstone-epoch");
+    let flag = |c: &mut CheckResult, what: String, id: LrecId| match woc.store.resolve(id) {
+        Some(canon) if canon == id => {}
+        Some(canon) => c.violation(
+            cfg.max_details,
+            format!("{what} references merged-away record {id} (canonical is {canon})"),
+        ),
+        None => c.violation(
+            cfg.max_details,
+            format!("{what} references a retracted record {id}"),
+        ),
+    };
+    for url in woc.web.documents() {
+        for &(id, kind) in woc.web.records_of(url) {
+            c.checked += 1;
+            flag(&mut c, format!("association {url} –{kind:?}→ {id}"), id);
+        }
+    }
+    for id in woc.record_index.indexed_ids() {
+        c.checked += 1;
+        flag(&mut c, format!("index posting for {id}"), id);
     }
     c
 }

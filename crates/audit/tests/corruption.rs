@@ -71,7 +71,7 @@ fn clean_build_passes_every_check() {
         "clean build must audit clean:\n{}",
         report.render()
     );
-    assert_eq!(report.checks.len(), 10);
+    assert_eq!(report.checks.len(), 11);
     assert!(report.live_records > 0 && report.associations > 0);
     assert!((report.conformance_rate - 1.0).abs() < 1e-9);
 }
@@ -317,6 +317,43 @@ fn w010_truncated_url_table() {
     let mut woc = fresh_web();
     woc.doc_urls.pop().expect("fixture has documents");
     assert_fired(&run(&woc), "W010", "doc_urls");
+}
+
+#[test]
+fn w011_association_to_tombstoned_record() {
+    let mut woc = fresh_web();
+    // A record that the bipartite graph actually points at.
+    let id = woc
+        .store
+        .live_ids()
+        .into_iter()
+        .find(|&id| !woc.web.docs_of(id).is_empty())
+        .expect("fixture has associated records");
+    // Retract it in the store but leave its associations and postings —
+    // exactly the inconsistency a buggy maintenance pass would produce.
+    woc.store.retract(id).expect("retract succeeds");
+    let report = run(&woc);
+    assert_fired(&report, "W011", "retracted");
+    assert_fired(&report, "W011", "association");
+}
+
+#[test]
+fn w011_posting_for_merged_away_record() {
+    let mut woc = fresh_web();
+    // Two live records of the same concept, both indexed.
+    let concept = woc.store.latest(a_live_id(&woc)).expect("live").concept();
+    let ids = woc.store.by_concept(concept);
+    assert!(ids.len() >= 2, "fixture has multiple records per concept");
+    let (survivor, merged) = (ids[0], ids[1]);
+    let tick = next_tick(&woc);
+    // Merge in the store without patching the index or the graph: the
+    // merged-away id still has postings and associations.
+    woc.store
+        .merge(survivor, merged, tick)
+        .expect("merge succeeds on live records");
+    let report = run(&woc);
+    assert_fired(&report, "W011", "merged-away");
+    assert_fired(&report, "W011", &format!("canonical is {survivor}"));
 }
 
 #[test]

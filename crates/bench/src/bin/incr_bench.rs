@@ -1,0 +1,140 @@
+//! Incremental maintenance vs full rebuild: update latency and speedup at
+//! 1%, 10% and 50% world churn, single-threaded, on the full corpus
+//! profile. After every timed pass the maintained web is checked
+//! **outside the timing window** for byte-identity with a from-scratch
+//! rebuild and for a clean integrity audit — speed only counts if the
+//! answer is exactly right.
+//!
+//! Exits non-zero if any equivalence or audit check fails, or if the 1%
+//! churn speedup falls below the 5× acceptance floor (skipped under
+//! `--quick`, whose tiny corpus is too small for stable timing).
+//!
+//! Run: `cargo run -p woc-bench --bin incr_bench --release [-- --quick]`
+
+use std::time::Instant;
+
+use woc_audit::{audit, AuditConfig};
+use woc_bench::{header, metric_row, pct};
+use woc_core::{build, PipelineConfig};
+use woc_incr::{canonical_bytes, IncrEngine};
+use woc_lrec::Tick;
+use woc_webgen::{churn_restaurants, generate_corpus, CorpusConfig, World, WorldConfig};
+
+/// Acceptance floor: incremental maintenance at 1% churn must beat a full
+/// rebuild by at least this factor.
+const MIN_SPEEDUP_AT_1PCT: f64 = 5.0;
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).expect("invariant: timings are finite"));
+    times[times.len() / 2]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (world_cfg, corpus_cfg) = if quick {
+        (WorldConfig::tiny(500), CorpusConfig::tiny(50))
+    } else {
+        (WorldConfig::default(), CorpusConfig::default())
+    };
+    let config = PipelineConfig {
+        threads: 1,
+        ..PipelineConfig::default()
+    };
+
+    header("Incremental maintenance vs full rebuild (single-threaded)");
+    println!(
+        "  {:>6} {:>8} {:>7} {:>12} {:>12} {:>9} {:>11} {:>10}",
+        "churn", "events", "dirty", "incr ms", "rebuild ms", "speedup", "reextract", "rescored"
+    );
+
+    let trials = if quick { 1 } else { 3 };
+    let mut failed = false;
+    let mut speedup_at_1pct = None;
+    for &rate in &[0.01, 0.10, 0.50] {
+        let mut world = World::generate(world_cfg.clone());
+        let corpus_v1 = generate_corpus(&world, &corpus_cfg);
+
+        // Tiny worlds can roll zero events at 1%; retry seeds (a zero-event
+        // churn call leaves the world untouched).
+        let mut seed = 1;
+        let mut events = churn_restaurants(&mut world, rate, Tick(10), seed);
+        while events.is_empty() && seed < 1000 {
+            seed += 1;
+            events = churn_restaurants(&mut world, rate, Tick(10), seed);
+        }
+        let corpus_v2 = generate_corpus(&world, &corpus_cfg);
+
+        // Median over independent trials: each one maintains a freshly
+        // warmed engine, so no trial benefits from a previous one's pass.
+        let mut incr_times = Vec::with_capacity(trials);
+        let mut rebuild_times = Vec::with_capacity(trials);
+        let mut last = None;
+        for _ in 0..trials {
+            let mut engine = IncrEngine::new(&corpus_v1, config.clone());
+            let t = Instant::now();
+            let report = engine.maintain(&corpus_v2);
+            incr_times.push(t.elapsed().as_secs_f64() * 1e3);
+
+            let t = Instant::now();
+            let fresh = build(&corpus_v2, &config);
+            rebuild_times.push(t.elapsed().as_secs_f64() * 1e3);
+
+            // Verification — outside the timing windows.
+            if canonical_bytes(engine.web()) != canonical_bytes(&fresh) {
+                eprintln!("FAIL: maintained web differs from rebuild at churn {rate}");
+                failed = true;
+            }
+            let integrity = audit(engine.web(), &AuditConfig::default());
+            if !integrity.passed() {
+                eprintln!(
+                    "FAIL: audit violations at churn {rate}:\n{}",
+                    integrity.render()
+                );
+                failed = true;
+            }
+            last = Some(report);
+        }
+        let report = last.expect("at least one trial ran");
+        let incr_ms = median(&mut incr_times);
+        let rebuild_ms = median(&mut rebuild_times);
+
+        let speedup = rebuild_ms / incr_ms.max(1e-9);
+        if rate == 0.01 {
+            speedup_at_1pct = Some(speedup);
+        }
+        println!(
+            "  {:>6} {:>8} {:>7} {:>12.1} {:>12.1} {:>8.1}x {:>11} {:>10}",
+            pct(rate),
+            events.len(),
+            report.pages_dirty,
+            incr_ms,
+            rebuild_ms,
+            speedup,
+            report.pages_reextracted,
+            report.pairs_rescored
+        );
+    }
+
+    header("Verdict");
+    metric_row(
+        "equivalence + audit",
+        if failed {
+            "FAILED"
+        } else {
+            "clean at every churn rate"
+        },
+    );
+    if let Some(s) = speedup_at_1pct {
+        metric_row(
+            "speedup @ 1% churn",
+            format!("{s:.1}x (floor {MIN_SPEEDUP_AT_1PCT}x)"),
+        );
+        if !quick && s < MIN_SPEEDUP_AT_1PCT {
+            eprintln!("FAIL: speedup {s:.1}x below the {MIN_SPEEDUP_AT_1PCT}x floor");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -92,6 +92,24 @@ impl ConceptWeb {
         }
     }
 
+    /// Remove every association of a record — used when maintenance
+    /// tombstones a record whose source pages vanished. Document entries
+    /// left empty are dropped entirely (a fresh build never creates empty
+    /// association lists).
+    pub fn remove_record(&mut self, record: LrecId) {
+        let Some(assocs) = self.by_record.remove(&record) else {
+            return;
+        };
+        for (url, _) in assocs {
+            if let Some(v) = self.by_doc.get_mut(&url) {
+                v.retain(|(r, _)| *r != record);
+                if v.is_empty() {
+                    self.by_doc.remove(&url);
+                }
+            }
+        }
+    }
+
     /// Number of associations.
     pub fn len(&self) -> usize {
         self.by_doc.values().map(Vec::len).sum()
@@ -177,6 +195,24 @@ mod tests {
         assert!(g.docs_of(b).is_empty());
         assert_eq!(g.docs_of(a).len(), 1);
         assert_eq!(g.records_of("http://x/")[0].0, a);
+    }
+
+    #[test]
+    fn remove_record_scrubs_both_sides() {
+        let mut g = ConceptWeb::new();
+        let (a, b) = (LrecId(1), LrecId(2));
+        g.associate(a, "http://x/", AssocKind::ExtractedFrom);
+        g.associate(b, "http://x/", AssocKind::ExtractedFrom);
+        g.associate(a, "http://y/", AssocKind::Mentions);
+        g.remove_record(a);
+        assert!(g.docs_of(a).is_empty());
+        assert_eq!(g.records_of("http://x/"), &[(b, AssocKind::ExtractedFrom)]);
+        // http://y/ had only `a`: the empty entry must vanish entirely.
+        assert!(g.records_of("http://y/").is_empty());
+        assert!(!g.documents().any(|d| d == "http://y/"));
+        assert_eq!(g.len(), 1);
+        g.remove_record(LrecId(99)); // unknown id is a no-op
+        assert_eq!(g.len(), 1);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //!   confidence, conformance, conflicts and corroboration roll-ups;
 //! * [`maintain`] — incremental maintenance under recrawls and world change
 //!   (§7.3), with cost accounting vs full rebuild;
+//! * [`memo`] — content-keyed memo caches that let
+//!   [`pipeline::build_with_caches`] replay the pipeline while recomputing
+//!   only content that changed (the `woc-incr` engine's substrate);
 //! * [`taxonomy`] — §2.3 hierarchies: curated `is_a` chains, `part_of`
 //!   containment, and data-driven taxonomy construction by agglomerative
 //!   clustering (the curated-vs-data-driven comparison the paper poses).
@@ -29,6 +32,7 @@ pub mod feed;
 pub mod graph;
 pub mod lineage;
 pub mod maintain;
+pub mod memo;
 pub mod parallel;
 pub mod pipeline;
 pub mod quality;
@@ -40,8 +44,11 @@ pub use feed::{ingest_feed, parse_feed, Feed, FeedError, FeedRecord, FeedReport}
 pub use graph::{record_links, reverse_links, AssocKind, ConceptWeb};
 pub use lineage::{Lineage, LineageNode, NodeId, NodeKind};
 pub use maintain::{recrawl, MaintenanceReport};
+pub use memo::{BuildCaches, CacheStats};
 pub use parallel::{resolve_threads, shard_map};
-pub use pipeline::{build, detail_extract, extract_page, PipelineConfig, WebOfConcepts};
+pub use pipeline::{
+    build, build_with_caches, detail_extract, extract_page, PipelineConfig, WebOfConcepts,
+};
 pub use quality::{assess, ConceptQuality, QualityReport};
 pub use report::{PipelineReport, StageStat};
 pub use taxonomy::{

@@ -32,6 +32,9 @@ pub struct MaintenanceReport {
     pub records_updated: usize,
     /// Records newly created (content with no existing record).
     pub records_created: usize,
+    /// Records tombstoned because every page they were extracted from
+    /// vanished from the crawl.
+    pub records_retracted: usize,
 }
 
 impl MaintenanceReport {
@@ -183,6 +186,35 @@ pub fn recrawl(
         }
     }
 
+    // Tombstone records whose every source page vanished from the crawl:
+    // content that no longer exists anywhere must not stay live (audit
+    // check W011). Records with at least one surviving source — or none at
+    // all (feed-ingested) — are kept.
+    let removed: std::collections::HashSet<&str> = old
+        .pages()
+        .iter()
+        .filter(|p| new.get(&p.url).is_none())
+        .map(|p| p.url.as_str())
+        .collect();
+    if !removed.is_empty() {
+        let victims: Vec<woc_lrec::LrecId> = woc
+            .store
+            .live_ids()
+            .into_iter()
+            .filter(|&id| {
+                let docs = woc.web.docs_of_kind(id, AssocKind::ExtractedFrom);
+                !docs.is_empty() && docs.iter().all(|d| removed.contains(d))
+            })
+            .collect();
+        for id in victims {
+            woc.store
+                .retract(id)
+                .expect("invariant: live_ids() yields retractable records");
+            woc.web.remove_record(id);
+            report.records_retracted += 1;
+        }
+    }
+
     // Rebuild the record index (segment-rebuild model).
     let mut index = woc_index::LrecIndex::new();
     for id in woc.store.live_ids() {
@@ -244,6 +276,54 @@ mod tests {
         assert!(
             woc.store.live_count() <= before_live + report.records_created,
             "maintenance must not duplicate records"
+        );
+    }
+
+    #[test]
+    fn vanished_pages_tombstone_their_records() {
+        let cfg = CorpusConfig::tiny(16);
+        let world = World::generate(WorldConfig::tiny(214));
+        let corpus_v1 = generate_corpus(&world, &cfg);
+        let mut woc = build(&corpus_v1, &PipelineConfig::default());
+
+        // Pick a live extracted record and delete every page it came from.
+        let victim = woc
+            .store
+            .live_ids()
+            .into_iter()
+            .find(|&id| {
+                !woc.web
+                    .docs_of_kind(id, AssocKind::ExtractedFrom)
+                    .is_empty()
+            })
+            .expect("fixture has extracted records");
+        let doomed: std::collections::HashSet<String> = woc
+            .web
+            .docs_of_kind(victim, AssocKind::ExtractedFrom)
+            .into_iter()
+            .map(str::to_string)
+            .collect();
+        let mut corpus_v2 = WebCorpus::new();
+        for p in corpus_v1.pages() {
+            if !doomed.contains(&p.url) {
+                corpus_v2.add(p.clone());
+            }
+        }
+        let report = recrawl(&mut woc, &corpus_v1, &corpus_v2, Tick(60));
+
+        assert!(report.records_retracted >= 1);
+        assert!(
+            woc.store.resolve(victim).is_none(),
+            "record without surviving sources must be retracted"
+        );
+        assert!(!woc.store.live_ids().contains(&victim));
+        assert!(
+            woc.web.docs_of(victim).is_empty(),
+            "its associations must be scrubbed"
+        );
+        assert!(
+            !woc.record_index.indexed_ids().contains(&victim),
+            "its postings must be gone"
         );
     }
 

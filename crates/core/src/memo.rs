@@ -1,0 +1,489 @@
+//! Content-keyed memo caches for incremental rebuilds (paper §7.3,
+//! "managing change").
+//!
+//! [`BuildCaches`] lets [`crate::pipeline::build_with_caches`] replay the
+//! full deterministic pipeline while skipping its expensive pure stages:
+//! page extraction, pair scoring, the mention scan, and index
+//! construction. Every cache is a *pure-function memo* — keyed only on the
+//! content the cached computation reads — so a cached build is
+//! byte-identical to a from-scratch build by construction: each stage
+//! either recomputes a value or returns exactly what recomputation would
+//! have produced.
+//!
+//! Lookup and insertion are serial; only cache *misses* fan out through
+//! [`crate::parallel::shard_map`], so no cache is ever mutated
+//! concurrently and results are independent of thread count.
+//!
+//! Entries untouched by a pass are evicted at its end (generation
+//! tagging), so memory tracks the live corpus rather than its history.
+
+// woc-lint: allow-file(slice-index) — every index here comes from
+// enumerate() over the very slice being indexed (hit/miss bookkeeping), so
+// bounds hold locally by construction.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use woc_extract::ExtractedRecord;
+use woc_index::{DocId, InvertedIndex, LrecIndex};
+use woc_lrec::{ConceptId, Lrec, LrecId};
+use woc_textkit::tokenize::tokenize_words;
+use woc_webgen::Page;
+
+use crate::parallel::shard_map;
+
+/// FNV-1a over arbitrary bytes (same constants as the index digests).
+#[derive(Debug)]
+pub(crate) struct Fnv(pub u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    pub(crate) fn byte(&mut self, b: u8) {
+        self.0 ^= u64::from(b);
+        self.0 = self.0.wrapping_mul(0x100000001b3);
+    }
+    pub(crate) fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+    pub(crate) fn word(&mut self, w: u64) {
+        self.bytes(&w.to_le_bytes());
+    }
+}
+
+/// Id-free content digest of a record: its concept plus every attribute's
+/// entries (values and provenance), excluding the record id itself. Keyed
+/// this way, pair-score memos survive id renumbering across epochs — a
+/// closed restaurant shifts every later id, but surviving records keep
+/// their content digest. Valid only pre-merge (pipeline stage C), where
+/// records carry no `Ref` values that would embed ids. A 64-bit digest
+/// collision would silently reuse a score; with ~10³ records per pass the
+/// collision probability is ~10⁻¹³ — accepted.
+pub(crate) fn content_digest(rec: &Lrec) -> u64 {
+    let mut h = Fnv::new();
+    h.word(u64::from(rec.concept().0));
+    for (key, entries) in rec.iter() {
+        // Lrec::iter() yields attributes in BTreeMap (sorted) order.
+        h.bytes(key.as_bytes());
+        h.byte(0xff);
+        h.bytes(format!("{entries:?}").as_bytes());
+        h.byte(0xfe);
+    }
+    h.0
+}
+
+/// Digest of a sorted, deduplicated name list — the mention-scan memo's
+/// target-set key.
+pub(crate) fn digest_strs(items: &[&str]) -> u64 {
+    let mut h = Fnv::new();
+    for s in items {
+        h.word(s.len() as u64);
+        h.bytes(s.as_bytes());
+    }
+    h.0
+}
+
+/// The tokens [`crate::pipeline::build`] indexes for a page: title plus
+/// visible text (must match the fresh-build `add_text` call exactly).
+fn doc_tokens(page: &Page) -> Vec<String> {
+    tokenize_words(&format!("{} {}", page.title, page.text()))
+}
+
+/// Counters describing what one maintenance pass recomputed vs reused.
+/// Reset at the start of each [`crate::pipeline::build_with_caches`] call.
+#[derive(Debug, Clone, Default)]
+pub struct CacheStats {
+    /// Pages whose extraction was recomputed (fingerprint cache miss).
+    pub pages_reextracted: usize,
+    /// Pages whose extraction came from the cache.
+    pub extract_hits: usize,
+    /// Candidate pairs whose match score was recomputed.
+    pub pairs_rescored: usize,
+    /// Pairs whose score came from the memo.
+    pub score_hits: usize,
+    /// Pages re-scanned for record mentions.
+    pub mention_pages_rescanned: usize,
+    /// Pages whose mention scan came from the cache.
+    pub mention_hits: usize,
+    /// `(term, doc)` postings removed or inserted by index patching.
+    pub postings_patched: usize,
+    /// Records whose index tokens changed and were patched in place.
+    pub records_repatched: usize,
+    /// True when the record index could not be patched (record set or
+    /// order changed) and was rebuilt from token lists.
+    pub record_index_rebuilt: bool,
+    /// True when the document index could not be patched (URL sequence
+    /// changed) and was rebuilt.
+    pub doc_index_rebuilt: bool,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    generation: u64,
+    value: T,
+}
+
+#[derive(Debug)]
+struct RecordIndexCache {
+    index: LrecIndex,
+    /// `(id, concept, tokens)` in internal doc-id order — the exact
+    /// sequence the cached index was built from.
+    entries: Vec<(LrecId, ConceptId, Vec<String>)>,
+}
+
+#[derive(Debug)]
+struct DocIndexCache {
+    index: InvertedIndex,
+    urls: Vec<String>,
+    fps: Vec<u64>,
+    tokens: Vec<Vec<String>>,
+}
+
+/// Memo caches carried across [`crate::pipeline::build_with_caches`] runs
+/// by an incremental-maintenance engine.
+#[derive(Debug, Default)]
+pub struct BuildCaches {
+    generation: u64,
+    /// page fingerprint → extraction output (shared, not re-cloned, on hits).
+    extract: HashMap<u64, Entry<Arc<Vec<ExtractedRecord>>>>,
+    /// (concept, left content digest, right content digest) → match score.
+    scores: HashMap<(u32, u64, u64), Entry<f64>>,
+    /// (page fingerprint, target-name-set digest) → matched names.
+    mentions: HashMap<(u64, u64), Entry<Arc<Vec<String>>>>,
+    /// page fingerprint → normalized "also bought" anchor names.
+    also: HashMap<u64, Entry<Arc<Vec<String>>>>,
+    record_index: Option<RecordIndexCache>,
+    doc_index: Option<DocIndexCache>,
+    stats: CacheStats,
+}
+
+impl BuildCaches {
+    /// Empty caches: the first build through them is a full (cold) build
+    /// that warms every memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters of the most recent pass through these caches.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Start a pass: bump the generation (entries reused during the pass
+    /// are re-tagged with it) and reset the per-pass counters.
+    pub(crate) fn begin_pass(&mut self) {
+        self.generation += 1;
+        self.stats = CacheStats::default();
+    }
+
+    /// End a pass: evict every memo entry the pass did not touch, so
+    /// content that vanished from the corpus does not accumulate forever.
+    pub(crate) fn end_pass(&mut self) {
+        let generation = self.generation;
+        self.extract.retain(|_, e| e.generation == generation);
+        self.scores.retain(|_, e| e.generation == generation);
+        self.mentions.retain(|_, e| e.generation == generation);
+        self.also.retain(|_, e| e.generation == generation);
+    }
+
+    /// Memoized page extraction: pages whose fingerprint is cached reuse
+    /// the cached records; only misses run `f` (sharded).
+    pub(crate) fn memo_extract(
+        &mut self,
+        fps: &[u64],
+        pages: &[&Page],
+        threads: usize,
+        f: impl Fn(&Page) -> Vec<ExtractedRecord> + Sync,
+    ) -> Vec<Arc<Vec<ExtractedRecord>>> {
+        let generation = self.generation;
+        let mut out: Vec<Option<Arc<Vec<ExtractedRecord>>>> = Vec::with_capacity(pages.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, &fp) in fps.iter().enumerate() {
+            match self.extract.get_mut(&fp) {
+                Some(e) => {
+                    e.generation = generation;
+                    self.stats.extract_hits += 1;
+                    out.push(Some(Arc::clone(&e.value)));
+                }
+                None => {
+                    miss_idx.push(i);
+                    out.push(None);
+                }
+            }
+        }
+        let miss_pages: Vec<&Page> = miss_idx.iter().map(|&i| pages[i]).collect();
+        let computed = shard_map(&miss_pages, threads, |p| f(p));
+        for (&i, recs) in miss_idx.iter().zip(computed) {
+            let recs = Arc::new(recs);
+            self.extract.insert(
+                fps[i],
+                Entry {
+                    generation,
+                    value: Arc::clone(&recs),
+                },
+            );
+            out[i] = Some(recs);
+            self.stats.pages_reextracted += 1;
+        }
+        out.into_iter()
+            .map(|v| v.expect("invariant: every page is either a hit or a filled miss"))
+            .collect()
+    }
+
+    /// Memoized "also bought" anchor scan: the normalized anchor names in a
+    /// page's also-bought sections, a pure function of page content alone.
+    /// Resolution of those names against the current product records
+    /// replays outside the memo.
+    pub(crate) fn memo_also(
+        &mut self,
+        fps: &[u64],
+        pages: &[&Page],
+        threads: usize,
+        scan: impl Fn(&Page) -> Vec<String> + Sync,
+    ) -> Vec<Arc<Vec<String>>> {
+        let generation = self.generation;
+        let mut out: Vec<Option<Arc<Vec<String>>>> = Vec::with_capacity(pages.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, &fp) in fps.iter().enumerate() {
+            match self.also.get_mut(&fp) {
+                Some(e) => {
+                    e.generation = generation;
+                    out.push(Some(Arc::clone(&e.value)));
+                }
+                None => {
+                    miss_idx.push(i);
+                    out.push(None);
+                }
+            }
+        }
+        let miss_pages: Vec<&Page> = miss_idx.iter().map(|&i| pages[i]).collect();
+        let computed = shard_map(&miss_pages, threads, |p| scan(p));
+        for (&i, names) in miss_idx.iter().zip(computed) {
+            let names = Arc::new(names);
+            self.also.insert(
+                fps[i],
+                Entry {
+                    generation,
+                    value: Arc::clone(&names),
+                },
+            );
+            out[i] = Some(names);
+        }
+        out.into_iter()
+            .map(|v| v.expect("invariant: every page is either a hit or a filled miss"))
+            .collect()
+    }
+
+    /// Memoized pair scoring for one concept. `digests[i]` is the id-free
+    /// content digest of record `i`; `score(i, j)` computes a miss.
+    pub(crate) fn memo_scores(
+        &mut self,
+        concept: u32,
+        digests: &[u64],
+        pairs: &[(usize, usize)],
+        threads: usize,
+        score: impl Fn(usize, usize) -> f64 + Sync,
+    ) -> Vec<(usize, usize, f64)> {
+        let generation = self.generation;
+        let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(pairs.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (n, &(i, j)) in pairs.iter().enumerate() {
+            match self.scores.get_mut(&(concept, digests[i], digests[j])) {
+                Some(e) => {
+                    e.generation = generation;
+                    self.stats.score_hits += 1;
+                    out.push((i, j, e.value));
+                }
+                None => {
+                    miss_idx.push(n);
+                    out.push((i, j, 0.0)); // placeholder, overwritten below
+                }
+            }
+        }
+        let computed = shard_map(&miss_idx, threads, |&n| {
+            let (i, j) = pairs[n];
+            score(i, j)
+        });
+        for (&n, s) in miss_idx.iter().zip(computed) {
+            let (i, j) = pairs[n];
+            self.scores.insert(
+                (concept, digests[i], digests[j]),
+                Entry {
+                    generation,
+                    value: s,
+                },
+            );
+            out[n].2 = s;
+            self.stats.pairs_rescored += 1;
+        }
+        out
+    }
+
+    /// Memoized mention scan: for each page, the subset of `names` (the
+    /// sorted, deduplicated target names whose digest is `names_digest`)
+    /// whose normalized form occurs in the page text. The id-dependent
+    /// filtering that build applies on top replays outside the memo.
+    pub(crate) fn memo_mentions(
+        &mut self,
+        fps: &[u64],
+        pages: &[&Page],
+        names_digest: u64,
+        threads: usize,
+        scan: impl Fn(&Page) -> Vec<String> + Sync,
+    ) -> Vec<Arc<Vec<String>>> {
+        let generation = self.generation;
+        let mut out: Vec<Option<Arc<Vec<String>>>> = Vec::with_capacity(pages.len());
+        let mut miss_idx: Vec<usize> = Vec::new();
+        for (i, &fp) in fps.iter().enumerate() {
+            match self.mentions.get_mut(&(fp, names_digest)) {
+                Some(e) => {
+                    e.generation = generation;
+                    self.stats.mention_hits += 1;
+                    out.push(Some(Arc::clone(&e.value)));
+                }
+                None => {
+                    miss_idx.push(i);
+                    out.push(None);
+                }
+            }
+        }
+        let miss_pages: Vec<&Page> = miss_idx.iter().map(|&i| pages[i]).collect();
+        let computed = shard_map(&miss_pages, threads, |p| scan(p));
+        for (&i, names) in miss_idx.iter().zip(computed) {
+            let names = Arc::new(names);
+            self.mentions.insert(
+                (fps[i], names_digest),
+                Entry {
+                    generation,
+                    value: Arc::clone(&names),
+                },
+            );
+            out[i] = Some(names);
+            self.stats.mention_pages_rescanned += 1;
+        }
+        out.into_iter()
+            .map(|v| v.expect("invariant: every page is either a hit or a filled miss"))
+            .collect()
+    }
+
+    /// Build — or patch — the record index for the live-record sequence
+    /// `entries` (in the order a fresh build would add them). Patching
+    /// requires the `(id, concept)` sequence to be unchanged: a record
+    /// insertion or removal renumbers every later internal doc id, in
+    /// which case the index is rebuilt from the token lists.
+    pub(crate) fn record_index_with(
+        &mut self,
+        entries: Vec<(LrecId, ConceptId, Vec<String>)>,
+    ) -> LrecIndex {
+        if let Some(cache) = self.record_index.as_mut() {
+            let same_sequence = cache.entries.len() == entries.len()
+                && cache
+                    .entries
+                    .iter()
+                    .zip(&entries)
+                    .all(|(a, b)| a.0 == b.0 && a.1 == b.1);
+            if same_sequence {
+                for (old, new) in cache.entries.iter().zip(&entries) {
+                    if old.2 != new.2 {
+                        self.stats.postings_patched += cache.index.replace(new.0, &old.2, &new.2);
+                        self.stats.records_repatched += 1;
+                    }
+                }
+                cache.entries = entries;
+                return cache.index.clone();
+            }
+        }
+        self.stats.record_index_rebuilt = true;
+        let mut index = LrecIndex::new();
+        for (id, concept, tokens) in &entries {
+            index.add_record_tokens(*id, *concept, tokens);
+        }
+        self.record_index = Some(RecordIndexCache {
+            index: index.clone(),
+            entries,
+        });
+        index
+    }
+
+    /// Build — or patch — the document index for `pages` (whose
+    /// fingerprints are `fps`). Patching requires the URL sequence to be
+    /// unchanged; only pages with a changed fingerprint are re-tokenized
+    /// and patched in place.
+    pub(crate) fn doc_index_with(
+        &mut self,
+        pages: &[&Page],
+        fps: &[u64],
+        threads: usize,
+    ) -> InvertedIndex {
+        let same_urls = self.doc_index.as_ref().is_some_and(|c| {
+            c.urls.len() == pages.len() && c.urls.iter().zip(pages).all(|(u, p)| *u == p.url)
+        });
+        if same_urls {
+            let cache = self
+                .doc_index
+                .as_mut()
+                .expect("invariant: same_urls implies a cached doc index");
+            for (i, page) in pages.iter().enumerate() {
+                if cache.fps[i] != fps[i] {
+                    let new_tokens = doc_tokens(page);
+                    self.stats.postings_patched +=
+                        cache
+                            .index
+                            .replace_doc(DocId(i as u32), &cache.tokens[i], &new_tokens);
+                    cache.tokens[i] = new_tokens;
+                    cache.fps[i] = fps[i];
+                }
+            }
+            return cache.index.clone();
+        }
+        self.stats.doc_index_rebuilt = true;
+        let tokens: Vec<Vec<String>> = shard_map(pages, threads, |p| doc_tokens(p));
+        let mut index = InvertedIndex::new();
+        for t in &tokens {
+            index.add_tokens(t);
+        }
+        self.doc_index = Some(DocIndexCache {
+            index: index.clone(),
+            urls: pages.iter().map(|p| p.url.clone()).collect(),
+            fps: fps.to_vec(),
+            tokens,
+        });
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eviction_drops_untouched_entries() {
+        let mut c = BuildCaches::new();
+        c.begin_pass();
+        let _ = c.memo_scores(0, &[10, 20], &[(0, 1)], 1, |_, _| 1.5);
+        assert_eq!(c.stats().pairs_rescored, 1);
+        // Next pass touches a different pair: the old entry must be evicted.
+        c.begin_pass();
+        let _ = c.memo_scores(0, &[30, 40], &[(0, 1)], 1, |_, _| 2.5);
+        c.end_pass();
+        assert_eq!(c.scores.len(), 1);
+        // The surviving key is the touched one.
+        assert!(c.scores.contains_key(&(0, 30, 40)));
+    }
+
+    #[test]
+    fn score_memo_hits_are_returned_verbatim() {
+        let mut c = BuildCaches::new();
+        c.begin_pass();
+        let first = c.memo_scores(7, &[1, 2, 3], &[(0, 1), (1, 2)], 1, |i, j| (i + j) as f64);
+        c.begin_pass();
+        // Same digests: the scorer must not be consulted at all.
+        let second = c.memo_scores(7, &[1, 2, 3], &[(0, 1), (1, 2)], 1, |_, _| f64::NAN);
+        assert_eq!(first, second);
+        assert_eq!(c.stats().score_hits, 2);
+        assert_eq!(c.stats().pairs_rescored, 0);
+    }
+}

@@ -17,7 +17,7 @@ use woc_extract::ExtractedRecord;
 use woc_index::{InvertedIndex, LrecIndex};
 use woc_lrec::domains::{standard_registry, StandardConcepts};
 use woc_lrec::value::Date;
-use woc_lrec::{AttrValue, ConceptRegistry, Lrec, LrecId, Provenance, Store, Tick};
+use woc_lrec::{AttrValue, ConceptId, ConceptRegistry, Lrec, LrecId, Provenance, Store, Tick};
 use woc_matching::{candidate_pairs_sharded, CollectiveConfig, FellegiSunter, GenerativeMatcher};
 use woc_textkit::gazetteer;
 use woc_textkit::recognize::{self, FieldKind};
@@ -26,6 +26,7 @@ use woc_webgen::{Page, WebCorpus};
 
 use crate::graph::{AssocKind, ConceptWeb};
 use crate::lineage::Lineage;
+use crate::memo::{self, BuildCaches};
 use crate::parallel::{resolve_threads, shard_map};
 use crate::report::PipelineReport;
 
@@ -397,6 +398,21 @@ pub fn extract_page(page: &Page, profiles: &[ConceptProfile]) -> Vec<ExtractedRe
 /// thread count. Stage timings and counts are returned in
 /// [`WebOfConcepts::report`].
 pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
+    build_with_caches(corpus, config, None)
+}
+
+/// Like [`build`], threading [`BuildCaches`] memo caches through the pure
+/// heavy stages: page extraction, pair scoring, the mention scan and index
+/// construction. `build_with_caches(c, cfg, Some(&mut caches))` returns a
+/// web **byte-identical** to `build(c, cfg)` — every memo is keyed purely
+/// on the content its computation reads — while recomputing only what
+/// changed since the caches were last used. The `woc-incr` maintenance
+/// engine is the caller; [`build`] itself delegates here with `None`.
+pub fn build_with_caches(
+    corpus: &WebCorpus,
+    config: &PipelineConfig,
+    mut caches: Option<&mut BuildCaches>,
+) -> WebOfConcepts {
     let (registry, concepts) = standard_registry();
     let mut store = Store::new();
     let mut lineage = Lineage::new();
@@ -410,9 +426,19 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     // --- Stage A: page extraction (sharded over pages) -------------------
     let pages: Vec<&Page> = corpus.pages().iter().collect();
     let (use_lists, use_detail) = (config.use_lists, config.use_detail);
-    let extracted: Vec<Vec<ExtractedRecord>> = shard_map(&pages, threads, |p| {
-        extract_page_with(p, &profiles, use_lists, use_detail)
-    });
+    let page_fps: Vec<u64> = if caches.is_some() {
+        shard_map(&pages, threads, |p| p.fingerprint())
+    } else {
+        Vec::new()
+    };
+    if let Some(c) = caches.as_deref_mut() {
+        c.begin_pass();
+    }
+    let extract_one = |p: &Page| extract_page_with(p, &profiles, use_lists, use_detail);
+    let extracted: Vec<std::sync::Arc<Vec<ExtractedRecord>>> = match caches.as_deref_mut() {
+        Some(c) => c.memo_extract(&page_fps, &pages, threads, extract_one),
+        None => shard_map(&pages, threads, |p| std::sync::Arc::new(extract_one(p))),
+    };
     report.pages_scanned = pages.len();
     report.stage_done("extract", pages.len(), &mut t0);
 
@@ -424,7 +450,7 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
             continue;
         }
         let doc_node = lineage.document(&page.url);
-        for rec in recs {
+        for rec in recs.iter() {
             let Some(concept_name) = rec.concept.as_deref() else {
                 continue;
             };
@@ -499,9 +525,20 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
         let refs: Vec<&Lrec> = recs.iter().collect();
         let pairs = candidate_pairs_sharded(&refs, 200, threads);
         let fs = scorer_for(cname);
-        let scored: Vec<(usize, usize, f64)> = shard_map(&pairs, threads, |&(i, j)| {
-            (i, j, fs.score(&recs[i], &recs[j]))
-        });
+        let scored: Vec<(usize, usize, f64)> = match caches.as_deref_mut() {
+            Some(c) => {
+                // Digests are taken pre-merge, before any `Ref` values
+                // exist, so they are pure functions of extracted content —
+                // stable under the id renumbering a removed page causes.
+                let digests: Vec<u64> = shard_map(&refs, threads, |r| memo::content_digest(r));
+                c.memo_scores(cid.0, &digests, &pairs, threads, |i, j| {
+                    fs.score(&recs[i], &recs[j])
+                })
+            }
+            None => shard_map(&pairs, threads, |&(i, j)| {
+                (i, j, fs.score(&recs[i], &recs[j]))
+            }),
+        };
         report.match_pairs_scored += scored.len();
         let mut uf = if config.collective {
             // Relational evidence: records extracted from pages that mention
@@ -665,17 +702,65 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     // The scan (normalize + substring search over every page × target) is
     // the pure, heavy part — shard it. Association order depends only on
     // pre-E web state, so serial application in page order is identical.
-    let mentions_per_page: Vec<Vec<LrecId>> = shard_map(&pages, threads, |page| {
-        let text = normalize(&page.text());
-        mention_targets
-            .iter()
-            .filter(|(id, name)| {
-                text.contains(name.as_str())
-                    && !web.records_of(&page.url).iter().any(|(r, _)| r == id)
-            })
-            .map(|(id, _)| *id)
-            .collect()
-    });
+    let mentions_per_page: Vec<Vec<LrecId>> = match caches.as_deref_mut() {
+        Some(c) => {
+            // Memoize the heavy pure part per (page, target-name set): which
+            // names occur in the page text. The id-dependent filtering on
+            // top replays cheaply against the current web state.
+            let mut names: Vec<&str> = mention_targets.iter().map(|(_, n)| n.as_str()).collect();
+            names.sort_unstable();
+            names.dedup();
+            let names_digest = memo::digest_strs(&names);
+            let matched = c.memo_mentions(&page_fps, &pages, names_digest, threads, |page| {
+                let text = normalize(&page.text());
+                names
+                    .iter()
+                    .filter(|n| text.contains(**n))
+                    .map(|n| (*n).to_string())
+                    .collect()
+            });
+            // name -> (position, id) pairs, so each page only touches the
+            // targets its matched names name. Sorting the gathered pairs by
+            // position restores the exact mention_targets iteration order the
+            // uncached path produces — byte-identity depends on that.
+            let mut by_name: std::collections::HashMap<&str, Vec<(usize, LrecId)>> =
+                std::collections::HashMap::new();
+            for (pos, (id, name)) in mention_targets.iter().enumerate() {
+                by_name.entry(name.as_str()).or_default().push((pos, *id));
+            }
+            pages
+                .iter()
+                .zip(&matched)
+                .map(|(page, m)| {
+                    if m.is_empty() {
+                        return Vec::new();
+                    }
+                    let mut hits: Vec<(usize, LrecId)> = m
+                        .iter()
+                        .filter_map(|n| by_name.get(n.as_str()))
+                        .flatten()
+                        .copied()
+                        .collect();
+                    hits.sort_unstable_by_key(|&(pos, _)| pos);
+                    hits.iter()
+                        .filter(|(_, id)| !web.records_of(&page.url).iter().any(|(r, _)| r == id))
+                        .map(|&(_, id)| id)
+                        .collect()
+                })
+                .collect()
+        }
+        None => shard_map(&pages, threads, |page| {
+            let text = normalize(&page.text());
+            mention_targets
+                .iter()
+                .filter(|(id, name)| {
+                    text.contains(name.as_str())
+                        && !web.records_of(&page.url).iter().any(|(r, _)| r == id)
+                })
+                .map(|(id, _)| *id)
+                .collect()
+        }),
+    };
     for (page, ids) in pages.iter().zip(&mentions_per_page) {
         for id in ids {
             web.associate(*id, &page.url, AssocKind::Mentions);
@@ -697,9 +782,11 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
                 .map(|n| (normalize(&n), id))
         })
         .collect();
-    let mut augment_links = 0usize;
-    for page in &pages {
-        let mut also: Vec<LrecId> = Vec::new();
+    // The DOM walk for also-bought anchors is a pure function of page
+    // content — memoizable per fingerprint; only the name→record resolution
+    // below depends on the current store.
+    let scan_also = |page: &Page| {
+        let mut names: Vec<String> = Vec::new();
         let mut in_also = false;
         for (_, n) in page.dom.walk() {
             if n.tag() == Some("h2") {
@@ -707,11 +794,24 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
                 continue;
             }
             if in_also && n.tag() == Some("a") {
-                if let Some(&id) = product_by_name.get(&normalize(&n.text_content())) {
-                    also.push(id);
-                }
+                names.push(normalize(&n.text_content()));
             }
         }
+        names
+    };
+    let also_names: Vec<std::sync::Arc<Vec<String>>> = match caches.as_deref_mut() {
+        Some(c) => c.memo_also(&page_fps, &pages, threads, scan_also),
+        None => pages
+            .iter()
+            .map(|p| std::sync::Arc::new(scan_also(p)))
+            .collect(),
+    };
+    let mut augment_links = 0usize;
+    for (page, names) in pages.iter().zip(&also_names) {
+        let also: Vec<LrecId> = names
+            .iter()
+            .filter_map(|n| product_by_name.get(n).copied())
+            .collect();
         if also.is_empty() {
             continue;
         }
@@ -771,21 +871,46 @@ pub fn build(corpus: &WebCorpus, config: &PipelineConfig) -> WebOfConcepts {
     report.stage_done("homepage", homepage_links, &mut t0);
 
     // --- Stage G: indexes ---------------------------------------------------
-    let mut record_index = LrecIndex::new();
-    for id in store.live_ids() {
-        record_index.add(
-            store
-                .latest(id)
-                .expect("invariant: live_ids() yields ids with a latest version"),
-        );
-    }
-    let mut doc_index = InvertedIndex::new();
+    let (record_index, doc_index) = match caches.as_deref_mut() {
+        Some(c) => {
+            let entries: Vec<(LrecId, ConceptId, Vec<String>)> = store
+                .live_ids()
+                .into_iter()
+                .map(|id| {
+                    let rec = store
+                        .latest(id)
+                        .expect("invariant: live_ids() yields ids with a latest version");
+                    (id, rec.concept(), LrecIndex::record_tokens(rec))
+                })
+                .collect();
+            let record_index = c.record_index_with(entries);
+            let doc_index = c.doc_index_with(&pages, &page_fps, threads);
+            (record_index, doc_index)
+        }
+        None => {
+            let mut record_index = LrecIndex::new();
+            for id in store.live_ids() {
+                record_index.add(
+                    store
+                        .latest(id)
+                        .expect("invariant: live_ids() yields ids with a latest version"),
+                );
+            }
+            let mut doc_index = InvertedIndex::new();
+            for page in &pages {
+                doc_index.add_text(&format!("{} {}", page.title, page.text()));
+            }
+            (record_index, doc_index)
+        }
+    };
     let mut doc_urls = Vec::with_capacity(pages.len());
     let mut doc_titles = Vec::with_capacity(pages.len());
     for page in &pages {
-        doc_index.add_text(&format!("{} {}", page.title, page.text()));
         doc_urls.push(page.url.clone());
         doc_titles.push(page.title.clone());
+    }
+    if let Some(c) = caches {
+        c.end_pass();
     }
     report.stage_done("index", store.live_count() + pages.len(), &mut t0);
 
@@ -1113,6 +1238,31 @@ mod tests {
         assert_eq!(seq.report.threads, 1);
         assert_eq!(par.report.threads, 4);
         assert!(seq.report.stage("extract").is_some());
+    }
+
+    #[test]
+    fn cached_build_matches_fresh_build() {
+        let world = World::generate(WorldConfig::tiny(203));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(13));
+        let cfg = PipelineConfig::default();
+        let fresh = build(&corpus, &cfg);
+        let mut caches = BuildCaches::new();
+        let cold = build_with_caches(&corpus, &cfg, Some(&mut caches));
+        let warm = build_with_caches(&corpus, &cfg, Some(&mut caches));
+        for woc in [&cold, &warm] {
+            assert_eq!(woc.record_index.digest(), fresh.record_index.digest());
+            assert_eq!(woc.doc_index.digest(), fresh.doc_index.digest());
+            assert_eq!(woc.store.live_count(), fresh.store.live_count());
+            assert_eq!(woc.store.total_created(), fresh.store.total_created());
+            assert_eq!(woc.web.len(), fresh.web.len());
+        }
+        // Second pass over an unchanged corpus: everything is a memo hit.
+        assert_eq!(caches.stats().pages_reextracted, 0);
+        assert_eq!(caches.stats().pairs_rescored, 0);
+        assert_eq!(caches.stats().mention_pages_rescanned, 0);
+        assert_eq!(caches.stats().postings_patched, 0);
+        assert!(!caches.stats().record_index_rebuilt);
+        assert!(!caches.stats().doc_index_rebuilt);
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! # woc-incr — incremental maintenance of the web of concepts
+//!
+//! Paper §7.3, "managing change": "There is an obvious efficiency challenge
+//! in processing the same web pages repeatedly without re-incurring the
+//! full cost of extraction when the page is not modified in a material
+//! way." This crate is that engine, layered over the construction pipeline:
+//!
+//! 1. **Change detection** — every page gets a stable content fingerprint
+//!    ([`woc_webgen::Page::fingerprint`]); [`IncrEngine::changes`] diffs the
+//!    fingerprints of a fresh crawl against the previous epoch's into a
+//!    [`ChangeSet`] of dirty, added and removed pages.
+//! 2. **Dirty-set propagation** — the lineage DAG maps dirty pages to the
+//!    records derived from them ([`woc_core::Lineage::records_from_document`]);
+//!    the pass reports the affected partition and which records are
+//!    tombstoned because every source page vanished.
+//! 3. **Scoped recomputation with index patching** — [`IncrEngine::maintain`]
+//!    replays the deterministic pipeline through
+//!    [`woc_core::build_with_caches`]: extraction, pair scoring, mention
+//!    scanning and index construction are content-keyed memos, so only work
+//!    downstream of the dirty set is recomputed, and index postings are
+//!    patched in place ([`woc_index::InvertedIndex::replace_doc`]) rather
+//!    than rebuilt. Because every memo is a pure-function memo, the
+//!    maintained web is **byte-identical** to a from-scratch rebuild at the
+//!    same epoch — [`canonical_bytes`] is the oracle the equivalence tests
+//!    and the `incr-equivalence` CI gate compare with.
+//! 4. **Epoch-delta publishing** — [`IncrEngine::maintain_and_publish`]
+//!    folds the pass into a [`woc_serve::EpochDelta`] and hands the patched
+//!    web to [`woc_serve::ConceptServer::publish_delta`]: a no-op pass keeps
+//!    the served epoch and its warm result cache; any real change publishes
+//!    a new epoch.
+//!
+//! An empty [`ChangeSet`] short-circuits the whole pass —
+//! [`MaintainReport::short_circuited`] — without cloning, rebuilding or
+//! publishing anything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use serde::{Serialize, Value};
+use woc_core::{build_with_caches, AssocKind, BuildCaches, PipelineConfig, WebOfConcepts};
+use woc_lrec::{ConceptId, LrecId};
+use woc_serve::{ConceptServer, EpochDelta};
+use woc_webgen::WebCorpus;
+
+/// The page-level diff between the engine's current epoch and a fresh
+/// crawl. URLs are sorted, so the set is deterministic regardless of
+/// corpus iteration order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChangeSet {
+    /// Pages present in both crawls whose content fingerprint changed.
+    pub dirty: Vec<String>,
+    /// Pages present only in the new crawl.
+    pub added: Vec<String>,
+    /// Pages present only in the old crawl.
+    pub removed: Vec<String>,
+}
+
+impl ChangeSet {
+    /// Total number of changed pages.
+    pub fn len(&self) -> usize {
+        self.dirty.len() + self.added.len() + self.removed.len()
+    }
+
+    /// True when nothing changed — maintenance can short-circuit.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// What one [`IncrEngine::maintain`] pass scanned, found and recomputed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintainReport {
+    /// Pages in the new crawl.
+    pub pages_scanned: usize,
+    /// Pages whose fingerprint changed, plus added and removed pages.
+    pub pages_dirty: usize,
+    /// True when the change set was empty and the pass did nothing.
+    pub short_circuited: bool,
+    /// Live records derived (per lineage) from dirty or removed pages —
+    /// the partition the pass had to reconsider.
+    pub records_affected: usize,
+    /// Affected records whose every source page vanished (tombstoned in
+    /// the maintained web).
+    pub records_tombstoned: usize,
+    /// Concepts with at least one affected record (sorted) — the scope
+    /// handed to [`woc_serve::EpochDelta`].
+    pub touched_concepts: Vec<ConceptId>,
+    /// Pages whose extraction was actually recomputed.
+    pub pages_reextracted: usize,
+    /// Candidate pairs whose match score was actually recomputed.
+    pub pairs_rescored: usize,
+    /// Pages re-scanned for record mentions.
+    pub mention_pages_rescanned: usize,
+    /// `(term, doc)` postings removed or inserted by in-place index
+    /// patching.
+    pub postings_patched: usize,
+    /// True when the record index could not be patched and was rebuilt.
+    pub record_index_rebuilt: bool,
+    /// True when the document index could not be patched and was rebuilt.
+    pub doc_index_rebuilt: bool,
+}
+
+/// The incremental maintenance engine: owns the current web, the page
+/// fingerprints it was built from, and the memo caches that make the next
+/// pass cheap.
+#[derive(Debug)]
+pub struct IncrEngine {
+    config: PipelineConfig,
+    caches: BuildCaches,
+    fingerprints: HashMap<String, u64>,
+    web: WebOfConcepts,
+}
+
+impl IncrEngine {
+    /// Build the initial web from `corpus` (a full build that warms every
+    /// cache) and remember its fingerprints.
+    pub fn new(corpus: &WebCorpus, config: PipelineConfig) -> Self {
+        let mut caches = BuildCaches::new();
+        let web = build_with_caches(corpus, &config, Some(&mut caches));
+        Self {
+            config,
+            caches,
+            fingerprints: fingerprint_map(corpus),
+            web,
+        }
+    }
+
+    /// The current maintained web.
+    pub fn web(&self) -> &WebOfConcepts {
+        &self.web
+    }
+
+    /// Layer 1 — change detection: diff `corpus` against the fingerprints
+    /// of the engine's current epoch.
+    pub fn changes(&self, corpus: &WebCorpus) -> ChangeSet {
+        self.changes_from(corpus, &fingerprint_map(corpus))
+    }
+
+    /// Change detection against already-computed fingerprints of `corpus`
+    /// (so a maintain pass fingerprints each page exactly once).
+    fn changes_from(&self, corpus: &WebCorpus, new_fps: &HashMap<String, u64>) -> ChangeSet {
+        let mut set = ChangeSet::default();
+        for page in corpus.pages() {
+            let fp = new_fps[&page.url];
+            match self.fingerprints.get(&page.url) {
+                Some(&old) if old == fp => {}
+                Some(_) => set.dirty.push(page.url.clone()),
+                None => set.added.push(page.url.clone()),
+            }
+        }
+        set.removed = self
+            .fingerprints
+            .keys()
+            .filter(|url| !new_fps.contains_key(url.as_str()))
+            .cloned()
+            .collect();
+        set.dirty.sort_unstable();
+        set.added.sort_unstable();
+        set.removed.sort_unstable();
+        set
+    }
+
+    /// Layers 2+3 — maintain the web against a fresh crawl: detect
+    /// changes, short-circuit if there are none, otherwise propagate the
+    /// dirty set through lineage and replay the pipeline over the warm
+    /// memo caches. Afterwards [`Self::web`] is byte-identical
+    /// ([`canonical_bytes`]) to a from-scratch build of `corpus`.
+    pub fn maintain(&mut self, corpus: &WebCorpus) -> MaintainReport {
+        let new_fps = fingerprint_map(corpus);
+        let changes = self.changes_from(corpus, &new_fps);
+        let mut report = MaintainReport {
+            pages_scanned: corpus.len(),
+            pages_dirty: changes.len(),
+            ..MaintainReport::default()
+        };
+        if changes.is_empty() {
+            report.short_circuited = true;
+            return report;
+        }
+
+        // Dirty-set propagation: which live records derive from the pages
+        // that changed or vanished? (Lineage speaks pre-merge ids; resolve
+        // to canonical survivors.)
+        let mut affected: BTreeSet<LrecId> = BTreeSet::new();
+        for url in changes.dirty.iter().chain(&changes.removed) {
+            for id in self.web.lineage.records_from_document(url) {
+                if let Some(canon) = self.web.store.resolve(id) {
+                    affected.insert(canon);
+                }
+            }
+        }
+        let removed_urls: HashSet<&str> = changes.removed.iter().map(String::as_str).collect();
+        report.records_tombstoned = affected
+            .iter()
+            .filter(|&&id| {
+                let docs = self.web.web.docs_of_kind(id, AssocKind::ExtractedFrom);
+                !docs.is_empty() && docs.iter().all(|d| removed_urls.contains(d))
+            })
+            .count();
+        report.records_affected = affected.len();
+        let mut touched: BTreeSet<ConceptId> = affected
+            .iter()
+            .filter_map(|&id| self.web.store.latest(id).map(|r| r.concept()))
+            .collect();
+
+        // Scoped recomputation: replay the pipeline over the warm caches.
+        // Only content downstream of the dirty set misses its memos.
+        let new_web = build_with_caches(corpus, &self.config, Some(&mut self.caches));
+
+        // Records born from added or rewritten pages scope the delta too.
+        for url in changes.dirty.iter().chain(&changes.added) {
+            for id in new_web.lineage.records_from_document(url) {
+                if let Some(canon) = new_web.store.resolve(id) {
+                    if let Some(rec) = new_web.store.latest(canon) {
+                        touched.insert(rec.concept());
+                    }
+                }
+            }
+        }
+        report.touched_concepts = touched.into_iter().collect();
+
+        let stats = self.caches.stats();
+        report.pages_reextracted = stats.pages_reextracted;
+        report.pairs_rescored = stats.pairs_rescored;
+        report.mention_pages_rescanned = stats.mention_pages_rescanned;
+        report.postings_patched = stats.postings_patched;
+        report.record_index_rebuilt = stats.record_index_rebuilt;
+        report.doc_index_rebuilt = stats.doc_index_rebuilt;
+
+        self.web = new_web;
+        self.fingerprints = new_fps;
+        report
+    }
+
+    /// Layer 4 — maintain, then publish the result to a serving tier as an
+    /// epoch delta. A short-circuited pass publishes nothing: the server
+    /// keeps its epoch and its warm result cache. Returns the pass report
+    /// and the epoch now being served.
+    pub fn maintain_and_publish(
+        &mut self,
+        corpus: &WebCorpus,
+        server: &ConceptServer,
+    ) -> (MaintainReport, u64) {
+        let report = self.maintain(corpus);
+        let delta = if report.short_circuited {
+            EpochDelta::default()
+        } else {
+            EpochDelta {
+                touched_concepts: report.touched_concepts.clone(),
+                records_changed: report.records_affected > 0 || report.records_tombstoned > 0,
+                // Any dirty/added/removed page perturbs the doc index and
+                // the corpus-global BM25 statistics.
+                docs_changed: report.pages_dirty > 0,
+            }
+        };
+        let epoch = server.publish_delta(self.web.clone(), &delta);
+        (report, epoch)
+    }
+}
+
+fn fingerprint_map(corpus: &WebCorpus) -> HashMap<String, u64> {
+    corpus
+        .pages()
+        .iter()
+        .map(|p| (p.url.clone(), p.fingerprint()))
+        .collect()
+}
+
+/// Serialization wrapper whose value tree has already been canonicalized.
+struct Canon(Value);
+
+impl Serialize for Canon {
+    fn to_value(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+/// Sort every object's entries by key, recursively. The vendored serde
+/// serializes maps in iteration order — per-instance nondeterministic for
+/// `HashMap` — so canonical comparison must impose an order itself. Map
+/// keys are always rendered as strings (scalar keys are stringified), so a
+/// lexicographic sort is total.
+fn canonicalize(value: Value) -> Value {
+    match value {
+        Value::Array(items) => Value::Array(items.into_iter().map(canonicalize).collect()),
+        Value::Object(entries) => {
+            let mut entries: Vec<(String, Value)> = entries
+                .into_iter()
+                .map(|(k, v)| (k, canonicalize(v)))
+                .collect();
+            entries.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(entries)
+        }
+        scalar => scalar,
+    }
+}
+
+/// A canonical byte rendering of everything the web serves from: the
+/// record store (versions, merges, tombstones), lineage, record↔document
+/// associations, the doc tables, and both index digests. Two webs with
+/// equal `canonical_bytes` answer every query identically — this is the
+/// equivalence oracle for "incremental maintenance ≡ from-scratch
+/// rebuild".
+pub fn canonical_bytes(woc: &WebOfConcepts) -> Vec<u8> {
+    let top = Value::Object(vec![
+        ("store".to_string(), canonicalize(woc.store.to_value())),
+        ("lineage".to_string(), canonicalize(woc.lineage.to_value())),
+        ("web".to_string(), canonicalize(woc.web.to_value())),
+        (
+            "doc_urls".to_string(),
+            canonicalize(woc.doc_urls.to_value()),
+        ),
+        (
+            "doc_titles".to_string(),
+            canonicalize(woc.doc_titles.to_value()),
+        ),
+        (
+            "record_index_digest".to_string(),
+            Value::UInt(woc.record_index.digest()),
+        ),
+        (
+            "doc_index_digest".to_string(),
+            Value::UInt(woc.doc_index.digest()),
+        ),
+    ]);
+    serde_json::to_string(&Canon(top))
+        .expect("invariant: a canonicalized value tree always serializes")
+        .into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use woc_core::build;
+    use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+    #[test]
+    fn canonical_bytes_stable_across_identical_builds() {
+        let world = World::generate(WorldConfig::tiny(41));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(5));
+        let a = build(&corpus, &PipelineConfig::default());
+        let b = build(&corpus, &PipelineConfig::default());
+        assert_eq!(
+            canonical_bytes(&a),
+            canonical_bytes(&b),
+            "two from-scratch builds of the same corpus must render identically"
+        );
+    }
+
+    #[test]
+    fn canonical_bytes_detects_differences() {
+        let world = World::generate(WorldConfig::tiny(41));
+        let a = build(
+            &generate_corpus(&world, &CorpusConfig::tiny(5)),
+            &PipelineConfig::default(),
+        );
+        let b = build(
+            &generate_corpus(&world, &CorpusConfig::tiny(6)),
+            &PipelineConfig::default(),
+        );
+        assert_ne!(canonical_bytes(&a), canonical_bytes(&b));
+    }
+
+    #[test]
+    fn changes_classifies_dirty_added_removed() {
+        let world = World::generate(WorldConfig::tiny(42));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(7));
+        let engine = IncrEngine::new(&corpus, PipelineConfig::default());
+
+        assert!(engine.changes(&corpus).is_empty());
+
+        let mut v2 = WebCorpus::new();
+        let pages = corpus.pages();
+        // Drop the first page, mutate the second, keep the rest, add one.
+        for (i, p) in pages.iter().enumerate() {
+            if i == 0 {
+                continue;
+            }
+            let mut p = p.clone();
+            if i == 1 {
+                p.title.push_str(" (updated)");
+            }
+            v2.add(p);
+        }
+        let mut extra = pages[2].clone();
+        extra.url = "http://example.test/brand-new".to_string();
+        v2.add(extra);
+
+        let set = engine.changes(&v2);
+        assert_eq!(set.removed, vec![pages[0].url.clone()]);
+        assert_eq!(set.dirty, vec![pages[1].url.clone()]);
+        assert_eq!(set.added, vec!["http://example.test/brand-new".to_string()]);
+        assert_eq!(set.len(), 3);
+    }
+}

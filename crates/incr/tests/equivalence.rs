@@ -1,0 +1,189 @@
+//! The headline invariant of incremental maintenance: the maintained web
+//! is **byte-identical** ([`woc_incr::canonical_bytes`]) to a from-scratch
+//! rebuild of the same crawl, and passes the full integrity audit — at any
+//! churn rate and any thread count. The `incr-equivalence` CI job runs
+//! exactly these tests.
+
+use woc_audit::{audit, AuditConfig};
+use woc_core::{build, PipelineConfig};
+use woc_incr::{canonical_bytes, IncrEngine};
+use woc_lrec::Tick;
+use woc_serve::{ConceptServer, ServeConfig};
+use woc_webgen::{
+    churn_restaurants, drift_site, generate_corpus, CorpusConfig, DriftConfig, WebCorpus, World,
+    WorldConfig,
+};
+
+fn pipeline(threads: usize) -> PipelineConfig {
+    PipelineConfig {
+        threads,
+        ..PipelineConfig::default()
+    }
+}
+
+/// Churn the world until at least one event actually fires. Tiny worlds at
+/// 1% churn usually roll zero events, and a zero-event churn call does not
+/// mutate the world at all — so retrying seeds is sound.
+fn churn_until_events(world: &mut World, rate: f64, tick: Tick, mut seed: u64) -> u64 {
+    while churn_restaurants(world, rate, tick, seed).is_empty() {
+        seed += 1;
+        assert!(seed < 1000, "no churn events after a thousand seeds");
+    }
+    seed
+}
+
+fn assert_clean_audit(woc: &woc_core::WebOfConcepts) {
+    let report = audit(woc, &AuditConfig::default());
+    let failing: Vec<_> = report
+        .checks
+        .iter()
+        .filter(|c| c.violations > 0)
+        .map(|c| (c.code.clone(), c.violations))
+        .collect();
+    assert!(report.passed(), "audit violations: {failing:?}");
+}
+
+/// Build epoch 1, churn at `rate`, maintain, and require byte-identity
+/// with a from-scratch build plus a clean audit.
+fn equivalence_scenario(rate: f64, threads: usize) {
+    let mut world = World::generate(WorldConfig::tiny(500));
+    let corpus_cfg = CorpusConfig::tiny(50);
+    let config = pipeline(threads);
+    let corpus_v1 = generate_corpus(&world, &corpus_cfg);
+    let mut engine = IncrEngine::new(&corpus_v1, config.clone());
+
+    churn_until_events(&mut world, rate, Tick(10), 1);
+    let corpus_v2 = generate_corpus(&world, &corpus_cfg);
+
+    let report = engine.maintain(&corpus_v2);
+    assert!(!report.short_circuited, "churn must dirty some pages");
+    assert!(report.pages_dirty > 0);
+
+    let fresh = build(&corpus_v2, &config);
+    assert_eq!(
+        canonical_bytes(engine.web()),
+        canonical_bytes(&fresh),
+        "maintained web must be byte-identical to a from-scratch rebuild \
+         (rate {rate}, {threads} threads)"
+    );
+    assert_clean_audit(engine.web());
+}
+
+#[test]
+fn equivalent_at_1pct_churn_single_thread() {
+    equivalence_scenario(0.01, 1);
+}
+
+#[test]
+fn equivalent_at_1pct_churn_8_threads() {
+    equivalence_scenario(0.01, 8);
+}
+
+#[test]
+fn equivalent_at_50pct_churn_single_thread() {
+    equivalence_scenario(0.50, 1);
+}
+
+#[test]
+fn equivalent_at_50pct_churn_8_threads() {
+    equivalence_scenario(0.50, 8);
+}
+
+#[test]
+fn noop_maintain_short_circuits() {
+    let world = World::generate(WorldConfig::tiny(501));
+    let corpus = generate_corpus(&world, &CorpusConfig::tiny(51));
+    let mut engine = IncrEngine::new(&corpus, pipeline(1));
+    let before = canonical_bytes(engine.web());
+
+    let report = engine.maintain(&corpus);
+    assert!(report.short_circuited);
+    assert_eq!(report.pages_dirty, 0);
+    assert_eq!(report.records_affected, 0);
+    assert_eq!(report.pages_reextracted, 0, "no work on a clean crawl");
+    assert_eq!(canonical_bytes(engine.web()), before, "web untouched");
+}
+
+/// Three consecutive epochs — churn, site redesign (DOM drift), heavier
+/// churn — each maintained incrementally on top of the last, never
+/// rebuilding from scratch in between. Equivalence must hold at the end of
+/// the chain, not just one hop from a fresh build.
+#[test]
+fn chained_epochs_stay_equivalent() {
+    let mut world = World::generate(WorldConfig::tiny(502));
+    let corpus_cfg = CorpusConfig::tiny(52);
+    let config = pipeline(0);
+    let corpus_v1 = generate_corpus(&world, &corpus_cfg);
+    let mut engine = IncrEngine::new(&corpus_v1, config.clone());
+
+    // Epoch 2: value churn.
+    churn_until_events(&mut world, 0.3, Tick(10), 1);
+    let corpus_v2 = generate_corpus(&world, &corpus_cfg);
+    assert!(!engine.maintain(&corpus_v2).short_circuited);
+
+    // Epoch 3: one site redesigns (pure DOM drift, same values).
+    let site = corpus_v2.pages()[0].site.clone();
+    let site_pages: Vec<_> = corpus_v2
+        .pages_of_site(&site)
+        .into_iter()
+        .cloned()
+        .collect();
+    let (drifted, _) = drift_site(&site_pages, &DriftConfig::mild(), 9);
+    let mut corpus_v3 = WebCorpus::new();
+    for p in corpus_v2.pages() {
+        if p.site != site {
+            corpus_v3.add(p.clone());
+        }
+    }
+    for p in drifted {
+        corpus_v3.add(p);
+    }
+    let r3 = engine.maintain(&corpus_v3);
+    assert!(!r3.short_circuited, "drifted DOMs must fingerprint dirty");
+
+    // Epoch 4: heavier churn (may close restaurants → pages vanish).
+    churn_until_events(&mut world, 0.6, Tick(20), 1);
+    let corpus_v4 = generate_corpus(&world, &corpus_cfg);
+    engine.maintain(&corpus_v4);
+
+    let fresh = build(&corpus_v4, &config);
+    assert_eq!(
+        canonical_bytes(engine.web()),
+        canonical_bytes(&fresh),
+        "equivalence must survive a chain of maintained epochs"
+    );
+    assert_clean_audit(engine.web());
+}
+
+#[test]
+fn publish_path_bumps_epoch_only_on_change() {
+    let mut world = World::generate(WorldConfig::tiny(503));
+    let corpus_cfg = CorpusConfig::tiny(53);
+    let corpus_v1 = generate_corpus(&world, &corpus_cfg);
+    let mut engine = IncrEngine::new(&corpus_v1, pipeline(0));
+    let server = ConceptServer::new(engine.web().clone(), ServeConfig::default());
+    server.search("is:restaurant", 5);
+    let warm = server.cache_len();
+    assert!(warm > 0);
+
+    // Clean crawl: no publish, epoch and cache untouched.
+    let (report, epoch) = engine.maintain_and_publish(&corpus_v1, &server);
+    assert!(report.short_circuited);
+    assert_eq!(epoch, 1);
+    assert_eq!(server.epoch(), 1);
+    assert_eq!(server.cache_len(), warm, "no-op pass keeps the cache warm");
+
+    // Real change: new epoch, cache invalidated, delta scoped to concepts.
+    churn_until_events(&mut world, 0.5, Tick(10), 1);
+    let corpus_v2 = generate_corpus(&world, &corpus_cfg);
+    let (report, epoch) = engine.maintain_and_publish(&corpus_v2, &server);
+    assert!(!report.short_circuited);
+    assert!(
+        !report.touched_concepts.is_empty(),
+        "churned records must scope the delta"
+    );
+    assert_eq!(epoch, 2);
+    assert_eq!(server.epoch(), 2);
+    assert_eq!(server.cache_len(), 0, "real change invalidates the cache");
+    assert_eq!(server.search("is:restaurant", 5).epoch, 2);
+}

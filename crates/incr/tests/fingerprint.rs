@@ -1,0 +1,138 @@
+//! Property tests for the change-detection layer: page fingerprints must
+//! be stable (identical content ⇒ identical fingerprint), sensitive
+//! (any single-byte mutation of hashed content ⇒ different fingerprint),
+//! and independent of thread count and visit order. They live here rather
+//! than in `woc-webgen` because the thread-independence property exercises
+//! `woc_core::shard_map`, which depends on webgen.
+
+use proptest::prelude::*;
+use woc_core::shard_map;
+use woc_webgen::{Node, Page, PageKind, PageTruth};
+
+/// An arbitrary small page: a body of class'd divs with text children.
+fn page_strategy() -> impl Strategy<Value = Page> {
+    (
+        "[a-z]{1,8}",
+        "[A-Za-z ]{1,20}",
+        prop::collection::vec(("[a-z]{1,6}", "[A-Za-z0-9 ]{1,12}"), 1..5),
+    )
+        .prop_map(|(slug, title, kids)| {
+            let mut body = Node::elem("body");
+            for (class, text) in kids {
+                body = body.child(Node::elem("div").attr("class", &class).text_child(text));
+            }
+            Page {
+                url: format!("http://site.test/{slug}"),
+                site: "site.test".to_string(),
+                title,
+                dom: Node::elem("html").child(body),
+                truth: PageTruth {
+                    kind: PageKind::RestaurantHome,
+                    about: None,
+                    records: Vec::new(),
+                    mentions: Vec::new(),
+                },
+            }
+        })
+}
+
+/// Flip the low bit of one ASCII byte of `s` (stays valid UTF-8 for the
+/// ASCII alphabets our strategies draw from).
+fn flip_byte(s: &str, at: usize) -> String {
+    let mut bytes = s.as_bytes().to_vec();
+    let i = at % bytes.len();
+    bytes[i] ^= 0x01;
+    String::from_utf8(bytes).expect("invariant: ASCII stays ASCII under low-bit flips")
+}
+
+proptest! {
+    /// Identical bytes ⇒ identical fingerprint: a clone (and a structural
+    /// re-walk of the same page) always hashes the same.
+    #[test]
+    fn identical_pages_fingerprint_identically(page in page_strategy()) {
+        let copy = page.clone();
+        prop_assert_eq!(page.fingerprint(), copy.fingerprint());
+        prop_assert_eq!(page.fingerprint(), page.fingerprint());
+    }
+
+    /// A single-byte mutation in any hashed field — URL, title, or a text
+    /// node — changes the fingerprint.
+    #[test]
+    fn single_byte_mutations_change_fingerprint(page in page_strategy(), at in 0usize..64) {
+        let base = page.fingerprint();
+
+        let mut m = page.clone();
+        m.url = flip_byte(&m.url, at);
+        prop_assert_ne!(base, m.fingerprint(), "url mutation undetected");
+
+        let mut m = page.clone();
+        m.title = flip_byte(&m.title, at);
+        prop_assert_ne!(base, m.fingerprint(), "title mutation undetected");
+
+        let mut m = page.clone();
+        mutate_first_text(&mut m.dom, at);
+        prop_assert_ne!(base, m.fingerprint(), "text mutation undetected");
+    }
+
+    /// Fingerprints are a pure per-page function: hashing the corpus on 1,
+    /// 4 or 8 threads, or visiting pages in a rotated order, yields the
+    /// same value for every page.
+    #[test]
+    fn fingerprints_independent_of_threads_and_order(
+        pages in prop::collection::vec(page_strategy(), 1..8),
+        rot in 0usize..8,
+    ) {
+        let serial: Vec<u64> = pages.iter().map(Page::fingerprint).collect();
+        for threads in [1usize, 4, 8] {
+            let sharded = shard_map(&pages, threads, |p| p.fingerprint());
+            prop_assert_eq!(&serial, &sharded, "thread count {} changed fingerprints", threads);
+        }
+        let mut rotated = pages.clone();
+        let shift = rot % rotated.len().max(1);
+        rotated.rotate_left(shift);
+        for p in &rotated {
+            let i = pages.iter().position(|q| q == p).expect("invariant: rotation preserves membership");
+            prop_assert_eq!(serial[i], p.fingerprint(), "visit order changed a fingerprint");
+        }
+    }
+}
+
+/// Flip a byte in the first text node found (depth-first).
+fn mutate_first_text(node: &mut Node, at: usize) -> bool {
+    match node {
+        Node::Text(t) => {
+            *t = flip_byte(t, at);
+            true
+        }
+        Node::Element { children, .. } => {
+            for c in children.iter_mut() {
+                if mutate_first_text(c, at) {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+}
+
+/// Ground truth is evaluation-only state the pipeline never reads; the
+/// fingerprint must ignore it so truth-only differences never dirty a page.
+#[test]
+fn truth_changes_do_not_dirty_the_page() {
+    let page = Page {
+        url: "http://site.test/x".into(),
+        site: "site.test".into(),
+        title: "A Page".into(),
+        dom: Node::elem("html").child(Node::elem("body").text_child("hello")),
+        truth: PageTruth {
+            kind: PageKind::RestaurantHome,
+            about: None,
+            records: Vec::new(),
+            mentions: Vec::new(),
+        },
+    };
+    let mut other = page.clone();
+    other.truth.kind = PageKind::AggregatorBiz;
+    other.truth.mentions = vec![woc_lrec::LrecId(7)];
+    assert_eq!(page.fingerprint(), other.fingerprint());
+}

@@ -85,6 +85,75 @@ impl InvertedIndex {
         id
     }
 
+    /// Replace the indexed content of `doc` in place: remove the
+    /// contributions of `old_tokens` — which must be exactly the token
+    /// sequence `doc` was indexed with — then index `new_tokens` under the
+    /// same id. Terms whose last posting disappears are purged entirely, so
+    /// the patched index is indistinguishable (including by
+    /// [`InvertedIndex::digest`]) from one freshly built with the new
+    /// tokens. Returns the number of `(term, doc)` postings removed plus
+    /// inserted — the patch size.
+    pub fn replace_doc(
+        &mut self,
+        doc: DocId,
+        old_tokens: &[String],
+        new_tokens: &[String],
+    ) -> usize {
+        let slot = doc.0 as usize;
+        assert!(slot < self.doc_lens.len(), "doc {} not in index", doc.0);
+        assert_eq!(
+            self.doc_lens[slot] as usize,
+            old_tokens.len(),
+            "old_tokens must be the exact tokens doc {} was indexed with",
+            doc.0
+        );
+        let mut patched = 0usize;
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        for t in old_tokens {
+            if !seen.insert(t.as_str()) {
+                continue;
+            }
+            if let Some(pl) = self.terms.get_mut(t) {
+                pl.remove_doc(doc);
+                if pl.is_empty() {
+                    self.terms.remove(t);
+                }
+            }
+            if let Some(pv) = self.positions.get_mut(t) {
+                if let Ok(i) = pv.binary_search_by_key(&doc, |&(d, _)| d) {
+                    pv.remove(i);
+                }
+                if pv.is_empty() {
+                    self.positions.remove(t);
+                }
+            }
+            patched += 1;
+        }
+        // Group the new tokens per term (BTreeMap: deterministic insertion
+        // order into the hash maps does not matter, but the grouping must
+        // not depend on iteration order either).
+        let mut per_term: std::collections::BTreeMap<&str, Vec<u32>> =
+            std::collections::BTreeMap::new();
+        for (pos, t) in new_tokens.iter().enumerate() {
+            per_term.entry(t.as_str()).or_default().push(pos as u32);
+        }
+        for (t, ps) in per_term {
+            self.terms
+                .entry(t.to_string())
+                .or_default()
+                .insert(doc, ps.len() as u32);
+            let pv = self.positions.entry(t.to_string()).or_default();
+            match pv.binary_search_by_key(&doc, |&(d, _)| d) {
+                Err(i) => pv.insert(i, (doc, ps)),
+                Ok(_) => unreachable!("old postings for doc {} were just removed", doc.0),
+            }
+            patched += 1;
+        }
+        self.total_len = self.total_len - old_tokens.len() as u64 + new_tokens.len() as u64;
+        self.doc_lens[slot] = new_tokens.len() as u32;
+        patched
+    }
+
     /// Positions of `term` in `doc`, sorted ascending (empty if absent).
     pub fn positions(&self, term: &str, doc: DocId) -> &[u32] {
         self.positions
@@ -359,6 +428,64 @@ mod tests {
         for hit in ix.search("the cupertino guide mexican", 100) {
             assert!(hit.score >= 0.0);
         }
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize_words(s)
+    }
+
+    #[test]
+    fn replace_doc_is_indistinguishable_from_fresh_build() {
+        let docs = [
+            "Gochi Fusion Tapas Cupertino japanese tapas",
+            "Taqueria El Farolito San Francisco mexican burrito",
+            "best mexican food in Chicago salsa salsa salsa",
+        ];
+        // "salsa" and "chicago" exist only in doc 2: replacing it must purge
+        // those terms entirely, and introduces brand-new terms.
+        let replacement = "udon noodle bar mexican fusion";
+        let mut patched = InvertedIndex::new();
+        for d in &docs {
+            patched.add_text(d);
+        }
+        let n = patched.replace_doc(DocId(2), &toks(docs[2]), &toks(replacement));
+        assert!(n > 0);
+
+        let mut fresh = InvertedIndex::new();
+        fresh.add_text(docs[0]);
+        fresh.add_text(docs[1]);
+        fresh.add_text(replacement);
+        assert_eq!(patched.digest(), fresh.digest());
+        assert_eq!(patched.vocab_size(), fresh.vocab_size());
+        assert_eq!(patched.df("salsa"), 0, "orphaned term purged");
+        assert!(patched.positions("chicago", DocId(2)).is_empty());
+        assert_eq!(patched.search_phrase("udon noodle bar"), vec![DocId(2)]);
+    }
+
+    #[test]
+    fn replace_doc_to_empty_and_back() {
+        let mut patched = InvertedIndex::new();
+        patched.add_tokens(&["a", "b"]);
+        patched.add_tokens(&["b", "c"]);
+        let old = vec!["b".to_string(), "c".to_string()];
+        patched.replace_doc(DocId(1), &old, &[]);
+        let mut fresh = InvertedIndex::new();
+        fresh.add_tokens(&["a", "b"]);
+        fresh.add_tokens::<String>(&[]);
+        assert_eq!(patched.digest(), fresh.digest());
+        patched.replace_doc(DocId(1), &[], &old);
+        let mut fresh2 = InvertedIndex::new();
+        fresh2.add_tokens(&["a", "b"]);
+        fresh2.add_tokens(&["b", "c"]);
+        assert_eq!(patched.digest(), fresh2.digest());
+    }
+
+    #[test]
+    #[should_panic(expected = "exact tokens")]
+    fn replace_doc_rejects_wrong_old_tokens() {
+        let mut ix = InvertedIndex::new();
+        ix.add_tokens(&["a", "b"]);
+        ix.replace_doc(DocId(0), &["a".to_string()], &[]);
     }
 
     #[test]

@@ -154,15 +154,18 @@ impl LrecIndex {
         Self::default()
     }
 
-    /// Index a record (latest version). Re-indexing the same id replaces is
-    /// NOT supported — build a fresh index after bulk updates (this mirrors
-    /// segment-rebuild search architectures and keeps the index immutable).
+    /// Index a record (latest version). Re-indexing the same id appends is
+    /// NOT supported — use [`LrecIndex::replace`] for in-place updates or
+    /// build a fresh index after bulk changes.
     pub fn add(&mut self, rec: &Lrec) {
-        assert!(
-            !self.by_lrec.contains_key(&rec.id()),
-            "record {} already indexed; rebuild the index instead",
-            rec.id()
-        );
+        self.add_record_tokens(rec.id(), rec.concept(), &Self::record_tokens(rec));
+    }
+
+    /// The exact token sequence [`LrecIndex::add`] indexes for a record:
+    /// every non-`Ref` value tokenized, each word emitted both unscoped and
+    /// scoped by its attribute key. Exposed so incremental maintenance can
+    /// compare a record's current tokens against what is indexed.
+    pub fn record_tokens(rec: &Lrec) -> Vec<String> {
         let mut tokens: Vec<String> = Vec::new();
         for (key, entries) in rec.iter() {
             for e in entries {
@@ -176,10 +179,34 @@ impl LrecIndex {
                 }
             }
         }
-        let doc = self.inner.add_tokens(&tokens);
+        tokens
+    }
+
+    /// Index a record from a pre-computed token sequence (see
+    /// [`LrecIndex::record_tokens`]) — the builder behind both
+    /// [`LrecIndex::add`] and cache-driven incremental rebuilds.
+    pub fn add_record_tokens(&mut self, id: LrecId, concept: ConceptId, tokens: &[String]) {
+        assert!(
+            !self.by_lrec.contains_key(&id),
+            "record {id} already indexed; rebuild the index instead"
+        );
+        let doc = self.inner.add_tokens(tokens);
         debug_assert_eq!(doc.0 as usize, self.docs.len());
-        self.docs.push((rec.id(), rec.concept()));
-        self.by_lrec.insert(rec.id(), doc);
+        self.docs.push((id, concept));
+        self.by_lrec.insert(id, doc);
+    }
+
+    /// Re-index one record in place: `old_tokens` must be exactly its
+    /// current indexed tokens (see [`InvertedIndex::replace_doc`]). The
+    /// record keeps its internal doc id, so the patched index is
+    /// indistinguishable from a fresh build over the updated records.
+    /// Returns the number of postings patched.
+    pub fn replace(&mut self, id: LrecId, old_tokens: &[String], new_tokens: &[String]) -> usize {
+        let doc = *self
+            .by_lrec
+            .get(&id)
+            .expect("invariant: replace() is only called for indexed records");
+        self.inner.replace_doc(doc, old_tokens, new_tokens)
     }
 
     /// Number of indexed records.
@@ -388,5 +415,72 @@ mod tests {
     fn duplicate_add_panics() {
         let mut ix = index();
         ix.add(&rec(1, 0, &[("name", "dup")]));
+    }
+
+    #[test]
+    fn replace_matches_fresh_build() {
+        let updated = rec(
+            2,
+            0,
+            &[
+                ("name", "El Farolito Nuevo"),
+                ("city", "Oakland"),
+                ("cuisine", "Mexican"),
+            ],
+        );
+        let mut patched = index();
+        let old = LrecIndex::record_tokens(&rec(
+            2,
+            0,
+            &[
+                ("name", "El Farolito"),
+                ("city", "San Francisco"),
+                ("cuisine", "Mexican"),
+            ],
+        ));
+        let n = patched.replace(LrecId(2), &old, &LrecIndex::record_tokens(&updated));
+        assert!(n > 0);
+
+        let mut fresh = LrecIndex::new();
+        fresh.add(&rec(
+            1,
+            0,
+            &[
+                ("name", "Gochi Fusion Tapas"),
+                ("city", "Cupertino"),
+                ("cuisine", "Japanese"),
+            ],
+        ));
+        fresh.add(&updated);
+        fresh.add(&rec(
+            3,
+            0,
+            &[
+                ("name", "Casa Cantina"),
+                ("city", "San Jose"),
+                ("cuisine", "Mexican"),
+            ],
+        ));
+        fresh.add(&rec(
+            4,
+            1,
+            &[("title", "Towards Entity Matching"), ("venue", "PODS")],
+        ));
+        assert_eq!(patched.digest(), fresh.digest());
+        // The patched index serves the new content.
+        let hits = patched.query("city:oakland", 5, resolver);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, LrecId(2));
+        assert!(patched.query("city:francisco", 5, resolver).is_empty());
+    }
+
+    #[test]
+    fn add_record_tokens_equals_add() {
+        let r = rec(9, 0, &[("name", "Udon House"), ("city", "Berkeley")]);
+        let mut a = LrecIndex::new();
+        a.add(&r);
+        let mut b = LrecIndex::new();
+        b.add_record_tokens(r.id(), r.concept(), &LrecIndex::record_tokens(&r));
+        assert_eq!(a.digest(), b.digest());
     }
 }

@@ -64,6 +64,34 @@ impl PostingList {
         }
     }
 
+    /// Remove the posting for `doc`, if present. Returns `true` when a
+    /// posting was removed. This is the mid-list counterpart of the
+    /// append-only builders, used by incremental index patching.
+    pub fn remove_doc(&mut self, doc: DocId) -> bool {
+        match self.entries.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => {
+                self.entries.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Insert a posting at its sorted position, or add `tf` to an existing
+    /// one — `add_tf` for callers that cannot guarantee append order
+    /// (incremental index patching).
+    pub fn insert(&mut self, doc: DocId, tf: u32) {
+        match self.entries.binary_search_by_key(&doc, |p| p.doc) {
+            Ok(i) => self.entries[i].tf += tf,
+            Err(i) => self.entries.insert(i, Posting { doc, tf }),
+        }
+    }
+
+    /// True when no document contains the term.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
     /// Number of documents containing the term.
     pub fn doc_freq(&self) -> u32 {
         self.entries.len() as u32
@@ -221,6 +249,27 @@ mod tests {
         let mut l = PostingList::new();
         l.add(DocId(5));
         l.add(DocId(3));
+    }
+
+    #[test]
+    fn insert_out_of_order_matches_append_order_build() {
+        let mut l = PostingList::new();
+        l.insert(DocId(5), 2);
+        l.insert(DocId(1), 1);
+        l.insert(DocId(3), 4);
+        l.insert(DocId(1), 2); // merges into the existing posting
+        assert_eq!(l, list(&[(1, 3), (3, 4), (5, 2)]));
+    }
+
+    #[test]
+    fn remove_doc_keeps_order_and_reports_presence() {
+        let mut l = list(&[(1, 1), (3, 2), (5, 1)]);
+        assert!(l.remove_doc(DocId(3)));
+        assert_eq!(l, list(&[(1, 1), (5, 1)]));
+        assert!(!l.remove_doc(DocId(3)), "second removal finds nothing");
+        assert!(l.remove_doc(DocId(1)));
+        assert!(l.remove_doc(DocId(5)));
+        assert!(l.is_empty());
     }
 
     #[test]

@@ -42,9 +42,9 @@ use woc_apps::{
     build_concept_box, concept_search_parsed, interpret_query, trigger_concept_box, ConceptBox,
     ConceptResult, Recommendation,
 };
-use woc_core::{recrawl, shard_map, MaintenanceReport, WebOfConcepts};
+use woc_core::{recrawl, shard_map, WebOfConcepts};
 use woc_index::FieldQuery;
-use woc_lrec::{Tick, Violation};
+use woc_lrec::{ConceptId, Tick, Violation};
 use woc_webgen::WebCorpus;
 
 use cache::ShardedCache;
@@ -79,6 +79,58 @@ impl Default for ServeConfig {
             exclude_nonconforming: false,
         }
     }
+}
+
+/// What changed between a snapshot and a candidate replacement — the
+/// incremental-maintenance engine hands this to [`ConceptServer::publish_delta`]
+/// so a no-op maintenance pass never invalidates a warm cache.
+///
+/// Deliberately coarse: when *anything* changed, the whole result cache is
+/// dropped on publish. Per-concept cache retention would be unsound here —
+/// BM25 idf is corpus-global (one new document shifts every search score)
+/// and the application layer reads doc-side state (titles, mention links)
+/// for records of *any* concept, so a result keyed on an untouched concept
+/// can still change. `touched_concepts` is kept for observability and for
+/// future sound scoping (e.g. concept-box pinning), not used to retain
+/// entries today.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochDelta {
+    /// Concepts with at least one created, updated, merged or tombstoned
+    /// record (sorted, deduplicated).
+    pub touched_concepts: Vec<ConceptId>,
+    /// Any record content, merge state, or record-index posting changed.
+    pub records_changed: bool,
+    /// Any document content or doc-index posting changed.
+    pub docs_changed: bool,
+}
+
+impl EpochDelta {
+    /// True when nothing changed — publishing such a delta is a no-op.
+    pub fn is_empty(&self) -> bool {
+        self.touched_concepts.is_empty() && !self.records_changed && !self.docs_changed
+    }
+}
+
+/// What a [`ConceptServer::maintain`] pass did.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MaintainReport {
+    /// Pages in the new crawl.
+    pub pages_scanned: usize,
+    /// Pages whose content fingerprint changed (or that are new).
+    pub pages_dirty: usize,
+    /// Existing records that received updated values.
+    pub records_updated: usize,
+    /// Records newly created.
+    pub records_created: usize,
+    /// Records tombstoned because every source page vanished.
+    pub records_retracted: usize,
+    /// Index postings patched in place. The recrawl path rebuilds its record
+    /// index rather than patching, so this is 0 here; the `woc-incr` engine
+    /// reports real patch counts.
+    pub postings_patched: usize,
+    /// The newly published epoch, or `None` when the pass short-circuited
+    /// (nothing changed, nothing published, cache left warm).
+    pub epoch: Option<u64>,
 }
 
 /// An immutable, read-only view of one published web of concepts.
@@ -173,20 +225,50 @@ impl ConceptServer {
         epoch
     }
 
-    /// Maintenance cycle: clone the published web, apply an incremental
-    /// recrawl ([`woc_core::maintain`]) against it, and publish the result
-    /// as a new epoch. Readers never block on the rebuild — they keep
-    /// serving the old snapshot until the swap.
-    pub fn maintain(
-        &self,
-        old: &WebCorpus,
-        new: &WebCorpus,
-        tick: Tick,
-    ) -> (MaintenanceReport, u64) {
+    /// Publish `woc` as a new epoch *only if* `delta` is non-empty. An empty
+    /// delta returns the current epoch untouched: no snapshot swap, no epoch
+    /// bump, and — crucially — no cache invalidation, so a no-op maintenance
+    /// cycle keeps the result cache warm. See [`EpochDelta`] for why any
+    /// non-empty delta still drops the whole cache.
+    pub fn publish_delta(&self, woc: WebOfConcepts, delta: &EpochDelta) -> u64 {
+        if delta.is_empty() {
+            return self.epoch();
+        }
+        self.publish(woc)
+    }
+
+    /// Maintenance cycle: fingerprint-diff the two crawls, and only when
+    /// some page actually changed (or vanished) clone the published web,
+    /// apply an incremental recrawl ([`woc_core::maintain`]) against it, and
+    /// publish the result as a new epoch. Readers never block on the rebuild
+    /// — they keep serving the old snapshot until the swap. When nothing
+    /// changed the pass short-circuits: no clone, no publish, cache intact,
+    /// and the returned report carries `epoch: None`.
+    pub fn maintain(&self, old: &WebCorpus, new: &WebCorpus, tick: Tick) -> MaintainReport {
+        let pages_dirty = new
+            .pages()
+            .iter()
+            .filter(|page| match old.get(&page.url) {
+                Some(old_page) => old_page.fingerprint() != page.fingerprint(),
+                None => true,
+            })
+            .count();
+        let any_removed = old.pages().iter().any(|p| new.get(&p.url).is_none());
+        let mut report = MaintainReport {
+            pages_scanned: new.len(),
+            pages_dirty,
+            ..MaintainReport::default()
+        };
+        if pages_dirty == 0 && !any_removed {
+            return report;
+        }
         let mut woc = self.snapshot().woc.clone();
-        let report = recrawl(&mut woc, old, new, tick);
-        let epoch = self.publish(woc);
-        (report, epoch)
+        let m = recrawl(&mut woc, old, new, tick);
+        report.records_updated = m.records_updated;
+        report.records_created = m.records_created;
+        report.records_retracted = m.records_retracted;
+        report.epoch = Some(self.publish(woc));
+        report
     }
 
     /// Runtime cache switch (the config default applies at construction).
@@ -428,12 +510,63 @@ mod tests {
         let server = ConceptServer::new(woc, ServeConfig::default());
         server.search("gochi", 5);
 
-        woc_webgen::churn_restaurants(&mut world, 0.5, Tick(10), 7);
+        let mut events = woc_webgen::churn_restaurants(&mut world, 0.5, Tick(10), 7);
+        let mut seed = 8;
+        while events.is_empty() {
+            events = woc_webgen::churn_restaurants(&mut world, 0.5, Tick(10), seed);
+            seed += 1;
+            assert!(seed < 1000, "no churn events after many seeds");
+        }
         let corpus_v2 = generate_corpus(&world, &cfg);
-        let (report, epoch) = server.maintain(&corpus_v1, &corpus_v2, Tick(60));
-        assert_eq!(epoch, 2);
-        assert!(report.pages_total > 0);
+        let report = server.maintain(&corpus_v1, &corpus_v2, Tick(60));
+        assert_eq!(report.epoch, Some(2));
+        assert!(report.pages_scanned > 0);
+        assert!(report.pages_dirty > 0);
         assert_eq!(server.cache_len(), 0);
         assert_eq!(server.search("gochi", 5).epoch, 2);
+    }
+
+    #[test]
+    fn maintain_short_circuits_on_identical_corpus() {
+        let world = World::generate(WorldConfig::tiny(903));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(93));
+        let woc = build(&corpus, &PipelineConfig::default());
+        let server = ConceptServer::new(woc, ServeConfig::default());
+        server.search("gochi", 5);
+        let warm = server.cache_len();
+        assert!(warm > 0);
+
+        let report = server.maintain(&corpus, &corpus, Tick(60));
+        assert_eq!(report.epoch, None, "no-op maintenance publishes nothing");
+        assert_eq!(report.pages_dirty, 0);
+        assert_eq!(server.epoch(), 1, "epoch unchanged");
+        assert_eq!(server.cache_len(), warm, "cache stays warm");
+        assert!(server.search("gochi", 5).cached);
+    }
+
+    #[test]
+    fn publish_delta_empty_keeps_epoch_and_cache() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        server.search("gochi", 5);
+        let warm = server.cache_len();
+        let epoch = server.publish_delta(tiny_woc(901, 91), &EpochDelta::default());
+        assert_eq!(epoch, 1);
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.cache_len(), warm);
+    }
+
+    #[test]
+    fn publish_delta_nonempty_bumps_and_clears() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        server.search("gochi", 5);
+        let delta = EpochDelta {
+            touched_concepts: vec![ConceptId(0)],
+            records_changed: true,
+            docs_changed: false,
+        };
+        assert!(!delta.is_empty());
+        let epoch = server.publish_delta(tiny_woc(902, 92), &delta);
+        assert_eq!(epoch, 2);
+        assert_eq!(server.cache_len(), 0);
     }
 }

@@ -144,6 +144,81 @@ impl Page {
             None => "",
         }
     }
+
+    /// Stable content fingerprint of the page, the change-detection signal
+    /// of incremental maintenance: two pages fingerprint equal iff their
+    /// URL, site, title, and DOM are identical. Ground truth is excluded —
+    /// the pipeline never reads it, so truth-only edits must not dirty a
+    /// page. The value depends only on the page's own bytes (FNV-1a with
+    /// the same constants as the index digests), so it is independent of
+    /// thread count and visit order by construction. Every string is
+    /// length-prefixed and every node/field carries a distinct marker byte,
+    /// making the encoding injective: any single-byte difference anywhere
+    /// in the hashed content feeds different bytes to the hash.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.mark(0x01);
+        h.str(&self.url);
+        h.mark(0x02);
+        h.str(&self.site);
+        h.mark(0x03);
+        h.str(&self.title);
+        fingerprint_node(&self.dom, &mut h);
+        h.0
+    }
+}
+
+/// FNV-1a, same constants as `woc_index`'s digests.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf29ce484222325)
+    }
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    /// Length-prefixed string: unambiguous regardless of content bytes.
+    fn str(&mut self, s: &str) {
+        self.bytes(&(s.len() as u64).to_le_bytes());
+        self.bytes(s.as_bytes());
+    }
+    /// Structural marker byte separating fields and node types.
+    fn mark(&mut self, m: u8) {
+        self.bytes(&[m]);
+    }
+}
+
+fn fingerprint_node(node: &Node, h: &mut Fnv) {
+    match node {
+        Node::Element {
+            tag,
+            attrs,
+            children,
+        } => {
+            h.mark(0x04);
+            h.str(tag);
+            for (k, v) in attrs {
+                // BTreeMap: attrs arrive in sorted, deterministic order.
+                h.mark(0x05);
+                h.str(k);
+                h.mark(0x06);
+                h.str(v);
+            }
+            h.mark(0x07);
+            for c in children {
+                fingerprint_node(c, h);
+            }
+            h.mark(0x08);
+        }
+        Node::Text(t) => {
+            h.mark(0x09);
+            h.str(t);
+        }
+    }
 }
 
 /// Path component of an absolute URL (empty string if malformed).
@@ -223,6 +298,67 @@ mod tests {
         assert_eq!(PageKind::AggregatorSearch.click_category(), Some("search"));
         assert_eq!(PageKind::AggregatorCategory.click_category(), Some("c"));
         assert_eq!(PageKind::Article.click_category(), None);
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_clone_stable() {
+        let p = page("http://a.example.com/x");
+        assert_eq!(p.fingerprint(), p.fingerprint());
+        assert_eq!(p.fingerprint(), p.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_every_hashed_field() {
+        let base = page("http://a.example.com/x");
+        let fp = base.fingerprint();
+
+        let mut m = base.clone();
+        m.url = "http://a.example.com/y".into();
+        assert_ne!(m.fingerprint(), fp, "url change must dirty the page");
+
+        let mut m = base.clone();
+        m.title = "u".into();
+        assert_ne!(m.fingerprint(), fp, "title change must dirty the page");
+
+        let mut m = base.clone();
+        m.dom = Node::elem("html").child(
+            Node::elem("a")
+                .attr("href", "http://x.example.com/a")
+                .text_child("lino"),
+        );
+        assert_ne!(m.fingerprint(), fp, "text change must dirty the page");
+
+        let mut m = base.clone();
+        m.dom = Node::elem("html").child(
+            Node::elem("a")
+                .attr("href", "http://x.example.com/b")
+                .text_child("link"),
+        );
+        assert_ne!(m.fingerprint(), fp, "attr change must dirty the page");
+    }
+
+    #[test]
+    fn fingerprint_ignores_ground_truth() {
+        let base = page("http://a.example.com/x");
+        let mut m = base.clone();
+        m.truth.kind = PageKind::CityEvents;
+        m.truth.mentions.push(LrecId(42));
+        assert_eq!(
+            m.fingerprint(),
+            base.fingerprint(),
+            "truth is invisible to the pipeline and must not dirty pages"
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_text_grouping() {
+        // "ab"+"c" vs "a"+"bc" as sibling text nodes: same concatenated
+        // text, different DOM — length prefixes keep the encoding injective.
+        let mut a = page("http://a.example.com/x");
+        a.dom = Node::elem("p").text_child("ab").text_child("c");
+        let mut b = page("http://a.example.com/x");
+        b.dom = Node::elem("p").text_child("a").text_child("bc");
+        assert_ne!(a.fingerprint(), b.fingerprint());
     }
 
     #[test]
