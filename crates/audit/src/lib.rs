@@ -25,13 +25,14 @@
 //! | W009 | merge-canonical    | id resolution is idempotent and lands on live records |
 //! | W010 | doc-tables         | document index, URL and title tables agree in length |
 //! | W011 | tombstone-epoch    | no live association or index posting references a retracted or merged-away record |
+//! | W012 | quarantine-lineage | every quarantined page carries a reason in lineage, the report agrees with the lineage count, quarantined pages are not indexed, and no live record's extraction rests solely on quarantined pages |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use serde::Serialize;
 
-use woc_core::{uncertainty::group_by_denotation, NodeId, WebOfConcepts};
+use woc_core::{uncertainty::group_by_denotation, AssocKind, NodeId, WebOfConcepts};
 use woc_index::lrec_index::FieldQuery;
 use woc_lrec::{AttrValue, Cardinality, LrecId, Violation};
 use woc_textkit::tokenize::tokenize_words;
@@ -179,6 +180,7 @@ pub fn audit(woc: &WebOfConcepts, cfg: &AuditConfig) -> Audit {
     checks.push(check_merge_canonical(woc, cfg));
     checks.push(check_doc_tables(woc, cfg));
     checks.push(check_tombstones(woc, cfg));
+    checks.push(check_quarantine_lineage(woc, cfg, &live));
     Audit {
         checks,
         live_records: live.len(),
@@ -560,6 +562,68 @@ fn check_tombstones(woc: &WebOfConcepts, cfg: &AuditConfig) -> CheckResult {
     for id in woc.record_index.indexed_ids() {
         c.checked += 1;
         flag(&mut c, format!("index posting for {id}"), id);
+    }
+    c
+}
+
+/// W012: quarantine accounting — the degraded-crawl bookkeeping of a
+/// resilient build must be internally consistent. Every quarantine node in
+/// lineage carries a non-empty reason; the pipeline report's quarantined +
+/// failed page counts agree with the lineage quarantine count; a
+/// quarantined page must not appear in the document tables (its content was
+/// never delivered, so it cannot have been indexed); and no live record may
+/// rest its extraction provenance *solely* on quarantined pages — such a
+/// record would be served with no deliverable source behind it.
+fn check_quarantine_lineage(
+    woc: &WebOfConcepts,
+    cfg: &AuditConfig,
+    live: &[LrecId],
+) -> CheckResult {
+    let mut c = CheckResult::new("W012", "quarantine-lineage");
+    let quarantined = woc.lineage.quarantined();
+    for (url, reason) in &quarantined {
+        c.checked += 1;
+        if reason.is_empty() {
+            c.violation(
+                cfg.max_details,
+                format!("quarantined page {url} has no recorded reason"),
+            );
+        }
+    }
+    c.checked += 1;
+    let reported = woc.report.pages_quarantined + woc.report.pages_failed;
+    if reported != quarantined.len() {
+        c.violation(
+            cfg.max_details,
+            format!(
+                "report accounts for {reported} undelivered pages but lineage quarantines {}",
+                quarantined.len()
+            ),
+        );
+    }
+    if !quarantined.is_empty() {
+        for url in &woc.doc_urls {
+            c.checked += 1;
+            if woc.lineage.is_quarantined(url) {
+                c.violation(
+                    cfg.max_details,
+                    format!("quarantined page {url} is present in the document tables"),
+                );
+            }
+        }
+        for &id in live {
+            let docs = woc.web.docs_of_kind(id, AssocKind::ExtractedFrom);
+            if docs.is_empty() {
+                continue;
+            }
+            c.checked += 1;
+            if docs.iter().all(|d| woc.lineage.is_quarantined(d)) {
+                c.violation(
+                    cfg.max_details,
+                    format!("live record {id} is extracted solely from quarantined pages"),
+                );
+            }
+        }
     }
     c
 }

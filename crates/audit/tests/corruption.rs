@@ -71,7 +71,7 @@ fn clean_build_passes_every_check() {
         "clean build must audit clean:\n{}",
         report.render()
     );
-    assert_eq!(report.checks.len(), 11);
+    assert_eq!(report.checks.len(), 12);
     assert!(report.live_records > 0 && report.associations > 0);
     assert!((report.conformance_rate - 1.0).abs() < 1e-9);
 }
@@ -354,6 +354,61 @@ fn w011_posting_for_merged_away_record() {
     let report = run(&woc);
     assert_fired(&report, "W011", "merged-away");
     assert_fired(&report, "W011", &format!("canonical is {survivor}"));
+}
+
+#[test]
+fn w012_lineage_quarantine_disagrees_with_report() {
+    let mut woc = fresh_web();
+    // A quarantine node the pipeline report knows nothing about.
+    woc.lineage
+        .quarantine("http://flaky.test/page-1", "truncated");
+    assert_fired(&run(&woc), "W012", "report accounts for 0");
+}
+
+#[test]
+fn w012_quarantine_without_reason() {
+    let mut woc = fresh_web();
+    woc.lineage.quarantine("http://flaky.test/page-2", "");
+    woc.report.pages_quarantined = 1;
+    assert_fired(&run(&woc), "W012", "no recorded reason");
+}
+
+#[test]
+fn w012_quarantined_page_still_indexed() {
+    let mut woc = fresh_web();
+    // Quarantine a page that is demonstrably in the document tables.
+    let url = woc.doc_urls[0].clone();
+    woc.lineage.quarantine(&url, "garbled");
+    woc.report.pages_quarantined = 1;
+    assert_fired(&run(&woc), "W012", "present in the document tables");
+}
+
+#[test]
+fn w012_record_sourced_solely_from_quarantined_pages() {
+    let mut woc = fresh_web();
+    // Find a live record with extraction provenance and quarantine every
+    // page it was extracted from.
+    let id = woc
+        .store
+        .live_ids()
+        .into_iter()
+        .find(|&id| {
+            !woc.web
+                .docs_of_kind(id, AssocKind::ExtractedFrom)
+                .is_empty()
+        })
+        .expect("fixture has extracted records");
+    let docs: Vec<String> = woc
+        .web
+        .docs_of_kind(id, AssocKind::ExtractedFrom)
+        .iter()
+        .map(|d| d.to_string())
+        .collect();
+    for d in &docs {
+        woc.lineage.quarantine(d, "site-unavailable");
+    }
+    woc.report.pages_failed = docs.len();
+    assert_fired(&run(&woc), "W012", "solely from quarantined pages");
 }
 
 #[test]

@@ -1,0 +1,131 @@
+//! Throughput under fault injection: sweep the `everything(rate)` fault
+//! profile from 0% to 30%, crawl the truth corpus through the resilient
+//! crawler, build a partial web over whatever was delivered, and measure
+//! build throughput and serving QPS on the degraded web. After every
+//! timed build the web is audited **outside the timing window** — a
+//! degraded epoch still has to be a clean epoch.
+//!
+//! Exits non-zero if any audit fails, any site's coverage arithmetic
+//! leaks pages, or the zero-fault crawl fails to deliver everything.
+//!
+//! Run: `cargo run -p woc-bench --bin chaos_bench --release [-- --quick]`
+
+use std::time::Instant;
+
+use woc_audit::{audit, AuditConfig};
+use woc_bench::{header, metric_row, pct};
+use woc_chaos::{build_resilient, crawl, FaultProfile, RetryPolicy};
+use woc_core::PipelineConfig;
+use woc_serve::{ConceptServer, Query, ServeConfig};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+/// Fault rates swept (shared by the table in EXPERIMENTS.md).
+const RATES: [f64; 5] = [0.0, 0.05, 0.10, 0.20, 0.30];
+
+/// Fixed fault seed: one reproducible sweep, not a distribution study.
+const FAULT_SEED: u64 = 11;
+
+fn query_batch(n: usize) -> Vec<Query> {
+    const TERMS: [&str; 8] = [
+        "pizza",
+        "thai noodles",
+        "sushi",
+        "burger",
+        "vegan brunch",
+        "steakhouse",
+        "ramen",
+        "tacos",
+    ];
+    (0..n)
+        .map(|i| match i % 3 {
+            0 => Query::Search(TERMS[i % TERMS.len()].to_string(), 5),
+            1 => Query::ConceptBox(TERMS[i % TERMS.len()].to_string()),
+            _ => Query::Recommend(TERMS[i % TERMS.len()].to_string(), 3),
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (world_cfg, corpus_cfg, batch) = if quick {
+        (WorldConfig::tiny(500), CorpusConfig::tiny(50), 300)
+    } else {
+        (WorldConfig::default(), CorpusConfig::default(), 3_000)
+    };
+    let config = PipelineConfig::default();
+    let policy = RetryPolicy::default();
+
+    let world = World::generate(world_cfg);
+    let truth = generate_corpus(&world, &corpus_cfg);
+    let queries = query_batch(batch);
+
+    header("Build + serve throughput vs fault rate (profile: everything)");
+    println!(
+        "  {:>6} {:>9} {:>7} {:>7} {:>8} {:>10} {:>11} {:>9} {:>9}",
+        "fault", "delivered", "quar", "failed", "retries", "virt s", "build p/s", "QPS", "audit"
+    );
+
+    let mut failed = false;
+    for &rate in &RATES {
+        let profile = FaultProfile::everything(rate);
+        let t = Instant::now();
+        let outcome = crawl(&truth, &profile, &policy, FAULT_SEED);
+        let woc = build_resilient(&outcome, &config);
+        let build_secs = t.elapsed().as_secs_f64();
+        let pages_per_sec = outcome.corpus.len() as f64 / build_secs.max(1e-9);
+
+        // Verification — outside the timing window.
+        for site in &outcome.sites {
+            let c = &site.coverage;
+            if c.expected != c.delivered + c.quarantined + c.failed {
+                eprintln!("FAIL: site {} leaks pages at rate {rate}", c.site);
+                failed = true;
+            }
+        }
+        if rate == 0.0 && !outcome.complete() {
+            eprintln!("FAIL: zero-fault crawl quarantined pages");
+            failed = true;
+        }
+        let integrity = audit(&woc, &AuditConfig::default());
+        let audit_ok = integrity.passed();
+        if !audit_ok {
+            eprintln!(
+                "FAIL: audit violations at rate {rate}:\n{}",
+                integrity.render()
+            );
+            failed = true;
+        }
+
+        let server = ConceptServer::new(woc, ServeConfig::default());
+        let t = Instant::now();
+        let answers = server.run_batch(&queries, 4);
+        let serve_secs = t.elapsed().as_secs_f64();
+        let qps = answers.len() as f64 / serve_secs.max(1e-9);
+
+        println!(
+            "  {:>6} {:>9} {:>7} {:>7} {:>8} {:>10.1} {:>11.0} {:>9.0} {:>9}",
+            pct(rate),
+            outcome.corpus.len(),
+            outcome.poisoned(),
+            outcome.undelivered(),
+            outcome.retries,
+            outcome.virtual_micros as f64 / 1e6,
+            pages_per_sec,
+            qps,
+            if audit_ok { "pass" } else { "FAIL" },
+        );
+    }
+
+    header("Verdict");
+    metric_row(
+        "coverage + audit",
+        if failed {
+            "FAILED"
+        } else {
+            "clean at every fault rate"
+        },
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

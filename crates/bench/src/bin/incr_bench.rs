@@ -72,7 +72,9 @@ fn main() {
         for _ in 0..trials {
             let mut engine = IncrEngine::new(&corpus_v1, config.clone());
             let t = Instant::now();
-            let report = engine.maintain(&corpus_v2);
+            let report = engine
+                .maintain(&corpus_v2)
+                .expect("invariant: a fault-free maintain pass succeeds");
             incr_times.push(t.elapsed().as_secs_f64() * 1e3);
 
             let t = Instant::now();

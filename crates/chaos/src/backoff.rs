@@ -1,0 +1,168 @@
+//! Seeded retry schedule: jittered exponential backoff.
+//!
+//! The schedule is a pure function of its policy and seed — no wall clock,
+//! no thread-local state — so a crawl that consults it is byte-identical
+//! for a fixed fault seed at any thread count. Delays are *virtual*
+//! microseconds accumulated on a [`crate::VirtualClock`], never slept.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Retry and circuit-breaker tunables shared by the crawl layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total fetch attempts per page (first try + retries), ≥ 1.
+    pub max_attempts: u32,
+    /// Backoff cap before the first retry, in virtual microseconds.
+    pub base_micros: u64,
+    /// Upper bound every backoff cap saturates at.
+    pub cap_micros: u64,
+    /// Jitter fraction in `[0, 1]`: retry `i` sleeps in
+    /// `((1 - jitter) * cap_i, cap_i]` where `cap_i = min(cap, base * 2^i)`.
+    pub jitter: f64,
+    /// Consecutive failures that trip a site's circuit breaker.
+    pub breaker_threshold: u32,
+    /// Virtual microseconds an open breaker rejects fetches before
+    /// half-opening for a probe.
+    pub breaker_cooldown_micros: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 4,
+            base_micros: 10_000,
+            cap_micros: 1_000_000,
+            jitter: 0.5,
+            breaker_threshold: 3,
+            breaker_cooldown_micros: 5_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The deterministic envelope of retry `attempt` (0-based): the largest
+    /// delay the schedule can emit for it. Monotone non-decreasing in
+    /// `attempt` and saturating at [`RetryPolicy::cap_micros`].
+    pub fn cap_for(&self, attempt: u32) -> u64 {
+        let factor = 1u64.checked_shl(attempt).unwrap_or(u64::MAX);
+        self.base_micros.saturating_mul(factor).min(self.cap_micros)
+    }
+
+    /// Worst-case total delay over a full schedule: the sum of every
+    /// retry's envelope. Every actual schedule's total is ≤ this bound.
+    pub fn max_total_delay(&self) -> u64 {
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|i| self.cap_for(i))
+            .sum()
+    }
+}
+
+/// One page's retry schedule: seeded, jittered, exhaustible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    policy: RetryPolicy,
+    rng: StdRng,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A fresh schedule for one fetch target. `seed` should mix the fault
+    /// seed with a stable identity of the target (e.g. its URL hash) so
+    /// different pages jitter independently but reproducibly.
+    pub fn new(policy: &RetryPolicy, seed: u64) -> Self {
+        Self {
+            policy: policy.clone(),
+            rng: StdRng::seed_from_u64(seed),
+            attempt: 0,
+        }
+    }
+
+    /// Attempts consumed so far (the first fetch counts as one).
+    pub fn attempts(&self) -> u32 {
+        self.attempt + 1
+    }
+
+    /// The delay to wait before the next retry, in virtual microseconds —
+    /// or `None` when the attempt budget is exhausted and the caller must
+    /// give up. Each delay lands in `((1 - jitter) * cap_i, cap_i]`.
+    pub fn next_delay(&mut self) -> Option<u64> {
+        if self.attempt + 1 >= self.policy.max_attempts {
+            return None;
+        }
+        let cap = self.policy.cap_for(self.attempt);
+        self.attempt += 1;
+        let u: f64 = self.rng.random();
+        let shaved = (self.policy.jitter * u * cap as f64) as u64;
+        Some(cap - shaved.min(cap.saturating_sub(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caps_saturate_and_never_decrease() {
+        let p = RetryPolicy::default();
+        let mut prev = 0;
+        for i in 0..40 {
+            let c = p.cap_for(i);
+            assert!(c >= prev, "cap must be monotone at attempt {i}");
+            assert!(c <= p.cap_micros);
+            prev = c;
+        }
+        assert_eq!(p.cap_for(39), p.cap_micros, "large attempts saturate");
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_seed() {
+        let p = RetryPolicy {
+            max_attempts: 6,
+            ..RetryPolicy::default()
+        };
+        let mut a = Backoff::new(&p, 99);
+        let mut b = Backoff::new(&p, 99);
+        let sa: Vec<_> = std::iter::from_fn(|| a.next_delay()).collect();
+        let sb: Vec<_> = std::iter::from_fn(|| b.next_delay()).collect();
+        assert_eq!(sa, sb);
+        assert_eq!(sa.len(), 5, "max_attempts - 1 retries");
+        let mut c = Backoff::new(&p, 100);
+        let sc: Vec<_> = std::iter::from_fn(|| c.next_delay()).collect();
+        assert_ne!(sa, sc, "different seeds jitter differently");
+    }
+
+    #[test]
+    fn delays_respect_the_jitter_band() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            jitter: 0.5,
+            ..RetryPolicy::default()
+        };
+        for seed in 0..50 {
+            let mut b = Backoff::new(&p, seed);
+            let mut i = 0;
+            while let Some(d) = b.next_delay() {
+                let cap = p.cap_for(i);
+                assert!(d <= cap, "delay {d} above cap {cap} at retry {i}");
+                assert!(
+                    d as f64 >= (1.0 - p.jitter) * cap as f64 - 1.0,
+                    "delay {d} below jitter band of cap {cap}"
+                );
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_exact() {
+        let p = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        let mut b = Backoff::new(&p, 1);
+        assert_eq!(b.next_delay(), None, "one attempt means zero retries");
+        assert_eq!(b.attempts(), 1);
+        assert_eq!(p.max_total_delay(), 0);
+    }
+}

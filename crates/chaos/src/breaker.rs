@@ -1,0 +1,146 @@
+//! Per-site circuit breakers over the virtual clock.
+//!
+//! A breaker trips to [`BreakerState::Open`] after a run of consecutive
+//! failures, rejects fetches for a cooldown measured in virtual
+//! microseconds, then half-opens to let one probe through: a success
+//! closes it, another failure re-opens it. All transitions are driven by
+//! the caller's clock, so behavior is deterministic and testable.
+
+/// The classic three breaker states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every fetch is allowed.
+    Closed,
+    /// Tripped: fetches are rejected until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: one probe is allowed through.
+    HalfOpen,
+}
+
+/// One site's circuit breaker.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown_micros: u64,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_micros: u64,
+    trips: u32,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that trips after `threshold` consecutive failures
+    /// and stays open for `cooldown_micros` of virtual time.
+    pub fn new(threshold: u32, cooldown_micros: u64) -> Self {
+        Self {
+            threshold: threshold.max(1),
+            cooldown_micros,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at_micros: 0,
+            trips: 0,
+        }
+    }
+
+    /// Current state as of the last transition (call [`Self::allows`] to
+    /// advance an elapsed cooldown into `HalfOpen`).
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Times this breaker has tripped open.
+    pub fn trips(&self) -> u32 {
+        self.trips
+    }
+
+    /// Whether a fetch may proceed at virtual time `now_micros`. An open
+    /// breaker whose cooldown has elapsed transitions to half-open and
+    /// admits the probe.
+    pub fn allows(&mut self, now_micros: u64) -> bool {
+        match self.state {
+            BreakerState::Closed | BreakerState::HalfOpen => true,
+            BreakerState::Open => {
+                if now_micros.saturating_sub(self.opened_at_micros) >= self.cooldown_micros {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record a successful fetch: the breaker closes and the failure run
+    /// resets.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failed fetch at virtual time `now_micros`. A half-open
+    /// probe failure re-opens immediately; a closed breaker opens once the
+    /// consecutive-failure run reaches the threshold.
+    pub fn record_failure(&mut self, now_micros: u64) {
+        self.consecutive_failures += 1;
+        let trip = match self.state {
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => self.consecutive_failures >= self.threshold,
+            BreakerState::Open => false,
+        };
+        if trip {
+            self.state = BreakerState::Open;
+            self.opened_at_micros = now_micros;
+            self.trips += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trips_after_threshold_and_cools_down() {
+        let mut b = CircuitBreaker::new(3, 1_000);
+        assert!(b.allows(0));
+        b.record_failure(10);
+        b.record_failure(20);
+        assert_eq!(b.state(), BreakerState::Closed, "below threshold");
+        b.record_failure(30);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        assert!(!b.allows(500), "rejecting during cooldown");
+        assert!(b.allows(1_030), "cooldown elapsed admits a probe");
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_success_closes() {
+        let mut b = CircuitBreaker::new(2, 100);
+        b.record_failure(0);
+        b.record_failure(0);
+        assert!(b.allows(100));
+        b.record_failure(100);
+        assert_eq!(b.state(), BreakerState::Open, "probe failure re-opens");
+        assert_eq!(b.trips(), 2);
+        assert!(b.allows(200));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allows(201));
+    }
+
+    #[test]
+    fn success_resets_the_failure_run() {
+        let mut b = CircuitBreaker::new(3, 100);
+        b.record_failure(0);
+        b.record_failure(0);
+        b.record_success();
+        b.record_failure(0);
+        b.record_failure(0);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "run restarted after success"
+        );
+    }
+}

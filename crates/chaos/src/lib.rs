@@ -1,0 +1,59 @@
+//! # woc-chaos — seeded fault injection and the resilient crawl
+//!
+//! A deterministic chaos layer over the crawl/fetch boundary. A
+//! [`FaultProfile`] describes what the simulated web does wrong — timeouts,
+//! transient 5xx errors, truncated bodies, byte-level corruption, flapping
+//! availability, injected latency — and a [`FaultInjector`] rolls those
+//! faults from a seed, so every failure a test observes is reproducible.
+//!
+//! The crate also supplies the machinery that survives the faults:
+//!
+//! * [`RetryPolicy`] / [`Backoff`] — seeded jittered exponential backoff
+//!   whose schedule is a pure function of `(policy, seed)`;
+//! * [`CircuitBreaker`] — per-site breakers driven by a [`VirtualClock`]
+//!   (delays accumulate, nothing sleeps);
+//! * [`crawl`] — the resilient crawl loop: retries, breakers, a content
+//!   validator, and poison-page quarantine with stable reason strings;
+//! * [`build_resilient`] — partial-build semantics: publish a clean web
+//!   over the delivered pages, record every quarantined page in lineage,
+//!   and report degraded per-site coverage in the pipeline report.
+//!
+//! The chaos invariant the test suite enforces: under every fault profile,
+//! either a clean epoch is published (and `woc-audit` passes on it), or
+//! serving stays on the previous epoch with byte-identical answers. With
+//! faults disabled the resilient path is byte-identical to a plain
+//! [`woc_core::build`] of the truth corpus.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backoff;
+mod breaker;
+mod crawl;
+mod fault;
+
+pub use backoff::{Backoff, RetryPolicy};
+pub use breaker::{BreakerState, CircuitBreaker};
+pub use crawl::{crawl, CrawlOutcome, FaultKind, QuarantinedPage, SiteReport, VirtualClock};
+pub use fault::{Delivery, FaultInjector, FaultProfile, FetchError, GARBLE_LIMIT};
+
+use woc_core::{build, PipelineConfig, WebOfConcepts};
+
+/// Build a web of concepts from a (possibly degraded) crawl outcome.
+///
+/// The pipeline runs over whatever pages were delivered; every page the
+/// crawl gave up on is stamped into lineage as a quarantine node carrying
+/// its reason, and the report gains quarantine/failure counts plus
+/// per-site coverage. A fault-free crawl adds no lineage nodes and no
+/// report degradation, so its canonical bytes match a plain
+/// [`woc_core::build`] of the truth corpus exactly.
+pub fn build_resilient(outcome: &CrawlOutcome, config: &PipelineConfig) -> WebOfConcepts {
+    let mut woc = build(&outcome.corpus, config);
+    for q in &outcome.quarantined {
+        woc.lineage.quarantine(&q.url, &q.reason);
+    }
+    woc.report.pages_quarantined = outcome.poisoned();
+    woc.report.pages_failed = outcome.undelivered();
+    woc.report.coverage = outcome.coverage();
+    woc
+}

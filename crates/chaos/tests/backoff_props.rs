@@ -1,0 +1,82 @@
+//! Property tests for the seeded jittered exponential backoff: the total
+//! delay is bounded, the per-attempt caps are monotone non-decreasing, the
+//! schedule is a pure function of `(policy, seed)`, and it is independent
+//! of how many threads compute it.
+
+use proptest::prelude::*;
+use woc_chaos::{Backoff, RetryPolicy};
+use woc_core::shard_map;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (1u32..=8, 1u64..=100_000, 1u64..=5_000_000, 0.0f64..=0.99).prop_map(
+        |(max_attempts, base_micros, cap_extra, jitter)| RetryPolicy {
+            max_attempts,
+            base_micros,
+            cap_micros: base_micros.saturating_add(cap_extra),
+            jitter,
+            ..RetryPolicy::default()
+        },
+    )
+}
+
+/// The full delay schedule a backoff yields before giving up.
+fn schedule(policy: &RetryPolicy, seed: u64) -> Vec<u64> {
+    let mut b = Backoff::new(policy, seed);
+    let mut out = Vec::new();
+    while let Some(d) = b.next_delay() {
+        out.push(d);
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn total_delay_is_bounded(policy in policy_strategy(), seed in 0u64..=u64::MAX) {
+        let delays = schedule(&policy, seed);
+        // One delay per retry: max_attempts fetches leave max_attempts - 1
+        // gaps between them.
+        prop_assert_eq!(delays.len() as u32, policy.max_attempts - 1);
+        let total: u64 = delays.iter().sum();
+        prop_assert!(
+            total <= policy.max_total_delay(),
+            "schedule {:?} exceeds bound {}", delays, policy.max_total_delay()
+        );
+    }
+
+    #[test]
+    fn caps_are_monotone_non_decreasing(policy in policy_strategy(), seed in 0u64..=u64::MAX) {
+        for attempt in 1..policy.max_attempts {
+            prop_assert!(policy.cap_for(attempt) >= policy.cap_for(attempt - 1));
+        }
+        // Every rolled delay respects its attempt's cap and (for positive
+        // jitter) stays within the jitter window below it.
+        let delays = schedule(&policy, seed);
+        for (i, &d) in delays.iter().enumerate() {
+            let cap = policy.cap_for(i as u32);
+            prop_assert!(d <= cap, "delay {} above cap {}", d, cap);
+            let floor = ((1.0 - policy.jitter) * cap as f64) as u64;
+            prop_assert!(d >= floor.min(cap), "delay {} below jitter floor {}", d, floor);
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_for_a_fixed_seed(
+        policy in policy_strategy(),
+        seed in 0u64..=u64::MAX,
+    ) {
+        prop_assert_eq!(schedule(&policy, seed), schedule(&policy, seed));
+    }
+
+    #[test]
+    fn schedule_is_independent_of_thread_count(
+        policy in policy_strategy(),
+        seeds in prop::collection::vec(0u64..=u64::MAX, 1..32),
+    ) {
+        let sequential: Vec<Vec<u64>> =
+            seeds.iter().map(|&s| schedule(&policy, s)).collect();
+        for threads in [2usize, 4, 8] {
+            let sharded = shard_map(&seeds, threads, |&s| schedule(&policy, s));
+            prop_assert_eq!(&sharded, &sequential, "threads={}", threads);
+        }
+    }
+}

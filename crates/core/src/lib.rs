@@ -50,7 +50,7 @@ pub use pipeline::{
     build, build_with_caches, detail_extract, extract_page, PipelineConfig, WebOfConcepts,
 };
 pub use quality::{assess, ConceptQuality, QualityReport};
-pub use report::{PipelineReport, StageStat};
+pub use report::{PipelineReport, SiteCoverage, StageStat};
 pub use taxonomy::{
     bundles_containing, cluster_purity, data_driven_taxonomy, part_of_components, Taxonomy,
 };

@@ -38,6 +38,17 @@ pub enum NodeKind {
         /// Attribute key.
         attr: String,
     },
+    /// A page that was quarantined or skipped during the crawl (poisoned
+    /// content, exhausted retries, open circuit breaker …) and therefore
+    /// contributed nothing to the web — with the reason, so every missing
+    /// page is accounted for (audit check W012).
+    Quarantined {
+        /// The page URL.
+        url: String,
+        /// Why it was quarantined (e.g. `truncated`, `timeout`,
+        /// `circuit-open`).
+        reason: String,
+    },
 }
 
 /// One node of the DAG.
@@ -57,6 +68,7 @@ pub struct Lineage {
     nodes: Vec<LineageNode>,
     by_record: HashMap<LrecId, Vec<NodeId>>,
     by_document: HashMap<String, NodeId>,
+    by_quarantine: HashMap<String, NodeId>,
     downstream: HashMap<NodeId, Vec<NodeId>>,
 }
 
@@ -92,6 +104,9 @@ impl Lineage {
             NodeKind::Document(url) => {
                 self.by_document.insert(url.clone(), id);
             }
+            NodeKind::Quarantined { url, .. } => {
+                self.by_quarantine.insert(url.clone(), id);
+            }
             NodeKind::Operator { .. } => {}
         }
         self.nodes.push(LineageNode { id, kind, inputs });
@@ -114,6 +129,41 @@ impl Lineage {
             },
             inputs,
         )
+    }
+
+    /// Record that a page was quarantined (or skipped) during the crawl,
+    /// with the reason. Idempotent per URL — re-quarantining keeps the
+    /// first node (and its reason). Returns the node id.
+    pub fn quarantine(&mut self, url: &str, reason: &str) -> NodeId {
+        if let Some(&id) = self.by_quarantine.get(url) {
+            return id;
+        }
+        self.add(
+            NodeKind::Quarantined {
+                url: url.to_string(),
+                reason: reason.to_string(),
+            },
+            Vec::new(),
+        )
+    }
+
+    /// Every quarantined page as `(url, reason)`, sorted by URL.
+    pub fn quarantined(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::Quarantined { url, reason } => Some((url.as_str(), reason.as_str())),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True when the crawl quarantined this URL.
+    pub fn is_quarantined(&self, url: &str) -> bool {
+        self.by_quarantine.contains_key(url)
     }
 
     /// Register a record produced by `producer`.
@@ -203,6 +253,9 @@ impl Lineage {
                     NodeKind::Operator { name } => out.push(format!("operator {name}")),
                     NodeKind::Record(r) => out.push(format!("record {r}")),
                     NodeKind::Value { record, attr } => out.push(format!("value {record}.{attr}")),
+                    NodeKind::Quarantined { url, reason } => {
+                        out.push(format!("quarantined {url} ({reason})"))
+                    }
                 }
             }
         }
@@ -352,6 +405,39 @@ mod tests {
         assert_eq!(ranked[0].0, "buggy-extractor");
         assert_eq!(ranked[0].1, 2);
         assert!(!ranked.iter().any(|(op, _)| op == "good-extractor"));
+    }
+
+    #[test]
+    fn quarantine_records_reason_and_is_idempotent() {
+        let mut l = Lineage::new();
+        let a = l.quarantine("http://flaky.example.com/p1", "truncated");
+        let b = l.quarantine("http://flaky.example.com/p1", "timeout");
+        assert_eq!(a, b, "re-quarantining the same URL keeps the first node");
+        l.quarantine("http://flaky.example.com/p0", "circuit-open");
+        assert_eq!(
+            l.quarantined(),
+            vec![
+                ("http://flaky.example.com/p0", "circuit-open"),
+                ("http://flaky.example.com/p1", "truncated"),
+            ],
+            "sorted by URL, first reason wins"
+        );
+        assert!(l.is_quarantined("http://flaky.example.com/p1"));
+        assert!(!l.is_quarantined("http://healthy.example.com/"));
+    }
+
+    #[test]
+    fn quarantine_nodes_do_not_disturb_provenance_queries() {
+        let (mut l, r1, _) = sample();
+        l.quarantine("http://c.example.com/lost", "http-5xx");
+        let explanation = l.explain(r1);
+        assert!(
+            !explanation.iter().any(|s| s.contains("quarantined")),
+            "quarantine nodes have no edges into record provenance"
+        );
+        assert!(l
+            .records_from_document("http://c.example.com/lost")
+            .is_empty());
     }
 
     #[test]

@@ -14,6 +14,34 @@ pub struct StageStat {
     pub items: usize,
 }
 
+/// Per-site crawl coverage under faults: how many pages the crawl expected
+/// from the site, how many arrived, and where the rest went. A healthy
+/// crawl has `expected == delivered` everywhere.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SiteCoverage {
+    /// Site hostname.
+    pub site: String,
+    /// Pages the crawl frontier held for this site.
+    pub expected: usize,
+    /// Pages fetched cleanly (or with tolerable damage) and built over.
+    pub delivered: usize,
+    /// Pages quarantined for poisoned content (truncated, garbled).
+    pub quarantined: usize,
+    /// Pages never delivered (timeouts, errors, open circuit breaker).
+    pub failed: usize,
+}
+
+impl SiteCoverage {
+    /// Delivered fraction of expected pages (1.0 for an empty site).
+    pub fn ratio(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.expected as f64
+        }
+    }
+}
+
 /// What a [`crate::build`] run did and how long each stage took.
 ///
 /// Timings are wall-clock and vary run to run; the counts are deterministic
@@ -32,6 +60,13 @@ pub struct PipelineReport {
     pub clusters_formed: usize,
     /// Mention associations added by semantic linking.
     pub mention_links: usize,
+    /// Pages quarantined for poisoned content during the crawl (0 when the
+    /// web was built from a fully delivered corpus).
+    pub pages_quarantined: usize,
+    /// Pages the crawl could not deliver at all (0 without faults).
+    pub pages_failed: usize,
+    /// Per-site crawl coverage (empty when the build had no crawl report).
+    pub coverage: Vec<SiteCoverage>,
     /// Per-stage timings in execution order.
     pub stages: Vec<StageStat>,
 }
@@ -66,6 +101,28 @@ impl PipelineReport {
     pub fn stage(&self, name: &str) -> Option<&StageStat> {
         self.stages.iter().find(|s| s.name == name)
     }
+
+    /// True when some site delivered fewer pages than expected — the web
+    /// was published over a partial crawl and serves degraded coverage.
+    pub fn degraded(&self) -> bool {
+        self.coverage.iter().any(|c| c.delivered < c.expected)
+    }
+
+    /// Sites with incomplete delivery, worst coverage ratio first.
+    pub fn degraded_sites(&self) -> Vec<&SiteCoverage> {
+        let mut out: Vec<&SiteCoverage> = self
+            .coverage
+            .iter()
+            .filter(|c| c.delivered < c.expected)
+            .collect();
+        out.sort_by(|a, b| {
+            a.ratio()
+                .partial_cmp(&b.ratio())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.site.cmp(&b.site))
+        });
+        out
+    }
 }
 
 fn fmt_ms(d: Duration) -> String {
@@ -97,7 +154,18 @@ impl fmt::Display for PipelineReport {
             self.match_pairs_scored,
             self.clusters_formed,
             self.mention_links
-        )
+        )?;
+        if self.pages_quarantined > 0 || self.pages_failed > 0 {
+            write!(
+                f,
+                "\n  degraded crawl: {} pages quarantined, {} pages failed, {} of {} sites incomplete",
+                self.pages_quarantined,
+                self.pages_failed,
+                self.degraded_sites().len(),
+                self.coverage.len()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -116,6 +184,44 @@ mod tests {
         assert_eq!(r.stage("b").unwrap().items, 20);
         assert!(r.stage("zzz").is_none());
         assert!(r.total() >= r.stages[0].duration);
+    }
+
+    #[test]
+    fn coverage_marks_degraded_sites() {
+        let mut r = PipelineReport::new(1);
+        assert!(!r.degraded(), "empty coverage is healthy");
+        r.coverage = vec![
+            SiteCoverage {
+                site: "a.example.com".into(),
+                expected: 10,
+                delivered: 10,
+                ..SiteCoverage::default()
+            },
+            SiteCoverage {
+                site: "b.example.com".into(),
+                expected: 10,
+                delivered: 4,
+                quarantined: 2,
+                failed: 4,
+            },
+            SiteCoverage {
+                site: "c.example.com".into(),
+                expected: 10,
+                delivered: 9,
+                quarantined: 0,
+                failed: 1,
+            },
+        ];
+        assert!(r.degraded());
+        let worst = r.degraded_sites();
+        assert_eq!(worst.len(), 2);
+        assert_eq!(worst[0].site, "b.example.com", "worst ratio first");
+        assert!((worst[0].ratio() - 0.4).abs() < 1e-12);
+        r.pages_quarantined = 2;
+        r.pages_failed = 5;
+        let s = r.to_string();
+        assert!(s.contains("2 pages quarantined"));
+        assert!(s.contains("2 of 3 sites incomplete"));
     }
 
     #[test]

@@ -37,6 +37,8 @@
 #![warn(missing_docs)]
 
 use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use serde::{Serialize, Value};
 use woc_core::{build_with_caches, AssocKind, BuildCaches, PipelineConfig, WebOfConcepts};
@@ -102,15 +104,66 @@ pub struct MaintainReport {
     pub doc_index_rebuilt: bool,
 }
 
+/// Why a maintenance pass aborted without changing the engine's epoch.
+///
+/// A failed pass is transactional: [`IncrEngine::web`] and the epoch
+/// fingerprints are exactly what they were before the pass began, so the
+/// caller keeps serving the last good web.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintainError {
+    /// The pipeline replay panicked; the payload message is captured.
+    RebuildPanicked(String),
+    /// The pre-rebuild fault hook rejected the pass (chaos testing, or a
+    /// crawl-quality gate refusing a degraded corpus).
+    FaultInjected(String),
+}
+
+impl fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintainError::RebuildPanicked(msg) => write!(f, "rebuild panicked: {msg}"),
+            MaintainError::FaultInjected(msg) => write!(f, "fault injected: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}
+
+/// Render a `catch_unwind` payload: panics carry `&str` or `String`
+/// almost always; anything else is opaque.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// A pre-rebuild gate: sees the change set, returns `Err(reason)` to abort
+/// the pass before any state is touched.
+pub type FaultHook = Box<dyn Fn(&ChangeSet) -> Result<(), String> + Send>;
+
 /// The incremental maintenance engine: owns the current web, the page
 /// fingerprints it was built from, and the memo caches that make the next
 /// pass cheap.
-#[derive(Debug)]
 pub struct IncrEngine {
     config: PipelineConfig,
     caches: BuildCaches,
     fingerprints: HashMap<String, u64>,
     web: WebOfConcepts,
+    fault_hook: Option<FaultHook>,
+}
+
+impl fmt::Debug for IncrEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IncrEngine")
+            .field("config", &self.config)
+            .field("pages", &self.fingerprints.len())
+            .field("fault_hook", &self.fault_hook.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl IncrEngine {
@@ -124,7 +177,20 @@ impl IncrEngine {
             caches,
             fingerprints: fingerprint_map(corpus),
             web,
+            fault_hook: None,
         }
+    }
+
+    /// Install a pre-rebuild gate consulted by every maintain pass (after
+    /// change detection, before any state is touched). `Err(reason)` from
+    /// the hook aborts the pass as [`MaintainError::FaultInjected`].
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.fault_hook = Some(hook);
+    }
+
+    /// Remove the fault hook.
+    pub fn clear_fault_hook(&mut self) {
+        self.fault_hook = None;
     }
 
     /// The current maintained web.
@@ -167,7 +233,12 @@ impl IncrEngine {
     /// dirty set through lineage and replay the pipeline over the warm
     /// memo caches. Afterwards [`Self::web`] is byte-identical
     /// ([`canonical_bytes`]) to a from-scratch build of `corpus`.
-    pub fn maintain(&mut self, corpus: &WebCorpus) -> MaintainReport {
+    ///
+    /// The pass is **transactional**: if the fault hook rejects it or the
+    /// pipeline replay panics, `Err` is returned and the engine's web and
+    /// fingerprints are exactly what they were before the call — the last
+    /// good epoch stays servable.
+    pub fn maintain(&mut self, corpus: &WebCorpus) -> Result<MaintainReport, MaintainError> {
         let new_fps = fingerprint_map(corpus);
         let changes = self.changes_from(corpus, &new_fps);
         let mut report = MaintainReport {
@@ -177,7 +248,15 @@ impl IncrEngine {
         };
         if changes.is_empty() {
             report.short_circuited = true;
-            return report;
+            return Ok(report);
+        }
+        if let Some(hook) = &self.fault_hook {
+            // The hook runs under the same unwind protection as the
+            // rebuild: a panicking gate aborts the pass, it doesn't tear
+            // down the engine.
+            catch_unwind(AssertUnwindSafe(|| hook(&changes)))
+                .map_err(|payload| MaintainError::RebuildPanicked(panic_message(payload)))?
+                .map_err(MaintainError::FaultInjected)?;
         }
 
         // Dirty-set propagation: which live records derive from the pages
@@ -206,8 +285,18 @@ impl IncrEngine {
             .collect();
 
         // Scoped recomputation: replay the pipeline over the warm caches.
-        // Only content downstream of the dirty set misses its memos.
-        let new_web = build_with_caches(corpus, &self.config, Some(&mut self.caches));
+        // Only content downstream of the dirty set misses its memos. The
+        // replay runs under `catch_unwind` so a panicking pass aborts
+        // cleanly instead of poisoning the epoch. `AssertUnwindSafe` is
+        // justified: the only state the closure mutates is the memo
+        // caches, whose entries are content-keyed pure-function results —
+        // a panic can strand freshly inserted (valid) entries but cannot
+        // leave a wrong one, and `self.web` / `self.fingerprints` are not
+        // touched until the replay has returned.
+        let new_web = catch_unwind(AssertUnwindSafe(|| {
+            build_with_caches(corpus, &self.config, Some(&mut self.caches))
+        }))
+        .map_err(|payload| MaintainError::RebuildPanicked(panic_message(payload)))?;
 
         // Records born from added or rewritten pages scope the delta too.
         for url in changes.dirty.iter().chain(&changes.added) {
@@ -231,19 +320,21 @@ impl IncrEngine {
 
         self.web = new_web;
         self.fingerprints = new_fps;
-        report
+        Ok(report)
     }
 
     /// Layer 4 — maintain, then publish the result to a serving tier as an
     /// epoch delta. A short-circuited pass publishes nothing: the server
-    /// keeps its epoch and its warm result cache. Returns the pass report
-    /// and the epoch now being served.
+    /// keeps its epoch and its warm result cache. A failed pass publishes
+    /// nothing either — the error propagates and the server keeps serving
+    /// the previous epoch. Returns the pass report and the epoch now being
+    /// served.
     pub fn maintain_and_publish(
         &mut self,
         corpus: &WebCorpus,
         server: &ConceptServer,
-    ) -> (MaintainReport, u64) {
-        let report = self.maintain(corpus);
+    ) -> Result<(MaintainReport, u64), MaintainError> {
+        let report = self.maintain(corpus)?;
         let delta = if report.short_circuited {
             EpochDelta::default()
         } else {
@@ -256,7 +347,7 @@ impl IncrEngine {
             }
         };
         let epoch = server.publish_delta(self.web.clone(), &delta);
-        (report, epoch)
+        Ok((report, epoch))
     }
 }
 

@@ -55,7 +55,7 @@ fn equivalence_scenario(rate: f64, threads: usize) {
     churn_until_events(&mut world, rate, Tick(10), 1);
     let corpus_v2 = generate_corpus(&world, &corpus_cfg);
 
-    let report = engine.maintain(&corpus_v2);
+    let report = engine.maintain(&corpus_v2).expect("maintain must succeed");
     assert!(!report.short_circuited, "churn must dirty some pages");
     assert!(report.pages_dirty > 0);
 
@@ -96,7 +96,7 @@ fn noop_maintain_short_circuits() {
     let mut engine = IncrEngine::new(&corpus, pipeline(1));
     let before = canonical_bytes(engine.web());
 
-    let report = engine.maintain(&corpus);
+    let report = engine.maintain(&corpus).expect("maintain must succeed");
     assert!(report.short_circuited);
     assert_eq!(report.pages_dirty, 0);
     assert_eq!(report.records_affected, 0);
@@ -119,7 +119,8 @@ fn chained_epochs_stay_equivalent() {
     // Epoch 2: value churn.
     churn_until_events(&mut world, 0.3, Tick(10), 1);
     let corpus_v2 = generate_corpus(&world, &corpus_cfg);
-    assert!(!engine.maintain(&corpus_v2).short_circuited);
+    let r2 = engine.maintain(&corpus_v2).expect("maintain must succeed");
+    assert!(!r2.short_circuited);
 
     // Epoch 3: one site redesigns (pure DOM drift, same values).
     let site = corpus_v2.pages()[0].site.clone();
@@ -138,13 +139,13 @@ fn chained_epochs_stay_equivalent() {
     for p in drifted {
         corpus_v3.add(p);
     }
-    let r3 = engine.maintain(&corpus_v3);
+    let r3 = engine.maintain(&corpus_v3).expect("maintain must succeed");
     assert!(!r3.short_circuited, "drifted DOMs must fingerprint dirty");
 
     // Epoch 4: heavier churn (may close restaurants → pages vanish).
     churn_until_events(&mut world, 0.6, Tick(20), 1);
     let corpus_v4 = generate_corpus(&world, &corpus_cfg);
-    engine.maintain(&corpus_v4);
+    engine.maintain(&corpus_v4).expect("maintain must succeed");
 
     let fresh = build(&corpus_v4, &config);
     assert_eq!(
@@ -167,7 +168,9 @@ fn publish_path_bumps_epoch_only_on_change() {
     assert!(warm > 0);
 
     // Clean crawl: no publish, epoch and cache untouched.
-    let (report, epoch) = engine.maintain_and_publish(&corpus_v1, &server);
+    let (report, epoch) = engine
+        .maintain_and_publish(&corpus_v1, &server)
+        .expect("publish pass must succeed");
     assert!(report.short_circuited);
     assert_eq!(epoch, 1);
     assert_eq!(server.epoch(), 1);
@@ -176,7 +179,9 @@ fn publish_path_bumps_epoch_only_on_change() {
     // Real change: new epoch, cache invalidated, delta scoped to concepts.
     churn_until_events(&mut world, 0.5, Tick(10), 1);
     let corpus_v2 = generate_corpus(&world, &corpus_cfg);
-    let (report, epoch) = engine.maintain_and_publish(&corpus_v2, &server);
+    let (report, epoch) = engine
+        .maintain_and_publish(&corpus_v2, &server)
+        .expect("publish pass must succeed");
     assert!(!report.short_circuited);
     assert!(
         !report.touched_concepts.is_empty(),

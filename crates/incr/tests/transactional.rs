@@ -1,0 +1,103 @@
+//! Transactional maintenance: a failed or rejected pass must leave the
+//! engine byte-identical to its state before the call — the last good
+//! epoch stays servable — and a subsequent clean pass must fully recover.
+
+use woc_core::{build, PipelineConfig};
+use woc_incr::{canonical_bytes, IncrEngine, MaintainError};
+use woc_lrec::Tick;
+use woc_webgen::{churn_restaurants, generate_corpus, CorpusConfig, World, WorldConfig};
+
+fn epochs() -> (woc_webgen::WebCorpus, woc_webgen::WebCorpus) {
+    let mut world = World::generate(WorldConfig::tiny(700));
+    let corpus_cfg = CorpusConfig::tiny(70);
+    let v1 = generate_corpus(&world, &corpus_cfg);
+    let mut seed = 1;
+    while churn_restaurants(&mut world, 0.4, Tick(10), seed).is_empty() {
+        seed += 1;
+        assert!(seed < 1000, "no churn events after a thousand seeds");
+    }
+    let v2 = generate_corpus(&world, &corpus_cfg);
+    (v1, v2)
+}
+
+#[test]
+fn rejected_pass_leaves_last_good_epoch_untouched() {
+    let (v1, v2) = epochs();
+    let config = PipelineConfig::default();
+    let mut engine = IncrEngine::new(&v1, config.clone());
+    let before = canonical_bytes(engine.web());
+
+    engine.set_fault_hook(Box::new(|changes| {
+        Err(format!("crawl gate rejected {} dirty pages", changes.len()))
+    }));
+    let err = engine.maintain(&v2).expect_err("hook must abort the pass");
+    assert!(
+        matches!(&err, MaintainError::FaultInjected(msg) if msg.contains("crawl gate")),
+        "unexpected error: {err}"
+    );
+    assert_eq!(
+        canonical_bytes(engine.web()),
+        before,
+        "aborted pass must not touch the engine's web"
+    );
+
+    // A later clean crawl of the *old* epoch still short-circuits: the
+    // fingerprints were not replaced either.
+    engine.clear_fault_hook();
+    let report = engine.maintain(&v1).expect("clean pass succeeds");
+    assert!(report.short_circuited, "epoch fingerprints were preserved");
+}
+
+#[test]
+fn panicking_pass_aborts_cleanly_and_recovers() {
+    let (v1, v2) = epochs();
+    let config = PipelineConfig::default();
+    let mut engine = IncrEngine::new(&v1, config.clone());
+    let before = canonical_bytes(engine.web());
+
+    engine.set_fault_hook(Box::new(|_| panic!("injected rebuild panic")));
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let err = engine.maintain(&v2).expect_err("panic must abort the pass");
+    std::panic::set_hook(prev_hook);
+    assert!(
+        matches!(&err, MaintainError::RebuildPanicked(msg) if msg.contains("injected rebuild panic")),
+        "unexpected error: {err}"
+    );
+    assert_eq!(
+        canonical_bytes(engine.web()),
+        before,
+        "panicked pass must not touch the engine's web"
+    );
+
+    // Recovery: the same engine maintains the same target epoch cleanly
+    // and lands byte-identical to a from-scratch rebuild.
+    engine.clear_fault_hook();
+    let report = engine.maintain(&v2).expect("recovery pass succeeds");
+    assert!(!report.short_circuited);
+    let fresh = build(&v2, &config);
+    assert_eq!(
+        canonical_bytes(engine.web()),
+        canonical_bytes(&fresh),
+        "recovered epoch must equal a from-scratch build"
+    );
+}
+
+#[test]
+fn short_circuit_does_not_consult_the_hook() {
+    let (v1, _) = epochs();
+    let mut engine = IncrEngine::new(&v1, PipelineConfig::default());
+    engine.set_fault_hook(Box::new(|_| Err("must not be called".to_string())));
+    let report = engine
+        .maintain(&v1)
+        .expect("empty change set short-circuits before the hook");
+    assert!(report.short_circuited);
+}
+
+#[test]
+fn maintain_error_displays_its_cause() {
+    let a = MaintainError::RebuildPanicked("boom".to_string());
+    let b = MaintainError::FaultInjected("gate closed".to_string());
+    assert_eq!(a.to_string(), "rebuild panicked: boom");
+    assert_eq!(b.to_string(), "fault injected: gate closed");
+}

@@ -112,6 +112,12 @@ pub const RULES: &[RuleInfo] = &[
         summary: "lock acquisition while another lock guard binding is still live in the same scope (deadlock-prone; drop the guard first)",
     },
     RuleInfo {
+        name: "retry-no-backoff",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "retry loop (attempt/retry vocabulary plus failure handling) with no backoff, breaker, delay or cooldown consulted — hot-loops the failing operation",
+    },
+    RuleInfo {
         name: "missing-debug",
         severity: Severity::Deny,
         scope: Scope::LibOnly,
@@ -160,6 +166,7 @@ pub fn run_all(src: &Source, kind: FileKind, path: &str) -> Vec<Finding> {
     static_mut(src, &mut out);
     unsafe_no_safety(src, &mut out);
     nested_locks(src, kind, &mut out);
+    retry_no_backoff(src, kind, &mut out);
     missing_debug(src, kind, &mut out);
     error_display(src, kind, &mut out);
     out.sort_by_key(|f| (f.line, f.rule));
@@ -516,6 +523,69 @@ fn nested_locks(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
                 }
             }
         }
+    }
+}
+
+/// How many body lines of a loop the retry rule examines.
+const RETRY_WINDOW: usize = 40;
+
+/// True if the code contains a retry-vocabulary identifier segment
+/// (`attempt`, `retry`, …), matching inside snake_case names too
+/// (`max_attempts`, `retry_count`).
+fn has_retry_vocab(code: &str) -> bool {
+    const HINTS: &[&str] = &["attempt", "attempts", "retry", "retries"];
+    code.split(|c: char| !c.is_alphanumeric())
+        .any(|tok| HINTS.iter().any(|h| tok.eq_ignore_ascii_case(h)))
+}
+
+fn retry_no_backoff(src: &Source, kind: FileKind, out: &mut Vec<Finding>) {
+    const FALLIBLE: &[&str] = &["Err(", ".is_err()", ".is_none()", "None =>", ".ok()"];
+    const CONSULT: &[&str] = &["backoff", "breaker", "delay", "sleep", "cooldown", "jitter"];
+    for (i, line) in src.lines.iter().enumerate() {
+        if !line_applies(Scope::NonTest, kind, line.in_test) {
+            continue;
+        }
+        let code = &line.code;
+        let trimmed = code.trim_start();
+        let is_header = trimmed.starts_with("for ")
+            || trimmed.starts_with("while ")
+            || !find_words(code, "loop").is_empty();
+        if !is_header {
+            continue;
+        }
+        // The loop body: lines strictly deeper than the header, capped.
+        let mut body_end = i + 1;
+        while body_end < src.lines.len()
+            && body_end - i <= RETRY_WINDOW
+            && src.lines[body_end].depth > line.depth
+        {
+            body_end += 1;
+        }
+        if body_end == i + 1 {
+            continue;
+        }
+        let window: String = src.lines[i..body_end]
+            .iter()
+            .map(|l| l.code.as_str())
+            .collect::<Vec<_>>()
+            .join("\n");
+        let retries_failures =
+            has_retry_vocab(&window) && FALLIBLE.iter().any(|f| window.contains(f));
+        if !retries_failures {
+            continue;
+        }
+        let lower = window.to_lowercase();
+        if CONSULT.iter().any(|c| lower.contains(c)) {
+            continue;
+        }
+        out.push(finding(
+            "retry-no-backoff",
+            i,
+            &line.raw,
+            "loop retries a fallible operation without consulting a backoff schedule, \
+             circuit breaker, or delay — a hard failure is hammered at full speed"
+                .to_string(),
+        ));
     }
 }
 

@@ -398,6 +398,78 @@ fn pragma_line_does_not_leak_past_target() {
     assert_eq!(allowed(&f, "panic-in-lib"), 1);
 }
 
+// ---------------------------------------------------------------- retry-no-backoff
+
+#[test]
+fn retry_no_backoff_fires_on_hot_retry_loop() {
+    let src = "pub fn fetch_all(urls: &[String]) {\n\
+                   for url in urls {\n\
+                       let mut attempt = 0;\n\
+                       while attempt < 5 {\n\
+                           match fetch(url) {\n\
+                               Ok(page) => break,\n\
+                               Err(_) => attempt += 1,\n\
+                           }\n\
+                       }\n\
+                   }\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert!(fired(&f, "retry-no-backoff") >= 1, "{f:#?}");
+}
+
+#[test]
+fn retry_no_backoff_quiet_when_backoff_consulted() {
+    let src = "pub fn fetch_with_retry(url: &str, backoff: &mut Backoff) {\n\
+                   loop {\n\
+                       match fetch(url) {\n\
+                           Ok(page) => break,\n\
+                           Err(_) => match backoff.next_delay() {\n\
+                               Some(d) => clock.advance(d),\n\
+                               None => break,\n\
+                           },\n\
+                       }\n\
+                   }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "retry-no-backoff"), 0);
+}
+
+#[test]
+fn retry_no_backoff_quiet_without_retry_vocabulary() {
+    let src = "pub fn drain(items: &[Item]) {\n\
+                   for item in items {\n\
+                       if process(item).is_err() {\n\
+                           log(item);\n\
+                       }\n\
+                   }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(LIB, src), "retry-no-backoff"), 0);
+}
+
+#[test]
+fn retry_no_backoff_quiet_in_tests() {
+    let src = "fn t() {\n\
+                   let mut attempt = 0;\n\
+                   while attempt < 5 {\n\
+                       if fetch().is_err() { attempt += 1; }\n\
+                   }\n\
+               }\n";
+    assert_eq!(fired(&lint_source(TEST, src), "retry-no-backoff"), 0);
+}
+
+#[test]
+fn retry_no_backoff_suppressible_by_pragma() {
+    let src = "pub fn f() {\n\
+                   let mut retry = 0;\n\
+                   // woc-lint: allow(retry-no-backoff) \u{2014} bounded by caller\n\
+                   while retry < 2 {\n\
+                       if fetch().is_err() { retry += 1; }\n\
+                   }\n\
+               }\n";
+    let f = lint_source(LIB, src);
+    assert_eq!(fired(&f, "retry-no-backoff"), 0, "{f:#?}");
+    assert_eq!(allowed(&f, "retry-no-backoff"), 1);
+}
+
 // ---------------------------------------------------------------- tally
 
 #[test]

@@ -32,9 +32,11 @@
 pub mod cache;
 pub mod metrics;
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 
@@ -48,7 +50,7 @@ use woc_lrec::{ConceptId, Tick, Violation};
 use woc_webgen::WebCorpus;
 
 use cache::ShardedCache;
-pub use metrics::{Endpoint, EndpointSummary, MetricsRegistry};
+pub use metrics::{Endpoint, EndpointSummary, MetricsRegistry, ERROR_BUDGET};
 
 /// Separator inside cache keys; cannot occur in tokenized query terms.
 const KEY_SEP: char = '\u{1f}';
@@ -109,6 +111,97 @@ impl EpochDelta {
     pub fn is_empty(&self) -> bool {
         self.touched_concepts.is_empty() && !self.records_changed && !self.docs_changed
     }
+}
+
+/// Why a maintenance or publish pass failed without changing the served
+/// epoch. The server stays in degraded mode — answering every query from
+/// the last good snapshot — until a later pass succeeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MaintainError {
+    /// The rebuild closure panicked; the payload message is captured.
+    RebuildPanicked(String),
+}
+
+impl fmt::Display for MaintainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MaintainError::RebuildPanicked(msg) => write!(f, "rebuild panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MaintainError {}
+
+/// Render a `catch_unwind` payload: panics carry `&str` or `String`
+/// almost always; anything else is opaque.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Crawl-layer telemetry pushed into the server's health surface by the
+/// maintenance driver (see `woc-chaos`), since the server itself never
+/// crawls.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CrawlHealth {
+    /// Sites whose circuit breaker was not closed when the crawl ended.
+    pub breakers_open: usize,
+    /// Total breaker trips across all sites.
+    pub breaker_trips: u64,
+    /// Total fetch retries across all pages.
+    pub retries: u64,
+}
+
+/// One endpoint's health row: traffic, failures, and remaining error
+/// budget (fraction of [`ERROR_BUDGET`] still unspent, in `[0, 1]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndpointHealth {
+    /// Stable endpoint name.
+    pub endpoint: &'static str,
+    /// Requests served.
+    pub requests: u64,
+    /// Requests whose evaluation failed (answered with a degraded empty
+    /// response).
+    pub errors: u64,
+    /// Remaining error budget in `[0, 1]`.
+    pub error_budget_remaining: f64,
+}
+
+/// The health endpoint's payload: epoch freshness, degraded-mode state,
+/// quarantine accounting of the snapshot being served, crawl telemetry,
+/// and per-endpoint error budgets.
+#[derive(Debug, Clone)]
+pub struct Health {
+    /// The epoch currently being served.
+    pub epoch: u64,
+    /// Time since the current epoch was published (or since the server
+    /// started, for epoch 1).
+    pub epoch_age: Duration,
+    /// True when the server is serving stale or incomplete data: a
+    /// maintenance pass has failed without a subsequent success, or the
+    /// served snapshot itself reports quarantined/failed pages.
+    pub degraded: bool,
+    /// Maintenance/publish passes that have failed since startup.
+    pub failed_maintains: u64,
+    /// Failed passes since the last successful publish.
+    pub consecutive_failures: u64,
+    /// The most recent maintenance error, if any.
+    pub last_error: Option<String>,
+    /// Pages quarantined (poisoned content) in the served snapshot's build.
+    pub pages_quarantined: usize,
+    /// Pages never delivered in the served snapshot's build.
+    pub pages_failed: usize,
+    /// Sites with incomplete coverage in the served snapshot.
+    pub degraded_sites: usize,
+    /// Crawl telemetry, when the maintenance driver pushed it.
+    pub crawl: Option<CrawlHealth>,
+    /// Per-endpoint traffic and error budgets, in display order.
+    pub endpoints: Vec<EndpointHealth>,
 }
 
 /// What a [`ConceptServer::maintain`] pass did.
@@ -186,6 +279,11 @@ pub struct ConceptServer {
     cache_enabled: AtomicBool,
     metrics: MetricsRegistry,
     config: ServeConfig,
+    published_at: RwLock<Instant>,
+    failed_maintains: AtomicU64,
+    consecutive_failures: AtomicU64,
+    last_error: RwLock<Option<String>>,
+    crawl_health: RwLock<Option<CrawlHealth>>,
 }
 
 impl ConceptServer {
@@ -197,6 +295,11 @@ impl ConceptServer {
             cache_enabled: AtomicBool::new(config.cache_enabled),
             metrics: MetricsRegistry::new(),
             config,
+            published_at: RwLock::new(Instant::now()),
+            failed_maintains: AtomicU64::new(0),
+            consecutive_failures: AtomicU64::new(0),
+            last_error: RwLock::new(None),
+            crawl_health: RwLock::new(None),
         }
     }
 
@@ -222,6 +325,8 @@ impl ConceptServer {
         *guard = Arc::new(Snapshot { epoch, woc });
         drop(guard);
         self.cache.clear();
+        *self.published_at.write() = Instant::now();
+        self.consecutive_failures.store(0, Ordering::Relaxed);
         epoch
     }
 
@@ -245,6 +350,29 @@ impl ConceptServer {
     /// changed the pass short-circuits: no clone, no publish, cache intact,
     /// and the returned report carries `epoch: None`.
     pub fn maintain(&self, old: &WebCorpus, new: &WebCorpus, tick: Tick) -> MaintainReport {
+        match self.try_maintain(old, new, tick) {
+            Ok(report) => report,
+            // Degraded mode: the pass failed, the last good epoch keeps
+            // serving. The failure is visible through [`Self::health`];
+            // callers that need the typed error use `try_maintain`.
+            Err(_) => MaintainReport {
+                pages_scanned: new.len(),
+                ..MaintainReport::default()
+            },
+        }
+    }
+
+    /// [`Self::maintain`] with transactional error reporting: a rebuild
+    /// panic aborts the pass, leaves the published snapshot untouched, and
+    /// surfaces as [`MaintainError::RebuildPanicked`]. No lock is held
+    /// across the rebuild — the pass clones from a pinned `Arc` snapshot,
+    /// so readers never block and a failed pass cannot poison the epoch.
+    pub fn try_maintain(
+        &self,
+        old: &WebCorpus,
+        new: &WebCorpus,
+        tick: Tick,
+    ) -> Result<MaintainReport, MaintainError> {
         let pages_dirty = new
             .pages()
             .iter()
@@ -260,15 +388,100 @@ impl ConceptServer {
             ..MaintainReport::default()
         };
         if pages_dirty == 0 && !any_removed {
-            return report;
+            self.consecutive_failures.store(0, Ordering::Relaxed);
+            return Ok(report);
         }
-        let mut woc = self.snapshot().woc.clone();
-        let m = recrawl(&mut woc, old, new, tick);
+        // Pin the snapshot (the guard inside `snapshot()` is dropped
+        // before it returns) and rebuild under unwind protection.
+        // `AssertUnwindSafe` is justified: the closure only reads the
+        // pinned snapshot and mutates its own local clone, which is
+        // discarded on panic.
+        let snap = self.snapshot();
+        let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+            let mut woc = snap.woc.clone();
+            let m = recrawl(&mut woc, old, new, tick);
+            (woc, m)
+        }))
+        .map_err(|payload| {
+            let msg = panic_message(payload);
+            self.record_maintain_failure(&msg);
+            MaintainError::RebuildPanicked(msg)
+        })?;
+        let (woc, m) = rebuilt;
         report.records_updated = m.records_updated;
         report.records_created = m.records_created;
         report.records_retracted = m.records_retracted;
         report.epoch = Some(self.publish(woc));
-        report
+        Ok(report)
+    }
+
+    /// Rebuild the next epoch with an arbitrary closure over the pinned
+    /// current snapshot and publish the result. A panicking rebuild aborts
+    /// transactionally: the error is recorded, the served epoch and its
+    /// answers are untouched. This is the seam chaos tests use to inject
+    /// publish-path failures.
+    pub fn try_publish_with(
+        &self,
+        rebuild: impl FnOnce(&WebOfConcepts) -> WebOfConcepts,
+    ) -> Result<u64, MaintainError> {
+        let snap = self.snapshot();
+        // AssertUnwindSafe: the closure receives a shared reference into
+        // an immutable snapshot; any state it was going to produce dies
+        // with the unwind.
+        let woc = catch_unwind(AssertUnwindSafe(|| rebuild(&snap.woc))).map_err(|payload| {
+            let msg = panic_message(payload);
+            self.record_maintain_failure(&msg);
+            MaintainError::RebuildPanicked(msg)
+        })?;
+        Ok(self.publish(woc))
+    }
+
+    fn record_maintain_failure(&self, msg: &str) {
+        self.failed_maintains.fetch_add(1, Ordering::Relaxed);
+        self.consecutive_failures.fetch_add(1, Ordering::Relaxed);
+        *self.last_error.write() = Some(msg.to_string());
+    }
+
+    /// Push crawl-layer telemetry (breaker states, retries) into the
+    /// health surface. The maintenance driver calls this after each crawl.
+    pub fn set_crawl_health(&self, crawl: CrawlHealth) {
+        *self.crawl_health.write() = Some(crawl);
+    }
+
+    /// The health endpoint: epoch age, degraded-mode state, quarantine
+    /// accounting of the snapshot being served, crawl telemetry, and
+    /// per-endpoint error budgets.
+    pub fn health(&self) -> Health {
+        let snap = self.snapshot();
+        let report = &snap.woc.report;
+        let consecutive_failures = self.consecutive_failures.load(Ordering::Relaxed);
+        let endpoints = Endpoint::ALL
+            .iter()
+            .map(|&e| {
+                let s = self.metrics.endpoint(e).summary();
+                EndpointHealth {
+                    endpoint: e.name(),
+                    requests: s.requests,
+                    errors: s.errors,
+                    error_budget_remaining: s.error_budget_remaining(),
+                }
+            })
+            .collect();
+        Health {
+            epoch: snap.epoch,
+            epoch_age: self.published_at.read().elapsed(),
+            degraded: consecutive_failures > 0
+                || report.pages_quarantined > 0
+                || report.pages_failed > 0,
+            failed_maintains: self.failed_maintains.load(Ordering::Relaxed),
+            consecutive_failures,
+            last_error: self.last_error.read().clone(),
+            pages_quarantined: report.pages_quarantined,
+            pages_failed: report.pages_failed,
+            degraded_sites: report.degraded_sites().len(),
+            crawl: self.crawl_health.read().clone(),
+            endpoints,
+        }
     }
 
     /// Runtime cache switch (the config default applies at construction).
@@ -369,20 +582,41 @@ impl ConceptServer {
                 };
             }
         }
-        let value = Arc::new(eval(&snap.woc));
-        if enabled {
+        // Evaluation runs under unwind protection: a panicking query is
+        // answered with the endpoint's empty response and counted against
+        // its error budget instead of tearing down the worker.
+        // `AssertUnwindSafe` is justified: `eval` is a pure read over the
+        // immutable pinned snapshot.
+        let (value, failed) = match catch_unwind(AssertUnwindSafe(|| eval(&snap.woc))) {
+            Ok(v) => (Arc::new(v), false),
+            Err(_) => (Arc::new(empty_response(endpoint)), true),
+        };
+        if failed {
+            self.metrics.endpoint(endpoint).record_error();
+        } else if enabled {
+            // Never cache a degraded answer: the next request re-evaluates.
             self.cache.insert(full_key, Arc::clone(&value));
         }
         let micros = start.elapsed().as_micros() as u64;
         self.metrics
             .endpoint(endpoint)
-            .record(micros, enabled.then_some(false));
+            .record(micros, (enabled && !failed).then_some(false));
         Answer {
             value,
             epoch: snap.epoch,
             cached: false,
             micros,
         }
+    }
+}
+
+/// The degraded (empty) response an endpoint answers with when its
+/// evaluation panics.
+fn empty_response(endpoint: Endpoint) -> Response {
+    match endpoint {
+        Endpoint::Search => Response::Search(Vec::new()),
+        Endpoint::ConceptBox => Response::ConceptBox(None),
+        Endpoint::Recommend => Response::Recommend(Vec::new()),
     }
 }
 
@@ -553,6 +787,90 @@ mod tests {
         assert_eq!(epoch, 1);
         assert_eq!(server.epoch(), 1);
         assert_eq!(server.cache_len(), warm);
+    }
+
+    #[test]
+    fn health_starts_clean_and_tracks_traffic() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        server.search("gochi", 5);
+        let h = server.health();
+        assert_eq!(h.epoch, 1);
+        assert!(!h.degraded);
+        assert_eq!(h.failed_maintains, 0);
+        assert_eq!(h.consecutive_failures, 0);
+        assert!(h.last_error.is_none());
+        assert_eq!(
+            (h.pages_quarantined, h.pages_failed, h.degraded_sites),
+            (0, 0, 0)
+        );
+        assert!(h.crawl.is_none());
+        let search = h
+            .endpoints
+            .iter()
+            .find(|e| e.endpoint == "search")
+            .expect("search endpoint present");
+        assert_eq!(search.requests, 1);
+        assert_eq!(search.errors, 0);
+        assert_eq!(search.error_budget_remaining, 1.0);
+    }
+
+    #[test]
+    fn failed_publish_keeps_serving_last_good_epoch() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        let before = server.search("gochi cupertino", 5);
+
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let err = server
+            .try_publish_with(|_| panic!("injected publish failure"))
+            .expect_err("panicking rebuild must fail");
+        std::panic::set_hook(prev_hook);
+        assert!(matches!(
+            &err,
+            MaintainError::RebuildPanicked(msg) if msg.contains("injected publish failure")
+        ));
+
+        // Degraded mode: same epoch, byte-identical answers, health dirty.
+        assert_eq!(server.epoch(), 1, "failed publish must not bump the epoch");
+        let after = server.search("gochi cupertino", 5);
+        assert_eq!(after.epoch, 1);
+        assert_eq!(
+            format!("{:?}", before.value),
+            format!("{:?}", after.value),
+            "degraded serving answers from the last good snapshot"
+        );
+        let h = server.health();
+        assert!(h.degraded);
+        assert_eq!(h.failed_maintains, 1);
+        assert_eq!(h.consecutive_failures, 1);
+        assert!(h
+            .last_error
+            .as_deref()
+            .is_some_and(|m| m.contains("injected")));
+
+        // Recovery: a successful publish clears the degraded flag.
+        let epoch = server
+            .try_publish_with(|woc| woc.clone())
+            .expect("clean rebuild publishes");
+        assert_eq!(epoch, 2);
+        let h = server.health();
+        assert!(!h.degraded);
+        assert_eq!(h.consecutive_failures, 0);
+        assert_eq!(h.failed_maintains, 1, "lifetime counter keeps history");
+    }
+
+    #[test]
+    fn crawl_health_surfaces_in_health() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        server.set_crawl_health(CrawlHealth {
+            breakers_open: 2,
+            breaker_trips: 5,
+            retries: 17,
+        });
+        let crawl = server.health().crawl.expect("crawl telemetry set");
+        assert_eq!(crawl.breakers_open, 2);
+        assert_eq!(crawl.breaker_trips, 5);
+        assert_eq!(crawl.retries, 17);
     }
 
     #[test]

@@ -47,12 +47,17 @@ impl Endpoint {
     }
 }
 
+/// Allowed fraction of requests that may error before an endpoint's error
+/// budget is exhausted (SRE-style: 99% of requests must succeed).
+pub const ERROR_BUDGET: f64 = 0.01;
+
 /// Counters and latency histogram for one endpoint.
 #[derive(Debug)]
 pub struct EndpointMetrics {
     requests: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    errors: AtomicU64,
     total_micros: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
@@ -63,6 +68,7 @@ impl Default for EndpointMetrics {
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
             total_micros: AtomicU64::new(0),
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
@@ -82,6 +88,12 @@ impl EndpointMetrics {
         self.total_micros.fetch_add(micros, Ordering::Relaxed);
         let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
         self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one failed request (the evaluation panicked or was refused).
+    /// Errors count against the endpoint's [`ERROR_BUDGET`].
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Point-in-time summary of this endpoint.
@@ -112,6 +124,7 @@ impl EndpointMetrics {
             requests,
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
             mean_micros: if requests == 0 {
                 0.0
             } else {
@@ -127,6 +140,7 @@ impl EndpointMetrics {
         self.requests.store(0, Ordering::Relaxed);
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
+        self.errors.store(0, Ordering::Relaxed);
         self.total_micros.store(0, Ordering::Relaxed);
         for b in &self.buckets {
             b.store(0, Ordering::Relaxed);
@@ -143,6 +157,8 @@ pub struct EndpointSummary {
     pub cache_hits: u64,
     /// Requests that evaluated and populated the cache.
     pub cache_misses: u64,
+    /// Requests whose evaluation failed (served a degraded empty answer).
+    pub errors: u64,
     /// Mean latency in microseconds.
     pub mean_micros: f64,
     /// Median latency (bucket upper bound), microseconds.
@@ -162,6 +178,22 @@ impl EndpointSummary {
         } else {
             self.cache_hits as f64 / consulted as f64
         }
+    }
+
+    /// Fraction of requests that errored (0 when no traffic).
+    pub fn error_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.errors as f64 / self.requests as f64
+        }
+    }
+
+    /// Remaining fraction of the endpoint's [`ERROR_BUDGET`], in `[0, 1]`:
+    /// 1 with no errors, 0 once the observed error rate has consumed the
+    /// whole allowance.
+    pub fn error_budget_remaining(&self) -> f64 {
+        (1.0 - self.error_rate() / ERROR_BUDGET).clamp(0.0, 1.0)
     }
 }
 
@@ -197,13 +229,15 @@ impl MetricsRegistry {
             let s = self.endpoint(e).summary();
             let _ = writeln!(
                 out,
-                "  {:<12} req {:>8}  hit {:>7}  miss {:>7}  hit-rate {:>5.1}%  \
-                 mean {:>8.1}µs  p50 {:>6}µs  p95 {:>6}µs  p99 {:>6}µs",
+                "  {:<12} req {:>8}  hit {:>7}  miss {:>7}  err {:>5}  hit-rate {:>5.1}%  \
+                 budget {:>5.1}%  mean {:>8.1}µs  p50 {:>6}µs  p95 {:>6}µs  p99 {:>6}µs",
                 e.name(),
                 s.requests,
                 s.cache_hits,
                 s.cache_misses,
+                s.errors,
                 100.0 * s.hit_rate(),
+                100.0 * s.error_budget_remaining(),
                 s.mean_micros,
                 s.p50_micros,
                 s.p95_micros,
@@ -273,5 +307,29 @@ mod tests {
         assert_eq!(s.requests, 0);
         assert_eq!(s.p50_micros, 0);
         assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.errors, 0);
+        assert_eq!(s.error_budget_remaining(), 1.0, "no traffic, full budget");
+    }
+
+    #[test]
+    fn error_budget_drains_with_error_rate() {
+        let m = MetricsRegistry::new();
+        let e = m.endpoint(Endpoint::Search);
+        for _ in 0..1_000 {
+            e.record(5, None);
+        }
+        assert_eq!(e.summary().error_budget_remaining(), 1.0);
+        // 5 errors in 1000 requests = 0.5% rate = half the 1% budget.
+        for _ in 0..5 {
+            e.record_error();
+        }
+        let s = e.summary();
+        assert_eq!(s.errors, 5);
+        assert!((s.error_budget_remaining() - 0.5).abs() < 1e-9);
+        // Blow far past the budget: remaining clamps at zero.
+        for _ in 0..100 {
+            e.record_error();
+        }
+        assert_eq!(e.summary().error_budget_remaining(), 0.0);
     }
 }

@@ -145,6 +145,28 @@ impl Page {
         }
     }
 
+    /// The page as it would travel over the wire: the DOM rendered to HTML.
+    /// This is the byte stream a fault-injection layer can damage before a
+    /// crawler re-parses it with [`Self::with_html`].
+    pub fn to_html(&self) -> String {
+        self.dom.to_html()
+    }
+
+    /// Rebuild this page from (possibly damaged) HTML bytes: the DOM is
+    /// re-parsed leniently ([`crate::parse_html`] never panics), while URL,
+    /// site, title and ground truth are carried over — truth describes the
+    /// world entity the page renders, which damage in transit does not
+    /// change.
+    pub fn with_html(&self, html: &str) -> Page {
+        Page {
+            url: self.url.clone(),
+            site: self.site.clone(),
+            title: self.title.clone(),
+            dom: crate::parse_html(html),
+            truth: self.truth.clone(),
+        }
+    }
+
     /// Stable content fingerprint of the page, the change-detection signal
     /// of incremental maintenance: two pages fingerprint equal iff their
     /// URL, site, title, and DOM are identical. Ground truth is excluded —
