@@ -69,33 +69,39 @@ pub fn concept_search(woc: &WebOfConcepts, query: &str, k: usize) -> Vec<Concept
 pub fn concept_search_parsed(woc: &WebOfConcepts, fq: &FieldQuery, k: usize) -> Vec<ConceptResult> {
     let hits: Vec<RecordHit> = woc.record_index.search(fq, k, |n| woc.registry.id_of(n));
     hits.into_iter()
-        .filter_map(|h| {
-            let rec = woc.store.latest(h.id)?;
-            let concept = woc
-                .registry
-                .schema(h.concept)
-                .map(|s| s.name().to_string())
-                .unwrap_or_default();
-            let name = rec
-                .best_string("name")
-                .or_else(|| rec.best_string("title"))
-                .unwrap_or_else(|| h.id.to_string());
-            let summary = [
-                "city", "cuisine", "venue", "date", "price", "rating", "year",
-            ]
-            .iter()
-            .filter_map(|key| rec.best_string(key).map(|v| format!("{key}: {v}")))
-            .collect::<Vec<_>>()
-            .join(" · ");
-            Some(ConceptResult {
-                id: h.id,
-                concept,
-                name,
-                score: h.score,
-                summary,
-            })
-        })
+        .filter_map(|h| hydrate_record_hit(woc, &h))
         .collect()
+}
+
+/// Hydrate one record hit into a display result — the single hydration
+/// path shared by [`concept_search_parsed`] and the `woc-cluster`
+/// scatter-gather router, so a hit renders identically whether it was
+/// scored on the full index or on the shard that owns the record.
+pub fn hydrate_record_hit(woc: &WebOfConcepts, h: &RecordHit) -> Option<ConceptResult> {
+    let rec = woc.store.latest(h.id)?;
+    let concept = woc
+        .registry
+        .schema(h.concept)
+        .map(|s| s.name().to_string())
+        .unwrap_or_default();
+    let name = rec
+        .best_string("name")
+        .or_else(|| rec.best_string("title"))
+        .unwrap_or_else(|| h.id.to_string());
+    let summary = [
+        "city", "cuisine", "venue", "date", "price", "rating", "year",
+    ]
+    .iter()
+    .filter_map(|key| rec.best_string(key).map(|v| format!("{key}: {v}")))
+    .collect::<Vec<_>>()
+    .join(" · ");
+    Some(ConceptResult {
+        id: h.id,
+        concept,
+        name,
+        score: h.score,
+        summary,
+    })
 }
 
 /// Refine previous results with an additional attribute constraint —

@@ -44,8 +44,8 @@ pub use augment::{
 };
 pub use concept_page::{concept_page, AttributeLine, ConceptPage, LinkedRecord};
 pub use concept_search::{
-    concept_search, concept_search_parsed, interpret_query, refine, search_within_concept,
-    ConceptResult,
+    concept_search, concept_search_parsed, hydrate_record_hit, interpret_query, refine,
+    search_within_concept, ConceptResult,
 };
 pub use metrics::{holistic_score, result_set_stats, ResultSetStats};
 pub use recommend::{alternatives, augmentations, CoEngagement, Recommendation};

@@ -9,7 +9,7 @@
 //! static-analysis counterpart, over data, of what `woc-lint` does over
 //! source.
 //!
-//! Every check has a stable code (`W001`…`W011`) so CI logs and dashboards
+//! Every check has a stable code (`W001`…`W013`) so CI logs and dashboards
 //! can track specific regressions:
 //!
 //! | code | name               | invariant |
@@ -26,6 +26,12 @@
 //! | W010 | doc-tables         | document index, URL and title tables agree in length |
 //! | W011 | tombstone-epoch    | no live association or index posting references a retracted or merged-away record |
 //! | W012 | quarantine-lineage | every quarantined page carries a reason in lineage, the report agrees with the lineage count, quarantined pages are not indexed, and no live record's extraction rests solely on quarantined pages |
+//! | W013 | shard-coverage     | under a cluster partition map, every live record and every indexed document is owned by exactly one in-range shard, every shard has at least one replica serving the expected epoch, and all such replicas are byte-identical (stale replicas are reported, not silently served) |
+//!
+//! W001–W012 run over any web via [`audit`]; W013 additionally needs the
+//! cluster's [`ShardCoverageView`] and runs via [`check_shard_coverage`] or
+//! [`audit_with_cluster`] — the view is plain data, so the audit stays
+//! independent of the cluster crate that produces it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -187,6 +193,161 @@ pub fn audit(woc: &WebOfConcepts, cfg: &AuditConfig) -> Audit {
         associations: woc.web.len(),
         conformance_rate,
     }
+}
+
+/// The cluster-side facts W013 verifies, reported by the serving tier
+/// (`woc-cluster`) as plain data so this crate never depends on it.
+#[derive(Debug, Clone, Default)]
+pub struct ShardCoverageView {
+    /// Number of shards in the topology.
+    pub shards: usize,
+    /// The partition map: `(record id, owning shard)` for every record the
+    /// cluster claims to own.
+    pub record_owners: Vec<(LrecId, usize)>,
+    /// The document partition: `(doc URL, owning shard)`.
+    pub doc_owners: Vec<(String, usize)>,
+    /// The cluster epoch every replica is expected to serve.
+    pub expected_epoch: u64,
+    /// Per shard, per replica slot: `(served epoch, content digest of the
+    /// replica's shard state — indexes plus scoring stats)`.
+    pub replicas: Vec<Vec<(u64, u64)>>,
+}
+
+/// Run W001–W012 over the web plus the W013 shard-coverage check over the
+/// cluster's view of it — the audit entry point for clustered serving.
+pub fn audit_with_cluster(
+    woc: &WebOfConcepts,
+    view: &ShardCoverageView,
+    cfg: &AuditConfig,
+) -> Audit {
+    let mut a = audit(woc, cfg);
+    a.checks.push(check_shard_coverage(woc, view, cfg));
+    a
+}
+
+/// W013: shard coverage — the partition the cluster serves through must
+/// tile the web exactly. Every live record and every indexed document is
+/// owned by exactly one shard, owners are in range, nothing dead is owned;
+/// every shard has at least one replica serving the expected epoch, and all
+/// replicas serving it are byte-identical (equal content digests). Replicas
+/// on other epochs are *reported* (they are what a failover left behind)
+/// but do not fail the check — the router already refuses to serve them
+/// silently.
+pub fn check_shard_coverage(
+    woc: &WebOfConcepts,
+    view: &ShardCoverageView,
+    cfg: &AuditConfig,
+) -> CheckResult {
+    let mut c = CheckResult::new("W013", "shard-coverage");
+    let mut record_owner: std::collections::BTreeMap<LrecId, Vec<usize>> = Default::default();
+    for &(id, shard) in &view.record_owners {
+        record_owner.entry(id).or_default().push(shard);
+        if shard >= view.shards {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "record {id} owned by shard {shard}, out of range for {} shards",
+                    view.shards
+                ),
+            );
+        }
+    }
+    for id in woc.store.live_ids() {
+        c.checked += 1;
+        match record_owner.get(&id).map(Vec::len).unwrap_or(0) {
+            1 => {}
+            0 => c.violation(
+                cfg.max_details,
+                format!("live record {id} is owned by no shard (uncovered)"),
+            ),
+            n => c.violation(
+                cfg.max_details,
+                format!("live record {id} is owned by {n} shards (double-owned)"),
+            ),
+        }
+    }
+    for (&id, _) in record_owner.iter() {
+        if woc.store.latest(id).is_none() {
+            c.violation(
+                cfg.max_details,
+                format!("shard map owns record {id}, which is not live"),
+            );
+        }
+    }
+    let mut doc_owner: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+    for (url, shard) in &view.doc_owners {
+        doc_owner.entry(url.as_str()).or_default().push(*shard);
+        if *shard >= view.shards {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "document {url} owned by shard {shard}, out of range for {} shards",
+                    view.shards
+                ),
+            );
+        }
+    }
+    for url in &woc.doc_urls {
+        c.checked += 1;
+        match doc_owner.get(url.as_str()).map(Vec::len).unwrap_or(0) {
+            1 => {}
+            0 => c.violation(
+                cfg.max_details,
+                format!("indexed document {url} is owned by no shard"),
+            ),
+            n => c.violation(
+                cfg.max_details,
+                format!("indexed document {url} is owned by {n} shards"),
+            ),
+        }
+    }
+    if view.replicas.len() != view.shards {
+        c.violation(
+            cfg.max_details,
+            format!(
+                "replica table covers {} shards but the topology declares {}",
+                view.replicas.len(),
+                view.shards
+            ),
+        );
+    }
+    let mut stale = 0usize;
+    for (shard, replicas) in view.replicas.iter().enumerate() {
+        c.checked += 1;
+        let current: Vec<u64> = replicas
+            .iter()
+            .filter(|(epoch, _)| *epoch == view.expected_epoch)
+            .map(|&(_, digest)| digest)
+            .collect();
+        stale += replicas.len() - current.len();
+        match current.first() {
+            None => c.violation(
+                cfg.max_details,
+                format!(
+                    "shard {shard} has no replica serving epoch {} ({} replicas, all stale or dead)",
+                    view.expected_epoch,
+                    replicas.len()
+                ),
+            ),
+            Some(&first) => {
+                if current.iter().any(|&d| d != first) {
+                    c.violation(
+                        cfg.max_details,
+                        format!(
+                            "shard {shard} replicas at epoch {} diverge: digests {current:x?}",
+                            view.expected_epoch
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    if stale > 0 {
+        c.info.push(format!(
+            "{stale} replica(s) serving a stale epoch (degraded, not served)"
+        ));
+    }
+    c
 }
 
 /// W001: every association endpoint (record side) resolves to a stored

@@ -420,3 +420,90 @@ fn json_report_is_serializable_and_stable() {
         assert!(json.contains(code), "JSON report should carry {code}");
     }
 }
+
+// ---------------------------------------------------------------- W013
+
+/// A well-formed single-shard coverage view for the fixture web: every
+/// live record and document owned by shard 0, two byte-identical replicas
+/// at the expected epoch.
+fn clean_view(woc: &WebOfConcepts) -> woc_audit::ShardCoverageView {
+    woc_audit::ShardCoverageView {
+        shards: 1,
+        record_owners: woc.store.live_ids().into_iter().map(|id| (id, 0)).collect(),
+        doc_owners: woc.doc_urls.iter().map(|u| (u.clone(), 0)).collect(),
+        expected_epoch: 1,
+        replicas: vec![vec![(1, 0xabcd), (1, 0xabcd)]],
+    }
+}
+
+fn run_cluster(woc: &WebOfConcepts, view: &woc_audit::ShardCoverageView) -> Audit {
+    woc_audit::audit_with_cluster(woc, view, &AuditConfig::default())
+}
+
+#[test]
+fn w013_passes_on_clean_coverage() {
+    let woc = fresh_web();
+    let report = run_cluster(&woc, &clean_view(&woc));
+    assert!(
+        report.passed(),
+        "clean view must pass:\n{}",
+        report.render()
+    );
+    assert!(report.check("W013").is_some());
+}
+
+#[test]
+fn w013_uncovered_record_fires() {
+    let woc = fresh_web();
+    let mut view = clean_view(&woc);
+    view.record_owners.pop();
+    assert_fired(&run_cluster(&woc, &view), "W013", "owned by no shard");
+}
+
+#[test]
+fn w013_double_owned_record_fires() {
+    let woc = fresh_web();
+    let mut view = clean_view(&woc);
+    let dup = view.record_owners[0];
+    view.record_owners.push(dup);
+    assert_fired(&run_cluster(&woc, &view), "W013", "owned by 2 shards");
+}
+
+#[test]
+fn w013_out_of_range_owner_fires() {
+    let woc = fresh_web();
+    let mut view = clean_view(&woc);
+    view.record_owners[0].1 = 7;
+    assert_fired(&run_cluster(&woc, &view), "W013", "out of range");
+}
+
+#[test]
+fn w013_uncovered_document_fires() {
+    let woc = fresh_web();
+    let mut view = clean_view(&woc);
+    view.doc_owners.pop();
+    assert_fired(&run_cluster(&woc, &view), "W013", "owned by no shard");
+}
+
+#[test]
+fn w013_divergent_replicas_fire() {
+    let woc = fresh_web();
+    let mut view = clean_view(&woc);
+    view.replicas[0][1] = (1, 0xbeef);
+    assert_fired(&run_cluster(&woc, &view), "W013", "diverge");
+}
+
+#[test]
+fn w013_all_replicas_stale_fires_but_one_stale_is_info() {
+    let woc = fresh_web();
+    let mut view = clean_view(&woc);
+    // One stale replica: degraded, reported, not a violation.
+    view.replicas[0][1] = (0, 0x1111);
+    let report = run_cluster(&woc, &view);
+    assert!(report.passed(), "{}", report.render());
+    let check = report.check("W013").expect("W013 present");
+    assert!(check.info.iter().any(|i| i.contains("stale")));
+    // Every replica stale: the shard is uncovered at the expected epoch.
+    view.replicas[0][0] = (0, 0x1111);
+    assert_fired(&run_cluster(&woc, &view), "W013", "all stale or dead");
+}

@@ -1,0 +1,233 @@
+//! Scatter-gather serving at cluster width: measure the throughput curve
+//! as shards are added (N = 1 → 2 → 4) and the failover-latency profile
+//! of every shard-fault shape at full width.
+//!
+//! Latency here is **virtual**: every query's cost is the max over shards
+//! of `base + postings_walked × 2µs` plus injected fault latency, summed
+//! on the cluster's deterministic clock (see `woc_cluster::router`). That
+//! makes both tables exact arithmetic — rerunning this binary reproduces
+//! them byte-for-byte, so EXPERIMENTS.md numbers never drift with host
+//! load. QPS is `ops / Σ virtual latency`: posting work partitions across
+//! shards, so the curve must rise monotonically with N.
+//!
+//! Exits non-zero if the scaling curve is not monotone, any complete
+//! answer differs from the single-node reference, or a post-fault audit
+//! (W013 included) fails.
+//!
+//! Run: `cargo run -p woc-bench --bin cluster_bench --release [-- --quick]`
+
+use woc_apps::{concept_search_parsed, interpret_query, ConceptResult};
+use woc_audit::AuditConfig;
+use woc_bench::{bench_pipeline_config, header, metric_row};
+use woc_chaos::ShardFaultProfile;
+use woc_cluster::{ClusterConfig, ClusterServer, Coverage};
+use woc_core::{build, WebOfConcepts};
+use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+
+/// Shard widths swept for the throughput curve.
+const WIDTHS: [usize; 3] = [1, 2, 4];
+
+/// Fixed fault seed: one reproducible sweep, not a distribution study.
+const FAULT_SEED: u64 = 11;
+
+/// Per-shard routing knobs used by every table: a tight dispatch cost so
+/// the posting-walk work term (which partitions across shards) dominates
+/// the latency model, making the scaling curve visible even on the
+/// `--quick` fixture.
+fn bench_cluster_config(shards: usize) -> ClusterConfig {
+    ClusterConfig {
+        shards,
+        base_latency_micros: 10,
+        ..ClusterConfig::default()
+    }
+}
+
+/// Deterministic workload over real record names from the built web (so
+/// every query walks actual posting lists), with a skewed pick pattern
+/// and alternating depths.
+fn workload(woc: &WebOfConcepts, n: usize, pool_cap: usize) -> Vec<(String, usize)> {
+    let mut pool: Vec<String> = woc
+        .store
+        .live_ids()
+        .into_iter()
+        .filter_map(|id| woc.store.latest(id)?.best_string("name"))
+        .take(pool_cap)
+        .collect();
+    pool.sort();
+    pool.dedup();
+    (0..n)
+        .map(|i| {
+            let k = if i % 3 == 0 { 10 } else { 5 };
+            (pool[(i * 7919) % pool.len()].clone(), k)
+        })
+        .collect()
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct RunStats {
+    qps: f64,
+    p50: u64,
+    p95: u64,
+    complete: usize,
+    partial: usize,
+    hedges: u64,
+    mismatches: usize,
+}
+
+/// Drive the workload once and fold the answer stream into a stat row.
+/// Complete answers are checked byte-for-byte against the single-node
+/// reference (partial answers are covered by the chaos suite's prefix
+/// contract, which needs the partition map — out of scope for a bench).
+fn drive(
+    cluster: &ClusterServer,
+    woc: &WebOfConcepts,
+    queries: &[(String, usize)],
+    reference: &[Vec<ConceptResult>],
+) -> RunStats {
+    let hedges_before = cluster.stats().hedges;
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut complete = 0usize;
+    let mut partial = 0usize;
+    let mut mismatches = 0usize;
+    for (i, (q, k)) in queries.iter().enumerate() {
+        // Closed-loop inter-arrival gap: moves the virtual clock across
+        // fault windows so flapping profiles sample many availability
+        // states instead of freezing the state of window zero.
+        cluster.advance_clock(1_000);
+        let ans = cluster.search(q, *k);
+        latencies.push(ans.virtual_micros);
+        match ans.coverage {
+            Coverage::Complete => {
+                complete += 1;
+                if format!("{:?}", ans.results) != format!("{:?}", reference[i]) {
+                    eprintln!("FAIL: complete answer for {q:?} diverged from single-node");
+                    mismatches += 1;
+                }
+            }
+            Coverage::Partial { .. } => partial += 1,
+        }
+    }
+    let _ = woc;
+    let total_micros: u64 = latencies.iter().sum();
+    latencies.sort_unstable();
+    RunStats {
+        qps: queries.len() as f64 / (total_micros as f64 / 1e6).max(1e-9),
+        p50: percentile(&latencies, 0.50),
+        p95: percentile(&latencies, 0.95),
+        complete,
+        partial,
+        hedges: cluster.stats().hedges - hedges_before,
+        mismatches,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (world_cfg, corpus_cfg, ops) = if quick {
+        (WorldConfig::tiny(700), CorpusConfig::tiny(70), 240)
+    } else {
+        (WorldConfig::default(), CorpusConfig::default(), 1_200)
+    };
+    let world = World::generate(world_cfg);
+    let corpus = generate_corpus(&world, &corpus_cfg);
+    let woc = build(&corpus, &bench_pipeline_config());
+    let queries = workload(&woc, ops, if quick { 64 } else { 512 });
+    let reference: Vec<Vec<ConceptResult>> = queries
+        .iter()
+        .map(|(q, k)| concept_search_parsed(&woc, &interpret_query(q).normalized(), *k))
+        .collect();
+
+    let mut failed = false;
+
+    // ── Throughput curve: healthy cluster, growing width ────────────────
+    header("Scatter-gather throughput vs shard count (healthy, virtual time)");
+    println!(
+        "  {:>3} {:>10} {:>10} {:>10} {:>9} {:>7}",
+        "N", "QPS", "p50 µs", "p95 µs", "complete", "audit"
+    );
+    let mut curve = Vec::new();
+    for &shards in &WIDTHS {
+        let cluster = ClusterServer::new(&corpus, woc.clone(), bench_cluster_config(shards));
+        let stats = drive(&cluster, &woc, &queries, &reference);
+        let audit_ok = cluster.audit(&AuditConfig::default()).passed();
+        println!(
+            "  {:>3} {:>10.0} {:>10} {:>10} {:>9} {:>7}",
+            shards,
+            stats.qps,
+            stats.p50,
+            stats.p95,
+            stats.complete,
+            if audit_ok { "pass" } else { "FAIL" }
+        );
+        failed |= !audit_ok || stats.mismatches > 0 || stats.partial > 0;
+        curve.push(stats.qps);
+    }
+    for w in curve.windows(2) {
+        if w[1] <= w[0] {
+            eprintln!("FAIL: QPS curve not monotone: {curve:?}");
+            failed = true;
+        }
+    }
+
+    // ── Failover latency: every fault shape at full width ───────────────
+    header("Failover latency by fault profile (N = 4, R = 2, virtual time)");
+    println!(
+        "  {:>14} {:>10} {:>10} {:>10} {:>9} {:>8} {:>7} {:>7}",
+        "profile", "QPS", "p50 µs", "p95 µs", "complete", "partial", "hedges", "audit"
+    );
+    let profiles = [
+        ShardFaultProfile::healthy(),
+        ShardFaultProfile::replica_down(1, 0),
+        ShardFaultProfile::shard_blackout(2),
+        ShardFaultProfile::flappy(0.3),
+        ShardFaultProfile::slow(0.5, 10_000),
+    ];
+    for profile in profiles {
+        let cluster = ClusterServer::new(&corpus, woc.clone(), bench_cluster_config(4));
+        let name = profile.name;
+        let quiet = profile.is_quiet();
+        cluster.set_faults(profile, FAULT_SEED);
+        let stats = drive(&cluster, &woc, &queries, &reference);
+        let audit_ok = cluster.audit(&AuditConfig::default()).passed();
+        println!(
+            "  {:>14} {:>10.0} {:>10} {:>10} {:>9} {:>8} {:>7} {:>7}",
+            name,
+            stats.qps,
+            stats.p50,
+            stats.p95,
+            stats.complete,
+            stats.partial,
+            stats.hedges,
+            if audit_ok { "pass" } else { "FAIL" }
+        );
+        failed |= !audit_ok || stats.mismatches > 0;
+        if quiet && stats.partial > 0 {
+            eprintln!("FAIL: healthy profile degraded {} answers", stats.partial);
+            failed = true;
+        }
+        if name == "shard-blackout" && stats.complete > 0 {
+            eprintln!("FAIL: blackout must degrade every answer");
+            failed = true;
+        }
+    }
+
+    header("Verdict");
+    metric_row(
+        "scaling + failover",
+        if failed {
+            "FAILED"
+        } else {
+            "monotone curve, byte-identical quorum answers, audits clean"
+        },
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

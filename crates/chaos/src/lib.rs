@@ -31,11 +31,13 @@ mod backoff;
 mod breaker;
 mod crawl;
 mod fault;
+mod shardfault;
 
 pub use backoff::{Backoff, RetryPolicy};
 pub use breaker::{BreakerState, CircuitBreaker};
 pub use crawl::{crawl, CrawlOutcome, FaultKind, QuarantinedPage, SiteReport, VirtualClock};
 pub use fault::{Delivery, FaultInjector, FaultProfile, FetchError, GARBLE_LIMIT};
+pub use shardfault::{ShardFaultInjector, ShardFaultProfile};
 
 use woc_core::{build, PipelineConfig, WebOfConcepts};
 

@@ -1,0 +1,614 @@
+//! # woc-cluster — sharded multi-node serving of the web of concepts
+//!
+//! The paper's serving stance (§2.2) is that concept records ride
+//! "massively scalable inverted index implementations"; `woc-serve`
+//! builds the single-node read tier, and this crate scales it *out*: a
+//! built [`WebOfConcepts`] is deterministically partitioned across `N`
+//! simulated shard nodes ([`PartitionMap`]), each shard holds `R`
+//! replicas of its shard-local indexes under the same epoch-swap
+//! discipline `woc-serve` uses, and a scatter-gather router answers
+//! `search` / `lookup` / `doc_search` with per-shard virtual-clock
+//! timeouts and hedged requests.
+//!
+//! The load-bearing invariant, enforced by the partition/failover chaos
+//! suite: **quorum serving is byte-identical to single-node answers**.
+//! Shard indexes score through corpus-global [`woc_index::ScoringStats`],
+//! so every hit carries the bitwise-identical score the full index would
+//! give it, and the router's merge reproduces the full index's ordering.
+//! When faults (via [`woc_chaos::ShardFaultInjector`]) take out every
+//! usable replica of a shard, the router degrades with explicit
+//! [`Coverage::Partial`] metadata — never a silently partial epoch. The
+//! W013 shard-coverage audit ([`woc_audit::check_shard_coverage`]) checks
+//! the partition tiles the web and replicas do not diverge.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod node;
+pub mod partition;
+pub mod router;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use woc_apps::{hydrate_record_hit, interpret_query, ConceptResult};
+use woc_audit::{audit_with_cluster, Audit, AuditConfig, ShardCoverageView};
+use woc_chaos::{ShardFaultInjector, ShardFaultProfile};
+use woc_core::WebOfConcepts;
+use woc_index::{FieldQuery, RecordHit};
+use woc_lrec::LrecId;
+use woc_serve::{ConceptServer, EpochDelta, ServeConfig, Snapshot};
+use woc_textkit::tokenize::tokenize_words;
+use woc_webgen::WebCorpus;
+
+pub use node::{ReplicaState, ShardDocs, ShardNode, ShardRecords};
+pub use partition::{host_of, PartitionGroup, PartitionMap};
+pub use router::{Coverage, RouterStats, RouterStatsSnapshot, POSTING_MICROS};
+
+/// Cluster topology and routing knobs.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of shard nodes.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replicas: usize,
+    /// Per-shard budget: a shard whose best path exceeds this is dropped
+    /// from the answer (explicitly, via [`Coverage::Partial`]).
+    pub timeout_micros: u64,
+    /// Service time above which a hedged request fires to a second
+    /// replica; the shard's latency becomes the better of the two paths.
+    pub hedge_micros: u64,
+    /// Fixed per-request virtual cost (connect + dispatch) per replica
+    /// touched.
+    pub base_latency_micros: u64,
+    /// Rebalance when max/mean shard size exceeds this (see
+    /// [`PartitionMap::build`]).
+    pub rebalance_threshold: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            shards: 4,
+            replicas: 2,
+            timeout_micros: 50_000,
+            hedge_micros: 2_000,
+            base_latency_micros: 100,
+            rebalance_threshold: 1.5,
+        }
+    }
+}
+
+/// A scatter-gather concept-search answer.
+#[derive(Debug, Clone)]
+pub struct ClusterAnswer {
+    /// Merged, hydrated hits — byte-identical to the single-node answer
+    /// when coverage is complete.
+    pub results: Vec<ConceptResult>,
+    /// The epoch every contributing shard served.
+    pub epoch: u64,
+    /// Whether every shard answered.
+    pub coverage: Coverage,
+    /// Virtual end-to-end latency (max over shards; scatter is parallel).
+    pub virtual_micros: u64,
+    /// Shards that fired a hedged request.
+    pub hedged_shards: usize,
+}
+
+/// A routed single-record lookup.
+#[derive(Debug, Clone)]
+pub struct LookupAnswer {
+    /// The record, hydrated by its owning shard (`None` when the id does
+    /// not resolve to a live record — or, under [`Coverage::Partial`],
+    /// when the owner could not serve).
+    pub result: Option<ConceptResult>,
+    /// The epoch served.
+    pub epoch: u64,
+    /// Whether the owning shard answered.
+    pub coverage: Coverage,
+    /// Virtual latency of the routed request.
+    pub virtual_micros: u64,
+}
+
+/// A scatter-gather document-search answer.
+#[derive(Debug, Clone)]
+pub struct DocAnswer {
+    /// `(url, score)` hits, byte-identical to the full doc index's
+    /// answer when coverage is complete.
+    pub results: Vec<(String, f64)>,
+    /// The epoch every contributing shard served.
+    pub epoch: u64,
+    /// Whether every shard answered.
+    pub coverage: Coverage,
+    /// Virtual end-to-end latency.
+    pub virtual_micros: u64,
+}
+
+/// The cluster's canonical state for one epoch: the full snapshot (the
+/// metadata/hydration plane) plus each shard's two index sides.
+#[derive(Debug)]
+struct ClusterState {
+    snap: Arc<Snapshot>,
+    partition: Arc<PartitionMap>,
+    records: Vec<Arc<ShardRecords>>,
+    docs: Vec<Arc<ShardDocs>>,
+}
+
+/// The sharded serving tier: a [`ConceptServer`] epoch authority, `N`
+/// [`ShardNode`]s of `R` replicas each, and the scatter-gather router.
+#[derive(Debug)]
+pub struct ClusterServer {
+    config: ClusterConfig,
+    full: ConceptServer,
+    /// Publish-hook inbox: the epoch authority pushes each newly installed
+    /// snapshot here (the `woc-serve` replication seam), and the cluster
+    /// fans it out to shard replicas.
+    inbox: Arc<RwLock<Option<Arc<Snapshot>>>>,
+    state: RwLock<Arc<ClusterState>>,
+    nodes: Vec<ShardNode>,
+    injector: RwLock<Arc<ShardFaultInjector>>,
+    clock: AtomicU64,
+    seq: AtomicU64,
+    stats: RouterStats,
+}
+
+impl ClusterServer {
+    /// Partition `woc` across the configured topology and start serving
+    /// epoch 1 on every replica. `corpus` supplies document text for the
+    /// shard doc indexes (the web stores URLs and titles, not bodies).
+    pub fn new(corpus: &WebCorpus, woc: WebOfConcepts, config: ClusterConfig) -> Self {
+        assert!(config.shards >= 1, "a cluster needs at least one shard");
+        assert!(config.replicas >= 1, "a shard needs at least one replica");
+        let full = ConceptServer::new(woc, ServeConfig::default());
+        let inbox: Arc<RwLock<Option<Arc<Snapshot>>>> = Arc::new(RwLock::new(None));
+        let sink = Arc::clone(&inbox);
+        full.on_publish(Box::new(move |snap| *sink.write() = Some(Arc::clone(snap))));
+        let snap = full.snapshot();
+        let state = Arc::new(build_state(&snap, corpus, &config, None));
+        let nodes = (0..config.shards)
+            .map(|s| {
+                ShardNode::new(
+                    config.replicas,
+                    Arc::new(ReplicaState {
+                        epoch: snap.epoch,
+                        snap: Arc::clone(&snap),
+                        records: Arc::clone(&state.records[s]),
+                        docs: Arc::clone(&state.docs[s]),
+                    }),
+                )
+            })
+            .collect();
+        Self {
+            config,
+            full,
+            inbox,
+            state: RwLock::new(state),
+            nodes,
+            injector: RwLock::new(Arc::new(ShardFaultInjector::new(
+                ShardFaultProfile::healthy(),
+                0,
+            ))),
+            clock: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+            stats: RouterStats::default(),
+        }
+    }
+
+    /// The routing configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The single-node epoch authority (and reference server) inside the
+    /// cluster — chaos tests compare scatter-gather answers against it.
+    pub fn full(&self) -> &ConceptServer {
+        &self.full
+    }
+
+    /// The cluster epoch.
+    pub fn epoch(&self) -> u64 {
+        self.state.read().snap.epoch
+    }
+
+    /// The current partition map.
+    pub fn partition(&self) -> Arc<PartitionMap> {
+        Arc::clone(&self.state.read().partition)
+    }
+
+    /// The canonical record side of `shard` (Arc identity is observable:
+    /// an incremental publish re-ships untouched sides unchanged).
+    pub fn records_side(&self, shard: usize) -> Arc<ShardRecords> {
+        Arc::clone(&self.state.read().records[shard])
+    }
+
+    /// The canonical doc side of `shard`.
+    pub fn docs_side(&self, shard: usize) -> Arc<ShardDocs> {
+        Arc::clone(&self.state.read().docs[shard])
+    }
+
+    /// Install a shard-fault profile rolled from `seed`. Takes effect on
+    /// the next request; the virtual clock keeps running.
+    pub fn set_faults(&self, profile: ShardFaultProfile, seed: u64) {
+        *self.injector.write() = Arc::new(ShardFaultInjector::new(profile, seed));
+    }
+
+    /// Remove all injected faults.
+    pub fn clear_faults(&self) {
+        self.set_faults(ShardFaultProfile::healthy(), 0);
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the routing state. The read guard lives only inside this
+    /// expression, so no caller ever holds it across another lock.
+    fn routing_state(&self) -> Arc<ClusterState> {
+        Arc::clone(&self.state.read())
+    }
+
+    /// Snapshot the active fault injector under the same single-lock rule.
+    fn fault_injector(&self) -> Arc<ShardFaultInjector> {
+        Arc::clone(&self.injector.read())
+    }
+
+    /// Advance the virtual clock (e.g. to cross a flap window).
+    pub fn advance_clock(&self, micros: u64) {
+        self.clock.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Router counters.
+    pub fn stats(&self) -> RouterStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Publish `woc` as the next epoch: the epoch authority swaps its
+    /// snapshot (firing the publish hook), the partition map and shard
+    /// sides rebuild — re-shipping any side whose inputs are unchanged as
+    /// the same `Arc` — and every replica *reachable at the current
+    /// virtual time* installs the new epoch. Unreachable replicas stay on
+    /// their old epoch; the router refuses them until
+    /// [`ClusterServer::sync_replicas`] (or a later publish) catches them
+    /// up. Returns the new epoch.
+    pub fn publish(&self, corpus: &WebCorpus, woc: WebOfConcepts) -> u64 {
+        self.full.publish(woc);
+        let snap = self
+            .inbox
+            .write()
+            .take()
+            .unwrap_or_else(|| self.full.snapshot());
+        let prev = self.routing_state();
+        let next = Arc::new(build_state(&snap, corpus, &self.config, Some(&prev)));
+        *self.state.write() = Arc::clone(&next);
+        self.sync_replicas();
+        snap.epoch
+    }
+
+    /// Publish only if `delta` carries actual record or document changes
+    /// — the cluster form of [`ConceptServer::publish_delta`]. An
+    /// effectively-empty delta is a no-op: no epoch bump, no shard
+    /// rebuild, no replica churn.
+    pub fn publish_delta(&self, corpus: &WebCorpus, woc: WebOfConcepts, delta: &EpochDelta) -> u64 {
+        if delta.is_effectively_empty() {
+            return self.epoch();
+        }
+        self.publish(corpus, woc)
+    }
+
+    /// Install the canonical state into every replica reachable at the
+    /// current virtual time — the anti-entropy pass that heals stale
+    /// replicas after a partition lifts.
+    pub fn sync_replicas(&self) {
+        let now = self.now_micros();
+        let st = self.routing_state();
+        let inj = self.fault_injector();
+        for (s, node) in self.nodes.iter().enumerate() {
+            for r in 0..node.replicas() {
+                if inj.replica_down(s, r, now) {
+                    continue;
+                }
+                node.install(
+                    r,
+                    Arc::new(ReplicaState {
+                        epoch: st.snap.epoch,
+                        snap: Arc::clone(&st.snap),
+                        records: Arc::clone(&st.records[s]),
+                        docs: Arc::clone(&st.docs[s]),
+                    }),
+                );
+            }
+        }
+    }
+
+    /// Concept search (§5.2) with the same geo/cuisine query
+    /// interpretation the single-node server applies.
+    pub fn search(&self, query: &str, k: usize) -> ClusterAnswer {
+        let fq = interpret_query(query).normalized();
+        self.search_parsed(&fq, k)
+    }
+
+    /// Scatter a parsed query to every shard, gather, and merge into the
+    /// single-node answer order. See the crate docs for the byte-identity
+    /// argument; the gather stage applies the concept filter, the
+    /// scoped-requirement filter, and the final truncation in exactly the
+    /// order the single-node path does.
+    pub fn search_parsed(&self, fq: &FieldQuery, k: usize) -> ClusterAnswer {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_micros();
+        let st = self.routing_state();
+        let inj = self.fault_injector();
+        let expected = st.snap.epoch;
+        // The single-node path over-fetches under a concept filter; mirror
+        // its budget exactly so truncation cuts at the same rank.
+        let fetch = if fq.concept.is_some() { k * 8 + 32 } else { k };
+
+        let mut served: Vec<Option<Arc<ReplicaState>>> = Vec::with_capacity(self.config.shards);
+        let mut missing: Vec<usize> = Vec::new();
+        let mut latency = 0u64;
+        let mut hedged_shards = 0usize;
+        for (s, node) in self.nodes.iter().enumerate() {
+            let work = st.records[s].postings_cost(fq) * POSTING_MICROS;
+            let outcome = router::serve_shard(
+                node,
+                s,
+                expected,
+                work,
+                &self.config,
+                &inj,
+                now,
+                seq,
+                &self.stats,
+            );
+            latency = latency.max(outcome.latency_micros);
+            hedged_shards += outcome.hedged as usize;
+            if outcome.state.is_none() {
+                missing.push(s);
+            }
+            served.push(outcome.state);
+        }
+        self.clock.fetch_add(latency, Ordering::Relaxed);
+
+        let mut raw: Vec<RecordHit> = Vec::new();
+        for rs in served.iter().flatten() {
+            raw.extend(rs.records.raw_search(fq, fetch));
+        }
+        raw.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.id.cmp(&b.id))
+        });
+        raw.truncate(fetch);
+        let concept_filter = fq
+            .concept
+            .as_deref()
+            .and_then(|n| st.snap.woc.registry.id_of(n));
+        if let Some(c) = concept_filter {
+            raw.retain(|h| h.concept == c);
+        }
+        if !fq.scoped.is_empty() {
+            let mut ok: std::collections::BTreeSet<LrecId> = Default::default();
+            for rs in served.iter().flatten() {
+                let mut members: Option<std::collections::BTreeSet<LrecId>> = None;
+                for (f, t) in &fq.scoped {
+                    let set: std::collections::BTreeSet<LrecId> =
+                        rs.records.scoped_members(f, t).into_iter().collect();
+                    members = Some(match members {
+                        None => set,
+                        Some(m) => m.intersection(&set).copied().collect(),
+                    });
+                }
+                ok.extend(members.unwrap_or_default());
+            }
+            raw.retain(|h| ok.contains(&h.id));
+        }
+        raw.truncate(k);
+        let results = raw
+            .iter()
+            .filter_map(|h| hydrate_record_hit(&st.snap.woc, h))
+            .collect();
+
+        let coverage = if missing.is_empty() {
+            Coverage::Complete
+        } else {
+            self.stats.partial_answers.fetch_add(1, Ordering::Relaxed);
+            Coverage::Partial { missing }
+        };
+        ClusterAnswer {
+            results,
+            epoch: expected,
+            coverage,
+            virtual_micros: latency,
+            hedged_shards,
+        }
+    }
+
+    /// Route a single-record lookup to the shard owning the record.
+    pub fn lookup(&self, id: LrecId) -> LookupAnswer {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_micros();
+        let st = self.routing_state();
+        let inj = self.fault_injector();
+        let canon = st.snap.woc.store.resolve(id);
+        let owner = canon.and_then(|c| st.partition.shard_of_record(c));
+        let Some(shard) = owner else {
+            // Not a live record: the metadata plane answers directly.
+            let latency = self.config.base_latency_micros;
+            self.clock.fetch_add(latency, Ordering::Relaxed);
+            return LookupAnswer {
+                result: None,
+                epoch: st.snap.epoch,
+                coverage: Coverage::Complete,
+                virtual_micros: latency,
+            };
+        };
+        let outcome = router::serve_shard(
+            &self.nodes[shard],
+            shard,
+            st.snap.epoch,
+            0,
+            &self.config,
+            &inj,
+            now,
+            seq,
+            &self.stats,
+        );
+        self.clock
+            .fetch_add(outcome.latency_micros, Ordering::Relaxed);
+        let Some(rs) = outcome.state else {
+            self.stats.partial_answers.fetch_add(1, Ordering::Relaxed);
+            return LookupAnswer {
+                result: None,
+                epoch: st.snap.epoch,
+                coverage: Coverage::Partial {
+                    missing: vec![shard],
+                },
+                virtual_micros: outcome.latency_micros,
+            };
+        };
+        let result = lookup_reference(&rs.snap.woc, id);
+        LookupAnswer {
+            result,
+            epoch: st.snap.epoch,
+            coverage: Coverage::Complete,
+            virtual_micros: outcome.latency_micros,
+        }
+    }
+
+    /// Scatter a plain document search to every shard's doc index and
+    /// merge by the full index's `(score desc, doc asc)` order.
+    pub fn doc_search(&self, query: &str, k: usize) -> DocAnswer {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let now = self.now_micros();
+        let st = self.routing_state();
+        let inj = self.fault_injector();
+        let terms = tokenize_words(query);
+
+        let mut hits: Vec<(u32, f64)> = Vec::new();
+        let mut missing: Vec<usize> = Vec::new();
+        let mut latency = 0u64;
+        for (s, node) in self.nodes.iter().enumerate() {
+            let work = st.docs[s].postings_cost(&terms) * POSTING_MICROS;
+            let outcome = router::serve_shard(
+                node,
+                s,
+                st.snap.epoch,
+                work,
+                &self.config,
+                &inj,
+                now,
+                seq,
+                &self.stats,
+            );
+            latency = latency.max(outcome.latency_micros);
+            match outcome.state {
+                Some(rs) => hits.extend(rs.docs.raw_search(&terms, k)),
+                None => missing.push(s),
+            }
+        }
+        self.clock.fetch_add(latency, Ordering::Relaxed);
+        router::merge_by_score(&mut hits);
+        hits.truncate(k);
+        let results = hits
+            .into_iter()
+            .map(|(pos, score)| (st.snap.woc.doc_urls[pos as usize].clone(), score))
+            .collect();
+        let coverage = if missing.is_empty() {
+            Coverage::Complete
+        } else {
+            self.stats.partial_answers.fetch_add(1, Ordering::Relaxed);
+            Coverage::Partial { missing }
+        };
+        DocAnswer {
+            results,
+            epoch: st.snap.epoch,
+            coverage,
+            virtual_micros: latency,
+        }
+    }
+
+    /// The plain-data coverage view the W013 audit checks: the partition
+    /// assignment plus every replica's `(epoch, content digest)`.
+    pub fn coverage_view(&self) -> ShardCoverageView {
+        let st = self.routing_state();
+        ShardCoverageView {
+            shards: self.config.shards,
+            record_owners: st.partition.record_entries(),
+            doc_owners: st.partition.doc_entries(),
+            expected_epoch: st.snap.epoch,
+            replicas: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    (0..n.replicas())
+                        .map(|r| {
+                            let rs = n.replica(r);
+                            (rs.epoch, rs.digest())
+                        })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Run the full audit (W001–W012) over the served web plus the W013
+    /// shard-coverage check over this cluster's view of it.
+    pub fn audit(&self, cfg: &AuditConfig) -> Audit {
+        let st = self.routing_state();
+        audit_with_cluster(&st.snap.woc, &self.coverage_view(), cfg)
+    }
+}
+
+/// The single-node reference for [`ClusterServer::lookup`]: resolve
+/// through merge tombstones, then hydrate the surviving live record.
+pub fn lookup_reference(woc: &WebOfConcepts, id: LrecId) -> Option<ConceptResult> {
+    let canon = woc.store.resolve(id)?;
+    let rec = woc.store.latest(canon)?;
+    hydrate_record_hit(
+        woc,
+        &RecordHit {
+            id: canon,
+            concept: rec.concept(),
+            score: 0.0,
+        },
+    )
+}
+
+/// Build the canonical cluster state for a snapshot, re-shipping any
+/// shard side whose input digest matches the previous state (same owned
+/// entries, same global stats ⇒ a rebuild would be byte-identical).
+fn build_state(
+    snap: &Arc<Snapshot>,
+    corpus: &WebCorpus,
+    config: &ClusterConfig,
+    prev: Option<&ClusterState>,
+) -> ClusterState {
+    let partition = Arc::new(PartitionMap::build(
+        &snap.woc,
+        config.shards,
+        config.rebalance_threshold,
+    ));
+    let mut records = Vec::with_capacity(config.shards);
+    let mut docs = Vec::with_capacity(config.shards);
+    for s in 0..config.shards {
+        let rd = node::record_entries_digest(&snap.woc, &partition, s);
+        records.push(match prev {
+            Some(p) if p.records[s].entries_digest == rd => Arc::clone(&p.records[s]),
+            _ => Arc::new(node::build_shard_records(&snap.woc, &partition, s, rd)),
+        });
+        let dd = node::doc_entries_digest(&snap.woc, corpus, &partition, s);
+        docs.push(match prev {
+            Some(p) if p.docs[s].entries_digest == dd => Arc::clone(&p.docs[s]),
+            _ => Arc::new(node::build_shard_docs(&snap.woc, corpus, &partition, s, dd)),
+        });
+    }
+    ClusterState {
+        snap: Arc::clone(snap),
+        partition,
+        records,
+        docs,
+    }
+}

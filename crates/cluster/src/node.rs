@@ -1,0 +1,328 @@
+//! Shard nodes: shard-local indexes scored through corpus-global
+//! statistics, held in replicated epoch-swapped slots.
+//!
+//! Each shard owns a disjoint subset of the web's records and documents
+//! (see [`crate::partition`]). A shard indexes *only* what it owns, but
+//! scores through a [`ScoringStats`] snapshot taken from the full-web
+//! indexes — BM25 idf and average length are corpus-global, so a shard hit
+//! carries the bitwise-identical score the single-node index would give
+//! the same record. That is the whole byte-identity argument: per-record
+//! scores equal, and the router's merge reproduces the full index's
+//! `(score desc, id asc)` order.
+//!
+//! A [`ShardNode`] holds `R` replica slots. Each slot epoch-swaps an
+//! `Arc<ReplicaState>` exactly the way `woc-serve` swaps snapshots: a
+//! publish installs a new `Arc`, in-flight readers drain on the old one.
+//! Replica state is two independently-reusable halves — the record side
+//! and the doc side — so an incremental publish that only touched one
+//! side re-ships only that side (see `ClusterServer::publish`).
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use woc_core::{doc_tokens, WebOfConcepts};
+use woc_index::{FieldQuery, InvertedIndex, LrecIndex, RecordHit, ScoringStats};
+use woc_lrec::LrecId;
+use woc_serve::Snapshot;
+use woc_webgen::WebCorpus;
+
+use crate::partition::PartitionMap;
+
+/// Separator between field name and term in scoped index entries — must
+/// mirror `woc-index`'s internal rendering so scoped constraints score
+/// identically through the raw-search path.
+const FIELD_SEP: char = '\u{1f}';
+
+/// FNV-1a step over a u64, for composing content digests.
+fn mix64(h: u64, v: u64) -> u64 {
+    let mut h = h;
+    for i in 0..8 {
+        h ^= (v >> (i * 8)) & 0xff;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// The record side of one shard: a [`LrecIndex`] over owned records plus
+/// the global stats it scores through.
+#[derive(Debug)]
+pub struct ShardRecords {
+    /// The shard this side belongs to.
+    pub shard: usize,
+    /// Owned record ids, ascending.
+    pub ids: Vec<LrecId>,
+    /// Shard-local fielded index over the owned records.
+    pub index: LrecIndex,
+    /// Corpus-global scoring statistics of the *full* record index.
+    pub stats: ScoringStats,
+    /// Shard-local statistics (document frequencies of owned records) —
+    /// the router's deterministic cost model reads these.
+    pub local_stats: ScoringStats,
+    /// Digest of the inputs this side was built from (owned entries +
+    /// global stats); equal digests ⇒ a rebuild would be byte-identical,
+    /// so the old `Arc` can be reshipped.
+    pub entries_digest: u64,
+    /// Digest of the built content, for W013 replica-divergence checks.
+    pub content_digest: u64,
+}
+
+impl ShardRecords {
+    /// Raw scatter-stage search: score the query's free and scoped terms
+    /// against the owned records through the global stats, with **no**
+    /// concept filter, scoped-requirement filter, or final truncation —
+    /// those are router (gather-stage) concerns, applied after the global
+    /// merge exactly where the single-node path applies them.
+    pub fn raw_search(&self, fq: &FieldQuery, fetch: usize) -> Vec<RecordHit> {
+        let mut q = FieldQuery {
+            terms: fq.terms.clone(),
+            scoped: Vec::new(),
+            concept: None,
+        };
+        for (f, t) in &fq.scoped {
+            q.terms.push(format!("{f}{FIELD_SEP}{t}"));
+        }
+        self.index
+            .search_with_stats(&q, fetch, |_| None, &self.stats)
+    }
+
+    /// Owned records containing the rendered scoped term `field:term` —
+    /// the shard-local half of the single-node path's scoped-requirement
+    /// check (membership is a per-record predicate, so checking it on the
+    /// owning shard equals checking it on the full index).
+    pub fn scoped_members(&self, field: &str, term: &str) -> Vec<LrecId> {
+        let q = FieldQuery {
+            terms: vec![format!("{field}{FIELD_SEP}{term}")],
+            scoped: Vec::new(),
+            concept: None,
+        };
+        self.index
+            .search_with_stats(&q, usize::MAX, |_| None, &self.stats)
+            .into_iter()
+            .map(|h| h.id)
+            .collect()
+    }
+
+    /// Deterministic virtual service cost of a query on this shard, in
+    /// postings walked: the sum of shard-local document frequencies over
+    /// the query's terms. Scoring walks each term's posting list once, so
+    /// this is the honest work proxy the latency model charges.
+    pub fn postings_cost(&self, fq: &FieldQuery) -> u64 {
+        let mut cost = 0u64;
+        for t in &fq.terms {
+            cost += self.local_stats.df(t) as u64;
+        }
+        for (f, t) in &fq.scoped {
+            cost += self.local_stats.df(&format!("{f}{FIELD_SEP}{t}")) as u64;
+        }
+        cost
+    }
+}
+
+/// The document side of one shard: an [`InvertedIndex`] over owned pages
+/// plus the local→global doc-id mapping.
+#[derive(Debug)]
+pub struct ShardDocs {
+    /// The shard this side belongs to.
+    pub shard: usize,
+    /// Global doc-index positions owned by this shard, ascending; entry
+    /// `i` is the global position of shard-local `DocId(i)`.
+    pub global: Vec<u32>,
+    /// Shard-local inverted index over the owned pages' text.
+    pub index: InvertedIndex,
+    /// Corpus-global scoring statistics of the *full* doc index.
+    pub stats: ScoringStats,
+    /// Shard-local statistics, for the router's cost model.
+    pub local_stats: ScoringStats,
+    /// Input digest (owned pages + global stats) for reuse decisions.
+    pub entries_digest: u64,
+    /// Built-content digest for W013.
+    pub content_digest: u64,
+}
+
+impl ShardDocs {
+    /// Raw doc search over owned pages through global stats; hits carry
+    /// *global* doc positions so the router's merge reproduces the full
+    /// index's `(score desc, doc asc)` order.
+    pub fn raw_search(&self, terms: &[String], fetch: usize) -> Vec<(u32, f64)> {
+        self.index
+            .search_terms_with_stats(terms, fetch, &self.stats)
+            .into_iter()
+            .map(|h| (self.global[h.doc.0 as usize], h.score))
+            .collect()
+    }
+
+    /// Deterministic virtual service cost (postings walked) of a doc query.
+    pub fn postings_cost(&self, terms: &[String]) -> u64 {
+        terms.iter().map(|t| self.local_stats.df(t) as u64).sum()
+    }
+}
+
+/// Digest of everything the record side of `shard` would be built from:
+/// the owned `(id, concept, tokens)` entries in ascending id order, plus
+/// the global scoring stats. Two equal digests guarantee byte-identical
+/// rebuilds, so the publisher can re-ship the old `Arc` instead.
+pub fn record_entries_digest(woc: &WebOfConcepts, pm: &PartitionMap, shard: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for id in pm.records_of_shard(shard) {
+        let Some(rec) = woc.store.latest(id) else {
+            continue;
+        };
+        h = mix64(h, id.0);
+        h = mix64(h, rec.concept().0 as u64);
+        for t in LrecIndex::record_tokens(rec) {
+            h = mix64(h, crate::partition::fnv64(&t));
+        }
+    }
+    mix64(h, woc.record_index.scoring_stats().digest())
+}
+
+/// Digest of the doc side's inputs: owned `(global position, url, token
+/// digest)` entries plus the global doc stats.
+pub fn doc_entries_digest(
+    woc: &WebOfConcepts,
+    corpus: &WebCorpus,
+    pm: &PartitionMap,
+    shard: usize,
+) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for pos in pm.doc_positions_of_shard(woc, shard) {
+        let url = &woc.doc_urls[pos as usize];
+        h = mix64(h, pos as u64);
+        h = mix64(h, crate::partition::fnv64(url));
+        if let Some(page) = corpus.get(url) {
+            for t in doc_tokens(page) {
+                h = mix64(h, crate::partition::fnv64(&t));
+            }
+        }
+    }
+    mix64(h, woc.doc_index.scoring_stats().digest())
+}
+
+/// Build the record side of `shard` from the web and its partition map.
+/// Records are indexed in ascending id order — the same order the
+/// pipeline feeds the full index (sorted `live_ids()`), so shard-internal
+/// doc ids are ascending in record id and merge ties resolve identically.
+pub fn build_shard_records(
+    woc: &WebOfConcepts,
+    pm: &PartitionMap,
+    shard: usize,
+    entries_digest: u64,
+) -> ShardRecords {
+    let ids = pm.records_of_shard(shard);
+    let mut index = LrecIndex::new();
+    for &id in &ids {
+        if let Some(rec) = woc.store.latest(id) {
+            index.add_record_tokens(id, rec.concept(), &LrecIndex::record_tokens(rec));
+        }
+    }
+    let stats = woc.record_index.scoring_stats();
+    let local_stats = index.scoring_stats();
+    let content_digest = mix64(index.digest(), stats.digest());
+    ShardRecords {
+        shard,
+        ids,
+        index,
+        stats,
+        local_stats,
+        entries_digest,
+        content_digest,
+    }
+}
+
+/// Build the doc side of `shard`: index each owned page's token stream
+/// (exactly what the full pipeline indexes for it) in ascending global
+/// position order.
+pub fn build_shard_docs(
+    woc: &WebOfConcepts,
+    corpus: &WebCorpus,
+    pm: &PartitionMap,
+    shard: usize,
+    entries_digest: u64,
+) -> ShardDocs {
+    let global = pm.doc_positions_of_shard(woc, shard);
+    let mut index = InvertedIndex::new();
+    for &pos in &global {
+        let url = &woc.doc_urls[pos as usize];
+        match corpus.get(url) {
+            Some(page) => {
+                index.add_tokens(&doc_tokens(page));
+            }
+            // A URL the corpus no longer carries indexes as empty — it can
+            // never match, which is the only sound degraded behavior.
+            None => {
+                index.add_tokens::<String>(&[]);
+            }
+        }
+    }
+    let stats = woc.doc_index.scoring_stats();
+    let local_stats = index.scoring_stats();
+    let content_digest = mix64(index.digest(), stats.digest());
+    ShardDocs {
+        shard,
+        global,
+        index,
+        stats,
+        local_stats,
+        entries_digest,
+        content_digest,
+    }
+}
+
+/// One replica's installed state: an epoch-consistent view of the full
+/// snapshot (for hydration) plus the two shard-local index sides.
+#[derive(Debug, Clone)]
+pub struct ReplicaState {
+    /// The epoch this replica serves.
+    pub epoch: u64,
+    /// The full-web snapshot of that epoch (shared `Arc` — hydration and
+    /// metadata only, never scanned for search).
+    pub snap: Arc<Snapshot>,
+    /// Record side.
+    pub records: Arc<ShardRecords>,
+    /// Doc side.
+    pub docs: Arc<ShardDocs>,
+}
+
+impl ReplicaState {
+    /// Content digest of everything this replica serves — the value the
+    /// W013 shard-coverage audit compares across replicas.
+    pub fn digest(&self) -> u64 {
+        mix64(self.records.content_digest, self.docs.content_digest)
+    }
+}
+
+/// One shard node: `R` replica slots, each epoch-swapping an
+/// `Arc<ReplicaState>` under a `RwLock` exactly like `woc-serve`'s
+/// snapshot swap. Readers clone the `Arc` and evaluate lock-free.
+#[derive(Debug)]
+pub struct ShardNode {
+    slots: Vec<RwLock<Arc<ReplicaState>>>,
+}
+
+impl ShardNode {
+    /// A node with `replicas` slots, all serving `initial`.
+    pub fn new(replicas: usize, initial: Arc<ReplicaState>) -> Self {
+        assert!(replicas >= 1, "a shard needs at least one replica");
+        Self {
+            slots: (0..replicas)
+                .map(|_| RwLock::new(Arc::clone(&initial)))
+                .collect(),
+        }
+    }
+
+    /// Number of replica slots.
+    pub fn replicas(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Pin replica `r`'s current state.
+    pub fn replica(&self, r: usize) -> Arc<ReplicaState> {
+        Arc::clone(&self.slots[r].read())
+    }
+
+    /// Install `state` into replica `r` (the epoch swap).
+    pub fn install(&self, r: usize, state: Arc<ReplicaState>) {
+        *self.slots[r].write() = state;
+    }
+}

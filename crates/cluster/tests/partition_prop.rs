@@ -1,0 +1,140 @@
+//! Property tests for the partition layer and the degenerate one-shard
+//! cluster:
+//!
+//! * the record/document → shard assignment is a pure function of the
+//!   built web — independent of the thread count that built the web and
+//!   of when the map is rebuilt;
+//! * an `N = 1` cluster is *plain `woc-serve`*: scatter-gather over a
+//!   single shard answers byte-identically to a `ConceptServer` over the
+//!   same web, for arbitrary queries and depths.
+//!
+//! Webs are built once per thread count and shared across cases; each
+//! property case samples only cheap parameters (shard count, threshold,
+//! query shape).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use woc_cluster::{ClusterConfig, ClusterServer, PartitionMap};
+use woc_core::{build, PipelineConfig, WebOfConcepts};
+use woc_serve::{ConceptServer, Response, ServeConfig};
+use woc_webgen::{generate_corpus, CorpusConfig, WebCorpus, World, WorldConfig};
+
+fn corpus() -> &'static WebCorpus {
+    static CORPUS: OnceLock<WebCorpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let world = World::generate(WorldConfig::tiny(704));
+        generate_corpus(&world, &CorpusConfig::tiny(74))
+    })
+}
+
+fn web_built_with(threads: usize) -> WebOfConcepts {
+    build(
+        corpus(),
+        &PipelineConfig {
+            threads,
+            ..PipelineConfig::default()
+        },
+    )
+}
+
+fn web_single() -> &'static WebOfConcepts {
+    static WEB: OnceLock<WebOfConcepts> = OnceLock::new();
+    WEB.get_or_init(|| web_built_with(1))
+}
+
+fn web_parallel() -> &'static WebOfConcepts {
+    static WEB: OnceLock<WebOfConcepts> = OnceLock::new();
+    WEB.get_or_init(|| web_built_with(8))
+}
+
+/// One-shard cluster and the plain server it must be indistinguishable
+/// from, over the same web.
+fn degenerate_pair() -> &'static (ClusterServer, ConceptServer) {
+    static PAIR: OnceLock<(ClusterServer, ConceptServer)> = OnceLock::new();
+    PAIR.get_or_init(|| {
+        let woc = web_single();
+        let cluster = ClusterServer::new(
+            corpus(),
+            woc.clone(),
+            ClusterConfig {
+                shards: 1,
+                ..ClusterConfig::default()
+            },
+        );
+        let server = ConceptServer::new(woc.clone(), ServeConfig::default());
+        (cluster, server)
+    })
+}
+
+const TERMS: &[&str] = &[
+    "pizza",
+    "thai",
+    "sushi",
+    "downtown",
+    "cheap",
+    "menu",
+    "noodles",
+    "italian",
+    "burger",
+    "romantic",
+    "restaurant",
+];
+
+fn query_from(picks: &[usize]) -> String {
+    picks
+        .iter()
+        .map(|&i| TERMS[i % TERMS.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+proptest! {
+    #[test]
+    fn partitioning_is_thread_count_independent(
+        shards in 1usize..=8,
+        threshold_pick in 0usize..4,
+    ) {
+        let threshold = [1.2f64, 1.5, 2.0, 1_000.0][threshold_pick];
+        let a = PartitionMap::build(web_single(), shards, threshold);
+        let b = PartitionMap::build(web_parallel(), shards, threshold);
+        prop_assert_eq!(a.record_entries(), b.record_entries());
+        prop_assert_eq!(a.doc_entries(), b.doc_entries());
+        prop_assert_eq!(a.rebalanced(), b.rebalanced());
+        // And rebuilding on the same web is bit-stable.
+        let again = PartitionMap::build(web_single(), shards, threshold);
+        prop_assert_eq!(&a, &again);
+        // Whatever the parameters, the map tiles the web exactly.
+        let live = web_single().store.live_ids();
+        prop_assert_eq!(a.record_entries().len(), live.len());
+        prop_assert_eq!(a.doc_entries().len(), web_single().doc_urls.len());
+    }
+
+    #[test]
+    fn one_shard_cluster_is_plain_serve(
+        picks in prop::collection::vec(0usize..TERMS.len(), 1..4),
+        k in 1usize..=12,
+    ) {
+        let (cluster, server) = degenerate_pair();
+        let query = query_from(&picks);
+        let ans = cluster.search(&query, k);
+        prop_assert!(ans.coverage.is_complete(), "one healthy shard cannot degrade");
+        prop_assert_eq!(
+            format!("{:?}", Response::Search(ans.results)),
+            format!("{:?}", server.search(&query, k).value),
+            "N=1 scatter-gather must be byte-identical to plain woc-serve on {:?}/{}",
+            query, k
+        );
+        // The doc plane degenerates identically.
+        let docs = cluster.doc_search(&query, k);
+        prop_assert!(docs.coverage.is_complete());
+        let woc = web_single();
+        let reference: Vec<(String, f64)> = woc
+            .doc_index
+            .search(&query, k)
+            .into_iter()
+            .map(|h| (woc.doc_urls[h.doc.0 as usize].clone(), h.score))
+            .collect();
+        prop_assert_eq!(format!("{:?}", docs.results), format!("{reference:?}"));
+    }
+}

@@ -88,7 +88,9 @@ pub(crate) fn digest_strs(items: &[&str]) -> u64 {
 
 /// The tokens [`crate::pipeline::build`] indexes for a page: title plus
 /// visible text (must match the fresh-build `add_text` call exactly).
-fn doc_tokens(page: &Page) -> Vec<String> {
+/// Public so shard-local document indexes (`woc-cluster`) can index the
+/// exact token sequence the single-node pipeline would.
+pub fn doc_tokens(page: &Page) -> Vec<String> {
     tokenize_words(&format!("{} {}", page.title, page.text()))
 }
 
@@ -429,11 +431,18 @@ impl BuildCaches {
             for (i, page) in pages.iter().enumerate() {
                 if cache.fps[i] != fps[i] {
                     let new_tokens = doc_tokens(page);
-                    self.stats.postings_patched +=
-                        cache
-                            .index
-                            .replace_doc(DocId(i as u32), &cache.tokens[i], &new_tokens);
-                    cache.tokens[i] = new_tokens;
+                    // A changed fingerprint does not imply changed *text*: a
+                    // cosmetic DOM edit (attribute churn, invisible markup)
+                    // re-fingerprints the page while tokenizing identically.
+                    // Skipping the no-op patch keeps `postings_patched` an
+                    // honest signal of real index change.
+                    if new_tokens != cache.tokens[i] {
+                        self.stats.postings_patched +=
+                            cache
+                                .index
+                                .replace_doc(DocId(i as u32), &cache.tokens[i], &new_tokens);
+                        cache.tokens[i] = new_tokens;
+                    }
                     cache.fps[i] = fps[i];
                 }
             }

@@ -102,6 +102,17 @@ pub struct MaintainReport {
     pub record_index_rebuilt: bool,
     /// True when the document index could not be patched and was rebuilt.
     pub doc_index_rebuilt: bool,
+    /// True when the maintained web actually differs from the previous
+    /// epoch's ([`canonical_bytes`]-level). A pass can be *dirty but
+    /// ineffective*: a cosmetic DOM edit changes a page fingerprint, every
+    /// downstream memo recomputes to identical output, and the rebuilt web
+    /// is byte-identical — publishing it would drop a warm cache for
+    /// nothing. Short-circuited passes report `false`.
+    pub effective_change: bool,
+    /// URLs of every dirty, added or removed page this pass saw (sorted) —
+    /// the scope a partitioned serving tier (`woc-cluster`) uses to decide
+    /// which shard-local document indexes need rebuilding.
+    pub changed_pages: Vec<String>,
 }
 
 /// Why a maintenance pass aborted without changing the engine's epoch.
@@ -318,6 +329,26 @@ impl IncrEngine {
         report.record_index_rebuilt = stats.record_index_rebuilt;
         report.doc_index_rebuilt = stats.doc_index_rebuilt;
 
+        // Did the pass actually change anything the web serves from? Any
+        // index patch or rebuild is proof of change, as is a tombstone.
+        // When every cheap signal is quiet — the cosmetic-change case —
+        // fall back to the byte-level oracle. The oracle only runs on
+        // quiet passes, so real-churn maintenance never pays for it.
+        let cheap_change = stats.postings_patched > 0
+            || stats.records_repatched > 0
+            || stats.record_index_rebuilt
+            || stats.doc_index_rebuilt
+            || report.records_tombstoned > 0;
+        report.effective_change =
+            cheap_change || canonical_bytes(&new_web) != canonical_bytes(&self.web);
+        report.changed_pages = {
+            let mut urls = changes.dirty.clone();
+            urls.extend(changes.added.iter().cloned());
+            urls.extend(changes.removed.iter().cloned());
+            urls.sort_unstable();
+            urls
+        };
+
         self.web = new_web;
         self.fingerprints = new_fps;
         Ok(report)
@@ -335,19 +366,28 @@ impl IncrEngine {
         server: &ConceptServer,
     ) -> Result<(MaintainReport, u64), MaintainError> {
         let report = self.maintain(corpus)?;
-        let delta = if report.short_circuited {
-            EpochDelta::default()
-        } else {
-            EpochDelta {
-                touched_concepts: report.touched_concepts.clone(),
-                records_changed: report.records_affected > 0 || report.records_tombstoned > 0,
-                // Any dirty/added/removed page perturbs the doc index and
-                // the corpus-global BM25 statistics.
-                docs_changed: report.pages_dirty > 0,
-            }
-        };
-        let epoch = server.publish_delta(self.web.clone(), &delta);
+        let epoch = server.publish_delta(self.web.clone(), &epoch_delta(&report));
         Ok((report, epoch))
+    }
+}
+
+/// Fold a maintenance report into the [`EpochDelta`] a serving tier should
+/// publish with. Short-circuited and *ineffective* passes (dirty pages
+/// whose recomputation produced a byte-identical web — see
+/// [`MaintainReport::effective_change`]) fold to the empty delta, which
+/// [`woc_serve::ConceptServer::publish_delta`] treats as a no-op: same
+/// epoch, warm cache. `woc-cluster` uses the same folding for its
+/// per-shard delta publishes.
+pub fn epoch_delta(report: &MaintainReport) -> EpochDelta {
+    if report.short_circuited || !report.effective_change {
+        return EpochDelta::default();
+    }
+    EpochDelta {
+        touched_concepts: report.touched_concepts.clone(),
+        records_changed: report.records_affected > 0 || report.records_tombstoned > 0,
+        // Any dirty/added/removed page perturbs the doc index and
+        // the corpus-global BM25 statistics.
+        docs_changed: report.pages_dirty > 0,
     }
 }
 
@@ -452,6 +492,73 @@ mod tests {
             &PipelineConfig::default(),
         );
         assert_ne!(canonical_bytes(&a), canonical_bytes(&b));
+    }
+
+    #[test]
+    fn cosmetic_dom_change_is_dirty_but_ineffective() {
+        use woc_serve::ServeConfig;
+
+        let world = World::generate(WorldConfig::tiny(44));
+        let corpus = generate_corpus(&world, &CorpusConfig::tiny(9));
+        let mut engine = IncrEngine::new(&corpus, PipelineConfig::default());
+        let server = ConceptServer::new(engine.web().clone(), ServeConfig::default());
+        server.search("gochi", 5);
+        let warm = server.cache_len();
+        assert!(warm > 0);
+
+        // A DOM-attribute-only edit: fingerprint changes, visible text and
+        // extraction output do not.
+        let mut v2 = WebCorpus::new();
+        for (i, p) in corpus.pages().iter().enumerate() {
+            let mut p = p.clone();
+            if i == 0 {
+                if let woc_webgen::Node::Element { attrs, .. } = &mut p.dom {
+                    attrs.insert("data-deploy".to_string(), "canary".to_string());
+                }
+                assert_ne!(
+                    p.fingerprint(),
+                    corpus.pages()[0].fingerprint(),
+                    "the cosmetic edit must still dirty the fingerprint"
+                );
+            }
+            v2.add(p);
+        }
+
+        let (report, epoch) = engine
+            .maintain_and_publish(&v2, &server)
+            .expect("cosmetic pass succeeds");
+        assert_eq!(report.pages_dirty, 1, "one page re-fingerprinted");
+        assert!(!report.short_circuited, "the pass did run");
+        assert!(
+            !report.effective_change,
+            "…but recomputation produced a byte-identical web"
+        );
+        assert_eq!(report.changed_pages, vec![corpus.pages()[0].url.clone()]);
+        assert_eq!(epoch, 1, "no epoch bump for an ineffective pass");
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.cache_len(), warm, "result cache stays warm");
+        assert!(server.search("gochi", 5).cached);
+        // The maintained web is still the from-scratch truth for v2.
+        assert_eq!(
+            canonical_bytes(engine.web()),
+            canonical_bytes(&build(&v2, &PipelineConfig::default())),
+        );
+
+        // A real content change on the same engine still publishes.
+        let mut v3 = WebCorpus::new();
+        for (i, p) in v2.pages().iter().enumerate() {
+            let mut p = p.clone();
+            if i == 1 {
+                p.title.push_str(" (renovated)");
+            }
+            v3.add(p);
+        }
+        let (report, epoch) = engine
+            .maintain_and_publish(&v3, &server)
+            .expect("real change publishes");
+        assert!(report.effective_change);
+        assert_eq!(epoch, 2);
+        assert_eq!(server.cache_len(), 0, "real publish invalidates");
     }
 
     #[test]

@@ -30,6 +30,86 @@ pub struct Hit {
     pub score: f64,
 }
 
+/// BM25+ inverse document frequency — always positive. Factored out so an
+/// index scoring against its own counters and one scoring against an external
+/// [`ScoringStats`] snapshot run the exact same f64 arithmetic.
+fn bm25_idf(n: f64, df: f64) -> f64 {
+    (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+}
+
+/// Mean document length, in the one canonical evaluation order.
+fn mean_len(total_len: u64, num_docs: usize) -> f64 {
+    if num_docs == 0 {
+        0.0
+    } else {
+        total_len as f64 / num_docs as f64
+    }
+}
+
+/// Corpus-global scoring statistics snapshotted from a full index.
+///
+/// BM25 mixes per-document quantities (tf, document length) with
+/// corpus-global ones (document frequency, mean document length). A
+/// document-partitioned shard holds the former exactly but would compute the
+/// latter from its local subset, skewing scores relative to a single-node
+/// index. Scoring a shard through the stats of the full corpus instead makes
+/// every per-document score *bitwise identical* to the score the full index
+/// would assign — the property the cluster router relies on to merge
+/// scatter-gather results byte-identically.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScoringStats {
+    num_docs: usize,
+    total_len: u64,
+    df: HashMap<String, u32>,
+}
+
+impl ScoringStats {
+    /// Number of documents in the corpus the stats were taken from.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Corpus-wide document frequency of a term.
+    pub fn df(&self, term: &str) -> u32 {
+        self.df.get(term).copied().unwrap_or(0)
+    }
+
+    fn idf(&self, term: &str) -> f64 {
+        bm25_idf(self.num_docs as f64, self.df(term) as f64)
+    }
+
+    fn avg_len(&self) -> f64 {
+        mean_len(self.total_len, self.num_docs)
+    }
+
+    /// Content digest (FNV-1a over the sorted df table and the corpus
+    /// counters) — lets replicas assert they score through the same global
+    /// statistics without comparing whole tables.
+    pub fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let byte = |h: &mut u64, b: u8| {
+            *h ^= b as u64;
+            *h = h.wrapping_mul(0x100000001b3);
+        };
+        let word = |h: &mut u64, w: u64| {
+            w.to_le_bytes().iter().for_each(|&b| {
+                *h ^= b as u64;
+                *h = h.wrapping_mul(0x100000001b3);
+            })
+        };
+        let mut terms: Vec<&String> = self.df.keys().collect();
+        terms.sort_unstable();
+        for t in terms {
+            t.bytes().for_each(|b| byte(&mut h, b));
+            byte(&mut h, 0xff);
+            word(&mut h, self.df[t] as u64);
+        }
+        word(&mut h, self.num_docs as u64);
+        word(&mut h, self.total_len);
+        h
+    }
+}
+
 /// An in-memory inverted index over externally keyed documents.
 ///
 /// Documents are added once each (the id is assigned densely by insertion
@@ -243,17 +323,27 @@ impl InvertedIndex {
     }
 
     fn idf(&self, term: &str) -> f64 {
-        let n = self.num_docs() as f64;
-        let df = self.df(term) as f64;
-        // BM25+ style idf, always positive.
-        (1.0 + (n - df + 0.5) / (df + 0.5)).ln()
+        bm25_idf(self.num_docs() as f64, self.df(term) as f64)
     }
 
     fn avg_len(&self) -> f64 {
-        if self.doc_lens.is_empty() {
-            0.0
-        } else {
-            self.total_len as f64 / self.doc_lens.len() as f64
+        mean_len(self.total_len, self.doc_lens.len())
+    }
+
+    /// Snapshot this index's corpus-global statistics for use by
+    /// [`InvertedIndex::search_terms_with_stats`] on a document subset.
+    pub fn scoring_stats(&self) -> ScoringStats {
+        // woc-lint: allow(map-iter-order) — collected into a HashMap keyed by
+        // term; the result is iteration-order independent.
+        let df = self
+            .terms
+            .iter()
+            .map(|(t, pl)| (t.clone(), pl.doc_freq()))
+            .collect();
+        ScoringStats {
+            num_docs: self.doc_lens.len(),
+            total_len: self.total_len,
+            df,
         }
     }
 
@@ -267,15 +357,43 @@ impl InvertedIndex {
 
     /// Ranked retrieval over pre-tokenized query terms.
     pub fn search_terms<S: AsRef<str>>(&self, terms: &[S], k: usize) -> Vec<Hit> {
+        self.search_scored(terms, k, None)
+    }
+
+    /// Ranked retrieval scored through an external [`ScoringStats`] snapshot
+    /// instead of this index's own counters. When `self` indexes a subset of
+    /// the corpus `stats` was taken from, every hit's score is bitwise
+    /// identical to the score the full index would assign that document.
+    pub fn search_terms_with_stats<S: AsRef<str>>(
+        &self,
+        terms: &[S],
+        k: usize,
+        stats: &ScoringStats,
+    ) -> Vec<Hit> {
+        self.search_scored(terms, k, Some(stats))
+    }
+
+    fn search_scored<S: AsRef<str>>(
+        &self,
+        terms: &[S],
+        k: usize,
+        stats: Option<&ScoringStats>,
+    ) -> Vec<Hit> {
         let mut acc: HashMap<DocId, f64> = HashMap::new();
-        let avg = self.avg_len();
+        let avg = match stats {
+            Some(s) => s.avg_len(),
+            None => self.avg_len(),
+        };
         // woc-lint: allow(map-iter-order) — `terms` is the query slice parameter
         // (shadows the postings field name); scores sum commutatively into `acc`.
         for t in terms {
             let Some(pl) = self.terms.get(t.as_ref()) else {
                 continue;
             };
-            let idf = self.idf(t.as_ref());
+            let idf = match stats {
+                Some(s) => s.idf(t.as_ref()),
+                None => self.idf(t.as_ref()),
+            };
             for p in pl.iter() {
                 let len = self.doc_lens[p.doc.0 as usize] as f64;
                 let tf = p.tf as f64;
@@ -486,6 +604,60 @@ mod tests {
         let mut ix = InvertedIndex::new();
         ix.add_tokens(&["a", "b"]);
         ix.replace_doc(DocId(0), &["a".to_string()], &[]);
+    }
+
+    #[test]
+    fn shard_subset_with_global_stats_scores_bitwise_identically() {
+        let docs = [
+            "Gochi Fusion Tapas Cupertino japanese tapas",
+            "Taqueria El Farolito San Francisco mexican burrito",
+            "best mexican food in Chicago salsa salsa salsa",
+            "Cupertino city guide hotels attractions",
+            "mexican cantina Cupertino happy hour",
+        ];
+        let mut full = InvertedIndex::new();
+        for d in &docs {
+            full.add_text(d);
+        }
+        let stats = full.scoring_stats();
+        // Shard = docs 1, 2, 4 (in corpus order); local ids 0, 1, 2.
+        let owned = [1usize, 2, 4];
+        let mut shard = InvertedIndex::new();
+        for &i in &owned {
+            shard.add_text(docs[i]);
+        }
+        for query in [
+            "mexican cupertino",
+            "salsa",
+            "tapas guide mexican",
+            "burrito",
+        ] {
+            let terms = tokenize_words(query);
+            let full_hits = full.search_terms(&terms, 10);
+            let by_doc: HashMap<DocId, f64> = full_hits.iter().map(|h| (h.doc, h.score)).collect();
+            for hit in shard.search_terms_with_stats(&terms, 10, &stats) {
+                let global = DocId(owned[hit.doc.0 as usize] as u32);
+                let want = by_doc[&global];
+                assert_eq!(
+                    hit.score.to_bits(),
+                    want.to_bits(),
+                    "query {query:?} doc {global:?}: shard score must be bitwise \
+                     identical to the full index"
+                );
+            }
+            // Local scoring (shard's own counters) would disagree: document
+            // frequencies genuinely differ between subset and corpus.
+            assert_eq!(stats.df("cupertino"), 3);
+            assert_eq!(shard.df("cupertino"), 1);
+        }
+        // An index scoring through its own snapshot is the identity.
+        let self_stats = full.scoring_stats();
+        let terms = tokenize_words("mexican cupertino salsa");
+        let a = full.search_terms(&terms, 10);
+        let b = full.search_terms_with_stats(&terms, 10, &self_stats);
+        assert_eq!(a, b);
+        assert_eq!(self_stats.digest(), full.scoring_stats().digest());
+        assert_ne!(self_stats.digest(), shard.scoring_stats().digest());
     }
 
     #[test]

@@ -18,6 +18,6 @@ pub mod index;
 pub mod lrec_index;
 pub mod postings;
 
-pub use index::{Bm25Params, Hit, InvertedIndex};
+pub use index::{Bm25Params, Hit, InvertedIndex, ScoringStats};
 pub use lrec_index::{FieldQuery, LrecIndex, RecordHit};
 pub use postings::{intersect, union, DocId, Posting, PostingList};

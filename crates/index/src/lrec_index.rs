@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use woc_lrec::{ConceptId, Lrec, LrecId};
 use woc_textkit::tokenize::tokenize_words;
 
-use crate::index::{Hit, InvertedIndex};
+use crate::index::{Hit, InvertedIndex, ScoringStats};
 use crate::postings::DocId;
 
 /// Separator between field name and term in scoped index entries. A unit
@@ -241,6 +241,12 @@ impl LrecIndex {
         h
     }
 
+    /// Snapshot the corpus-global scoring statistics of the underlying
+    /// inverted index — see [`InvertedIndex::scoring_stats`].
+    pub fn scoring_stats(&self) -> ScoringStats {
+        self.inner.scoring_stats()
+    }
+
     /// Search with a parsed [`FieldQuery`]. `concept_resolver` maps a concept
     /// name (from `is:...`) to its id.
     pub fn search(
@@ -248,6 +254,31 @@ impl LrecIndex {
         query: &FieldQuery,
         k: usize,
         concept_resolver: impl Fn(&str) -> Option<ConceptId>,
+    ) -> Vec<RecordHit> {
+        self.search_scored(query, k, concept_resolver, None)
+    }
+
+    /// Search scored through external corpus-global statistics — the shard
+    /// form of [`LrecIndex::search`]. A shard index holding a subset of the
+    /// records `stats` was snapshotted from returns, for every record it
+    /// owns, exactly the hit the full index would return (bitwise-identical
+    /// score), so a scatter-gather merge reproduces single-node answers.
+    pub fn search_with_stats(
+        &self,
+        query: &FieldQuery,
+        k: usize,
+        concept_resolver: impl Fn(&str) -> Option<ConceptId>,
+        stats: &ScoringStats,
+    ) -> Vec<RecordHit> {
+        self.search_scored(query, k, concept_resolver, Some(stats))
+    }
+
+    fn search_scored(
+        &self,
+        query: &FieldQuery,
+        k: usize,
+        concept_resolver: impl Fn(&str) -> Option<ConceptId>,
+        stats: Option<&ScoringStats>,
     ) -> Vec<RecordHit> {
         let mut terms: Vec<String> = query.terms.clone();
         for (f, t) in &query.scoped {
@@ -260,7 +291,10 @@ impl LrecIndex {
         } else {
             k
         };
-        let hits = self.inner.search_terms(&terms, fetch);
+        let hits = match stats {
+            Some(s) => self.inner.search_terms_with_stats(&terms, fetch, s),
+            None => self.inner.search_terms(&terms, fetch),
+        };
         let mut out: Vec<RecordHit> = hits
             .into_iter()
             .map(|Hit { doc, score }| {

@@ -111,6 +111,16 @@ impl EpochDelta {
     pub fn is_empty(&self) -> bool {
         self.touched_concepts.is_empty() && !self.records_changed && !self.docs_changed
     }
+
+    /// True when the delta carries no record or document changes, even if
+    /// `touched_concepts` is populated. Tombstone scrubbing can leave a
+    /// delta in exactly this state: concepts were *visited* during the pass
+    /// but every candidate change cancelled out, so the published bytes are
+    /// unchanged. Publishing such a delta must be a no-op — dropping a warm
+    /// cache for it would be pure waste.
+    pub fn is_effectively_empty(&self) -> bool {
+        !self.records_changed && !self.docs_changed
+    }
 }
 
 /// Why a maintenance or publish pass failed without changing the served
@@ -235,6 +245,34 @@ pub struct Snapshot {
     pub woc: WebOfConcepts,
 }
 
+impl Snapshot {
+    /// Freeze a built web under an explicit epoch — the constructor
+    /// replication layers (e.g. `woc-cluster` shard replicas) use to mint
+    /// epoch-consistent snapshots outside a [`ConceptServer`].
+    pub fn new(epoch: u64, woc: WebOfConcepts) -> Self {
+        Self { epoch, woc }
+    }
+}
+
+/// A subscriber invoked after every successful publish with the newly
+/// installed snapshot. This is the replication seam: a cluster layer
+/// subscribes here to fan each published epoch out to shard replicas without
+/// polling. Hooks run on the publishing thread, after the snapshot swap and
+/// cache invalidation, so a subscriber always observes the epoch that new
+/// requests are already being served from.
+pub type PublishHook = Box<dyn Fn(&Arc<Snapshot>) + Send + Sync>;
+
+/// Registered publish subscribers (interior-mutable so `on_publish` works
+/// through a shared server handle).
+#[derive(Default)]
+struct PublishHooks(RwLock<Vec<PublishHook>>);
+
+impl fmt::Debug for PublishHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PublishHooks({} registered)", self.0.read().len())
+    }
+}
+
 /// One serving request, for batch execution.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Query {
@@ -284,6 +322,7 @@ pub struct ConceptServer {
     consecutive_failures: AtomicU64,
     last_error: RwLock<Option<String>>,
     crawl_health: RwLock<Option<CrawlHealth>>,
+    hooks: PublishHooks,
 }
 
 impl ConceptServer {
@@ -300,7 +339,16 @@ impl ConceptServer {
             consecutive_failures: AtomicU64::new(0),
             last_error: RwLock::new(None),
             crawl_health: RwLock::new(None),
+            hooks: PublishHooks::default(),
         }
+    }
+
+    /// Subscribe to publishes: `hook` runs after every snapshot swap with
+    /// the newly installed snapshot. No-op publishes (see
+    /// [`ConceptServer::publish_delta`]) do not fire hooks — subscribers
+    /// only ever see genuinely new epochs.
+    pub fn on_publish(&self, hook: PublishHook) {
+        self.hooks.0.write().push(hook);
     }
 
     /// The currently published snapshot. Holding the returned `Arc` pins
@@ -323,20 +371,27 @@ impl ConceptServer {
         let mut guard = self.snapshot.write();
         let epoch = guard.epoch + 1;
         *guard = Arc::new(Snapshot { epoch, woc });
+        let installed = Arc::clone(&guard);
         drop(guard);
         self.cache.clear();
         *self.published_at.write() = Instant::now();
         self.consecutive_failures.store(0, Ordering::Relaxed);
+        for hook in self.hooks.0.read().iter() {
+            hook(&installed);
+        }
         epoch
     }
 
-    /// Publish `woc` as a new epoch *only if* `delta` is non-empty. An empty
-    /// delta returns the current epoch untouched: no snapshot swap, no epoch
-    /// bump, and — crucially — no cache invalidation, so a no-op maintenance
-    /// cycle keeps the result cache warm. See [`EpochDelta`] for why any
-    /// non-empty delta still drops the whole cache.
+    /// Publish `woc` as a new epoch *only if* `delta` carries actual record
+    /// or document changes. An effectively-empty delta — including one whose
+    /// `touched_concepts` survived tombstone scrubbing while every change
+    /// cancelled out — returns the current epoch untouched: no snapshot
+    /// swap, no epoch bump, and — crucially — no cache invalidation, so a
+    /// no-op maintenance cycle keeps the result cache warm. See
+    /// [`EpochDelta`] for why any effective delta still drops the whole
+    /// cache.
     pub fn publish_delta(&self, woc: WebOfConcepts, delta: &EpochDelta) -> u64 {
-        if delta.is_empty() {
+        if delta.is_effectively_empty() {
             return self.epoch();
         }
         self.publish(woc)
@@ -871,6 +926,43 @@ mod tests {
         assert_eq!(crawl.breakers_open, 2);
         assert_eq!(crawl.breaker_trips, 5);
         assert_eq!(crawl.retries, 17);
+    }
+
+    #[test]
+    fn publish_delta_scrubbed_to_noop_keeps_epoch_and_cache() {
+        // Regression: a delta whose record and doc changes were all scrubbed
+        // away (e.g. tombstone candidates that cancelled out) used to drop
+        // the whole warm cache just because `touched_concepts` was
+        // non-empty. It must behave exactly like an empty delta.
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        server.search("gochi", 5);
+        let warm = server.cache_len();
+        assert!(warm > 0);
+        let delta = EpochDelta {
+            touched_concepts: vec![ConceptId(0), ConceptId(1)],
+            records_changed: false,
+            docs_changed: false,
+        };
+        assert!(!delta.is_empty(), "the delta is non-empty…");
+        assert!(delta.is_effectively_empty(), "…but carries no changes");
+        let epoch = server.publish_delta(tiny_woc(901, 91), &delta);
+        assert_eq!(epoch, 1, "no epoch bump for a scrubbed-to-no-op delta");
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.cache_len(), warm, "cache survives");
+        assert!(server.search("gochi", 5).cached, "and still hits");
+    }
+
+    #[test]
+    fn publish_hooks_observe_only_real_publishes() {
+        let server = ConceptServer::new(tiny_woc(901, 91), ServeConfig::default());
+        let seen: Arc<RwLock<Vec<u64>>> = Arc::new(RwLock::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        server.on_publish(Box::new(move |snap| sink.write().push(snap.epoch)));
+        server.publish(tiny_woc(902, 92));
+        // Effectively-empty delta → no publish → hook must not fire.
+        server.publish_delta(tiny_woc(901, 91), &EpochDelta::default());
+        server.publish(tiny_woc(903, 93));
+        assert_eq!(*seen.read(), vec![2, 3]);
     }
 
     #[test]
