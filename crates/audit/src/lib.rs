@@ -9,7 +9,7 @@
 //! static-analysis counterpart, over data, of what `woc-lint` does over
 //! source.
 //!
-//! Every check has a stable code (`W001`…`W013`) so CI logs and dashboards
+//! Every check has a stable code (`W001`…`W014`) so CI logs and dashboards
 //! can track specific regressions:
 //!
 //! | code | name               | invariant |
@@ -27,11 +27,13 @@
 //! | W011 | tombstone-epoch    | no live association or index posting references a retracted or merged-away record |
 //! | W012 | quarantine-lineage | every quarantined page carries a reason in lineage, the report agrees with the lineage count, quarantined pages are not indexed, and no live record's extraction rests solely on quarantined pages |
 //! | W013 | shard-coverage     | under a cluster partition map, every live record and every indexed document is owned by exactly one in-range shard, every shard has at least one replica serving the expected epoch, and all such replicas are byte-identical (stale replicas are reported, not silently served) |
+//! | W014 | segment-metadata   | under a segmented record index, every live record is served live from exactly one segment and the liveness map, per-segment dead sets, and tombstones agree; the segmented view flattens byte-identically to the web's flat index; and at merge points the pinned scoring statistics equal a flat recomputation |
 //!
 //! W001–W012 run over any web via [`audit`]; W013 additionally needs the
 //! cluster's [`ShardCoverageView`] and runs via [`check_shard_coverage`] or
 //! [`audit_with_cluster`] — the view is plain data, so the audit stays
-//! independent of the cluster crate that produces it.
+//! independent of the cluster crate that produces it. W014 runs over a
+//! [`SegmentedLrecIndex`] via [`check_segments`] or [`audit_with_segments`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,6 +42,7 @@ use serde::Serialize;
 
 use woc_core::{uncertainty::group_by_denotation, AssocKind, NodeId, WebOfConcepts};
 use woc_index::lrec_index::FieldQuery;
+use woc_index::SegmentedLrecIndex;
 use woc_lrec::{AttrValue, Cardinality, LrecId, Violation};
 use woc_textkit::tokenize::tokenize_words;
 
@@ -347,6 +350,166 @@ pub fn check_shard_coverage(
             "{stale} replica(s) serving a stale epoch (degraded, not served)"
         ));
     }
+    c
+}
+
+/// Run W001–W012 over the web plus the W014 segment-metadata check over
+/// the segmented record index serving it — the audit entry point for
+/// LSM-style segmented serving (`woc-serve` snapshots, `woc-incr` engines).
+pub fn audit_with_segments(
+    woc: &WebOfConcepts,
+    segments: &SegmentedLrecIndex,
+    cfg: &AuditConfig,
+) -> Audit {
+    let mut a = audit(woc, cfg);
+    a.checks.push(check_segments(woc, segments, cfg));
+    a
+}
+
+/// W014: segment metadata — the segmented index's three metadata planes
+/// (liveness map, per-segment dead sets, tombstones) must agree with each
+/// other and with the record store:
+///
+/// - every store-live record is served live from **exactly one** segment,
+///   and that segment is the one the liveness map names (the map feeds
+///   [`SegmentedLrecIndex::flatten`]; the dead sets feed the search path —
+///   if they disagree, search and flatten serve different webs);
+/// - a record live in no segment must be tombstoned or store-dead, never
+///   silently dropped;
+/// - the segmented view flattens byte-identically to the web's flat record
+///   index (digest equality);
+/// - at merge points (no delta segments stacked) the **pinned** scoring
+///   statistics equal a recomputation from the flattened view — between
+///   merge points they are intentionally stale (that staleness is what
+///   keeps cached scores pure), so they are reported, not gated.
+pub fn check_segments(
+    woc: &WebOfConcepts,
+    segments: &SegmentedLrecIndex,
+    cfg: &AuditConfig,
+) -> CheckResult {
+    let mut c = CheckResult::new("W014", "segment-metadata");
+
+    // Live-posting count per id, from the per-slot dead sets (the search
+    // path's view of liveness).
+    let mut live_slots: std::collections::BTreeMap<LrecId, Vec<usize>> = Default::default();
+    for slot in 0..segments.segment_count() {
+        for (id, dead) in segments.slot_entries(slot) {
+            if !dead {
+                live_slots.entry(id).or_default().push(slot);
+            }
+        }
+    }
+    let tombstoned: std::collections::BTreeSet<LrecId> =
+        segments.tombstoned().into_iter().collect();
+    let store_live: std::collections::BTreeSet<LrecId> = woc.store.live_ids().into_iter().collect();
+
+    // Every id any segment carries: the three planes must agree.
+    let mut all_ids: std::collections::BTreeSet<LrecId> = live_slots.keys().copied().collect();
+    for slot in 0..segments.segment_count() {
+        all_ids.extend(segments.slot_entries(slot).into_iter().map(|(id, _)| id));
+    }
+    for &id in &all_ids {
+        c.checked += 1;
+        let slots = live_slots.get(&id).map(Vec::as_slice).unwrap_or(&[]);
+        match (segments.owner_of(id), slots) {
+            (Some(owner), [slot]) if *slot == owner => {}
+            (Some(owner), [slot]) => c.violation(
+                cfg.max_details,
+                format!(
+                    "record {id}: liveness map names segment {owner} but the dead sets serve it from segment {slot}"
+                ),
+            ),
+            (Some(owner), []) => c.violation(
+                cfg.max_details,
+                format!(
+                    "record {id}: liveness map names segment {owner} but every segment posting is dead"
+                ),
+            ),
+            (Some(owner), slots) => c.violation(
+                cfg.max_details,
+                format!(
+                    "record {id}: live in {} segments {slots:?} (owner {owner}) — postings must be live in exactly one",
+                    slots.len()
+                ),
+            ),
+            (None, []) => {
+                if !tombstoned.contains(&id) && store_live.contains(&id) {
+                    c.violation(
+                        cfg.max_details,
+                        format!(
+                            "record {id}: store-live but served by no segment and not tombstoned"
+                        ),
+                    );
+                }
+            }
+            (None, slots) => c.violation(
+                cfg.max_details,
+                format!(
+                    "record {id}: absent from the liveness map but live in segments {slots:?}"
+                ),
+            ),
+        }
+    }
+    // Every store-live record must be carried by some segment at all.
+    for &id in &store_live {
+        if !all_ids.contains(&id) {
+            c.checked += 1;
+            c.violation(
+                cfg.max_details,
+                format!("store-live record {id} appears in no segment"),
+            );
+        }
+    }
+
+    // The flatten and stat checks dereference the liveness map, so they
+    // only run once the membership planes are known-consistent — a corrupt
+    // map has already failed the check above.
+    if c.violations > 0 {
+        c.info
+            .push("flatten/stat checks skipped: membership planes inconsistent".to_string());
+        return c;
+    }
+
+    // The segmented view must flatten to the flat truth, bit for bit.
+    c.checked += 1;
+    let flat = segments.flatten();
+    if flat.digest() != woc.record_index.digest() {
+        c.violation(
+            cfg.max_details,
+            format!(
+                "segmented index flattens to digest {:016x}, flat record index is {:016x}",
+                flat.digest(),
+                woc.record_index.digest()
+            ),
+        );
+    }
+
+    // Pinned stats: gate only at merge points; report staleness between.
+    c.checked += 1;
+    let pinned = segments.pinned_stats().digest();
+    let recomputed = flat.scoring_stats().digest();
+    if segments.delta_count() == 0 {
+        if pinned != recomputed {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "at a merge point the pinned stats ({pinned:016x}) must equal a flat recomputation ({recomputed:016x})"
+                ),
+            );
+        }
+    } else if pinned != recomputed {
+        c.info.push(format!(
+            "pinned stats intentionally stale across {} delta segment(s)",
+            segments.delta_count()
+        ));
+    }
+    c.info.push(format!(
+        "{} segment(s), {} tombstone(s), {} merges, {} compactions",
+        segments.segment_count(),
+        tombstoned.len(),
+        segments.merge_count(),
+        segments.compaction_count()
+    ));
     c
 }
 

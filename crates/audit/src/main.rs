@@ -11,7 +11,8 @@
 
 use std::process::ExitCode;
 
-use woc_audit::{audit, AuditConfig};
+use woc_audit::{audit_with_segments, AuditConfig};
+use woc_index::MergePolicy;
 use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
 
 fn main() -> ExitCode {
@@ -51,7 +52,11 @@ fn main() -> ExitCode {
     let corpus = generate_corpus(&world, &corpus_cfg);
     let woc = woc_core::build(&corpus, &woc_core::PipelineConfig::default());
 
-    let report = audit(&woc, &cfg);
+    // W014 runs over the segmented view a serving snapshot would build
+    // from this web — a fresh base at a merge point, so the pinned-stat
+    // recomputation check gates too.
+    let segments = woc.segmented_record_index(MergePolicy::default());
+    let report = audit_with_segments(&woc, &segments, &cfg);
 
     if json {
         match serde_json::to_string_pretty(&report) {

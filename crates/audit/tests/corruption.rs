@@ -493,6 +493,107 @@ fn w013_divergent_replicas_fire() {
     assert_fired(&run_cluster(&woc, &view), "W013", "diverge");
 }
 
+// ---------------------------------------------------------------- W014
+
+/// A clean segmented index over the fixture web — one frozen base segment,
+/// pinned stats taken at build, i.e. a merge point.
+fn fresh_segments(woc: &WebOfConcepts) -> woc_index::SegmentedLrecIndex {
+    woc.segmented_record_index(woc_index::MergePolicy::default())
+}
+
+fn run_segments(woc: &WebOfConcepts, segments: &woc_index::SegmentedLrecIndex) -> Audit {
+    woc_audit::audit_with_segments(woc, segments, &AuditConfig::default())
+}
+
+#[test]
+fn w014_passes_on_clean_segments() {
+    let woc = fresh_web();
+    let segments = fresh_segments(&woc);
+    assert_eq!(segments.delta_count(), 0, "a fresh build is a merge point");
+    let report = run_segments(&woc, &segments);
+    assert!(
+        report.passed(),
+        "clean segments must pass:\n{}",
+        report.render()
+    );
+    let check = report.check("W014").expect("W014 present");
+    assert!(check.checked > 0);
+}
+
+#[test]
+fn w014_passes_mid_delta_and_reports_stale_pins() {
+    // A real maintenance round: the engine patches the flat index and the
+    // segments in lock-step, so W014 must hold mid-delta — with the pinned
+    // stats reported (not gated) while delta segments are stacked.
+    use woc_webgen::{churn_restaurants, World as WgWorld};
+    let mut world = WgWorld::generate(WorldConfig::tiny(14));
+    let cfg = CorpusConfig::tiny(14);
+    let corpus_v1 = generate_corpus(&world, &cfg);
+    let mut engine = woc_incr::IncrEngine::new(&corpus_v1, woc_core::PipelineConfig::default());
+    let mut seed = 1u64;
+    while churn_restaurants(&mut world, 0.05, Tick(10), seed).is_empty() {
+        seed += 1;
+    }
+    let corpus_v2 = generate_corpus(&world, &cfg);
+    let report = engine.maintain(&corpus_v2).expect("maintain succeeds");
+    assert!(!report.short_circuited);
+    assert!(engine.segments().delta_count() > 0, "churn stacked a delta");
+    let audit_report = run_segments(engine.web(), engine.segments());
+    assert!(
+        audit_report.passed(),
+        "mid-delta segments must audit clean:\n{}",
+        audit_report.render()
+    );
+    let check = audit_report.check("W014").expect("W014 present");
+    assert!(
+        check.info.iter().any(|i| i.contains("stale")),
+        "stale pinned stats must be reported: {:?}",
+        check.info
+    );
+}
+
+#[test]
+fn w014_record_dropped_from_liveness_map_fires() {
+    let woc = fresh_web();
+    let mut segments = fresh_segments(&woc);
+    let id = a_live_id(&woc);
+    segments.corrupt_set_owner(id, None);
+    let report = run_segments(&woc, &segments);
+    assert_fired(&report, "W014", "absent from the liveness map");
+}
+
+#[test]
+fn w014_owner_pointing_at_wrong_segment_fires() {
+    let woc = fresh_web();
+    let mut segments = fresh_segments(&woc);
+    let id = a_live_id(&woc);
+    segments.corrupt_set_owner(id, Some(5));
+    assert_fired(&run_segments(&woc, &segments), "W014", "dead sets serve it");
+}
+
+#[test]
+fn w014_live_record_marked_dead_in_its_segment_fires() {
+    let woc = fresh_web();
+    let mut segments = fresh_segments(&woc);
+    let id = a_live_id(&woc);
+    let owner = segments.owner_of(id).expect("live record has an owner");
+    segments.corrupt_set_dead(owner, id, true);
+    assert_fired(
+        &run_segments(&woc, &segments),
+        "W014",
+        "every segment posting is dead",
+    );
+}
+
+#[test]
+fn w014_corrupt_pinned_stats_fire_at_a_merge_point() {
+    let woc = fresh_web();
+    let mut segments = fresh_segments(&woc);
+    assert_eq!(segments.delta_count(), 0);
+    segments.corrupt_pinned_stats(woc_index::LrecIndex::new().scoring_stats());
+    assert_fired(&run_segments(&woc, &segments), "W014", "merge point");
+}
+
 #[test]
 fn w013_all_replicas_stale_fires_but_one_stale_is_info() {
     let woc = fresh_web();

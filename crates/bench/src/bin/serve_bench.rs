@@ -1,18 +1,27 @@
 //! Serving-layer load benchmark: closed-loop QPS and tail latency for the
-//! `woc-serve` front end, at 1 vs N worker threads, cache off vs on.
+//! `woc-serve` front end, at 1 vs N worker threads, cache off vs on — plus
+//! a cache-survival phase that churns ~1% of the world through a real
+//! incremental maintenance cycle and measures how much of the cache the
+//! segmented delta publish keeps warm.
 //! Run: `cargo run -p woc-bench --bin serve_bench --release`
 //!
 //! `--quick` serves a tiny fixture with a smaller workload — the CI smoke
 //! profile. The workload is deterministic (seeded skew over real record
-//! names), so hit rates and result counts are reproducible run to run; only
-//! timings move with the machine.
+//! names), so hit rates, retention counts and result counts are
+//! reproducible run to run; only timings move with the machine. In
+//! `--quick` mode the survival phase *asserts* that the majority of search
+//! entries outlive the maintenance cycle — the CI gate that the cache
+//! survives maintenance at all (before segmented publishing it dropped to
+//! zero).
 
+use std::collections::BTreeSet;
 use std::time::Instant;
 
 use woc_bench::{bench_pipeline_config, header, metric_row, pct};
-use woc_core::build;
+use woc_incr::IncrEngine;
+use woc_lrec::Tick;
 use woc_serve::{ConceptServer, Endpoint, Query, ServeConfig};
-use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
+use woc_webgen::{churn_restaurants, generate_corpus, CorpusConfig, World, WorldConfig};
 
 /// Deterministic closed-loop workload: mixed endpoints over a skewed query
 /// pool (a hot set takes ~3/4 of traffic, the tail the rest), so the cache
@@ -36,6 +45,17 @@ fn build_workload(pool: &[String], ops: usize) -> Vec<Query> {
         .collect()
 }
 
+/// Total cache hits and lookups across every endpoint since the last reset.
+fn cache_totals(server: &ConceptServer) -> (u64, u64) {
+    let (mut hits, mut consulted) = (0u64, 0u64);
+    for e in Endpoint::ALL {
+        let s = server.metrics().endpoint(e).summary();
+        hits += s.cache_hits;
+        consulted += s.cache_hits + s.cache_misses;
+    }
+    (hits, consulted)
+}
+
 /// One benchmark phase: drain the workload through the server and report
 /// QPS, hit rate and latency percentiles from the server's own metrics.
 fn run_phase(server: &ConceptServer, workload: &[Query], threads: usize, cache: bool) -> f64 {
@@ -52,12 +72,7 @@ fn run_phase(server: &ConceptServer, workload: &[Query], threads: usize, cache: 
     assert_eq!(answers.len(), workload.len());
     let qps = workload.len() as f64 / secs;
 
-    let (mut hits, mut consulted) = (0u64, 0u64);
-    for e in Endpoint::ALL {
-        let s = server.metrics().endpoint(e).summary();
-        hits += s.cache_hits;
-        consulted += s.cache_hits + s.cache_misses;
-    }
+    let (hits, consulted) = cache_totals(server);
     let hit_rate = if consulted == 0 {
         0.0
     } else {
@@ -76,21 +91,124 @@ fn run_phase(server: &ConceptServer, workload: &[Query], threads: usize, cache: 
     qps
 }
 
+/// The cache-survival phase: measure steady-state cached QPS, churn ~1% of
+/// the world, run a real maintenance cycle published through the segmented
+/// delta path, and measure (a) how many distinct search entries survived
+/// and (b) cached QPS straight after the publish, with no re-warm.
+fn run_survival_phase(
+    server: &ConceptServer,
+    engine: &mut IncrEngine,
+    world: &mut World,
+    corpus_cfg: &CorpusConfig,
+    workload: &[Query],
+    quick: bool,
+) {
+    header("Cache survival across maintenance (~1% churn)");
+    server.set_cache_enabled(true);
+
+    // Steady state before maintenance: warm, then measure.
+    server.run_batch(workload, 1);
+    server.metrics().reset();
+    let t0 = Instant::now();
+    server.run_batch(workload, 1);
+    let pre_qps = workload.len() as f64 / t0.elapsed().as_secs_f64();
+    let entries_before = server.cache_len();
+
+    // Churn ~1% of the world and run the maintenance cycle.
+    let mut seed = 1u64;
+    while churn_restaurants(world, 0.01, Tick(10), seed).is_empty() {
+        seed += 1;
+    }
+    let corpus_next = generate_corpus(world, corpus_cfg);
+    let t0 = Instant::now();
+    let (report, epoch) = engine
+        .maintain_and_publish(&corpus_next, server)
+        .expect("maintenance cycle must succeed");
+    metric_row(
+        "maintenance cycle",
+        format!("{:.3}s (epoch {epoch})", t0.elapsed().as_secs_f64()),
+    );
+    metric_row("changed records", report.changed_records.len());
+    metric_row("changed terms", report.changed_terms.len());
+    metric_row("segment merges", report.segment_merges);
+    let entries_after = server.cache_len();
+    metric_row(
+        "cache entries retained",
+        format!("{entries_after}/{entries_before}"),
+    );
+
+    // Retention, exactly: serve each distinct search query once. Every hit
+    // is an entry the segmented publish kept; before segmented publishing
+    // this count was zero by construction.
+    let unique_searches: Vec<Query> = workload
+        .iter()
+        .filter_map(|q| match q {
+            Query::Search(s, k) => Some((s.clone(), *k)),
+            _ => None,
+        })
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .map(|(s, k)| Query::Search(s, k))
+        .collect();
+    server.metrics().reset();
+    server.run_batch(&unique_searches, 1);
+    let (retained, consulted) = cache_totals(server);
+    metric_row(
+        "search entries surviving maintenance",
+        format!(
+            "{retained}/{consulted} ({})",
+            pct(retained as f64 / consulted as f64)
+        ),
+    );
+
+    // Cached QPS straight after the publish (the survivors pass re-warmed
+    // only first occurrences; repeats dominate a closed loop either way).
+    server.metrics().reset();
+    let t0 = Instant::now();
+    server.run_batch(workload, 1);
+    let post_qps = workload.len() as f64 / t0.elapsed().as_secs_f64();
+    let (hits, lookups) = cache_totals(server);
+    metric_row("cached qps pre-maintenance", format!("{pre_qps:.0}"));
+    metric_row("cached qps post-maintenance", format!("{post_qps:.0}"));
+    metric_row("cached-qps ratio", format!("{:.2}", post_qps / pre_qps));
+    metric_row(
+        "post-maintenance hit rate",
+        pct(hits as f64 / lookups as f64),
+    );
+
+    assert!(
+        entries_after > 0,
+        "the cache must survive a maintenance cycle"
+    );
+    if quick {
+        // The CI gate: the deterministic quick fixture must keep ≥80% of
+        // its distinct search entries warm across a ~1% churn cycle.
+        assert!(
+            retained as f64 >= 0.8 * consulted as f64,
+            "quick fixture must retain >=80% of search entries across \
+             maintenance ({retained}/{consulted} survived)"
+        );
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (world, corpus) = if quick {
-        let world = World::generate(WorldConfig::tiny(83));
-        let corpus = generate_corpus(&world, &CorpusConfig::tiny(83));
-        (world, corpus)
+    let (mut world, corpus_cfg) = if quick {
+        (
+            World::generate(WorldConfig::tiny(83)),
+            CorpusConfig::tiny(83),
+        )
     } else {
-        let world = World::generate(WorldConfig::default());
-        let corpus = generate_corpus(&world, &CorpusConfig::default());
-        (world, corpus)
+        (
+            World::generate(WorldConfig::default()),
+            CorpusConfig::default(),
+        )
     };
-    let _ = &world;
+    let corpus = generate_corpus(&world, &corpus_cfg);
     header("Serve bench: build + publish");
     let t0 = Instant::now();
-    let woc = build(&corpus, &bench_pipeline_config());
+    let mut engine = IncrEngine::new(&corpus, bench_pipeline_config());
+    let woc = engine.web().clone();
     metric_row(
         "pipeline build",
         format!("{:.2}s", t0.elapsed().as_secs_f64()),
@@ -127,6 +245,15 @@ fn main() {
             }
         }
     }
+
+    run_survival_phase(
+        &server,
+        &mut engine,
+        &mut world,
+        &corpus_cfg,
+        &workload,
+        quick,
+    );
 
     header("Summary");
     metric_row(

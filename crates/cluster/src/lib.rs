@@ -37,9 +37,9 @@ use woc_apps::{hydrate_record_hit, interpret_query, ConceptResult};
 use woc_audit::{audit_with_cluster, Audit, AuditConfig, ShardCoverageView};
 use woc_chaos::{ShardFaultInjector, ShardFaultProfile};
 use woc_core::WebOfConcepts;
-use woc_index::{FieldQuery, RecordHit};
+use woc_index::{FieldQuery, RecordHit, SegmentedLrecIndex};
 use woc_lrec::LrecId;
-use woc_serve::{ConceptServer, EpochDelta, ServeConfig, Snapshot};
+use woc_serve::{ConceptServer, EpochDelta, SegmentDelta, ServeConfig, Snapshot};
 use woc_textkit::tokenize::tokenize_words;
 use woc_webgen::WebCorpus;
 
@@ -296,6 +296,38 @@ impl ClusterServer {
             return self.epoch();
         }
         self.publish(corpus, woc)
+    }
+
+    /// Publish a maintained web together with its incrementally-maintained
+    /// segmented index — the cluster form of
+    /// [`ConceptServer::publish_delta_segmented`]. The epoch authority
+    /// retains its result cache by the delta's scope, the new snapshot
+    /// ships the maintained segments (sharing the frozen base with the
+    /// previous epoch), and the shard fan-out re-ships every record side
+    /// whose owned entries and pinned statistics are unchanged — so only
+    /// the shards owning changed records rebuild. An effectively-empty
+    /// delta is a no-op.
+    pub fn publish_delta_segmented(
+        &self,
+        corpus: &WebCorpus,
+        woc: WebOfConcepts,
+        delta: &SegmentDelta,
+        segments: Arc<SegmentedLrecIndex>,
+    ) -> u64 {
+        if delta.base.is_effectively_empty() {
+            return self.epoch();
+        }
+        self.full.publish_delta_segmented(woc, delta, segments);
+        let snap = self
+            .inbox
+            .write()
+            .take()
+            .unwrap_or_else(|| self.full.snapshot());
+        let prev = self.routing_state();
+        let next = Arc::new(build_state(&snap, corpus, &self.config, Some(&prev)));
+        *self.state.write() = Arc::clone(&next);
+        self.sync_replicas();
+        snap.epoch
     }
 
     /// Install the canonical state into every replica reachable at the
@@ -555,10 +587,17 @@ impl ClusterServer {
     }
 
     /// Run the full audit (W001–W012) over the served web plus the W013
-    /// shard-coverage check over this cluster's view of it.
+    /// shard-coverage check over this cluster's view of it and the W014
+    /// segment-metadata check over the epoch's segmented record index.
     pub fn audit(&self, cfg: &AuditConfig) -> Audit {
         let st = self.routing_state();
-        audit_with_cluster(&st.snap.woc, &self.coverage_view(), cfg)
+        let mut a = audit_with_cluster(&st.snap.woc, &self.coverage_view(), cfg);
+        a.checks.push(woc_audit::check_segments(
+            &st.snap.woc,
+            &st.snap.segments,
+            cfg,
+        ));
+        a
     }
 }
 
@@ -593,11 +632,25 @@ fn build_state(
     ));
     let mut records = Vec::with_capacity(config.shards);
     let mut docs = Vec::with_capacity(config.shards);
+    // Shard records score through the epoch's *pinned* statistics (the
+    // segmented index's), not the flat index's own: between merge points
+    // the single-node path scores through the pinned snapshot, and shard
+    // hits must carry bitwise-identical scores. At every merge point the
+    // two coincide. Stable pinned stats also mean a delta publish leaves
+    // the record-side digest of every unchanged shard intact — only
+    // shards owning changed records rebuild.
+    let pinned = snap.segments.pinned_stats();
     for s in 0..config.shards {
-        let rd = node::record_entries_digest(&snap.woc, &partition, s);
+        let rd = node::record_entries_digest(&snap.woc, &partition, s, pinned);
         records.push(match prev {
             Some(p) if p.records[s].entries_digest == rd => Arc::clone(&p.records[s]),
-            _ => Arc::new(node::build_shard_records(&snap.woc, &partition, s, rd)),
+            _ => Arc::new(node::build_shard_records(
+                &snap.woc,
+                &partition,
+                s,
+                rd,
+                pinned.clone(),
+            )),
         });
         let dd = node::doc_entries_digest(&snap.woc, corpus, &partition, s);
         docs.push(match prev {

@@ -22,17 +22,12 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use woc_core::{doc_tokens, WebOfConcepts};
-use woc_index::{FieldQuery, InvertedIndex, LrecIndex, RecordHit, ScoringStats};
+use woc_index::{scoped_term, FieldQuery, InvertedIndex, LrecIndex, RecordHit, ScoringStats};
 use woc_lrec::LrecId;
 use woc_serve::Snapshot;
 use woc_webgen::WebCorpus;
 
 use crate::partition::PartitionMap;
-
-/// Separator between field name and term in scoped index entries — must
-/// mirror `woc-index`'s internal rendering so scoped constraints score
-/// identically through the raw-search path.
-const FIELD_SEP: char = '\u{1f}';
 
 /// FNV-1a step over a u64, for composing content digests.
 fn mix64(h: u64, v: u64) -> u64 {
@@ -54,7 +49,10 @@ pub struct ShardRecords {
     pub ids: Vec<LrecId>,
     /// Shard-local fielded index over the owned records.
     pub index: LrecIndex,
-    /// Corpus-global scoring statistics of the *full* record index.
+    /// Corpus-global scoring statistics — the *pinned* statistics of the
+    /// epoch's segmented index, so shard scores are bitwise-identical to
+    /// the single-node segmented search path even between merge points
+    /// (at a merge point the pinned statistics equal the flat index's own).
     pub stats: ScoringStats,
     /// Shard-local statistics (document frequencies of owned records) —
     /// the router's deterministic cost model reads these.
@@ -80,7 +78,7 @@ impl ShardRecords {
             concept: None,
         };
         for (f, t) in &fq.scoped {
-            q.terms.push(format!("{f}{FIELD_SEP}{t}"));
+            q.terms.push(scoped_term(f, t));
         }
         self.index
             .search_with_stats(&q, fetch, |_| None, &self.stats)
@@ -92,7 +90,7 @@ impl ShardRecords {
     /// owning shard equals checking it on the full index).
     pub fn scoped_members(&self, field: &str, term: &str) -> Vec<LrecId> {
         let q = FieldQuery {
-            terms: vec![format!("{field}{FIELD_SEP}{term}")],
+            terms: vec![scoped_term(field, term)],
             scoped: Vec::new(),
             concept: None,
         };
@@ -113,7 +111,7 @@ impl ShardRecords {
             cost += self.local_stats.df(t) as u64;
         }
         for (f, t) in &fq.scoped {
-            cost += self.local_stats.df(&format!("{f}{FIELD_SEP}{t}")) as u64;
+            cost += self.local_stats.df(&scoped_term(f, t)) as u64;
         }
         cost
     }
@@ -160,9 +158,16 @@ impl ShardDocs {
 
 /// Digest of everything the record side of `shard` would be built from:
 /// the owned `(id, concept, tokens)` entries in ascending id order, plus
-/// the global scoring stats. Two equal digests guarantee byte-identical
-/// rebuilds, so the publisher can re-ship the old `Arc` instead.
-pub fn record_entries_digest(woc: &WebOfConcepts, pm: &PartitionMap, shard: usize) -> u64 {
+/// the pinned global scoring stats. Two equal digests guarantee
+/// byte-identical rebuilds, so the publisher can re-ship the old `Arc`
+/// instead. Because the pinned statistics are stable across delta epochs,
+/// a delta publish rebuilds only the shards that own changed records.
+pub fn record_entries_digest(
+    woc: &WebOfConcepts,
+    pm: &PartitionMap,
+    shard: usize,
+    stats: &ScoringStats,
+) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for id in pm.records_of_shard(shard) {
         let Some(rec) = woc.store.latest(id) else {
@@ -174,7 +179,7 @@ pub fn record_entries_digest(woc: &WebOfConcepts, pm: &PartitionMap, shard: usiz
             h = mix64(h, crate::partition::fnv64(&t));
         }
     }
-    mix64(h, woc.record_index.scoring_stats().digest())
+    mix64(h, stats.digest())
 }
 
 /// Digest of the doc side's inputs: owned `(global position, url, token
@@ -208,6 +213,7 @@ pub fn build_shard_records(
     pm: &PartitionMap,
     shard: usize,
     entries_digest: u64,
+    stats: ScoringStats,
 ) -> ShardRecords {
     let ids = pm.records_of_shard(shard);
     let mut index = LrecIndex::new();
@@ -216,7 +222,6 @@ pub fn build_shard_records(
             index.add_record_tokens(id, rec.concept(), &LrecIndex::record_tokens(rec));
         }
     }
-    let stats = woc.record_index.scoring_stats();
     let local_stats = index.scoring_stats();
     let content_digest = mix64(index.digest(), stats.digest());
     ShardRecords {

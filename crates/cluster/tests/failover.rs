@@ -16,7 +16,7 @@ use woc_audit::AuditConfig;
 use woc_chaos::ShardFaultProfile;
 use woc_cluster::{ClusterConfig, ClusterServer, Coverage};
 use woc_core::{build, PipelineConfig, WebOfConcepts};
-use woc_incr::{epoch_delta, IncrEngine};
+use woc_incr::{epoch_delta, segment_delta, IncrEngine};
 use woc_lrec::{LrecId, Tick};
 use woc_webgen::{churn_restaurants, generate_corpus, CorpusConfig, WebCorpus, World, WorldConfig};
 
@@ -554,4 +554,101 @@ fn incremental_epochs_serve_byte_identically_through_the_cluster() {
         assert_audit_clean(&cluster, &format!("incremental epoch {epoch}"));
     }
     assert!(expected_epoch > 1, "churn rounds must have published");
+}
+
+/// The segmented delta path through the cluster: a low-churn maintenance
+/// pass ships only the engine's delta segments — the frozen base segment
+/// is the same allocation on the engine and the router's full server, and
+/// only the shards owning changed records rebuild their record side
+/// (unchanged shards re-ship their old `Arc`, because the pinned scoring
+/// statistics are stable across delta epochs). Scatter-gather answers at
+/// the new epoch stay byte-identical to the single-node reference.
+#[test]
+fn segmented_delta_publish_rebuilds_only_changed_shards() {
+    let mut world = World::generate(WorldConfig::tiny(704));
+    let corpus_cfg = CorpusConfig::tiny(74);
+    let corpus_v1 = generate_corpus(&world, &corpus_cfg);
+    let mut engine = IncrEngine::new(&corpus_v1, PipelineConfig::default());
+    let cluster = ClusterServer::new(&corpus_v1, engine.web().clone(), ClusterConfig::default());
+    let shards = cluster.config().shards;
+    let records_before: Vec<_> = (0..shards).map(|s| cluster.records_side(s)).collect();
+    let pm_before = cluster.partition();
+
+    // Low churn so most shards own no changed record.
+    let mut seed = 1u64;
+    while churn_restaurants(&mut world, 0.02, Tick(10), seed).is_empty() {
+        seed += 1;
+    }
+    let corpus_v2 = generate_corpus(&world, &corpus_cfg);
+    let report = engine.maintain(&corpus_v2).expect("maintain must succeed");
+    assert!(!report.short_circuited);
+    assert!(report.effective_change);
+    assert!(
+        !report.stats_repinned,
+        "low churn must ride on the pinned statistics"
+    );
+    assert!(!report.changed_records.is_empty());
+
+    let epoch = cluster.publish_delta_segmented(
+        &corpus_v2,
+        engine.web().clone(),
+        &segment_delta(&report),
+        Arc::new(engine.segments().clone()),
+    );
+    assert_eq!(epoch, 2);
+    assert_eq!(cluster.epoch(), 2);
+
+    // The router's full server serves the engine's exact segments: the
+    // frozen base was shipped by reference, with the churn as deltas.
+    let snap = cluster.full().snapshot();
+    assert!(Arc::ptr_eq(
+        engine.segments().base_segment(),
+        snap.segments.base_segment(),
+    ));
+    assert!(snap.segments.delta_count() > 0, "the pass shipped a delta");
+
+    // Exactly the shards owning a changed record rebuilt their record
+    // side; every other shard re-shipped its old `Arc`.
+    let pm = cluster.partition();
+    let mut changed_shards: Vec<bool> = vec![false; shards];
+    for &id in &report.changed_records {
+        // A changed record dirties its owner in the new map; a deleted
+        // record dirties the shard that owned it in the old map.
+        for m in [&pm, &pm_before] {
+            if let Some(s) = m.shard_of_record(id) {
+                changed_shards[s] = true;
+            }
+        }
+    }
+    let mut rebuilt = 0usize;
+    for (s, changed) in changed_shards.iter().enumerate() {
+        let reused = Arc::ptr_eq(&records_before[s], &cluster.records_side(s));
+        assert_eq!(
+            reused, !changed,
+            "shard {s}: reused={reused} but owns-changed-record={changed}"
+        );
+        if !reused {
+            rebuilt += 1;
+        }
+    }
+    assert!(rebuilt >= 1, "churn must have rebuilt some shard");
+    assert!(
+        rebuilt < shards,
+        "low churn must leave some shard untouched ({rebuilt}/{shards} rebuilt)"
+    );
+
+    // Mid-delta (between merge points), scatter-gather answers stay
+    // byte-identical to the single-node reference over the maintained web.
+    let woc = engine.web();
+    for (q, k) in search_pool() {
+        let ans = cluster.search(q, k);
+        assert!(ans.coverage.is_complete());
+        assert_eq!(ans.epoch, 2);
+        assert_identical(
+            &ans.results,
+            &reference_search(woc, q, k),
+            &format!("segmented {q:?}"),
+        );
+    }
+    assert_audit_clean(&cluster, "after segmented delta publish");
 }

@@ -21,7 +21,7 @@
 // enumerate() over the very slice being indexed (hit/miss bookkeeping), so
 // bounds hold locally by construction.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use woc_extract::ExtractedRecord;
@@ -94,6 +94,70 @@ pub fn doc_tokens(page: &Page) -> Vec<String> {
     tokenize_words(&format!("{} {}", page.title, page.text()))
 }
 
+/// One record-index mutation observed by a maintenance pass: the token
+/// list a record was indexed under before and after. `None` on one side
+/// marks an insertion (`old_tokens`) or a removal (`new_tokens`). These
+/// are exactly the changes a segmented index (`woc-index::segment`) must
+/// absorb as a delta segment to stay equal to a flat rebuild.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordIndexChange {
+    /// The record that changed.
+    pub id: LrecId,
+    /// The concept owning the record (the new owner for upserts, the old
+    /// one for removals).
+    pub concept: ConceptId,
+    /// Tokens the record was indexed under before the pass, if it existed.
+    pub old_tokens: Option<Vec<String>>,
+    /// Tokens the record is indexed under after the pass, if it survives.
+    pub new_tokens: Option<Vec<String>>,
+}
+
+/// Diff two record-index entry sequences by record id, in ascending-id
+/// order: removals (`old` only), insertions (`new` only), and records
+/// whose concept or token list changed.
+fn diff_record_entries(
+    old: &[(LrecId, ConceptId, Vec<String>)],
+    new: &[(LrecId, ConceptId, Vec<String>)],
+) -> Vec<RecordIndexChange> {
+    let old_by_id: BTreeMap<LrecId, (&ConceptId, &Vec<String>)> =
+        old.iter().map(|(id, c, t)| (*id, (c, t))).collect();
+    let new_by_id: BTreeMap<LrecId, (&ConceptId, &Vec<String>)> =
+        new.iter().map(|(id, c, t)| (*id, (c, t))).collect();
+    let mut changes = Vec::new();
+    for (id, (concept, tokens)) in &old_by_id {
+        if !new_by_id.contains_key(id) {
+            changes.push(RecordIndexChange {
+                id: *id,
+                concept: **concept,
+                old_tokens: Some((*tokens).clone()),
+                new_tokens: None,
+            });
+        }
+    }
+    for (id, (concept, tokens)) in &new_by_id {
+        match old_by_id.get(id) {
+            None => changes.push(RecordIndexChange {
+                id: *id,
+                concept: **concept,
+                old_tokens: None,
+                new_tokens: Some((*tokens).clone()),
+            }),
+            Some((old_concept, old_tokens)) => {
+                if old_concept != concept || old_tokens != tokens {
+                    changes.push(RecordIndexChange {
+                        id: *id,
+                        concept: **concept,
+                        old_tokens: Some((*old_tokens).clone()),
+                        new_tokens: Some((*tokens).clone()),
+                    });
+                }
+            }
+        }
+    }
+    changes.sort_by_key(|c| c.id);
+    changes
+}
+
 /// Counters describing what one maintenance pass recomputed vs reused.
 /// Reset at the start of each [`crate::pipeline::build_with_caches`] call.
 #[derive(Debug, Clone, Default)]
@@ -120,6 +184,10 @@ pub struct CacheStats {
     /// True when the document index could not be patched (URL sequence
     /// changed) and was rebuilt.
     pub doc_index_rebuilt: bool,
+    /// Per-record index mutations this pass, diffed against the previous
+    /// pass regardless of whether the index was patched or rebuilt. Empty
+    /// on a cold build (no previous pass to diff against).
+    pub record_changes: Vec<RecordIndexChange>,
 }
 
 #[derive(Debug)]
@@ -392,11 +460,20 @@ impl BuildCaches {
                     if old.2 != new.2 {
                         self.stats.postings_patched += cache.index.replace(new.0, &old.2, &new.2);
                         self.stats.records_repatched += 1;
+                        self.stats.record_changes.push(RecordIndexChange {
+                            id: new.0,
+                            concept: new.1,
+                            old_tokens: Some(old.2.clone()),
+                            new_tokens: Some(new.2.clone()),
+                        });
                     }
                 }
                 cache.entries = entries;
                 return cache.index.clone();
             }
+        }
+        if let Some(cache) = self.record_index.as_ref() {
+            self.stats.record_changes = diff_record_entries(&cache.entries, &entries);
         }
         self.stats.record_index_rebuilt = true;
         let mut index = LrecIndex::new();

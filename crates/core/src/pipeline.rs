@@ -14,7 +14,7 @@ use std::time::Instant;
 
 use woc_extract::lists::{extract_lists, ConceptProfile};
 use woc_extract::ExtractedRecord;
-use woc_index::{InvertedIndex, LrecIndex};
+use woc_index::{InvertedIndex, LrecIndex, MergePolicy, SegmentedLrecIndex};
 use woc_lrec::domains::{standard_registry, StandardConcepts};
 use woc_lrec::value::Date;
 use woc_lrec::{AttrValue, ConceptId, ConceptRegistry, Lrec, LrecId, Provenance, Store, Tick};
@@ -114,6 +114,26 @@ impl WebOfConcepts {
     /// The URL of a doc-index hit.
     pub fn doc_url(&self, doc: woc_index::DocId) -> &str {
         &self.doc_urls[doc.0 as usize]
+    }
+
+    /// A segmented record index over the live records, with base stats
+    /// pinned at this corpus state. The base segment indexes exactly the
+    /// token lists [`record_index`](Self::record_index) holds, so a fresh
+    /// segmented index is byte-identical to the flat one.
+    pub fn segmented_record_index(&self, policy: MergePolicy) -> SegmentedLrecIndex {
+        let entries = self
+            .store
+            .live_ids()
+            .into_iter()
+            .map(|id| {
+                let rec = self
+                    .store
+                    .latest(id)
+                    .expect("invariant: live_ids() yields ids with a latest version");
+                (id, rec.concept(), LrecIndex::record_tokens(rec))
+            })
+            .collect();
+        SegmentedLrecIndex::new(entries, policy)
     }
 }
 

@@ -39,11 +39,13 @@
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 use serde::{Serialize, Value};
 use woc_core::{build_with_caches, AssocKind, BuildCaches, PipelineConfig, WebOfConcepts};
+use woc_index::{MergePolicy, RecordChange, SegmentedLrecIndex};
 use woc_lrec::{ConceptId, LrecId};
-use woc_serve::{ConceptServer, EpochDelta};
+use woc_serve::{ConceptServer, EpochDelta, SegmentDelta};
 use woc_webgen::WebCorpus;
 
 /// The page-level diff between the engine's current epoch and a fresh
@@ -113,6 +115,23 @@ pub struct MaintainReport {
     /// the scope a partitioned serving tier (`woc-cluster`) uses to decide
     /// which shard-local document indexes need rebuilding.
     pub changed_pages: Vec<String>,
+    /// Index terms whose posting lists this pass changed: the union of the
+    /// old and new token sequences of every record whose indexed tokens
+    /// moved (sorted, deduplicated). Exact — computed from the memo
+    /// layer's record-index diff, not approximated from lineage.
+    pub changed_terms: Vec<String>,
+    /// Canonical records whose stored content this pass may have changed
+    /// (sorted): the lineage-affected partition on both sides of the pass
+    /// plus every record the index diff touched. Conservative — a record
+    /// listed here may turn out byte-identical, but a record *not* listed
+    /// is guaranteed untouched.
+    pub changed_records: Vec<LrecId>,
+    /// Delta-segment merges the segmented index's size-tiered policy ran
+    /// while absorbing this pass.
+    pub segment_merges: usize,
+    /// True when the segmented index compacted down to a single base and
+    /// re-pinned its corpus-global scoring statistics during this pass.
+    pub stats_repinned: bool,
 }
 
 /// Why a maintenance pass aborted without changing the engine's epoch.
@@ -164,6 +183,7 @@ pub struct IncrEngine {
     caches: BuildCaches,
     fingerprints: HashMap<String, u64>,
     web: WebOfConcepts,
+    segments: SegmentedLrecIndex,
     fault_hook: Option<FaultHook>,
 }
 
@@ -183,11 +203,13 @@ impl IncrEngine {
     pub fn new(corpus: &WebCorpus, config: PipelineConfig) -> Self {
         let mut caches = BuildCaches::new();
         let web = build_with_caches(corpus, &config, Some(&mut caches));
+        let segments = web.segmented_record_index(MergePolicy::default());
         Self {
             config,
             caches,
             fingerprints: fingerprint_map(corpus),
             web,
+            segments,
             fault_hook: None,
         }
     }
@@ -207,6 +229,15 @@ impl IncrEngine {
     /// The current maintained web.
     pub fn web(&self) -> &WebOfConcepts {
         &self.web
+    }
+
+    /// The engine's incrementally-maintained segmented record index: a
+    /// frozen base pinned at the initial build's statistics plus one small
+    /// delta segment per effective pass, compacted by the size-tiered merge
+    /// policy. Its flattened contents always equal [`Self::web`]'s record
+    /// index (the `W014` audit checks exactly this).
+    pub fn segments(&self) -> &SegmentedLrecIndex {
+        &self.segments
     }
 
     /// Layer 1 — change detection: diff `corpus` against the fingerprints
@@ -310,11 +341,13 @@ impl IncrEngine {
         .map_err(|payload| MaintainError::RebuildPanicked(panic_message(payload)))?;
 
         // Records born from added or rewritten pages scope the delta too.
+        let mut affected_new: BTreeSet<LrecId> = BTreeSet::new();
         for url in changes.dirty.iter().chain(&changes.added) {
             for id in new_web.lineage.records_from_document(url) {
                 if let Some(canon) = new_web.store.resolve(id) {
                     if let Some(rec) = new_web.store.latest(canon) {
                         touched.insert(rec.concept());
+                        affected_new.insert(canon);
                     }
                 }
             }
@@ -349,13 +382,68 @@ impl IncrEngine {
             urls
         };
 
+        // The retention scope of the pass, in the cache's vocabulary: the
+        // exact terms whose posting lists moved (from the memo layer's
+        // record-index diff) and a conservative superset of the records
+        // whose content may have moved (the lineage-affected partition on
+        // both sides, plus everything the index diff touched).
+        let record_changes = self.caches.stats().record_changes.clone();
+        let mut changed_terms: BTreeSet<String> = BTreeSet::new();
+        for c in &record_changes {
+            for t in c
+                .old_tokens
+                .iter()
+                .flatten()
+                .chain(c.new_tokens.iter().flatten())
+            {
+                changed_terms.insert(t.clone());
+            }
+        }
+        report.changed_terms = changed_terms.into_iter().collect();
+        // Candidate changed records: the lineage-affected partition on both
+        // sides plus everything the index diff touched. Lineage is
+        // deliberately coarse — a dirty *list* page affects every record it
+        // mentions — so filter the candidates down to records whose stored
+        // content (or liveness) actually moved. The filtered set is still a
+        // sound invalidation scope: any content change originates from a
+        // changed page, and lineage captures every such record.
+        let mut candidates = affected;
+        candidates.extend(affected_new);
+        candidates.extend(record_changes.iter().map(|c| c.id));
+        report.changed_records = candidates
+            .into_iter()
+            .filter(|&id| self.web.store.latest(id) != new_web.store.latest(id))
+            .collect();
+
         self.web = new_web;
         self.fingerprints = new_fps;
+
+        // Absorb the pass into the segmented index as one delta segment
+        // (newest-wins shadowing; tombstones for removals), letting the
+        // size-tiered policy merge as it goes. An empty diff appends
+        // nothing, so the segment structure only grows on real change.
+        if !record_changes.is_empty() {
+            let delta: Vec<RecordChange> = record_changes
+                .iter()
+                .map(|c| RecordChange {
+                    id: c.id,
+                    concept: c.concept,
+                    tokens: c.new_tokens.clone(),
+                })
+                .collect();
+            let outcome = self.segments.apply_delta(&delta);
+            report.segment_merges = outcome.merges;
+            report.stats_repinned = outcome.repinned;
+        }
         Ok(report)
     }
 
-    /// Layer 4 — maintain, then publish the result to a serving tier as an
-    /// epoch delta. A short-circuited pass publishes nothing: the server
+    /// Layer 4 — maintain, then publish the result to a serving tier as a
+    /// *segmented* delta ([`woc_serve::ConceptServer::publish_delta_segmented`]):
+    /// the server ships the engine's maintained segments (sharing the frozen
+    /// base across epochs) and retains every cached entry whose scope the
+    /// pass provably did not touch, instead of dropping the cache wholesale.
+    /// A short-circuited or ineffective pass publishes nothing: the server
     /// keeps its epoch and its warm result cache. A failed pass publishes
     /// nothing either — the error propagates and the server keeps serving
     /// the previous epoch. Returns the pass report and the epoch now being
@@ -366,7 +454,11 @@ impl IncrEngine {
         server: &ConceptServer,
     ) -> Result<(MaintainReport, u64), MaintainError> {
         let report = self.maintain(corpus)?;
-        let epoch = server.publish_delta(self.web.clone(), &epoch_delta(&report));
+        let epoch = server.publish_delta_segmented(
+            self.web.clone(),
+            &segment_delta(&report),
+            Arc::new(self.segments.clone()),
+        );
         Ok((report, epoch))
     }
 }
@@ -388,6 +480,20 @@ pub fn epoch_delta(report: &MaintainReport) -> EpochDelta {
         // Any dirty/added/removed page perturbs the doc index and
         // the corpus-global BM25 statistics.
         docs_changed: report.pages_dirty > 0,
+    }
+}
+
+/// Fold a maintenance report into the [`SegmentDelta`] a segmented publish
+/// retains the result cache with: the coarse plane flags plus the pass's
+/// exact changed-term set and conservative changed-record set. Folds to a
+/// no-op for short-circuited and ineffective passes, exactly like
+/// [`epoch_delta`].
+pub fn segment_delta(report: &MaintainReport) -> SegmentDelta {
+    SegmentDelta {
+        base: epoch_delta(report),
+        changed_terms: report.changed_terms.clone(),
+        changed_records: report.changed_records.clone(),
+        stats_repinned: report.stats_repinned,
     }
 }
 
@@ -558,7 +664,24 @@ mod tests {
             .expect("real change publishes");
         assert!(report.effective_change);
         assert_eq!(epoch, 2);
-        assert_eq!(server.cache_len(), 0, "real publish invalidates");
+        // The segmented publish retains entries the pass provably did not
+        // touch instead of dropping the cache wholesale; whatever the
+        // server answers now must equal a cold evaluation at epoch 2.
+        let a = server.search("gochi", 5);
+        assert_eq!(a.epoch, 2);
+        server.set_cache_enabled(false);
+        let fresh = server.search("gochi", 5);
+        server.set_cache_enabled(true);
+        assert_eq!(
+            format!("{:?}", a.value),
+            format!("{:?}", fresh.value),
+            "post-publish answer must match a cold epoch-2 evaluation"
+        );
+        // The maintained segments always flatten to the flat truth.
+        assert_eq!(
+            engine.segments().flatten().digest(),
+            engine.web().record_index.digest()
+        );
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! The inverted index with BM25 ranking.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use woc_textkit::tokenize::tokenize_words;
 
-use crate::postings::{intersect, DocId, PostingList};
+use crate::postings::{intersect, DocId, Posting, PostingList};
 
 /// BM25 parameters.
 #[derive(Debug, Clone, Copy)]
@@ -46,6 +46,17 @@ fn mean_len(total_len: u64, num_docs: usize) -> f64 {
     }
 }
 
+/// The BM25 contribution of one `(term, document)` pair. Every scoring path
+/// — exhaustive, stats-snapshot, and block-max pruned — funnels through this
+/// single expression, so per-pair contributions are bitwise identical across
+/// paths and the only remaining degree of freedom is summation order (which
+/// each path fixes to query-term order).
+#[inline]
+fn bm25_term_score(params: Bm25Params, idf: f64, tf: f64, len: f64, avg: f64) -> f64 {
+    let denom = tf + params.k1 * (1.0 - params.b + params.b * len / avg.max(1e-9));
+    idf * tf * (params.k1 + 1.0) / denom
+}
+
 /// Corpus-global scoring statistics snapshotted from a full index.
 ///
 /// BM25 mixes per-document quantities (tf, document length) with
@@ -74,11 +85,11 @@ impl ScoringStats {
         self.df.get(term).copied().unwrap_or(0)
     }
 
-    fn idf(&self, term: &str) -> f64 {
+    pub(crate) fn idf(&self, term: &str) -> f64 {
         bm25_idf(self.num_docs as f64, self.df(term) as f64)
     }
 
-    fn avg_len(&self) -> f64 {
+    pub(crate) fn avg_len(&self) -> f64 {
         mean_len(self.total_len, self.num_docs)
     }
 
@@ -107,6 +118,68 @@ impl ScoringStats {
         word(&mut h, self.num_docs as u64);
         word(&mut h, self.total_len);
         h
+    }
+}
+
+/// Per-block pruning metadata over one term's posting list: the last doc id
+/// the block covers plus the ingredients of a score upper bound.
+///
+/// BM25 is monotone increasing in tf and decreasing in document length, so
+/// evaluating the scoring formula at `(max_tf, min_len)` bounds every posting
+/// in the block from above *under any* [`ScoringStats`] snapshot — the
+/// metadata is stats-independent and survives stat re-pins unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// Last doc id in the block (blocks partition the posting list in doc
+    /// order, so binary search by `last_doc` locates the block covering a
+    /// candidate).
+    pub last_doc: DocId,
+    /// Maximum term frequency over the block's postings.
+    pub max_tf: u32,
+    /// Minimum document length over the block's documents.
+    pub min_len: u32,
+}
+
+/// Frozen per-term block metadata for a whole index — built once by
+/// [`InvertedIndex::block_max`] when a segment freezes, consumed by
+/// [`InvertedIndex::search_terms_pruned_with_stats`].
+#[derive(Debug, Clone, Default)]
+pub struct BlockMaxIndex {
+    terms: HashMap<String, Vec<BlockMeta>>,
+}
+
+impl BlockMaxIndex {
+    /// Block metadata for `term` (empty if the term is unknown).
+    pub fn blocks(&self, term: &str) -> &[BlockMeta] {
+        self.terms.get(term).map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
+/// Min-ordered top-k heap entry: the heap's top is the *worst* retained hit
+/// under the final `(score desc, doc asc)` ranking, i.e. the pruning
+/// threshold.
+#[derive(Debug, PartialEq)]
+struct WorstFirst {
+    score: f64,
+    doc: DocId,
+}
+
+impl Eq for WorstFirst {}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // "Greater" (popped first by BinaryHeap) = worse: lower score, or an
+        // equal score with a higher doc id.
+        other
+            .score
+            .total_cmp(&self.score)
+            .then(self.doc.cmp(&other.doc))
+    }
+}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -396,10 +469,7 @@ impl InvertedIndex {
             };
             for p in pl.iter() {
                 let len = self.doc_lens[p.doc.0 as usize] as f64;
-                let tf = p.tf as f64;
-                let denom = tf
-                    + self.params.k1 * (1.0 - self.params.b + self.params.b * len / avg.max(1e-9));
-                let s = idf * tf * (self.params.k1 + 1.0) / denom;
+                let s = bm25_term_score(self.params, idf, p.tf as f64, len, avg);
                 *acc.entry(p.doc).or_insert(0.0) += s;
             }
         }
@@ -414,6 +484,244 @@ impl InvertedIndex {
                 .then(a.doc.cmp(&b.doc))
         });
         hits.truncate(k);
+        hits
+    }
+
+    /// Freeze block-max pruning metadata for every term, `block` postings per
+    /// block. Meant for immutable (segment) indexes: the metadata is not
+    /// maintained by [`InvertedIndex::replace_doc`].
+    pub fn block_max(&self, block: usize) -> BlockMaxIndex {
+        let block = block.max(1);
+        // woc-lint: allow(map-iter-order) — collected into a HashMap keyed by
+        // term; per-term metadata is independent of iteration order.
+        let terms = self
+            .terms
+            .iter()
+            .map(|(t, pl)| {
+                let blocks = pl
+                    .as_slice()
+                    .chunks(block)
+                    .map(|chunk| BlockMeta {
+                        last_doc: chunk[chunk.len() - 1].doc,
+                        max_tf: chunk.iter().map(|p| p.tf).max().unwrap_or(0),
+                        min_len: chunk
+                            .iter()
+                            .map(|p| self.doc_lens[p.doc.0 as usize])
+                            .min()
+                            .unwrap_or(0),
+                    })
+                    .collect();
+                (t.clone(), blocks)
+            })
+            .collect();
+        BlockMaxIndex { terms }
+    }
+
+    /// Block-max pruned top-k retrieval through an external [`ScoringStats`]
+    /// snapshot, skipping documents in `dead` (shadowed/tombstoned postings
+    /// of a frozen segment).
+    ///
+    /// Returns *exactly* what [`InvertedIndex::search_terms_with_stats`]
+    /// would return after dropping `dead` docs — same hits, same order, same
+    /// score bits. A MaxScore-style document-at-a-time traversal enumerates
+    /// candidates only from "essential" lists (those whose combined upper
+    /// bounds can still reach the current k-th score) and consults per-block
+    /// `(max_tf, min_len)` bounds for the rest; a candidate is skipped only
+    /// when its upper bound is *strictly* below the k-th score, and the bound
+    /// is summed in canonical query-term order with per-addend domination, so
+    /// ties and float rounding can never evict a true top-k member. Surviving
+    /// candidates are rescored exhaustively in query-term order, reproducing
+    /// the exhaustive path's summation bit for bit.
+    pub fn search_terms_pruned_with_stats<S: AsRef<str>>(
+        &self,
+        terms: &[S],
+        k: usize,
+        stats: &ScoringStats,
+        blockmax: &BlockMaxIndex,
+        dead: &HashSet<DocId>,
+    ) -> Vec<Hit> {
+        if k == 0 || terms.is_empty() {
+            return Vec::new();
+        }
+        let avg = stats.avg_len();
+        struct Cursor<'a> {
+            /// Position of this term in the query — canonical summation order.
+            ord: usize,
+            idf: f64,
+            ps: &'a [Posting],
+            blocks: &'a [BlockMeta],
+            /// Whole-list score upper bound.
+            ub: f64,
+            pos: usize,
+        }
+        let mut lists: Vec<Cursor<'_>> = Vec::with_capacity(terms.len());
+        // woc-lint: allow(map-iter-order) — `terms` is the query slice
+        // parameter (shadows the postings field name), already in query order.
+        for (ord, t) in terms.iter().enumerate() {
+            let Some(pl) = self.terms.get(t.as_ref()) else {
+                continue;
+            };
+            let idf = stats.idf(t.as_ref());
+            let blocks = blockmax.blocks(t.as_ref());
+            let ub = if blocks.is_empty() {
+                // No frozen metadata for this term (foreign blockmax): the
+                // universal bound tf·(k1+1)/(tf+…) < k1+1 still holds.
+                idf * (self.params.k1 + 1.0)
+            } else {
+                blocks
+                    .iter()
+                    .map(|b| {
+                        bm25_term_score(self.params, idf, b.max_tf as f64, b.min_len as f64, avg)
+                    })
+                    .fold(0.0f64, f64::max)
+            };
+            lists.push(Cursor {
+                ord,
+                idf,
+                ps: pl.as_slice(),
+                blocks,
+                ub,
+                pos: 0,
+            });
+        }
+        if lists.is_empty() {
+            return Vec::new();
+        }
+        // Highest-impact lists first; ties by query position for determinism.
+        lists.sort_by(|a, b| b.ub.total_cmp(&a.ub).then(a.ord.cmp(&b.ord)));
+        let mut suffix = vec![0.0f64; lists.len() + 1];
+        for i in (0..lists.len()).rev() {
+            suffix[i] = suffix[i + 1] + lists[i].ub;
+        }
+        let mut heap: std::collections::BinaryHeap<WorstFirst> =
+            std::collections::BinaryHeap::with_capacity(k.min(self.doc_lens.len()) + 1);
+        // Scratch for per-candidate (ord, contribution-or-bound) addends.
+        let mut addends: Vec<(usize, f64)> = Vec::with_capacity(lists.len());
+        loop {
+            let thr = if heap.len() == k {
+                Some(heap.peek().expect("heap holds k > 0 entries").score)
+            } else {
+                None
+            };
+            // Essential prefix: lists[e..] alone sum strictly below the k-th
+            // score, so docs appearing only there can never enter the top k.
+            let e = match thr {
+                None => lists.len(),
+                Some(t) => {
+                    let mut e = 0;
+                    while e < lists.len() && suffix[e] >= t {
+                        e += 1;
+                    }
+                    e
+                }
+            };
+            if e == 0 {
+                break;
+            }
+            // Next candidate: smallest pending doc over the essential lists.
+            let mut cand: Option<DocId> = None;
+            for l in &lists[..e] {
+                if let Some(p) = l.ps.get(l.pos) {
+                    cand = Some(cand.map_or(p.doc, |c| c.min(p.doc)));
+                }
+            }
+            let Some(doc) = cand else {
+                break;
+            };
+            if !dead.contains(&doc) {
+                // Upper bound, summed in canonical (query) order: exact
+                // contributions from essential lists at `doc`, block bounds
+                // for the non-essential tail. Each addend dominates its exact
+                // counterpart, and float addition is monotone, so the sum
+                // dominates the canonical score.
+                addends.clear();
+                for l in &lists[..e] {
+                    if let Some(p) = l.ps.get(l.pos) {
+                        if p.doc == doc {
+                            let len = self.doc_lens[doc.0 as usize] as f64;
+                            let s = bm25_term_score(self.params, l.idf, p.tf as f64, len, avg);
+                            addends.push((l.ord, s));
+                        }
+                    }
+                }
+                for l in &lists[e..] {
+                    if l.blocks.is_empty() {
+                        addends.push((l.ord, l.ub));
+                        continue;
+                    }
+                    let b = l.blocks.partition_point(|b| b.last_doc < doc);
+                    if let Some(meta) = l.blocks.get(b) {
+                        let s = bm25_term_score(
+                            self.params,
+                            l.idf,
+                            meta.max_tf as f64,
+                            meta.min_len as f64,
+                            avg,
+                        );
+                        addends.push((l.ord, s));
+                    }
+                }
+                addends.sort_unstable_by_key(|&(ord, _)| ord);
+                let bound: f64 = addends.iter().map(|&(_, s)| s).sum();
+                let survives = match thr {
+                    None => true,
+                    Some(t) => bound >= t,
+                };
+                if survives {
+                    // Exact rescore: advance every cursor to `doc` and sum
+                    // the real contributions in canonical query order.
+                    addends.clear();
+                    for l in &mut lists {
+                        while l.ps.get(l.pos).is_some_and(|p| p.doc < doc) {
+                            l.pos += 1;
+                        }
+                        if let Some(p) = l.ps.get(l.pos) {
+                            if p.doc == doc {
+                                let len = self.doc_lens[doc.0 as usize] as f64;
+                                let s = bm25_term_score(self.params, l.idf, p.tf as f64, len, avg);
+                                addends.push((l.ord, s));
+                            }
+                        }
+                    }
+                    addends.sort_unstable_by_key(|&(ord, _)| ord);
+                    let mut score = 0.0f64;
+                    for &(_, s) in addends.iter() {
+                        score += s;
+                    }
+                    let better = match heap.peek() {
+                        Some(w) if heap.len() == k => {
+                            score > w.score || (score == w.score && doc < w.doc)
+                        }
+                        _ => true,
+                    };
+                    if better {
+                        heap.push(WorstFirst { score, doc });
+                        while heap.len() > k {
+                            heap.pop();
+                        }
+                    }
+                }
+            }
+            // Step the essential cursors past the candidate.
+            for l in &mut lists[..e] {
+                if l.ps.get(l.pos).is_some_and(|p| p.doc == doc) {
+                    l.pos += 1;
+                }
+            }
+        }
+        let mut hits: Vec<Hit> = heap
+            .into_iter()
+            .map(|w| Hit {
+                doc: w.doc,
+                score: w.score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
         hits
     }
 

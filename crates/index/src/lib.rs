@@ -9,7 +9,10 @@
 //!   boolean AND,
 //! * [`lrec_index`] — fielded indexing of lrec records with a small query
 //!   language (`cuisine:italian city:"san jose" is:restaurant`), the
-//!   foundation of concept search (paper §5.2).
+//!   foundation of concept search (paper §5.2),
+//! * [`segment`] — the LSM-style segmented record index: a frozen base with
+//!   pinned corpus-global stats plus delta segments, scored byte-identically
+//!   to a flat rebuild with block-max pruned top-k.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -17,7 +20,11 @@
 pub mod index;
 pub mod lrec_index;
 pub mod postings;
+pub mod segment;
 
-pub use index::{Bm25Params, Hit, InvertedIndex, ScoringStats};
-pub use lrec_index::{FieldQuery, LrecIndex, RecordHit};
+pub use index::{BlockMaxIndex, BlockMeta, Bm25Params, Hit, InvertedIndex, ScoringStats};
+pub use lrec_index::{scoped_term, FieldQuery, LrecIndex, RecordHit};
 pub use postings::{intersect, union, DocId, Posting, PostingList};
+pub use segment::{
+    DeltaOutcome, LrecSegment, MergePolicy, RecordChange, SegmentedLrecIndex, SEGMENT_BLOCK,
+};

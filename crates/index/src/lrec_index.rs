@@ -20,6 +20,14 @@ use crate::postings::DocId;
 /// never collide.
 const FIELD_SEP: char = '\u{1f}';
 
+/// Render a `(field, term)` constraint into the scoped index term
+/// [`LrecIndex::record_tokens`] emits for it. The one canonical rendering —
+/// the serving cache's term scopes and the cluster's scatter path must match
+/// the index's own encoding or scoped constraints silently stop scoring.
+pub fn scoped_term(field: &str, term: &str) -> String {
+    format!("{field}{FIELD_SEP}{term}")
+}
+
 /// A parsed concept-search query.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct FieldQuery {
@@ -175,7 +183,7 @@ impl LrecIndex {
                 let text = e.value.display_string();
                 for w in tokenize_words(&text) {
                     tokens.push(w.clone());
-                    tokens.push(format!("{key}{FIELD_SEP}{w}"));
+                    tokens.push(scoped_term(key, &w));
                 }
             }
         }
@@ -282,7 +290,7 @@ impl LrecIndex {
     ) -> Vec<RecordHit> {
         let mut terms: Vec<String> = query.terms.clone();
         for (f, t) in &query.scoped {
-            terms.push(format!("{f}{FIELD_SEP}{t}"));
+            terms.push(scoped_term(f, t));
         }
         let concept_filter = query.concept.as_deref().and_then(&concept_resolver);
         // Over-fetch when filtering by concept, then trim.
@@ -308,7 +316,7 @@ impl LrecIndex {
             let required: Vec<String> = query
                 .scoped
                 .iter()
-                .map(|(f, t)| format!("{f}{FIELD_SEP}{t}"))
+                .map(|(f, t)| scoped_term(f, t))
                 .collect();
             out.retain(|h| {
                 let doc = self.by_lrec[&h.id];

@@ -102,6 +102,12 @@ impl PostingList {
         self.entries.iter().copied()
     }
 
+    /// The postings as a slice, sorted by doc id — indexed cursor access for
+    /// document-at-a-time traversals (block-max pruned search).
+    pub fn as_slice(&self) -> &[Posting] {
+        &self.entries
+    }
+
     /// Binary-search the tf for a document.
     pub fn tf(&self, doc: DocId) -> u32 {
         self.entries

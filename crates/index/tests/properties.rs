@@ -2,7 +2,8 @@
 
 use proptest::prelude::*;
 use woc_index::postings::{intersect, union, DocId, PostingList};
-use woc_index::{FieldQuery, InvertedIndex};
+use woc_index::{FieldQuery, InvertedIndex, MergePolicy, RecordChange, SegmentedLrecIndex};
+use woc_lrec::{ConceptId, LrecId};
 
 proptest! {
     /// Posting lists round-trip through their byte encoding.
@@ -207,5 +208,118 @@ proptest! {
             let in_result = found.iter().any(|d| d.0 as usize == i);
             prop_assert_eq!(has_both, in_result, "doc {} tokens {:?}", i, toks);
         }
+    }
+
+    /// Block-max pruning never changes the returned top-k: same docs, same
+    /// order, same score bits as exhaustive scoring — under an arbitrary
+    /// (superset) stats snapshot, an arbitrary dead set, any block size.
+    #[test]
+    fn pruned_search_equals_exhaustive(
+        docs in prop::collection::vec(prop::collection::vec("[a-f]{1,2}", 0..10), 1..24),
+        extra in prop::collection::vec(prop::collection::vec("[a-f]{1,2}", 0..10), 0..8),
+        query in prop::collection::vec("[a-f]{1,2}", 1..5),
+        k in 1usize..8,
+        dead_mask in 0u32..=u32::MAX,
+        block in 1usize..5)
+    {
+        let mut ix = InvertedIndex::new();
+        for toks in &docs {
+            ix.add_tokens(toks);
+        }
+        // Pinned-stats serving situation: the snapshot covers a superset
+        // corpus, so idf and average length differ from the index's own.
+        let mut superset = ix.clone();
+        for toks in &extra {
+            superset.add_tokens(toks);
+        }
+        let stats = superset.scoring_stats();
+        let dead: std::collections::HashSet<DocId> = (0..docs.len() as u32)
+            .filter(|d| dead_mask & (1u32 << (d % 32)) != 0)
+            .map(DocId)
+            .collect();
+        let bm = ix.block_max(block);
+        let pruned = ix.search_terms_pruned_with_stats(&query, k, &stats, &bm, &dead);
+        // Exhaustive oracle: score everything, drop dead docs, take top k.
+        let mut all = ix.search_terms_with_stats(&query, usize::MAX, &stats);
+        all.retain(|h| !dead.contains(&h.doc));
+        all.truncate(k);
+        prop_assert_eq!(pruned.len(), all.len(), "hit counts diverge");
+        for (p, e) in pruned.iter().zip(&all) {
+            prop_assert_eq!(p.doc, e.doc);
+            prop_assert_eq!(p.score.to_bits(), e.score.to_bits(),
+                "score bits diverge for {:?}", p.doc);
+        }
+    }
+
+    /// Segment merging is associative and order-independent: any merge
+    /// schedule over the same deltas yields byte-identical postings (equal
+    /// frozen-segment digests once fully merged) and identical top-k.
+    #[test]
+    fn segment_merge_schedule_independent(
+        base in prop::collection::btree_map(
+            0u64..40, (0u32..3, prop::collection::vec("[a-d]{1,2}", 1..6)), 1..16),
+        deltas in prop::collection::vec(
+            prop::collection::btree_map(
+                0u64..48,
+                prop::option::of((0u32..3, prop::collection::vec("[a-d]{1,2}", 1..6))),
+                1..8),
+            2..5),
+        schedule_seed in 0u64..=u64::MAX,
+        query in prop::collection::vec("[a-d]{1,2}", 1..4))
+    {
+        // Manual policy: the schedules below are the only merges.
+        let manual = MergePolicy {
+            fanout: usize::MAX,
+            compact_fraction: f64::INFINITY,
+            max_deltas: usize::MAX,
+        };
+        let entries: Vec<_> = base
+            .iter()
+            .map(|(&id, (c, t))| (LrecId(id), ConceptId(*c), t.clone()))
+            .collect();
+        let mut seg = SegmentedLrecIndex::new(entries, manual);
+        for d in &deltas {
+            let changes: Vec<RecordChange> = d
+                .iter()
+                .map(|(&id, v)| RecordChange {
+                    id: LrecId(id),
+                    concept: ConceptId(v.as_ref().map(|(c, _)| *c).unwrap_or(0)),
+                    tokens: v.as_ref().map(|(_, t)| t.clone()),
+                })
+                .collect();
+            seg.apply_delta(&changes);
+        }
+        // Schedule A: fold left. Schedule B: seed-driven adjacent merges.
+        let mut a = seg.clone();
+        while a.delta_count() > 1 {
+            a.merge_deltas(0, 1);
+        }
+        let mut b = seg.clone();
+        let mut s = schedule_seed;
+        while b.delta_count() > 1 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = ((s >> 33) as usize) % (b.delta_count() - 1);
+            b.merge_deltas(i, i + 1);
+        }
+        if a.delta_count() == 1 && b.delta_count() == 1 {
+            prop_assert_eq!(
+                a.delta_segments()[0].digest(),
+                b.delta_segments()[0].digest(),
+                "schedules built different merged postings"
+            );
+        }
+        prop_assert_eq!(a.flatten().digest(), b.flatten().digest());
+        let fq = FieldQuery { terms: query, scoped: Vec::new(), concept: None };
+        let ha = a.search(&fq, 10, |_| None);
+        let hb = b.search(&fq, 10, |_| None);
+        prop_assert_eq!(ha.len(), hb.len());
+        for (x, y) in ha.iter().zip(&hb) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+        // And both agree with the flat oracle through the pinned stats.
+        let flat = a.flatten();
+        let hf = flat.search_with_stats(&fq, 10, |_| None, a.pinned_stats());
+        prop_assert_eq!(ha, hf);
     }
 }

@@ -12,11 +12,21 @@
 //!   *new* web (see [`ConceptServer::maintain`]), publishes it under a bumped
 //!   epoch, and in-flight readers of the old epoch drain gracefully — the old
 //!   snapshot is freed when its last reader drops its `Arc`.
-//! * **Sharded LRU result cache** ([`cache`]) — keyed on the endpoint, the
-//!   epoch, and the *normalized* [`FieldQuery`] rendering, so syntactic
-//!   variants of a query share one entry and a stale worker finishing after a
-//!   publish can never poison the new epoch's cache (its key carries the old
-//!   epoch). Publishing explicitly invalidates the whole cache.
+//! * **Segmented search path** — every snapshot carries a
+//!   [`SegmentedLrecIndex`]: a frozen base segment with pinned corpus-global
+//!   BM25 statistics plus delta segments, scored with block-max pruned
+//!   top-k. Because every segment scores through the pinned statistics, a
+//!   record's score is a pure function of its frozen content — which is
+//!   what makes per-entry cache retention across epochs sound at all.
+//! * **Sharded LRU result cache** ([`cache`]) — keyed on the endpoint and
+//!   the *normalized* [`FieldQuery`] rendering, so syntactic variants of a
+//!   query share one entry. Entries carry the epoch they were filled at and
+//!   a retention [`cache::Scope`]; a stale worker finishing after a publish
+//!   can never poison the new epoch's cache (its fill generation is
+//!   refused), and a segmented delta publish
+//!   ([`ConceptServer::publish_delta_segmented`]) retains every entry whose
+//!   scope the delta provably did not touch instead of dropping the cache
+//!   wholesale.
 //! * **Metrics** ([`metrics`]) — per-endpoint request counters, cache
 //!   hit/miss counters, and log2-bucketed latency histograms with p50/p95/p99
 //!   summaries, cheap enough to stay on under load.
@@ -41,14 +51,15 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 
 use woc_apps::{
-    build_concept_box, concept_search_parsed, interpret_query, trigger_concept_box, ConceptBox,
+    build_concept_box, hydrate_record_hit, interpret_query, trigger_concept_box, ConceptBox,
     ConceptResult, Recommendation,
 };
 use woc_core::{recrawl, shard_map, WebOfConcepts};
-use woc_index::FieldQuery;
-use woc_lrec::{ConceptId, Tick, Violation};
+use woc_index::{scoped_term, FieldQuery, MergePolicy, SegmentedLrecIndex};
+use woc_lrec::{ConceptId, LrecId, Tick, Violation};
 use woc_webgen::WebCorpus;
 
+pub use cache::Scope;
 use cache::ShardedCache;
 pub use metrics::{Endpoint, EndpointSummary, MetricsRegistry, ERROR_BUDGET};
 
@@ -87,14 +98,15 @@ impl Default for ServeConfig {
 /// incremental-maintenance engine hands this to [`ConceptServer::publish_delta`]
 /// so a no-op maintenance pass never invalidates a warm cache.
 ///
-/// Deliberately coarse: when *anything* changed, the whole result cache is
-/// dropped on publish. Per-concept cache retention would be unsound here —
-/// BM25 idf is corpus-global (one new document shifts every search score)
-/// and the application layer reads doc-side state (titles, mention links)
-/// for records of *any* concept, so a result keyed on an untouched concept
-/// can still change. `touched_concepts` is kept for observability and for
-/// future sound scoping (e.g. concept-box pinning), not used to retain
-/// entries today.
+/// Coarse, plane-level flags: `records_changed` covers the record store and
+/// the record index, `docs_changed` covers document content and the doc
+/// index. [`ConceptServer::publish_delta`] uses the distinction — a
+/// doc-plane-only delta retains every cached *search* entry, because the
+/// search path reads only the record plane. Finer, term/record-scoped
+/// retention needs the segmented form ([`SegmentDelta`] via
+/// [`ConceptServer::publish_delta_segmented`]); with only this coarse delta
+/// a record-plane change still drops the whole cache, since BM25 statistics
+/// are corpus-global unless a segmented index has pinned them.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpochDelta {
     /// Concepts with at least one created, updated, merged or tombstoned
@@ -121,6 +133,31 @@ impl EpochDelta {
     pub fn is_effectively_empty(&self) -> bool {
         !self.records_changed && !self.docs_changed
     }
+}
+
+/// The fine-grained change scope a segmented maintenance pass publishes
+/// with ([`ConceptServer::publish_delta_segmented`]): the coarse plane
+/// flags plus exactly what the record-plane delta touched, in the same
+/// vocabulary cached entries record in their [`Scope`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SegmentDelta {
+    /// The coarse plane-level delta (no-op detection, touched concepts).
+    pub base: EpochDelta,
+    /// Every index term whose posting list the delta touched: the union of
+    /// the old and new token sequences of every changed record (sorted,
+    /// deduplicated). A cached search answer whose query terms are disjoint
+    /// from this set keeps its result set and — under pinned statistics —
+    /// its exact scores.
+    pub changed_terms: Vec<String>,
+    /// Every record whose stored content the pass may have changed
+    /// (created, updated, merged or tombstoned), canonical ids, sorted. A
+    /// cached answer hydrated only from records outside this set renders
+    /// byte-identically after the publish.
+    pub changed_records: Vec<LrecId>,
+    /// True when the segmented index compacted during the pass and
+    /// re-pinned its corpus-global statistics: every score in the corpus
+    /// may shift, so the whole cache must drop.
+    pub stats_repinned: bool,
 }
 
 /// Why a maintenance or publish pass failed without changing the served
@@ -243,14 +280,43 @@ pub struct Snapshot {
     pub epoch: u64,
     /// The web this snapshot serves.
     pub woc: WebOfConcepts,
+    /// The segmented record index the search endpoint evaluates against.
+    /// Shared across epochs wherever possible: a delta publish ships the
+    /// same base-segment `Arc` plus small new delta segments, and a
+    /// doc-plane-only publish reships the whole index untouched.
+    pub segments: Arc<SegmentedLrecIndex>,
 }
 
 impl Snapshot {
     /// Freeze a built web under an explicit epoch — the constructor
     /// replication layers (e.g. `woc-cluster` shard replicas) use to mint
-    /// epoch-consistent snapshots outside a [`ConceptServer`].
+    /// epoch-consistent snapshots outside a [`ConceptServer`]. Builds a
+    /// fresh segmented index whose base is pinned at this web's statistics
+    /// (so segmented answers are byte-identical to flat ones).
     pub fn new(epoch: u64, woc: WebOfConcepts) -> Self {
-        Self { epoch, woc }
+        let segments = Arc::new(woc.segmented_record_index(MergePolicy::default()));
+        Self {
+            epoch,
+            woc,
+            segments,
+        }
+    }
+
+    /// Freeze a web together with an already-maintained segmented index.
+    /// The caller certifies the invariant the search path relies on: the
+    /// segmented index's live entries are exactly the web's live records
+    /// (`segments.flatten()` digest-equal to `woc.record_index`) — the
+    /// W014 audit checks it.
+    pub fn with_segments(
+        epoch: u64,
+        woc: WebOfConcepts,
+        segments: Arc<SegmentedLrecIndex>,
+    ) -> Self {
+        Self {
+            epoch,
+            woc,
+            segments,
+        }
     }
 }
 
@@ -329,7 +395,7 @@ impl ConceptServer {
     /// Publish `woc` as epoch 1 and start serving.
     pub fn new(woc: WebOfConcepts, config: ServeConfig) -> Self {
         Self {
-            snapshot: RwLock::new(Arc::new(Snapshot { epoch: 1, woc })),
+            snapshot: RwLock::new(Arc::new(Snapshot::new(1, woc))),
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             cache_enabled: AtomicBool::new(config.cache_enabled),
             metrics: MetricsRegistry::new(),
@@ -363,22 +429,65 @@ impl ConceptServer {
         self.snapshot.read().epoch
     }
 
+    /// Swap in `woc` as the next epoch's snapshot, choosing its segmented
+    /// index: an explicit one (segmented delta publish), the previous
+    /// epoch's (doc-plane-only publish — the record index is untouched), or
+    /// a fresh build. The fresh build itself reuses the previous segments
+    /// when the record index is digest-identical and the previous index is
+    /// at a merge point (no deltas), where its pinned statistics provably
+    /// equal the flat index's own. Returns the epoch and the installed
+    /// snapshot; the caller settles the cache and fires hooks.
+    /// `settle` runs with the new epoch *before* the snapshot swap, while
+    /// the write lock is held: it must advance the cache generation
+    /// (`clear_to`/`retain`). Ordering matters — once the generation has
+    /// moved, stale workers' fills are refused; and because no reader can
+    /// pin the new snapshot until the swap, no reader can ever observe the
+    /// new epoch with an unsettled cache.
+    fn install(
+        &self,
+        woc: WebOfConcepts,
+        segments: Option<Arc<SegmentedLrecIndex>>,
+        reuse_segments: bool,
+        settle: impl FnOnce(u64),
+    ) -> (u64, Arc<Snapshot>) {
+        let mut guard = self.snapshot.write();
+        let epoch = guard.epoch + 1;
+        settle(epoch);
+        let next = match segments {
+            Some(segments) => Snapshot::with_segments(epoch, woc, segments),
+            None if reuse_segments => {
+                Snapshot::with_segments(epoch, woc, Arc::clone(&guard.segments))
+            }
+            None if guard.segments.delta_count() == 0
+                && guard.woc.record_index.digest() == woc.record_index.digest() =>
+            {
+                Snapshot::with_segments(epoch, woc, Arc::clone(&guard.segments))
+            }
+            None => Snapshot::new(epoch, woc),
+        };
+        *guard = Arc::new(next);
+        let installed = Arc::clone(&guard);
+        drop(guard);
+        (epoch, installed)
+    }
+
+    /// Post-publish bookkeeping shared by every publish path: reset the
+    /// failure streak, restamp the epoch age, and fire the publish hooks.
+    fn after_publish(&self, installed: &Arc<Snapshot>) {
+        *self.published_at.write() = Instant::now();
+        self.consecutive_failures.store(0, Ordering::Relaxed);
+        for hook in self.hooks.0.read().iter() {
+            hook(installed);
+        }
+    }
+
     /// Publish a freshly built web as the next epoch and invalidate the
     /// result cache. In-flight requests keep serving from the epoch they
     /// started on; new requests see the new snapshot immediately. Returns
     /// the new epoch.
     pub fn publish(&self, woc: WebOfConcepts) -> u64 {
-        let mut guard = self.snapshot.write();
-        let epoch = guard.epoch + 1;
-        *guard = Arc::new(Snapshot { epoch, woc });
-        let installed = Arc::clone(&guard);
-        drop(guard);
-        self.cache.clear();
-        *self.published_at.write() = Instant::now();
-        self.consecutive_failures.store(0, Ordering::Relaxed);
-        for hook in self.hooks.0.read().iter() {
-            hook(&installed);
-        }
+        let (epoch, installed) = self.install(woc, None, false, |e| self.cache.clear_to(e));
+        self.after_publish(&installed);
         epoch
     }
 
@@ -387,14 +496,73 @@ impl ConceptServer {
     /// `touched_concepts` survived tombstone scrubbing while every change
     /// cancelled out — returns the current epoch untouched: no snapshot
     /// swap, no epoch bump, and — crucially — no cache invalidation, so a
-    /// no-op maintenance cycle keeps the result cache warm. See
-    /// [`EpochDelta`] for why any effective delta still drops the whole
-    /// cache.
+    /// no-op maintenance cycle keeps the result cache warm.
+    ///
+    /// A delta touching **only the document plane** (`docs_changed` without
+    /// `records_changed`) publishes the new epoch but *retains* every
+    /// cached search entry: the search path reads only the record index and
+    /// the record store, both untouched, so the cached bytes still equal a
+    /// fresh evaluation. (This used to drop the whole cache — the
+    /// conservative plane-blind behavior.) Scopeless entries (concept box,
+    /// recommendations) read document-side state and are dropped. A delta
+    /// with record changes still drops the whole cache on this coarse path;
+    /// term/record-scoped retention needs
+    /// [`ConceptServer::publish_delta_segmented`].
     pub fn publish_delta(&self, woc: WebOfConcepts, delta: &EpochDelta) -> u64 {
         if delta.is_effectively_empty() {
             return self.epoch();
         }
+        if !delta.records_changed {
+            let (epoch, installed) = self.install(woc, None, true, |e| {
+                self.cache.retain(e, |scope| scope.is_some());
+            });
+            self.after_publish(&installed);
+            return epoch;
+        }
         self.publish(woc)
+    }
+
+    /// Publish a maintained web together with its incrementally-maintained
+    /// segmented index, retaining every cached entry the delta provably
+    /// does not touch.
+    ///
+    /// Retention soundness, entry by entry: a cached search answer is a
+    /// pure function of (a) the posting lists of its query terms, (b) the
+    /// pinned scoring statistics, and (c) the stored content of its result
+    /// records. The delta certifies (a) unchanged when the entry's terms
+    /// are disjoint from [`SegmentDelta::changed_terms`], (b) unchanged
+    /// unless [`SegmentDelta::stats_repinned`], and (c) unchanged when the
+    /// entry's records are disjoint from [`SegmentDelta::changed_records`].
+    /// Entries without a scope also read document-plane state, so they only
+    /// survive a no-op. An effectively-empty delta is a no-op exactly like
+    /// [`ConceptServer::publish_delta`].
+    pub fn publish_delta_segmented(
+        &self,
+        woc: WebOfConcepts,
+        delta: &SegmentDelta,
+        segments: Arc<SegmentedLrecIndex>,
+    ) -> u64 {
+        if delta.base.is_effectively_empty() {
+            return self.epoch();
+        }
+        let terms: std::collections::HashSet<&str> =
+            delta.changed_terms.iter().map(String::as_str).collect();
+        let records: std::collections::HashSet<LrecId> =
+            delta.changed_records.iter().copied().collect();
+        let (epoch, installed) = self.install(woc, Some(segments), false, |e| {
+            if delta.stats_repinned {
+                self.cache.clear_to(e);
+            } else {
+                self.cache.retain(e, |scope| {
+                    scope.is_some_and(|s| {
+                        !s.terms.iter().any(|t| terms.contains(t.as_str()))
+                            && !s.records.iter().any(|r| records.contains(r))
+                    })
+                });
+            }
+        });
+        self.after_publish(&installed);
+        epoch
     }
 
     /// Maintenance cycle: fingerprint-diff the two crawls, and only when
@@ -555,41 +723,65 @@ impl ConceptServer {
     }
 
     /// Concept search (§5.2) with geo/cuisine query interpretation.
+    /// Evaluates on the snapshot's segmented index — byte-identical to the
+    /// flat index at every merge point, and between merge points a pure
+    /// function of frozen segment content plus pinned statistics, which is
+    /// what lets the answer's cache entry survive later delta publishes.
     pub fn search(&self, query: &str, k: usize) -> Answer {
         let fq = interpret_query(query).normalized();
         let key = format!("{k}{KEY_SEP}{fq}");
         let exclude = self.config.exclude_nonconforming;
-        self.serve(Endpoint::Search, key, move |woc| {
-            let mut hits = concept_search_parsed(woc, &fq, k);
+        self.serve(Endpoint::Search, key, move |snap| {
+            let woc = &snap.woc;
+            let raw = snap.segments.search(&fq, k, |n| woc.registry.id_of(n));
+            let mut hits: Vec<ConceptResult> = raw
+                .iter()
+                .filter_map(|h| hydrate_record_hit(woc, h))
+                .collect();
             if exclude {
                 hits.retain(|h| conforms(woc, h.id));
             }
-            Response::Search(hits)
+            let scope = Scope {
+                terms: scope_terms(&fq),
+                records: raw.iter().map(|h| h.id).collect(),
+            };
+            (Response::Search(hits), Some(scope))
         })
     }
 
     /// Augmented-search concept box (§5.1): `Some` when the query
-    /// confidently matches one record.
+    /// confidently matches one record. Scopeless: the box renders
+    /// document-side state (mention links, titles), so its cache entry only
+    /// survives a no-op publish.
     pub fn concept_box(&self, query: &str) -> Answer {
         let canon = FieldQuery::parse(query).normalized().to_string();
-        self.serve(Endpoint::ConceptBox, canon.clone(), move |woc| {
-            Response::ConceptBox(
-                trigger_concept_box(woc, &canon)
-                    .and_then(|(id, conf)| build_concept_box(woc, id, conf)),
+        self.serve(Endpoint::ConceptBox, canon.clone(), move |snap| {
+            let woc = &snap.woc;
+            (
+                Response::ConceptBox(
+                    trigger_concept_box(woc, &canon)
+                        .and_then(|(id, conf)| build_concept_box(woc, id, conf)),
+                ),
+                None,
             )
         })
     }
 
     /// Recommendations (§5.4): alternatives anchored on the query's best
-    /// concept-box match, empty when nothing triggers.
+    /// concept-box match, empty when nothing triggers. Scopeless, like the
+    /// concept box.
     pub fn recommend(&self, query: &str, k: usize) -> Answer {
         let canon = FieldQuery::parse(query).normalized().to_string();
         let key = format!("{k}{KEY_SEP}{canon}");
-        self.serve(Endpoint::Recommend, key, move |woc| {
-            Response::Recommend(
-                trigger_concept_box(woc, &canon)
-                    .map(|(id, _)| woc_apps::alternatives(woc, id, k))
-                    .unwrap_or_default(),
+        self.serve(Endpoint::Recommend, key, move |snap| {
+            let woc = &snap.woc;
+            (
+                Response::Recommend(
+                    trigger_concept_box(woc, &canon)
+                        .map(|(id, _)| woc_apps::alternatives(woc, id, k))
+                        .unwrap_or_default(),
+                ),
+                None,
             )
         })
     }
@@ -614,19 +806,22 @@ impl ConceptServer {
 
     /// The shared serve skeleton: snapshot pin → cache probe → evaluate →
     /// cache fill → metrics. `key` must determine the evaluation entirely
-    /// (it is combined with the endpoint name and the pinned epoch).
+    /// (it is combined with the endpoint name; epoch visibility is enforced
+    /// by the cache's generation gates, not the key, so entries can survive
+    /// epoch bumps under selective retention). `eval` returns the response
+    /// plus its retention scope (`None` = drop on any effective publish).
     fn serve(
         &self,
         endpoint: Endpoint,
         key: String,
-        eval: impl FnOnce(&WebOfConcepts) -> Response,
+        eval: impl FnOnce(&Snapshot) -> (Response, Option<Scope>),
     ) -> Answer {
         let start = Instant::now();
         let snap = self.snapshot();
         let enabled = self.cache_enabled.load(Ordering::Relaxed);
-        let full_key = format!("{}{KEY_SEP}{}{KEY_SEP}{key}", endpoint.name(), snap.epoch);
+        let full_key = format!("{}{KEY_SEP}{key}", endpoint.name());
         if enabled {
-            if let Some(value) = self.cache.get(&full_key) {
+            if let Some(value) = self.cache.get(&full_key, snap.epoch) {
                 let micros = start.elapsed().as_micros() as u64;
                 self.metrics.endpoint(endpoint).record(micros, Some(true));
                 return Answer {
@@ -642,15 +837,18 @@ impl ConceptServer {
         // its error budget instead of tearing down the worker.
         // `AssertUnwindSafe` is justified: `eval` is a pure read over the
         // immutable pinned snapshot.
-        let (value, failed) = match catch_unwind(AssertUnwindSafe(|| eval(&snap.woc))) {
-            Ok(v) => (Arc::new(v), false),
-            Err(_) => (Arc::new(empty_response(endpoint)), true),
+        let (value, scope, failed) = match catch_unwind(AssertUnwindSafe(|| eval(&snap))) {
+            Ok((v, scope)) => (Arc::new(v), scope, false),
+            Err(_) => (Arc::new(empty_response(endpoint)), None, true),
         };
         if failed {
             self.metrics.endpoint(endpoint).record_error();
         } else if enabled {
             // Never cache a degraded answer: the next request re-evaluates.
-            self.cache.insert(full_key, Arc::clone(&value));
+            // The fill carries the pinned epoch; the cache refuses it if a
+            // publish has moved the generation on (stale-worker guard).
+            self.cache
+                .insert(full_key, Arc::clone(&value), snap.epoch, scope);
         }
         let micros = start.elapsed().as_micros() as u64;
         self.metrics
@@ -663,6 +861,18 @@ impl ConceptServer {
             micros,
         }
     }
+}
+
+/// The rendered index terms a search evaluation reads: free terms plus
+/// scoped constraints rendered exactly as the index stores them — the
+/// vocabulary [`SegmentDelta::changed_terms`] speaks, so retention
+/// intersection is exact.
+fn scope_terms(fq: &FieldQuery) -> Vec<String> {
+    let mut terms = fq.terms.clone();
+    for (f, t) in &fq.scoped {
+        terms.push(scoped_term(f, t));
+    }
+    terms
 }
 
 /// The degraded (empty) response an endpoint answers with when its
