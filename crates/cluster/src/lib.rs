@@ -382,7 +382,7 @@ impl ClusterServer {
         let mut latency = 0u64;
         let mut hedged_shards = 0usize;
         for (s, node) in self.nodes.iter().enumerate() {
-            let work = st.records[s].postings_cost(fq) * POSTING_MICROS;
+            let work = st.records.get(s).map_or(0, |r| r.postings_cost(fq)) * POSTING_MICROS;
             let outcome = router::serve_shard(
                 node,
                 s,
@@ -478,7 +478,9 @@ impl ClusterServer {
             };
         };
         let outcome = router::serve_shard(
-            &self.nodes[shard],
+            self.nodes
+                .get(shard)
+                .expect("invariant: routing table only yields shard ids < config.shards"),
             shard,
             st.snap.epoch,
             0,
@@ -523,7 +525,7 @@ impl ClusterServer {
         let mut missing: Vec<usize> = Vec::new();
         let mut latency = 0u64;
         for (s, node) in self.nodes.iter().enumerate() {
-            let work = st.docs[s].postings_cost(&terms) * POSTING_MICROS;
+            let work = st.docs.get(s).map_or(0, |d| d.postings_cost(&terms)) * POSTING_MICROS;
             let outcome = router::serve_shard(
                 node,
                 s,
@@ -546,7 +548,13 @@ impl ClusterServer {
         hits.truncate(k);
         let results = hits
             .into_iter()
-            .map(|(pos, score)| (st.snap.woc.doc_urls[pos as usize].clone(), score))
+            .filter_map(|(pos, score)| {
+                st.snap
+                    .woc
+                    .doc_urls
+                    .get(pos as usize)
+                    .map(|url| (url.clone(), score))
+            })
             .collect();
         let coverage = if missing.is_empty() {
             Coverage::Complete

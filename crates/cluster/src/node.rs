@@ -146,7 +146,7 @@ impl ShardDocs {
         self.index
             .search_terms_with_stats(terms, fetch, &self.stats)
             .into_iter()
-            .map(|h| (self.global[h.doc.0 as usize], h.score))
+            .filter_map(|h| self.global.get(h.doc.0 as usize).map(|&g| (g, h.score)))
             .collect()
     }
 
@@ -323,7 +323,11 @@ impl ShardNode {
 
     /// Pin replica `r`'s current state.
     pub fn replica(&self, r: usize) -> Arc<ReplicaState> {
-        Arc::clone(&self.slots[r].read())
+        let slot = self
+            .slots
+            .get(r)
+            .expect("invariant: replica index < replicas()");
+        Arc::clone(&slot.read())
     }
 
     /// Install `state` into replica `r` (the epoch swap).

@@ -1,0 +1,149 @@
+//! Committed-baseline support: CI fails only on *new* findings.
+//!
+//! The baseline is a plain text file, one entry per line:
+//!
+//! ```text
+//! rule <TAB> file <TAB> symbol <TAB> count
+//! ```
+//!
+//! sorted for stable diffs. Entries are keyed on `(rule, file, symbol)` —
+//! deliberately **not** on line numbers, so unrelated edits shifting a file
+//! do not invalidate the baseline, while a *new* occurrence of a rule in a
+//! function shows up as a count increase. Lines starting with `#` are
+//! comments.
+//!
+//! Matching semantics against a run:
+//!
+//! * finding count ≤ baselined count → suppressed (pass);
+//! * finding count > baselined count (or key absent) → **new** finding, run
+//!   fails;
+//! * baselined count > finding count → **stale** entry; the run fails with a
+//!   refresh hint (`--write-baseline`), keeping the committed file honest.
+
+use std::collections::BTreeMap;
+
+use crate::rules::Finding;
+
+/// A parsed baseline: `(rule, file, symbol) → allowed count`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String, String), usize>,
+}
+
+/// Outcome of checking a run against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// `(key, found, allowed)` for keys exceeding their baselined count
+    /// (allowed = 0 for unbaselined keys).
+    pub new: Vec<((String, String, String), usize, usize)>,
+    /// `(key, found, allowed)` for baselined keys the run no longer (fully)
+    /// produces — fixed findings whose entries should be refreshed away.
+    pub stale: Vec<((String, String, String), usize, usize)>,
+    /// Findings suppressed by the baseline.
+    pub suppressed: usize,
+}
+
+impl BaselineDiff {
+    /// True when the run is clean against the baseline (nothing new, nothing
+    /// stale).
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Parse the baseline text format. Unparseable lines are ignored (they
+    /// surface as stale/new churn rather than hard errors).
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != 4 {
+                continue;
+            }
+            let Ok(count) = parts[3].trim().parse::<usize>() else {
+                continue;
+            };
+            entries.insert(
+                (
+                    parts[0].to_string(),
+                    parts[1].to_string(),
+                    parts[2].to_string(),
+                ),
+                count,
+            );
+        }
+        Baseline { entries }
+    }
+
+    /// Number of baselined entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the baseline has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Render a finding set as baseline text (sorted, deterministic). Only
+    /// unallowed deny findings are recorded — warn findings never gate, and
+    /// pragma-allowed findings are already justified in the source.
+    pub fn render(files: &[(String, Vec<Finding>)]) -> String {
+        let counts = gating_counts(files);
+        let mut out = String::from(
+            "# woc-lint baseline — pre-existing findings tolerated by CI.\n\
+             # One entry per line: rule<TAB>file<TAB>symbol<TAB>count.\n\
+             # Regenerate with: cargo run -p woc-lint -- --interproc --write-baseline <path>\n",
+        );
+        for ((rule, file, symbol), count) in &counts {
+            out.push_str(&format!("{rule}\t{file}\t{symbol}\t{count}\n"));
+        }
+        out
+    }
+
+    /// Diff a run against this baseline.
+    pub fn diff(&self, files: &[(String, Vec<Finding>)]) -> BaselineDiff {
+        let counts = gating_counts(files);
+        let mut diff = BaselineDiff::default();
+        for (key, &found) in &counts {
+            let allowed = self.entries.get(key).copied().unwrap_or(0);
+            if found > allowed {
+                diff.new.push((key.clone(), found, allowed));
+            } else {
+                diff.suppressed += found;
+                if found < allowed {
+                    diff.stale.push((key.clone(), found, allowed));
+                }
+            }
+        }
+        for (key, &allowed) in &self.entries {
+            if !counts.contains_key(key) {
+                diff.stale.push((key.clone(), 0, allowed));
+            }
+        }
+        diff.stale.sort();
+        diff.new.sort();
+        diff
+    }
+}
+
+/// Count gating findings (unallowed, deny severity) per baseline key.
+fn gating_counts(files: &[(String, Vec<Finding>)]) -> BTreeMap<(String, String, String), usize> {
+    let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+    for (path, findings) in files {
+        for f in findings {
+            if f.allowed || f.severity != crate::rules::Severity::Deny {
+                continue;
+            }
+            *counts
+                .entry((f.rule.to_string(), path.clone(), f.symbol.clone()))
+                .or_insert(0) += 1;
+        }
+    }
+    counts
+}

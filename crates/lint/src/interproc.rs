@@ -1,0 +1,127 @@
+//! The interprocedural engine: shared pass context, the interprocedural rule
+//! catalog, and the driver that builds the symbol table, runs every pass, and
+//! applies the pragma system to the results.
+//!
+//! Soundness posture (inherited from the no-`syn` scanner): the call graph is
+//! a best-effort over-approximation (ambiguous method names fan out, opaque
+//! callbacks are reported as such), lock identity is receiver-path-based, and
+//! taint tracks let-bound locals but not struct fields. Every pass documents
+//! its own gaps; pragmas with justifications are the escape hatch.
+
+use crate::rules::{Finding, RuleInfo, Scope, Severity};
+use crate::scan::Source;
+use crate::symbols::{GraphStats, SymbolTable};
+
+/// Catalog of rules produced by the interprocedural passes. These share the
+/// pragma namespace with the line rules (`// woc-lint: allow(lock-across-io)`
+/// works the same way).
+pub const INTERPROC_RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "lock-order-cycle",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "cycle in the lock-order graph (lock A held while B acquired, and a path back); classic deadlock shape across functions",
+    },
+    RuleInfo {
+        name: "lock-across-io",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "Mutex/RwLock guard held across a call into an I/O-touching or long-running function, or across an opaque callback",
+    },
+    RuleInfo {
+        name: "nondet-taint",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "value tainted by a nondeterminism source (hash iteration order, RNG, wall clock) flows into a digest/canonical sink, possibly across functions",
+    },
+    RuleInfo {
+        name: "panic-path",
+        severity: Severity::Deny,
+        scope: Scope::NonTest,
+        summary: "unwrap/panic!/slice-index site reachable from a serving hot-path root via the call graph",
+    },
+];
+
+/// Look up an interprocedural rule's catalog entry.
+pub fn interproc_rule_info(name: &str) -> Option<&'static RuleInfo> {
+    INTERPROC_RULES.iter().find(|r| r.name == name)
+}
+
+/// Shared pass context: the symbol table plus per-file finding sinks.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// The workspace symbol table and call graph.
+    pub table: &'a SymbolTable,
+    /// Findings per file (parallel to [`SymbolTable::files`]).
+    pub findings: Vec<Vec<Finding>>,
+}
+
+impl Ctx<'_> {
+    /// Record a finding against a file.
+    pub fn push(&mut self, file: usize, finding: Finding) {
+        self.findings[file].push(finding);
+    }
+}
+
+/// Construct an interprocedural finding. `line` is 0-based; `symbol` names
+/// the enclosing function (or an exemplar site) for baseline keying.
+pub fn mk_finding(
+    rule: &'static str,
+    line: usize,
+    src: &Source,
+    message: String,
+    symbol: String,
+) -> Finding {
+    let info = interproc_rule_info(rule).expect("interproc rule registered in catalog");
+    let excerpt = src
+        .lines
+        .get(line)
+        .map(|l| l.raw.trim().to_string())
+        .unwrap_or_default();
+    Finding {
+        rule,
+        severity: info.severity,
+        line: line + 1,
+        message,
+        excerpt,
+        allowed: false,
+        symbol,
+    }
+}
+
+/// The result of a full interprocedural run.
+#[derive(Debug)]
+pub struct Analysis {
+    /// The symbol table the passes ran over (stats feed `--dump-callgraph`
+    /// and the EXPERIMENTS coverage table).
+    pub table: SymbolTable,
+    /// Findings per file, pragma-applied and sorted, parallel to
+    /// `table.files`.
+    pub findings: Vec<Vec<Finding>>,
+}
+
+impl Analysis {
+    /// Resolution statistics of the underlying call graph.
+    pub fn stats(&self) -> GraphStats {
+        self.table.stats
+    }
+}
+
+/// Build the symbol table over `(path, text)` pairs and run every
+/// interprocedural pass.
+pub fn analyze(inputs: &[(String, String)]) -> Analysis {
+    let table = SymbolTable::build(inputs);
+    let mut ctx = Ctx {
+        table: &table,
+        findings: vec![Vec::new(); table.files.len()],
+    };
+    crate::locks::run(&mut ctx);
+    crate::taint::run(&mut ctx);
+    crate::panics::run(&mut ctx);
+    let mut findings = ctx.findings;
+    for (fi, file) in table.files.iter().enumerate() {
+        crate::apply_pragmas(&file.src, &mut findings[fi]);
+        findings[fi].sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    }
+    Analysis { table, findings }
+}

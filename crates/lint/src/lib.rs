@@ -21,11 +21,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod interproc;
+pub mod locks;
+pub mod panics;
 pub mod rules;
+pub mod sarif;
 pub mod scan;
+pub mod symbols;
+pub mod taint;
 
+pub use interproc::{analyze, Analysis, INTERPROC_RULES};
 pub use rules::{rule_info, FileKind, Finding, RuleInfo, Severity, RULES};
 pub use scan::Source;
+pub use symbols::SymbolTable;
 
 /// Classify a file path into [`FileKind`]. Paths use `/` separators.
 pub fn classify(path: &str) -> FileKind {
@@ -75,7 +84,7 @@ fn pragma_rules(comment: &str, directive: &str) -> Vec<String> {
 }
 
 /// Mark findings suppressed by `woc-lint: allow(...)` pragmas.
-fn apply_pragmas(src: &Source, findings: &mut [Finding]) {
+pub(crate) fn apply_pragmas(src: &Source, findings: &mut [Finding]) {
     let mut file_allows: Vec<String> = Vec::new();
     // allowed[i] = rules allowed on line i (0-based).
     let mut line_allows: Vec<Vec<String>> = vec![Vec::new(); src.lines.len()];

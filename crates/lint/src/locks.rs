@@ -1,0 +1,511 @@
+//! Interprocedural lock-order analysis.
+//!
+//! Records `Mutex`/`RwLock` guard acquisition sites per function (let-bound
+//! guards scoped by brace depth with explicit `drop(…)` tracked; `for`-header
+//! guards live for the loop body; bare expression guards live to the end of
+//! the statement), propagates acquired-lock sets along the call graph, and
+//! reports:
+//!
+//! * **`lock-order-cycle`** — a cycle in the "lock A held while lock B
+//!   acquired" order graph, the classic deadlock shape. Edges come from
+//!   direct nesting and from calls made while a guard is live into functions
+//!   that (transitively) acquire.
+//! * **`lock-across-io`** — a guard held across a call into an I/O-touching
+//!   or long-running function, or across an opaque callback (fn-typed
+//!   parameter): the canonical way to stall every other thread on the lock.
+//!
+//! Lock identity is the receiver path: `self.snapshot` inside `impl
+//! ConceptServer` becomes `ConceptServer.snapshot`; a local variable guard
+//! becomes `fn-name::var`, which cannot be matched across functions — a
+//! documented soundness gap of the no-type-information scanner (locks reached
+//! through collections or locals are tracked locally, not globally).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::interproc::{mk_finding, Ctx};
+use crate::symbols::{Callee, FnDef};
+
+/// Acquisition suffixes (parking_lot / std – argument-free, which is what
+/// distinguishes them from `io::Write::write(buf)`).
+const ACQUIRE: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Body markers that make a function I/O-touching.
+const IO_MARKERS: &[&str] = &[
+    "std::fs",
+    "File::",
+    "read_to_string",
+    "read_dir",
+    "create_dir",
+    "std::io",
+    "io::stdout",
+    "io::stderr",
+    "Command::",
+    "TcpStream",
+    "UdpSocket",
+    "sleep(",
+    "println!",
+    "eprintln!",
+    "write_all",
+];
+
+/// Own-body line count past which a function counts as long-running.
+const LONG_BODY_LINES: usize = 80;
+
+/// One live guard.
+#[derive(Debug, Clone)]
+struct Guard {
+    lock: String,
+    /// The guard dies when a line's depth drops below this.
+    min_depth: u32,
+    binding: Option<String>,
+    /// `Some(line)` = statement-temporary, dead after that line.
+    last_line: Option<usize>,
+}
+
+/// A lock-order edge: `from` held while `to` acquired, with an exemplar site.
+#[derive(Debug, Clone)]
+pub struct LockEdge {
+    /// Lock already held.
+    pub from: String,
+    /// Lock acquired under it.
+    pub to: String,
+    /// File index of the exemplar site.
+    pub file: usize,
+    /// 0-based line of the exemplar site.
+    pub line: usize,
+    /// Human description (`direct` or `via call to f`).
+    pub via: String,
+}
+
+/// Per-function lock facts.
+#[derive(Debug, Default)]
+struct FnLocks {
+    /// Locks acquired anywhere in the body (own, not transitive).
+    own: BTreeSet<String>,
+    /// `(held-set, call-site index)` for resolved calls made under guards.
+    calls_held: Vec<(Vec<String>, usize)>,
+    /// Direct nesting edges inside this function.
+    edges: Vec<LockEdge>,
+    /// Opaque-callback calls under guards: (held, line, callee name).
+    callback_held: Vec<(Vec<String>, usize, String)>,
+    io: bool,
+    long: bool,
+}
+
+/// Run the pass; findings are appended per file through `ctx`.
+pub fn run(ctx: &mut Ctx<'_>) {
+    let table = ctx.table;
+    let mut facts: Vec<FnLocks> = Vec::with_capacity(table.fns.len());
+    for (fi, f) in table.fns.iter().enumerate() {
+        facts.push(scan_fn(ctx, fi, f));
+    }
+
+    // Transitive acquires + io/long propagation to a fixpoint.
+    let mut trans: Vec<BTreeSet<String>> = facts.iter().map(|f| f.own.clone()).collect();
+    let mut io: Vec<bool> = facts.iter().map(|f| f.io).collect();
+    let mut long: Vec<bool> = facts.iter().map(|f| f.long).collect();
+    loop {
+        let mut changed = false;
+        for fi in 0..table.fns.len() {
+            for callee in table.callees_of(fi) {
+                let add: Vec<String> = trans[callee]
+                    .iter()
+                    .filter(|l| !trans[fi].contains(*l))
+                    .cloned()
+                    .collect();
+                if !add.is_empty() {
+                    trans[fi].extend(add);
+                    changed = true;
+                }
+                if io[callee] && !io[fi] {
+                    io[fi] = true;
+                    changed = true;
+                }
+                if long[callee] && !long[fi] {
+                    long[fi] = true;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Global edge set: direct edges + held-across-call edges.
+    let mut edges: Vec<LockEdge> = Vec::new();
+    for (fi, fl) in facts.iter().enumerate() {
+        edges.extend(fl.edges.iter().cloned());
+        for (held, call_idx) in &fl.calls_held {
+            let call = &table.calls[*call_idx];
+            if let Callee::Resolved(cands) = &call.callee {
+                for &t in cands {
+                    for h in held {
+                        for m in &trans[t] {
+                            if h != m {
+                                edges.push(LockEdge {
+                                    from: h.clone(),
+                                    to: m.clone(),
+                                    file: table.fns[fi].file,
+                                    line: call.line,
+                                    via: format!("via call to {}", table.fns[t].qual_name()),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report_cycles(ctx, &edges);
+    report_across(ctx, &facts, &io, &long);
+}
+
+/// Cycle detection over the lock-order graph; one finding per distinct cycle.
+fn report_cycles(ctx: &mut Ctx<'_>, edges: &[LockEdge]) {
+    // Adjacency with one exemplar edge per (from, to).
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &LockEdge>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().entry(&e.to).or_insert(e);
+    }
+    let nodes: Vec<&str> = adj
+        .iter()
+        .flat_map(|(k, vs)| std::iter::once(*k).chain(vs.keys().copied()))
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    // For each edge a→b, a cycle exists iff b reaches a. Report each cycle
+    // once, keyed by its sorted lock set.
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    for a in &nodes {
+        let Some(outs) = adj.get(a) else { continue };
+        for (b, edge) in outs {
+            if let Some(path) = shortest_path(&adj, b, a) {
+                // Cycle: a→b, then path b→…→a.
+                let mut locks: Vec<String> = vec![a.to_string()];
+                locks.extend(path.iter().map(|s| s.to_string()));
+                let mut key = locks.clone();
+                key.sort();
+                key.dedup();
+                if !seen.insert(key) {
+                    continue;
+                }
+                let mut desc = format!("`{a}` -> `{b}` ({})", edge.via);
+                let mut prev = *b;
+                for step in path.iter().skip(1) {
+                    if let Some(e) = adj.get(prev).and_then(|m| m.get(step)) {
+                        desc.push_str(&format!(" -> `{step}` ({})", e.via));
+                    }
+                    prev = step;
+                }
+                let file = ctx.table.files[edge.file].path.clone();
+                ctx.push(
+                    edge.file,
+                    mk_finding(
+                        "lock-order-cycle",
+                        edge.line,
+                        &ctx.table.files[edge.file].src,
+                        format!(
+                            "lock-order cycle (potential deadlock): {desc}; every thread must \
+                             acquire these locks in one documented total order"
+                        ),
+                        format!("{file}:{}", edge.line + 1),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// BFS over the lock graph; returns the node path from `start` to `goal`
+/// inclusive of both when reachable.
+fn shortest_path<'a>(
+    adj: &BTreeMap<&'a str, BTreeMap<&'a str, &LockEdge>>,
+    start: &'a str,
+    goal: &str,
+) -> Option<Vec<&'a str>> {
+    let mut prev: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut queue: std::collections::VecDeque<&str> = std::collections::VecDeque::new();
+    queue.push_back(start);
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    visited.insert(start);
+    while let Some(n) = queue.pop_front() {
+        if n == goal {
+            let mut path = vec![n];
+            let mut cur = n;
+            while let Some(p) = prev.get(cur) {
+                path.push(*p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        if let Some(outs) = adj.get(n) {
+            for next in outs.keys() {
+                if visited.insert(next) {
+                    prev.insert(next, n);
+                    queue.push_back(next);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// `lock-across-io` findings: guards held across io/long calls + callbacks.
+fn report_across(ctx: &mut Ctx<'_>, facts: &[FnLocks], io: &[bool], long: &[bool]) {
+    for (fi, fl) in facts.iter().enumerate() {
+        let file = ctx.table.fns[fi].file;
+        for (held, call_idx) in &fl.calls_held {
+            let call = &ctx.table.calls[*call_idx];
+            let Callee::Resolved(cands) = &call.callee else {
+                continue;
+            };
+            for &t in cands {
+                if io[t] || long[t] {
+                    let what = if io[t] {
+                        "I/O-touching"
+                    } else {
+                        "long-running"
+                    };
+                    ctx.push(
+                        file,
+                        mk_finding(
+                            "lock-across-io",
+                            call.line,
+                            &ctx.table.files[file].src,
+                            format!(
+                                "guard(s) [{}] held across call into {what} `{}`; every waiter \
+                                 on the lock stalls for the call's duration — drop the guard \
+                                 first or move the call out",
+                                held.join(", "),
+                                ctx.table.fns[t].qual_name()
+                            ),
+                            ctx.table.fns[fi].qual_name(),
+                        ),
+                    );
+                    break;
+                }
+            }
+        }
+        for (held, line, name) in &fl.callback_held {
+            ctx.push(
+                file,
+                mk_finding(
+                    "lock-across-io",
+                    *line,
+                    &ctx.table.files[file].src,
+                    format!(
+                        "guard(s) [{}] held across opaque callback `{name}(…)`; the callee can \
+                         acquire arbitrary locks, making the lock order unanalyzable — document \
+                         the total order or invoke the callback after dropping the guard",
+                        held.join(", ")
+                    ),
+                    ctx.table.fns[fi].qual_name(),
+                ),
+            );
+        }
+    }
+}
+
+/// Scan one function body for guards, nesting edges, and calls-under-guard.
+fn scan_fn(ctx: &Ctx<'_>, fi: usize, f: &FnDef) -> FnLocks {
+    let mut fl = FnLocks::default();
+    if f.in_test {
+        return fl;
+    }
+    let file = &ctx.table.files[f.file];
+    let lines = &file.src.lines;
+    let (b0, b1) = f.body;
+    fl.long = b1.saturating_sub(b0) > LONG_BODY_LINES;
+    let mut live: Vec<Guard> = Vec::new();
+    // Call sites of this fn grouped by line for held-set recording.
+    let mut calls_by_line: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &ci in &ctx.table.calls_of[fi] {
+        calls_by_line
+            .entry(ctx.table.calls[ci].line)
+            .or_default()
+            .push(ci);
+    }
+
+    for i in b0..=b1.min(lines.len().saturating_sub(1)) {
+        let line = &lines[i];
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        live.retain(|g| line.depth >= g.min_depth && g.last_line.is_none_or(|l| i <= l));
+        // Explicit drops end guards early.
+        for g in live.clone() {
+            if let Some(b) = &g.binding {
+                if code.contains(&format!("drop({b})")) {
+                    live.retain(|x| x.binding.as_deref() != Some(b.as_str()));
+                }
+            }
+        }
+        if IO_MARKERS.iter().any(|m| code.contains(m)) {
+            fl.io = true;
+        }
+
+        // Acquisitions on this line.
+        let mut acquired_here: Vec<String> = Vec::new();
+        for acq in ACQUIRE {
+            let mut start = 0;
+            while let Some(rel) = code[start..].find(acq) {
+                let pos = start + rel;
+                start = pos + acq.len();
+                let Some(lock) = lock_id(code, pos, f) else {
+                    continue;
+                };
+                fl.own.insert(lock.clone());
+                let held: Vec<String> = live
+                    .iter()
+                    .map(|g| g.lock.clone())
+                    .filter(|l| *l != lock)
+                    .collect();
+                for h in &held {
+                    fl.edges.push(LockEdge {
+                        from: h.clone(),
+                        to: lock.clone(),
+                        file: f.file,
+                        line: i,
+                        via: format!("direct, in {}", f.qual_name()),
+                    });
+                }
+                acquired_here.push(lock);
+            }
+        }
+        // Bind the acquisitions to their guard lifetimes.
+        if !acquired_here.is_empty() {
+            let trimmed = code.trim_start();
+            let let_binding = trimmed.strip_prefix("let ").map(|rest| {
+                let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+                let end = rest
+                    .find(|c: char| !c.is_alphanumeric() && c != '_')
+                    .unwrap_or(rest.len());
+                rest[..end].to_string()
+            });
+            let is_for = trimmed.starts_with("for ") || trimmed.starts_with("while ");
+            for lock in acquired_here {
+                if let Some(b) = &let_binding {
+                    if !b.is_empty() {
+                        live.push(Guard {
+                            lock,
+                            min_depth: line.depth,
+                            binding: Some(b.clone()),
+                            last_line: None,
+                        });
+                        continue;
+                    }
+                }
+                if is_for {
+                    // The temporary in a loop header lives for the body.
+                    live.push(Guard {
+                        lock,
+                        min_depth: line.depth + 1,
+                        binding: None,
+                        last_line: None,
+                    });
+                } else {
+                    // Statement-temporary: dead past the statement's end.
+                    let mut end = i;
+                    while end < b1 && end - i < 3 && !lines[end].code.trim_end().ends_with(';') {
+                        end += 1;
+                    }
+                    live.push(Guard {
+                        lock,
+                        min_depth: line.depth,
+                        binding: None,
+                        last_line: Some(end),
+                    });
+                }
+            }
+        }
+
+        // Calls on this line, with the currently-held set.
+        if live.is_empty() {
+            continue;
+        }
+        let held: Vec<String> = live.iter().map(|g| g.lock.clone()).collect();
+        if let Some(cis) = calls_by_line.get(&i) {
+            for &ci in cis {
+                match &ctx.table.calls[ci].callee {
+                    Callee::Resolved(_) => fl.calls_held.push((held.clone(), ci)),
+                    Callee::Callback(name) => {
+                        fl.callback_held.push((held.clone(), i, name.clone()))
+                    }
+                    Callee::Unresolved(_) => {}
+                }
+            }
+        }
+    }
+    fl
+}
+
+/// Lock identity from the receiver path ending at `pos` (the `.lock()` dot).
+/// `self.a.b` → `SelfTy.a`; `Type::X` statics keep their path; a bare local
+/// gets a function-scoped identity. Index/call segments are skipped
+/// (`self.slots[r].read()` → `SelfTy.slots`).
+fn lock_id(code: &str, pos: usize, f: &FnDef) -> Option<String> {
+    let bytes = code.as_bytes();
+    let mut i = pos; // byte index just past the receiver
+    let mut segs: Vec<String> = Vec::new();
+    loop {
+        // Skip a trailing `)` / `]` group (call or index) before the ident.
+        while i > 0 && (bytes[i - 1] == b')' || bytes[i - 1] == b']') {
+            let close = bytes[i - 1];
+            let open = if close == b')' { b'(' } else { b'[' };
+            let mut level = 0i32;
+            let mut j = i;
+            while j > 0 {
+                j -= 1;
+                if bytes[j] == close {
+                    level += 1;
+                } else if bytes[j] == open {
+                    level -= 1;
+                    if level == 0 {
+                        break;
+                    }
+                }
+            }
+            if j == 0 && level != 0 {
+                return None; // group opens on an earlier line — give up
+            }
+            i = j;
+        }
+        let Some(seg) = crate::scan::ident_before(code, i) else {
+            break;
+        };
+        segs.push(seg.to_string());
+        i -= seg.len();
+        if i >= 2 && &code[i - 2..i] == "::" {
+            i -= 2;
+            continue;
+        }
+        if i >= 1 && bytes[i - 1] == b'.' {
+            i -= 1;
+            continue;
+        }
+        break;
+    }
+    segs.reverse();
+    if segs.is_empty() {
+        return None;
+    }
+    if segs[0] == "self" {
+        let ty = f.self_ty.as_deref().unwrap_or("Self");
+        // First field after `self` names the lock; deeper segments are
+        // projections through it.
+        let field = segs.get(1).cloned().unwrap_or_default();
+        if field.is_empty() {
+            return None;
+        }
+        return Some(format!("{ty}.{field}"));
+    }
+    if segs[0].chars().next().is_some_and(|c| c.is_uppercase()) {
+        return Some(segs.join("."));
+    }
+    // Function-local receiver: identity cannot cross functions.
+    Some(format!("{}::{}", f.qual_name(), segs[0]))
+}

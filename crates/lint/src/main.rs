@@ -2,16 +2,27 @@
 //!
 //! ```text
 //! woc-lint [PATHS…] [--self-check] [--json] [--quiet-warn] [--show-allowed] [--rules]
+//!          [--interproc] [--dump-callgraph] [--sarif <path>]
+//!          [--baseline <path>] [--write-baseline <path>] [--changed <rev>]
 //! ```
 //!
 //! With no paths, lints the workspace roots (`crates/`, `src/`, `tests/`,
-//! `examples/`), skipping `vendor/` (external stand-ins) and `target/`.
-//! Exits non-zero iff any unallowed deny-severity finding remains.
+//! `examples/`), skipping `vendor/` (external stand-ins), `target/`, and
+//! lint's own `fixtures/` mini-workspace (deliberately seeded violations).
+//!
+//! `--interproc` runs the interprocedural passes (lock-order, nondet-taint,
+//! panic-reachability) instead of the line rules. `--changed <rev>` restricts
+//! *reporting* (not analysis) to files changed since a git revision.
+//! `--baseline <path>` gates only on findings not in the committed baseline;
+//! `--write-baseline <path>` regenerates it. Exit is non-zero iff unallowed
+//! deny findings remain (or, with a baseline, iff the run has new or stale
+//! entries against it).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use woc_lint::{lint_source, tally, Finding, Severity, Tally, RULES};
+use woc_lint::baseline::Baseline;
+use woc_lint::{analyze, lint_source, tally, Finding, Severity, Tally, INTERPROC_RULES, RULES};
 
 fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
     let Ok(entries) = std::fs::read_dir(root) else {
@@ -22,7 +33,7 @@ fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
     for path in entries {
         let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
         if path.is_dir() {
-            if name == "vendor" || name == "target" || name == ".git" {
+            if name == "vendor" || name == "target" || name == ".git" || name == "fixtures" {
                 continue;
             }
             collect_rs_files(&path, out);
@@ -33,32 +44,55 @@ fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) {
 }
 
 fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
+    woc_lint::sarif::json_escape(s)
+}
+
+/// Repo-relative paths changed since `rev`, per `git diff --name-only`.
+/// `None` when git cannot answer (not a repo, bad rev) — reported, and the
+/// filter is then treated as "everything changed" by the caller.
+fn changed_files(rev: &str) -> Option<Vec<String>> {
+    let out = std::process::Command::new("git")
+        .args(["diff", "--name-only", rev])
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
     }
-    out
+    let text = String::from_utf8(out.stdout).ok()?;
+    Some(
+        text.lines()
+            .map(|l| l.trim().replace('\\', "/"))
+            .filter(|l| !l.is_empty())
+            .collect(),
+    )
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let flag = |name: &str| args.iter().any(|a| a == name);
+    let opt = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+    };
+    const VALUE_FLAGS: &[&str] = &["--sarif", "--baseline", "--write-baseline", "--changed"];
     let (self_check, json, quiet_warn, show_allowed) = (
         flag("--self-check"),
         flag("--json"),
         flag("--quiet-warn"),
         flag("--show-allowed"),
     );
+    let interproc = flag("--interproc");
+    let dump_callgraph = flag("--dump-callgraph");
+    let sarif_path = opt("--sarif");
+    let baseline_path = opt("--baseline");
+    let write_baseline_path = opt("--write-baseline");
+    let changed_rev = opt("--changed");
     if flag("--rules") {
         println!("{:<18} {:<5} {:<8} summary", "rule", "sev", "scope");
-        for r in RULES {
+        for r in RULES.iter().chain(INTERPROC_RULES.iter()) {
             println!(
                 "{:<18} {:<5} {:<8} {}",
                 r.name,
@@ -78,8 +112,12 @@ fn main() -> ExitCode {
     } else {
         let named: Vec<PathBuf> = args
             .iter()
-            .filter(|a| !a.starts_with("--"))
-            .map(PathBuf::from)
+            .enumerate()
+            .filter(|(i, a)| {
+                let is_value = *i > 0 && VALUE_FLAGS.contains(&args[i - 1].as_str());
+                !a.starts_with("--") && !is_value
+            })
+            .map(|(_, a)| PathBuf::from(a))
             .collect();
         if named.is_empty() {
             ["crates", "src", "tests", "examples"]
@@ -101,18 +139,78 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut all: Vec<(String, Vec<Finding>)> = Vec::new();
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for file in &files {
         let Ok(text) = std::fs::read_to_string(file) else {
             eprintln!("woc-lint: unreadable file {}", file.display());
             continue;
         };
         let label = file.to_string_lossy().replace('\\', "/");
-        let findings = lint_source(&label, &text);
-        if !findings.is_empty() {
-            all.push((label, findings));
+        inputs.push((label, text));
+    }
+
+    // Run the line rules or the interprocedural engine.
+    let mut all: Vec<(String, Vec<Finding>)> = Vec::new();
+    if interproc || dump_callgraph {
+        let analysis = analyze(&inputs);
+        if dump_callgraph {
+            print!("{}", analysis.table.dump());
+            return ExitCode::SUCCESS;
+        }
+        let s = analysis.stats();
+        eprintln!(
+            "woc-lint: call graph — {} functions, {} call sites ({} resolved, {} ambiguous, \
+             {} callbacks), {} edges",
+            s.functions, s.call_sites, s.resolved, s.ambiguous, s.callbacks, s.edges
+        );
+        for (fi, (label, _)) in inputs.iter().enumerate() {
+            let findings = analysis.findings[fi].clone();
+            if !findings.is_empty() {
+                all.push((label.clone(), findings));
+            }
+        }
+    } else {
+        for (label, text) in &inputs {
+            let findings = lint_source(label, text);
+            if !findings.is_empty() {
+                all.push((label.clone(), findings));
+            }
         }
     }
+
+    // `--changed <rev>`: restrict reporting (not the analysis above) to
+    // findings in files changed since the revision.
+    let mut changed_filter_active = false;
+    if let Some(rev) = &changed_rev {
+        match changed_files(rev) {
+            Some(changed) => {
+                changed_filter_active = true;
+                all.retain(|(path, _)| changed.iter().any(|c| path == c || path.ends_with(c)));
+            }
+            None => eprintln!("woc-lint: --changed {rev}: git diff failed; reporting all findings"),
+        }
+    }
+
+    // Baseline handling (gating counts are unallowed deny findings).
+    if let Some(path) = &write_baseline_path {
+        let rendered = Baseline::render(&all);
+        if let Err(e) = std::fs::write(path, rendered) {
+            eprintln!("woc-lint: cannot write baseline {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("woc-lint: baseline written to {path}");
+    }
+    let mut baseline: Option<Baseline> = None;
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => baseline = Some(Baseline::parse(&text)),
+            Err(e) => {
+                eprintln!("woc-lint: cannot read baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let diff = baseline.as_ref().map(|b| b.diff(&all));
 
     let mut total = Tally::default();
     let mut json_items: Vec<String> = Vec::new();
@@ -135,20 +233,34 @@ fn main() -> ExitCode {
             };
             if json {
                 json_items.push(format!(
-                    "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"excerpt\":\"{}\"}}",
+                    "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"severity\":\"{}\",\"symbol\":\"{}\",\"message\":\"{}\",\"excerpt\":\"{}\"}}",
                     json_escape(file),
                     f.line,
                     f.rule,
                     sev,
+                    json_escape(&f.symbol),
                     json_escape(&f.message),
                     json_escape(&f.excerpt)
                 ));
             } else {
-                println!("{sev}[{}]: {}:{}", f.rule, file, f.line);
+                let sym = if f.symbol.is_empty() {
+                    String::new()
+                } else {
+                    format!(" ({})", f.symbol)
+                };
+                println!("{sev}[{}]: {}:{}{sym}", f.rule, file, f.line);
                 println!("    {}", f.message);
                 println!("    > {}", f.excerpt);
             }
         }
+    }
+
+    if let Some(path) = &sarif_path {
+        if let Err(e) = std::fs::write(path, woc_lint::sarif::render(&all)) {
+            eprintln!("woc-lint: cannot write SARIF {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("woc-lint: SARIF written to {path}");
     }
 
     if json {
@@ -167,6 +279,44 @@ fn main() -> ExitCode {
             total.warn,
             total.allowed
         );
+    }
+
+    // Exit-code policy: with a baseline, new findings gate (stale entries
+    // also gate, except under --changed where unreported files would look
+    // stale); without one, any unallowed deny finding gates.
+    if let Some(d) = diff {
+        for (key, found, allowed) in &d.new {
+            eprintln!(
+                "woc-lint: NEW finding vs baseline: {} {} ({}) — {found} found, {allowed} baselined",
+                key.0, key.1, key.2
+            );
+        }
+        if !changed_filter_active {
+            for (key, found, allowed) in &d.stale {
+                eprintln!(
+                    "woc-lint: STALE baseline entry: {} {} ({}) — {found} found, {allowed} \
+                     baselined; refresh with --write-baseline",
+                    key.0, key.1, key.2
+                );
+            }
+        }
+        eprintln!(
+            "woc-lint: baseline — {} suppressed, {} new, {} stale",
+            d.suppressed,
+            d.new.len(),
+            d.stale.len()
+        );
+        let gate = !d.new.is_empty() || (!changed_filter_active && !d.stale.is_empty());
+        return if gate {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+    if write_baseline_path.is_some() {
+        // A write run's job is the write: the findings it recorded are the
+        // new tolerated set, so they do not gate this invocation.
+        return ExitCode::SUCCESS;
     }
     if total.deny > 0 {
         ExitCode::FAILURE

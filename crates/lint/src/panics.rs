@@ -1,0 +1,166 @@
+//! Panic-reachability analysis for the serving hot path.
+//!
+//! Roots are the serving entry points — `*Server` methods in the hot-path
+//! vocabulary (`search`, `lookup`, the router scatter-gather), `serve_shard`,
+//! and anything marked with a `// woc-lint: hot-path` pragma above the `fn`.
+//! A BFS over the call graph marks every function reachable from a root;
+//! panic sites inside reachable functions (`.unwrap()`, `panic!`, `todo!`,
+//! `unimplemented!`, direct slice indexing) are reported with the shortest
+//! call path from the root, because a panic there turns one bad request into
+//! an aborted worker.
+//!
+//! `.expect("…")` is admitted (the message documents the invariant), and
+//! `catch_unwind` boundaries are *not* modeled — a panic crossing one is
+//! still a served-error path worth knowing about; use a pragma where the
+//! catch is the design.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::interproc::{mk_finding, Ctx};
+
+/// Method names that make a `*Server` method (or `serve_shard`) a hot-path
+/// root.
+const HOT_METHODS: &[&str] = &[
+    "search",
+    "search_parsed",
+    "lookup",
+    "doc_search",
+    "concept_box",
+    "recommend",
+    "execute",
+    "run_batch",
+    "serve",
+];
+
+/// Panic-site tokens and their descriptions.
+const PANICS: &[(&str, &str)] = &[
+    (".unwrap()", "bare unwrap"),
+    ("panic!(", "explicit panic"),
+    ("todo!(", "todo"),
+    ("unimplemented!(", "unimplemented"),
+];
+
+/// Run the pass.
+pub fn run(ctx: &mut Ctx<'_>) {
+    let table = ctx.table;
+    // Roots.
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut reached: Vec<bool> = vec![false; table.fns.len()];
+    for (fi, f) in table.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let is_server_method = f
+            .self_ty
+            .as_deref()
+            .is_some_and(|t| t.ends_with("Server") || t.ends_with("Router"));
+        let is_root = (is_server_method && HOT_METHODS.contains(&f.name.as_str()))
+            || f.name == "serve_shard"
+            || f.hot_path_pragma;
+        if is_root {
+            reached[fi] = true;
+            queue.push_back(fi);
+        }
+    }
+    while let Some(fi) = queue.pop_front() {
+        for callee in table.callees_of(fi) {
+            if !reached[callee] && !table.fns[callee].in_test {
+                reached[callee] = true;
+                parent.insert(callee, fi);
+                queue.push_back(callee);
+            }
+        }
+    }
+
+    for (fi, f) in table.fns.iter().enumerate() {
+        if !reached[fi] {
+            continue;
+        }
+        let path = root_path(table, &parent, fi);
+        let file = &table.files[f.file];
+        let (b0, b1) = f.body;
+        for i in b0..=b1.min(file.src.lines.len().saturating_sub(1)) {
+            let line = &file.src.lines[i];
+            if line.in_test {
+                continue;
+            }
+            let code = line.code.as_str();
+            for (tok, what) in PANICS {
+                if code.contains(tok) {
+                    ctx.push(
+                        f.file,
+                        mk_finding(
+                            "panic-path",
+                            i,
+                            &file.src,
+                            format!(
+                                "{what} reachable from serving hot path ({path}); a panic here \
+                                 aborts the request worker — handle the None/Err or document the \
+                                 invariant with expect(\"invariant: …\")",
+                            ),
+                            f.qual_name(),
+                        ),
+                    );
+                }
+            }
+            if let Some(recv) = slice_index_site(code) {
+                ctx.push(
+                    f.file,
+                    mk_finding(
+                        "panic-path",
+                        i,
+                        &file.src,
+                        format!(
+                            "direct indexing of `{recv}` reachable from serving hot path \
+                             ({path}); out-of-range panics abort the request worker — prefer \
+                             get() unless the bound is locally checked"
+                        ),
+                        f.qual_name(),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Render the shortest root→fn call path for diagnostics.
+fn root_path(
+    table: &crate::symbols::SymbolTable,
+    parent: &BTreeMap<usize, usize>,
+    fi: usize,
+) -> String {
+    let mut chain = vec![fi];
+    let mut cur = fi;
+    while let Some(&p) = parent.get(&cur) {
+        chain.push(p);
+        cur = p;
+        if chain.len() > 12 {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+        .iter()
+        .map(|&i| table.fns[i].qual_name())
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// First direct slice-index receiver on the line, if any (`name[…`, not
+/// attributes/types/`[]`).
+fn slice_index_site(code: &str) -> Option<&str> {
+    for (pos, c) in code.char_indices() {
+        if c != '[' {
+            continue;
+        }
+        let Some(recv) = crate::scan::ident_before(code, pos) else {
+            continue;
+        };
+        if recv.is_empty() || code[pos..].starts_with("[]") {
+            continue;
+        }
+        return Some(recv);
+    }
+    None
+}

@@ -52,6 +52,10 @@ pub struct Finding {
     pub excerpt: String,
     /// True if an allow pragma suppresses this finding.
     pub allowed: bool,
+    /// Enclosing function (`Type::name`) for interprocedural findings;
+    /// empty for line rules. Part of the baseline key, so findings survive
+    /// unrelated line shifts.
+    pub symbol: String,
 }
 
 /// Catalog entry describing a rule.
@@ -131,9 +135,13 @@ pub const RULES: &[RuleInfo] = &[
     },
 ];
 
-/// Look up a rule's catalog entry.
+/// Look up a rule's catalog entry (line rules and interprocedural rules
+/// share one namespace).
 pub fn rule_info(name: &str) -> Option<&'static RuleInfo> {
-    RULES.iter().find(|r| r.name == name)
+    RULES
+        .iter()
+        .find(|r| r.name == name)
+        .or_else(|| crate::interproc::interproc_rule_info(name))
 }
 
 fn line_applies(scope: Scope, kind: FileKind, in_test: bool) -> bool {
@@ -153,6 +161,7 @@ fn finding(rule: &'static str, line_no: usize, raw: &str, message: String) -> Fi
         message,
         excerpt: raw.trim().to_string(),
         allowed: false,
+        symbol: String::new(),
     }
 }
 
@@ -214,7 +223,7 @@ const ORDER_SAFE: &[&str] = &[
 /// plus an immediately following `out.sort…` statement).
 const ORDER_WINDOW: usize = 5;
 
-fn collect_map_idents(src: &Source) -> Vec<String> {
+pub(crate) fn collect_map_idents(src: &Source) -> Vec<String> {
     let mut idents: Vec<String> = Vec::new();
     for line in &src.lines {
         let code = &line.code;

@@ -1,0 +1,79 @@
+//! Minimal SARIF 2.1.0 emission (hand-built JSON, no dependencies).
+//!
+//! Emits one run with the full rule catalog (line rules + interprocedural
+//! rules) and one result per unallowed finding, so CI systems and editors
+//! that ingest SARIF can annotate the sources.
+
+use crate::interproc::INTERPROC_RULES;
+use crate::rules::{Finding, RuleInfo, Severity, RULES};
+
+/// Escape a string for embedding in JSON.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn sarif_level(sev: Severity) -> &'static str {
+    match sev {
+        Severity::Deny => "error",
+        Severity::Warn => "warning",
+    }
+}
+
+fn rule_json(r: &RuleInfo) -> String {
+    format!(
+        "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}},\"defaultConfiguration\":{{\"level\":\"{}\"}}}}",
+        r.name,
+        json_escape(r.summary),
+        sarif_level(r.severity)
+    )
+}
+
+/// Render a SARIF 2.1.0 document over `(path, findings)` pairs. Allowed
+/// (pragma-suppressed) findings are omitted — SARIF consumers should see
+/// what gates, matching the exit-code semantics.
+pub fn render(files: &[(String, Vec<Finding>)]) -> String {
+    let mut rules_json: Vec<String> = Vec::new();
+    for r in RULES.iter().chain(INTERPROC_RULES.iter()) {
+        rules_json.push(rule_json(r));
+    }
+    let mut results: Vec<String> = Vec::new();
+    for (path, findings) in files {
+        for f in findings {
+            if f.allowed {
+                continue;
+            }
+            results.push(format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{},\"snippet\":{{\"text\":\"{}\"}}}}}},\
+                 \"logicalLocations\":[{{\"name\":\"{}\"}}]}}]}}",
+                f.rule,
+                sarif_level(f.severity),
+                json_escape(&f.message),
+                json_escape(path),
+                f.line,
+                json_escape(&f.excerpt),
+                json_escape(&f.symbol)
+            ));
+        }
+    }
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"woc-lint\",\
+         \"informationUri\":\"https://example.invalid/woc-lint\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}\n",
+        rules_json.join(","),
+        results.join(",")
+    )
+}

@@ -1,0 +1,743 @@
+//! Workspace symbol table and call graph.
+//!
+//! Built on the same dependency-free line scanner the rules use (no `syn`),
+//! so the resolution is **best-effort by design** and documented here:
+//!
+//! * Function definitions are recognized from `fn name` headers; the body is
+//!   the brace-depth-delimited region that follows. Methods pick up their
+//!   `Self` type from the enclosing `impl`/`trait` block.
+//! * Direct calls (`name(…)`) resolve to workspace free functions of that
+//!   name; `Type::name(…)` resolves exactly; `module::name(…)` resolves by
+//!   function name among free functions.
+//! * Method calls (`.name(…)`) resolve exactly for `self.name(…)` inside the
+//!   defining impl. Otherwise they resolve by *name* when the workspace has
+//!   at most [`MAX_METHOD_CANDIDATES`] methods of that name and the name is
+//!   not in the [`COMMON_METHODS`] blocklist (container vocabulary shared
+//!   with std would mis-resolve). Multiple candidates yield edges to every
+//!   candidate — an over-approximation, which is the conservative direction
+//!   for reachability-style passes.
+//! * Macros (`name!(…)`) are never call sites; calls through fn-typed
+//!   parameters surface as [`Callee::Callback`]; everything else that fails
+//!   the above is [`Callee::Unresolved`] and counted in [`GraphStats`].
+
+use std::collections::BTreeMap;
+
+use crate::rules::FileKind;
+use crate::scan::{ident_before, Source};
+
+/// Maximum same-named method candidates a `.name(…)` call may fan out to;
+/// beyond this the name is treated as too common and left unresolved.
+pub const MAX_METHOD_CANDIDATES: usize = 3;
+
+/// Method names that collide with std container/trait vocabulary; calls to
+/// these never resolve by bare name (a `self.` receiver still resolves).
+pub const COMMON_METHODS: &[&str] = &[
+    "fmt",
+    "clone",
+    "default",
+    "drop",
+    "eq",
+    "ne",
+    "cmp",
+    "partial_cmp",
+    "hash",
+    "from",
+    "into",
+    "to_string",
+    "as_ref",
+    "as_str",
+    "deref",
+    "next",
+    "len",
+    "is_empty",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "pop",
+    "contains",
+    "iter",
+    "keys",
+    "values",
+    "extend",
+    "clear",
+    "new",
+    "build",
+    "run",
+];
+
+/// Free-function names from the std prelude / common imports that look like
+/// workspace calls but never are.
+pub const PRELUDE_FREE: &[&str] = &[
+    "drop",
+    "catch_unwind",
+    "size_of",
+    "min",
+    "max",
+    "take",
+    "replace",
+    "swap",
+    "from_utf8",
+    "identity",
+    "black_box",
+];
+
+/// One scanned file: path label, preprocessed source, classification.
+#[derive(Debug)]
+pub struct FileEntry {
+    /// Path label (`/`-separated, as passed to the engine).
+    pub path: String,
+    /// Preprocessed source.
+    pub src: Source,
+    /// Lib / bin / test classification.
+    pub kind: FileKind,
+}
+
+/// One function (or method) definition.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Index into [`SymbolTable::files`].
+    pub file: usize,
+    /// `Self` type when defined in an `impl`/`trait` block.
+    pub self_ty: Option<String>,
+    /// Bare function name.
+    pub name: String,
+    /// 0-based header line.
+    pub header_line: usize,
+    /// Inclusive 0-based body line range (header line through closing brace).
+    pub body: (usize, usize),
+    /// Parameter `(name, type-text)` pairs, `self` receivers excluded.
+    pub params: Vec<(String, String)>,
+    /// True when the definition sits in test code (file or `#[cfg(test)]`).
+    pub in_test: bool,
+    /// True when a `// woc-lint: hot-path` pragma marks this fn as a
+    /// serving-hot-path root for the panic-reachability pass.
+    pub hot_path_pragma: bool,
+}
+
+impl FnDef {
+    /// `Type::name` for methods, `name` for free functions.
+    pub fn qual_name(&self) -> String {
+        match &self.self_ty {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// How a call site resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// Candidate definition ids — one for an exact hit, several when a
+    /// method name matched more than one definition (conservative fan-out).
+    Resolved(Vec<usize>),
+    /// A call through an fn-typed parameter of the enclosing function (the
+    /// callee body is unknowable — opaque callback).
+    Callback(String),
+    /// Not resolvable inside the workspace (std, vendored, too-common name).
+    Unresolved(String),
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Calling function (index into [`SymbolTable::fns`]).
+    pub caller: usize,
+    /// 0-based line of the call.
+    pub line: usize,
+    /// Callee name as written.
+    pub name: String,
+    /// Resolution outcome.
+    pub callee: Callee,
+    /// True for `.name(…)` receiver calls.
+    pub is_method: bool,
+}
+
+/// Aggregate resolution statistics (the EXPERIMENTS coverage numbers).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GraphStats {
+    /// Files scanned.
+    pub files: usize,
+    /// Function definitions found.
+    pub functions: usize,
+    /// Call sites recorded (macros excluded).
+    pub call_sites: usize,
+    /// Call sites with at least one workspace candidate.
+    pub resolved: usize,
+    /// Resolved sites with more than one candidate.
+    pub ambiguous: usize,
+    /// Calls through fn-typed parameters.
+    pub callbacks: usize,
+    /// Caller→callee edges (candidate fan-out counted).
+    pub edges: usize,
+}
+
+/// The workspace symbol table: files, function definitions, call sites, and
+/// a per-function call index.
+#[derive(Debug)]
+pub struct SymbolTable {
+    /// Scanned files.
+    pub files: Vec<FileEntry>,
+    /// Function definitions, in (file, line) order.
+    pub fns: Vec<FnDef>,
+    /// All call sites.
+    pub calls: Vec<CallSite>,
+    /// Call-site indices grouped by caller.
+    pub calls_of: Vec<Vec<usize>>,
+    /// Resolution statistics.
+    pub stats: GraphStats,
+}
+
+/// Parser context: what kind of block the cursor is inside.
+#[derive(Debug, Clone)]
+enum Ctx {
+    ImplOrTrait(String),
+    Fn(usize),
+    Other,
+}
+
+impl SymbolTable {
+    /// Build the table over `(path, text)` pairs.
+    pub fn build(inputs: &[(String, String)]) -> SymbolTable {
+        let files: Vec<FileEntry> = inputs
+            .iter()
+            .map(|(path, text)| FileEntry {
+                path: path.replace('\\', "/"),
+                src: Source::parse(text),
+                kind: crate::classify(path),
+            })
+            .collect();
+        let mut fns: Vec<FnDef> = Vec::new();
+        for (fi, file) in files.iter().enumerate() {
+            collect_defs(fi, file, &mut fns);
+        }
+        // Name indexes for resolution.
+        let mut free_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods_by_ty: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            match &f.self_ty {
+                None => free_by_name.entry(&f.name).or_default().push(i),
+                Some(t) => {
+                    methods_by_name.entry(&f.name).or_default().push(i);
+                    methods_by_ty
+                        .entry((t.as_str(), f.name.as_str()))
+                        .or_default()
+                        .push(i);
+                }
+            }
+        }
+        let mut calls: Vec<CallSite> = Vec::new();
+        let mut stats = GraphStats {
+            files: files.len(),
+            functions: fns.len(),
+            ..GraphStats::default()
+        };
+        for (ci, f) in fns.iter().enumerate() {
+            let file = &files[f.file];
+            for line_no in f.body.0..=f.body.1.min(file.src.lines.len().saturating_sub(1)) {
+                collect_calls_on_line(
+                    ci,
+                    f,
+                    line_no,
+                    &file.src.lines[line_no].code,
+                    &free_by_name,
+                    &methods_by_name,
+                    &methods_by_ty,
+                    &mut calls,
+                );
+            }
+        }
+        let mut calls_of: Vec<Vec<usize>> = vec![Vec::new(); fns.len()];
+        for (i, c) in calls.iter().enumerate() {
+            calls_of[c.caller].push(i);
+            stats.call_sites += 1;
+            match &c.callee {
+                Callee::Resolved(cands) => {
+                    stats.resolved += 1;
+                    stats.edges += cands.len();
+                    if cands.len() > 1 {
+                        stats.ambiguous += 1;
+                    }
+                }
+                Callee::Callback(_) => stats.callbacks += 1,
+                Callee::Unresolved(_) => {}
+            }
+        }
+        SymbolTable {
+            files,
+            fns,
+            calls,
+            calls_of,
+            stats,
+        }
+    }
+
+    /// Look up a definition by `Type::name` / `name` qualified name.
+    pub fn fn_by_qual_name(&self, qual: &str) -> Option<usize> {
+        self.fns.iter().position(|f| f.qual_name() == qual)
+    }
+
+    /// Resolved candidate callee ids of `fn_id`, ambiguity fanned out.
+    pub fn callees_of(&self, fn_id: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        for &ci in &self.calls_of[fn_id] {
+            if let Callee::Resolved(cands) = &self.calls[ci].callee {
+                out.extend(cands.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Render the call graph for `--dump-callgraph` (deterministic order).
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for f in &self.fns {
+            out.push_str(&format!(
+                "fn {} @ {}:{}\n",
+                f.qual_name(),
+                self.files[f.file].path,
+                f.header_line + 1
+            ));
+        }
+        for c in &self.calls {
+            let from = self.fns[c.caller].qual_name();
+            match &c.callee {
+                Callee::Resolved(cands) => {
+                    for &t in cands {
+                        out.push_str(&format!(
+                            "call {from} -> {} [{}]\n",
+                            self.fns[t].qual_name(),
+                            if cands.len() > 1 {
+                                "ambiguous"
+                            } else {
+                                "exact"
+                            }
+                        ));
+                    }
+                }
+                Callee::Callback(n) => out.push_str(&format!("call {from} -> <callback {n}>\n")),
+                Callee::Unresolved(_) => {}
+            }
+        }
+        let s = &self.stats;
+        out.push_str(&format!(
+            "stats files={} functions={} call_sites={} resolved={} ambiguous={} callbacks={} edges={}\n",
+            s.files, s.functions, s.call_sites, s.resolved, s.ambiguous, s.callbacks, s.edges
+        ));
+        out
+    }
+}
+
+/// Scan one file for `impl`/`trait`/`fn` items and record definitions.
+fn collect_defs(file_idx: usize, file: &FileEntry, fns: &mut Vec<FnDef>) {
+    let lines = &file.src.lines;
+    // (depth inside the block, ctx) — popped when depth drops back.
+    let mut stack: Vec<(u32, Ctx)> = Vec::new();
+    // A header seen but its `{` not yet: (ctx, header text, header line).
+    let mut pending: Option<(Ctx, String, usize)> = None;
+    let mut depth: u32 = 0;
+
+    for (i, line) in lines.iter().enumerate() {
+        let code = line.code.as_str();
+        let trimmed = code.trim_start();
+        // Recognize a new item header when not already waiting for a brace.
+        if pending.is_none() {
+            if let Some(name) = fn_header_name(trimmed) {
+                let hot = (i.saturating_sub(3)..=i)
+                    .any(|j| lines[j].comment.contains("woc-lint: hot-path"));
+                let self_ty = stack.iter().rev().find_map(|(_, c)| match c {
+                    Ctx::ImplOrTrait(t) => Some(t.clone()),
+                    _ => None,
+                });
+                fns.push(FnDef {
+                    file: file_idx,
+                    self_ty,
+                    name,
+                    header_line: i,
+                    body: (i, i),
+                    params: Vec::new(),
+                    in_test: line.in_test || file.kind == FileKind::Test,
+                    hot_path_pragma: hot,
+                });
+                pending = Some((Ctx::Fn(fns.len() - 1), trimmed.to_string(), i));
+            } else if let Some(ty) = impl_or_trait_type(trimmed) {
+                pending = Some((Ctx::ImplOrTrait(ty), trimmed.to_string(), i));
+            }
+        } else if let Some((_, header, _)) = pending.as_mut() {
+            // Multi-line header: accumulate until `{` or `;` (cap applied by
+            // the brace walk below; headers are short in practice).
+            if header.len() < 2048 {
+                header.push(' ');
+                header.push_str(trimmed);
+            }
+        }
+        // Walk braces; attach the pending ctx at its opening brace.
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    match pending.take() {
+                        Some((ctx, header, hline)) => {
+                            if let Ctx::Fn(id) = &ctx {
+                                fns[*id].params = parse_params(&header);
+                                fns[*id].header_line = hline;
+                            }
+                            stack.push((depth, ctx));
+                        }
+                        None => stack.push((depth, Ctx::Other)),
+                    }
+                }
+                '}' => {
+                    if let Some((d, ctx)) = stack.last() {
+                        if *d == depth {
+                            if let Ctx::Fn(id) = ctx {
+                                fns[*id].body.1 = i;
+                            }
+                            stack.pop();
+                        }
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' if pending.is_some() => {
+                    // Bodiless declaration (trait fn signature): drop it.
+                    if let Some((Ctx::Fn(id), _, _)) = pending.take() {
+                        if id + 1 == fns.len() {
+                            fns.pop();
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Keep body end current for functions still open at EOF.
+        for (_, ctx) in &stack {
+            if let Ctx::Fn(id) = ctx {
+                fns[*id].body.1 = i;
+            }
+        }
+    }
+}
+
+/// `fn name` on an item header line (not a call, not `fn` in a type).
+fn fn_header_name(trimmed: &str) -> Option<String> {
+    let mut rest = trimmed;
+    for kw in [
+        "pub(crate) ",
+        "pub(super) ",
+        "pub ",
+        "const ",
+        "async ",
+        "unsafe ",
+        "extern \"C\" ",
+    ] {
+        if let Some(r) = rest.strip_prefix(kw) {
+            rest = r;
+        }
+    }
+    let rest = rest.strip_prefix("fn ")?;
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some(rest[..end].to_string())
+}
+
+/// The `Self` type of an `impl`/`trait` header: `impl Foo`, `impl<T> Foo<T>`,
+/// `impl Trait for Foo`, `pub trait Bar`.
+fn impl_or_trait_type(trimmed: &str) -> Option<String> {
+    let mut rest = trimmed;
+    for kw in ["pub(crate) ", "pub ", "unsafe "] {
+        if let Some(r) = rest.strip_prefix(kw) {
+            rest = r;
+        }
+    }
+    if let Some(r) = rest.strip_prefix("trait ") {
+        let end = r
+            .find(|c: char| !c.is_alphanumeric() && c != '_')
+            .unwrap_or(r.len());
+        return (end > 0).then(|| r[..end].to_string());
+    }
+    let mut r = rest.strip_prefix("impl")?;
+    // Skip generic parameters `<…>` (balanced).
+    if let Some(stripped) = r.strip_prefix('<') {
+        let mut level = 1usize;
+        let mut idx = 0usize;
+        for (k, c) in stripped.char_indices() {
+            match c {
+                '<' => level += 1,
+                '>' => {
+                    level -= 1;
+                    if level == 0 {
+                        idx = k + 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        r = &stripped[idx..];
+    }
+    let r = r.trim_start();
+    // `Trait for Type` → the type after `for `; else the first path.
+    let subject = match r.find(" for ") {
+        Some(p) => &r[p + 5..],
+        None => r,
+    };
+    let subject = subject.trim_start();
+    // Last segment of the path, stopping at generics/brace/where.
+    let end = subject
+        .find(|c: char| !c.is_alphanumeric() && c != '_' && c != ':')
+        .unwrap_or(subject.len());
+    let path = &subject[..end];
+    let seg = path.rsplit("::").next().unwrap_or(path);
+    (!seg.is_empty()).then(|| seg.to_string())
+}
+
+/// Parse `(name, type)` pairs out of an fn header's parameter list.
+fn parse_params(header: &str) -> Vec<(String, String)> {
+    let Some(open) = header.find('(') else {
+        return Vec::new();
+    };
+    let bytes: Vec<char> = header[open + 1..].chars().collect();
+    let mut level = 1i32;
+    let mut angle = 0i32;
+    let mut cur = String::new();
+    let mut parts: Vec<String> = Vec::new();
+    for c in bytes {
+        match c {
+            '(' | '[' => level += 1,
+            ')' | ']' => {
+                level -= 1;
+                if level == 0 {
+                    break;
+                }
+            }
+            '<' => angle += 1,
+            '>' => angle -= 1,
+            ',' if level == 1 && angle <= 0 => {
+                parts.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        parts.push(cur);
+    }
+    let mut out = Vec::new();
+    for p in parts {
+        let p = p.trim();
+        if p.is_empty() || p.ends_with("self") || p == "self" {
+            continue;
+        }
+        let Some(colon) = p.find(':') else { continue };
+        let name = p[..colon].trim().trim_start_matches("mut ").trim();
+        let ty = p[colon + 1..].trim();
+        if name.chars().all(|c| c.is_alphanumeric() || c == '_') && !name.is_empty() {
+            out.push((name.to_string(), ty.to_string()));
+        }
+    }
+    out
+}
+
+/// Rust keywords that precede `(` without being calls.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "for", "while", "match", "return", "fn", "loop", "in", "as", "where", "impl", "move",
+    "mut", "ref", "let", "else", "await",
+];
+
+#[allow(clippy::too_many_arguments)]
+fn collect_calls_on_line(
+    caller: usize,
+    f: &FnDef,
+    line_no: usize,
+    code: &str,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_ty: &BTreeMap<(&str, &str), Vec<usize>>,
+    calls: &mut Vec<CallSite>,
+) {
+    for (pos, c) in code.char_indices() {
+        if c != '(' {
+            continue;
+        }
+        let Some(name) = ident_before(code, pos) else {
+            continue; // macro `!(`, tuple, grouping — not a call
+        };
+        let start = pos - name.len();
+        if CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        // Skip the definition's own header parenthesis.
+        let before = &code[..start];
+        if before.trim_end().ends_with("fn") {
+            continue;
+        }
+        let (is_method, qualifier) = if before.ends_with('.') {
+            (true, None)
+        } else if before.ends_with("::") {
+            let q = ident_before(before, before.len() - 2).map(|s| s.to_string());
+            (false, q)
+        } else {
+            (false, None)
+        };
+        let callee = resolve(
+            f,
+            name,
+            is_method,
+            qualifier.as_deref(),
+            before,
+            free_by_name,
+            methods_by_name,
+            methods_by_ty,
+        );
+        let Some(callee) = callee else { continue };
+        calls.push(CallSite {
+            caller,
+            line: line_no,
+            name: name.to_string(),
+            callee,
+            is_method,
+        });
+    }
+}
+
+/// Resolution policy (see module docs). `None` = not a call worth recording
+/// (uppercase constructors, prelude noise filtered separately).
+#[allow(clippy::too_many_arguments)]
+fn resolve(
+    f: &FnDef,
+    name: &str,
+    is_method: bool,
+    qualifier: Option<&str>,
+    before: &str,
+    free_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_name: &BTreeMap<&str, Vec<usize>>,
+    methods_by_ty: &BTreeMap<(&str, &str), Vec<usize>>,
+) -> Option<Callee> {
+    if is_method {
+        // Exact: `self.name(…)` inside the defining impl.
+        let recv_is_self = before.trim_end_matches('.').ends_with("self");
+        if recv_is_self {
+            if let Some(ty) = &f.self_ty {
+                if let Some(ids) = methods_by_ty.get(&(ty.as_str(), name)) {
+                    return Some(Callee::Resolved(ids.clone()));
+                }
+            }
+        }
+        if COMMON_METHODS.contains(&name) {
+            return Some(Callee::Unresolved(name.to_string()));
+        }
+        return match methods_by_name.get(name) {
+            Some(ids) if ids.len() <= MAX_METHOD_CANDIDATES => Some(Callee::Resolved(ids.clone())),
+            _ => Some(Callee::Unresolved(name.to_string())),
+        };
+    }
+    if let Some(q) = qualifier {
+        let type_like = q.chars().next().is_some_and(|c| c.is_uppercase());
+        if q == "Self" {
+            if let Some(ty) = &f.self_ty {
+                if let Some(ids) = methods_by_ty.get(&(ty.as_str(), name)) {
+                    return Some(Callee::Resolved(ids.clone()));
+                }
+            }
+            return Some(Callee::Unresolved(name.to_string()));
+        }
+        if type_like {
+            return match methods_by_ty.get(&(q, name)) {
+                Some(ids) => Some(Callee::Resolved(ids.clone())),
+                None => Some(Callee::Unresolved(format!("{q}::{name}"))),
+            };
+        }
+        // Module-qualified free call: resolve by function name.
+        return match free_by_name.get(name) {
+            Some(ids) => Some(Callee::Resolved(ids.clone())),
+            None => Some(Callee::Unresolved(format!("{q}::{name}"))),
+        };
+    }
+    // Bare identifier call.
+    if name.chars().next().is_some_and(|c| c.is_uppercase()) {
+        return None; // tuple-struct / enum-variant constructor
+    }
+    if let Some(ids) = free_by_name.get(name) {
+        return Some(Callee::Resolved(ids.clone()));
+    }
+    if PRELUDE_FREE.contains(&name) {
+        return Some(Callee::Unresolved(name.to_string()));
+    }
+    // Call through an fn-typed parameter is an opaque callback; so is a
+    // bare lowercase ident we cannot place (loop variables over callback
+    // collections land here too — conservative).
+    let param_fn_typed = f
+        .params
+        .iter()
+        .any(|(n, ty)| n == name && (ty.contains("Fn") || ty.contains("fn(")));
+    if param_fn_typed {
+        return Some(Callee::Callback(name.to_string()));
+    }
+    Some(Callee::Callback(name.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(src: &str) -> SymbolTable {
+        SymbolTable::build(&[("crates/demo/src/lib.rs".to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn free_fn_and_direct_call() {
+        let t = table("fn a() { b(); }\nfn b() {}\n");
+        assert_eq!(t.fns.len(), 2);
+        let a = t.fn_by_qual_name("a").expect("a defined");
+        let b = t.fn_by_qual_name("b").expect("b defined");
+        assert_eq!(t.callees_of(a), vec![b]);
+    }
+
+    #[test]
+    fn impl_methods_and_self_calls() {
+        let t = table(
+            "pub struct S;\nimpl S {\n    pub fn outer(&self) { self.inner(); }\n    fn inner(&self) {}\n}\n",
+        );
+        let outer = t.fn_by_qual_name("S::outer").expect("method");
+        let inner = t.fn_by_qual_name("S::inner").expect("method");
+        assert_eq!(t.callees_of(outer), vec![inner]);
+    }
+
+    #[test]
+    fn trait_for_impl_type() {
+        assert_eq!(
+            impl_or_trait_type("impl fmt::Debug for PublishHooks {"),
+            Some("PublishHooks".to_string())
+        );
+        assert_eq!(
+            impl_or_trait_type("impl<V> ShardedCache<V> {"),
+            Some("ShardedCache".to_string())
+        );
+    }
+
+    #[test]
+    fn common_method_names_stay_unresolved() {
+        let t = table(
+            "pub struct A;\nimpl A { pub fn get(&self) {} }\nfn user(v: Vec<u32>) { v.get(0); }\n",
+        );
+        let user = t.fn_by_qual_name("user").expect("fn");
+        assert!(t.callees_of(user).is_empty(), "`get` is blocklisted");
+    }
+
+    #[test]
+    fn params_parsed() {
+        let t = table("fn f(a: u32, cb: impl FnOnce(u64), v: Vec<(u8, u8)>) {}\n");
+        let f = &t.fns[t.fn_by_qual_name("f").expect("fn")];
+        let names: Vec<&str> = f.params.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["a", "cb", "v"]);
+    }
+}

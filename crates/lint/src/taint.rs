@@ -1,0 +1,342 @@
+//! Interprocedural nondeterminism taint analysis.
+//!
+//! Taint is seeded at known nondeterminism sources — iteration over hash
+//! containers declared in the file, `RandomState`, unseeded RNG, wall-clock
+//! time — and propagated through let-bound locals line by line. Function
+//! summaries lift the analysis across calls: a function whose return value
+//! derives from a source taints its callers' bindings, a function whose
+//! parameter can reach a digest/canonical sink turns tainted arguments at the
+//! call site into findings. Summaries are iterated to a fixpoint over the
+//! call graph, so laundering a nondeterministic order through a helper's
+//! return value no longer hides it.
+//!
+//! An explicit `sort` (or collection into a `BTree*` container) on the value
+//! cleanses taint — sorted data has a canonical order regardless of how it
+//! was produced.
+//!
+//! Documented gaps of the no-type-information scanner: struct-field taint
+//! (`self.x = tainted`) is not tracked across statements, and arguments are
+//! matched to parameters positionally only when the tainted variable appears
+//! textually inside the call's parentheses.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::interproc::{mk_finding, Ctx};
+use crate::symbols::{Callee, FnDef};
+
+/// Textual markers that seed taint on a line regardless of bindings.
+const SOURCES: &[(&str, &str)] = &[
+    ("RandomState", "hasher randomization"),
+    ("thread_rng", "unseeded RNG"),
+    ("from_entropy", "entropy-seeded RNG"),
+    ("rand::random", "unseeded RNG"),
+    ("SystemTime::now", "wall-clock time"),
+    ("Instant::now", "wall-clock time"),
+    ("available_parallelism", "thread-count-dependent value"),
+];
+
+/// Call tokens that are digest/canonical sinks: bytes flowing in here must
+/// have a deterministic order.
+const SINKS: &[&str] = &["canonical_bytes(", "fingerprint(", "digest("];
+
+/// Iteration methods that surface hash-container order (kept in sync with
+/// the `map-iter-order` line rule).
+const ITER_METHODS: &[&str] = &[
+    ".keys()",
+    ".values()",
+    ".iter()",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".drain(",
+];
+
+/// Markers that cleanse taint on the line's binding.
+const CLEANSE: &[&str] = &["sort", "BTreeMap", "BTreeSet"];
+
+/// Per-function summary, iterated to a fixpoint.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct Summary {
+    /// The return value derives from a source with no parameter involved.
+    returns_taint: bool,
+    /// Parameter indices whose taint reaches a sink inside the function.
+    param_to_sink: BTreeSet<usize>,
+    /// Parameter indices whose taint reaches the return value.
+    param_to_return: BTreeSet<usize>,
+}
+
+/// One sink hit found during a flow: (0-based line, description).
+type SinkHit = (usize, String);
+
+/// Result of one per-function flow.
+#[derive(Debug, Default)]
+struct Flow {
+    tainted_return: bool,
+    sinks: Vec<SinkHit>,
+}
+
+/// Run the pass.
+pub fn run(ctx: &mut Ctx<'_>) {
+    let table = ctx.table;
+    // Hash-container idents per file (declaration sites).
+    let map_idents: Vec<Vec<String>> = table
+        .files
+        .iter()
+        .map(|f| crate::rules::collect_map_idents(&f.src))
+        .collect();
+
+    let mut summaries: Vec<Summary> = vec![Summary::default(); table.fns.len()];
+    loop {
+        let mut changed = false;
+        for (fi, f) in table.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let mut next = Summary::default();
+            let base = flow(
+                table,
+                fi,
+                f,
+                &map_idents[f.file],
+                &BTreeSet::new(),
+                &summaries,
+            );
+            next.returns_taint = base.tainted_return;
+            for (pi, (pname, _)) in f.params.iter().enumerate() {
+                let seeded: BTreeSet<String> = [pname.clone()].into_iter().collect();
+                let r = flow(table, fi, f, &map_idents[f.file], &seeded, &summaries);
+                if r.sinks.len() > base.sinks.len() {
+                    next.param_to_sink.insert(pi);
+                }
+                if r.tainted_return {
+                    next.param_to_return.insert(pi);
+                }
+            }
+            if next != summaries[fi] {
+                summaries[fi] = next;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reporting pass: base flow per function, sinks become findings.
+    for (fi, f) in table.fns.iter().enumerate() {
+        if f.in_test {
+            continue;
+        }
+        let base = flow(
+            table,
+            fi,
+            f,
+            &map_idents[f.file],
+            &BTreeSet::new(),
+            &summaries,
+        );
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        for (line, desc) in base.sinks {
+            if !seen.insert(line) {
+                continue;
+            }
+            ctx.push(
+                f.file,
+                mk_finding(
+                    "nondet-taint",
+                    line,
+                    &ctx.table.files[f.file].src,
+                    format!(
+                        "{desc} in `{}`; bytes entering a digest/canonical sink must have a \
+                         deterministic order — sort first or use an ordered container",
+                        f.qual_name()
+                    ),
+                    f.qual_name(),
+                ),
+            );
+        }
+    }
+}
+
+/// Line-by-line taint flow over one function body. `seeded` pre-taints
+/// parameter names (for summary computation).
+fn flow(
+    table: &crate::symbols::SymbolTable,
+    fi: usize,
+    f: &FnDef,
+    map_idents: &[String],
+    seeded: &BTreeSet<String>,
+    summaries: &[Summary],
+) -> Flow {
+    let file = &table.files[f.file];
+    let lines = &file.src.lines;
+    let (b0, b1) = f.body;
+    let mut tainted: BTreeSet<String> = seeded.clone();
+    let mut out = Flow::default();
+    let mut calls_by_line: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for &ci in &table.calls_of[fi] {
+        calls_by_line
+            .entry(table.calls[ci].line)
+            .or_default()
+            .push(ci);
+    }
+
+    let end = b1.min(lines.len().saturating_sub(1));
+    for (i, line) in lines.iter().enumerate().take(end + 1).skip(b0) {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        let cleansed = CLEANSE.iter().any(|c| code.contains(c));
+
+        // Taint state feeding this line's right-hand side.
+        let mut why: Option<String> = None;
+        for (tok, what) in SOURCES {
+            if code.contains(tok) {
+                why = Some(format!("{what} (`{tok}`)"));
+            }
+        }
+        // Hash-container iteration over a declared map/set ident.
+        if why.is_none() {
+            for m in ITER_METHODS {
+                let mut start = 0;
+                while let Some(rel) = code[start..].find(m) {
+                    let pos = start + rel;
+                    start = pos + m.len();
+                    if let Some(recv) = crate::scan::ident_before(code, pos) {
+                        if map_idents.iter().any(|x| x == recv) || tainted.contains(recv) {
+                            why = Some(format!("hash-container iteration order (`{recv}{m}`)"));
+                        }
+                    }
+                }
+            }
+        }
+        let tainted_here: Vec<&String> = tainted.iter().filter(|v| has_word(code, v)).collect();
+        if why.is_none() && !tainted_here.is_empty() {
+            why = Some(format!("value derived from tainted `{}`", tainted_here[0]));
+        }
+        // Calls whose return value is tainted (source-derived, or tainted
+        // argument flowing to the return).
+        if let Some(cis) = calls_by_line.get(&i) {
+            for &ci in cis {
+                let call = &table.calls[ci];
+                let Callee::Resolved(cands) = &call.callee else {
+                    continue;
+                };
+                let args = call_args(code, &call.name);
+                for &t in cands {
+                    let s = &summaries[t];
+                    let arg_taint = (!s.param_to_return.is_empty() || !s.param_to_sink.is_empty())
+                        && tainted.iter().any(|v| has_word(&args, v));
+                    if s.returns_taint && why.is_none() {
+                        why = Some(format!(
+                            "return value of `{}` derives from a nondeterminism source",
+                            table.fns[t].qual_name()
+                        ));
+                    }
+                    if !s.param_to_return.is_empty() && arg_taint && why.is_none() {
+                        why = Some(format!(
+                            "tainted argument flows through `{}`'s return value",
+                            table.fns[t].qual_name()
+                        ));
+                    }
+                    if !s.param_to_sink.is_empty() && arg_taint {
+                        out.sinks.push((
+                            i,
+                            format!(
+                                "tainted argument reaches a digest/canonical sink inside `{}`",
+                                table.fns[t].qual_name()
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        // Direct sink on this line with taint present.
+        if let Some(w) = &why {
+            if !cleansed && SINKS.iter().any(|s| code.contains(s)) {
+                out.sinks
+                    .push((i, format!("{w} flows into a digest/canonical sink")));
+            }
+        }
+
+        // Binding update.
+        let trimmed = code.trim_start();
+        if let Some(rest) = trimmed.strip_prefix("let ") {
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+            let end = rest
+                .find(|c: char| !c.is_alphanumeric() && c != '_')
+                .unwrap_or(rest.len());
+            if end > 0 {
+                let name = &rest[..end];
+                if why.is_some() && !cleansed {
+                    tainted.insert(name.to_string());
+                } else {
+                    tainted.remove(name);
+                }
+            }
+        } else if cleansed {
+            // `x.sort_unstable();` — receiver is cleansed in place.
+            for v in tainted.clone() {
+                if code.contains(&format!("{v}.sort")) {
+                    tainted.remove(&v);
+                }
+            }
+        }
+        // `for x in tainted_or_source { … }` taints the loop variable.
+        if (trimmed.starts_with("for ") || trimmed.starts_with("while let "))
+            && why.is_some()
+            && !cleansed
+        {
+            if let Some(rest) = trimmed.strip_prefix("for ") {
+                if let Some(in_pos) = rest.find(" in ") {
+                    for tok in rest[..in_pos]
+                        .split(|c: char| !c.is_alphanumeric() && c != '_')
+                        .filter(|t| !t.is_empty() && *t != "mut")
+                    {
+                        tainted.insert(tok.to_string());
+                    }
+                }
+            }
+        }
+        // Return taint: explicit `return expr;` or the body's tail line.
+        if why.is_some() && !cleansed {
+            let is_return = !crate::scan::find_words(code, "return").is_empty();
+            let is_tail = i >= b1.saturating_sub(1) && !trimmed.starts_with("let ");
+            if is_return || is_tail {
+                out.tainted_return = true;
+            }
+        }
+    }
+    out
+}
+
+/// True if `var` appears as a whole word in `code`.
+fn has_word(code: &str, var: &str) -> bool {
+    !crate::scan::find_words(code, var).is_empty()
+}
+
+/// Best-effort text of the arguments of the call to `name` on this line
+/// (from `name(` to the matching close paren, or end of line).
+fn call_args(code: &str, name: &str) -> String {
+    let pat = format!("{name}(");
+    let Some(pos) = code.find(&pat) else {
+        return String::new();
+    };
+    let start = pos + pat.len();
+    let mut level = 1i32;
+    for (k, c) in code[start..].char_indices() {
+        match c {
+            '(' => level += 1,
+            ')' => {
+                level -= 1;
+                if level == 0 {
+                    return code[start..start + k].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    code[start..].to_string()
+}

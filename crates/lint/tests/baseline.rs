@@ -1,0 +1,101 @@
+//! Baseline diffing semantics: a new finding fails, a baselined finding
+//! passes, and a fixed finding prompts a refresh (stale entry).
+
+use woc_lint::analyze;
+use woc_lint::baseline::Baseline;
+use woc_lint::Finding;
+
+fn fixture_run(name: &str) -> Vec<(String, Vec<Finding>)> {
+    let path = format!(
+        "{}/tests/fixtures/{name}/src/lib.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    let label = format!("crates/{name}/src/lib.rs");
+    let analysis = analyze(&[(label.clone(), text)]);
+    vec![(label, analysis.findings.into_iter().flatten().collect())]
+}
+
+#[test]
+fn roundtrip_is_clean() {
+    let run = fixture_run("taint");
+    let baseline = Baseline::parse(&Baseline::render(&run));
+    assert!(!baseline.is_empty(), "seeded fixture produces entries");
+    let diff = baseline.diff(&run);
+    assert!(
+        diff.is_clean(),
+        "run against its own baseline is clean: {diff:?}"
+    );
+    assert!(
+        diff.suppressed > 0,
+        "the findings were suppressed, not lost"
+    );
+}
+
+#[test]
+fn new_finding_fails_against_empty_baseline() {
+    let run = fixture_run("taint");
+    let diff = Baseline::default().diff(&run);
+    assert!(!diff.is_clean());
+    assert!(
+        !diff.new.is_empty(),
+        "unbaselined findings are new: {diff:?}"
+    );
+    assert!(diff.stale.is_empty());
+}
+
+#[test]
+fn new_finding_fails_against_smaller_baseline() {
+    // Baseline knows only the taint fixture; a combined run adds lock_io
+    // findings, which must surface as new.
+    let taint = fixture_run("taint");
+    let baseline = Baseline::parse(&Baseline::render(&taint));
+    let mut combined = taint;
+    combined.extend(fixture_run("lock_io"));
+    let diff = baseline.diff(&combined);
+    assert!(
+        diff.new.iter().any(|(k, _, _)| k.0 == "lock-across-io"),
+        "the added findings are new: {diff:?}"
+    );
+    assert!(diff.stale.is_empty(), "nothing was fixed: {diff:?}");
+}
+
+#[test]
+fn fixed_finding_prompts_refresh() {
+    // Baseline covers the seeded fixture; the clean variant (same file label)
+    // no longer produces the findings — stale entries must gate.
+    let seeded = fixture_run("taint");
+    let baseline = Baseline::parse(&Baseline::render(&seeded));
+    let clean: Vec<(String, Vec<Finding>)> = vec![(seeded[0].0.clone(), Vec::new())];
+    let diff = baseline.diff(&clean);
+    assert!(!diff.is_clean());
+    assert!(diff.new.is_empty());
+    assert!(
+        !diff.stale.is_empty(),
+        "fixed findings leave stale entries: {diff:?}"
+    );
+}
+
+#[test]
+fn comments_and_blank_lines_ignored() {
+    let b = Baseline::parse("# comment\n\nnondet-taint\tcrates/x/src/lib.rs\temit\t1\nbadline\n");
+    assert_eq!(b.len(), 1);
+}
+
+#[test]
+fn warn_findings_never_enter_the_baseline() {
+    // slice-index is warn severity in the line rules; craft a run with only
+    // a warn finding and check the rendered baseline has no entries.
+    let src = "pub fn f(v: &[u32]) -> u32 { v[0] }\n";
+    let findings = woc_lint::lint_source("crates/serve/src/demo.rs", src);
+    assert!(
+        findings.iter().any(|f| f.rule == "slice-index"),
+        "warn finding produced: {findings:?}"
+    );
+    let run = vec![("crates/serve/src/demo.rs".to_string(), findings)];
+    let rendered = Baseline::render(&run);
+    assert!(
+        Baseline::parse(&rendered).is_empty(),
+        "warn findings are not baselined: {rendered}"
+    );
+}

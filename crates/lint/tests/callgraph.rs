@@ -1,0 +1,94 @@
+//! Call-graph builder tests on the fixture workspace: direct calls, method
+//! resolution, ambiguity fan-out, and unresolved-call conservatism.
+
+use woc_lint::symbols::{Callee, SymbolTable};
+
+fn table() -> SymbolTable {
+    let path = format!(
+        "{}/tests/fixtures/callgraph/src/lib.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    SymbolTable::build(&[("crates/callgraph/src/lib.rs".to_string(), text)])
+}
+
+fn id(t: &SymbolTable, qual: &str) -> usize {
+    t.fn_by_qual_name(qual)
+        .unwrap_or_else(|| panic!("{qual} defined in fixture"))
+}
+
+#[test]
+fn direct_free_call_resolves() {
+    let t = table();
+    let callees = t.callees_of(id(&t, "free_helper"));
+    assert_eq!(callees, vec![id(&t, "shared_name_target")]);
+}
+
+#[test]
+fn self_and_type_qualified_methods_resolve_exactly() {
+    let t = table();
+    let callees = t.callees_of(id(&t, "Alpha::entry"));
+    assert!(callees.contains(&id(&t, "Alpha::step")), "self.step()");
+    assert!(callees.contains(&id(&t, "free_helper")), "bare free call");
+    assert!(callees.contains(&id(&t, "Beta::kick")), "Beta::kick(…)");
+    assert!(
+        !callees.contains(&id(&t, "Beta::settle")),
+        "no spurious edges: {callees:?}"
+    );
+}
+
+#[test]
+fn ambiguous_method_fans_out_to_all_candidates() {
+    let t = table();
+    let callees = t.callees_of(id(&t, "ambiguous_caller"));
+    assert!(
+        callees.contains(&id(&t, "Alpha::settle")) && callees.contains(&id(&t, "Beta::settle")),
+        "`.settle()` fans out to both impls (conservative): {callees:?}"
+    );
+    let ambiguous = t
+        .calls
+        .iter()
+        .filter(|c| c.name == "settle")
+        .all(|c| matches!(&c.callee, Callee::Resolved(v) if v.len() == 2));
+    assert!(ambiguous, "both settle sites carry both candidates");
+}
+
+#[test]
+fn common_method_names_stay_unresolved() {
+    let t = table();
+    assert!(
+        t.callees_of(id(&t, "uses_common")).is_empty(),
+        "`.len()` is blocklisted container vocabulary"
+    );
+    assert!(
+        t.calls
+            .iter()
+            .any(|c| c.name == "len" && matches!(c.callee, Callee::Unresolved(_))),
+        "the unresolved site is still recorded for stats"
+    );
+}
+
+#[test]
+fn stats_count_resolution_outcomes() {
+    let t = table();
+    let s = t.stats;
+    assert_eq!(s.files, 1);
+    assert!(s.functions >= 8, "fixture defines its functions: {s:?}");
+    assert!(s.resolved >= 6, "most sites resolve: {s:?}");
+    assert!(
+        s.ambiguous >= 2,
+        "the two settle sites are ambiguous: {s:?}"
+    );
+    assert!(s.edges > s.resolved, "ambiguity fans out edges: {s:?}");
+}
+
+#[test]
+fn dump_is_deterministic_and_lists_edges() {
+    let t = table();
+    let d1 = t.dump();
+    let d2 = table().dump();
+    assert_eq!(d1, d2, "dump output is stable");
+    assert!(d1.contains("call Alpha::entry -> Alpha::step [exact]"));
+    assert!(d1.contains("ambiguous"));
+    assert!(d1.contains("stats files=1"));
+}

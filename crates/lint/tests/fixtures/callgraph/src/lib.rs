@@ -1,0 +1,45 @@
+//! Call-graph builder fixture: free-function calls, exact `self.`/`Type::`
+//! method resolution, by-name ambiguity fan-out, and the common-method
+//! blocklist keeping container vocabulary unresolved.
+
+pub struct Alpha;
+pub struct Beta;
+
+impl Alpha {
+    pub fn entry(&self) {
+        self.step();
+        free_helper();
+        Beta::kick(&Beta);
+    }
+
+    fn step(&self) {
+        shared_name_target();
+    }
+
+    pub fn settle(&self) {}
+}
+
+impl Beta {
+    pub fn kick(&self) {
+        self.settle_like();
+    }
+
+    fn settle_like(&self) {}
+
+    pub fn settle(&self) {}
+}
+
+pub fn free_helper() {
+    shared_name_target();
+}
+
+fn shared_name_target() {}
+
+pub fn uses_common(v: &[u32]) -> usize {
+    v.len()
+}
+
+pub fn ambiguous_caller(a: &Alpha, b: &Beta) {
+    a.settle();
+    b.settle();
+}

@@ -1,0 +1,28 @@
+//! Seeded lock-order cycle: `ab` takes `a` then reaches `b` through a call,
+//! while `ba` takes `b` then `a` directly — a classic AB/BA deadlock.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let g = self.a.lock();
+        let x = self.take_b();
+        x + *g
+    }
+
+    fn take_b(&self) -> u64 {
+        let g = self.b.lock();
+        *g
+    }
+
+    pub fn ba(&self) -> u64 {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,28 @@
+//! Clean variant: both paths acquire in the same `a` then `b` order, so the
+//! lock-order graph has edges a→b only — no cycle, no finding.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u64>,
+    b: Mutex<u64>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u64 {
+        let g = self.a.lock();
+        let x = self.take_b();
+        x + *g
+    }
+
+    fn take_b(&self) -> u64 {
+        let g = self.b.lock();
+        *g
+    }
+
+    pub fn also_ab(&self) -> u64 {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        *ga + *gb
+    }
+}

@@ -1,0 +1,24 @@
+//! Seeded lock-across-io: `flush` holds the data lock across a filesystem
+//! write, and `with_callback` holds it across an opaque callback.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    data: Mutex<Vec<u8>>,
+}
+
+impl Store {
+    pub fn flush(&self) {
+        let g = self.data.lock();
+        write_disk(&g);
+    }
+
+    pub fn with_callback(&self, f: impl Fn(&[u8])) {
+        let g = self.data.lock();
+        f(&g);
+    }
+}
+
+fn write_disk(b: &[u8]) {
+    std::fs::write("out.bin", b).ok();
+}

@@ -1,0 +1,28 @@
+//! Clean variant: the guard is explicitly dropped before the I/O call and
+//! before the callback runs — nothing is held across either.
+
+use std::sync::Mutex;
+
+pub struct Store {
+    data: Mutex<Vec<u8>>,
+}
+
+impl Store {
+    pub fn flush(&self) {
+        let g = self.data.lock();
+        let copy = g.clone();
+        drop(g);
+        write_disk(&copy);
+    }
+
+    pub fn with_callback(&self, f: impl Fn(&[u8])) {
+        let g = self.data.lock();
+        let copy = g.clone();
+        drop(g);
+        f(&copy);
+    }
+}
+
+fn write_disk(b: &[u8]) {
+    std::fs::write("out.bin", b).ok();
+}

@@ -1,0 +1,17 @@
+//! Seeded hot-path panic: the pragma-marked root reaches `helper`'s bare
+//! unwrap and slice index through the call graph. `cold` panics too but is
+//! unreachable from any root, so only `helper`'s sites may be reported.
+
+// woc-lint: hot-path
+pub fn handle(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    let first = v.first().unwrap();
+    first + v[1]
+}
+
+pub fn cold() {
+    panic!("never served");
+}

@@ -1,0 +1,18 @@
+//! Clean variant: the hot path handles the None and documents its one
+//! invariant with expect; the panicking function is unreachable from the
+//! root, so the pass stays silent.
+
+// woc-lint: hot-path
+pub fn handle(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    let first = v.first().copied().unwrap_or(0);
+    let second = v.get(1).copied().expect("invariant: callers pass len >= 2");
+    first + second
+}
+
+pub fn cold() {
+    panic!("never served");
+}

@@ -1,0 +1,24 @@
+//! Seeded nondeterminism taint: `launder` surfaces hash-iteration order
+//! through its return value, and `emit` feeds that into the canonical sink —
+//! the flow a per-line rule cannot see.
+
+use std::collections::HashMap;
+
+fn launder(m: &HashMap<String, u32>) -> Vec<String> {
+    let ks: Vec<String> = m.keys().cloned().collect();
+    ks
+}
+
+pub fn emit(m: &HashMap<String, u32>) -> Vec<u8> {
+    let ks = launder(m);
+    canonical_bytes(&ks)
+}
+
+fn canonical_bytes(parts: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend_from_slice(p.as_bytes());
+        out.push(0);
+    }
+    out
+}

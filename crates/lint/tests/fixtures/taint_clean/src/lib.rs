@@ -1,0 +1,24 @@
+//! Clean variant: the laundered keys are sorted before reaching the sink —
+//! sorted data has a canonical order regardless of how it was produced.
+
+use std::collections::HashMap;
+
+fn launder(m: &HashMap<String, u32>) -> Vec<String> {
+    let ks: Vec<String> = m.keys().cloned().collect();
+    ks
+}
+
+pub fn emit(m: &HashMap<String, u32>) -> Vec<u8> {
+    let mut ks = launder(m);
+    ks.sort();
+    canonical_bytes(&ks)
+}
+
+fn canonical_bytes(parts: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for p in parts {
+        out.extend_from_slice(p.as_bytes());
+        out.push(0);
+    }
+    out
+}

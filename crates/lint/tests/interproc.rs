@@ -1,0 +1,186 @@
+//! Liveness proofs for the interprocedural passes: each pass fires on its
+//! seeded fixture and stays silent on the corresponding clean variant, and
+//! the pragma system suppresses interprocedural findings like line findings.
+
+use woc_lint::{analyze, Finding};
+
+/// Load one fixture mini-crate as engine input. The label is rewritten to a
+/// `crates/<name>/src/lib.rs` shape so classification sees library code (the
+/// on-disk fixture path contains `/tests/`, which would classify as Test and
+/// silence every pass).
+fn fixture(name: &str) -> Vec<(String, String)> {
+    let path = format!(
+        "{}/tests/fixtures/{name}/src/lib.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    vec![(format!("crates/{name}/src/lib.rs"), text)]
+}
+
+fn findings(name: &str) -> Vec<Finding> {
+    let analysis = analyze(&fixture(name));
+    analysis.findings.into_iter().flatten().collect()
+}
+
+fn unallowed<'a>(fs: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    fs.iter().filter(|f| f.rule == rule && !f.allowed).collect()
+}
+
+#[test]
+fn lock_order_cycle_fires_on_seeded_deadlock() {
+    let fs = findings("deadlock");
+    let hits = unallowed(&fs, "lock-order-cycle");
+    assert!(!hits.is_empty(), "AB/BA cycle must be reported: {fs:?}");
+    let msg = &hits[0].message;
+    assert!(
+        msg.contains("Pair.a") && msg.contains("Pair.b"),
+        "cycle names both locks: {msg}"
+    );
+}
+
+#[test]
+fn lock_order_silent_on_consistent_order() {
+    let fs = findings("deadlock_clean");
+    assert!(
+        unallowed(&fs, "lock-order-cycle").is_empty(),
+        "consistent a→b order has no cycle: {fs:?}"
+    );
+}
+
+#[test]
+fn lock_across_io_fires_on_held_guard() {
+    let fs = findings("lock_io");
+    let hits = unallowed(&fs, "lock-across-io");
+    assert!(
+        hits.iter().any(|f| f.message.contains("I/O-touching")),
+        "guard held across fs write must fire: {fs:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("opaque callback")),
+        "guard held across callback must fire: {fs:?}"
+    );
+}
+
+#[test]
+fn lock_across_io_silent_when_guard_dropped() {
+    let fs = findings("lock_io_clean");
+    assert!(
+        unallowed(&fs, "lock-across-io").is_empty(),
+        "dropped guard means nothing held: {fs:?}"
+    );
+}
+
+#[test]
+fn nondet_taint_fires_through_laundering_helper() {
+    let fs = findings("taint");
+    let hits = unallowed(&fs, "nondet-taint");
+    assert!(
+        !hits.is_empty(),
+        "hash order laundered through a return value must fire: {fs:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.symbol == "emit"),
+        "the sink-side function is named: {hits:?}"
+    );
+}
+
+#[test]
+fn nondet_taint_silent_after_sort() {
+    let fs = findings("taint_clean");
+    assert!(
+        unallowed(&fs, "nondet-taint").is_empty(),
+        "sorted keys are canonical: {fs:?}"
+    );
+}
+
+#[test]
+fn panic_path_fires_only_on_reachable_sites() {
+    let fs = findings("panics");
+    let hits = unallowed(&fs, "panic-path");
+    assert!(
+        hits.iter().any(|f| f.message.contains("bare unwrap")),
+        "unwrap reachable from pragma root must fire: {fs:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("direct indexing")),
+        "slice index reachable from pragma root must fire: {fs:?}"
+    );
+    assert!(
+        hits.iter().all(|f| f.symbol != "cold"),
+        "unreachable panic is not a hot-path finding: {hits:?}"
+    );
+    assert!(
+        hits.iter().any(|f| f.message.contains("handle -> helper")),
+        "message carries the call path: {hits:?}"
+    );
+}
+
+#[test]
+fn panic_path_silent_on_clean_variant() {
+    let fs = findings("panics_clean");
+    assert!(
+        unallowed(&fs, "panic-path").is_empty(),
+        "unwrap_or/expect with invariant message are admitted: {fs:?}"
+    );
+}
+
+#[test]
+fn pragma_suppresses_interproc_finding() {
+    let bare = "\
+use std::sync::Mutex;
+pub struct S { d: Mutex<u64> }
+impl S {
+    pub fn f(&self, cb: impl Fn()) {
+        let g = self.d.lock();
+        cb();
+        drop(g);
+    }
+}
+";
+    let pragmad = bare.replace(
+        "        cb();",
+        "        // woc-lint: allow(lock-across-io) — callback is O(1), documented order\n        cb();",
+    );
+    let run = |src: &str| -> Vec<Finding> {
+        analyze(&[("crates/demo/src/lib.rs".to_string(), src.to_string())])
+            .findings
+            .into_iter()
+            .flatten()
+            .collect()
+    };
+    let bare_fs = run(bare);
+    assert!(
+        bare_fs
+            .iter()
+            .any(|f| f.rule == "lock-across-io" && !f.allowed),
+        "callback under guard fires without a pragma: {bare_fs:?}"
+    );
+    let pragmad_fs = run(&pragmad);
+    assert!(
+        pragmad_fs
+            .iter()
+            .filter(|f| f.rule == "lock-across-io")
+            .all(|f| f.allowed),
+        "pragma above the call line suppresses the finding: {pragmad_fs:?}"
+    );
+}
+
+#[test]
+fn fixture_workspace_analyzed_together_keeps_findings_per_file() {
+    // Two fixtures in one run: findings stay attached to their own files.
+    let mut inputs = fixture("taint");
+    inputs.extend(fixture("panics_clean"));
+    let analysis = analyze(&inputs);
+    assert_eq!(analysis.findings.len(), 2);
+    assert!(
+        analysis.findings[0]
+            .iter()
+            .any(|f| f.rule == "nondet-taint"),
+        "taint file keeps its finding"
+    );
+    assert!(
+        analysis.findings[1].is_empty(),
+        "clean file stays clean: {:?}",
+        analysis.findings[1]
+    );
+}

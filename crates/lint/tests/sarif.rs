@@ -1,0 +1,71 @@
+//! Golden-output test for SARIF emission, plus structural checks.
+
+use woc_lint::{analyze, sarif, Finding};
+
+fn lock_io_run() -> Vec<(String, Vec<Finding>)> {
+    let path = format!(
+        "{}/tests/fixtures/lock_io/src/lib.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(&path).expect("fixture readable");
+    let label = "crates/lock_io/src/lib.rs".to_string();
+    let analysis = analyze(&[(label.clone(), text)]);
+    vec![(label, analysis.findings.into_iter().flatten().collect())]
+}
+
+#[test]
+fn sarif_matches_golden() {
+    let rendered = sarif::render(&lock_io_run());
+    let golden_path = format!("{}/tests/golden/lock_io.sarif", env!("CARGO_MANIFEST_DIR"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(format!("{}/tests/golden", env!("CARGO_MANIFEST_DIR")))
+            .expect("golden dir");
+        std::fs::write(&golden_path, &rendered).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(&golden_path)
+        .expect("golden file committed; regenerate with UPDATE_GOLDEN=1 when emission changes");
+    assert_eq!(
+        rendered, golden,
+        "SARIF emission drifted from tests/golden/lock_io.sarif; if intentional, \
+         regenerate with UPDATE_GOLDEN=1 cargo test -p woc-lint --test sarif"
+    );
+}
+
+#[test]
+fn sarif_structure_is_sound() {
+    let rendered = sarif::render(&lock_io_run());
+    assert!(rendered.starts_with("{\"$schema\""));
+    assert!(rendered.contains("\"version\":\"2.1.0\""));
+    assert!(rendered.contains("\"name\":\"woc-lint\""));
+    // Every rule of both catalogs is described.
+    for r in woc_lint::RULES
+        .iter()
+        .chain(woc_lint::INTERPROC_RULES.iter())
+    {
+        assert!(
+            rendered.contains(&format!("\"id\":\"{}\"", r.name)),
+            "rule {} missing from SARIF driver rules",
+            r.name
+        );
+    }
+    assert!(rendered.contains("\"ruleId\":\"lock-across-io\""));
+    assert!(rendered.contains("\"startLine\":"));
+    // Balanced braces — a cheap well-formedness proxy without a JSON parser.
+    let open = rendered.matches('{').count();
+    let close = rendered.matches('}').count();
+    assert_eq!(open, close, "unbalanced JSON braces");
+}
+
+#[test]
+fn allowed_findings_are_omitted() {
+    let mut run = lock_io_run();
+    for f in &mut run[0].1 {
+        f.allowed = true;
+    }
+    let rendered = sarif::render(&run);
+    assert!(
+        rendered.contains("\"results\":[]"),
+        "suppressed findings do not reach SARIF results: {rendered}"
+    );
+}

@@ -452,6 +452,10 @@ impl ConceptServer {
     ) -> (u64, Arc<Snapshot>) {
         let mut guard = self.snapshot.write();
         let epoch = guard.epoch + 1;
+        // woc-lint: allow(lock-across-io) — settle-before-swap by design (the
+        // publish/read race fix): the cache generation must advance while the
+        // snapshot write lock excludes readers. Total lock order is
+        // snapshot -> cache shard; settle closures only touch cache shards.
         settle(epoch);
         let next = match segments {
             Some(segments) => Snapshot::with_segments(epoch, woc, segments),

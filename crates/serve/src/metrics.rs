@@ -87,7 +87,11 @@ impl EndpointMetrics {
         };
         self.total_micros.fetch_add(micros, Ordering::Relaxed);
         let bucket = (64 - micros.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        let cell = self
+            .buckets
+            .get(bucket)
+            .expect("invariant: bucket clamped to BUCKETS - 1");
+        cell.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Record one failed request (the evaluation panicked or was refused).
@@ -211,7 +215,9 @@ impl MetricsRegistry {
 
     /// The metrics of one endpoint.
     pub fn endpoint(&self, e: Endpoint) -> &EndpointMetrics {
-        &self.endpoints[e.index()]
+        self.endpoints
+            .get(e.index())
+            .expect("invariant: Endpoint::index() is < the endpoint count")
     }
 
     /// Zero every counter and bucket (between benchmark phases).
