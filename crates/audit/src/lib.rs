@@ -9,7 +9,7 @@
 //! static-analysis counterpart, over data, of what `woc-lint` does over
 //! source.
 //!
-//! Every check has a stable code (`W001`…`W014`) so CI logs and dashboards
+//! Every check has a stable code (`W001`…`W015`) so CI logs and dashboards
 //! can track specific regressions:
 //!
 //! | code | name               | invariant |
@@ -28,12 +28,19 @@
 //! | W012 | quarantine-lineage | every quarantined page carries a reason in lineage, the report agrees with the lineage count, quarantined pages are not indexed, and no live record's extraction rests solely on quarantined pages |
 //! | W013 | shard-coverage     | under a cluster partition map, every live record and every indexed document is owned by exactly one in-range shard, every shard has at least one replica serving the expected epoch, and all such replicas are byte-identical (stale replicas are reported, not silently served) |
 //! | W014 | segment-metadata   | under a segmented record index, every live record is served live from exactly one segment and the liveness map, per-segment dead sets, and tombstones agree; the segmented view flattens byte-identically to the web's flat index; and at merge points the pinned scoring statistics equal a flat recomputation |
+//! | W015 | stream-watermark   | under streaming ingest, every published micro-epoch's content-defined watermark strictly advances and chains to its predecessor, the watermark digest recomputes from the micro-epoch's changed pages, every changed page carries a real fingerprint transition, and the delta's changed records are drawn exactly from the records whose source-page fingerprints changed since the previous watermark |
 //!
 //! W001–W012 run over any web via [`audit`]; W013 additionally needs the
 //! cluster's [`ShardCoverageView`] and runs via [`check_shard_coverage`] or
 //! [`audit_with_cluster`] — the view is plain data, so the audit stays
 //! independent of the cluster crate that produces it. W014 runs over a
 //! [`SegmentedLrecIndex`] via [`check_segments`] or [`audit_with_segments`].
+//! W015 follows the W013 pattern: the streaming engine (`woc-stream`)
+//! reports its micro-epoch journal as plain-data [`MicroEpochView`]s and
+//! the check runs via [`check_stream_epochs`] or [`audit_with_stream`];
+//! [`stream_digest`] is the single definition of the watermark digest —
+//! the engine calls it to stamp watermarks, the audit calls it to verify
+//! them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -510,6 +517,240 @@ pub fn check_segments(
         segments.merge_count(),
         segments.compaction_count()
     ));
+    c
+}
+
+/// One page's fingerprint transition inside a micro-epoch, as the
+/// streaming engine observed it: `None → Some` is a first crawl,
+/// `Some → Some` a recrawl whose content changed, `Some → None` a removal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageChangeView {
+    /// The page URL.
+    pub url: String,
+    /// Fingerprint before the micro-epoch (`None` if the page was new).
+    pub old_fp: Option<u64>,
+    /// Fingerprint after the micro-epoch (`None` if the page was removed).
+    pub new_fp: Option<u64>,
+}
+
+/// The stream-side facts W015 verifies, reported by the streaming ingest
+/// tier (`woc-stream`) for each published micro-epoch as plain data so
+/// this crate never depends on it — the same layering as W013's
+/// [`ShardCoverageView`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MicroEpochView {
+    /// Position in the journal; the first micro-epoch of a stream is 0.
+    pub ordinal: u64,
+    /// Event count of the previous watermark (0 for the first micro-epoch).
+    pub prev_events: u64,
+    /// Digest of the previous watermark (0 for the first micro-epoch).
+    pub prev_digest: u64,
+    /// Event count of this micro-epoch's watermark: cumulative changed
+    /// pages since the stream started.
+    pub events: u64,
+    /// Digest of this micro-epoch's watermark: [`stream_digest`] folded
+    /// over `changed_pages` starting from `prev_digest`.
+    pub digest: u64,
+    /// The deduplicated fingerprint transitions this micro-epoch applied.
+    pub changed_pages: Vec<PageChangeView>,
+    /// Records the published delta actually changed.
+    pub changed_records: Vec<LrecId>,
+    /// Records whose lineage touches the changed pages — the candidate
+    /// set `changed_records` was filtered from.
+    pub lineage_affected: Vec<LrecId>,
+    /// The serving epoch after this micro-epoch's publish.
+    pub published_epoch: u64,
+    /// Whether the publish advanced the serving epoch (an effectively
+    /// empty delta leaves it unchanged).
+    pub effective: bool,
+}
+
+/// The content-defined watermark digest: an FNV-1a chain seeded from the
+/// previous watermark's digest and folded over the micro-epoch's page
+/// transitions in **sorted URL order** — a pure function of what changed,
+/// never of arrival order, worker count, or wall clock. Both the streaming
+/// engine (to stamp watermarks) and W015 (to verify them) call this; there
+/// is deliberately no second implementation to drift.
+pub fn stream_digest(prev_digest: u64, changed_pages: &[PageChangeView]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn eat(h: &mut u64, bytes: &[u8]) {
+        for &b in bytes {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    }
+    fn eat_fp(h: &mut u64, fp: Option<u64>) {
+        match fp {
+            Some(v) => {
+                eat(h, &[1]);
+                eat(h, &v.to_le_bytes());
+            }
+            None => eat(h, &[0]),
+        }
+    }
+    let mut sorted: Vec<&PageChangeView> = changed_pages.iter().collect();
+    sorted.sort_by(|a, b| a.url.cmp(&b.url));
+    let mut h = OFFSET;
+    eat(&mut h, &prev_digest.to_le_bytes());
+    for pc in sorted {
+        eat(&mut h, pc.url.as_bytes());
+        eat(&mut h, &[0xff]);
+        eat_fp(&mut h, pc.old_fp);
+        eat_fp(&mut h, pc.new_fp);
+    }
+    h
+}
+
+/// Run W001–W012, W014 over the web and its segmented index, plus the
+/// W015 stream-watermark check over the streaming engine's micro-epoch
+/// journal — the audit entry point for streaming ingest.
+pub fn audit_with_stream(
+    woc: &WebOfConcepts,
+    segments: &SegmentedLrecIndex,
+    epochs: &[MicroEpochView],
+    cfg: &AuditConfig,
+) -> Audit {
+    let mut a = audit_with_segments(woc, segments, cfg);
+    a.checks.push(check_stream_epochs(epochs, cfg));
+    a
+}
+
+/// W015: stream watermark — the micro-epoch journal must advance
+/// monotonically and each published delta must be exact:
+///
+/// - ordinals count up by one from 0 and each micro-epoch's previous
+///   watermark is exactly its predecessor's (the first chains from the
+///   zero watermark);
+/// - the event count strictly increases, by exactly the number of changed
+///   pages — a micro-epoch with nothing changed must never publish;
+/// - the digest recomputes via [`stream_digest`] from the previous digest
+///   and the changed pages (so the watermark is content-defined: any
+///   tampering with what a micro-epoch claims to have applied breaks the
+///   chain);
+/// - every changed page is a real transition (`old_fp != new_fp`) — the
+///   fingerprint stage dropped no-op recrawls, so one surviving here means
+///   the dedup plane disagrees with the journal;
+/// - the delta's `changed_records` are drawn from `lineage_affected`, the
+///   records whose source-page fingerprints changed since the previous
+///   watermark — a changed record outside that set means the published
+///   delta touched records its micro-epoch's pages cannot explain.
+///   (Completeness — that no changed record is *missing* — is gated
+///   separately by the quiesced byte-identity equivalence suite.)
+/// - a non-effective micro-epoch changed no records, and the published
+///   epoch never regresses.
+pub fn check_stream_epochs(epochs: &[MicroEpochView], cfg: &AuditConfig) -> CheckResult {
+    let mut c = CheckResult::new("W015", "stream-watermark");
+    let mut prev: Option<&MicroEpochView> = None;
+    for (i, e) in epochs.iter().enumerate() {
+        c.checked += 1;
+        let (want_ordinal, want_events, want_digest, prev_published) = match prev {
+            Some(p) => (p.ordinal + 1, p.events, p.digest, p.published_epoch),
+            None => (0, 0, 0, 0),
+        };
+        if e.ordinal != want_ordinal {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "micro-epoch #{i}: ordinal {} but the journal position demands {want_ordinal}",
+                    e.ordinal
+                ),
+            );
+        }
+        if (e.prev_events, e.prev_digest) != (want_events, want_digest) {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "micro-epoch #{i}: previous watermark ({}, {:016x}) does not chain to its predecessor's ({want_events}, {want_digest:016x})",
+                    e.prev_events, e.prev_digest
+                ),
+            );
+        }
+        if e.changed_pages.is_empty() {
+            c.violation(
+                cfg.max_details,
+                format!("micro-epoch #{i}: published with no changed pages"),
+            );
+        }
+        if e.events != e.prev_events + e.changed_pages.len() as u64 {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "micro-epoch #{i}: watermark events {} ≠ prev {} + {} changed pages — the watermark must strictly advance by exactly what changed",
+                    e.events,
+                    e.prev_events,
+                    e.changed_pages.len()
+                ),
+            );
+        }
+        let recomputed = stream_digest(e.prev_digest, &e.changed_pages);
+        if e.digest != recomputed {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "micro-epoch #{i}: watermark digest {:016x} does not recompute from its changed pages ({recomputed:016x})",
+                    e.digest
+                ),
+            );
+        }
+        let mut urls: std::collections::BTreeSet<&str> = Default::default();
+        for pc in &e.changed_pages {
+            if pc.old_fp == pc.new_fp {
+                c.violation(
+                    cfg.max_details,
+                    format!(
+                        "micro-epoch #{i}: page {} is not a real transition ({:?} → {:?})",
+                        pc.url, pc.old_fp, pc.new_fp
+                    ),
+                );
+            }
+            if !urls.insert(&pc.url) {
+                c.violation(
+                    cfg.max_details,
+                    format!("micro-epoch #{i}: page {} appears twice — transitions must be coalesced per URL", pc.url),
+                );
+            }
+        }
+        let affected: std::collections::BTreeSet<LrecId> =
+            e.lineage_affected.iter().copied().collect();
+        for &id in &e.changed_records {
+            if !affected.contains(&id) {
+                c.violation(
+                    cfg.max_details,
+                    format!(
+                        "micro-epoch #{i}: changed record {id} is not lineage-affected by any changed page — the delta is not exact"
+                    ),
+                );
+            }
+        }
+        if !e.effective && !e.changed_records.is_empty() {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "micro-epoch #{i}: marked non-effective but changed {} record(s)",
+                    e.changed_records.len()
+                ),
+            );
+        }
+        if e.published_epoch < prev_published {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "micro-epoch #{i}: published epoch regressed {prev_published} → {}",
+                    e.published_epoch
+                ),
+            );
+        }
+        prev = Some(e);
+    }
+    if let Some(last) = prev {
+        c.info.push(format!(
+            "{} micro-epoch(s), watermark at ({}, {:016x})",
+            epochs.len(),
+            last.events,
+            last.digest
+        ));
+    }
     c
 }
 

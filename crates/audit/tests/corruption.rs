@@ -608,3 +608,132 @@ fn w013_all_replicas_stale_fires_but_one_stale_is_info() {
     view.replicas[0][0] = (0, 0x1111);
     assert_fired(&run_cluster(&woc, &view), "W013", "all stale or dead");
 }
+
+// ---- W015: stream watermark -------------------------------------------
+
+use woc_audit::{check_stream_epochs, stream_digest, MicroEpochView, PageChangeView};
+
+/// A valid two-micro-epoch journal, watermarks stamped with the same
+/// [`stream_digest`] the check recomputes with.
+fn stream_journal() -> Vec<MicroEpochView> {
+    let first_pages = vec![
+        PageChangeView {
+            url: "http://a.example.com/1".into(),
+            old_fp: None,
+            new_fp: Some(0xaaaa),
+        },
+        PageChangeView {
+            url: "http://b.example.com/1".into(),
+            old_fp: Some(0x1111),
+            new_fp: Some(0x2222),
+        },
+    ];
+    let second_pages = vec![PageChangeView {
+        url: "http://b.example.com/1".into(),
+        old_fp: Some(0x2222),
+        new_fp: None,
+    }];
+    let d1 = stream_digest(0, &first_pages);
+    let d2 = stream_digest(d1, &second_pages);
+    vec![
+        MicroEpochView {
+            ordinal: 0,
+            prev_events: 0,
+            prev_digest: 0,
+            events: 2,
+            digest: d1,
+            changed_pages: first_pages,
+            changed_records: vec![LrecId(3)],
+            lineage_affected: vec![LrecId(3), LrecId(4)],
+            published_epoch: 2,
+            effective: true,
+        },
+        MicroEpochView {
+            ordinal: 1,
+            prev_events: 2,
+            prev_digest: d1,
+            events: 3,
+            digest: d2,
+            changed_pages: second_pages,
+            changed_records: vec![],
+            lineage_affected: vec![LrecId(3)],
+            published_epoch: 2,
+            effective: false,
+        },
+    ]
+}
+
+#[test]
+fn w015_watermark_regression_fires() {
+    let cfg = AuditConfig::default();
+    let clean = check_stream_epochs(&stream_journal(), &cfg);
+    assert!(
+        clean.passed(),
+        "valid journal must pass: {:?}",
+        clean.details
+    );
+
+    // A replayed (non-advancing) watermark: the second micro-epoch claims
+    // the same event count as its predecessor.
+    let mut epochs = stream_journal();
+    epochs[1].events = epochs[1].prev_events;
+    let c = check_stream_epochs(&epochs, &cfg);
+    assert!(!c.passed());
+    assert!(
+        c.details.iter().any(|d| d.contains("strictly advance")),
+        "{:?}",
+        c.details
+    );
+
+    // A watermark whose digest was not computed from its changed pages —
+    // the content-defined chain must break.
+    let mut epochs = stream_journal();
+    epochs[0].digest ^= 1;
+    let c = check_stream_epochs(&epochs, &cfg);
+    assert!(!c.passed());
+    // The tampered digest fails its own recomputation AND unchains the
+    // successor's prev watermark.
+    assert!(
+        c.details.iter().any(|d| d.contains("does not recompute")),
+        "{:?}",
+        c.details
+    );
+    assert!(
+        c.details.iter().any(|d| d.contains("does not chain")),
+        "{:?}",
+        c.details
+    );
+}
+
+#[test]
+fn w015_changed_record_outside_lineage_fires() {
+    let cfg = AuditConfig::default();
+
+    // A delta claiming to change a record no changed page can explain.
+    let mut epochs = stream_journal();
+    epochs[0].changed_records.push(LrecId(999));
+    let c = check_stream_epochs(&epochs, &cfg);
+    assert!(!c.passed());
+    assert!(
+        c.details
+            .iter()
+            .any(|d| d.contains("999") && d.contains("not lineage-affected")),
+        "{:?}",
+        c.details
+    );
+
+    // A no-op transition surviving dedup is the same class of inexactness:
+    // the journal claims a change the fingerprint plane never saw.
+    let mut epochs = stream_journal();
+    epochs[1].changed_pages[0].new_fp = epochs[1].changed_pages[0].old_fp;
+    epochs[1].digest = stream_digest(epochs[1].prev_digest, &epochs[1].changed_pages);
+    let c = check_stream_epochs(&epochs, &cfg);
+    assert!(!c.passed());
+    assert!(
+        c.details
+            .iter()
+            .any(|d| d.contains("not a real transition")),
+        "{:?}",
+        c.details
+    );
+}

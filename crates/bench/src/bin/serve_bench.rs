@@ -2,7 +2,9 @@
 //! `woc-serve` front end, at 1 vs N worker threads, cache off vs on — plus
 //! a cache-survival phase that churns ~1% of the world through a real
 //! incremental maintenance cycle and measures how much of the cache the
-//! segmented delta publish keeps warm.
+//! segmented delta publish keeps warm, and a read-while-write phase that
+//! keeps serving while a `woc-stream` engine publishes micro-epochs
+//! underneath and splits read percentiles into during- vs between-publish.
 //! Run: `cargo run -p woc-bench --bin serve_bench --release`
 //!
 //! `--quick` serves a tiny fixture with a smaller workload — the CI smoke
@@ -15,12 +17,16 @@
 //! zero).
 
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use woc_bench::{bench_pipeline_config, header, metric_row, pct};
+use woc_bench::{
+    bench_pipeline_config, during_publish, header, metric_row, pct, percentile, recrawl_events,
+};
 use woc_incr::IncrEngine;
 use woc_lrec::Tick;
 use woc_serve::{ConceptServer, Endpoint, Query, ServeConfig};
+use woc_stream::{PageEvent, StreamConfig, StreamEngine};
 use woc_webgen::{churn_restaurants, generate_corpus, CorpusConfig, World, WorldConfig};
 
 /// Deterministic closed-loop workload: mixed endpoints over a skewed query
@@ -191,6 +197,153 @@ fn run_survival_phase(
     }
 }
 
+/// The read-while-write phase: adopt the (already-maintained) incremental
+/// engine into a `woc-stream` dataflow, churn the world twice more, and
+/// stream the recrawls through micro-epoch publishes while this thread
+/// keeps draining the workload against the same server. Reads are split
+/// into during-publish vs between-publish percentiles, and the retention
+/// gate from the survival phase is re-checked under *streaming* publishes.
+fn run_read_while_write_phase(
+    engine: IncrEngine,
+    server: &Arc<ConceptServer>,
+    world: &mut World,
+    corpus_cfg: &CorpusConfig,
+    workload: &[Query],
+    quick: bool,
+) {
+    header("Read-while-write (streaming micro-epoch publishes)");
+    // The world regenerates the exact corpus the engine was last
+    // maintained against (generation is pure), so the stream engine can
+    // adopt the warm incremental state instead of rebuilding.
+    let corpus_now = generate_corpus(world, corpus_cfg);
+    let config = StreamConfig {
+        pipeline: bench_pipeline_config(),
+        ..StreamConfig::default()
+    };
+    let mut stream = StreamEngine::from_parts(engine, corpus_now.clone(), config);
+
+    // Two more churn rounds concatenated into one continuous event stream
+    // (the survival phase consumed Tick(10); continue above it).
+    let mut events: Vec<PageEvent> = Vec::new();
+    let mut prev = corpus_now;
+    let mut seed = 1u64;
+    for round in 0..2u64 {
+        let tick = Tick(20 + round);
+        while churn_restaurants(world, 0.01, tick, seed).is_empty() {
+            seed += 1;
+        }
+        seed += 1;
+        let next = generate_corpus(world, corpus_cfg);
+        events.extend(recrawl_events(&prev, &next));
+        prev = next;
+    }
+    metric_row("event stream", format!("{} events", events.len()));
+
+    // Warm the cache, then serve the workload in a loop while the stream
+    // publishes underneath. At least one full pass runs even if the stream
+    // finishes first, so "between publishes" always has samples.
+    server.set_cache_enabled(true);
+    server.run_batch(workload, 1);
+    let entries_before = server.cache_len();
+    let run_t0 = Instant::now();
+    let streamer = {
+        let server = Arc::clone(server);
+        std::thread::spawn(move || {
+            let report = stream.run(events, &server);
+            (stream, report)
+        })
+    };
+    let mut samples: Vec<(Duration, u64, bool)> = Vec::new();
+    let mut pass = 0usize;
+    while pass == 0 || !streamer.is_finished() {
+        for q in workload {
+            let answer = server.execute(q);
+            samples.push((run_t0.elapsed(), answer.micros, answer.cached));
+        }
+        pass += 1;
+    }
+    let (_stream, report) = streamer.join().expect("stream thread must not panic");
+    assert_eq!(report.publish_failures, 0, "{:?}", report.failure_messages);
+    assert_eq!(report.pending_carryover, 0);
+    metric_row(
+        "micro-epochs published mid-serve",
+        format!(
+            "{} ({} effective)",
+            report.micro_epochs, report.effective_epochs
+        ),
+    );
+    metric_row("workload passes while streaming", pass);
+
+    let windows: Vec<(Duration, Duration)> = report
+        .publish_at
+        .iter()
+        .copied()
+        .zip(report.publish_took.iter().copied())
+        .collect();
+    let mut groups: [(&str, Vec<u64>); 4] = [
+        ("cached reads, between publishes", Vec::new()),
+        ("cached reads, during a publish", Vec::new()),
+        ("uncached reads, between publishes", Vec::new()),
+        ("uncached reads, during a publish", Vec::new()),
+    ];
+    for &(at, micros, cached) in &samples {
+        let idx = usize::from(!cached) * 2 + usize::from(during_publish(at, &windows));
+        groups[idx].1.push(micros);
+    }
+    for (label, micros) in &groups {
+        metric_row(
+            label,
+            format!(
+                "{} answers, p50 {}µs, p99 {}µs",
+                micros.len(),
+                percentile(micros, 50.0),
+                percentile(micros, 99.0)
+            ),
+        );
+    }
+    metric_row(
+        "cache entries after streaming publishes",
+        format!("{}/{entries_before}", server.cache_len()),
+    );
+
+    // The survival-phase retention gate, re-checked under streaming
+    // publishes: distinct search entries must still be warm.
+    let unique_searches: Vec<Query> = workload
+        .iter()
+        .filter_map(|q| match q {
+            Query::Search(s, k) => Some((s.clone(), *k)),
+            _ => None,
+        })
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .map(|(s, k)| Query::Search(s, k))
+        .collect();
+    server.metrics().reset();
+    server.run_batch(&unique_searches, 1);
+    let (retained, consulted) = cache_totals(server);
+    metric_row(
+        "search entries surviving the stream",
+        format!(
+            "{retained}/{consulted} ({})",
+            pct(retained as f64 / consulted as f64)
+        ),
+    );
+    if report.last_epoch > 0 {
+        assert_eq!(
+            server.epoch(),
+            report.last_epoch,
+            "the server must sit at the stream's last published epoch"
+        );
+    }
+    if quick {
+        assert!(
+            retained as f64 >= 0.8 * consulted as f64,
+            "quick fixture must retain >=80% of search entries across \
+             streaming publishes ({retained}/{consulted} survived)"
+        );
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let (mut world, corpus_cfg) = if quick {
@@ -225,7 +378,7 @@ fn main() {
         .collect();
     pool.sort();
     pool.dedup();
-    let server = ConceptServer::new(woc, ServeConfig::default());
+    let server = Arc::new(ConceptServer::new(woc, ServeConfig::default()));
     let ops = if quick { 2_000 } else { 20_000 };
     let workload = build_workload(&pool, ops);
     metric_row("query pool", pool.len());
@@ -254,6 +407,8 @@ fn main() {
         &workload,
         quick,
     );
+
+    run_read_while_write_phase(engine, &server, &mut world, &corpus_cfg, &workload, quick);
 
     header("Summary");
     metric_row(

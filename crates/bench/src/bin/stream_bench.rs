@@ -1,0 +1,272 @@
+//! Streaming-ingest benchmark: sustained churn flows through the
+//! `woc-stream` dataflow while query threads hammer the server the stream
+//! publishes into. Reports ingest throughput, micro-epoch publish cadence,
+//! and read latency percentiles split into answers served *during* a
+//! maintain-and-publish pass vs *between* passes — the read-while-write
+//! cost, measured.
+//! Run: `cargo run -p woc-bench --bin stream_bench --release`
+//!
+//! `--quick` streams a tiny fixture for the CI smoke profile and asserts
+//! the headline invariants: the streamed web is byte-identical to a batch
+//! build of the final crawl, the audit (including W015) is clean, and the
+//! during-publish read p99 stays under a generous bound — serving a
+//! publish must degrade reads, boundedly, not block them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use woc_bench::{
+    bench_pipeline_config, during_publish, header, metric_row, pct, percentile, recrawl_events,
+};
+use woc_incr::canonical_bytes;
+use woc_lrec::Tick;
+use woc_serve::{ConceptServer, ServeConfig};
+use woc_stream::{PageEvent, StreamConfig, StreamEngine};
+use woc_webgen::{churn_restaurants, generate_corpus, CorpusConfig, World, WorldConfig};
+
+/// One latency sample: when it completed (offset from stream start),
+/// how long it took, and whether the cache served it.
+struct Sample {
+    at: Duration,
+    micros: u64,
+    cached: bool,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (mut world, corpus_cfg, rounds, churn) = if quick {
+        (
+            World::generate(WorldConfig::tiny(97)),
+            CorpusConfig::tiny(97),
+            3usize,
+            0.10f64,
+        )
+    } else {
+        (
+            World::generate(WorldConfig::default()),
+            CorpusConfig::default(),
+            5usize,
+            0.05f64,
+        )
+    };
+
+    header("Stream bench: seed build");
+    let corpus_v1 = generate_corpus(&world, &corpus_cfg);
+    let t0 = Instant::now();
+    let config = StreamConfig {
+        pipeline: bench_pipeline_config(),
+        ..StreamConfig::default()
+    };
+    let mut engine = StreamEngine::new(corpus_v1.clone(), config.clone());
+    metric_row("seed build", format!("{:.2}s", t0.elapsed().as_secs_f64()));
+    metric_row("seed pages", corpus_v1.len());
+    let server = Arc::new(ConceptServer::new(
+        engine.web().clone(),
+        ServeConfig::default(),
+    ));
+
+    // Query pool from the built web; mixed search workload.
+    let pool: Vec<String> = {
+        let woc = engine.web();
+        let mut names: Vec<String> = woc
+            .store
+            .live_ids()
+            .into_iter()
+            .filter_map(|id| woc.store.latest(id)?.best_string("name"))
+            .take(if quick { 48 } else { 256 })
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    };
+    metric_row("query pool", pool.len());
+
+    // Sustained churn: `rounds` recrawls, each a separate event burst, all
+    // concatenated into one continuous stream.
+    let mut events: Vec<PageEvent> = Vec::new();
+    let mut prev = corpus_v1.clone();
+    let mut seed = 1u64;
+    for round in 0..rounds {
+        let tick = Tick(10 + round as u64);
+        while churn_restaurants(&mut world, churn, tick, seed).is_empty() {
+            seed += 1;
+        }
+        seed += 1;
+        let next = generate_corpus(&world, &corpus_cfg);
+        events.extend(recrawl_events(&prev, &next));
+        prev = next;
+    }
+    metric_row("event stream", format!("{} events", events.len()));
+
+    header("Sustained ingest + concurrent query load");
+    server.set_cache_enabled(true);
+    // Warm the cache so "cached" samples mean something from the start.
+    for name in &pool {
+        server.search(name, 5);
+    }
+    let query_threads = if quick { 2usize } else { 4 };
+    let running = Arc::new(AtomicBool::new(true));
+    let run_t0 = Instant::now();
+    let (engine, report, samples) = {
+        let stream_server = Arc::clone(&server);
+        let streamer = std::thread::spawn(move || {
+            let report = engine.run(events, &stream_server);
+            (engine, report)
+        });
+        let readers: Vec<_> = (0..query_threads)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let running = Arc::clone(&running);
+                let pool = pool.clone();
+                std::thread::spawn(move || {
+                    let mut out: Vec<Sample> = Vec::new();
+                    let mut i = t;
+                    while running.load(Ordering::Relaxed) {
+                        let name = &pool[i % pool.len()];
+                        let answer = if i % 3 == 0 {
+                            // Uncached path: bypass-style unique query.
+                            server.search(&format!("{name} is:restaurant"), 7)
+                        } else {
+                            server.search(name, 5)
+                        };
+                        out.push(Sample {
+                            at: run_t0.elapsed(),
+                            micros: answer.micros,
+                            cached: answer.cached,
+                        });
+                        i += 1;
+                    }
+                    out
+                })
+            })
+            .collect();
+        let (engine, report) = streamer.join().expect("stream thread must not panic");
+        running.store(false, Ordering::Relaxed);
+        let mut samples: Vec<Sample> = Vec::new();
+        for r in readers {
+            samples.extend(r.join().expect("reader thread must not panic"));
+        }
+        (engine, report, samples)
+    };
+    let wall = run_t0.elapsed().as_secs_f64();
+
+    metric_row("wall time", format!("{wall:.2}s"));
+    metric_row(
+        "ingest throughput",
+        format!("{:.0} events/s", report.events_in as f64 / wall),
+    );
+    metric_row(
+        "events deduped at fingerprint stage",
+        format!(
+            "{}/{} ({})",
+            report.deduped,
+            report.events_in,
+            pct(report.deduped as f64 / report.events_in.max(1) as f64)
+        ),
+    );
+    metric_row("pages extracted", report.pages_extracted);
+    metric_row(
+        "micro-epochs published",
+        format!(
+            "{} ({} effective, {} failed passes)",
+            report.micro_epochs, report.effective_epochs, report.publish_failures
+        ),
+    );
+    let cadence = if report.publish_at.len() > 1 {
+        let first = report.publish_at[0];
+        let last = *report.publish_at.last().expect("non-empty");
+        (last - first).as_secs_f64() / (report.publish_at.len() - 1) as f64
+    } else {
+        0.0
+    };
+    metric_row("publish cadence", format!("{:.1}ms", cadence * 1000.0));
+    let took: Vec<u64> = report
+        .publish_took
+        .iter()
+        .map(|d| d.as_micros() as u64)
+        .collect();
+    metric_row(
+        "publish pass p50/p99",
+        format!(
+            "{}µs / {}µs",
+            percentile(&took, 50.0),
+            percentile(&took, 99.0)
+        ),
+    );
+
+    header("Read latency while publishing");
+    let windows: Vec<(Duration, Duration)> = report
+        .publish_at
+        .iter()
+        .copied()
+        .zip(report.publish_took.iter().copied())
+        .collect();
+    let mut groups: [(&str, Vec<u64>); 4] = [
+        ("cached, between publishes", Vec::new()),
+        ("cached, during a publish", Vec::new()),
+        ("uncached, between publishes", Vec::new()),
+        ("uncached, during a publish", Vec::new()),
+    ];
+    for s in &samples {
+        let during = during_publish(s.at, &windows);
+        let idx = usize::from(!s.cached) * 2 + usize::from(during);
+        groups[idx].1.push(s.micros);
+    }
+    for (label, micros) in &groups {
+        metric_row(
+            label,
+            format!(
+                "{} answers, p50 {}µs, p99 {}µs",
+                micros.len(),
+                percentile(micros, 50.0),
+                percentile(micros, 99.0)
+            ),
+        );
+    }
+
+    header("Quiesced equivalence");
+    let t0 = Instant::now();
+    let fresh = woc_core::build(engine.corpus(), &config.pipeline);
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let identical = canonical_bytes(engine.web()) == canonical_bytes(&fresh);
+    metric_row(
+        "byte-identical to batch build",
+        if identical { "yes" } else { "NO — BROKEN" },
+    );
+    metric_row("batch rebuild for comparison", format!("{batch_secs:.2}s"));
+    let audit = engine.audit(&woc_audit::AuditConfig::default());
+    metric_row("audit", if audit.passed() { "clean" } else { "FAILED" });
+    metric_row(
+        "final watermark",
+        format!(
+            "({}, {:016x})",
+            report.final_watermark.events, report.final_watermark.digest
+        ),
+    );
+
+    if quick {
+        assert!(identical, "streamed web must equal the batch build");
+        assert!(audit.passed(), "{}", audit.render());
+        assert_eq!(report.publish_failures, 0, "{:?}", report.failure_messages);
+        assert!(
+            report.micro_epochs >= 2,
+            "sustained churn must publish repeatedly"
+        );
+        // The read-while-write gate: answers served while a publish was in
+        // flight must complete within a generous absolute bound — readers
+        // degrade boundedly during a swap, they never block on it.
+        let during: Vec<u64> = samples
+            .iter()
+            .filter(|s| during_publish(s.at, &windows))
+            .map(|s| s.micros)
+            .collect();
+        if !during.is_empty() {
+            let p99 = percentile(&during, 99.0);
+            assert!(
+                p99 < 250_000,
+                "during-publish read p99 {p99}µs exceeds the 250ms bound"
+            );
+        }
+    }
+}

@@ -259,6 +259,25 @@ impl BuildCaches {
         self.also.retain(|_, e| e.generation == generation);
     }
 
+    /// Pre-seed the extraction memo with an externally computed result for
+    /// the page whose fingerprint is `fp`. The streaming ingest dataflow
+    /// (`woc-stream`) extracts pages in its own pipelined workers as they
+    /// arrive; seeding the memo lets the micro-epoch replay hit instead of
+    /// re-extracting. The caller certifies the purity contract every memo
+    /// relies on: `records` is exactly what [`Self::memo_extract`]'s `f`
+    /// would produce for a page with this fingerprint. The entry is tagged
+    /// with the *current* generation; if the next pass never reads it, the
+    /// end-of-pass eviction drops it like any other stale entry.
+    pub fn seed_extract(&mut self, fp: u64, records: Arc<Vec<ExtractedRecord>>) {
+        self.extract.insert(
+            fp,
+            Entry {
+                generation: self.generation,
+                value: records,
+            },
+        );
+    }
+
     /// Memoized page extraction: pages whose fingerprint is cached reuse
     /// the cached records; only misses run `f` (sharded).
     pub(crate) fn memo_extract(

@@ -126,6 +126,14 @@ pub struct MaintainReport {
     /// listed here may turn out byte-identical, but a record *not* listed
     /// is guaranteed untouched.
     pub changed_records: Vec<LrecId>,
+    /// The unfiltered candidate partition [`MaintainReport::changed_records`]
+    /// was filtered from: every canonical record lineage-derived from a
+    /// dirty, added or removed page (on either side of the pass) plus every
+    /// record the index diff touched (sorted). `changed_records ⊆
+    /// affected_records` by construction — the audit's W015 micro-epoch
+    /// check verifies exactly this containment for every published
+    /// micro-epoch of a streaming ingest.
+    pub affected_records: Vec<LrecId>,
     /// Delta-segment merges the segmented index's size-tiered policy ran
     /// while absorbing this pass.
     pub segment_merges: usize,
@@ -238,6 +246,22 @@ impl IncrEngine {
     /// index (the `W014` audit checks exactly this).
     pub fn segments(&self) -> &SegmentedLrecIndex {
         &self.segments
+    }
+
+    /// Pre-seed the engine's extraction memo with an externally computed
+    /// result for the page whose content fingerprint is `fp` — the seam the
+    /// streaming ingest dataflow (`woc-stream`) feeds its pipelined extract
+    /// stage through, so the next [`Self::maintain`] replay hits the memo
+    /// instead of re-extracting the page. The caller certifies `records` is
+    /// exactly what the pipeline's extraction stage would produce for a
+    /// page with this fingerprint; a wrong seed would break the
+    /// byte-identity contract (and the equivalence suite would catch it).
+    pub fn seed_extraction(
+        &mut self,
+        fp: u64,
+        records: std::sync::Arc<Vec<woc_extract::ExtractedRecord>>,
+    ) {
+        self.caches.seed_extract(fp, records);
     }
 
     /// Layer 1 — change detection: diff `corpus` against the fingerprints
@@ -410,6 +434,7 @@ impl IncrEngine {
         let mut candidates = affected;
         candidates.extend(affected_new);
         candidates.extend(record_changes.iter().map(|c| c.id));
+        report.affected_records = candidates.iter().copied().collect();
         report.changed_records = candidates
             .into_iter()
             .filter(|&id| self.web.store.latest(id) != new_web.store.latest(id))

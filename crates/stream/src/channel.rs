@@ -1,0 +1,314 @@
+//! A bounded MPMC channel on `std::sync::{Mutex, Condvar}` — the
+//! backpressure fabric between stream stages.
+//!
+//! The vendored `crossbeam` exposes scoped threads only, so the channel is
+//! built here, from the two std primitives, with exactly the semantics the
+//! dataflow needs and nothing else:
+//!
+//! * **bounded**: [`Sender::send`] blocks while the queue is at capacity —
+//!   a slow downstream stage throttles its upstream instead of letting an
+//!   unbounded queue absorb the difference;
+//! * **multi-producer, multi-consumer**: both handles are [`Clone`]; a pool
+//!   of extract workers shares one receiver and one sender;
+//! * **countdown close**: dropping the last [`Sender`] closes the channel;
+//!   receivers drain what is queued and then see `None`. This is how stage
+//!   shutdown propagates — no sentinel messages, no racy "done" flags;
+//! * **receiver-side close**: [`Receiver::close`] unblocks every parked
+//!   sender (sends start failing), the abort path for a consumer that stops
+//!   early.
+//!
+//! FIFO order is per-channel, so a single-producer stage's messages arrive
+//! in send order; with multiple producers the commit stage restores global
+//! order from sequence numbers instead of relying on the channel.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+struct State<T> {
+    queue: VecDeque<T>,
+    /// Live `Sender` clones; 0 means closed from the producer side.
+    senders: usize,
+    /// Set by [`Receiver::close`]: drop everything, fail every send.
+    aborted: bool,
+}
+
+struct Chan<T> {
+    state: Mutex<State<T>>,
+    capacity: usize,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl<T> Chan<T> {
+    fn closed(state: &State<T>) -> bool {
+        state.senders == 0 || state.aborted
+    }
+}
+
+/// Producer handle. Cloning registers another producer; the channel closes
+/// when the last clone drops.
+pub struct Sender<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Consumer handle. Cloning shares the same queue (MPMC).
+pub struct Receiver<T> {
+    chan: Arc<Chan<T>>,
+}
+
+/// Create a bounded channel. `capacity` must be at least 1 — a zero-slot
+/// rendezvous channel would deadlock a stage that must buffer to reorder.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "bounded channel needs at least one slot");
+    let chan = Arc::new(Chan {
+        state: Mutex::new(State {
+            queue: VecDeque::with_capacity(capacity),
+            senders: 1,
+            aborted: false,
+        }),
+        capacity,
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+    });
+    (Sender { chan: chan.clone() }, Receiver { chan })
+}
+
+impl<T> Sender<T> {
+    /// Block until a slot frees, then enqueue. Returns the value back as
+    /// `Err` if the receiver side closed the channel — the producer's cue
+    /// to stop.
+    pub fn send(&self, value: T) -> Result<(), T> {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .expect("invariant: channel lock is never poisoned (no panics while held)");
+        loop {
+            if state.aborted {
+                return Err(value);
+            }
+            if state.queue.len() < self.chan.capacity {
+                state.queue.push_back(value);
+                drop(state);
+                self.chan.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self
+                .chan
+                .not_full
+                .wait(state)
+                .expect("invariant: channel lock is never poisoned (no panics while held)");
+        }
+    }
+
+    /// Messages currently queued (snapshot; for tests and metrics).
+    pub fn len(&self) -> usize {
+        self.chan
+            .state
+            .lock()
+            .expect("invariant: channel lock is never poisoned (no panics while held)")
+            .queue
+            .len()
+    }
+
+    /// True if nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.chan
+            .state
+            .lock()
+            .expect("invariant: channel lock is never poisoned (no panics while held)")
+            .senders += 1;
+        Sender {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .expect("invariant: channel lock is never poisoned (no panics while held)");
+        state.senders -= 1;
+        if state.senders == 0 {
+            drop(state);
+            // Wake every parked receiver so they observe the close.
+            self.chan.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives or every sender is gone. `None` means
+    /// closed **and** drained — queued messages are always delivered first.
+    pub fn recv(&self) -> Option<T> {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .expect("invariant: channel lock is never poisoned (no panics while held)");
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.chan.not_full.notify_one();
+                return Some(value);
+            }
+            if Chan::closed(&state) {
+                return None;
+            }
+            state = self
+                .chan
+                .not_empty
+                .wait(state)
+                .expect("invariant: channel lock is never poisoned (no panics while held)");
+        }
+    }
+
+    /// Abort from the consumer side: drop queued messages, fail all
+    /// in-flight and future sends, wake every parked thread.
+    pub fn close(&self) {
+        let mut state = self
+            .chan
+            .state
+            .lock()
+            .expect("invariant: channel lock is never poisoned (no panics while held)");
+        state.aborted = true;
+        state.queue.clear();
+        drop(state);
+        self.chan.not_full.notify_all();
+        self.chan.not_empty.notify_all();
+    }
+
+    /// Messages currently queued (snapshot; for tests and metrics).
+    pub fn len(&self) -> usize {
+        self.chan
+            .state
+            .lock()
+            .expect("invariant: channel lock is never poisoned (no panics while held)")
+            .queue
+            .len()
+    }
+
+    /// True if nothing is queued right now.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Receiver {
+            chan: self.chan.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_one_producer() {
+        let (tx, rx) = bounded(4);
+        for i in 0..4 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(
+            std::iter::from_fn(|| rx.recv()).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
+        assert!(rx.recv().is_none(), "closed and drained stays None");
+    }
+
+    #[test]
+    fn send_blocks_at_capacity_until_a_recv() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent2 = sent.clone();
+        crossbeam::scope(|s| {
+            s.spawn(move |_| {
+                tx.send(1).unwrap();
+                sent2.store(1, Ordering::SeqCst);
+            });
+            // The producer must be parked: the single slot is occupied.
+            std::thread::sleep(Duration::from_millis(50));
+            assert_eq!(sent.load(Ordering::SeqCst), 0, "send must block when full");
+            assert_eq!(rx.recv(), Some(0));
+            assert_eq!(rx.recv(), Some(1));
+        })
+        .unwrap();
+        assert_eq!(sent.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn last_sender_drop_closes() {
+        let (tx, rx) = bounded(2);
+        let tx2 = tx.clone();
+        tx.send(7).unwrap();
+        drop(tx);
+        // A clone is still alive: not closed yet.
+        tx2.send(8).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Some(7));
+        assert_eq!(rx.recv(), Some(8));
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn receiver_close_unblocks_full_senders() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u8).unwrap();
+        crossbeam::scope(|s| {
+            let h = s.spawn(move |_| tx.send(1).is_err());
+            std::thread::sleep(Duration::from_millis(50));
+            rx.close();
+            assert!(h.join().unwrap(), "send into a closed channel must fail");
+        })
+        .unwrap();
+        assert!(rx.recv().is_none(), "aborted channel delivers nothing");
+    }
+
+    #[test]
+    fn mpmc_delivers_every_message_exactly_once() {
+        let (tx, rx) = bounded(4);
+        let total = 200usize;
+        let sum = AtomicUsize::new(0);
+        let got = AtomicUsize::new(0);
+        crossbeam::scope(|s| {
+            for w in 0..4 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..total / 4 {
+                        tx.send(w * (total / 4) + i).unwrap();
+                    }
+                });
+            }
+            drop(tx);
+            for _ in 0..3 {
+                let rx = rx.clone();
+                let (sum, got) = (&sum, &got);
+                s.spawn(move |_| {
+                    while let Some(v) = rx.recv() {
+                        sum.fetch_add(v, Ordering::SeqCst);
+                        got.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(got.load(Ordering::SeqCst), total);
+        assert_eq!(sum.load(Ordering::SeqCst), (0..total).sum::<usize>());
+    }
+}

@@ -1,0 +1,496 @@
+//! The stream engine: owns the dataflow, the micro-epoch state machine,
+//! and the journal.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use woc_audit::{audit_with_stream, Audit, AuditConfig, MicroEpochView, PageChangeView};
+use woc_core::{PipelineConfig, WebOfConcepts};
+use woc_extract::lists::ConceptProfile;
+use woc_extract::ExtractedRecord;
+use woc_incr::{FaultHook, IncrEngine};
+use woc_serve::ConceptServer;
+use woc_webgen::{Page, WebCorpus};
+
+use crate::channel::bounded;
+use crate::stages::{
+    extract_worker, fingerprint_stage, removal_fingerprint, PageEvent, Ready, Seq,
+};
+use crate::watermark::{MicroEpoch, Watermark};
+
+/// Tunables for the streaming dataflow.
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Capacity of each inter-stage channel. Small on purpose: the queues
+    /// are for smoothing, not absorbing — a lagging stage must throttle
+    /// its upstream, and the commit stage's reorder buffer stays bounded
+    /// by `2 × channel_capacity + extract_workers` in-flight messages.
+    pub channel_capacity: usize,
+    /// Parallel extraction workers.
+    pub extract_workers: usize,
+    /// Content-defined micro-epoch cut: a change whose fingerprint `fp`
+    /// satisfies `fp & cut_mask == 0` closes the current batch, so epoch
+    /// boundaries are a function of page *content* (average batch size
+    /// `cut_mask + 1` changes), never of arrival timing or worker count.
+    pub cut_mask: u64,
+    /// Hard batch-size cap: close the micro-epoch when this many distinct
+    /// URLs are pending even if no content cut fired (bounds publish
+    /// latency under pathological fingerprint distributions).
+    pub max_batch_pages: usize,
+    /// Pipeline configuration for the underlying incremental engine.
+    pub pipeline: PipelineConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            channel_capacity: 32,
+            extract_workers: 4,
+            cut_mask: 0x3,
+            max_batch_pages: 64,
+            pipeline: PipelineConfig::default(),
+        }
+    }
+}
+
+/// What one [`StreamEngine::run`] call did.
+#[derive(Debug, Clone, Default)]
+pub struct StreamReport {
+    /// Events consumed from the input.
+    pub events_in: u64,
+    /// Events dropped by change detection (no-op recrawls, removals of
+    /// unknown URLs).
+    pub deduped: u64,
+    /// Pages whose extraction the parallel stage computed.
+    pub pages_extracted: u64,
+    /// Micro-epochs committed to the journal during this run.
+    pub micro_epochs: usize,
+    /// Of those, how many actually advanced the served web.
+    pub effective_epochs: usize,
+    /// Maintenance passes that failed; their batches carried over into
+    /// the following micro-epoch instead of publishing partially.
+    pub publish_failures: usize,
+    /// First few failure messages, for diagnostics.
+    pub failure_messages: Vec<String>,
+    /// The serving epoch after the last successful publish of this run
+    /// (0 if none happened).
+    pub last_epoch: u64,
+    /// Watermark when the run finished.
+    pub final_watermark: Watermark,
+    /// Distinct URLs still pending (only non-zero when every closing
+    /// attempt failed — a quiesced healthy stream leaves nothing behind).
+    pub pending_carryover: usize,
+    /// Offset of each successful publish from run start (cadence).
+    pub publish_at: Vec<Duration>,
+    /// Wall time of each successful maintain-and-publish pass.
+    pub publish_took: Vec<Duration>,
+}
+
+/// Latest observed state of one URL inside the open batch.
+enum PendingState {
+    Updated {
+        page: Box<Page>,
+        fp: u64,
+        records: Arc<Vec<ExtractedRecord>>,
+    },
+    Removed,
+}
+
+/// One URL's coalesced transition inside the open batch: `old_fp` is
+/// pinned at first touch (the fingerprint as of the last commit attempt's
+/// baseline), the state tracks the newest observation.
+struct Pending {
+    old_fp: Option<u64>,
+    state: PendingState,
+}
+
+/// The continuous crawl→extract→publish engine.
+///
+/// Owns the incremental maintenance engine ([`IncrEngine`]), the live
+/// corpus view, the open batch, and the micro-epoch journal. Each
+/// [`Self::run`] call wires up the staged dataflow (see [`crate`] docs),
+/// drains the given events through it, and quiesces: after `run` returns,
+/// every committed change has been published (or its failure recorded) and
+/// [`Self::web`] is byte-identical to a from-scratch batch build of
+/// [`Self::corpus`] — the equivalence suite gates exactly this.
+pub struct StreamEngine {
+    config: StreamConfig,
+    incr: IncrEngine,
+    corpus: WebCorpus,
+    /// The stream's eager fingerprint map: reflects every event the
+    /// fingerprint stage accepted, including not-yet-committed ones.
+    fps: HashMap<String, u64>,
+    watermark: Watermark,
+    journal: Vec<MicroEpoch>,
+    pending: BTreeMap<String, Pending>,
+}
+
+impl StreamEngine {
+    /// Build the initial web from `corpus` (a full batch build that warms
+    /// every memo cache) and start the stream at [`Watermark::ZERO`].
+    pub fn new(corpus: WebCorpus, config: StreamConfig) -> Self {
+        let incr = IncrEngine::new(&corpus, config.pipeline.clone());
+        let fps = corpus
+            .pages()
+            .iter()
+            .map(|p| (p.url.clone(), p.fingerprint()))
+            .collect();
+        Self {
+            config,
+            incr,
+            corpus,
+            fps,
+            watermark: Watermark::ZERO,
+            journal: Vec::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// Adopt an already-built incremental engine instead of rebuilding:
+    /// `corpus` must be exactly the crawl `incr`'s current web was last
+    /// maintained against (the benches use this to switch a warm batch
+    /// engine into streaming mode without paying a second full build).
+    pub fn from_parts(incr: IncrEngine, corpus: WebCorpus, config: StreamConfig) -> Self {
+        let fps = corpus
+            .pages()
+            .iter()
+            .map(|p| (p.url.clone(), p.fingerprint()))
+            .collect();
+        Self {
+            config,
+            incr,
+            corpus,
+            fps,
+            watermark: Watermark::ZERO,
+            journal: Vec::new(),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    /// The current maintained web (the last good epoch).
+    pub fn web(&self) -> &WebOfConcepts {
+        self.incr.web()
+    }
+
+    /// The engine's segmented record index (for audits and publishes).
+    pub fn segments(&self) -> &woc_index::SegmentedLrecIndex {
+        self.incr.segments()
+    }
+
+    /// The live corpus view: every committed and pending page change
+    /// applied to the seed corpus.
+    pub fn corpus(&self) -> &WebCorpus {
+        &self.corpus
+    }
+
+    /// The current watermark.
+    pub fn watermark(&self) -> Watermark {
+        self.watermark
+    }
+
+    /// The micro-epoch journal, oldest first.
+    pub fn journal(&self) -> &[MicroEpoch] {
+        &self.journal
+    }
+
+    /// The journal as the plain-data views the W015 audit check consumes.
+    pub fn journal_views(&self) -> Vec<MicroEpochView> {
+        self.journal.iter().map(MicroEpoch::view).collect()
+    }
+
+    /// Distinct URLs whose changes are batched but not yet committed.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Run the full audit over the engine's web, segmented index and
+    /// micro-epoch journal: W001–W012, W014, and the stream's own W015.
+    pub fn audit(&self, cfg: &AuditConfig) -> Audit {
+        audit_with_stream(
+            self.incr.web(),
+            self.incr.segments(),
+            &self.journal_views(),
+            cfg,
+        )
+    }
+
+    /// Install a pre-publish gate on the underlying maintenance engine
+    /// (chaos testing: a rejected pass fails the micro-epoch, whose batch
+    /// then coalesces into the next one).
+    pub fn set_fault_hook(&mut self, hook: FaultHook) {
+        self.incr.set_fault_hook(hook);
+    }
+
+    /// Remove the fault hook.
+    pub fn clear_fault_hook(&mut self) {
+        self.incr.clear_fault_hook();
+    }
+
+    /// Drain `events` through the staged dataflow and quiesce.
+    ///
+    /// The fingerprint stage runs on its own thread (sequential — it is
+    /// the determinism anchor), `extract_workers` threads extract in
+    /// parallel, and the commit stage runs on the calling thread,
+    /// restoring input order from sequence numbers before batching. All
+    /// stages are joined before this returns; a panic in any stage
+    /// propagates.
+    ///
+    /// Publishing happens *during* the run, micro-epoch by micro-epoch,
+    /// through `server` — queries against the server see each published
+    /// epoch atomically and never a partial batch. An empty `events` run
+    /// is the retry path: it attempts to commit whatever a previous run
+    /// left pending after publish failures.
+    pub fn run<I>(&mut self, events: I, server: &ConceptServer) -> StreamReport
+    where
+        I: IntoIterator<Item = PageEvent>,
+        I::IntoIter: Send,
+    {
+        let started = Instant::now();
+        let mut report = StreamReport::default();
+        let profiles = ConceptProfile::standard();
+        let (use_lists, use_detail) = (
+            self.config.pipeline.use_lists,
+            self.config.pipeline.use_detail,
+        );
+        let workers = self.config.extract_workers.max(1);
+        let (change_tx, change_rx) = bounded(self.config.channel_capacity);
+        let (ready_tx, ready_rx) = bounded(self.config.channel_capacity);
+
+        // Split borrows: the fingerprint map goes to the stage thread,
+        // everything else stays with the commit loop on this thread.
+        let fps = &mut self.fps;
+        let mut committer = Committer {
+            cut_mask: self.config.cut_mask,
+            max_batch_pages: self.config.max_batch_pages.max(1),
+            incr: &mut self.incr,
+            corpus: &mut self.corpus,
+            watermark: &mut self.watermark,
+            journal: &mut self.journal,
+            pending: &mut self.pending,
+            server,
+            report: &mut report,
+            started,
+        };
+        let events = events.into_iter();
+
+        let stats = crossbeam::scope(|s| {
+            let fp_handle = s.spawn(move |_| {
+                let stats = fingerprint_stage(events, fps, &change_tx);
+                drop(change_tx);
+                stats
+            });
+            for _ in 0..workers {
+                let rx = change_rx.clone();
+                let tx = ready_tx.clone();
+                let profiles = &profiles;
+                s.spawn(move |_| extract_worker(&rx, &tx, profiles, use_lists, use_detail));
+            }
+            // Drop the originals so channel close is worker-countdown only.
+            drop(change_rx);
+            drop(ready_tx);
+
+            // Commit stage: restore input order from sequence numbers.
+            // The reorder buffer is bounded by what can be in flight:
+            // both channels plus one message per worker.
+            let mut reorder: BTreeMap<u64, Ready> = BTreeMap::new();
+            let mut next_seq: u64 = 0;
+            while let Some(Seq { seq, msg }) = ready_rx.recv() {
+                reorder.insert(seq, msg);
+                while let Some(msg) = reorder.remove(&next_seq) {
+                    next_seq += 1;
+                    committer.integrate(msg);
+                }
+            }
+            assert!(
+                reorder.is_empty(),
+                "invariant: the change sequence is dense, so a drained \
+                 stream leaves no out-of-order remainder"
+            );
+            // Quiesce: whatever is still batched commits now, content cut
+            // or not.
+            committer.flush();
+            match fp_handle.join() {
+                Ok(stats) => stats,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        })
+        .expect("invariant: the stream scope closure does not panic");
+
+        report.events_in = stats.events_in;
+        report.deduped = stats.deduped;
+        report.final_watermark = self.watermark;
+        report.pending_carryover = self.pending.len();
+        report
+    }
+}
+
+/// The commit stage's working state: mutable borrows of every engine field
+/// the stage touches, split off from the fingerprint map so the stages can
+/// run concurrently under one `&mut self`.
+struct Committer<'a> {
+    cut_mask: u64,
+    max_batch_pages: usize,
+    incr: &'a mut IncrEngine,
+    corpus: &'a mut WebCorpus,
+    watermark: &'a mut Watermark,
+    journal: &'a mut Vec<MicroEpoch>,
+    pending: &'a mut BTreeMap<String, Pending>,
+    server: &'a ConceptServer,
+    report: &'a mut StreamReport,
+    started: Instant,
+}
+
+impl Committer<'_> {
+    /// Fold one in-order change into the open batch, then cut if its
+    /// content says so. Deliberately *not* a lint hot-path: closing a
+    /// batch runs the whole incremental build, which is maintenance, not
+    /// request serving — the per-event hot paths are the stages.
+    fn integrate(&mut self, msg: Ready) {
+        let cut_fp = match &msg {
+            Ready::Updated { fp, .. } => *fp,
+            Ready::Removed { url, .. } => removal_fingerprint(url),
+        };
+        match msg {
+            Ready::Updated {
+                page,
+                fp,
+                old_fp,
+                records,
+            } => {
+                self.report.pages_extracted += 1;
+                let url = page.url.clone();
+                let state = PendingState::Updated { page, fp, records };
+                match self.pending.entry(url) {
+                    std::collections::btree_map::Entry::Occupied(mut e) => {
+                        // Coalesce: keep the first-touch old_fp, adopt the
+                        // newest content.
+                        e.get_mut().state = state;
+                    }
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(Pending { old_fp, state });
+                    }
+                }
+            }
+            Ready::Removed { url, old_fp } => match self.pending.entry(url) {
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    e.get_mut().state = PendingState::Removed;
+                }
+                std::collections::btree_map::Entry::Vacant(v) => {
+                    v.insert(Pending {
+                        old_fp: Some(old_fp),
+                        state: PendingState::Removed,
+                    });
+                }
+            },
+        }
+        if cut_fp & self.cut_mask == 0 || self.pending.len() >= self.max_batch_pages {
+            self.close_micro_epoch();
+        }
+    }
+
+    /// Quiesce: commit the open batch regardless of content cuts.
+    fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            self.close_micro_epoch();
+        }
+    }
+
+    /// Close the open batch: apply it to the corpus, seed the extraction
+    /// memos, run one maintenance pass, publish its delta, and journal the
+    /// micro-epoch. On failure the batch stays pending — it coalesces into
+    /// the next micro-epoch, and the server keeps serving the last good
+    /// epoch (no partial state is ever visible).
+    fn close_micro_epoch(&mut self) {
+        // The coalesced transitions, in sorted-URL order (BTreeMap). A URL
+        // that round-tripped back to its original fingerprint (update then
+        // revert, or add then remove) is content-wise a no-op and is
+        // excluded from the watermark.
+        let mut changed: Vec<PageChangeView> = Vec::new();
+        for (url, p) in self.pending.iter() {
+            let new_fp = match &p.state {
+                PendingState::Updated { fp, .. } => Some(*fp),
+                PendingState::Removed => None,
+            };
+            if p.old_fp != new_fp {
+                changed.push(PageChangeView {
+                    url: url.clone(),
+                    old_fp: p.old_fp,
+                    new_fp,
+                });
+            }
+        }
+
+        // Apply the final coalesced state of every URL to the live corpus.
+        // Idempotent on purpose: a batch that fails to publish is
+        // re-applied on the next attempt.
+        for (url, p) in self.pending.iter() {
+            match &p.state {
+                PendingState::Updated { page, .. } => self.corpus.add(page.as_ref().clone()),
+                PendingState::Removed => {
+                    self.corpus.remove(url);
+                }
+            }
+        }
+
+        if changed.is_empty() {
+            // Every transition round-tripped: the corpus content equals
+            // the last commit baseline, nothing to publish or journal.
+            self.pending.clear();
+            return;
+        }
+
+        // Seed the extraction memos so the maintenance replay hits them
+        // instead of re-extracting what the parallel stage already did.
+        for p in self.pending.values() {
+            if let PendingState::Updated { fp, records, .. } = &p.state {
+                self.incr.seed_extraction(*fp, records.clone());
+            }
+        }
+
+        let t0 = Instant::now();
+        match self.incr.maintain_and_publish(self.corpus, self.server) {
+            Ok((mrep, epoch)) => {
+                let took = t0.elapsed();
+                let prev = *self.watermark;
+                *self.watermark = prev.advance(&changed);
+                let effective = mrep.effective_change;
+                self.journal.push(MicroEpoch {
+                    ordinal: self.journal.len() as u64,
+                    prev,
+                    watermark: *self.watermark,
+                    changed_pages: changed,
+                    // An ineffective pass published nothing, so its delta
+                    // changed no records — the conservative candidate list
+                    // belongs in `lineage_affected` only.
+                    changed_records: if effective {
+                        mrep.changed_records
+                    } else {
+                        Vec::new()
+                    },
+                    lineage_affected: mrep.affected_records,
+                    published_epoch: epoch,
+                    effective,
+                    pages_reextracted: mrep.pages_reextracted,
+                });
+                self.pending.clear();
+                self.report.micro_epochs += 1;
+                if effective {
+                    self.report.effective_epochs += 1;
+                }
+                self.report.last_epoch = epoch;
+                self.report.publish_at.push(self.started.elapsed());
+                self.report.publish_took.push(took);
+            }
+            Err(err) => {
+                // Transactional failure: the incr engine still holds the
+                // last good epoch, the server still serves it, and the
+                // batch stays pending for the next cut.
+                self.report.publish_failures += 1;
+                if self.report.failure_messages.len() < 8 {
+                    self.report.failure_messages.push(err.to_string());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Content-defined watermarks and the micro-epoch journal.
+//!
+//! A watermark is a pure function of *what changed*: an event count plus an
+//! FNV digest chained over each micro-epoch's deduplicated page
+//! transitions in sorted-URL order ([`woc_audit::stream_digest`] — the
+//! audit recomputes the same chain in its W015 check, so there is exactly
+//! one definition). Nothing about arrival order, worker count, channel
+//! timing or wall clock reaches the watermark — two runs of the same event
+//! stream produce identical journals at any parallelism.
+
+use woc_audit::{stream_digest, MicroEpochView, PageChangeView};
+use woc_lrec::LrecId;
+
+/// A position in the stream: how many page changes have been applied since
+/// the stream started, and the digest chained over all of them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Watermark {
+    /// Cumulative deduplicated page changes.
+    pub events: u64,
+    /// FNV chain over every committed transition, in micro-epoch order.
+    pub digest: u64,
+}
+
+impl Watermark {
+    /// The stream origin: nothing committed yet.
+    pub const ZERO: Watermark = Watermark {
+        events: 0,
+        digest: 0,
+    };
+
+    /// The watermark after committing `changed` on top of `self`. Strictly
+    /// greater in `events` whenever `changed` is non-empty.
+    pub fn advance(&self, changed: &[PageChangeView]) -> Watermark {
+        Watermark {
+            events: self.events + changed.len() as u64,
+            digest: stream_digest(self.digest, changed),
+        }
+    }
+}
+
+/// One committed micro-epoch: the journal entry the engine appends for
+/// every batch it published (or proved ineffective). Failed maintenance
+/// passes append nothing — their batch coalesces into the next entry.
+#[derive(Debug, Clone)]
+pub struct MicroEpoch {
+    /// Journal position, counting from 0.
+    pub ordinal: u64,
+    /// Watermark before this micro-epoch.
+    pub prev: Watermark,
+    /// Watermark after: `prev.advance(&changed_pages)`.
+    pub watermark: Watermark,
+    /// The deduplicated page transitions this micro-epoch applied, each a
+    /// real change (`old_fp != new_fp`), at most one per URL.
+    pub changed_pages: Vec<PageChangeView>,
+    /// Records the published delta changed (empty for an ineffective
+    /// pass — nothing was published).
+    pub changed_records: Vec<LrecId>,
+    /// The lineage-affected candidate set `changed_records` was filtered
+    /// from; W015 checks `changed_records ⊆ lineage_affected`.
+    pub lineage_affected: Vec<LrecId>,
+    /// Serving epoch after this micro-epoch's publish.
+    pub published_epoch: u64,
+    /// Whether the publish actually advanced the served web (a batch of
+    /// cosmetic page edits can rebuild to a byte-identical web).
+    pub effective: bool,
+    /// Pages whose extraction the maintenance pass recomputed — with the
+    /// extract stage seeding the memo this stays 0 in steady state.
+    pub pages_reextracted: usize,
+}
+
+impl MicroEpoch {
+    /// The plain-data view the W015 audit check consumes.
+    pub fn view(&self) -> MicroEpochView {
+        MicroEpochView {
+            ordinal: self.ordinal,
+            prev_events: self.prev.events,
+            prev_digest: self.prev.digest,
+            events: self.watermark.events,
+            digest: self.watermark.digest,
+            changed_pages: self.changed_pages.clone(),
+            changed_records: self.changed_records.clone(),
+            lineage_affected: self.lineage_affected.clone(),
+            published_epoch: self.published_epoch,
+            effective: self.effective,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pc(url: &str, old: Option<u64>, new: Option<u64>) -> PageChangeView {
+        PageChangeView {
+            url: url.into(),
+            old_fp: old,
+            new_fp: new,
+        }
+    }
+
+    #[test]
+    fn advance_is_order_free_and_strictly_monotone() {
+        let a = pc("http://a.test/1", None, Some(1));
+        let b = pc("http://b.test/1", Some(2), Some(3));
+        let fwd = Watermark::ZERO.advance(&[a.clone(), b.clone()]);
+        let rev = Watermark::ZERO.advance(&[b, a]);
+        assert_eq!(fwd, rev, "digest must not depend on arrival order");
+        assert_eq!(fwd.events, 2);
+        assert!(fwd.digest != 0);
+    }
+
+    #[test]
+    fn chain_distinguishes_history() {
+        let a = pc("http://a.test/1", None, Some(1));
+        let b = pc("http://b.test/1", None, Some(2));
+        // Same final set of pages, different epoch boundaries → different
+        // digests: the chain commits to the grouping, not just the union.
+        let one_epoch = Watermark::ZERO.advance(&[a.clone(), b.clone()]);
+        let two_epochs = Watermark::ZERO.advance(&[a]).advance(&[b]);
+        assert_eq!(one_epoch.events, two_epochs.events);
+        assert_ne!(one_epoch.digest, two_epochs.digest);
+    }
+}

@@ -39,6 +39,40 @@ impl WebCorpus {
         self.by_url.get(url).map(|&i| &self.pages[i])
     }
 
+    /// Remove a page by URL, preserving the insertion order of the rest —
+    /// the streaming ingest path applies page removals this way so that a
+    /// corpus maintained event-by-event stays order-identical (and thus
+    /// doc-id-identical) to one regenerated from the final world. Returns
+    /// the removed page, or `None` if the URL was never crawled.
+    pub fn remove(&mut self, url: &str) -> Option<Page> {
+        let i = self.by_url.remove(url)?;
+        let page = self.pages.remove(i);
+        // Every later page shifted down one slot; rebuild both indexes'
+        // positions. (Removal is O(n); the streaming commit stage batches
+        // removals per micro-epoch, and corpora are bounded by crawl size.)
+        for idx in self.by_url.values_mut() {
+            if *idx > i {
+                *idx -= 1;
+            }
+        }
+        let site_ids = self
+            .by_site
+            .get_mut(&page.site)
+            .expect("invariant: every indexed page has a site bucket");
+        site_ids.retain(|&p| p != i);
+        if site_ids.is_empty() {
+            self.by_site.remove(&page.site);
+        }
+        for ids in self.by_site.values_mut() {
+            for idx in ids.iter_mut() {
+                if *idx > i {
+                    *idx -= 1;
+                }
+            }
+        }
+        Some(page)
+    }
+
     /// All pages.
     pub fn pages(&self) -> &[Page] {
         &self.pages
@@ -128,6 +162,28 @@ mod tests {
         assert!(c.get("http://nope").is_none());
         assert_eq!(c.sites(), vec!["a.example.com", "b.example.com"]);
         assert_eq!(c.pages_of_site("a.example.com").len(), 2);
+    }
+
+    #[test]
+    fn remove_preserves_order_and_indexes() {
+        let mut c = WebCorpus::new();
+        c.add(page("http://a.example.com/1", None));
+        c.add(page("http://b.example.com/1", None));
+        c.add(page("http://a.example.com/2", None));
+        let removed = c.remove("http://b.example.com/1").expect("page present");
+        assert_eq!(removed.url, "http://b.example.com/1");
+        assert_eq!(c.len(), 2);
+        assert!(c.remove("http://b.example.com/1").is_none());
+        // Order of the survivors is untouched and lookups still resolve.
+        let urls: Vec<&str> = c.pages().iter().map(|p| p.url.as_str()).collect();
+        assert_eq!(
+            urls,
+            vec!["http://a.example.com/1", "http://a.example.com/2"]
+        );
+        assert_eq!(c.get("http://a.example.com/2").unwrap().url, urls[1]);
+        assert_eq!(c.sites(), vec!["a.example.com"]);
+        assert_eq!(c.pages_of_site("a.example.com").len(), 2);
+        assert!(c.pages_of_site("b.example.com").is_empty());
     }
 
     #[test]
