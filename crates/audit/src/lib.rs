@@ -9,7 +9,7 @@
 //! static-analysis counterpart, over data, of what `woc-lint` does over
 //! source.
 //!
-//! Every check has a stable code (`W001`…`W015`) so CI logs and dashboards
+//! Every check has a stable code (`W001`…`W016`) so CI logs and dashboards
 //! can track specific regressions:
 //!
 //! | code | name               | invariant |
@@ -29,8 +29,9 @@
 //! | W013 | shard-coverage     | under a cluster partition map, every live record and every indexed document is owned by exactly one in-range shard, every shard has at least one replica serving the expected epoch, and all such replicas are byte-identical (stale replicas are reported, not silently served) |
 //! | W014 | segment-metadata   | under a segmented record index, every live record is served live from exactly one segment and the liveness map, per-segment dead sets, and tombstones agree; the segmented view flattens byte-identically to the web's flat index; and at merge points the pinned scoring statistics equal a flat recomputation |
 //! | W015 | stream-watermark   | under streaming ingest, every published micro-epoch's content-defined watermark strictly advances and chains to its predecessor, the watermark digest recomputes from the micro-epoch's changed pages, every changed page carries a real fingerprint transition, and the delta's changed records are drawn exactly from the records whose source-page fingerprints changed since the previous watermark |
+//! | W016 | source-reliability | the trust fixpoint recomputes from the model's stored claims (scores within ε, identical quarantine set), the lineage site-quarantine entries mirror the model's, no live value or record rests solely on quarantined-trust sites, no quarantined site survives in the document tables, and every logged reconciliation selection is actually the live first value with not-all-quarantined support |
 //!
-//! W001–W012 run over any web via [`audit`]; W013 additionally needs the
+//! W001–W012 and W016 run over any web via [`audit`]; W013 additionally needs the
 //! cluster's [`ShardCoverageView`] and runs via [`check_shard_coverage`] or
 //! [`audit_with_cluster`] — the view is plain data, so the audit stays
 //! independent of the cluster crate that produces it. W014 runs over a
@@ -47,11 +48,12 @@
 
 use serde::Serialize;
 
-use woc_core::{uncertainty::group_by_denotation, AssocKind, NodeId, WebOfConcepts};
+use woc_core::{uncertainty::group_by_denotation, AssocKind, NodeId, TrustModel, WebOfConcepts};
 use woc_index::lrec_index::FieldQuery;
 use woc_index::SegmentedLrecIndex;
 use woc_lrec::{AttrValue, Cardinality, LrecId, Violation};
 use woc_textkit::tokenize::tokenize_words;
+use woc_webgen::page::url_host;
 
 /// Tunables for the audit.
 #[derive(Debug, Clone)]
@@ -197,6 +199,7 @@ pub fn audit(woc: &WebOfConcepts, cfg: &AuditConfig) -> Audit {
     checks.push(check_doc_tables(woc, cfg));
     checks.push(check_tombstones(woc, cfg));
     checks.push(check_quarantine_lineage(woc, cfg, &live));
+    checks.push(check_trust(woc, cfg, &live));
     Audit {
         checks,
         live_records: live.len(),
@@ -1189,6 +1192,208 @@ fn check_quarantine_lineage(
                 );
             }
         }
+    }
+    c
+}
+
+/// W016: source reliability — the trust model a build served under must be
+/// honest about itself. The fixpoint must recompute bitwise from the claims
+/// the model stored (a tampered score or quarantine decision is corruption,
+/// not drift: the iteration is deterministic); lineage's site-quarantine
+/// entries must mirror the model's — content quarantine tells the same
+/// lineage story transport quarantine does, one scope up; no live value,
+/// record, or document may rest solely on quarantined-trust sites (their
+/// content was scrubbed, so anything still standing on them leaked past the
+/// gate); and the selection log must describe reality: each logged winner is
+/// the record's live first value for that attribute, supported by at least
+/// one non-quarantined site.
+fn check_trust(woc: &WebOfConcepts, cfg: &AuditConfig, live: &[LrecId]) -> CheckResult {
+    let mut c = CheckResult::new("W016", "source-reliability");
+    let model = &woc.trust;
+    if !model.config.enabled {
+        c.info
+            .push("trust model disabled; reliability invariants not applicable".to_string());
+        return c;
+    }
+
+    // (a) The fixpoint is recomputable from the stored claim set.
+    if !model.claims.is_empty() || !model.site_trust.is_empty() {
+        let recomputed = TrustModel::compute(model.claims.clone(), &model.config);
+        for (site, t) in &recomputed.site_trust {
+            c.checked += 1;
+            match model.site_trust.get(site) {
+                Some(stored) if (stored - t).abs() <= cfg.epsilon => {}
+                Some(stored) => c.violation(
+                    cfg.max_details,
+                    format!(
+                        "tampered trust score: {site} stores {stored:.6} but the \
+                         fixpoint recomputes {t:.6} from the model's own claims"
+                    ),
+                ),
+                None => c.violation(
+                    cfg.max_details,
+                    format!("site {site} has claims but no trust row"),
+                ),
+            }
+        }
+        for site in model.site_trust.keys() {
+            if !recomputed.site_trust.contains_key(site) {
+                c.violation(
+                    cfg.max_details,
+                    format!("trust row for {site} is not derivable from the stored claims"),
+                );
+            }
+        }
+        c.checked += 1;
+        let stored_q: Vec<&str> = model.quarantined.iter().map(|(s, _)| s.as_str()).collect();
+        let recomputed_q: Vec<&str> = recomputed
+            .quarantined
+            .iter()
+            .map(|(s, _)| s.as_str())
+            .collect();
+        if stored_q != recomputed_q {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "quarantine set mismatch: model holds {stored_q:?} but the fixpoint \
+                     recomputes {recomputed_q:?}"
+                ),
+            );
+        }
+        c.info.push(format!(
+            "fixpoint: {} sites, {} claims, {} iterations, converged {}",
+            model.site_trust.len(),
+            model.claims.len(),
+            model.iterations,
+            model.converged
+        ));
+        if !model.converged {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "trust fixpoint did not converge within {} iterations",
+                    model.config.max_iters
+                ),
+            );
+        }
+    }
+
+    // (b) Lineage mirrors the model: content quarantine is one lineage story.
+    c.checked += 1;
+    let lineage_q: Vec<&str> = woc
+        .lineage
+        .quarantined_sites()
+        .iter()
+        .map(|(s, _)| *s)
+        .collect();
+    let model_q: Vec<&str> = model.quarantined.iter().map(|(s, _)| s.as_str()).collect();
+    if lineage_q != model_q {
+        c.violation(
+            cfg.max_details,
+            format!(
+                "lineage site-quarantine {lineage_q:?} disagrees with the trust model's \
+                 {model_q:?}"
+            ),
+        );
+    }
+
+    // (c) Nothing live rests solely on quarantined-trust sites.
+    if !model.quarantined.is_empty() {
+        for url in &woc.doc_urls {
+            c.checked += 1;
+            if model.is_quarantined(url_host(url)) {
+                c.violation(
+                    cfg.max_details,
+                    format!("quarantined-trust site page {url} is present in the document tables"),
+                );
+            }
+        }
+        for &id in live {
+            let Some(rec) = woc.store.latest(id) else {
+                continue;
+            };
+            c.checked += 1;
+            for (attr, entries) in rec.iter() {
+                for e in entries {
+                    let sites: Vec<&str> = if e.provenance.support.is_empty() {
+                        e.provenance
+                            .document_url()
+                            .map(url_host)
+                            .into_iter()
+                            .collect()
+                    } else {
+                        e.provenance
+                            .support
+                            .iter()
+                            .map(|s| s.site.as_str())
+                            .collect()
+                    };
+                    if !sites.is_empty() && sites.iter().all(|s| model.is_quarantined(s)) {
+                        c.violation(
+                            cfg.max_details,
+                            format!(
+                                "live value {id}.{attr} = {:?} is sourced solely from \
+                                 quarantined-trust sites {sites:?}",
+                                e.value.display_string()
+                            ),
+                        );
+                    }
+                }
+            }
+            let docs = woc.web.docs_of_kind(id, AssocKind::ExtractedFrom);
+            if !docs.is_empty() && docs.iter().all(|d| model.is_quarantined(url_host(d))) {
+                c.violation(
+                    cfg.max_details,
+                    format!("live record {id} is extracted solely from quarantined-trust sites"),
+                );
+            }
+        }
+    }
+
+    // (d) The selection log describes reality: reliability-weighted winners
+    // were actually applied, with at least one non-quarantined supporter.
+    for sel in &model.selections {
+        c.checked += 1;
+        let Some(rec) = woc.store.latest(sel.record) else {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "selection log names record {} ({}) which does not exist",
+                    sel.record, sel.attr
+                ),
+            );
+            continue;
+        };
+        let live_val = rec
+            .iter()
+            .find(|(a, _)| *a == sel.attr)
+            .and_then(|(_, es)| es.first())
+            .map(|e| e.value.display_string());
+        if live_val.as_deref() != Some(sel.value.as_str()) {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "reliability-ignored winner: record {} attr {} serves {:?} but the \
+                     reconciliation selected {:?}",
+                    sel.record, sel.attr, live_val, sel.value
+                ),
+            );
+        }
+        if !sel.support.is_empty() && sel.support.iter().all(|s| model.is_quarantined(&s.site)) {
+            c.violation(
+                cfg.max_details,
+                format!(
+                    "selection for record {} attr {} is supported only by quarantined sites",
+                    sel.record, sel.attr
+                ),
+            );
+        }
+    }
+    if !model.exclusions.is_empty() {
+        c.info.push(format!(
+            "{} value groups excluded for quarantined-only support",
+            model.exclusions.len()
+        ));
     }
     c
 }

@@ -7,6 +7,7 @@ use std::sync::OnceLock;
 use woc_audit::{audit, Audit, AuditConfig};
 use woc_core::{AssocKind, NodeId, WebOfConcepts};
 use woc_lrec::{AttrValue, Cardinality, ConceptId, LrecId, Provenance, SourceRef, Tick};
+use woc_webgen::page::url_host;
 use woc_webgen::{generate_corpus, CorpusConfig, World, WorldConfig};
 
 /// One tiny deterministic build, cloned per test (`WebOfConcepts: Clone`).
@@ -25,6 +26,9 @@ fn run(woc: &WebOfConcepts) -> Audit {
     // in the store are visible to W007.
     let cfg = AuditConfig {
         roundtrip_sample: usize::MAX,
+        // Uncapped diagnostics: the assertions below look for specific
+        // needles that must not be crowded out by earlier violations.
+        max_details: usize::MAX,
         ..AuditConfig::default()
     };
     audit(woc, &cfg)
@@ -71,7 +75,7 @@ fn clean_build_passes_every_check() {
         "clean build must audit clean:\n{}",
         report.render()
     );
-    assert_eq!(report.checks.len(), 12);
+    assert_eq!(report.checks.len(), 13);
     assert!(report.live_records > 0 && report.associations > 0);
     assert!((report.conformance_rate - 1.0).abs() < 1e-9);
 }
@@ -210,6 +214,7 @@ fn w005_confidence_outside_unit_interval() {
                     operator: "corruptor".into(),
                     confidence: 1.5,
                     observed_at: tick,
+                    support: vec![],
                 },
             );
         })
@@ -607,6 +612,90 @@ fn w013_all_replicas_stale_fires_but_one_stale_is_info() {
     // Every replica stale: the shard is uncovered at the expected epoch.
     view.replicas[0][0] = (0, 0x1111);
     assert_fired(&run_cluster(&woc, &view), "W013", "all stale or dead");
+}
+
+// ---- W016: source reliability -----------------------------------------
+
+#[test]
+fn w016_tampered_trust_score_fires() {
+    let mut woc = fresh_web();
+    let site = woc
+        .trust
+        .site_trust
+        .keys()
+        .next()
+        .expect("fixture has trusted sites")
+        .clone();
+    // Nudge one converged score: the fixpoint is deterministic, so any
+    // stored score the recomputation cannot reproduce is tampering.
+    *woc.trust
+        .site_trust
+        .get_mut(&site)
+        .expect("site row exists") += 0.25;
+    assert_fired(&run(&woc), "W016", "tampered trust score");
+}
+
+#[test]
+fn w016_quarantined_sole_source_value_fires() {
+    let mut woc = fresh_web();
+    // Declare a value-sourcing site quarantined (consistently, in both the
+    // model and lineage) without running the scrub: every live value it
+    // sourced now rests solely on a quarantined-trust site, and its pages
+    // are still in the document tables.
+    let id = a_live_id(&woc);
+    let host = woc
+        .store
+        .latest(id)
+        .expect("live")
+        .iter()
+        .flat_map(|(_, entries)| entries)
+        .find_map(|e| e.provenance.document_url())
+        .map(|u| url_host(u).to_string())
+        .expect("live records carry document-sourced values");
+    let reason = "trust 0.10 < 0.50".to_string();
+    woc.trust.quarantined.push((host.clone(), reason.clone()));
+    woc.lineage.quarantine_site(&host, &reason);
+    let report = run(&woc);
+    assert_fired(
+        &report,
+        "W016",
+        "sourced solely from quarantined-trust sites",
+    );
+    // The un-recomputable quarantine decision is itself reported.
+    assert_fired(&report, "W016", "quarantine set mismatch");
+}
+
+#[test]
+fn w016_reliability_ignored_merge_winner_fires() {
+    let mut woc = fresh_web();
+    assert!(
+        !woc.trust.selections.is_empty(),
+        "fixture reconciliation logs selections"
+    );
+    // The selection log claims a winner the record does not actually serve —
+    // a reconciler that ignored the reliability weighting would look exactly
+    // like this.
+    woc.trust.selections[0].value = "value the reconciler never chose".to_string();
+    assert_fired(&run(&woc), "W016", "reliability-ignored winner");
+}
+
+#[test]
+fn w016_selection_supported_only_by_quarantined_sites_fires() {
+    let mut woc = fresh_web();
+    let sel_site = woc
+        .trust
+        .selections
+        .iter()
+        .flat_map(|s| &s.support)
+        .map(|s| s.site.clone())
+        .next()
+        .expect("fixture selections carry site support");
+    let reason = "trust 0.10 < 0.50".to_string();
+    woc.trust
+        .quarantined
+        .push((sel_site.clone(), reason.clone()));
+    woc.lineage.quarantine_site(&sel_site, &reason);
+    assert_fired(&run(&woc), "W016", "supported only by quarantined sites");
 }
 
 // ---- W015: stream watermark -------------------------------------------

@@ -1,0 +1,292 @@
+//! Experiment R3: truth recovery under adversarial content.
+//!
+//! Sweeps the spam-site ratio (0/10/30/50%) over one fixed world and
+//! measures, per ratio:
+//!
+//! * **value-level truth recovery** — precision/recall of served attribute
+//!   values against the ground-truth world, over canonical restaurant
+//!   records mapped back to world entities;
+//! * **spam-site detection** — precision/recall of the reliability model's
+//!   quarantine set against the planted adversarial hosts;
+//! * the **trust-fixpoint convergence curve** at 30% spam.
+//!
+//! `--quick` runs the CI gate instead: at 30% spam, seeds 11 and 17 (plus
+//! `WOC_ADV_SEED` when set), served answers must be byte-identical to the
+//! clean-corpus build and the audit — including W016 — must pass.
+//!
+//! Run: `cargo run -p woc-bench --bin truth_bench --release [-- --quick]`
+
+use std::collections::{BTreeMap, HashSet};
+
+use woc_audit::{audit, AuditConfig};
+use woc_bench::{bench_pipeline_config, header, metric_row, pct};
+use woc_core::{build, AssocKind, WebOfConcepts};
+use woc_lrec::LrecId;
+use woc_serve::{ConceptServer, Query, ServeConfig};
+use woc_textkit::metrics::name_similarity;
+use woc_webgen::sites::adversarial::plan_sites;
+use woc_webgen::{generate_corpus, AdversarialConfig, CorpusConfig, WebCorpus, World, WorldConfig};
+
+/// Attributes scored for value-level truth recovery.
+const ATTRS: [&str; 5] = ["street", "zip", "phone", "cuisine", "hours"];
+
+/// Spam-site ratios of the sweep.
+const RATIOS: [f64; 4] = [0.0, 0.1, 0.3, 0.5];
+
+/// Map canonical restaurant records to world entities by name-matched
+/// source-page votes (same method as `ablation_eval`, made deterministic:
+/// sorted maps, ties broken by lowest entity id). Scrubbed spam pages carry
+/// no record associations, so the spam cannot vote.
+fn map_records(world: &World, corpus: &WebCorpus, woc: &WebOfConcepts) -> BTreeMap<LrecId, LrecId> {
+    let restaurant = woc.registry.id_of("restaurant").unwrap();
+    let mut votes: BTreeMap<LrecId, BTreeMap<LrecId, f64>> = BTreeMap::new();
+    for page in corpus.pages() {
+        for tr in &page.truth.records {
+            if tr.concept != world.concepts.restaurant {
+                continue;
+            }
+            let truth_name = tr.field("name").unwrap_or_default();
+            for (rec, kind) in woc.web.records_of(&page.url) {
+                if *kind != AssocKind::ExtractedFrom {
+                    continue;
+                }
+                let Some(canon) = woc.store.resolve(*rec) else {
+                    continue;
+                };
+                let Some(r) = woc.store.latest(canon) else {
+                    continue;
+                };
+                if r.concept() != restaurant {
+                    continue;
+                }
+                let rec_name = r.best_string("name").unwrap_or_default();
+                let sim = name_similarity(&rec_name, truth_name);
+                if sim < 0.6 {
+                    continue;
+                }
+                // Votes are similarity-weighted: a page whose truth name
+                // matches the canonical name exactly outvotes a page that
+                // matched a noisy variant, so near-duplicate entities do
+                // not tie.
+                *votes
+                    .entry(canon)
+                    .or_default()
+                    .entry(tr.entity)
+                    .or_insert(0.0) += sim;
+            }
+        }
+    }
+    votes
+        .into_iter()
+        .map(|(c, v)| {
+            // Highest vote weight wins; the first (lowest-id) entity of an
+            // exact tie, so the mapping is identical across runs.
+            let best = v
+                .into_iter()
+                .fold(None::<(LrecId, f64)>, |acc, (e, n)| match acc {
+                    Some((_, m)) if m >= n => acc,
+                    _ => Some((e, n)),
+                })
+                .unwrap()
+                .0;
+            (c, best)
+        })
+        .collect()
+}
+
+/// Value-level truth recovery: for every mapped record and scored
+/// attribute, the *served* value (the reconciled winner, first live entry)
+/// is correct when it shares a denotation with any ground-truth value.
+/// Precision is over served values, recall over the truth facts of the
+/// mapped entities.
+fn value_prf(world: &World, mapping: &BTreeMap<LrecId, LrecId>, woc: &WebOfConcepts) -> (f64, f64) {
+    let mut truth_total = 0usize;
+    let mut served = 0usize;
+    let mut correct = 0usize;
+    for (&canon, &entity) in mapping {
+        let Some(rec) = woc.store.latest(canon) else {
+            continue;
+        };
+        let truth = world.rec(entity);
+        for attr in ATTRS {
+            let truth_entries = truth.get(attr);
+            if truth_entries.is_empty() {
+                continue;
+            }
+            truth_total += 1;
+            let Some(winner) = rec.get(attr).first() else {
+                continue;
+            };
+            served += 1;
+            if truth_entries
+                .iter()
+                .any(|t| t.value.same_denotation(&winner.value))
+            {
+                correct += 1;
+            }
+        }
+    }
+    let p = if served == 0 {
+        0.0
+    } else {
+        correct as f64 / served as f64
+    };
+    let r = if truth_total == 0 {
+        0.0
+    } else {
+        correct as f64 / truth_total as f64
+    };
+    (p, r)
+}
+
+/// Spam-site detection P/R: the model's quarantine set vs the planted
+/// adversarial hosts.
+fn detection_prf(planted: &HashSet<String>, quarantined: &HashSet<String>) -> (f64, f64) {
+    let hit = planted.intersection(quarantined).count();
+    let p = if quarantined.is_empty() {
+        1.0
+    } else {
+        hit as f64 / quarantined.len() as f64
+    };
+    let r = if planted.is_empty() {
+        1.0
+    } else {
+        hit as f64 / planted.len() as f64
+    };
+    (p, r)
+}
+
+fn corpus_at(world: &World, base: &CorpusConfig, ratio: f64, seed: u64) -> WebCorpus {
+    let mut cfg = base.clone();
+    if ratio > 0.0 {
+        cfg.adversarial = Some(AdversarialConfig::at_ratio(ratio, seed));
+    }
+    generate_corpus(world, &cfg)
+}
+
+fn fixed_queries() -> Vec<Query> {
+    vec![
+        Query::Search("pizza".to_string(), 5),
+        Query::Search("thai noodles".to_string(), 5),
+        Query::Search("sushi downtown".to_string(), 5),
+        Query::ConceptBox("sushi".to_string()),
+        Query::ConceptBox("pizza".to_string()),
+        Query::Recommend("burger".to_string(), 3),
+    ]
+}
+
+fn answer_bytes(woc: WebOfConcepts, queries: &[Query]) -> String {
+    let server = ConceptServer::new(woc, ServeConfig::default());
+    queries
+        .iter()
+        .map(|q| format!("{:?}\n", server.execute(q).value))
+        .collect()
+}
+
+/// The CI gate: at 30% spam, served answers byte-identical to the clean
+/// build, audit (including W016) clean, at every gate seed.
+fn quick_gate() {
+    let world = World::generate(WorldConfig::tiny(700));
+    let base = CorpusConfig::tiny(70);
+    let clean = generate_corpus(&world, &base);
+    let honest_sites = clean.sites().len();
+    let config = bench_pipeline_config();
+    let queries = fixed_queries();
+    let baseline = answer_bytes(build(&clean, &config), &queries);
+
+    let mut seeds = vec![11u64, 17];
+    if let Ok(extra) = std::env::var("WOC_ADV_SEED") {
+        if let Ok(s) = extra.parse() {
+            if !seeds.contains(&s) {
+                seeds.push(s);
+            }
+        }
+    }
+    for seed in seeds {
+        let adv = AdversarialConfig::at_ratio(0.3, seed);
+        let truth = corpus_at(&world, &base, 0.3, seed);
+        let woc = build(&truth, &config);
+        let planted = plan_sites(&world, honest_sites, &adv).len();
+        assert_eq!(
+            woc.report.sites_distrusted, planted,
+            "[seed {seed}] every planted spam site must be quarantined"
+        );
+        let report = audit(&woc, &AuditConfig::default());
+        assert!(
+            report.passed(),
+            "[seed {seed}] audit failed at 30% spam:\n{}",
+            report.render()
+        );
+        assert_eq!(
+            answer_bytes(woc, &queries),
+            baseline,
+            "[seed {seed}] served answers diverged from the clean build at 30% spam"
+        );
+        println!("  seed {seed:>2}: {planted} spam sites quarantined, audit clean, answers byte-identical");
+    }
+    println!("truth_bench --quick: PASS");
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--quick") {
+        header("R3  CI gate — 30% spam, byte-identical serving");
+        quick_gate();
+        return;
+    }
+
+    let world = World::generate(WorldConfig::default());
+    let base = CorpusConfig::default();
+    let clean_sites = generate_corpus(&world, &base).sites().len();
+    let config = bench_pipeline_config();
+    metric_row("world restaurants", world.restaurants.len());
+    metric_row("honest sites", clean_sites);
+
+    header("R3  Truth recovery vs spam ratio (seed 11)");
+    println!(
+        "  {:<8} {:>7} {:>12} {:>9} {:>9} {:>11} {:>11} {:>6}",
+        "spam", "sites", "distrusted", "value P", "value R", "detect P", "detect R", "iters"
+    );
+    let mut curve_at_30 = Vec::new();
+    for ratio in RATIOS {
+        let adv = AdversarialConfig::at_ratio(ratio, 11);
+        let corpus = corpus_at(&world, &base, ratio, 11);
+        let woc = build(&corpus, &config);
+        let planted: HashSet<String> = if ratio > 0.0 {
+            plan_sites(&world, clean_sites, &adv)
+                .into_iter()
+                .map(|s| s.host)
+                .collect()
+        } else {
+            HashSet::new()
+        };
+        let quarantined: HashSet<String> = woc
+            .trust
+            .quarantined
+            .iter()
+            .map(|(s, _)| s.clone())
+            .collect();
+        let (dp, dr) = detection_prf(&planted, &quarantined);
+        let mapping = map_records(&world, &corpus, &woc);
+        let (vp, vr) = value_prf(&world, &mapping, &woc);
+        if (ratio - 0.3).abs() < 1e-9 {
+            curve_at_30 = woc.trust.curve.clone();
+        }
+        println!(
+            "  {:<8} {:>7} {:>12} {:>9.3} {:>9.3} {:>11.3} {:>11.3} {:>6}",
+            pct(ratio),
+            planted.len(),
+            woc.report.sites_distrusted,
+            vp,
+            vr,
+            dp,
+            dr,
+            woc.trust.iterations
+        );
+    }
+
+    header("R3b Trust-fixpoint convergence at 30% spam (max |Δtrust| per iteration)");
+    for (i, delta) in curve_at_30.iter().enumerate() {
+        println!("  iter {:>2}  {delta:.6}", i + 1);
+    }
+    println!("  (expected shape: geometric decay — damped fixpoint contraction)");
+}

@@ -1,0 +1,182 @@
+//! The adversarial-web invariant, end to end: at spam-site ratios up to
+//! 50%, the source-reliability fixpoint quarantines every planted
+//! adversarial site and not one honest site, the audit (including W016,
+//! the source-reliability check) passes, and served search/lookup/recommend
+//! answers are byte-identical to a clean-corpus build of the same world.
+//!
+//! Everything is deterministic in the seeds below. Set `WOC_ADV_SEED` to
+//! sweep an extra adversarial-rendering seed in CI.
+
+use std::collections::BTreeSet;
+
+use woc_audit::{audit, AuditConfig};
+use woc_core::{build, PipelineConfig, WebOfConcepts};
+use woc_serve::{ConceptServer, Query, ServeConfig};
+use woc_webgen::sites::adversarial::plan_sites;
+use woc_webgen::{generate_corpus, AdversarialConfig, CorpusConfig, WebCorpus, World, WorldConfig};
+
+/// Spam ratios every seed is exercised at.
+const RATIOS: [f64; 3] = [0.1, 0.3, 0.5];
+
+/// Seeds the adversarial renderer is exercised at. `WOC_ADV_SEED` adds one.
+fn adv_seeds() -> Vec<u64> {
+    let mut seeds = vec![11, 17];
+    if let Ok(extra) = std::env::var("WOC_ADV_SEED") {
+        if let Ok(s) = extra.parse() {
+            if !seeds.contains(&s) {
+                seeds.push(s);
+            }
+        }
+    }
+    seeds
+}
+
+fn fixed_world() -> World {
+    World::generate(WorldConfig::tiny(700))
+}
+
+fn clean_corpus(world: &World) -> WebCorpus {
+    generate_corpus(world, &CorpusConfig::tiny(70))
+}
+
+fn spam_corpus(world: &World, adv: &AdversarialConfig) -> WebCorpus {
+    let mut cfg = CorpusConfig::tiny(70);
+    cfg.adversarial = Some(adv.clone());
+    generate_corpus(world, &cfg)
+}
+
+/// A query mix covering all three serving planes.
+fn fixed_queries() -> Vec<Query> {
+    vec![
+        Query::Search("pizza".to_string(), 5),
+        Query::Search("thai noodles".to_string(), 5),
+        Query::Search("sushi downtown".to_string(), 5),
+        Query::ConceptBox("sushi".to_string()),
+        Query::ConceptBox("pizza".to_string()),
+        Query::Recommend("burger".to_string(), 3),
+    ]
+}
+
+/// Debug-render a batch of answers: the byte-identity oracle. Serving
+/// payloads are value-level (no provenance or trust floats), so two builds
+/// that serve the same facts render the same bytes.
+fn answer_bytes(woc: WebOfConcepts, queries: &[Query]) -> String {
+    let server = ConceptServer::new(woc, ServeConfig::default());
+    queries
+        .iter()
+        .map(|q| format!("{:?}\n", server.execute(q).value))
+        .collect()
+}
+
+/// One leg of the matrix: build at (`ratio`, `seed`), check the quarantine
+/// set is exactly the planted hosts, the audit passes, and answers match
+/// the clean baseline byte-for-byte.
+fn drive_leg(
+    world: &World,
+    honest_sites: usize,
+    baseline: &str,
+    queries: &[Query],
+    ratio: f64,
+    seed: u64,
+) {
+    let adv = AdversarialConfig::at_ratio(ratio, seed);
+    let truth = spam_corpus(world, &adv);
+    let planted: BTreeSet<String> = plan_sites(world, honest_sites, &adv)
+        .into_iter()
+        .map(|s| s.host)
+        .collect();
+    assert!(
+        !planted.is_empty(),
+        "[{ratio}/{seed}] the plan must plant at least one adversarial site"
+    );
+
+    let woc = build(&truth, &PipelineConfig::default());
+
+    // The reliability model must distrust exactly the planted sites: every
+    // spam host quarantined, no honest site caught in the net.
+    let quarantined: BTreeSet<String> = woc
+        .trust
+        .quarantined
+        .iter()
+        .map(|(site, _)| site.clone())
+        .collect();
+    assert_eq!(
+        quarantined, planted,
+        "[{ratio}/{seed}] quarantine set must equal the planted adversarial hosts"
+    );
+    assert_eq!(woc.report.sites_distrusted, planted.len());
+
+    // Lineage mirrors the model, so explanations can name the distrusted
+    // sites.
+    for host in &planted {
+        assert!(
+            woc.lineage.is_site_quarantined(host),
+            "[{ratio}/{seed}] lineage must record quarantined site {host}"
+        );
+    }
+
+    // The audit — W016 recomputes the fixpoint from the stored claims and
+    // cross-checks lineage, documents, and the selection log.
+    let report = audit(&woc, &AuditConfig::default());
+    assert!(
+        report.passed(),
+        "[{ratio}/{seed}] audit failed on adversarial build:\n{}",
+        report.render()
+    );
+
+    // The headline invariant: served answers are byte-identical to the
+    // clean-corpus build. The spam never reaches a served fact.
+    assert_eq!(
+        answer_bytes(woc, queries),
+        baseline,
+        "[{ratio}/{seed}] adversarial build must serve the clean build's answers"
+    );
+}
+
+#[test]
+fn spam_matrix_serves_clean_answers_at_every_ratio_and_seed() {
+    let world = fixed_world();
+    let clean = clean_corpus(&world);
+    let honest_sites = clean.sites().len();
+    let clean_woc = build(&clean, &PipelineConfig::default());
+    assert_eq!(
+        clean_woc.report.sites_distrusted, 0,
+        "the clean corpus must not trip the reliability model"
+    );
+    let queries = fixed_queries();
+    let baseline = answer_bytes(clean_woc, &queries);
+
+    for seed in adv_seeds() {
+        for ratio in RATIOS {
+            drive_leg(&world, honest_sites, &baseline, &queries, ratio, seed);
+        }
+    }
+}
+
+#[test]
+fn honest_corpus_prefix_is_byte_identical_under_attack() {
+    // The adversarial renderer must not perturb a single honest byte: the
+    // first `clean.len()` pages of an attacked corpus are the clean corpus.
+    let world = fixed_world();
+    let clean = clean_corpus(&world);
+    let spam = spam_corpus(&world, &AdversarialConfig::at_ratio(0.3, 11));
+    assert!(spam.len() > clean.len());
+    for (c, s) in clean.pages().iter().zip(spam.pages().iter()) {
+        assert_eq!(c, s, "honest page {} perturbed", c.url);
+    }
+}
+
+#[test]
+fn trust_digest_is_stable_for_a_fixed_seed() {
+    // Two builds of the same attacked corpus agree on every trust score,
+    // the quarantine list, and the claim pool — the digest the incremental
+    // engine folds into its canonical bytes.
+    let world = fixed_world();
+    let adv = AdversarialConfig::at_ratio(0.3, 17);
+    let truth = spam_corpus(&world, &adv);
+    let a = build(&truth, &PipelineConfig::default());
+    let b = build(&truth, &PipelineConfig::default());
+    assert_eq!(a.trust.digest(), b.trust.digest());
+    assert_eq!(a.trust.site_trust, b.trust.site_trust);
+    assert_eq!(a.trust.quarantined, b.trust.quarantined);
+}

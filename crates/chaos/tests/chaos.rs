@@ -12,7 +12,10 @@ use woc_core::{build, PipelineConfig};
 use woc_incr::{canonical_bytes, IncrEngine};
 use woc_lrec::Tick;
 use woc_serve::{ConceptServer, CrawlHealth, Query, ServeConfig};
-use woc_webgen::{churn_restaurants, generate_corpus, CorpusConfig, WebCorpus, World, WorldConfig};
+use woc_webgen::{
+    churn_restaurants, generate_corpus, AdversarialConfig, CorpusConfig, WebCorpus, World,
+    WorldConfig,
+};
 
 /// Seeds every profile is exercised at. `WOC_CHAOS_SEED` adds one more.
 fn fault_seeds() -> Vec<u64> {
@@ -261,6 +264,56 @@ fn partial_maintenance_patches_unreachable_pages_from_last_good() {
         report.passed(),
         "patched maintenance audit failed:\n{report:?}"
     );
+}
+
+#[test]
+fn trust_and_poison_quarantine_share_one_lineage_story() {
+    // Content-level (trust, site-scope) and transport-level (poison,
+    // page-scope) quarantine both arrive through
+    // `Lineage::quarantine_scoped` and must coexist in one build: an
+    // adversarial corpus crawled under transport faults produces both
+    // kinds, and W012 (page accounting) plus W016 (site accounting) audit
+    // the same lineage cleanly without stepping on each other.
+    let world = World::generate(WorldConfig::tiny(700));
+    let mut corpus_cfg = CorpusConfig::tiny(70);
+    corpus_cfg.adversarial = Some(AdversarialConfig::at_ratio(0.3, 11));
+    let truth = generate_corpus(&world, &corpus_cfg);
+
+    let outcome = crawl(
+        &truth,
+        &FaultProfile::everything(0.15),
+        &RetryPolicy::default(),
+        17,
+    );
+    assert!(
+        !outcome.quarantined.is_empty(),
+        "transport faults must poison some pages"
+    );
+    let woc = build_resilient(&outcome, &PipelineConfig::default());
+    assert!(
+        woc.report.sites_distrusted > 0,
+        "the reliability model must distrust the spam sites"
+    );
+    assert!(
+        !woc.lineage.quarantined().is_empty() && !woc.lineage.quarantined_sites().is_empty(),
+        "both quarantine scopes must be present in one lineage"
+    );
+    // Page-scope listing never bleeds into site-scope listing or vice versa.
+    for (url, _) in woc.lineage.quarantined() {
+        assert!(!woc.lineage.is_site_quarantined(url));
+    }
+    for (site, _) in woc.lineage.quarantined_sites() {
+        assert!(!woc.lineage.is_quarantined(site));
+    }
+    let report = audit(&woc, &AuditConfig::default());
+    let w12 = report.check("W012").expect("W012 present");
+    let w16 = report.check("W016").expect("W016 present");
+    assert!(
+        w12.passed() && w16.passed(),
+        "both quarantine planes must audit clean:\n{}",
+        report.render()
+    );
+    assert!(report.passed(), "{}", report.render());
 }
 
 #[test]

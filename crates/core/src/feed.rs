@@ -96,6 +96,7 @@ pub fn ingest_feed(woc: &mut WebOfConcepts, feed: &Feed, tick: Tick) -> FeedRepo
             operator: "feed-ingest".to_string(),
             confidence: feed.confidence.clamp(0.0, 1.0),
             observed_at: t,
+            support: Vec::new(),
         };
         // Build a staging record for matching.
         let mut staged = Lrec::new(LrecId(u64::MAX), cid);

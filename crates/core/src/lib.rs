@@ -38,11 +38,12 @@ pub mod pipeline;
 pub mod quality;
 pub mod report;
 pub mod taxonomy;
+pub mod trust;
 pub mod uncertainty;
 
 pub use feed::{ingest_feed, parse_feed, Feed, FeedError, FeedRecord, FeedReport};
 pub use graph::{record_links, reverse_links, AssocKind, ConceptWeb};
-pub use lineage::{Lineage, LineageNode, NodeId, NodeKind};
+pub use lineage::{Lineage, LineageNode, NodeId, NodeKind, QuarantineScope};
 pub use maintain::{recrawl, MaintenanceReport};
 pub use memo::{doc_tokens, BuildCaches, CacheStats, RecordIndexChange};
 pub use parallel::{resolve_threads, shard_map};
@@ -55,7 +56,9 @@ pub use report::{PipelineReport, SiteCoverage, StageStat};
 pub use taxonomy::{
     bundles_containing, cluster_purity, data_driven_taxonomy, part_of_components, Taxonomy,
 };
+pub use trust::{pool_key, Claim, Exclusion, Selection, TrustConfig, TrustModel};
 pub use uncertainty::{
-    apply_reconciliation, group_by_denotation, quality_score, reconcile, Conflict, ReconciledValue,
-    Reconciliation,
+    apply_reconciliation, group_by_denotation, quality_score, reconcile, reconcile_with_trust,
+    Conflict, ReconciledValue, Reconciliation, TrustedExclusion, TrustedReconciliation,
+    TrustedWinner,
 };

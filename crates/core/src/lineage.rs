@@ -49,6 +49,29 @@ pub enum NodeKind {
         /// `circuit-open`).
         reason: String,
     },
+    /// A whole site whose *content* was quarantined — the source-reliability
+    /// fixpoint converged its trust below threshold, so every record it
+    /// asserted was scrubbed before resolution (audit check W016). Scoped to
+    /// the site, not a page: the attack is the publisher, not the transport.
+    QuarantinedSite {
+        /// The site hostname.
+        site: String,
+        /// Why it was distrusted (e.g. `trust 0.33 < 0.60`).
+        reason: String,
+    },
+}
+
+/// What a quarantine entry covers. Transport-level damage (poison pages,
+/// truncation, timeouts) quarantines a single [`QuarantineScope::Page`];
+/// content-level damage (a distrusted source) quarantines the whole
+/// [`QuarantineScope::Site`]. Both routes share [`Lineage::quarantine_scoped`]
+/// so W012 (pages) and W016 (sites) audit one lineage story.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineScope {
+    /// One page, keyed by URL.
+    Page,
+    /// One site, keyed by hostname.
+    Site,
 }
 
 /// One node of the DAG.
@@ -69,6 +92,7 @@ pub struct Lineage {
     by_record: HashMap<LrecId, Vec<NodeId>>,
     by_document: HashMap<String, NodeId>,
     by_quarantine: HashMap<String, NodeId>,
+    by_site_quarantine: HashMap<String, NodeId>,
     downstream: HashMap<NodeId, Vec<NodeId>>,
 }
 
@@ -107,6 +131,9 @@ impl Lineage {
             NodeKind::Quarantined { url, .. } => {
                 self.by_quarantine.insert(url.clone(), id);
             }
+            NodeKind::QuarantinedSite { site, .. } => {
+                self.by_site_quarantine.insert(site.clone(), id);
+            }
             NodeKind::Operator { .. } => {}
         }
         self.nodes.push(LineageNode { id, kind, inputs });
@@ -131,20 +158,62 @@ impl Lineage {
         )
     }
 
+    /// The single quarantine entry point, shared by transport-level and
+    /// content-level quarantine. Idempotent per key — re-quarantining keeps
+    /// the first node (and its reason). Returns the node id.
+    pub fn quarantine_scoped(&mut self, scope: QuarantineScope, key: &str, reason: &str) -> NodeId {
+        let existing = match scope {
+            QuarantineScope::Page => self.by_quarantine.get(key),
+            QuarantineScope::Site => self.by_site_quarantine.get(key),
+        };
+        if let Some(&id) = existing {
+            return id;
+        }
+        let kind = match scope {
+            QuarantineScope::Page => NodeKind::Quarantined {
+                url: key.to_string(),
+                reason: reason.to_string(),
+            },
+            QuarantineScope::Site => NodeKind::QuarantinedSite {
+                site: key.to_string(),
+                reason: reason.to_string(),
+            },
+        };
+        self.add(kind, Vec::new())
+    }
+
     /// Record that a page was quarantined (or skipped) during the crawl,
     /// with the reason. Idempotent per URL — re-quarantining keeps the
     /// first node (and its reason). Returns the node id.
     pub fn quarantine(&mut self, url: &str, reason: &str) -> NodeId {
-        if let Some(&id) = self.by_quarantine.get(url) {
-            return id;
-        }
-        self.add(
-            NodeKind::Quarantined {
-                url: url.to_string(),
-                reason: reason.to_string(),
-            },
-            Vec::new(),
-        )
+        self.quarantine_scoped(QuarantineScope::Page, url, reason)
+    }
+
+    /// Record that a whole site's content was quarantined (its trust fell
+    /// below threshold). Idempotent per site, first reason wins.
+    pub fn quarantine_site(&mut self, site: &str, reason: &str) -> NodeId {
+        self.quarantine_scoped(QuarantineScope::Site, site, reason)
+    }
+
+    /// Every content-quarantined site as `(site, reason)`, sorted by site.
+    pub fn quarantined_sites(&self) -> Vec<(&str, &str)> {
+        let mut out: Vec<(&str, &str)> = self
+            .nodes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NodeKind::QuarantinedSite { site, reason } => {
+                    Some((site.as_str(), reason.as_str()))
+                }
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// True when the site's content was quarantined by the trust model.
+    pub fn is_site_quarantined(&self, site: &str) -> bool {
+        self.by_site_quarantine.contains_key(site)
     }
 
     /// Every quarantined page as `(url, reason)`, sorted by URL.
@@ -255,6 +324,9 @@ impl Lineage {
                     NodeKind::Value { record, attr } => out.push(format!("value {record}.{attr}")),
                     NodeKind::Quarantined { url, reason } => {
                         out.push(format!("quarantined {url} ({reason})"))
+                    }
+                    NodeKind::QuarantinedSite { site, reason } => {
+                        out.push(format!("quarantined-site {site} ({reason})"))
                     }
                 }
             }
@@ -438,6 +510,33 @@ mod tests {
         assert!(l
             .records_from_document("http://c.example.com/lost")
             .is_empty());
+    }
+
+    #[test]
+    fn site_and_page_quarantine_share_one_code_path() {
+        let mut l = Lineage::new();
+        let p = l.quarantine_scoped(QuarantineScope::Page, "http://x/p", "truncated");
+        assert_eq!(
+            l.quarantine("http://x/p", "other"),
+            p,
+            "page route delegates"
+        );
+        let s = l.quarantine_site("spam.example.net", "trust 0.33 < 0.60");
+        assert_eq!(
+            l.quarantine_scoped(QuarantineScope::Site, "spam.example.net", "again"),
+            s,
+            "site route is idempotent, first reason wins"
+        );
+        assert!(l.is_site_quarantined("spam.example.net"));
+        assert!(!l.is_site_quarantined("honest.example.com"));
+        assert_eq!(
+            l.quarantined_sites(),
+            vec![("spam.example.net", "trust 0.33 < 0.60")]
+        );
+        // Page-scope listing is unaffected by site entries: W012's page
+        // accounting must not see content-level quarantine.
+        assert_eq!(l.quarantined(), vec![("http://x/p", "truncated")]);
+        assert!(!l.is_quarantined("spam.example.net"));
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::lineage::Lineage;
 use crate::memo::{self, BuildCaches};
 use crate::parallel::{resolve_threads, shard_map};
 use crate::report::PipelineReport;
+use crate::trust::{pool_key, Claim, Selection, TrustConfig, TrustModel};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -50,6 +51,9 @@ pub struct PipelineConfig {
     pub resolve_entities: bool,
     /// Run value reconciliation (ablation flag).
     pub reconcile_values: bool,
+    /// Source-reliability model: fixpoint trust per site, quarantine of
+    /// systematically wrong sites, reliability-weighted reconciliation.
+    pub trust: TrustConfig,
 }
 
 impl Default for PipelineConfig {
@@ -63,6 +67,7 @@ impl Default for PipelineConfig {
             use_detail: true,
             resolve_entities: true,
             reconcile_values: true,
+            trust: TrustConfig::default(),
         }
     }
 }
@@ -92,6 +97,9 @@ pub struct WebOfConcepts {
     pub doc_urls: Vec<String>,
     /// Page titles by doc-index id.
     pub doc_titles: Vec<String>,
+    /// The source-reliability model: per-site trust, quarantine decisions,
+    /// and the selection/exclusion log reconciliation produced under it.
+    pub trust: TrustModel,
     /// Stage timings and record counts of the build that produced this web.
     pub report: PipelineReport,
 }
@@ -465,6 +473,13 @@ pub fn build_with_caches(
     // --- Stage B: typed record creation with lineage --------------------
     let concept_id = |name: &str| registry.id_of(name).expect("standard concept");
     let mut created: Vec<LrecId> = Vec::new();
+    // Fuel for the source-reliability fixpoint: every pooled-concept claim
+    // (site, entity pool, attribute, value), taken PRE-merge — absorbing a
+    // duplicate record would destroy the cross-site corroboration signal.
+    let mut claims: Vec<Claim> = Vec::new();
+    // Which site asserted each record, so a distrusted site's records can
+    // be scrubbed before entity resolution sees them.
+    let mut record_sites: Vec<(LrecId, String)> = Vec::new();
     for (page, recs) in pages.iter().zip(&extracted) {
         if recs.is_empty() {
             continue;
@@ -512,10 +527,78 @@ pub fn build_with_caches(
             lineage.record(id, op_node);
             web.associate(id, &page.url, AssocKind::ExtractedFrom);
             created.push(id);
+            record_sites.push((id, page.site.clone()));
+            if config.trust.enabled && config.trust.concepts.iter().any(|c| c == concept_name) {
+                let name = fields
+                    .iter()
+                    .find(|(k, _)| k == "name")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or("");
+                let city = fields
+                    .iter()
+                    .find(|(k, _)| k == "city")
+                    .map(|(_, v)| v.as_str())
+                    .unwrap_or("");
+                // Unnamed records would all pool together; skip them.
+                if !name.is_empty() {
+                    let pool = pool_key(concept_name, name, city);
+                    for (field, raw) in &fields {
+                        // Pool-key attributes (name, city) are tautologically
+                        // in agreement within a pool — every site "wins" them,
+                        // so they carry no reliability signal and would only
+                        // dilute the contested facts that do.
+                        if field == "name" || field == "city" {
+                            continue;
+                        }
+                        claims.push(Claim {
+                            site: page.site.clone(),
+                            pool: pool.clone(),
+                            attr: field.clone(),
+                            value: type_value(field, raw),
+                            confidence: rec.confidence,
+                        });
+                    }
+                }
+            }
         }
     }
     report.lrecs_extracted = created.len();
     report.stage_done("records", created.len(), &mut t0);
+
+    // --- Stage B2: source-reliability fixpoint ---------------------------
+    // TruthFinder-style iteration over the pre-merge claims: a site is
+    // trusted to the extent its contested claims win, and a claim group wins
+    // to the extent trusted sites assert it. Sites converging below the
+    // threshold are content-quarantined — the same lineage story transport
+    // faults use, at site scope.
+    let trust_model = if config.trust.enabled {
+        let model = TrustModel::compute(claims, &config.trust);
+        for (site, reason) in &model.quarantined {
+            lineage.quarantine_site(site, reason);
+        }
+        report.sites_distrusted = model.quarantined.len();
+        model
+    } else {
+        TrustModel::default()
+    };
+
+    // --- Stage B3: scrub records asserted by distrusted sites ------------
+    // Retract BEFORE entity resolution: a spam record absorbed into an
+    // honest cluster would launder its values past the trust gate. After the
+    // scrub the live store is exactly what a clean crawl would have built.
+    let mut scrubbed = 0usize;
+    if report.sites_distrusted > 0 {
+        for (id, site) in &record_sites {
+            if trust_model.is_quarantined(site) {
+                store
+                    .retract(*id)
+                    .expect("retract freshly created record from distrusted site");
+                web.remove_record(*id);
+                scrubbed += 1;
+            }
+        }
+    }
+    report.stage_done("trust", scrubbed, &mut t0);
 
     // --- Stage C: entity resolution per concept --------------------------
     // Every mutating store operation gets its own strictly-increasing tick.
@@ -628,6 +711,21 @@ pub fn build_with_caches(
     report.stage_done("resolve", report.match_pairs_scored, &mut t0);
 
     // --- Stage C2: reconciliation ----------------------------------------
+    // Pooled concepts reconcile under the reliability model: group rank is
+    // trust-weighted, quarantined-only value groups are excluded outright,
+    // and winners get SiteSupport provenance. With no quarantined sites this
+    // is identical to plain reconcile, so honest builds are unchanged.
+    let mut trust_model = trust_model;
+    let pooled: Vec<(ConceptId, &str)> = if config.trust.enabled {
+        config
+            .trust
+            .concepts
+            .iter()
+            .filter_map(|n| registry.id_of(n).map(|cid| (cid, n.as_str())))
+            .collect()
+    } else {
+        Vec::new()
+    };
     let mut reconciled = 0usize;
     for id in store.live_ids() {
         if !config.reconcile_values {
@@ -640,14 +738,48 @@ pub fn build_with_caches(
         let Some(schema) = registry.schema(rec.concept()) else {
             continue;
         };
-        let recon = crate::uncertainty::reconcile(&rec, schema);
-        if !recon.conflicts.is_empty() || rec.num_values() > rec.num_attrs() {
-            store
-                .update(id, next_tick(), |r| {
-                    crate::uncertainty::apply_reconciliation(r, &recon, "reconciler");
-                })
-                .expect("reconcile update");
-            reconciled += 1;
+        if let Some((_, cname)) = pooled.iter().find(|(cid, _)| *cid == rec.concept()) {
+            let tr = crate::uncertainty::reconcile_with_trust(&rec, schema, &trust_model);
+            if !tr.recon.conflicts.is_empty() || rec.num_values() > rec.num_attrs() {
+                let pool = pool_key(
+                    cname,
+                    rec.best_string("name").as_deref().unwrap_or(""),
+                    rec.best_string("city").as_deref().unwrap_or(""),
+                );
+                store
+                    .update(id, next_tick(), |r| {
+                        crate::uncertainty::apply_reconciliation(r, &tr.recon, "reconciler");
+                    })
+                    .expect("reconcile update");
+                for w in tr.winners {
+                    trust_model.selections.push(Selection {
+                        record: id,
+                        attr: w.attr,
+                        pool: pool.clone(),
+                        value: w.value,
+                        support: w.support,
+                    });
+                }
+                for ex in tr.excluded {
+                    trust_model.exclusions.push(crate::trust::Exclusion {
+                        record: id,
+                        attr: ex.attr,
+                        value: ex.value,
+                        sites: ex.sites,
+                    });
+                }
+                reconciled += 1;
+            }
+        } else {
+            let recon = crate::uncertainty::reconcile(&rec, schema);
+            if !recon.conflicts.is_empty() || rec.num_values() > rec.num_attrs() {
+                store
+                    .update(id, next_tick(), |r| {
+                        crate::uncertainty::apply_reconciliation(r, &recon, "reconciler");
+                    })
+                    .expect("reconcile update");
+                reconciled += 1;
+            }
         }
     }
     report.stage_done("reconcile", reconciled, &mut t0);
@@ -782,6 +914,11 @@ pub fn build_with_caches(
         }),
     };
     for (page, ids) in pages.iter().zip(&mentions_per_page) {
+        // A distrusted site's pages link to nothing: a spam page stuffed
+        // with honest names must not become "related documents" in serving.
+        if lineage.is_site_quarantined(&page.site) {
+            continue;
+        }
         for id in ids {
             web.associate(*id, &page.url, AssocKind::Mentions);
             report.mention_links += 1;
@@ -891,6 +1028,20 @@ pub fn build_with_caches(
     report.stage_done("homepage", homepage_links, &mut t0);
 
     // --- Stage G: indexes ---------------------------------------------------
+    // Distrusted sites serve nothing: their pages are excluded from the
+    // document index and tables. Adversarial pages are appended after the
+    // honest corpus, so the surviving prefix — and with it every doc id —
+    // is byte-identical to a clean crawl's.
+    let (live_pages, live_fps): (Vec<&Page>, Vec<u64>) = if report.sites_distrusted > 0 {
+        pages
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !lineage.is_site_quarantined(&p.site))
+            .map(|(i, p)| (*p, page_fps.get(i).copied().unwrap_or(0)))
+            .unzip()
+    } else {
+        (pages.clone(), page_fps.clone())
+    };
     let (record_index, doc_index) = match caches.as_deref_mut() {
         Some(c) => {
             let entries: Vec<(LrecId, ConceptId, Vec<String>)> = store
@@ -904,7 +1055,7 @@ pub fn build_with_caches(
                 })
                 .collect();
             let record_index = c.record_index_with(entries);
-            let doc_index = c.doc_index_with(&pages, &page_fps, threads);
+            let doc_index = c.doc_index_with(&live_pages, &live_fps, threads);
             (record_index, doc_index)
         }
         None => {
@@ -917,22 +1068,22 @@ pub fn build_with_caches(
                 );
             }
             let mut doc_index = InvertedIndex::new();
-            for page in &pages {
+            for page in &live_pages {
                 doc_index.add_text(&format!("{} {}", page.title, page.text()));
             }
             (record_index, doc_index)
         }
     };
-    let mut doc_urls = Vec::with_capacity(pages.len());
-    let mut doc_titles = Vec::with_capacity(pages.len());
-    for page in &pages {
+    let mut doc_urls = Vec::with_capacity(live_pages.len());
+    let mut doc_titles = Vec::with_capacity(live_pages.len());
+    for page in &live_pages {
         doc_urls.push(page.url.clone());
         doc_titles.push(page.title.clone());
     }
     if let Some(c) = caches {
         c.end_pass();
     }
-    report.stage_done("index", store.live_count() + pages.len(), &mut t0);
+    report.stage_done("index", store.live_count() + live_pages.len(), &mut t0);
 
     WebOfConcepts {
         registry,
@@ -944,6 +1095,7 @@ pub fn build_with_caches(
         doc_index,
         doc_urls,
         doc_titles,
+        trust: trust_model,
         report,
     }
 }

@@ -65,6 +65,9 @@ pub struct PipelineReport {
     pub pages_quarantined: usize,
     /// Pages the crawl could not deliver at all (0 without faults).
     pub pages_failed: usize,
+    /// Sites quarantined by the source-reliability model (0 on an honest
+    /// web: trust never quarantines without systematic disagreement).
+    pub sites_distrusted: usize,
     /// Per-site crawl coverage (empty when the build had no crawl report).
     pub coverage: Vec<SiteCoverage>,
     /// Per-stage timings in execution order.
@@ -155,6 +158,13 @@ impl fmt::Display for PipelineReport {
             self.clusters_formed,
             self.mention_links
         )?;
+        if self.sites_distrusted > 0 {
+            write!(
+                f,
+                "\n  adversarial web: {} sites distrusted by the reliability model",
+                self.sites_distrusted
+            )?;
+        }
         if self.pages_quarantined > 0 || self.pages_failed > 0 {
             write!(
                 f,

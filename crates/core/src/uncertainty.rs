@@ -12,7 +12,10 @@
 //! [`Conflict`]s so applications can explain disagreements.
 
 use woc_lrec::provenance::noisy_or;
-use woc_lrec::{Cardinality, ConceptSchema, Lrec, ValueEntry};
+use woc_lrec::{Cardinality, ConceptSchema, Lrec, SiteSupport, ValueEntry};
+use woc_webgen::page::url_host;
+
+use crate::trust::TrustModel;
 
 /// A reconciled attribute value with its combined confidence and supports.
 #[derive(Debug, Clone)]
@@ -125,6 +128,200 @@ pub fn reconcile(rec: &Lrec, schema: &ConceptSchema) -> Reconciliation {
         result.kept.push((attr.to_string(), kept));
     }
     result
+}
+
+/// A contested-attribute winner chosen by [`reconcile_with_trust`]: which
+/// value won and who supported it. The pipeline wraps these into
+/// [`crate::trust::Selection`]s for the audit trail.
+#[derive(Debug, Clone)]
+pub struct TrustedWinner {
+    /// The attribute.
+    pub attr: String,
+    /// Display string of the winning value.
+    pub value: String,
+    /// Supporting sites with their trust at selection time.
+    pub support: Vec<SiteSupport>,
+}
+
+/// A value group suppressed because every site asserting it was
+/// content-quarantined.
+#[derive(Debug, Clone)]
+pub struct TrustedExclusion {
+    /// The attribute.
+    pub attr: String,
+    /// Display string of the excluded value.
+    pub value: String,
+    /// The quarantined sites that asserted it.
+    pub sites: Vec<String>,
+}
+
+/// Result of trust-aware reconciliation.
+#[derive(Debug, Clone, Default)]
+pub struct TrustedReconciliation {
+    /// The reconciliation to apply (same shape as [`reconcile`]'s).
+    pub recon: Reconciliation,
+    /// Winners of contested attributes (≥ 2 denotation groups), for the
+    /// selection log.
+    pub winners: Vec<TrustedWinner>,
+    /// Groups excluded for quarantined-only support.
+    pub excluded: Vec<TrustedExclusion>,
+}
+
+/// Reconcile a record under a source-reliability model: value groups are
+/// ranked by *reliability-weighted* corroboration — each assertion weighs
+/// `confidence × selection_weight(site)`, so a quarantined site's assertions
+/// count zero however many pages repeat them — instead of raw majority.
+/// Groups supported *only* by quarantined sites are excluded outright and
+/// reported, the explicit "below-trust-threshold exclusion" the serving
+/// byte-identity gate accepts as explanation. Winners are stamped with
+/// [`SiteSupport`] (site + trust at selection time) in their provenance.
+///
+/// With no quarantined sites every weight is 1, the weighted key equals the
+/// unweighted key, and the result is identical to [`reconcile`] — trust
+/// changes nothing on a clean web.
+pub fn reconcile_with_trust(
+    rec: &Lrec,
+    schema: &ConceptSchema,
+    trust: &TrustModel,
+) -> TrustedReconciliation {
+    let mut out = TrustedReconciliation::default();
+    for (attr, entries) in rec.iter() {
+        // Group by denotation, first-seen order (same as group_by_denotation,
+        // but keeping the members: support stamping needs every asserter).
+        let mut groups: Vec<Vec<&ValueEntry>> = Vec::new();
+        for e in entries {
+            match groups
+                .iter_mut()
+                .find(|g| g[0].value.same_denotation(&e.value))
+            {
+                Some(g) => g.push(e),
+                None => groups.push(vec![e]),
+            }
+        }
+        let contested = groups.len() >= 2;
+        struct Scored<'a> {
+            members: Vec<&'a ValueEntry>,
+            combined: f64,
+            weighted: f64,
+            sites: Vec<String>,
+            all_quarantined: bool,
+        }
+        let mut scored: Vec<Scored> = groups
+            .into_iter()
+            .map(|g| {
+                let combined = noisy_or(g.iter().map(|e| e.provenance.confidence));
+                let weighted = noisy_or(g.iter().map(|e| {
+                    let w = e
+                        .provenance
+                        .document_url()
+                        .map(|u| trust.selection_weight(url_host(u)))
+                        .unwrap_or(1.0);
+                    e.provenance.confidence * w
+                }));
+                let mut sites: Vec<String> = g
+                    .iter()
+                    .filter_map(|e| e.provenance.document_url())
+                    .map(|u| url_host(u).to_string())
+                    .collect();
+                sites.sort();
+                sites.dedup();
+                let all_quarantined =
+                    !sites.is_empty() && sites.iter().all(|s| trust.is_quarantined(s));
+                Scored {
+                    members: g,
+                    combined,
+                    weighted,
+                    sites,
+                    all_quarantined,
+                }
+            })
+            .collect();
+        // Two stable sorts: by combined desc (reconcile's order), then by
+        // weighted desc. With no quarantine weighted == combined and the
+        // second pass is the identity permutation.
+        scored.sort_by(|a, b| {
+            b.combined
+                .partial_cmp(&a.combined)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        scored.sort_by(|a, b| {
+            b.weighted
+                .partial_cmp(&a.weighted)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        // Quarantined-only groups are never selectable, whatever the
+        // cardinality budget.
+        let (eligible, excluded): (Vec<Scored>, Vec<Scored>) =
+            scored.into_iter().partition(|s| !s.all_quarantined);
+        for ex in &excluded {
+            out.excluded.push(TrustedExclusion {
+                attr: attr.to_string(),
+                value: ex.members[0].value.display_string(),
+                sites: ex.sites.clone(),
+            });
+        }
+        let cardinality = schema
+            .attr(attr)
+            .map(|s| s.cardinality)
+            .unwrap_or(Cardinality::Many);
+        let limit = match cardinality {
+            Cardinality::One => 1,
+            Cardinality::AtMost(k) => k as usize,
+            Cardinality::Many => usize::MAX,
+        };
+        let keep_n = limit.min(eligible.len());
+        let (kept_s, dropped_s) = eligible.split_at(keep_n);
+        let winner_display = kept_s
+            .first()
+            .map(|s| s.members[0].value.display_string())
+            .unwrap_or_default();
+        let to_reconciled = |s: &Scored| {
+            let best = s
+                .members
+                .iter()
+                .max_by(|a, b| {
+                    a.provenance
+                        .confidence
+                        .partial_cmp(&b.provenance.confidence)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("invariant: denotation groups are non-empty");
+            let mut entry = (*best).clone();
+            entry.provenance.support = s
+                .sites
+                .iter()
+                .map(|site| SiteSupport {
+                    site: site.clone(),
+                    trust: trust.trust_of(site),
+                })
+                .collect();
+            ReconciledValue {
+                entry,
+                combined_confidence: s.combined,
+                support: s.members.len(),
+            }
+        };
+        let kept: Vec<ReconciledValue> = kept_s.iter().map(to_reconciled).collect();
+        for d in dropped_s.iter().chain(&excluded) {
+            out.recon.conflicts.push(Conflict {
+                attr: attr.to_string(),
+                losing_value: d.members[0].value.display_string(),
+                confidence: d.combined,
+                winning_value: winner_display.clone(),
+            });
+        }
+        if contested {
+            if let Some(w) = kept.first() {
+                out.winners.push(TrustedWinner {
+                    attr: attr.to_string(),
+                    value: w.entry.value.display_string(),
+                    support: w.entry.provenance.support.clone(),
+                });
+            }
+        }
+        out.recon.kept.push((attr.to_string(), kept));
+    }
+    out
 }
 
 /// Apply a reconciliation back onto a record: replace each attribute's

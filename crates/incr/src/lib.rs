@@ -586,6 +586,7 @@ pub fn canonical_bytes(woc: &WebOfConcepts) -> Vec<u8> {
             "doc_index_digest".to_string(),
             Value::UInt(woc.doc_index.digest()),
         ),
+        ("trust_digest".to_string(), Value::UInt(woc.trust.digest())),
     ]);
     serde_json::to_string(&Canon(top))
         .expect("invariant: a canonicalized value tree always serializes")

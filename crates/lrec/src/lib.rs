@@ -34,7 +34,7 @@ pub mod store;
 pub mod value;
 
 pub use ids::{ConceptId, LrecId, Tick};
-pub use provenance::{Provenance, SourceRef};
+pub use provenance::{Provenance, SiteSupport, SourceRef};
 pub use record::{Lrec, ValueEntry};
 pub use schema::{
     AttrKind, AttrSpec, Cardinality, ConceptRegistry, ConceptSchema, Domain, Violation,

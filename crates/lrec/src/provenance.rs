@@ -37,6 +37,18 @@ impl fmt::Display for SourceRef {
     }
 }
 
+/// One site that supported a value at selection time, with the trust score
+/// the source-reliability fixpoint assigned it then. A reconciled winner
+/// carries one entry per distinct supporting site, so "why is this the live
+/// value?" is answerable from the stamp alone.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteSupport {
+    /// Site (hostname) that asserted the value.
+    pub site: String,
+    /// The site's trust score in `[0, 1]` when the value was selected.
+    pub trust: f64,
+}
+
 /// A provenance stamp: source + producing operator + confidence + time.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Provenance {
@@ -48,6 +60,9 @@ pub struct Provenance {
     pub confidence: f64,
     /// Logical time the value was observed/produced.
     pub observed_at: Tick,
+    /// Supporting sites and their trust at selection time. Empty until a
+    /// trust-aware reconciliation pass selects the value.
+    pub support: Vec<SiteSupport>,
 }
 
 impl Provenance {
@@ -58,6 +73,7 @@ impl Provenance {
             operator: operator.to_string(),
             confidence: confidence.clamp(0.0, 1.0),
             observed_at: at,
+            support: Vec::new(),
         }
     }
 
@@ -68,6 +84,7 @@ impl Provenance {
             operator: operator.to_string(),
             confidence: confidence.clamp(0.0, 1.0),
             observed_at: at,
+            support: Vec::new(),
         }
     }
 
@@ -78,6 +95,7 @@ impl Provenance {
             operator: "ground-truth".to_string(),
             confidence: 1.0,
             observed_at: at,
+            support: Vec::new(),
         }
     }
 

@@ -51,9 +51,25 @@ pub struct Sender<T> {
     chan: Arc<Chan<T>>,
 }
 
+impl<T> std::fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sender")
+            .field("capacity", &self.chan.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Consumer handle. Cloning shares the same queue (MPMC).
 pub struct Receiver<T> {
     chan: Arc<Chan<T>>,
+}
+
+impl<T> std::fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Receiver")
+            .field("capacity", &self.chan.capacity)
+            .finish_non_exhaustive()
+    }
 }
 
 /// Create a bounded channel. `capacity` must be at least 1 — a zero-slot

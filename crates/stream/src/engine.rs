@@ -126,6 +126,16 @@ pub struct StreamEngine {
     pending: BTreeMap<String, Pending>,
 }
 
+impl std::fmt::Debug for StreamEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamEngine")
+            .field("corpus_pages", &self.corpus.len())
+            .field("micro_epochs", &self.journal.len())
+            .field("pending", &self.pending.len())
+            .finish_non_exhaustive()
+    }
+}
+
 impl StreamEngine {
     /// Build the initial web from `corpus` (a full batch build that warms
     /// every memo cache) and start the stream at [`Watermark::ZERO`].

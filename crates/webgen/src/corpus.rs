@@ -50,6 +50,7 @@ impl WebCorpus {
         // Every later page shifted down one slot; rebuild both indexes'
         // positions. (Removal is O(n); the streaming commit stage batches
         // removals per micro-epoch, and corpora are bounded by crawl size.)
+        // woc-lint: allow(map-iter-order) — independent per-entry decrement; commutative.
         for idx in self.by_url.values_mut() {
             if *idx > i {
                 *idx -= 1;

@@ -36,5 +36,8 @@ pub use corpus::WebCorpus;
 pub use dom::{parse_html, Node, NodePath, PathStep};
 pub use evolve::{churn_restaurants, drift_site, ChurnEvent, DriftConfig, DriftPlan};
 pub use page::{Page, PageKind, PageTruth, TruthRecord};
-pub use sites::{generate_corpus, CorpusConfig, SiteStyle};
+pub use sites::{
+    generate_corpus, AdversarialConfig, AdversarialProfile, AdversarialSite, CorpusConfig,
+    SiteStyle,
+};
 pub use world::{World, WorldConfig};

@@ -47,6 +47,11 @@ pub enum PageKind {
     EventList,
     /// Blog/news article.
     Article,
+    /// Adversarial business page (spam farm, clone, stale mirror, or
+    /// conflicting-fact site) asserting perturbed attribute values.
+    AdversarialBiz,
+    /// Adversarial site front page.
+    AdversarialHome,
 }
 
 impl PageKind {

@@ -4,6 +4,7 @@
 //! the full synthetic web the pipeline crawls.
 
 pub mod academic;
+pub mod adversarial;
 pub mod blog;
 pub mod city;
 pub mod events;
@@ -14,6 +15,7 @@ pub mod style;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub use adversarial::{AdversarialConfig, AdversarialProfile, AdversarialSite};
 pub use local::{AggregatorSpec, RestaurantView};
 pub use style::SiteStyle;
 
@@ -33,6 +35,11 @@ pub struct CorpusConfig {
     pub blog_articles: usize,
     /// Seed for all rendering randomness.
     pub seed: u64,
+    /// Adversarial sites to append (`None` = clean corpus). Adversarial
+    /// pages are always generated *after* every honest site from an
+    /// independent RNG, so the honest prefix of the corpus is byte-identical
+    /// to the clean corpus for the same seed.
+    pub adversarial: Option<AdversarialConfig>,
 }
 
 impl Default for CorpusConfig {
@@ -43,6 +50,7 @@ impl Default for CorpusConfig {
             name_noise: 0.25,
             blog_articles: 40,
             seed: 0xBEEF,
+            adversarial: None,
         }
     }
 }
@@ -122,6 +130,19 @@ pub fn generate_corpus(world: &World, config: &CorpusConfig) -> WebCorpus {
         corpus.add(p);
     }
 
+    if let Some(adv) = &config.adversarial {
+        let honest_sites = corpus.sites().len();
+        let plan = adversarial::plan_sites(world, honest_sites, adv);
+        // Independent RNG: adversarial styling must not perturb the honest
+        // stream above, and the honest seed must not perturb the attack.
+        let mut adv_rng = StdRng::seed_from_u64(adv.seed ^ 0xAD5E_55ED);
+        for site in &plan {
+            for p in adversarial::adversarial_pages(world, site, &mut adv_rng) {
+                corpus.add(p);
+            }
+        }
+    }
+
     corpus
 }
 
@@ -184,6 +205,27 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.pages().iter().zip(b.pages()) {
             assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn adversarial_corpus_keeps_honest_prefix_byte_identical() {
+        let w = World::generate(WorldConfig::tiny(75));
+        let clean = generate_corpus(&w, &CorpusConfig::tiny(4));
+        let mut cfg = CorpusConfig::tiny(4);
+        cfg.adversarial = Some(AdversarialConfig::at_ratio(0.3, 11));
+        let adv = generate_corpus(&w, &cfg);
+        assert!(adv.len() > clean.len(), "adversarial pages were appended");
+        // Honest pages occupy the same slots with the same bytes: doc ids
+        // and honest extraction are unperturbed by the attack.
+        for (i, p) in clean.pages().iter().enumerate() {
+            assert_eq!(&adv.pages()[i], p, "honest page {i} must be unchanged");
+        }
+        for p in &adv.pages()[clean.len()..] {
+            assert!(matches!(
+                p.truth.kind,
+                PageKind::AdversarialBiz | PageKind::AdversarialHome
+            ));
         }
     }
 
